@@ -1,0 +1,486 @@
+//! Gradient-based adversarial counterexample search.
+//!
+//! Implements the optimization side of the paper (§3): minimizing the
+//! robustness objective `F(x) = N(x)_K - max_{j != K} N(x)_j` (Eq. 2) over
+//! an input region using projected gradient descent ([`pgd`]) with random
+//! restarts ([`Minimizer`]), plus the fast gradient sign method
+//! ([`fgsm_step`]) as a cheap alternative direction.
+//!
+//! A point with `F(x) <= 0` is a true adversarial counterexample; points
+//! with `F(x) <= δ` are the δ-counterexamples of Definition 5.3.
+//!
+//! # Examples
+//!
+//! ```
+//! use attack::Minimizer;
+//! use domains::Bounds;
+//! use nn::samples;
+//!
+//! let net = samples::example_2_2_network();
+//! // On [-1, 2] the property "class 1" is falsifiable (N(2) = [8, 6]).
+//! let region = Bounds::new(vec![-1.0], vec![2.0]);
+//! let result = Minimizer::new(1).with_restarts(8).minimize(&net, &region, 1);
+//! assert!(result.objective <= 0.0, "PGD should find the violation");
+//! ```
+
+use domains::Bounds;
+use nn::Network;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Result of an optimization run: the best point found and its objective
+/// value.
+#[derive(Debug, Clone)]
+pub struct AttackResult {
+    /// The minimizing point `x*` (always inside the search region).
+    pub point: Vec<f64>,
+    /// The objective value `F(x*)`.
+    pub objective: f64,
+    /// Number of gradient evaluations performed.
+    pub evals: usize,
+}
+
+/// Configuration for projected gradient descent.
+#[derive(Debug, Clone)]
+pub struct PgdConfig {
+    /// Number of gradient steps per run.
+    pub steps: usize,
+    /// Initial step size as a fraction of the mean region width.
+    pub step_fraction: f64,
+    /// Multiplicative step decay applied when a step fails to improve.
+    pub decay: f64,
+}
+
+impl Default for PgdConfig {
+    fn default() -> Self {
+        PgdConfig {
+            steps: 60,
+            step_fraction: 0.25,
+            decay: 0.7,
+        }
+    }
+}
+
+/// Runs projected gradient descent on the robustness objective from a
+/// given starting point, returning the best point visited.
+///
+/// Early-exits as soon as the objective becomes non-positive (a true
+/// counterexample has been found).
+///
+/// # Panics
+///
+/// Panics if `start` is not inside `region`, or dimensions mismatch.
+pub fn pgd(
+    net: &Network,
+    region: &Bounds,
+    target: usize,
+    start: &[f64],
+    config: &PgdConfig,
+) -> AttackResult {
+    assert!(region.contains(start), "start point must lie in the region");
+    let mut x = start.to_vec();
+    let mut best = x.clone();
+    let mut best_f = net.objective(&x, target);
+    let mut evals = 1;
+    let mut step = config.step_fraction * region.mean_width().max(1e-12);
+
+    for _ in 0..config.steps {
+        if best_f <= 0.0 {
+            break;
+        }
+        let g = net.objective_gradient(&x, target);
+        evals += 1;
+        let norm = tensor::ops::norm2(&g);
+        if norm < 1e-12 {
+            break;
+        }
+        // Descend: x <- Proj(x - step * g / |g|)
+        for (xi, gi) in x.iter_mut().zip(g.iter()) {
+            *xi -= step * gi / norm;
+        }
+        region.clamp(&mut x);
+        let f = net.objective(&x, target);
+        evals += 1;
+        if f < best_f {
+            best_f = f;
+            best = x.clone();
+        } else {
+            step *= config.decay;
+            if step < 1e-12 {
+                break;
+            }
+        }
+    }
+    AttackResult {
+        point: best,
+        objective: best_f,
+        evals,
+    }
+}
+
+/// Projected gradient descent with momentum: accumulates a velocity
+/// vector, which helps cross shallow saddle regions of the piecewise
+/// linear objective that plain PGD stalls on.
+///
+/// Early-exits as soon as the objective becomes non-positive.
+///
+/// # Panics
+///
+/// Panics if `start` is not inside `region`.
+pub fn pgd_momentum(
+    net: &Network,
+    region: &Bounds,
+    target: usize,
+    start: &[f64],
+    config: &PgdConfig,
+    momentum: f64,
+) -> AttackResult {
+    assert!(region.contains(start), "start point must lie in the region");
+    assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+    let mut x = start.to_vec();
+    let mut velocity = vec![0.0; x.len()];
+    let mut best = x.clone();
+    let mut best_f = net.objective(&x, target);
+    let mut evals = 1;
+    let step = config.step_fraction * region.mean_width().max(1e-12);
+
+    for _ in 0..config.steps {
+        if best_f <= 0.0 {
+            break;
+        }
+        let g = net.objective_gradient(&x, target);
+        evals += 1;
+        let norm = tensor::ops::norm2(&g);
+        if norm < 1e-12 && tensor::ops::norm2(&velocity) < 1e-12 {
+            break;
+        }
+        for ((vi, gi), xi) in velocity.iter_mut().zip(g.iter()).zip(x.iter_mut()) {
+            *vi = momentum * *vi - step * gi / norm.max(1e-12);
+            *xi += *vi;
+        }
+        region.clamp(&mut x);
+        let f = net.objective(&x, target);
+        evals += 1;
+        if f < best_f {
+            best_f = f;
+            best = x.clone();
+        }
+    }
+    AttackResult {
+        point: best,
+        objective: best_f,
+        evals,
+    }
+}
+
+/// Greedy coordinate descent: repeatedly moves single coordinates to
+/// whichever region boundary decreases the objective most. Effective on
+/// brightening-attack regions, where most coordinates are frozen and the
+/// optimum tends to sit on a corner of the free sub-box.
+///
+/// # Panics
+///
+/// Panics if `start` is not inside `region`.
+pub fn coordinate_descent(
+    net: &Network,
+    region: &Bounds,
+    target: usize,
+    start: &[f64],
+    sweeps: usize,
+) -> AttackResult {
+    assert!(region.contains(start), "start point must lie in the region");
+    let mut x = start.to_vec();
+    let mut best_f = net.objective(&x, target);
+    let mut evals = 1;
+    let free: Vec<usize> = region
+        .widths()
+        .iter()
+        .enumerate()
+        .filter(|(_, w)| **w > 0.0)
+        .map(|(i, _)| i)
+        .collect();
+
+    for _ in 0..sweeps {
+        if best_f <= 0.0 {
+            break;
+        }
+        let mut improved = false;
+        for &i in &free {
+            let original = x[i];
+            let mut local_best = best_f;
+            let mut local_val = original;
+            for candidate in [region.lower()[i], region.upper()[i]] {
+                if candidate == original {
+                    continue;
+                }
+                x[i] = candidate;
+                let f = net.objective(&x, target);
+                evals += 1;
+                if f < local_best {
+                    local_best = f;
+                    local_val = candidate;
+                }
+            }
+            x[i] = local_val;
+            if local_best < best_f {
+                best_f = local_best;
+                improved = true;
+            }
+            if best_f <= 0.0 {
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    AttackResult {
+        point: x,
+        objective: best_f,
+        evals,
+    }
+}
+
+/// One fast-gradient-sign step from `start`: moves to the corner of the
+/// region indicated by the sign of the objective gradient.
+///
+/// # Panics
+///
+/// Panics if `start` is not inside `region`.
+pub fn fgsm_step(net: &Network, region: &Bounds, target: usize, start: &[f64]) -> Vec<f64> {
+    assert!(region.contains(start), "start point must lie in the region");
+    let g = net.objective_gradient(start, target);
+    let mut x: Vec<f64> = start
+        .iter()
+        .zip(g.iter())
+        .zip(region.widths().iter())
+        .map(|((xi, gi), w)| xi - w * gi.signum())
+        .collect();
+    region.clamp(&mut x);
+    x
+}
+
+/// Multi-restart minimizer for the robustness objective (the `Minimize`
+/// call at line 2 of Algorithm 1).
+///
+/// Runs PGD from the region center and from a number of random starting
+/// points (plus one FGSM-seeded run), keeping the best result.
+#[derive(Debug, Clone)]
+pub struct Minimizer {
+    /// PGD configuration shared by all restarts.
+    pub config: PgdConfig,
+    /// Number of random restarts in addition to the center start.
+    pub restarts: usize,
+    seed: u64,
+}
+
+impl Minimizer {
+    /// Creates a minimizer with default configuration and the given RNG
+    /// seed.
+    pub fn new(seed: u64) -> Self {
+        Minimizer {
+            config: PgdConfig::default(),
+            restarts: 3,
+            seed,
+        }
+    }
+
+    /// Sets the number of random restarts.
+    pub fn with_restarts(mut self, restarts: usize) -> Self {
+        self.restarts = restarts;
+        self
+    }
+
+    /// Sets the PGD configuration.
+    pub fn with_config(mut self, config: PgdConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Minimizes `F` over `region`, returning the best point found.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region.dim() != net.input_dim()` or `target` is out of
+    /// range.
+    pub fn minimize(&self, net: &Network, region: &Bounds, target: usize) -> AttackResult {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let center = region.center();
+        let mut best = pgd(net, region, target, &center, &self.config);
+        if best.objective <= 0.0 {
+            return best;
+        }
+
+        // FGSM-seeded run: jump to the steepest corner, then refine.
+        let corner = fgsm_step(net, region, target, &center);
+        let run = pgd(net, region, target, &corner, &self.config);
+        best = merge(best, run);
+        if best.objective <= 0.0 {
+            return best;
+        }
+
+        // One coordinate-descent pass: box-shaped regions (like the
+        // brightening attacks of §7.1) often hide their minima in
+        // corners that gradient steps orbit around.
+        let run = coordinate_descent(net, region, target, &center, 2);
+        best = merge(best, run);
+        if best.objective <= 0.0 {
+            return best;
+        }
+
+        for _ in 0..self.restarts {
+            let start = region.sample(&mut rng);
+            let run = pgd(net, region, target, &start, &self.config);
+            best = merge(best, run);
+            if best.objective <= 0.0 {
+                break;
+            }
+        }
+        best
+    }
+}
+
+fn merge(a: AttackResult, b: AttackResult) -> AttackResult {
+    let evals = a.evals + b.evals;
+    let mut best = if b.objective < a.objective { b } else { a };
+    best.evals = evals;
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn::samples;
+
+    #[test]
+    fn finds_counterexample_on_falsifiable_region() {
+        let net = samples::example_2_2_network();
+        let region = Bounds::new(vec![-1.0], vec![2.0]);
+        let result = Minimizer::new(1).minimize(&net, &region, 1);
+        assert!(result.objective <= 0.0);
+        assert!(region.contains(&result.point));
+        // The found point really is misclassified.
+        assert_ne!(net.classify(&result.point), 1);
+    }
+
+    #[test]
+    fn reports_positive_objective_on_robust_region() {
+        let net = samples::example_2_2_network();
+        let region = Bounds::new(vec![-1.0], vec![1.0]);
+        let result = Minimizer::new(2).minimize(&net, &region, 1);
+        assert!(
+            result.objective > 0.0,
+            "region is robust; F must stay positive"
+        );
+        assert!(region.contains(&result.point));
+    }
+
+    #[test]
+    fn xor_property_resists_attack() {
+        let net = samples::xor_network();
+        let region = Bounds::new(vec![0.3, 0.3], vec![0.7, 0.7]);
+        let result = Minimizer::new(3)
+            .with_restarts(5)
+            .minimize(&net, &region, 1);
+        assert!(result.objective > 0.0);
+    }
+
+    #[test]
+    fn xor_falsified_on_wider_region() {
+        let net = samples::xor_network();
+        // [0, 1]^2 contains [0,0] and [1,1], both class 0.
+        let region = Bounds::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let result = Minimizer::new(4)
+            .with_restarts(5)
+            .minimize(&net, &region, 1);
+        assert!(result.objective <= 0.0);
+        assert_ne!(net.classify(&result.point), 1);
+    }
+
+    #[test]
+    fn pgd_point_stays_in_region() {
+        let net = nn::train::random_mlp(4, &[10], 3, 17);
+        let region = Bounds::linf_ball(&[0.2, -0.1, 0.0, 0.5], 0.3, None);
+        let result = Minimizer::new(5).minimize(&net, &region, 0);
+        assert!(region.contains(&result.point));
+        assert_eq!(result.objective, net.objective(&result.point, 0));
+    }
+
+    #[test]
+    fn fgsm_step_moves_to_region() {
+        let net = samples::xor_network();
+        let region = Bounds::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let x = fgsm_step(&net, &region, 1, &region.center());
+        assert!(region.contains(&x));
+    }
+
+    #[test]
+    fn momentum_pgd_finds_xor_violation() {
+        let net = samples::xor_network();
+        let region = Bounds::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        // Start near a violating corner basin.
+        let result = pgd_momentum(&net, &region, 1, &[0.8, 0.8], &PgdConfig::default(), 0.8);
+        assert!(result.objective <= 0.0, "objective {}", result.objective);
+        assert!(region.contains(&result.point));
+    }
+
+    #[test]
+    fn momentum_result_objective_is_consistent() {
+        let net = nn::train::random_mlp(3, &[8], 3, 2);
+        let region = Bounds::linf_ball(&[0.1, 0.0, -0.1], 0.4, None);
+        let result = pgd_momentum(
+            &net,
+            &region,
+            0,
+            &region.center(),
+            &PgdConfig::default(),
+            0.5,
+        );
+        assert_eq!(result.objective, net.objective(&result.point, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn momentum_out_of_range_panics() {
+        let net = samples::xor_network();
+        let region = Bounds::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        pgd_momentum(&net, &region, 1, &[0.5, 0.5], &PgdConfig::default(), 1.5);
+    }
+
+    #[test]
+    fn coordinate_descent_reaches_corner_violation() {
+        let net = samples::xor_network();
+        let region = Bounds::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let result = coordinate_descent(&net, &region, 1, &[0.5, 0.5], 5);
+        // The corners (0,0) and (1,1) violate; coordinate moves reach one.
+        assert!(result.objective <= 0.0, "objective {}", result.objective);
+    }
+
+    #[test]
+    fn coordinate_descent_respects_frozen_dims() {
+        let net = samples::xor_network();
+        // Freeze x1 at 0.6: only x0 may move.
+        let region = Bounds::new(vec![0.0, 0.6], vec![1.0, 0.6]);
+        let result = coordinate_descent(&net, &region, 1, &[0.5, 0.6], 5);
+        assert_eq!(result.point[1], 0.6);
+        assert!(region.contains(&result.point));
+    }
+
+    #[test]
+    fn minimizer_is_deterministic() {
+        let net = samples::xor_network();
+        let region = Bounds::new(vec![0.1, 0.1], vec![0.9, 0.9]);
+        let a = Minimizer::new(9).minimize(&net, &region, 1);
+        let b = Minimizer::new(9).minimize(&net, &region, 1);
+        assert_eq!(a.point, b.point);
+        assert_eq!(a.objective, b.objective);
+    }
+
+    #[test]
+    fn degenerate_point_region() {
+        let net = samples::xor_network();
+        let region = Bounds::point(&[0.5, 0.5]);
+        let result = Minimizer::new(11).minimize(&net, &region, 1);
+        assert_eq!(result.point, vec![0.5, 0.5]);
+    }
+}

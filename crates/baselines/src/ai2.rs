@@ -1,0 +1,239 @@
+//! AI2: abstract interpretation with a fixed, user-chosen domain.
+//!
+//! AI2 propagates a single abstract element through the network and checks
+//! the output against the robustness specification. It performs no
+//! refinement and no counterexample search, so its only possible verdicts
+//! are `Verified`, `Unknown`, and `Timeout`. Following the paper's
+//! evaluation (§7.1), the two standard configurations are
+//! [`Ai2::zonotope`] and [`Ai2::bounded64`] (powerset of zonotopes with 64
+//! disjuncts).
+
+use std::time::{Duration, Instant};
+
+use charon::RobustnessProperty;
+use domains::{AbstractElement, BaseDomain, DomainChoice, Interval, Powerset, Zonotope};
+use nn::{Layer, Network};
+
+use crate::ToolVerdict;
+
+/// The AI2 analyzer with a fixed abstract domain.
+#[derive(Debug, Clone)]
+pub struct Ai2 {
+    choice: DomainChoice,
+}
+
+impl Ai2 {
+    /// AI2 instantiated with an arbitrary domain choice.
+    pub fn new(choice: DomainChoice) -> Self {
+        Ai2 { choice }
+    }
+
+    /// The `AI2-Zonotope` configuration.
+    pub fn zonotope() -> Self {
+        Ai2::new(DomainChoice::zonotope())
+    }
+
+    /// The `AI2-Bounded64` configuration: powerset of zonotopes with at
+    /// most 64 disjuncts.
+    pub fn bounded64() -> Self {
+        Ai2::new(DomainChoice::powerset(BaseDomain::Zonotope, 64))
+    }
+
+    /// The domain this instance analyzes with.
+    pub fn domain(&self) -> DomainChoice {
+        self.choice
+    }
+
+    /// Analyzes with the *original* AI2 zonotope ReLU transformer
+    /// (split at `x_i = 0`, exact ReLU per half, join) instead of the
+    /// λ-relaxation. Coarser but faithful to the paper's Figure 4; see
+    /// `Zonotope::relu_split_join`.
+    pub fn analyze_faithful_zonotope(
+        &self,
+        net: &Network,
+        property: &RobustnessProperty,
+        timeout: Duration,
+    ) -> ToolVerdict {
+        let deadline = Instant::now() + timeout;
+        let mut element = Zonotope::from_bounds(property.region());
+        for layer in net.layers() {
+            if Instant::now() >= deadline {
+                return ToolVerdict::Timeout;
+            }
+            element = match layer {
+                Layer::Affine(a) => element.affine(a),
+                Layer::Relu => element.relu_split_join(),
+                Layer::MaxPool(p) => element.max_pool(p),
+            };
+        }
+        // The join's residual arithmetic accumulates rounding at the ulp
+        // level; require the margin to clear float noise before claiming
+        // a proof (on Example 2.3 the joined margin is ~2e-16 — Figure
+        // 4's zonotope touching the unsafe point).
+        if element.margin_lower_bound(property.target()) > 1e-9 {
+            ToolVerdict::Verified
+        } else {
+            ToolVerdict::Unknown
+        }
+    }
+
+    /// Analyzes a property with a wall-clock budget.
+    ///
+    /// The deadline is checked between layers, so a pathological single
+    /// layer can overshoot slightly, but multi-layer powerset blow-ups
+    /// are caught.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions mismatch.
+    pub fn analyze(
+        &self,
+        net: &Network,
+        property: &RobustnessProperty,
+        timeout: Duration,
+    ) -> ToolVerdict {
+        let deadline = Instant::now() + timeout;
+        match (self.choice.base, self.choice.disjuncts) {
+            (BaseDomain::Interval, 1) => self.run::<Interval>(
+                net,
+                property,
+                Interval::from_bounds(property.region()),
+                deadline,
+            ),
+            (BaseDomain::Zonotope, 1) => self.run::<Zonotope>(
+                net,
+                property,
+                Zonotope::from_bounds(property.region()),
+                deadline,
+            ),
+            (BaseDomain::Interval, k) => self.run::<Powerset<Interval>>(
+                net,
+                property,
+                Powerset::with_budget(property.region(), k),
+                deadline,
+            ),
+            (BaseDomain::Zonotope, k) => self.run::<Powerset<Zonotope>>(
+                net,
+                property,
+                Powerset::with_budget(property.region(), k),
+                deadline,
+            ),
+        }
+    }
+
+    fn run<E: AbstractElement>(
+        &self,
+        net: &Network,
+        property: &RobustnessProperty,
+        input: E,
+        deadline: Instant,
+    ) -> ToolVerdict {
+        let mut element = input;
+        for layer in net.layers() {
+            if Instant::now() >= deadline {
+                return ToolVerdict::Timeout;
+            }
+            element = match layer {
+                Layer::Affine(a) => element.affine(a),
+                Layer::Relu => element.relu(),
+                Layer::MaxPool(p) => element.max_pool(p),
+            };
+        }
+        if element.margin_lower_bound(property.target()) > 0.0 {
+            ToolVerdict::Verified
+        } else {
+            ToolVerdict::Unknown
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domains::Bounds;
+    use nn::samples;
+
+    const BUDGET: Duration = Duration::from_secs(10);
+
+    #[test]
+    fn zonotope_verifies_example_2_2() {
+        let net = samples::example_2_2_network();
+        let prop = RobustnessProperty::new(Bounds::new(vec![-1.0], vec![1.0]), 1);
+        assert_eq!(
+            Ai2::zonotope().analyze(&net, &prop, BUDGET),
+            ToolVerdict::Verified
+        );
+    }
+
+    #[test]
+    fn ai2_cannot_falsify() {
+        // On a falsifiable property AI2 reports Unknown, never Falsified.
+        let net = samples::example_2_2_network();
+        let prop = RobustnessProperty::new(Bounds::new(vec![-1.0], vec![2.0]), 1);
+        assert_eq!(
+            Ai2::zonotope().analyze(&net, &prop, BUDGET),
+            ToolVerdict::Unknown
+        );
+        assert_eq!(
+            Ai2::bounded64().analyze(&net, &prop, BUDGET),
+            ToolVerdict::Unknown
+        );
+    }
+
+    #[test]
+    fn bounded64_more_precise_than_interval_ai2() {
+        let net = samples::example_2_3_network();
+        let prop = RobustnessProperty::new(Bounds::new(vec![0.0, 0.0], vec![1.0, 1.0]), 1);
+        let interval = Ai2::new(DomainChoice::interval());
+        assert_eq!(interval.analyze(&net, &prop, BUDGET), ToolVerdict::Unknown);
+        assert_eq!(
+            Ai2::bounded64().analyze(&net, &prop, BUDGET),
+            ToolVerdict::Verified
+        );
+    }
+
+    #[test]
+    fn xor_example_needs_refinement_ai2_lacks() {
+        // Example 3.1 requires splitting the input region; plain-zonotope
+        // AI2 cannot verify it.
+        let net = samples::xor_network();
+        let prop = RobustnessProperty::new(Bounds::new(vec![0.3, 0.3], vec![0.7, 0.7]), 1);
+        let direct = Ai2::zonotope().analyze(&net, &prop, BUDGET);
+        // Either verdict must at least be sound; Unknown is expected.
+        assert_ne!(direct, ToolVerdict::Timeout);
+        // Charon verifies the same property (demonstrating the gap).
+        assert!(charon::Verifier::default()
+            .verify(&net, &prop)
+            .is_verified());
+    }
+
+    #[test]
+    fn faithful_zonotope_is_coarser_on_example_2_3() {
+        // The λ-relaxation zonotope verifies Example 2.3; the paper's
+        // split-then-join transformer cannot (Figure 4) — and neither
+        // could the original AI2-Zonotope, which is why the paper reaches
+        // for the powerset there.
+        let net = samples::example_2_3_network();
+        let prop = RobustnessProperty::new(Bounds::new(vec![0.0, 0.0], vec![1.0, 1.0]), 1);
+        let ai2 = Ai2::zonotope();
+        assert_eq!(ai2.analyze(&net, &prop, BUDGET), ToolVerdict::Verified);
+        assert_eq!(
+            ai2.analyze_faithful_zonotope(&net, &prop, BUDGET),
+            ToolVerdict::Unknown
+        );
+        // On a comfortably robust property both agree.
+        let easy = RobustnessProperty::new(Bounds::new(vec![0.4, 0.4], vec![0.6, 0.6]), 1);
+        assert_eq!(
+            ai2.analyze_faithful_zonotope(&net, &easy, BUDGET),
+            ToolVerdict::Verified
+        );
+    }
+
+    #[test]
+    fn instant_deadline_times_out() {
+        let net = nn::train::random_mlp(6, &[32, 32], 3, 1);
+        let prop = RobustnessProperty::new(Bounds::linf_ball(&[0.0; 6], 0.5, None), 0);
+        let verdict = Ai2::bounded64().analyze(&net, &prop, Duration::from_nanos(1));
+        assert_eq!(verdict, ToolVerdict::Timeout);
+    }
+}

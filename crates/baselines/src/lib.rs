@@ -1,0 +1,53 @@
+//! Reimplementations of the verification tools Charon is evaluated
+//! against (§7):
+//!
+//! * [`ai2`] — AI2 (Gehr et al., S&P 2018): pure abstract interpretation
+//!   with a user-chosen domain; incomplete, cannot produce
+//!   counterexamples.
+//! * [`reluval`] — ReluVal (Wang et al., USENIX Security 2018): symbolic
+//!   interval analysis with a hand-crafted iterative bisection strategy.
+//! * [`reluplex`] — a Reluplex-style complete decision procedure (Katz et
+//!   al., CAV 2017): LP relaxation plus ReLU case splitting over our own
+//!   simplex ([`lp`]).
+//!
+//! All tools share the [`ToolVerdict`] result type and honor a wall-clock
+//! deadline so the benchmark harness can drive them uniformly.
+
+pub mod ai2;
+pub mod reluplex;
+pub mod reluval;
+
+/// Uniform verdict across baseline tools.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToolVerdict {
+    /// The property was proved.
+    Verified,
+    /// A concrete counterexample was found.
+    Falsified(Vec<f64>),
+    /// The tool finished but could not decide (incomplete analysis).
+    Unknown,
+    /// The time budget was exhausted.
+    Timeout,
+    /// The tool does not support this network architecture (e.g. max
+    /// pooling for ReluVal/Reluplex).
+    Unsupported,
+}
+
+impl ToolVerdict {
+    /// Whether the verdict decides the property (verified or falsified).
+    pub fn is_decided(&self) -> bool {
+        matches!(self, ToolVerdict::Verified | ToolVerdict::Falsified(_))
+    }
+}
+
+impl std::fmt::Display for ToolVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ToolVerdict::Verified => write!(f, "verified"),
+            ToolVerdict::Falsified(_) => write!(f, "falsified"),
+            ToolVerdict::Unknown => write!(f, "unknown"),
+            ToolVerdict::Timeout => write!(f, "timeout"),
+            ToolVerdict::Unsupported => write!(f, "unsupported"),
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The Reluplex baseline: a thin wrapper over the [`complete`] solver.
+//!
+//! Reluplex (Katz et al., CAV 2017) extends the simplex algorithm with
+//! native ReLU handling. The decision core — LP relaxation plus ReLU case
+//! splitting over our own simplex — lives in the [`complete`] crate (it
+//! doubles as Charon's policy-selectable "perfectly precise domain", per
+//! the paper's §9). This module adapts it to the uniform baseline-tool
+//! interface: timeout handling, `ToolVerdict` mapping, and rejection of
+//! max-pooling architectures (which the original tool does not support).
+
+use std::time::{Duration, Instant};
+
+use charon::RobustnessProperty;
+use complete::{CompleteSolver, Decision};
+use nn::Network;
+
+use crate::ToolVerdict;
+
+/// Configuration of the Reluplex-style solver.
+#[derive(Debug, Clone)]
+pub struct ReluplexConfig {
+    /// Maximum number of search nodes (LP solves) per rival class.
+    pub max_nodes: usize,
+    /// Numerical tolerance for pruning (`min(y_K - y_j) > tol` prunes).
+    pub tolerance: f64,
+}
+
+impl Default for ReluplexConfig {
+    fn default() -> Self {
+        ReluplexConfig {
+            max_nodes: 100_000,
+            tolerance: 1e-9,
+        }
+    }
+}
+
+/// The Reluplex-style complete verifier.
+#[derive(Debug, Clone, Default)]
+pub struct Reluplex {
+    config: ReluplexConfig,
+}
+
+impl Reluplex {
+    /// Creates a solver with an explicit configuration.
+    pub fn new(config: ReluplexConfig) -> Self {
+        Reluplex { config }
+    }
+
+    /// Decides a property with a wall-clock budget.
+    ///
+    /// Returns [`ToolVerdict::Unsupported`] for networks with max-pooling
+    /// layers.
+    pub fn analyze(
+        &self,
+        net: &Network,
+        property: &RobustnessProperty,
+        timeout: Duration,
+    ) -> ToolVerdict {
+        if !complete::supports(net) {
+            return ToolVerdict::Unsupported;
+        }
+        let deadline = Instant::now() + timeout;
+        let solver = CompleteSolver {
+            max_nodes: self.config.max_nodes,
+            tolerance: self.config.tolerance,
+        };
+        match solver.decide(net, property.region(), property.target(), deadline) {
+            Decision::Proved => ToolVerdict::Verified,
+            Decision::Violated(x) => ToolVerdict::Falsified(x),
+            Decision::Budget => ToolVerdict::Timeout,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domains::Bounds;
+    use nn::{samples, Layer};
+
+    const BUDGET: Duration = Duration::from_secs(30);
+
+    #[test]
+    fn verifies_example_2_2() {
+        let net = samples::example_2_2_network();
+        let prop = RobustnessProperty::new(Bounds::new(vec![-1.0], vec![1.0]), 1);
+        assert_eq!(
+            Reluplex::default().analyze(&net, &prop, BUDGET),
+            ToolVerdict::Verified
+        );
+    }
+
+    #[test]
+    fn falsifies_example_2_2_extended() {
+        let net = samples::example_2_2_network();
+        let prop = RobustnessProperty::new(Bounds::new(vec![-1.0], vec![2.0]), 1);
+        match Reluplex::default().analyze(&net, &prop, BUDGET) {
+            ToolVerdict::Falsified(x) => {
+                assert!(prop.region().contains(&x));
+                assert!(net.objective(&x, 1) <= 0.0, "returned point must violate");
+            }
+            other => panic!("expected falsification, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verifies_xor_example_3_1() {
+        let net = samples::xor_network();
+        let prop = RobustnessProperty::new(Bounds::new(vec![0.3, 0.3], vec![0.7, 0.7]), 1);
+        assert_eq!(
+            Reluplex::default().analyze(&net, &prop, BUDGET),
+            ToolVerdict::Verified
+        );
+    }
+
+    #[test]
+    fn falsifies_xor_unit_square() {
+        let net = samples::xor_network();
+        let prop = RobustnessProperty::new(Bounds::new(vec![0.0, 0.0], vec![1.0, 1.0]), 1);
+        match Reluplex::default().analyze(&net, &prop, BUDGET) {
+            ToolVerdict::Falsified(x) => {
+                assert_ne!(net.classify(&x), 1);
+            }
+            other => panic!("expected falsification, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verifies_example_2_3() {
+        let net = samples::example_2_3_network();
+        let prop = RobustnessProperty::new(Bounds::new(vec![0.0, 0.0], vec![1.0, 1.0]), 1);
+        assert_eq!(
+            Reluplex::default().analyze(&net, &prop, BUDGET),
+            ToolVerdict::Verified
+        );
+    }
+
+    #[test]
+    fn agrees_with_charon_on_random_networks() {
+        // Completeness cross-check: on small random networks the complete
+        // solver and Charon must agree whenever both decide.
+        for seed in 0..6 {
+            let net = nn::train::random_mlp(2, &[4], 2, seed);
+            let prop = RobustnessProperty::new(
+                Bounds::linf_ball(&[0.1, -0.2], 0.4, None),
+                net.classify(&[0.1, -0.2]),
+            );
+            let rp = Reluplex::default().analyze(&net, &prop, BUDGET);
+            let ch = charon::Verifier::default().verify(&net, &prop);
+            match (rp, ch) {
+                (ToolVerdict::Verified, v) => {
+                    assert!(
+                        v.is_verified(),
+                        "seed {seed}: reluplex verified, charon {v:?}"
+                    )
+                }
+                (ToolVerdict::Falsified(_), v) => {
+                    assert!(
+                        v.is_refuted(),
+                        "seed {seed}: reluplex falsified, charon {v:?}"
+                    )
+                }
+                (other, _) => panic!("seed {seed}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_maxpool() {
+        let pool = nn::conv::max_pool_groups(nn::conv::Shape3::new(1, 2, 2), 2);
+        let net = Network::new(
+            4,
+            vec![
+                Layer::MaxPool(pool),
+                Layer::Affine(nn::AffineLayer::new(
+                    tensor::Matrix::from_rows(&[&[1.0], &[-1.0]]),
+                    vec![0.0, 0.0],
+                )),
+            ],
+        )
+        .unwrap();
+        let prop = RobustnessProperty::new(Bounds::new(vec![0.0; 4], vec![1.0; 4]), 0);
+        assert_eq!(
+            Reluplex::default().analyze(&net, &prop, BUDGET),
+            ToolVerdict::Unsupported
+        );
+    }
+}

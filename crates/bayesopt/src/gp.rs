@@ -1,0 +1,296 @@
+//! Gaussian-process regression with an RBF kernel.
+
+use tensor::linalg::Cholesky;
+use tensor::{LinalgError, Matrix};
+
+/// Hyper-parameters of the Gaussian-process surrogate.
+#[derive(Debug, Clone)]
+pub struct GpConfig {
+    /// RBF kernel length scale.
+    pub length_scale: f64,
+    /// Kernel signal variance.
+    pub signal_variance: f64,
+    /// Observation noise variance (also regularizes the kernel matrix).
+    pub noise: f64,
+}
+
+impl Default for GpConfig {
+    fn default() -> Self {
+        GpConfig {
+            length_scale: 1.0,
+            signal_variance: 1.0,
+            noise: 1e-6,
+        }
+    }
+}
+
+/// A fitted Gaussian-process posterior over observations `(X, y)`.
+///
+/// The prior mean is the empirical mean of the observations; the kernel is
+/// the squared-exponential `k(a, b) = σ² exp(-|a-b|² / (2ℓ²))`.
+///
+/// # Examples
+///
+/// ```
+/// use bayesopt::{GaussianProcess, GpConfig};
+///
+/// let xs = vec![vec![0.0], vec![1.0], vec![2.0]];
+/// let ys = vec![0.0, 1.0, 0.0];
+/// let gp = GaussianProcess::fit(&xs, &ys, &GpConfig::default())?;
+/// let (mean, var) = gp.predict(&[1.0]);
+/// assert!((mean - 1.0).abs() < 1e-3); // interpolates observations
+/// assert!(var < 1e-3);
+/// # Ok::<(), tensor::LinalgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    xs: Vec<Vec<f64>>,
+    mean_y: f64,
+    alpha: Vec<f64>,
+    chol: Cholesky,
+    config: GpConfig,
+}
+
+impl GaussianProcess {
+    /// Fits the posterior to observations.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LinalgError`] if the kernel matrix is numerically
+    /// singular (e.g. duplicate points with zero noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` and `ys` lengths differ or `xs` is empty.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], config: &GpConfig) -> Result<Self, LinalgError> {
+        assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+        assert!(!xs.is_empty(), "need at least one observation");
+        let n = xs.len();
+        let mean_y = ys.iter().sum::<f64>() / n as f64;
+        let mut k = Matrix::from_fn(n, n, |i, j| rbf(&xs[i], &xs[j], config));
+        for i in 0..n {
+            k.set(i, i, k.get(i, i) + config.noise.max(1e-12));
+        }
+        let chol = Cholesky::factor(&k)?;
+        let centered: Vec<f64> = ys.iter().map(|y| y - mean_y).collect();
+        let alpha = chol.solve(&centered);
+        Ok(GaussianProcess {
+            xs: xs.to_vec(),
+            mean_y,
+            alpha,
+            chol,
+            config: config.clone(),
+        })
+    }
+
+    /// Posterior mean and variance at a query point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has a different dimension than the training inputs.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let kstar: Vec<f64> = self.xs.iter().map(|xi| rbf(xi, x, &self.config)).collect();
+        let mean = self.mean_y + tensor::ops::dot(&kstar, &self.alpha);
+        let v = self.chol.solve_lower(&kstar);
+        let variance = self.config.signal_variance - tensor::ops::dot(&v, &v);
+        (mean, variance.max(0.0))
+    }
+
+    /// Log marginal likelihood of the observations under the fitted
+    /// hyper-parameters: `-0.5 (y-m)ᵀ K⁻¹ (y-m) - 0.5 log|K| - n/2 log 2π`.
+    ///
+    /// Used by [`GaussianProcess::fit_auto`] to select a length scale.
+    pub fn log_marginal_likelihood(&self, ys: &[f64]) -> f64 {
+        let n = self.xs.len() as f64;
+        let centered: Vec<f64> = ys.iter().map(|y| y - self.mean_y).collect();
+        let fit_term = -0.5 * tensor::ops::dot(&centered, &self.alpha);
+        let det_term = -0.5 * self.chol.log_det();
+        let norm_term = -0.5 * n * (2.0 * std::f64::consts::PI).ln();
+        fit_term + det_term + norm_term
+    }
+
+    /// Fits a posterior with the length scale chosen from `candidates`
+    /// by maximum log marginal likelihood (type-II maximum likelihood).
+    ///
+    /// # Errors
+    ///
+    /// Returns the last factorization error if every candidate fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty or `xs`/`ys` mismatch.
+    pub fn fit_auto(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        base: &GpConfig,
+        candidates: &[f64],
+    ) -> Result<Self, LinalgError> {
+        assert!(!candidates.is_empty(), "need at least one candidate scale");
+        let mut best: Option<(f64, GaussianProcess)> = None;
+        let mut last_err = LinalgError::NotPositiveDefinite;
+        for &scale in candidates {
+            let config = GpConfig {
+                length_scale: scale,
+                ..base.clone()
+            };
+            match GaussianProcess::fit(xs, ys, &config) {
+                Ok(gp) => {
+                    let lml = gp.log_marginal_likelihood(ys);
+                    if best.as_ref().is_none_or(|(b, _)| lml > *b) {
+                        best = Some((lml, gp));
+                    }
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        best.map(|(_, gp)| gp).ok_or(last_err)
+    }
+
+    /// Number of observations the posterior conditions on.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the posterior has no observations (never true for a fitted
+    /// process).
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+}
+
+fn rbf(a: &[f64], b: &[f64], config: &GpConfig) -> f64 {
+    assert_eq!(a.len(), b.len(), "kernel input dimension mismatch");
+    let d2: f64 = a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
+    config.signal_variance * (-0.5 * d2 / (config.length_scale * config.length_scale)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn interpolates_observations() {
+        let xs = vec![vec![0.0], vec![0.5], vec![1.0]];
+        let ys = vec![1.0, -1.0, 2.0];
+        let gp = GaussianProcess::fit(&xs, &ys, &GpConfig::default()).unwrap();
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            let (mean, var) = gp.predict(x);
+            assert!((mean - y).abs() < 1e-3, "mean {mean} vs {y}");
+            assert!(var < 1e-3, "variance {var} should collapse at data");
+        }
+    }
+
+    #[test]
+    fn variance_grows_away_from_data() {
+        let xs = vec![vec![0.0]];
+        let ys = vec![0.0];
+        let gp = GaussianProcess::fit(&xs, &ys, &GpConfig::default()).unwrap();
+        let (_, v_near) = gp.predict(&[0.1]);
+        let (_, v_far) = gp.predict(&[3.0]);
+        assert!(v_far > v_near);
+    }
+
+    #[test]
+    fn far_prediction_reverts_to_mean() {
+        let xs = vec![vec![0.0], vec![1.0]];
+        let ys = vec![2.0, 4.0];
+        let gp = GaussianProcess::fit(&xs, &ys, &GpConfig::default()).unwrap();
+        let (mean, _) = gp.predict(&[100.0]);
+        assert!(
+            (mean - 3.0).abs() < 1e-6,
+            "should revert to mean 3, got {mean}"
+        );
+    }
+
+    #[test]
+    fn duplicate_points_need_noise() {
+        let xs = vec![vec![0.0], vec![0.0]];
+        let ys = vec![1.0, 1.0];
+        let mut config = GpConfig {
+            noise: 0.0,
+            ..GpConfig::default()
+        };
+        // Noise floor (1e-12) still allows the factorization to succeed
+        // or fail gracefully; with reasonable noise it must succeed.
+        config.noise = 1e-4;
+        assert!(GaussianProcess::fit(&xs, &ys, &config).is_ok());
+    }
+
+    #[test]
+    fn marginal_likelihood_prefers_matching_scale() {
+        // Data generated from a slowly varying function: a long length
+        // scale must have higher marginal likelihood than a tiny one.
+        let xs: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 * 0.5]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 0.3).sin()).collect();
+        let config = GpConfig {
+            noise: 1e-4,
+            ..GpConfig::default()
+        };
+        let long = GaussianProcess::fit(
+            &xs,
+            &ys,
+            &GpConfig {
+                length_scale: 2.0,
+                ..config.clone()
+            },
+        )
+        .unwrap();
+        let short = GaussianProcess::fit(
+            &xs,
+            &ys,
+            &GpConfig {
+                length_scale: 0.05,
+                ..config.clone()
+            },
+        )
+        .unwrap();
+        assert!(
+            long.log_marginal_likelihood(&ys) > short.log_marginal_likelihood(&ys),
+            "long scale should fit smooth data better"
+        );
+    }
+
+    #[test]
+    fn fit_auto_selects_a_reasonable_scale() {
+        let xs: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 * 0.5]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 0.3).sin()).collect();
+        let base = GpConfig {
+            noise: 1e-4,
+            ..GpConfig::default()
+        };
+        let auto = GaussianProcess::fit_auto(&xs, &ys, &base, &[0.05, 0.5, 2.0]).unwrap();
+        // The auto fit must interpolate at least as well as the worst
+        // candidate at an interior point.
+        let (mean, _) = auto.predict(&[1.25]);
+        let truth = (1.25f64 * 0.3).sin();
+        assert!(
+            (mean - truth).abs() < 0.05,
+            "auto fit mean {mean} vs {truth}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate")]
+    fn fit_auto_empty_candidates_panics() {
+        let _ = GaussianProcess::fit_auto(&[vec![0.0]], &[0.0], &GpConfig::default(), &[]);
+    }
+
+    proptest! {
+        /// Posterior variance is bounded by the prior signal variance.
+        #[test]
+        fn variance_bounded_by_prior(
+            pts in proptest::collection::vec(-3.0f64..3.0, 2..6),
+            q in -3.0f64..3.0,
+        ) {
+            let xs: Vec<Vec<f64>> = pts.iter().map(|p| vec![*p]).collect();
+            let ys: Vec<f64> = pts.iter().map(|p| p.sin()).collect();
+            let config = GpConfig { noise: 1e-4, ..GpConfig::default() };
+            if let Ok(gp) = GaussianProcess::fit(&xs, &ys, &config) {
+                let (_, var) = gp.predict(&[q]);
+                prop_assert!(var <= config.signal_variance + 1e-9);
+                prop_assert!(var >= 0.0);
+            }
+        }
+    }
+}

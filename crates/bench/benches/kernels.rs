@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks for the hot kernels: abstract transformers,
+//! PGD, GP posterior updates, and simplex solves.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use attack::Minimizer;
+use bayesopt::{GaussianProcess, GpConfig};
+use domains::{propagate, AbstractElement, Bounds, Interval, Powerset, Zonotope};
+use lp::{Constraint, LpProblem};
+
+fn bench_net() -> nn::Network {
+    nn::train::random_mlp(32, &[48, 48, 48], 10, 7)
+}
+
+fn bench_region() -> Bounds {
+    Bounds::linf_ball(&vec![0.25; 32], 0.08, Some((0.0, 1.0)))
+}
+
+fn abstract_transformers(c: &mut Criterion) {
+    let net = bench_net();
+    let region = bench_region();
+    let mut group = c.benchmark_group("propagate");
+    group.bench_function("interval", |b| {
+        b.iter(|| propagate(&net, Interval::from_bounds(&region)).margin_lower_bound(0))
+    });
+    group.bench_function("zonotope", |b| {
+        b.iter(|| propagate(&net, Zonotope::from_bounds(&region)).margin_lower_bound(0))
+    });
+    group.bench_function("powerset_zonotope_4", |b| {
+        b.iter(|| {
+            propagate(&net, Powerset::<Zonotope>::with_budget(&region, 4)).margin_lower_bound(0)
+        })
+    });
+    group.bench_function("symbolic_interval", |b| {
+        b.iter(|| domains::symbolic::propagate_symbolic(&net, &region).margin_lower_bound(0))
+    });
+    group.bench_function("deeppoly", |b| {
+        b.iter(|| domains::deeppoly::DeepPoly::analyze(&net, &region).margin_lower_bound(0))
+    });
+    group.finish();
+}
+
+fn pgd_attack(c: &mut Criterion) {
+    let net = bench_net();
+    let region = bench_region();
+    c.bench_function("pgd_minimize", |b| {
+        b.iter(|| Minimizer::new(3).minimize(&net, &region, 0).objective)
+    });
+}
+
+fn gp_posterior(c: &mut Criterion) {
+    let xs: Vec<Vec<f64>> = (0..40)
+        .map(|i| {
+            (0..10)
+                .map(|j| ((i * 7 + j * 3) % 11) as f64 / 11.0)
+                .collect()
+        })
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|x| x.iter().sum::<f64>().sin()).collect();
+    let config = GpConfig::default();
+    c.bench_function("gp_fit_predict", |b| {
+        b.iter_batched(
+            || (xs.clone(), ys.clone()),
+            |(xs, ys)| {
+                let gp = GaussianProcess::fit(&xs, &ys, &config).unwrap();
+                gp.predict(&[0.4; 10])
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn simplex_solve(c: &mut Criterion) {
+    c.bench_function("simplex_30x20", |b| {
+        b.iter(|| {
+            let n = 20;
+            let mut p = LpProblem::new(n);
+            for v in 0..n {
+                p.set_bounds(v, -1.0, 1.0);
+            }
+            p.set_objective((0..n).map(|i| ((i % 5) as f64) - 2.0).collect());
+            for r in 0..30 {
+                let coeffs: Vec<f64> = (0..n)
+                    .map(|i| (((r * 13 + i * 7) % 9) as f64 - 4.0) / 4.0)
+                    .collect();
+                p.add_constraint(Constraint::le(coeffs, 2.0));
+            }
+            p.solve()
+        })
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = abstract_transformers, pgd_attack, gp_posterior, simplex_solve
+}
+criterion_main!(kernels);

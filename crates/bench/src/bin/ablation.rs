@@ -1,0 +1,49 @@
+//! Ablation study: isolating each ingredient of Charon's synergy.
+//!
+//! Four configurations on the same suite:
+//! * full Charon (policy-selected domains + gradient counterexample search),
+//! * Charon without counterexample search (RQ2),
+//! * Charon with a fixed plain-zonotope domain (no domain selection, RQ3),
+//! * Charon with a fixed interval domain.
+
+use bench::{build_suite, print_summary_row, run_suite, Scale, Summary, Tool, ToolKind};
+use data::zoo::ZooNetwork;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "== Ablation study ({} props/network, {:?} timeout) ==",
+        scale.props_per_network, scale.timeout
+    );
+
+    let configs = [
+        ToolKind::Charon,
+        ToolKind::CharonNoCex,
+        ToolKind::CharonFixedZonotope,
+        ToolKind::CharonFixedInterval,
+        ToolKind::CharonDeepPoly,
+        ToolKind::CharonLipschitz,
+    ];
+
+    for which in [
+        ZooNetwork::Mnist3x32,
+        ZooNetwork::Mnist6x32,
+        ZooNetwork::Cifar3x32,
+    ] {
+        let suite = build_suite(which, &scale);
+        println!(
+            "\n[{}] ({} benchmarks)",
+            suite.which.name(),
+            suite.benchmarks.len()
+        );
+        for kind in configs {
+            let runs = run_suite(&Tool::new(kind), &suite, &scale);
+            print_summary_row(kind.name(), &Summary::from_runs(&runs));
+        }
+    }
+
+    println!("\nReading guide:");
+    println!("  Charon-DeepPoly: the §9 'broader domains' extension as a fixed choice.");
+    println!("  Charon-NoCex:  falsified count should drop sharply (RQ2).");
+    println!("  Charon-FixedI: verified count should drop / timeouts rise (RQ3).");
+}

@@ -1,0 +1,66 @@
+//! Robustness-radius sweep: verified / falsified fractions as the L∞
+//! perturbation budget ε grows.
+//!
+//! This is the classic "robustness curve" view of a verifier: at tiny ε
+//! everything verifies, at large ε everything falsifies, and the
+//! interesting band in between is where tools differentiate. The paper
+//! uses brightening attacks instead of ε-balls (§7.1); this binary adds
+//! the ε-ball view over the same networks as an extension experiment.
+
+use bench::{run_suite, NetworkSuite, Scale, Summary, Tool, ToolKind};
+use data::properties::linf_property;
+use data::zoo::{build, ZooConfig, ZooNetwork};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "== epsilon sweep on mnist-3x32 ({} props per epsilon, {:?} timeout) ==",
+        scale.props_per_network, scale.timeout
+    );
+
+    let config = ZooConfig {
+        seed: scale.seed,
+        ..ZooConfig::default()
+    };
+    let (net, accuracy) = build(ZooNetwork::Mnist3x32, &config);
+    println!("network accuracy: {accuracy:.2}\n");
+    let eval = ZooNetwork::Mnist3x32.dataset(scale.props_per_network + 20, 4242);
+
+    println!(
+        "{:>8} | {:>22} | {:>22}",
+        "epsilon", "Charon (ver/fal/to)", "AI2-Zonotope (ver/unk)"
+    );
+    for eps in [0.005, 0.01, 0.02, 0.04, 0.08, 0.16] {
+        let benchmarks: Vec<data::properties::Benchmark> = eval
+            .images
+            .iter()
+            .zip(eval.labels.iter())
+            .filter(|(img, &label)| net.classify(img) == label)
+            .take(scale.props_per_network)
+            .enumerate()
+            .map(|(i, (img, _))| data::properties::Benchmark {
+                property: linf_property(&net, img, eps),
+                image_index: i,
+                tau: eps, // reuse the provenance slot for ε
+            })
+            .collect();
+        let suite = NetworkSuite {
+            which: ZooNetwork::Mnist3x32,
+            net: net.clone(),
+            accuracy,
+            benchmarks,
+        };
+        let charon = Summary::from_runs(&run_suite(&Tool::new(ToolKind::Charon), &suite, &scale));
+        let ai2 = Summary::from_runs(&run_suite(
+            &Tool::new(ToolKind::Ai2Zonotope),
+            &suite,
+            &scale,
+        ));
+        println!(
+            "{eps:>8.3} | {:>7}/{:>3}/{:>3}        | {:>7}/{:>3}",
+            charon.verified, charon.falsified, charon.timeout, ai2.verified, ai2.unknown
+        );
+    }
+    println!("\nExpected shape: verified monotonically falls and falsified rises");
+    println!("with epsilon; the AI2 gap is widest in the transition band.");
+}

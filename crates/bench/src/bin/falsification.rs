@@ -1,0 +1,58 @@
+//! §7.3: impact of counterexample search — falsification counts.
+//!
+//! The paper reports that of 585 fully-connected benchmarks, Charon
+//! falsifies 123, Reluplex falsifies 1, and ReluVal falsifies 0. This
+//! binary reproduces the comparison (plus the Charon-NoCex ablation,
+//! which shows how much of Charon's falsification power comes from the
+//! gradient-based search).
+
+use baselines::ToolVerdict;
+use bench::{build_suite, run_suite, Scale, Tool, ToolKind};
+use data::zoo::ZooNetwork;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "== Falsification comparison (§7.3) ({} props, {:?} timeout) ==",
+        scale.props_per_network, scale.timeout
+    );
+
+    let tools = [
+        ToolKind::Charon,
+        ToolKind::CharonNoCex,
+        ToolKind::Reluplex,
+        ToolKind::ReluVal,
+    ];
+    let mut falsified = vec![0usize; tools.len()];
+    let mut total = 0usize;
+
+    for which in ZooNetwork::FULLY_CONNECTED {
+        let suite = build_suite(which, &scale);
+        total += suite.benchmarks.len();
+        for (t, kind) in tools.iter().enumerate() {
+            let runs = run_suite(&Tool::new(*kind), &suite, &scale);
+            falsified[t] += runs
+                .iter()
+                .filter(|r| matches!(r.verdict, ToolVerdict::Falsified(_)))
+                .count();
+        }
+    }
+
+    println!("\nBenchmarks: {total}");
+    println!(
+        "  {:<14} falsified={:>4}  (paper: 123/585)",
+        "Charon", falsified[0]
+    );
+    println!(
+        "  {:<14} falsified={:>4}  (ablation: no gradient search)",
+        "Charon-NoCex", falsified[1]
+    );
+    println!(
+        "  {:<14} falsified={:>4}  (paper: 1/585)",
+        "Reluplex", falsified[2]
+    );
+    println!(
+        "  {:<14} falsified={:>4}  (paper: 0/585)",
+        "ReluVal", falsified[3]
+    );
+}

@@ -1,0 +1,81 @@
+//! Figure 6: summary of results for AI2 and Charon across all benchmarks.
+//!
+//! Reproduces the aggregate verified / falsified / timeout / unknown
+//! percentages over the full 7-network suite for Charon, AI2-Zonotope,
+//! and AI2-Bounded64.
+
+use bench::{build_suite, print_summary_row, run_suite, write_csv, Scale, Summary, Tool, ToolKind};
+use data::zoo::ZooNetwork;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "== Figure 6: summary over all networks ({} props/network, {:?} timeout) ==",
+        scale.props_per_network, scale.timeout
+    );
+
+    let tools = [
+        ToolKind::Charon,
+        ToolKind::Ai2Zonotope,
+        ToolKind::Ai2Bounded64,
+    ];
+    let mut totals: Vec<Summary> = vec![Summary::default(); tools.len()];
+    let mut csv_rows: Vec<(String, usize, bench::ToolRun)> = Vec::new();
+
+    for which in ZooNetwork::ALL {
+        let suite = build_suite(which, &scale);
+        println!(
+            "\n[{}] ({}; {} benchmarks, test accuracy {:.2})",
+            suite.which.name(),
+            suite.which.paper_name(),
+            suite.benchmarks.len(),
+            suite.accuracy
+        );
+        for (t, kind) in tools.iter().enumerate() {
+            let runs = run_suite(&Tool::new(*kind), &suite, &scale);
+            let summary = Summary::from_runs(&runs);
+            print_summary_row(kind.name(), &summary);
+            merge(&mut totals[t], &summary);
+            for (i, run) in runs.into_iter().enumerate() {
+                csv_rows.push((format!("{}/{}", kind.name(), which.name()), i, run));
+            }
+        }
+    }
+    let borrowed: Vec<(String, usize, &bench::ToolRun)> = csv_rows
+        .iter()
+        .map(|(t, i, r)| (t.clone(), *i, r))
+        .collect();
+    if let Some(path) = write_csv("fig06", &borrowed) {
+        println!("\n(raw results written to {})", path.display());
+    }
+
+    println!("\n== Aggregate (paper Figure 6) ==");
+    for (t, kind) in tools.iter().enumerate() {
+        print_summary_row(kind.name(), &totals[t]);
+    }
+    let charon = &totals[0];
+    let bounded = &totals[1 + 1];
+    let zonotope = &totals[1];
+    if bounded.solved() > 0 {
+        println!(
+            "\nCharon solves {:.2}x the benchmarks of AI2-Bounded64 (paper: +59.7%)",
+            charon.solved() as f64 / bounded.solved() as f64
+        );
+    }
+    if zonotope.solved() > 0 {
+        println!(
+            "Charon solves {:.2}x the benchmarks of AI2-Zonotope (paper: +84.7%)",
+            charon.solved() as f64 / zonotope.solved() as f64
+        );
+    }
+}
+
+fn merge(into: &mut Summary, from: &Summary) {
+    into.verified += from.verified;
+    into.falsified += from.falsified;
+    into.timeout += from.timeout;
+    into.unknown += from.unknown;
+    into.unsupported += from.unsupported;
+    into.total_time += from.total_time;
+    into.solved_time += from.solved_time;
+}

@@ -1,0 +1,49 @@
+//! Figures 7–13: per-network cactus plots (cumulative time vs. benchmarks
+//! solved) for Charon, AI2-Zonotope, and AI2-Bounded64.
+//!
+//! Each figure in the paper covers one network; this binary prints one
+//! cactus series per tool per network. A series extending further to the
+//! right (more entries) means more benchmarks solved; lower cumulative
+//! values mean faster solving.
+
+use bench::{build_suite, print_cactus, run_suite, Scale, Tool, ToolKind};
+use data::zoo::ZooNetwork;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "== Figures 7-13: cactus plots per network ({} props, {:?} timeout) ==",
+        scale.props_per_network, scale.timeout
+    );
+
+    let figures = [
+        (7, ZooNetwork::Mnist3x32),
+        (8, ZooNetwork::Mnist6x32),
+        (9, ZooNetwork::Mnist9x64),
+        (10, ZooNetwork::Cifar3x32),
+        (11, ZooNetwork::Cifar6x32),
+        (12, ZooNetwork::Cifar9x32),
+        (13, ZooNetwork::ConvSmall),
+    ];
+
+    for (fig, which) in figures {
+        let suite = build_suite(which, &scale);
+        println!(
+            "\n[Figure {fig}] {} ({}; {} benchmarks)",
+            suite.which.name(),
+            suite.which.paper_name(),
+            suite.benchmarks.len()
+        );
+        for kind in [
+            ToolKind::Charon,
+            ToolKind::Ai2Zonotope,
+            ToolKind::Ai2Bounded64,
+        ] {
+            // Paper: AI2-Bounded64 times out on every conv benchmark and
+            // is omitted from Figure 13; we still run it and let the
+            // series come out (near-)empty.
+            let runs = run_suite(&Tool::new(kind), &suite, &scale);
+            print_cactus(kind.name(), &runs);
+        }
+    }
+}

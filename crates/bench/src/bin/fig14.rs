@@ -1,0 +1,72 @@
+//! Figure 14: comparison with the complete tools (ReluVal, Reluplex) on
+//! the fully-connected benchmarks.
+//!
+//! Headline numbers in the paper: Charon solves 2.6x more benchmarks than
+//! ReluVal and 16.6x more than Reluplex, and the set of benchmarks solved
+//! by Charon is a strict superset of ReluVal's.
+
+use baselines::ToolVerdict;
+use bench::{build_suite, print_cactus, run_suite, Scale, Summary, Tool, ToolKind, ToolRun};
+use data::zoo::ZooNetwork;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "== Figure 14: complete tools on fully-connected networks ({} props, {:?} timeout) ==",
+        scale.props_per_network, scale.timeout
+    );
+
+    let tools = [ToolKind::Charon, ToolKind::ReluVal, ToolKind::Reluplex];
+    let mut all_runs: Vec<Vec<ToolRun>> = vec![Vec::new(); tools.len()];
+
+    for which in ZooNetwork::FULLY_CONNECTED {
+        let suite = build_suite(which, &scale);
+        println!(
+            "\n[{}] ({} benchmarks)",
+            suite.which.name(),
+            suite.benchmarks.len()
+        );
+        for (t, kind) in tools.iter().enumerate() {
+            let runs = run_suite(&Tool::new(*kind), &suite, &scale);
+            print_cactus(kind.name(), &runs);
+            all_runs[t].extend(runs);
+        }
+    }
+
+    println!("\n== Aggregate cactus (paper Figure 14) ==");
+    let mut solved = vec![0usize; tools.len()];
+    for (t, kind) in tools.iter().enumerate() {
+        print_cactus(kind.name(), &all_runs[t]);
+        solved[t] = Summary::from_runs(&all_runs[t]).solved();
+    }
+    if solved[1] > 0 {
+        println!(
+            "\nCharon solves {:.2}x the benchmarks of ReluVal  (paper: 2.6x)",
+            solved[0] as f64 / solved[1] as f64
+        );
+    }
+    if solved[2] > 0 {
+        println!(
+            "Charon solves {:.2}x the benchmarks of Reluplex (paper: 16.6x)",
+            solved[0] as f64 / solved[2] as f64
+        );
+    }
+
+    // Superset check: every benchmark ReluVal solves, Charon solves too.
+    let mut reluval_only = 0usize;
+    for (c, r) in all_runs[0].iter().zip(all_runs[1].iter()) {
+        if r.verdict.is_decided() && !c.verdict.is_decided() {
+            reluval_only += 1;
+        }
+    }
+    println!(
+        "Benchmarks solved by ReluVal but not Charon: {reluval_only} (paper: 0 — strict superset)"
+    );
+
+    // Sanity: ReluVal should never falsify.
+    let reluval_falsified = all_runs[1]
+        .iter()
+        .filter(|r| matches!(r.verdict, ToolVerdict::Falsified(_)))
+        .count();
+    println!("ReluVal falsifications: {reluval_falsified} (expected 0)");
+}

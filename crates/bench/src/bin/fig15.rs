@@ -1,0 +1,62 @@
+//! Figure 15: ReluVal on the benchmarks Charon verifies.
+//!
+//! This isolates the value of the *learned* refinement strategy (RQ3):
+//! on the subset of benchmarks where the property holds and Charon proves
+//! it, what fraction can ReluVal (static, hand-crafted strategy) also
+//! prove? The paper reports 35–70% depending on the network.
+
+use baselines::ToolVerdict;
+use bench::{build_suite, run_suite, Scale, Tool, ToolKind};
+use data::zoo::ZooNetwork;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "== Figure 15: ReluVal on Charon-verified benchmarks ({} props, {:?} timeout) ==",
+        scale.props_per_network, scale.timeout
+    );
+
+    let mut grand_charon = 0usize;
+    let mut grand_reluval = 0usize;
+
+    for which in ZooNetwork::FULLY_CONNECTED {
+        let suite = build_suite(which, &scale);
+        let charon_runs = run_suite(&Tool::new(ToolKind::Charon), &suite, &scale);
+        let reluval_runs = run_suite(&Tool::new(ToolKind::ReluVal), &suite, &scale);
+
+        let mut charon_verified = 0usize;
+        let mut reluval_also = 0usize;
+        for (c, r) in charon_runs.iter().zip(reluval_runs.iter()) {
+            if c.verdict == ToolVerdict::Verified {
+                charon_verified += 1;
+                if r.verdict == ToolVerdict::Verified {
+                    reluval_also += 1;
+                }
+            }
+        }
+        grand_charon += charon_verified;
+        grand_reluval += reluval_also;
+        let pct = if charon_verified > 0 {
+            100.0 * reluval_also as f64 / charon_verified as f64
+        } else {
+            f64::NAN
+        };
+        println!(
+            "  {:<12} Charon-verified={:>3}  ReluVal-also={:>3}  ({pct:.0}%)",
+            suite.which.name(),
+            charon_verified,
+            reluval_also,
+        );
+    }
+
+    if grand_charon > 0 {
+        println!(
+            "\nOverall: ReluVal solves {:.0}% of Charon-verified benchmarks (paper: 35-70% per network)",
+            100.0 * grand_reluval as f64 / grand_charon as f64
+        );
+    } else {
+        println!(
+            "\nNo benchmarks verified by Charon at this scale; increase CHARON_BENCH_TIMEOUT_MS."
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Scaling study: how solve time and decision rate change with network
+//! depth for each tool.
+//!
+//! The paper's Figures 7–13 show this indirectly (3x100 vs 6x100 vs
+//! 9x200); this binary isolates the trend on a single dataset family by
+//! sweeping depth at fixed width. The expected shape: AI2's single-pass
+//! cost grows mildly but its precision collapses with depth; Reluplex's
+//! cost explodes with unstable-neuron count; Charon degrades gracefully
+//! because counterexample search is depth-insensitive and splitting
+//! regains precision.
+
+use std::time::Instant;
+
+use bench::{run_suite, NetworkSuite, Scale, Summary, Tool, ToolKind};
+use data::properties::brightening_suite;
+use data::zoo::ZooNetwork;
+use nn::train::{random_mlp, train_classifier, TrainConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "== Scaling study: depth sweep at width 32 ({} props, {:?} timeout) ==",
+        scale.props_per_network, scale.timeout
+    );
+
+    let data = data::images::mnist_like(500, scale.seed);
+    let (train, eval) = data.split(400);
+
+    for depth in [2usize, 4, 6, 8] {
+        let t = Instant::now();
+        let mut net = random_mlp(train.input_dim(), &vec![32; depth - 1], 10, scale.seed);
+        let tc = TrainConfig {
+            epochs: 40,
+            seed: scale.seed,
+            ..TrainConfig::default()
+        };
+        let acc = train_classifier(&mut net, &train.images, &train.labels, &tc);
+        let benchmarks =
+            brightening_suite(&net, &eval, &[0.75, 0.6, 0.45], scale.props_per_network);
+        println!(
+            "\n[depth {depth}] trained in {:.1?} (acc {acc:.2}); {} benchmarks",
+            t.elapsed(),
+            benchmarks.len()
+        );
+        let suite = NetworkSuite {
+            which: ZooNetwork::Mnist3x32, // label only; net is custom
+            net,
+            accuracy: acc,
+            benchmarks,
+        };
+        for kind in [
+            ToolKind::Charon,
+            ToolKind::Ai2Zonotope,
+            ToolKind::ReluVal,
+            ToolKind::Reluplex,
+        ] {
+            let runs = run_suite(&Tool::new(kind), &suite, &scale);
+            let s = Summary::from_runs(&runs);
+            println!(
+                "  {:<14} solved={:>3}/{:<3} (verified {:>3} falsified {:>3}) solved_time={:.2}s",
+                kind.name(),
+                s.solved(),
+                s.total(),
+                s.verified,
+                s.falsified,
+                s.solved_time.as_secs_f64()
+            );
+        }
+    }
+}

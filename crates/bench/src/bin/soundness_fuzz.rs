@@ -1,0 +1,105 @@
+//! Randomized soundness fuzzing: cross-check Charon against concrete
+//! sampling, gradient attack, and the complete solver on random networks
+//! and properties. A reproduction of a verifier is only as good as its
+//! soundness story; this binary is the confidence tool.
+//!
+//! Environment: `CHARON_FUZZ_CASES` (default 50), `CHARON_BENCH_SEED`.
+
+use std::time::{Duration, Instant};
+
+use charon::{RobustnessProperty, Verdict, Verifier};
+use complete::{CompleteSolver, Decision};
+use domains::Bounds;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let cases: usize = std::env::var("CHARON_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50);
+    let seed: u64 = std::env::var("CHARON_BENCH_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    println!("== soundness fuzz: {cases} random cases (seed {seed}) ==");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut verified = 0usize;
+    let mut refuted = 0usize;
+    let mut budget = 0usize;
+    let mut solver_checked = 0usize;
+    let mut discrepancies = 0usize;
+    let start = Instant::now();
+
+    for case in 0..cases {
+        let inputs = rng.gen_range(2..5);
+        let width = rng.gen_range(4..10);
+        let depth = rng.gen_range(1..4);
+        let classes = rng.gen_range(2..5);
+        let net = nn::train::random_mlp(inputs, &vec![width; depth], classes, seed ^ case as u64);
+        let center: Vec<f64> = (0..inputs).map(|_| rng.gen_range(-0.7..0.7)).collect();
+        let eps = rng.gen_range(0.02..0.6);
+        let region = Bounds::linf_ball(&center, eps, None);
+        let target = net.classify(&center);
+        let property = RobustnessProperty::new(region.clone(), target);
+
+        let mut verifier = Verifier::default();
+        verifier.config_mut().timeout = Duration::from_secs(10);
+        let verdict = verifier.verify(&net, &property);
+
+        match &verdict {
+            Verdict::Verified => {
+                verified += 1;
+                // 1. Dense sampling must find no violation.
+                for _ in 0..500 {
+                    let x = region.sample(&mut rng);
+                    if net.classify(&x) != target {
+                        discrepancies += 1;
+                        println!("case {case}: UNSOUND — sampled violation in verified region");
+                        break;
+                    }
+                }
+                // 2. Independent attack with a different seed.
+                let attack = attack::Minimizer::new(!seed ^ case as u64)
+                    .with_restarts(4)
+                    .minimize(&net, &region, target);
+                if attack.objective <= 0.0 {
+                    discrepancies += 1;
+                    println!("case {case}: UNSOUND — attack found violation after Verified");
+                }
+                // 3. Complete solver agreement (when it finishes).
+                let deadline = Instant::now() + Duration::from_secs(5);
+                match CompleteSolver::default().decide(&net, &region, target, deadline) {
+                    Decision::Proved => solver_checked += 1,
+                    Decision::Violated(_) => {
+                        discrepancies += 1;
+                        println!("case {case}: UNSOUND — solver refutes a Verified property");
+                    }
+                    Decision::Budget => {}
+                }
+            }
+            Verdict::Refuted(cex) => {
+                refuted += 1;
+                if !region.contains(&cex.point) {
+                    discrepancies += 1;
+                    println!("case {case}: BAD CEX — point outside region");
+                }
+                if net.objective(&cex.point, target) > 1e-9 {
+                    discrepancies += 1;
+                    println!("case {case}: BAD CEX — not a δ-counterexample");
+                }
+            }
+            Verdict::ResourceLimit => budget += 1,
+        }
+    }
+
+    println!(
+        "\nverified={verified} refuted={refuted} budget={budget} solver_confirmed={solver_checked}"
+    );
+    println!("discrepancies={discrepancies} in {:?}", start.elapsed());
+    if discrepancies > 0 {
+        std::process::exit(1);
+    }
+    println!("all checks passed");
+}

@@ -1,0 +1,57 @@
+//! §6 training: learn a verification policy on ACAS-Xu-like properties
+//! with Bayesian optimization, then evaluate the learned policy against
+//! the hand-initialized default on an unseen benchmark suite.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bench::{build_suite, run_suite, Scale, Summary, Tool, ToolKind};
+use charon::train::{train_policy, TrainConfig};
+use data::zoo::ZooNetwork;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("== Policy training on ACAS-like properties (§6) ==");
+
+    let (acas_net, acc) = data::acas::build_network(scale.seed);
+    println!("ACAS-like policy network trained (accuracy {acc:.2})");
+    let problems = data::acas::training_properties(&acas_net, scale.seed);
+    println!(
+        "Training problems: {} (paper: 12 ACAS Xu properties)",
+        problems.len()
+    );
+
+    let config = TrainConfig {
+        time_limit: Duration::from_millis(400),
+        seed: scale.seed,
+        ..TrainConfig::default()
+    };
+    let outcome = train_policy(&problems, &config);
+    println!(
+        "Bayesian optimization: {} evaluations, best score {:.3}s vs default {:.3}s",
+        outcome.evaluations, outcome.score, outcome.baseline_score
+    );
+
+    // Deployment: compare learned vs default policy on an unseen suite.
+    println!("\n== Deployment on an unseen network (mnist-3x32 brightening suite) ==");
+    let suite = build_suite(ZooNetwork::Mnist3x32, &scale);
+    let learned = Tool::charon_with_policy(Arc::new(outcome.policy));
+    let default = Tool::new(ToolKind::Charon);
+
+    let learned_runs = run_suite(&learned, &suite, &scale);
+    let default_runs = run_suite(&default, &suite, &scale);
+    let ls = Summary::from_runs(&learned_runs);
+    let ds = Summary::from_runs(&default_runs);
+    println!(
+        "  learned policy:  solved {}/{} in {:.2}s",
+        ls.solved(),
+        ls.total(),
+        ls.solved_time.as_secs_f64()
+    );
+    println!(
+        "  default policy:  solved {}/{} in {:.2}s",
+        ds.solved(),
+        ds.total(),
+        ds.solved_time.as_secs_f64()
+    );
+}

@@ -1,0 +1,63 @@
+//! Charon: a sound and δ-complete decision procedure for neural-network
+//! robustness, combining gradient-based counterexample search with
+//! abstraction-based proof search.
+//!
+//! This crate is the paper's primary contribution (Algorithm 1 plus the
+//! learned verification policy of §4):
+//!
+//! * [`RobustnessProperty`] — a property `(I, K)`: every input in the
+//!   region `I` must be classified as `K`.
+//! * [`Verifier`] — the `Verify` procedure: alternate projected gradient
+//!   descent (falsification) with abstract interpretation (verification),
+//!   splitting the input region under the guidance of a
+//!   [`policy::Policy`] when neither succeeds.
+//! * [`policy`] — verification policies: the learned [`policy::LinearPolicy`]
+//!   `π_θ = (π^α_θ, π^I_θ)` of Eq. 3 and a hand-crafted baseline for
+//!   ablations.
+//! * [`train`] — the training phase (§4.2): Bayesian optimization of the
+//!   policy parameters θ against a corpus of training problems.
+//! * [`parallel`] — a multi-threaded region solver, mirroring the
+//!   parallelization described in §6.
+//! * [`portfolio`] — races several policies on the same property, taking
+//!   the first decisive verdict (an extension).
+//! * [`report`] — certified-accuracy measurement over labelled point sets
+//!   (the standard deployment-facing metric).
+//!
+//! # Guarantees
+//!
+//! The verifier is *sound*: `Verdict::Verified` implies every point of the
+//! region is classified as the target class (assuming the abstract domains
+//! are sound, which this workspace tests extensively). It is *δ-complete*
+//! (Theorem 5.4): if the property is not verified within the resource
+//! budget, the result is either a δ-counterexample (a point whose score
+//! margin is at most δ, Definition 5.3) or an explicit resource-limit
+//! verdict.
+//!
+//! # Examples
+//!
+//! ```
+//! use charon::{RobustnessProperty, Verifier, Verdict};
+//! use domains::Bounds;
+//! use nn::samples;
+//!
+//! let net = samples::xor_network();
+//! // Example 3.1: all of [0.3, 0.7]^2 must be classified 1.
+//! let property = RobustnessProperty::new(
+//!     Bounds::new(vec![0.3, 0.3], vec![0.7, 0.7]),
+//!     1,
+//! );
+//! let verifier = Verifier::default();
+//! assert!(matches!(verifier.verify(&net, &property), Verdict::Verified));
+//! ```
+
+mod property;
+mod verify;
+
+pub mod parallel;
+pub mod policy;
+pub mod portfolio;
+pub mod report;
+pub mod train;
+
+pub use property::RobustnessProperty;
+pub use verify::{Counterexample, Verdict, Verifier, VerifierConfig, VerifyStats};

@@ -1,0 +1,158 @@
+//! Portfolio verification: race several policies, first decision wins.
+//!
+//! Different policies shine on different properties (that is the whole
+//! premise of §4). When spare cores are available, a *portfolio* sidesteps
+//! the selection problem at deployment time: run one verifier per policy
+//! concurrently on the same property, take the first decisive verdict,
+//! and cancel the rest cooperatively.
+//!
+//! The portfolio is sound because each member is sound; it is δ-complete
+//! whenever at least one member decides within the budget.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use nn::Network;
+use parking_lot::Mutex;
+
+use crate::policy::Policy;
+use crate::verify::{Verdict, Verifier, VerifierConfig};
+use crate::RobustnessProperty;
+
+/// A set of policies raced against each other on every property.
+#[derive(Clone)]
+pub struct PortfolioVerifier {
+    policies: Vec<Arc<dyn Policy>>,
+    config: VerifierConfig,
+}
+
+impl PortfolioVerifier {
+    /// Creates a portfolio from a non-empty list of policies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policies` is empty.
+    pub fn new(policies: Vec<Arc<dyn Policy>>, config: VerifierConfig) -> Self {
+        assert!(!policies.is_empty(), "portfolio needs at least one policy");
+        PortfolioVerifier { policies, config }
+    }
+
+    /// Number of member policies.
+    pub fn len(&self) -> usize {
+        self.policies.len()
+    }
+
+    /// Whether the portfolio has no members (never true after
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.policies.is_empty()
+    }
+
+    /// Verifies a property with all members concurrently; the first
+    /// decisive verdict cancels the others.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the property's dimensions mismatch the network.
+    pub fn verify(&self, net: &Network, property: &RobustnessProperty) -> Verdict {
+        let cancel = Arc::new(AtomicBool::new(false));
+        let winner: Mutex<Option<Verdict>> = Mutex::new(None);
+
+        crossbeam::scope(|scope| {
+            for policy in &self.policies {
+                let mut config = self.config.clone();
+                config.cancel = Some(Arc::clone(&cancel));
+                let policy = Arc::clone(policy);
+                let cancel = &cancel;
+                let winner = &winner;
+                scope.spawn(move |_| {
+                    let verifier = Verifier::new(policy, config);
+                    let verdict = verifier.verify(net, property);
+                    match verdict {
+                        Verdict::Verified | Verdict::Refuted(_) => {
+                            let mut slot = winner.lock();
+                            if slot.is_none() {
+                                *slot = Some(verdict);
+                            }
+                            cancel.store(true, Ordering::Relaxed);
+                        }
+                        Verdict::ResourceLimit => {}
+                    }
+                });
+            }
+        })
+        .expect("portfolio worker panicked");
+
+        winner.into_inner().unwrap_or(Verdict::ResourceLimit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{DomainSelection, FixedPolicy, LinearPolicy};
+    use domains::{Bounds, DomainChoice};
+    use std::time::Duration;
+
+    fn config() -> VerifierConfig {
+        VerifierConfig {
+            timeout: Duration::from_secs(15),
+            ..VerifierConfig::default()
+        }
+    }
+
+    fn mixed_portfolio() -> PortfolioVerifier {
+        PortfolioVerifier::new(
+            vec![
+                Arc::new(LinearPolicy::default()),
+                Arc::new(FixedPolicy::new(DomainChoice::interval())),
+                Arc::new(FixedPolicy::with_selection(DomainSelection::DeepPoly)),
+            ],
+            config(),
+        )
+    }
+
+    #[test]
+    fn portfolio_verifies_and_refutes() {
+        let net = nn::samples::xor_network();
+        let robust = RobustnessProperty::new(Bounds::new(vec![0.3, 0.3], vec![0.7, 0.7]), 1);
+        assert_eq!(mixed_portfolio().verify(&net, &robust), Verdict::Verified);
+
+        let broken = RobustnessProperty::new(Bounds::new(vec![0.0, 0.0], vec![1.0, 1.0]), 1);
+        match mixed_portfolio().verify(&net, &broken) {
+            Verdict::Refuted(cex) => {
+                assert!(broken.region().contains(&cex.point));
+                assert!(cex.objective <= 1e-9);
+            }
+            other => panic!("expected refutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn portfolio_beats_its_weakest_member() {
+        // A portfolio containing an interval-only policy still verifies
+        // Example 2.3, which intervals alone cannot prove without many
+        // splits, because the stronger members win the race.
+        let net = nn::samples::example_2_3_network();
+        let prop = RobustnessProperty::new(Bounds::new(vec![0.0, 0.0], vec![1.0, 1.0]), 1);
+        assert_eq!(mixed_portfolio().verify(&net, &prop), Verdict::Verified);
+    }
+
+    #[test]
+    fn single_member_portfolio_matches_sequential() {
+        let net = nn::samples::example_2_2_network();
+        let prop = RobustnessProperty::new(Bounds::new(vec![-1.0], vec![2.0]), 1);
+        let solo = PortfolioVerifier::new(vec![Arc::new(LinearPolicy::default())], config());
+        let sequential = Verifier::new(Arc::new(LinearPolicy::default()), config());
+        assert_eq!(
+            solo.verify(&net, &prop).is_refuted(),
+            sequential.verify(&net, &prop).is_refuted()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one policy")]
+    fn empty_portfolio_panics() {
+        PortfolioVerifier::new(vec![], config());
+    }
+}

@@ -1,0 +1,661 @@
+//! The `Verify` procedure (Algorithm 1) with the δ-complete modification
+//! (Eq. 4).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use attack::Minimizer;
+use domains::{analyze, Bounds};
+use nn::Network;
+
+use crate::policy::{DomainSelection, LinearPolicy, Policy, PolicyContext};
+use crate::RobustnessProperty;
+
+/// A δ-counterexample (Definition 5.3): a point whose score margin for the
+/// target class is at most δ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Counterexample {
+    /// The input point, always inside the property's region.
+    pub point: Vec<f64>,
+    /// The objective value `F(point)`; at most δ, and `<= 0` for a true
+    /// counterexample.
+    pub objective: f64,
+}
+
+impl Counterexample {
+    /// Whether this is a true counterexample (misclassification), not
+    /// merely a δ-near-violation.
+    pub fn is_true_violation(&self) -> bool {
+        self.objective <= 0.0
+    }
+}
+
+/// Result of running the verifier on a property.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Every point in the region is classified as the target class.
+    Verified,
+    /// A δ-counterexample was found.
+    Refuted(Counterexample),
+    /// The time or region budget was exhausted before a decision.
+    ResourceLimit,
+}
+
+impl Verdict {
+    /// Whether the verdict is [`Verdict::Verified`].
+    pub fn is_verified(&self) -> bool {
+        matches!(self, Verdict::Verified)
+    }
+
+    /// Whether the verdict is [`Verdict::Refuted`].
+    pub fn is_refuted(&self) -> bool {
+        matches!(self, Verdict::Refuted(_))
+    }
+}
+
+/// Configuration of the [`Verifier`].
+#[derive(Debug, Clone)]
+pub struct VerifierConfig {
+    /// The δ of the δ-complete check `F(x*) <= δ` (Eq. 4).
+    pub delta: f64,
+    /// Wall-clock budget for one property.
+    pub timeout: Duration,
+    /// Maximum number of regions processed (safety cap, counts towards
+    /// `ResourceLimit`).
+    pub max_regions: usize,
+    /// Random restarts for each counterexample search.
+    pub restarts: usize,
+    /// Base RNG seed (kept fixed for reproducibility).
+    pub seed: u64,
+    /// If false, skip gradient-based counterexample search entirely (the
+    /// RQ2 ablation); refutation then only happens through the δ-check at
+    /// region centers.
+    pub counterexample_search: bool,
+    /// If true, regions whose center margin already exceeds the network's
+    /// Lipschitz bound times the region radius are verified without any
+    /// abstract interpretation (a FastLin-style pre-filter; an extension
+    /// beyond the paper, off by default).
+    pub lipschitz_prefilter: bool,
+    /// Cooperative cancellation flag: when set (by e.g. the portfolio
+    /// runner), the verifier stops at the next region boundary with
+    /// [`Verdict::ResourceLimit`].
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+}
+
+impl Default for VerifierConfig {
+    fn default() -> Self {
+        VerifierConfig {
+            delta: 1e-9,
+            timeout: Duration::from_secs(60),
+            max_regions: 200_000,
+            restarts: 2,
+            seed: 0,
+            counterexample_search: true,
+            lipschitz_prefilter: false,
+            cancel: None,
+        }
+    }
+}
+
+/// Statistics collected during one verification run.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyStats {
+    /// Regions popped from the worklist.
+    pub regions: usize,
+    /// Regions discharged by abstract interpretation.
+    pub verified_regions: usize,
+    /// Abstract-interpretation calls.
+    pub analyze_calls: usize,
+    /// Gradient-based minimization runs.
+    pub attacks: usize,
+    /// Region splits performed.
+    pub splits: usize,
+    /// Deepest recursion depth reached.
+    pub max_depth: usize,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+    /// Uses of each abstract domain, keyed by `(base, disjuncts)` display
+    /// string.
+    pub domain_uses: Vec<(String, usize)>,
+}
+
+impl VerifyStats {
+    fn record_domain(&mut self, choice: DomainSelection) {
+        let key = choice.to_string();
+        if let Some(entry) = self.domain_uses.iter_mut().find(|(k, _)| *k == key) {
+            entry.1 += 1;
+        } else {
+            self.domain_uses.push((key, 1));
+        }
+    }
+}
+
+/// The Charon verifier: Algorithm 1 driven by a verification policy.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Clone)]
+pub struct Verifier {
+    policy: Arc<dyn Policy>,
+    config: VerifierConfig,
+}
+
+impl std::fmt::Debug for Verifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Verifier")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Verifier {
+    fn default() -> Self {
+        Verifier {
+            policy: Arc::new(LinearPolicy::default()),
+            config: VerifierConfig::default(),
+        }
+    }
+}
+
+impl Verifier {
+    /// Creates a verifier with an explicit policy and configuration.
+    pub fn new(policy: Arc<dyn Policy>, config: VerifierConfig) -> Self {
+        Verifier { policy, config }
+    }
+
+    /// Creates a verifier with the given policy and default configuration.
+    pub fn with_policy(policy: Arc<dyn Policy>) -> Self {
+        Verifier {
+            policy,
+            config: VerifierConfig::default(),
+        }
+    }
+
+    /// The verifier's configuration.
+    pub fn config(&self) -> &VerifierConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration.
+    pub fn config_mut(&mut self) -> &mut VerifierConfig {
+        &mut self.config
+    }
+
+    /// Runs Algorithm 1 on a property.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the property's region dimension differs from the
+    /// network's input dimension, or the target class is out of range.
+    pub fn verify(&self, net: &Network, property: &RobustnessProperty) -> Verdict {
+        self.verify_with_stats(net, property).0
+    }
+
+    /// Runs Algorithm 1, also returning run statistics.
+    pub fn verify_with_stats(
+        &self,
+        net: &Network,
+        property: &RobustnessProperty,
+    ) -> (Verdict, VerifyStats) {
+        assert_eq!(
+            property.region().dim(),
+            net.input_dim(),
+            "region dimension must match network input"
+        );
+        assert!(
+            property.target() < net.output_dim(),
+            "target class out of range"
+        );
+
+        let start = Instant::now();
+        let deadline = start + self.config.timeout;
+        let mut stats = VerifyStats::default();
+        let target = property.target();
+        let minimizer = Minimizer::new(self.config.seed).with_restarts(self.config.restarts);
+        // The objective F is a difference of two M-Lipschitz outputs, so
+        // it is 2M-Lipschitz; computed once per verification run.
+        let objective_lipschitz = if self.config.lipschitz_prefilter {
+            2.0 * net.lipschitz_bound()
+        } else {
+            f64::INFINITY
+        };
+
+        // Depth-first worklist, equivalent to the recursion in Algorithm 1.
+        let mut stack: Vec<(Bounds, usize)> = vec![(property.region().clone(), 0)];
+        let verdict = loop {
+            let Some((region, depth)) = stack.pop() else {
+                break Verdict::Verified;
+            };
+            if Instant::now() >= deadline || stats.regions >= self.config.max_regions {
+                break Verdict::ResourceLimit;
+            }
+            if let Some(flag) = &self.config.cancel {
+                if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                    break Verdict::ResourceLimit;
+                }
+            }
+            stats.regions += 1;
+            stats.max_depth = stats.max_depth.max(depth);
+
+            // Line 2: x* <- Minimize(I, F).
+            let (x_star, objective) = if self.config.counterexample_search {
+                stats.attacks += 1;
+                let result = minimizer.minimize(net, &region, target);
+                (result.point, result.objective)
+            } else {
+                let center = region.center();
+                let f = net.objective(&center, target);
+                (center, f)
+            };
+
+            // Line 3 (Eq. 4): F(x*) <= δ refutes.
+            if objective <= self.config.delta {
+                break Verdict::Refuted(Counterexample {
+                    point: x_star,
+                    objective,
+                });
+            }
+
+            // Lipschitz pre-filter: if the center margin dominates the
+            // worst-case change across the region, the region is safe.
+            if self.config.lipschitz_prefilter {
+                let center = region.center();
+                let center_margin = net.objective(&center, target);
+                if center_margin - objective_lipschitz * 0.5 * region.diameter() > 0.0 {
+                    stats.verified_regions += 1;
+                    continue;
+                }
+            }
+
+            // Degenerate regions are decided exactly by the interval
+            // domain (the box is a point along every zero-width axis).
+            if region.widths().iter().all(|w| *w <= f64::EPSILON) {
+                stats.analyze_calls += 1;
+                if analyze(net, &region, target, domains::DomainChoice::interval()) {
+                    stats.verified_regions += 1;
+                    continue;
+                }
+                // Exact analysis failed on a point region: its center is a
+                // true counterexample.
+                break Verdict::Refuted(Counterexample {
+                    point: x_star,
+                    objective,
+                });
+            }
+
+            // Lines 5-7: pick a domain and try to prove the region.
+            let ctx = PolicyContext {
+                net,
+                region: &region,
+                target,
+                x_star: &x_star,
+                objective,
+            };
+            let choice = self.policy.choose_domain(&ctx);
+            stats.analyze_calls += 1;
+            stats.record_domain(choice);
+            match run_selection(net, &region, target, choice, deadline) {
+                SelectionResult::Verified => {
+                    stats.verified_regions += 1;
+                    continue;
+                }
+                SelectionResult::Violated(point) => {
+                    let objective = net.objective(&point, target);
+                    break Verdict::Refuted(Counterexample { point, objective });
+                }
+                SelectionResult::Inconclusive => {}
+            }
+
+            // Lines 8-12: split and recurse on both halves.
+            let plan = self.policy.choose_split(&ctx);
+            let at = crate::policy::clamp_split(&region, plan.dim, plan.at);
+            if at <= region.lower()[plan.dim] || at >= region.upper()[plan.dim] {
+                // Zero-width split dimension: fall back to the widest
+                // dimension; if everything is (numerically) degenerate,
+                // the degenerate-region branch above will catch it next
+                // iteration.
+                let dim = region.longest_dim();
+                let mid = 0.5 * (region.lower()[dim] + region.upper()[dim]);
+                if mid > region.lower()[dim] && mid < region.upper()[dim] {
+                    let (a, b) = region.split_at(dim, mid);
+                    stats.splits += 1;
+                    stack.push((b, depth + 1));
+                    stack.push((a, depth + 1));
+                    continue;
+                }
+                break Verdict::ResourceLimit;
+            }
+            let (a, b) = region.split_at(plan.dim, at);
+            stats.splits += 1;
+            stack.push((b, depth + 1));
+            stack.push((a, depth + 1));
+        };
+
+        stats.elapsed = start.elapsed();
+        (verdict, stats)
+    }
+}
+
+/// Outcome of running one policy-selected analysis on a region.
+pub(crate) enum SelectionResult {
+    /// The region was proved safe.
+    Verified,
+    /// The (complete) analysis produced a concrete counterexample.
+    Violated(Vec<f64>),
+    /// The analysis could not decide the region.
+    Inconclusive,
+}
+
+/// Dispatches a [`DomainSelection`] on a region. The deadline bounds the
+/// complete solver; the abstract domains run to completion (they are fast
+/// relative to a region budget).
+pub(crate) fn run_selection(
+    net: &Network,
+    region: &Bounds,
+    target: usize,
+    choice: DomainSelection,
+    deadline: Instant,
+) -> SelectionResult {
+    match choice {
+        DomainSelection::Abstract(c) => {
+            if analyze(net, region, target, c) {
+                SelectionResult::Verified
+            } else {
+                SelectionResult::Inconclusive
+            }
+        }
+        DomainSelection::DeepPoly => {
+            if domains::deeppoly::verifies(net, region, target) {
+                SelectionResult::Verified
+            } else {
+                SelectionResult::Inconclusive
+            }
+        }
+        DomainSelection::RefinedZonotope { lp_per_layer } => {
+            if !complete::supports(net) {
+                // Architectures the LP cannot encode use the plain domain.
+                return if analyze(net, region, target, domains::DomainChoice::zonotope()) {
+                    SelectionResult::Verified
+                } else {
+                    SelectionResult::Inconclusive
+                };
+            }
+            let Some(refined) =
+                complete::refine::refined_relu_bounds(net, region, deadline, lp_per_layer)
+            else {
+                return SelectionResult::Inconclusive;
+            };
+            // Propagate a zonotope, meeting each ReLU input with the
+            // LP-refined box (sound: both over-approximate the truth).
+            let mut element = <domains::Zonotope as domains::AbstractElement>::from_bounds(region);
+            let mut relu_idx = 0;
+            for layer in net.layers() {
+                use domains::AbstractElement as _;
+                match layer {
+                    nn::Layer::Affine(a) => element = element.affine(a),
+                    nn::Layer::Relu => {
+                        if let Some(met) = element.meet_box(&refined.relu_inputs[relu_idx]) {
+                            element = met;
+                        }
+                        relu_idx += 1;
+                        element = element.relu();
+                    }
+                    nn::Layer::MaxPool(p) => element = element.max_pool(p),
+                }
+            }
+            use domains::AbstractElement as _;
+            if element.margin_lower_bound(target) > 0.0 {
+                SelectionResult::Verified
+            } else {
+                SelectionResult::Inconclusive
+            }
+        }
+        DomainSelection::Solver { node_budget } => {
+            if !complete::supports(net) {
+                // Fall back to the strongest classic domain for
+                // architectures the solver cannot encode.
+                return if analyze(net, region, target, domains::DomainChoice::zonotope()) {
+                    SelectionResult::Verified
+                } else {
+                    SelectionResult::Inconclusive
+                };
+            }
+            let solver = complete::CompleteSolver::with_node_budget(node_budget);
+            match solver.decide(net, region, target, deadline) {
+                complete::Decision::Proved => SelectionResult::Verified,
+                complete::Decision::Violated(x) => SelectionResult::Violated(x),
+                complete::Decision::Budget => SelectionResult::Inconclusive,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::FixedPolicy;
+    use domains::DomainChoice;
+    use nn::samples;
+
+    fn property(lo: Vec<f64>, hi: Vec<f64>, target: usize) -> RobustnessProperty {
+        RobustnessProperty::new(Bounds::new(lo, hi), target)
+    }
+
+    #[test]
+    fn verifies_xor_example_3_1() {
+        let net = samples::xor_network();
+        let prop = property(vec![0.3, 0.3], vec![0.7, 0.7], 1);
+        let (verdict, stats) = Verifier::default().verify_with_stats(&net, &prop);
+        assert_eq!(verdict, Verdict::Verified);
+        assert!(stats.regions >= 1);
+        assert!(stats.analyze_calls >= 1);
+    }
+
+    #[test]
+    fn refutes_xor_on_unit_square() {
+        let net = samples::xor_network();
+        let prop = property(vec![0.0, 0.0], vec![1.0, 1.0], 1);
+        match Verifier::default().verify(&net, &prop) {
+            Verdict::Refuted(cex) => {
+                assert!(prop.region().contains(&cex.point));
+                assert!(cex.objective <= 1e-9);
+                assert!(cex.is_true_violation());
+                assert_ne!(net.classify(&cex.point), 1);
+            }
+            other => panic!("expected refutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verifies_example_2_2() {
+        let net = samples::example_2_2_network();
+        let prop = property(vec![-1.0], vec![1.0], 1);
+        assert_eq!(Verifier::default().verify(&net, &prop), Verdict::Verified);
+    }
+
+    #[test]
+    fn refutes_example_2_2_extended() {
+        let net = samples::example_2_2_network();
+        let prop = property(vec![-1.0], vec![2.0], 1);
+        assert!(Verifier::default().verify(&net, &prop).is_refuted());
+    }
+
+    #[test]
+    fn verifies_example_2_3_needing_disjunction_or_split() {
+        let net = samples::example_2_3_network();
+        let prop = property(vec![0.0, 0.0], vec![1.0, 1.0], 1);
+        assert_eq!(Verifier::default().verify(&net, &prop), Verdict::Verified);
+    }
+
+    #[test]
+    fn interval_only_policy_needs_more_splits_than_zonotope() {
+        let net = samples::xor_network();
+        let prop = property(vec![0.3, 0.3], vec![0.7, 0.7], 1);
+        let zono = Verifier::with_policy(Arc::new(FixedPolicy::new(DomainChoice::zonotope())));
+        let intv = Verifier::with_policy(Arc::new(FixedPolicy::new(DomainChoice::interval())));
+        let (vz, sz) = zono.verify_with_stats(&net, &prop);
+        let (vi, si) = intv.verify_with_stats(&net, &prop);
+        assert_eq!(vz, Verdict::Verified);
+        assert_eq!(vi, Verdict::Verified);
+        assert!(
+            si.splits >= sz.splits,
+            "intervals ({}) should need at least as many splits as zonotopes ({})",
+            si.splits,
+            sz.splits
+        );
+    }
+
+    #[test]
+    fn ablation_without_counterexample_search_still_sound() {
+        let net = samples::xor_network();
+        let prop = property(vec![0.0, 0.0], vec![1.0, 1.0], 1);
+        let mut verifier = Verifier::default();
+        verifier.config_mut().counterexample_search = false;
+        // Must still refute (via δ-checks at region centers), though it
+        // may take more work.
+        let verdict = verifier.verify(&net, &prop);
+        match verdict {
+            Verdict::Refuted(cex) => assert!(cex.objective <= 1e-9),
+            other => panic!("expected refutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeout_reports_resource_limit() {
+        let net = nn::train::random_mlp(6, &[24, 24, 24], 4, 3);
+        let prop = property(vec![-1.0; 6], vec![1.0; 6], 0);
+        let mut verifier = Verifier::default();
+        verifier.config_mut().timeout = Duration::from_millis(1);
+        // Either it instantly refutes (possible: random net may
+        // misclassify the center) or it hits the budget; both are
+        // acceptable, but Verified in 1 ms on [-1,1]^6 would be suspect.
+        let verdict = verifier.verify(&net, &prop);
+        assert!(
+            !verdict.is_verified(),
+            "unexpected instant verification: {verdict:?}"
+        );
+    }
+
+    #[test]
+    fn stats_track_domain_usage() {
+        let net = samples::xor_network();
+        let prop = property(vec![0.3, 0.3], vec![0.7, 0.7], 1);
+        let (_, stats) = Verifier::default().verify_with_stats(&net, &prop);
+        let total: usize = stats.domain_uses.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, stats.analyze_calls);
+    }
+
+    #[test]
+    fn solver_domain_policy_verifies_and_refutes() {
+        /// A policy that always asks for the complete solver.
+        struct SolverPolicy;
+        impl crate::policy::Policy for SolverPolicy {
+            fn choose_domain(&self, _ctx: &crate::policy::PolicyContext<'_>) -> DomainSelection {
+                DomainSelection::Solver { node_budget: 1000 }
+            }
+            fn choose_split(
+                &self,
+                ctx: &crate::policy::PolicyContext<'_>,
+            ) -> crate::policy::SplitPlan {
+                let dim = ctx.region.longest_dim();
+                crate::policy::SplitPlan {
+                    dim,
+                    at: 0.5 * (ctx.region.lower()[dim] + ctx.region.upper()[dim]),
+                }
+            }
+        }
+        let verifier = Verifier::with_policy(Arc::new(SolverPolicy));
+        let net = samples::xor_network();
+        let robust = property(vec![0.3, 0.3], vec![0.7, 0.7], 1);
+        assert_eq!(verifier.verify(&net, &robust), Verdict::Verified);
+        let broken = property(vec![0.0, 0.0], vec![1.0, 1.0], 1);
+        assert!(verifier.verify(&net, &broken).is_refuted());
+    }
+
+    #[test]
+    fn refined_zonotope_policy_verifies() {
+        struct RefinedPolicy;
+        impl crate::policy::Policy for RefinedPolicy {
+            fn choose_domain(&self, _ctx: &crate::policy::PolicyContext<'_>) -> DomainSelection {
+                DomainSelection::RefinedZonotope { lp_per_layer: 8 }
+            }
+            fn choose_split(
+                &self,
+                ctx: &crate::policy::PolicyContext<'_>,
+            ) -> crate::policy::SplitPlan {
+                let dim = ctx.region.longest_dim();
+                crate::policy::SplitPlan {
+                    dim,
+                    at: 0.5 * (ctx.region.lower()[dim] + ctx.region.upper()[dim]),
+                }
+            }
+        }
+        let verifier = Verifier::with_policy(Arc::new(RefinedPolicy));
+        let net = samples::example_2_3_network();
+        let prop = property(vec![0.0, 0.0], vec![1.0, 1.0], 1);
+        assert_eq!(verifier.verify(&net, &prop), Verdict::Verified);
+        // Refutation still flows through the δ-check.
+        let net2 = samples::example_2_2_network();
+        let broken = property(vec![-1.0], vec![2.0], 1);
+        assert!(verifier.verify(&net2, &broken).is_refuted());
+    }
+
+    #[test]
+    fn deeppoly_policy_verifies() {
+        struct DeepPolyPolicy;
+        impl crate::policy::Policy for DeepPolyPolicy {
+            fn choose_domain(&self, _ctx: &crate::policy::PolicyContext<'_>) -> DomainSelection {
+                DomainSelection::DeepPoly
+            }
+            fn choose_split(
+                &self,
+                ctx: &crate::policy::PolicyContext<'_>,
+            ) -> crate::policy::SplitPlan {
+                let dim = ctx.region.longest_dim();
+                crate::policy::SplitPlan {
+                    dim,
+                    at: 0.5 * (ctx.region.lower()[dim] + ctx.region.upper()[dim]),
+                }
+            }
+        }
+        let verifier = Verifier::with_policy(Arc::new(DeepPolyPolicy));
+        let net = samples::example_2_3_network();
+        let prop = property(vec![0.0, 0.0], vec![1.0, 1.0], 1);
+        assert_eq!(verifier.verify(&net, &prop), Verdict::Verified);
+    }
+
+    #[test]
+    fn lipschitz_prefilter_sound_and_helps_on_tiny_regions() {
+        let net = samples::xor_network();
+        // A tiny region far from any decision boundary.
+        let prop = property(vec![0.49, 0.49], vec![0.51, 0.51], 1);
+        let mut with = Verifier::default();
+        with.config_mut().lipschitz_prefilter = true;
+        let (v1, s1) = with.verify_with_stats(&net, &prop);
+        assert_eq!(v1, Verdict::Verified);
+        // The prefilter discharges the region without any analyze call.
+        assert_eq!(s1.analyze_calls, 0, "stats: {s1:?}");
+
+        // Still sound on falsifiable properties.
+        let broken = property(vec![0.0, 0.0], vec![1.0, 1.0], 1);
+        assert!(with.verify(&net, &broken).is_refuted());
+    }
+
+    #[test]
+    fn delta_counterexample_on_near_violation() {
+        // Build a property whose margin dips to exactly ~0.1 somewhere and
+        // use δ = 0.2: the verifier must refute with a δ-counterexample
+        // that is not a true violation.
+        let net = samples::xor_network();
+        // On [0.3, 0.7]^2 the margin minimum is 0.2 (at the corners).
+        let prop = property(vec![0.3, 0.3], vec![0.7, 0.7], 1);
+        let mut verifier = Verifier::default();
+        verifier.config_mut().delta = 0.25;
+        match verifier.verify(&net, &prop) {
+            Verdict::Refuted(cex) => {
+                assert!(cex.objective <= 0.25);
+                assert!(!cex.is_true_violation());
+            }
+            other => panic!("expected δ-refutation, got {other:?}"),
+        }
+    }
+}

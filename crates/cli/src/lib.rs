@@ -1,0 +1,650 @@
+//! Implementation of the `charon-cli` command-line tool.
+//!
+//! The binary is a thin wrapper over [`run`], which parses an argument
+//! vector and executes one of the subcommands:
+//!
+//! ```text
+//! charon-cli verify  --network NET --property PROP [--timeout-ms N]
+//!                    [--delta D] [--policy FILE] [--parallel N] [--no-cex] [--stats]
+//! charon-cli attack  --network NET --property PROP [--restarts N] [--seed N]
+//! charon-cli train   [--seed N] [--time-limit-ms N] --out FILE
+//! charon-cli info    --network NET
+//! charon-cli example --out-network NET --out-property PROP
+//! charon-cli prop    --zoo NAME --image N --tau T --out-network NET --out-property PROP
+//! charon-cli certify --zoo NAME --eps E [--points N] [--timeout-ms N]
+//! ```
+//!
+//! Networks use the `nn::serialize` plain-text format and properties the
+//! `charon-prop` format (see [`charon::RobustnessProperty::from_text`]).
+//! Exit codes from `verify`: 0 = verified, 1 = refuted, 2 = resource
+//! limit, 64 = usage error.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use charon::policy::LinearPolicy;
+use charon::{RobustnessProperty, Verdict, Verifier, VerifierConfig};
+
+/// Exit status of a CLI invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitCode {
+    /// Verified / success.
+    Success,
+    /// Property refuted.
+    Refuted,
+    /// Budget exhausted.
+    ResourceLimit,
+    /// Bad usage or I/O failure.
+    UsageError,
+}
+
+impl ExitCode {
+    /// Numeric process exit code.
+    pub fn code(self) -> i32 {
+        match self {
+            ExitCode::Success => 0,
+            ExitCode::Refuted => 1,
+            ExitCode::ResourceLimit => 2,
+            ExitCode::UsageError => 64,
+        }
+    }
+}
+
+/// Parsed command-line flags: `--key value` pairs plus the subcommand.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses an argument vector (excluding the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message if no subcommand is present or a `--flag`
+    /// is missing its value.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut iter = argv.iter();
+        let command = iter.next().ok_or_else(usage)?.clone();
+        let mut flags = HashMap::new();
+        let mut switches = Vec::new();
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!(
+                    "unexpected positional argument {arg:?}\n{}",
+                    usage()
+                ));
+            };
+            // Boolean switches take no value.
+            if matches!(name, "no-cex" | "help" | "stats") {
+                switches.push(name.to_string());
+                continue;
+            }
+            let value = iter
+                .next()
+                .ok_or_else(|| format!("flag --{name} needs a value\n{}", usage()))?;
+            flags.insert(name.to_string(), value.clone());
+        }
+        Ok(Args {
+            command,
+            flags,
+            switches,
+        })
+    }
+
+    /// The value of `--name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// The value of a required flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message naming the missing flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name}\n{}", usage()))
+    }
+
+    /// Whether a boolean switch was passed.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Parses a numeric flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value does not parse.
+    pub fn get_u64(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name} expects an integer, got {v:?}")),
+        }
+    }
+
+    /// Parses a float flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value does not parse.
+    pub fn get_f64(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name} expects a number, got {v:?}")),
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  charon-cli verify  --network NET --property PROP [--timeout-ms N] [--delta D] [--policy FILE] [--parallel N] [--no-cex]\n  charon-cli attack  --network NET --property PROP [--restarts N] [--seed N]\n  charon-cli train   [--seed N] [--time-limit-ms N] --out FILE\n  charon-cli info    --network NET\n  charon-cli example --out-network NET --out-property PROP\n  charon-cli prop    --zoo NAME --image N --tau T --out-network NET --out-property PROP\n  charon-cli certify --zoo NAME --eps E [--points N] [--timeout-ms N]".to_string()
+}
+
+/// Executes a CLI invocation, writing human-readable output to `out`.
+pub fn run(argv: &[String], out: &mut impl std::io::Write) -> ExitCode {
+    match run_inner(argv, out) {
+        Ok(code) => code,
+        Err(msg) => {
+            let _ = writeln!(out, "error: {msg}");
+            ExitCode::UsageError
+        }
+    }
+}
+
+fn run_inner(argv: &[String], out: &mut impl std::io::Write) -> Result<ExitCode, String> {
+    let args = Args::parse(argv)?;
+    if args.switch("help") {
+        writeln!(out, "{}", usage()).map_err(|e| e.to_string())?;
+        return Ok(ExitCode::Success);
+    }
+    match args.command.as_str() {
+        "verify" => cmd_verify(&args, out),
+        "attack" => cmd_attack(&args, out),
+        "train" => cmd_train(&args, out),
+        "info" => cmd_info(&args, out),
+        "example" => cmd_example(&args, out),
+        "prop" => cmd_prop(&args, out),
+        "certify" => cmd_certify(&args, out),
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn load_network(path: &str) -> Result<nn::Network, String> {
+    nn::serialize::load(Path::new(path)).map_err(|e| format!("cannot load network: {e}"))
+}
+
+fn load_property(path: &str) -> Result<RobustnessProperty, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    RobustnessProperty::from_text(&text)
+}
+
+fn cmd_verify(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, String> {
+    let net = load_network(args.require("network")?)?;
+    let property = load_property(args.require("property")?)?;
+    let mut config = VerifierConfig {
+        timeout: Duration::from_millis(args.get_u64("timeout-ms", 60_000)?),
+        delta: args.get_f64("delta", 1e-9)?,
+        counterexample_search: !args.switch("no-cex"),
+        ..VerifierConfig::default()
+    };
+    config.seed = args.get_u64("seed", 0)?;
+
+    let policy: Arc<dyn charon::policy::Policy> = match args.get("policy") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            Arc::new(LinearPolicy::from_text(&text)?)
+        }
+        None => Arc::new(LinearPolicy::default()),
+    };
+
+    let threads = args.get_u64("parallel", 1)? as usize;
+    let verdict = if threads > 1 {
+        charon::parallel::ParallelVerifier::new(policy, config, threads).verify(&net, &property)
+    } else if args.switch("stats") {
+        let (verdict, stats) = Verifier::new(policy, config).verify_with_stats(&net, &property);
+        writeln!(
+            out,
+            "stats: regions={} splits={} analyze_calls={} attacks={} max_depth={} elapsed={:?}",
+            stats.regions,
+            stats.splits,
+            stats.analyze_calls,
+            stats.attacks,
+            stats.max_depth,
+            stats.elapsed
+        )
+        .map_err(|e| e.to_string())?;
+        for (domain, count) in &stats.domain_uses {
+            writeln!(out, "stats: domain {domain} used {count}x").map_err(|e| e.to_string())?;
+        }
+        verdict
+    } else {
+        Verifier::new(policy, config).verify(&net, &property)
+    };
+
+    match verdict {
+        Verdict::Verified => {
+            writeln!(out, "verified").map_err(|e| e.to_string())?;
+            Ok(ExitCode::Success)
+        }
+        Verdict::Refuted(cex) => {
+            writeln!(out, "refuted: F = {:.6} at {:?}", cex.objective, cex.point)
+                .map_err(|e| e.to_string())?;
+            Ok(ExitCode::Refuted)
+        }
+        Verdict::ResourceLimit => {
+            writeln!(out, "resource limit reached").map_err(|e| e.to_string())?;
+            Ok(ExitCode::ResourceLimit)
+        }
+    }
+}
+
+fn cmd_attack(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, String> {
+    let net = load_network(args.require("network")?)?;
+    let property = load_property(args.require("property")?)?;
+    let restarts = args.get_u64("restarts", 8)? as usize;
+    let seed = args.get_u64("seed", 0)?;
+    let result = attack::Minimizer::new(seed)
+        .with_restarts(restarts)
+        .minimize(&net, property.region(), property.target());
+    writeln!(
+        out,
+        "best objective F = {:.6} at {:?} ({} evaluations)",
+        result.objective, result.point, result.evals
+    )
+    .map_err(|e| e.to_string())?;
+    if result.objective <= 0.0 {
+        writeln!(out, "counterexample found").map_err(|e| e.to_string())?;
+        Ok(ExitCode::Refuted)
+    } else {
+        writeln!(out, "no counterexample found").map_err(|e| e.to_string())?;
+        Ok(ExitCode::Success)
+    }
+}
+
+fn cmd_train(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, String> {
+    let seed = args.get_u64("seed", 0)?;
+    let out_path = args.require("out")?;
+    let (net, acc) = data::acas::build_network(seed);
+    writeln!(out, "trained ACAS-like network (accuracy {acc:.2})").map_err(|e| e.to_string())?;
+    let problems = data::acas::training_properties(&net, seed);
+    let config = charon::train::TrainConfig {
+        time_limit: Duration::from_millis(args.get_u64("time-limit-ms", 300)?),
+        seed,
+        ..charon::train::TrainConfig::default()
+    };
+    let outcome = charon::train::train_policy(&problems, &config);
+    writeln!(
+        out,
+        "learned policy score {:.3}s (default {:.3}s, {} evaluations)",
+        outcome.score, outcome.baseline_score, outcome.evaluations
+    )
+    .map_err(|e| e.to_string())?;
+    std::fs::write(out_path, outcome.policy.to_text())
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    writeln!(out, "policy written to {out_path}").map_err(|e| e.to_string())?;
+    Ok(ExitCode::Success)
+}
+
+fn cmd_info(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, String> {
+    let net = load_network(args.require("network")?)?;
+    writeln!(out, "inputs:   {}", net.input_dim()).map_err(|e| e.to_string())?;
+    writeln!(out, "outputs:  {}", net.output_dim()).map_err(|e| e.to_string())?;
+    writeln!(out, "depth:    {} affine layers", net.depth()).map_err(|e| e.to_string())?;
+    writeln!(out, "neurons:  {}", net.neuron_count()).map_err(|e| e.to_string())?;
+    writeln!(out, "lipschitz <= {:.4}", net.lipschitz_bound()).map_err(|e| e.to_string())?;
+    for (i, layer) in net.layers().iter().enumerate() {
+        let desc = match layer {
+            nn::Layer::Affine(a) => format!("affine {}x{}", a.output_dim(), a.input_dim()),
+            nn::Layer::Relu => "relu".to_string(),
+            nn::Layer::MaxPool(p) => format!("maxpool -> {}", p.output_dim()),
+        };
+        writeln!(out, "layer {i}: {desc}").map_err(|e| e.to_string())?;
+    }
+    Ok(ExitCode::Success)
+}
+
+/// Writes the paper's XOR network and Example 3.1 property to disk so
+/// users can try the tool immediately.
+fn cmd_example(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, String> {
+    let net_path = args.require("out-network")?;
+    let prop_path = args.require("out-property")?;
+    let net = nn::samples::xor_network();
+    nn::serialize::save(&net, Path::new(net_path))
+        .map_err(|e| format!("cannot write {net_path}: {e}"))?;
+    let property = RobustnessProperty::new(domains::Bounds::new(vec![0.3, 0.3], vec![0.7, 0.7]), 1);
+    std::fs::write(prop_path, property.to_text())
+        .map_err(|e| format!("cannot write {prop_path}: {e}"))?;
+    writeln!(out, "wrote {net_path} and {prop_path}").map_err(|e| e.to_string())?;
+    Ok(ExitCode::Success)
+}
+
+/// Builds a zoo network, generates a brightening-attack property for one
+/// of its evaluation images, and writes both to disk.
+fn cmd_prop(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, String> {
+    let zoo_name = args.require("zoo")?;
+    let which = data::zoo::ZooNetwork::ALL
+        .into_iter()
+        .find(|n| n.name() == zoo_name)
+        .ok_or_else(|| {
+            let names: Vec<&str> = data::zoo::ZooNetwork::ALL
+                .iter()
+                .map(|n| n.name())
+                .collect();
+            format!("unknown zoo network {zoo_name:?}; choose one of {names:?}")
+        })?;
+    let image_idx = args.get_u64("image", 0)? as usize;
+    let tau = args.get_f64("tau", 0.6)?;
+    let net_path = args.require("out-network")?;
+    let prop_path = args.require("out-property")?;
+
+    let config = data::zoo::ZooConfig::default();
+    let (net, acc) = data::zoo::build(which, &config);
+    writeln!(out, "built {} (test accuracy {acc:.2})", which.name()).map_err(|e| e.to_string())?;
+    let eval = which.dataset(image_idx + 1, 0xe4a1);
+    let image = eval
+        .images
+        .get(image_idx)
+        .ok_or_else(|| format!("image index {image_idx} out of range"))?;
+    let property = RobustnessProperty::new(
+        data::properties::brightening_region(image, tau),
+        net.classify(image),
+    );
+    nn::serialize::save(&net, Path::new(net_path))
+        .map_err(|e| format!("cannot write {net_path}: {e}"))?;
+    std::fs::write(prop_path, property.to_text())
+        .map_err(|e| format!("cannot write {prop_path}: {e}"))?;
+    writeln!(
+        out,
+        "wrote {net_path} and {prop_path} (target class {}, {} free pixels)",
+        property.target(),
+        property
+            .region()
+            .widths()
+            .iter()
+            .filter(|w| **w > 0.0)
+            .count()
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(ExitCode::Success)
+}
+
+/// Certified-accuracy measurement over a zoo network's evaluation set.
+fn cmd_certify(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, String> {
+    let zoo_name = args.require("zoo")?;
+    let which = data::zoo::ZooNetwork::ALL
+        .into_iter()
+        .find(|n| n.name() == zoo_name)
+        .ok_or_else(|| format!("unknown zoo network {zoo_name:?}"))?;
+    let eps = args.get_f64("eps", 0.02)?;
+    let n_points = args.get_u64("points", 20)? as usize;
+    let timeout = Duration::from_millis(args.get_u64("timeout-ms", 2000)?);
+
+    let (net, acc) = data::zoo::build(which, &data::zoo::ZooConfig::default());
+    writeln!(out, "network {} (test accuracy {acc:.2})", which.name())
+        .map_err(|e| e.to_string())?;
+    let eval = which.dataset(n_points, 0xce47);
+
+    let config = charon::report::CertifyConfig {
+        verifier: VerifierConfig {
+            timeout,
+            ..VerifierConfig::default()
+        },
+        ..charon::report::CertifyConfig::default()
+    };
+    let report = charon::report::certify(&net, &eval.images, &eval.labels, eps, &config);
+    writeln!(
+        out,
+        "epsilon {eps}: certified {}/{} ({:.1}%), vulnerable {}, misclassified {}, undecided {} ({:?})",
+        report.certified(),
+        report.outcomes.len(),
+        100.0 * report.certified_accuracy(),
+        report.vulnerable(),
+        report.misclassified(),
+        report.undecided(),
+        report.elapsed
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(ExitCode::Success)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn run_capture(parts: &[&str]) -> (ExitCode, String) {
+        let mut buf = Vec::new();
+        let code = run(&argv(parts), &mut buf);
+        (code, String::from_utf8(buf).unwrap())
+    }
+
+    fn temp_dir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "charon-cli-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn usage_error_on_unknown_command() {
+        let (code, output) = run_capture(&["frobnicate"]);
+        assert_eq!(code, ExitCode::UsageError);
+        assert!(output.contains("unknown command"));
+    }
+
+    #[test]
+    fn usage_error_on_missing_flag_value() {
+        let (code, output) = run_capture(&["verify", "--network"]);
+        assert_eq!(code, ExitCode::UsageError);
+        assert!(output.contains("needs a value"));
+    }
+
+    #[test]
+    fn example_then_verify_roundtrip() {
+        let dir = temp_dir();
+        let net = dir.join("xor.net");
+        let prop = dir.join("robust.prop");
+        let (code, _) = run_capture(&[
+            "example",
+            "--out-network",
+            net.to_str().unwrap(),
+            "--out-property",
+            prop.to_str().unwrap(),
+        ]);
+        assert_eq!(code, ExitCode::Success);
+
+        let (code, output) = run_capture(&[
+            "verify",
+            "--network",
+            net.to_str().unwrap(),
+            "--property",
+            prop.to_str().unwrap(),
+        ]);
+        assert_eq!(code, ExitCode::Success, "output: {output}");
+        assert!(output.contains("verified"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn verify_refutes_wide_property() {
+        let dir = temp_dir();
+        let net_path = dir.join("xor.net");
+        let prop_path = dir.join("wide.prop");
+        nn::serialize::save(&nn::samples::xor_network(), &net_path).unwrap();
+        let property =
+            RobustnessProperty::new(domains::Bounds::new(vec![0.0, 0.0], vec![1.0, 1.0]), 1);
+        std::fs::write(&prop_path, property.to_text()).unwrap();
+
+        let (code, output) = run_capture(&[
+            "verify",
+            "--network",
+            net_path.to_str().unwrap(),
+            "--property",
+            prop_path.to_str().unwrap(),
+        ]);
+        assert_eq!(code, ExitCode::Refuted, "output: {output}");
+        assert!(output.contains("refuted"));
+
+        // The attack subcommand finds the same violation.
+        let (code, output) = run_capture(&[
+            "attack",
+            "--network",
+            net_path.to_str().unwrap(),
+            "--property",
+            prop_path.to_str().unwrap(),
+        ]);
+        assert_eq!(code, ExitCode::Refuted, "output: {output}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn info_describes_network() {
+        let dir = temp_dir();
+        let net_path = dir.join("xor.net");
+        nn::serialize::save(&nn::samples::xor_network(), &net_path).unwrap();
+        let (code, output) = run_capture(&["info", "--network", net_path.to_str().unwrap()]);
+        assert_eq!(code, ExitCode::Success);
+        assert!(output.contains("inputs:   2"));
+        assert!(output.contains("affine 2x2"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn parallel_flag_accepted() {
+        let dir = temp_dir();
+        let net = dir.join("xor.net");
+        let prop = dir.join("p.prop");
+        run_capture(&[
+            "example",
+            "--out-network",
+            net.to_str().unwrap(),
+            "--out-property",
+            prop.to_str().unwrap(),
+        ]);
+        let (code, _) = run_capture(&[
+            "verify",
+            "--network",
+            net.to_str().unwrap(),
+            "--property",
+            prop.to_str().unwrap(),
+            "--parallel",
+            "3",
+        ]);
+        assert_eq!(code, ExitCode::Success);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn prop_subcommand_generates_verifiable_files() {
+        let dir = temp_dir();
+        let net = dir.join("zoo.net");
+        let prop = dir.join("zoo.prop");
+        let (code, output) = run_capture(&[
+            "prop",
+            "--zoo",
+            "mnist-3x32",
+            "--image",
+            "1",
+            "--tau",
+            "0.9",
+            "--out-network",
+            net.to_str().unwrap(),
+            "--out-property",
+            prop.to_str().unwrap(),
+        ]);
+        assert_eq!(code, ExitCode::Success, "output: {output}");
+        // The generated pair loads and verifies/refutes without error.
+        let (code, output) = run_capture(&[
+            "verify",
+            "--network",
+            net.to_str().unwrap(),
+            "--property",
+            prop.to_str().unwrap(),
+            "--timeout-ms",
+            "5000",
+        ]);
+        assert_ne!(code, ExitCode::UsageError, "output: {output}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn prop_rejects_unknown_zoo() {
+        let (code, output) = run_capture(&[
+            "prop",
+            "--zoo",
+            "bogus",
+            "--out-network",
+            "/tmp/x",
+            "--out-property",
+            "/tmp/y",
+        ]);
+        assert_eq!(code, ExitCode::UsageError);
+        assert!(output.contains("unknown zoo network"));
+    }
+
+    #[test]
+    fn stats_switch_prints_counters() {
+        let dir = temp_dir();
+        let net = dir.join("xor.net");
+        let prop = dir.join("p.prop");
+        run_capture(&[
+            "example",
+            "--out-network",
+            net.to_str().unwrap(),
+            "--out-property",
+            prop.to_str().unwrap(),
+        ]);
+        let (code, output) = run_capture(&[
+            "verify",
+            "--network",
+            net.to_str().unwrap(),
+            "--property",
+            prop.to_str().unwrap(),
+            "--stats",
+        ]);
+        assert_eq!(code, ExitCode::Success, "output: {output}");
+        assert!(output.contains("stats: regions="), "output: {output}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn certify_subcommand_reports_accuracy() {
+        let (code, output) = run_capture(&[
+            "certify",
+            "--zoo",
+            "mnist-3x32",
+            "--eps",
+            "0.01",
+            "--points",
+            "5",
+            "--timeout-ms",
+            "3000",
+        ]);
+        assert_eq!(code, ExitCode::Success, "output: {output}");
+        assert!(output.contains("certified"), "output: {output}");
+    }
+
+    #[test]
+    fn help_switch() {
+        let (code, output) = run_capture(&["verify", "--help"]);
+        assert_eq!(code, ExitCode::Success);
+        assert!(output.contains("usage"));
+    }
+}

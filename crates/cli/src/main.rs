@@ -1,0 +1,9 @@
+//! The `charon-cli` binary. All logic lives in the `cli` library crate so
+//! it can be unit-tested; see [`cli::run`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    let code = cli::run(&argv, &mut stdout);
+    std::process::exit(code.code());
+}

@@ -1,0 +1,159 @@
+//! An ACAS-Xu-like policy network and the 12 training properties of §6.
+//!
+//! The real ACAS Xu networks (aircraft collision avoidance, ref. 24 of the paper) are not
+//! available; this module trains a small policy network on a synthetic
+//! collision-avoidance geometry that preserves what matters for policy
+//! training: a low-dimensional input space (5 inputs), a small number of
+//! advisory classes (5), and properties of varying difficulty over
+//! box-shaped input regions.
+
+use charon::train::TrainingProblem;
+use charon::RobustnessProperty;
+use domains::Bounds;
+use nn::train::{random_mlp, train_classifier, TrainConfig};
+use nn::Network;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of inputs of the policy network (distance, bearing, heading,
+/// own speed, intruder speed — all normalized to `[0, 1]`).
+pub const INPUTS: usize = 5;
+
+/// Number of advisories (clear-of-conflict, weak left/right, strong
+/// left/right).
+pub const ADVISORIES: usize = 5;
+
+/// The ground-truth advisory function the network is trained to imitate.
+///
+/// A hand-written rule with the qualitative structure of the ACAS Xu
+/// tables: far-away intruders are clear-of-conflict; close intruders
+/// trigger turns whose direction follows the bearing and whose strength
+/// grows as distance shrinks and closing speed rises.
+pub fn advisory(x: &[f64]) -> usize {
+    assert_eq!(x.len(), INPUTS, "advisory expects {INPUTS} inputs");
+    let (rho, theta, _psi, v_own, v_int) = (x[0], x[1], x[2], x[3], x[4]);
+    let closing = 0.5 * (v_own + v_int);
+    let danger = (1.0 - rho) * (0.6 + 0.4 * closing);
+    if danger < 0.45 {
+        return 0; // clear of conflict
+    }
+    let left = theta < 0.5;
+    let strong = danger > 0.75;
+    match (left, strong) {
+        (true, false) => 1,  // weak left
+        (false, false) => 2, // weak right
+        (true, true) => 3,   // strong left
+        (false, true) => 4,  // strong right
+    }
+}
+
+/// Trains the ACAS-like policy network, returning it with its training
+/// accuracy.
+pub fn build_network(seed: u64) -> (Network, f64) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xaca5);
+    let n = 1500;
+    let mut inputs = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x: Vec<f64> = (0..INPUTS).map(|_| rng.gen_range(0.0..1.0)).collect();
+        labels.push(advisory(&x));
+        inputs.push(x);
+    }
+    let mut net = random_mlp(INPUTS, &[16, 16, 16], ADVISORIES, seed);
+    let config = TrainConfig {
+        epochs: 60,
+        learning_rate: 0.08,
+        seed,
+        ..TrainConfig::default()
+    };
+    let acc = train_classifier(&mut net, &inputs, &labels, &config);
+    (net, acc)
+}
+
+/// The 12 policy-training properties (§6 trains on 12 ACAS Xu
+/// properties).
+///
+/// Each asks the network's own advisory at a region center to be stable
+/// across the region. To make the corpus *discriminative* for policy
+/// learning, centers are picked near decision boundaries (small but
+/// positive advisory margin): trivially robust properties verify in one
+/// abstract-interpretation call under any policy, and falsifiable ones
+/// fall to PGD immediately — neither produces a training signal.
+pub fn training_properties(net: &Network, seed: u64) -> Vec<TrainingProblem> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x12bf);
+    let minimizer = attack::Minimizer::new(seed).with_restarts(3);
+    let mut problems = Vec::with_capacity(12);
+    let radii = [0.04, 0.07, 0.1];
+    let mut attempts = 0;
+    while problems.len() < 12 {
+        attempts += 1;
+        let relaxed = attempts > 3000;
+        let center: Vec<f64> = (0..INPUTS).map(|_| rng.gen_range(0.1..0.9)).collect();
+        let target = net.classify(&center);
+        let eps = radii[problems.len() % radii.len()];
+        let region = Bounds::linf_ball(&center, eps, Some((0.0, 1.0)));
+        if !relaxed {
+            // (a) Not easily falsifiable: gradient attack fails.
+            let best = minimizer.minimize(net, &region, target);
+            if best.objective <= 0.02 {
+                continue;
+            }
+            // (b) Not trivially verifiable: a single zonotope call fails,
+            // so the refinement strategy actually matters.
+            if domains::analyze(net, &region, target, domains::DomainChoice::zonotope()) {
+                continue;
+            }
+        }
+        problems.push(TrainingProblem {
+            net: net.clone(),
+            property: RobustnessProperty::new(region, target),
+        });
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advisory_rules_are_sane() {
+        // Far away: clear of conflict regardless of other inputs.
+        assert_eq!(advisory(&[0.95, 0.2, 0.5, 0.5, 0.5]), 0);
+        // Very close, intruder on the left, fast closing: strong left.
+        assert_eq!(advisory(&[0.02, 0.1, 0.5, 0.9, 0.9]), 3);
+        // Very close on the right: strong right.
+        assert_eq!(advisory(&[0.02, 0.9, 0.5, 0.9, 0.9]), 4);
+    }
+
+    #[test]
+    fn advisory_covers_all_classes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let x: Vec<f64> = (0..INPUTS).map(|_| rng.gen_range(0.0..1.0)).collect();
+            seen.insert(advisory(&x));
+        }
+        assert_eq!(seen.len(), ADVISORIES, "saw {seen:?}");
+    }
+
+    #[test]
+    fn network_learns_the_policy() {
+        let (_, acc) = build_network(0);
+        assert!(acc > 0.85, "policy accuracy {acc}");
+    }
+
+    #[test]
+    fn twelve_training_properties() {
+        let (net, _) = build_network(0);
+        let problems = training_properties(&net, 0);
+        assert_eq!(problems.len(), 12);
+        for p in &problems {
+            assert_eq!(p.property.region().dim(), INPUTS);
+            assert!(p.property.target() < ADVISORIES);
+            // The center really is classified as the target.
+            let center = p.property.region().center();
+            assert_eq!(p.net.classify(&center), p.property.target());
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Synthetic datasets, a trained network zoo, and benchmark generation.
+//!
+//! The paper evaluates on MNIST/CIFAR networks and trains its policy on
+//! ACAS Xu properties. Neither dataset nor the aircraft networks are
+//! available here, so this crate builds deterministic synthetic
+//! equivalents (see DESIGN.md for the substitution rationale):
+//!
+//! * [`images`] — seeded MNIST-like (1-channel) and CIFAR-like
+//!   (3-channel) image distributions with 10 classes.
+//! * [`zoo`] — the seven evaluation networks of §7 (scaled down), trained
+//!   from scratch and cached on disk.
+//! * [`properties`] — brightening-attack robustness properties (§7.1) and
+//!   L∞-ball properties.
+//! * [`acas`] — an ACAS-Xu-like collision-avoidance policy network and
+//!   the 12 training properties of §6.
+
+pub mod acas;
+pub mod images;
+pub mod properties;
+pub mod zoo;

@@ -1,0 +1,169 @@
+//! Robustness-property generation for the benchmark suite.
+//!
+//! The evaluation (§7.1) uses *brightening attacks* (ref. 41 of the paper): pixels above a
+//! threshold τ may be perturbed anywhere between their original value and
+//! 1, all other pixels stay fixed. We also provide L∞-ball properties for
+//! the ACAS-style training problems.
+
+use charon::RobustnessProperty;
+use domains::Bounds;
+use nn::Network;
+
+use crate::images::Dataset;
+
+/// Builds the brightening-attack input region for an image: each pixel
+/// `x_i >= tau` may move within `[x_i, 1]`, all others are fixed.
+///
+/// # Panics
+///
+/// Panics if any pixel lies outside `[0, 1]`.
+pub fn brightening_region(image: &[f64], tau: f64) -> Bounds {
+    assert!(
+        image.iter().all(|v| (0.0..=1.0).contains(v)),
+        "image pixels must lie in [0, 1]"
+    );
+    let lower = image.to_vec();
+    let upper = image
+        .iter()
+        .map(|&v| if v >= tau { 1.0 } else { v })
+        .collect();
+    Bounds::new(lower, upper)
+}
+
+/// A generated benchmark: a property plus provenance for reporting.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// The property to verify.
+    pub property: RobustnessProperty,
+    /// Index of the source image in the dataset.
+    pub image_index: usize,
+    /// The brightening threshold used.
+    pub tau: f64,
+}
+
+/// Generates a suite of brightening-attack benchmarks for a network.
+///
+/// For each evaluation image the network classifies correctly, one
+/// property per threshold in `taus` is emitted, asking the predicted
+/// class to be stable under the attack. Generation stops after `limit`
+/// benchmarks.
+///
+/// # Panics
+///
+/// Panics if `data` images do not match the network input dimension.
+pub fn brightening_suite(
+    net: &Network,
+    data: &Dataset,
+    taus: &[f64],
+    limit: usize,
+) -> Vec<Benchmark> {
+    let mut out = Vec::new();
+    for (idx, (image, &label)) in data.images.iter().zip(data.labels.iter()).enumerate() {
+        if out.len() >= limit {
+            break;
+        }
+        let predicted = net.classify(image);
+        if predicted != label {
+            // Following the paper we only verify points the network gets
+            // right; robustness of a misclassification is meaningless.
+            continue;
+        }
+        for &tau in taus {
+            if out.len() >= limit {
+                break;
+            }
+            out.push(Benchmark {
+                property: RobustnessProperty::new(brightening_region(image, tau), predicted),
+                image_index: idx,
+                tau,
+            });
+        }
+    }
+    out
+}
+
+/// An L∞-ball property around a point, clipped to `[0, 1]`, targeting the
+/// network's own prediction at the center.
+pub fn linf_property(net: &Network, center: &[f64], eps: f64) -> RobustnessProperty {
+    RobustnessProperty::new(
+        Bounds::linf_ball(center, eps, Some((0.0, 1.0))),
+        net.classify(center),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::images::mnist_like;
+    use crate::zoo::{build, ZooConfig, ZooNetwork};
+    use nn::train::TrainConfig;
+
+    fn quick_zoo() -> (Network, Dataset) {
+        let config = ZooConfig {
+            train_size: 200,
+            train: TrainConfig {
+                epochs: 20,
+                ..TrainConfig::default()
+            },
+            cache_dir: None,
+            ..ZooConfig::default()
+        };
+        let (net, _) = build(ZooNetwork::Mnist3x32, &config);
+        let data = mnist_like(40, 999);
+        (net, data)
+    }
+
+    #[test]
+    fn brightening_region_geometry() {
+        let image = vec![0.9, 0.2, 0.55, 1.0];
+        let region = brightening_region(&image, 0.5);
+        assert_eq!(region.lower(), image.as_slice());
+        assert_eq!(region.upper(), &[1.0, 0.2, 1.0, 1.0]);
+        // Dim pixels are fixed (zero width).
+        assert_eq!(region.widths()[1], 0.0);
+    }
+
+    #[test]
+    fn region_contains_original_image() {
+        let image = vec![0.3, 0.8];
+        let region = brightening_region(&image, 0.5);
+        assert!(region.contains(&image));
+    }
+
+    #[test]
+    fn suite_targets_correct_predictions_only() {
+        let (net, data) = quick_zoo();
+        let suite = brightening_suite(&net, &data, &[0.6], 50);
+        assert!(!suite.is_empty());
+        for b in &suite {
+            let image = &data.images[b.image_index];
+            assert_eq!(net.classify(image), b.property.target());
+            assert_eq!(data.labels[b.image_index], b.property.target());
+            assert!(b.property.region().contains(image));
+        }
+    }
+
+    #[test]
+    fn suite_respects_limit() {
+        let (net, data) = quick_zoo();
+        let suite = brightening_suite(&net, &data, &[0.4, 0.6, 0.8], 7);
+        assert_eq!(suite.len(), 7);
+    }
+
+    #[test]
+    fn higher_tau_gives_smaller_region() {
+        let (_, data) = quick_zoo();
+        let img = &data.images[0];
+        let loose = brightening_region(img, 0.3);
+        let tight = brightening_region(img, 0.8);
+        assert!(tight.diameter() <= loose.diameter());
+    }
+
+    #[test]
+    fn linf_property_centers_on_prediction() {
+        let (net, data) = quick_zoo();
+        let p = linf_property(&net, &data.images[0], 0.05);
+        assert_eq!(p.target(), net.classify(&data.images[0]));
+        assert!(p.region().contains(&data.images[0]));
+    }
+}

@@ -1,0 +1,323 @@
+//! The network zoo: the seven evaluation networks of §7, scaled down.
+//!
+//! The paper's benchmark suite spans fully-connected MNIST networks
+//! (3x100, 6x100, 9x200), fully-connected CIFAR networks (3x100, 6x100,
+//! 9x100), and one LeNet-style convolutional network. The zoo keeps the
+//! architecture *families* but scales widths and input sizes so the whole
+//! evaluation runs on one machine (see DESIGN.md).
+//!
+//! Networks are trained deterministically from a seed and cached on disk
+//! (plain-text format) so repeated benchmark runs skip training.
+
+use std::path::PathBuf;
+
+use nn::conv::{max_pool_groups, Conv2d, Shape3};
+use nn::train::{random_mlp, train_classifier, TrainConfig};
+use nn::{Layer, Network};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::images::{cifar_like, mnist_like, Dataset};
+
+/// Identifier of a zoo network, mirroring the paper's seven networks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ZooNetwork {
+    /// MNIST-like 3-layer MLP (paper: 3x100 MNIST).
+    Mnist3x32,
+    /// MNIST-like 6-layer MLP (paper: 6x100 MNIST).
+    Mnist6x32,
+    /// MNIST-like 9-layer wide MLP (paper: 9x200 MNIST).
+    Mnist9x64,
+    /// CIFAR-like 3-layer MLP (paper: 3x100 CIFAR).
+    Cifar3x32,
+    /// CIFAR-like 6-layer MLP (paper: 6x100 CIFAR).
+    Cifar6x32,
+    /// CIFAR-like 9-layer MLP (paper: 9x100 CIFAR).
+    Cifar9x32,
+    /// LeNet-style convolutional network on MNIST-like data (paper:
+    /// conv + max-pool LeNet).
+    ConvSmall,
+}
+
+impl ZooNetwork {
+    /// All seven networks, in the paper's presentation order.
+    pub const ALL: [ZooNetwork; 7] = [
+        ZooNetwork::Mnist3x32,
+        ZooNetwork::Mnist6x32,
+        ZooNetwork::Mnist9x64,
+        ZooNetwork::Cifar3x32,
+        ZooNetwork::Cifar6x32,
+        ZooNetwork::Cifar9x32,
+        ZooNetwork::ConvSmall,
+    ];
+
+    /// The fully-connected networks (the subset §7.2 evaluates the
+    /// complete tools on, which do not support convolution/pooling).
+    pub const FULLY_CONNECTED: [ZooNetwork; 6] = [
+        ZooNetwork::Mnist3x32,
+        ZooNetwork::Mnist6x32,
+        ZooNetwork::Mnist9x64,
+        ZooNetwork::Cifar3x32,
+        ZooNetwork::Cifar6x32,
+        ZooNetwork::Cifar9x32,
+    ];
+
+    /// Stable name used for cache files and report rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ZooNetwork::Mnist3x32 => "mnist-3x32",
+            ZooNetwork::Mnist6x32 => "mnist-6x32",
+            ZooNetwork::Mnist9x64 => "mnist-9x64",
+            ZooNetwork::Cifar3x32 => "cifar-3x32",
+            ZooNetwork::Cifar6x32 => "cifar-6x32",
+            ZooNetwork::Cifar9x32 => "cifar-9x32",
+            ZooNetwork::ConvSmall => "conv-small",
+        }
+    }
+
+    /// The paper's network this one stands in for.
+    pub fn paper_name(&self) -> &'static str {
+        match self {
+            ZooNetwork::Mnist3x32 => "3x100 MNIST",
+            ZooNetwork::Mnist6x32 => "6x100 MNIST",
+            ZooNetwork::Mnist9x64 => "9x200 MNIST",
+            ZooNetwork::Cifar3x32 => "3x100 CIFAR",
+            ZooNetwork::Cifar6x32 => "6x100 CIFAR",
+            ZooNetwork::Cifar9x32 => "9x100 CIFAR",
+            ZooNetwork::ConvSmall => "LeNet conv",
+        }
+    }
+
+    /// The dataset family this network is trained on.
+    pub fn dataset(&self, n: usize, seed: u64) -> Dataset {
+        match self {
+            ZooNetwork::Cifar3x32 | ZooNetwork::Cifar6x32 | ZooNetwork::Cifar9x32 => {
+                cifar_like(n, seed)
+            }
+            _ => mnist_like(n, seed),
+        }
+    }
+
+    /// Hidden-layer widths for the MLP members.
+    fn hidden(&self) -> Vec<usize> {
+        match self {
+            ZooNetwork::Mnist3x32 | ZooNetwork::Cifar3x32 => vec![32; 2],
+            ZooNetwork::Mnist6x32 | ZooNetwork::Cifar6x32 => vec![32; 5],
+            ZooNetwork::Cifar9x32 => vec![32; 8],
+            ZooNetwork::Mnist9x64 => vec![64; 8],
+            ZooNetwork::ConvSmall => vec![],
+        }
+    }
+}
+
+/// Training setup shared by the zoo.
+#[derive(Debug, Clone)]
+pub struct ZooConfig {
+    /// Training-set size.
+    pub train_size: usize,
+    /// Seed for both data generation and training.
+    pub seed: u64,
+    /// Training hyper-parameters.
+    pub train: TrainConfig,
+    /// Optional on-disk cache directory (`None` disables caching).
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ZooConfig {
+    fn default() -> Self {
+        ZooConfig {
+            train_size: 400,
+            seed: 0,
+            train: TrainConfig {
+                epochs: 40,
+                ..TrainConfig::default()
+            },
+            cache_dir: Some(default_cache_dir()),
+        }
+    }
+}
+
+/// The default cache directory (`target/charon-zoo` under the workspace,
+/// falling back to the system temp directory).
+pub fn default_cache_dir() -> PathBuf {
+    let base = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    base.join("charon-zoo")
+}
+
+/// Builds (or loads from cache) a zoo network, returning the network and
+/// its held-out evaluation accuracy.
+pub fn build(which: ZooNetwork, config: &ZooConfig) -> (Network, f64) {
+    let data = which.dataset(config.train_size + 100, config.seed);
+    let (train, test) = data.split(config.train_size);
+    // The cache key includes a fingerprint of the training data so that
+    // changes to the synthetic generators invalidate stale networks.
+    let fingerprint: u64 = train
+        .images
+        .first()
+        .map(|img| {
+            img.iter().fold(0u64, |acc, v| {
+                acc.wrapping_mul(31).wrapping_add(v.to_bits())
+            })
+        })
+        .unwrap_or(0);
+    let cache_path = config.cache_dir.as_ref().map(|dir| {
+        dir.join(format!(
+            "{}-s{}-n{}-d{:016x}.net",
+            which.name(),
+            config.seed,
+            config.train_size,
+            fingerprint
+        ))
+    });
+
+    if let Some(path) = &cache_path {
+        if let Ok(net) = nn::serialize::load(path) {
+            let acc = nn::train::accuracy(&net, &test.images, &test.labels);
+            return (net, acc);
+        }
+    }
+
+    let mut net = match which {
+        ZooNetwork::ConvSmall => conv_small_skeleton(config.seed),
+        _ => random_mlp(
+            train.input_dim(),
+            &which.hidden(),
+            train.num_classes,
+            config.seed,
+        ),
+    };
+    let mut tc = config.train.clone();
+    tc.seed = config.seed;
+    train_classifier(&mut net, &train.images, &train.labels, &tc);
+    let acc = nn::train::accuracy(&net, &test.images, &test.labels);
+
+    if let Some(path) = &cache_path {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let _ = nn::serialize::save(&net, path);
+    }
+    (net, acc)
+}
+
+/// The untrained LeNet-style skeleton: conv -> relu -> max-pool ->
+/// conv -> relu -> fully-connected head.
+///
+/// Convolutions are lowered to affine layers before training (the paper
+/// makes the same representation choice for *analysis*; we additionally
+/// train in the lowered form, so kernels are not weight-tied during
+/// training — see DESIGN.md).
+fn conv_small_skeleton(seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc0417);
+    let mut normal = move |scale: f64| -> f64 {
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        scale * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+
+    let input = Shape3::new(1, 8, 8);
+    let c1 = Conv2d::new(
+        input,
+        4,
+        (3, 3),
+        (1, 1),
+        (0..4 * 9).map(|_| normal(0.3)).collect(),
+        vec![0.0; 4],
+    );
+    let c1_out = c1.output_shape(); // 4x6x6
+    let pool = max_pool_groups(c1_out, 2); // 4x3x3 = 36
+    let pooled = 36;
+    let c2 = {
+        // 1x1-style mixing conv over the pooled map, expressed directly
+        // as an affine layer over the 36 pooled activations.
+        let rows = 24;
+        let w = tensor::Matrix::from_fn(rows, pooled, |_, _| normal((2.0 / pooled as f64).sqrt()));
+        nn::AffineLayer::new(w, vec![0.0; rows])
+    };
+    let head = {
+        let w = tensor::Matrix::from_fn(10, 24, |_, _| normal((2.0f64 / 24.0).sqrt()));
+        nn::AffineLayer::new(w, vec![0.0; 10])
+    };
+
+    Network::new(
+        input.len(),
+        vec![
+            Layer::Affine(c1.to_affine()),
+            Layer::Relu,
+            Layer::MaxPool(pool),
+            Layer::Affine(c2),
+            Layer::Relu,
+            Layer::Affine(head),
+        ],
+    )
+    .expect("conv skeleton shapes are consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> ZooConfig {
+        ZooConfig {
+            train_size: 200,
+            train: TrainConfig {
+                epochs: 20,
+                ..TrainConfig::default()
+            },
+            cache_dir: None,
+            ..ZooConfig::default()
+        }
+    }
+
+    #[test]
+    fn mlp_zoo_members_train_accurately() {
+        let (net, acc) = build(ZooNetwork::Mnist3x32, &quick_config());
+        assert_eq!(net.input_dim(), 64);
+        assert_eq!(net.output_dim(), 10);
+        assert_eq!(net.depth(), 3);
+        assert!(acc > 0.8, "mnist-3x32 accuracy {acc}");
+    }
+
+    #[test]
+    fn cifar_member_has_three_channels() {
+        let (net, acc) = build(ZooNetwork::Cifar3x32, &quick_config());
+        assert_eq!(net.input_dim(), 3 * 6 * 6);
+        assert!(acc > 0.7, "cifar-3x32 accuracy {acc}");
+    }
+
+    #[test]
+    fn conv_member_contains_maxpool() {
+        let (net, acc) = build(ZooNetwork::ConvSmall, &quick_config());
+        assert!(net.layers().iter().any(|l| matches!(l, Layer::MaxPool(_))));
+        assert!(acc > 0.7, "conv accuracy {acc}");
+    }
+
+    #[test]
+    fn deep_member_architecture() {
+        let config = quick_config();
+        let (net, _) = build(ZooNetwork::Mnist9x64, &config);
+        assert_eq!(net.depth(), 9);
+    }
+
+    #[test]
+    fn cache_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("zoo-test-{}", std::process::id()));
+        let config = ZooConfig {
+            cache_dir: Some(dir.clone()),
+            ..quick_config()
+        };
+        let (a, _) = build(ZooNetwork::Mnist3x32, &config);
+        let (b, _) = build(ZooNetwork::Mnist3x32, &config);
+        assert_eq!(a, b, "cached reload must be identical");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn builds_are_deterministic_without_cache() {
+        let (a, _) = build(ZooNetwork::Mnist6x32, &quick_config());
+        let (b, _) = build(ZooNetwork::Mnist6x32, &quick_config());
+        assert_eq!(a, b);
+    }
+}

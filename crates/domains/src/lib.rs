@@ -1,0 +1,243 @@
+//! Abstract domains and sound transformers for ReLU networks.
+//!
+//! This crate replaces the ELINA library used by the original Charon tool.
+//! It provides:
+//!
+//! * [`Bounds`] — axis-aligned boxes describing input regions,
+//! * the [`AbstractElement`] trait — abstract values propagated through a
+//!   network,
+//! * [`Interval`] — the box domain,
+//! * [`Zonotope`] — center-symmetric polytopes with the λ-relaxation ReLU
+//!   transformer,
+//! * [`Powerset`] — bounded disjunctions of either base domain, with
+//!   ReLU case splitting (the paper's "bounded powerset" domains),
+//! * [`deeppoly`] — a DeepPoly-style back-substitution domain (the
+//!   "broader set of abstract domains" extension proposed in §9),
+//! * [`symbolic`] — ReluVal-style symbolic interval propagation and
+//!   interval gradient analysis (used both by the ReluVal baseline and by
+//!   Charon's "influence" split heuristic).
+//!
+//! The top-level entry points are [`propagate`], which pushes an abstract
+//! element through a network, and [`analyze`], which checks a robustness
+//! property under a [`DomainChoice`].
+//!
+//! # Soundness
+//!
+//! Every transformer over-approximates its concrete counterpart: if
+//! `x ∈ γ(a)` then `layer(x) ∈ γ(transform(a))`. The property tests in this
+//! crate check this by sampling concrete points.
+//!
+//! # Examples
+//!
+//! ```
+//! use domains::{analyze, Bounds, DomainChoice};
+//! use nn::samples;
+//!
+//! let net = samples::example_2_2_network();
+//! // Example 2.2: robust on [-1, 1] for class 1.
+//! let region = Bounds::new(vec![-1.0], vec![1.0]);
+//! assert!(analyze(&net, &region, 1, DomainChoice::zonotope()));
+//! ```
+
+// Numeric kernels in this crate co-index several arrays at once; index
+// loops are clearer than zipped iterator chains there.
+#![allow(clippy::needless_range_loop)]
+
+mod bounds;
+mod interval;
+mod powerset;
+mod zonotope;
+
+pub mod deeppoly;
+pub mod symbolic;
+
+pub use bounds::Bounds;
+pub use interval::Interval;
+pub use powerset::Powerset;
+pub use zonotope::Zonotope;
+
+use nn::{Layer, Network};
+
+/// An abstract value that can be propagated through a ReLU network.
+///
+/// Implementations must be *sound*: the concretization of the result of
+/// each transformer contains the image of the concretization of the input.
+pub trait AbstractElement: Clone + std::fmt::Debug + Sized {
+    /// Abstracts an axis-aligned box.
+    fn from_bounds(bounds: &Bounds) -> Self;
+
+    /// Dimension of the space the element lives in.
+    fn dim(&self) -> usize;
+
+    /// Tightest box containing the concretization.
+    fn bounds(&self) -> Bounds;
+
+    /// Abstract affine transformer for `y = W x + b`.
+    fn affine(&self, layer: &nn::AffineLayer) -> Self;
+
+    /// Abstract ReLU transformer (applied to every coordinate).
+    fn relu(&self) -> Self;
+
+    /// Abstract max-pool transformer.
+    fn max_pool(&self, layer: &nn::MaxPoolLayer) -> Self;
+
+    /// A sound lower bound on `min over the element of (y_target - y_j)`
+    /// for the worst `j != target`.
+    ///
+    /// If this is positive, every concrete point abstracted by the element
+    /// is classified as `target`.
+    fn margin_lower_bound(&self, target: usize) -> f64;
+}
+
+/// Propagates an abstract element through every layer of a network.
+///
+/// # Panics
+///
+/// Panics if `element.dim() != net.input_dim()`.
+pub fn propagate<E: AbstractElement>(net: &Network, element: E) -> E {
+    assert_eq!(
+        element.dim(),
+        net.input_dim(),
+        "element dimension must match network input"
+    );
+    let mut current = element;
+    for layer in net.layers() {
+        current = match layer {
+            Layer::Affine(a) => current.affine(a),
+            Layer::Relu => current.relu(),
+            Layer::MaxPool(p) => current.max_pool(p),
+        };
+    }
+    current
+}
+
+/// The base abstract domains selectable by a verification policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaseDomain {
+    /// The interval (box) domain.
+    Interval,
+    /// The zonotope domain.
+    Zonotope,
+}
+
+impl std::fmt::Display for BaseDomain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaseDomain::Interval => write!(f, "I"),
+            BaseDomain::Zonotope => write!(f, "Z"),
+        }
+    }
+}
+
+/// An abstract-domain selection: a base domain plus a disjunct budget.
+///
+/// This mirrors the output of the paper's selection function φ^α (§4.1):
+/// `(Z, 2)` is the powerset of zonotopes with at most two disjuncts and
+/// `(I, 1)` is the plain interval domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DomainChoice {
+    /// Base abstract domain.
+    pub base: BaseDomain,
+    /// Maximum number of disjuncts (1 = no disjunction).
+    pub disjuncts: usize,
+}
+
+impl DomainChoice {
+    /// The plain interval domain `(I, 1)`.
+    pub fn interval() -> Self {
+        DomainChoice {
+            base: BaseDomain::Interval,
+            disjuncts: 1,
+        }
+    }
+
+    /// The plain zonotope domain `(Z, 1)`.
+    pub fn zonotope() -> Self {
+        DomainChoice {
+            base: BaseDomain::Zonotope,
+            disjuncts: 1,
+        }
+    }
+
+    /// A bounded powerset domain over `base` with at most `disjuncts`
+    /// disjuncts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disjuncts == 0`.
+    pub fn powerset(base: BaseDomain, disjuncts: usize) -> Self {
+        assert!(disjuncts > 0, "disjunct budget must be positive");
+        DomainChoice { base, disjuncts }
+    }
+
+    /// A rough relative cost estimate used by training-time featurization.
+    pub fn cost_weight(&self) -> f64 {
+        let base = match self.base {
+            BaseDomain::Interval => 1.0,
+            BaseDomain::Zonotope => 4.0,
+        };
+        base * self.disjuncts as f64
+    }
+}
+
+impl std::fmt::Display for DomainChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.base, self.disjuncts)
+    }
+}
+
+/// Attempts to verify a robustness property `(region, target)` of `net`
+/// using the given abstract domain.
+///
+/// Returns `true` if the abstract analysis proves that every point in
+/// `region` is classified as `target`. A `false` result is inconclusive
+/// (the abstraction may simply be too coarse).
+///
+/// # Panics
+///
+/// Panics if `region.dim() != net.input_dim()` or
+/// `target >= net.output_dim()`.
+pub fn analyze(net: &Network, region: &Bounds, target: usize, choice: DomainChoice) -> bool {
+    assert!(target < net.output_dim(), "target class out of range");
+    match (choice.base, choice.disjuncts) {
+        (BaseDomain::Interval, 1) => {
+            propagate(net, Interval::from_bounds(region)).margin_lower_bound(target) > 0.0
+        }
+        (BaseDomain::Zonotope, 1) => {
+            propagate(net, Zonotope::from_bounds(region)).margin_lower_bound(target) > 0.0
+        }
+        (BaseDomain::Interval, k) => {
+            let element = Powerset::<Interval>::with_budget(region, k);
+            propagate(net, element).margin_lower_bound(target) > 0.0
+        }
+        (BaseDomain::Zonotope, k) => {
+            let element = Powerset::<Zonotope>::with_budget(region, k);
+            propagate(net, element).margin_lower_bound(target) > 0.0
+        }
+    }
+}
+
+/// Operations on a single coordinate of an abstract element, used by the
+/// powerset domain to perform ReLU case splitting.
+///
+/// This trait is an implementation detail of [`Powerset`] but is exposed so
+/// downstream code can implement new base domains.
+pub trait ReluCoordOps: AbstractElement {
+    /// Concrete bounds of coordinate `i`.
+    fn coord_bounds(&self, i: usize) -> (f64, f64);
+
+    /// Sets coordinate `i` to exactly zero (the negative ReLU case).
+    fn project_zero(&mut self, i: usize);
+
+    /// Applies the single-coordinate ReLU relaxation to an unstable
+    /// coordinate `i` with pre-activation bounds `(lo, hi)`.
+    fn relax_relu_coord(&mut self, i: usize, lo: f64, hi: f64);
+
+    /// Restricts the element to `x_i >= 0`, returning `None` if the result
+    /// is empty. The result must over-approximate `γ(self) ∩ {x_i >= 0}`.
+    fn meet_coord_nonneg(&self, i: usize) -> Option<Self>;
+
+    /// Restricts the element to `x_i <= 0`, returning `None` if the result
+    /// is empty. The result must over-approximate `γ(self) ∩ {x_i <= 0}`.
+    fn meet_coord_nonpos(&self, i: usize) -> Option<Self>;
+}

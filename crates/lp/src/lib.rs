@@ -1,0 +1,723 @@
+//! A dense two-phase simplex linear-programming solver.
+//!
+//! This crate replaces the LP engine inside the Reluplex baseline. It
+//! solves problems of the form
+//!
+//! ```text
+//! minimize    c . x
+//! subject to  a_i . x (<=|=|>=) b_i      for each constraint i
+//!             l_j <= x_j <= u_j          for each variable j
+//! ```
+//!
+//! All variable bounds must be finite — in the neural-network encodings
+//! they always are, because interval analysis provides concrete bounds for
+//! every neuron. Internally the problem is shifted so variables are
+//! non-negative, slacks and artificials are added, and a textbook
+//! two-phase simplex with Bland's rule (which cannot cycle) finds the
+//! optimum.
+//!
+//! # Examples
+//!
+//! ```
+//! use lp::{Constraint, LpProblem, LpOutcome};
+//!
+//! // maximize x + y  s.t.  x + 2y <= 4, in the unit square
+//! // (minimize the negation)
+//! let mut p = LpProblem::new(2);
+//! p.set_bounds(0, 0.0, 1.0);
+//! p.set_bounds(1, 0.0, 1.0);
+//! p.set_objective(vec![-1.0, -1.0]);
+//! p.add_constraint(Constraint::le(vec![1.0, 2.0], 4.0));
+//! match p.solve() {
+//!     LpOutcome::Optimal { x, value } => {
+//!         assert!((value + 2.0).abs() < 1e-9);
+//!         assert!((x[0] - 1.0).abs() < 1e-9 && (x[1] - 1.0).abs() < 1e-9);
+//!     }
+//!     other => panic!("unexpected outcome {other:?}"),
+//! }
+//! ```
+
+// Numeric kernels in this crate co-index several arrays at once; index
+// loops are clearer than zipped iterator chains there.
+#![allow(clippy::needless_range_loop)]
+
+use tensor::Matrix;
+
+/// Relational operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `a . x <= b`
+    Le,
+    /// `a . x = b`
+    Eq,
+    /// `a . x >= b`
+    Ge,
+}
+
+/// A linear constraint `a . x (rel) b`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Coefficient vector (length = number of variables).
+    pub coeffs: Vec<f64>,
+    /// The relation.
+    pub relation: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Creates `coeffs . x <= rhs`.
+    pub fn le(coeffs: Vec<f64>, rhs: f64) -> Self {
+        Constraint {
+            coeffs,
+            relation: Relation::Le,
+            rhs,
+        }
+    }
+
+    /// Creates `coeffs . x = rhs`.
+    pub fn eq(coeffs: Vec<f64>, rhs: f64) -> Self {
+        Constraint {
+            coeffs,
+            relation: Relation::Eq,
+            rhs,
+        }
+    }
+
+    /// Creates `coeffs . x >= rhs`.
+    pub fn ge(coeffs: Vec<f64>, rhs: f64) -> Self {
+        Constraint {
+            coeffs,
+            relation: Relation::Ge,
+            rhs,
+        }
+    }
+}
+
+/// Outcome of solving a linear program.
+#[derive(Debug, Clone)]
+pub enum LpOutcome {
+    /// An optimal solution was found.
+    Optimal {
+        /// The optimizing assignment (in the original variables).
+        x: Vec<f64>,
+        /// The optimal objective value.
+        value: f64,
+    },
+    /// The constraint system is infeasible.
+    Infeasible,
+    /// The iteration limit was exceeded (numerically pathological input).
+    IterationLimit,
+}
+
+impl LpOutcome {
+    /// Whether the outcome is [`LpOutcome::Optimal`].
+    pub fn is_optimal(&self) -> bool {
+        matches!(self, LpOutcome::Optimal { .. })
+    }
+}
+
+/// A linear program with finite variable bounds.
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    num_vars: usize,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl LpProblem {
+    /// Creates a problem over `num_vars` variables with zero objective and
+    /// default bounds `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars == 0`.
+    pub fn new(num_vars: usize) -> Self {
+        assert!(num_vars > 0, "need at least one variable");
+        LpProblem {
+            num_vars,
+            objective: vec![0.0; num_vars],
+            constraints: Vec::new(),
+            lower: vec![0.0; num_vars],
+            upper: vec![1.0; num_vars],
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Sets the objective coefficients (the problem minimizes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the variable count.
+    pub fn set_objective(&mut self, objective: Vec<f64>) {
+        assert_eq!(objective.len(), self.num_vars, "objective length mismatch");
+        self.objective = objective;
+    }
+
+    /// Sets finite bounds for variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range, bounds are inverted, or either
+    /// bound is not finite.
+    pub fn set_bounds(&mut self, var: usize, lower: f64, upper: f64) {
+        assert!(var < self.num_vars, "variable index out of range");
+        assert!(
+            lower.is_finite() && upper.is_finite(),
+            "bounds must be finite (got [{lower}, {upper}])"
+        );
+        assert!(lower <= upper, "inverted bounds [{lower}, {upper}]");
+        self.lower[var] = lower;
+        self.upper[var] = upper;
+    }
+
+    /// Adds a constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coefficient vector length differs from the variable
+    /// count.
+    pub fn add_constraint(&mut self, constraint: Constraint) {
+        assert_eq!(
+            constraint.coeffs.len(),
+            self.num_vars,
+            "constraint length mismatch"
+        );
+        self.constraints.push(constraint);
+    }
+
+    /// Solves the program, minimizing the objective.
+    pub fn solve(&self) -> LpOutcome {
+        Tableau::build(self).solve(None)
+    }
+
+    /// Solves with a wall-clock deadline. Returns
+    /// [`LpOutcome::IterationLimit`] if the deadline passes mid-solve
+    /// (checked every few dozen pivots).
+    pub fn solve_until(&self, deadline: std::time::Instant) -> LpOutcome {
+        Tableau::build(self).solve(Some(deadline))
+    }
+
+    /// Convenience: checks whether the constraint system is feasible at
+    /// all (solves with a zero objective).
+    pub fn is_feasible(&self) -> bool {
+        let mut p = self.clone();
+        p.objective = vec![0.0; self.num_vars];
+        p.solve().is_optimal()
+    }
+}
+
+const EPS: f64 = 1e-9;
+
+/// Dense simplex tableau over shifted variables `x' = x - l >= 0`.
+struct Tableau {
+    /// `rows x cols` tableau; the last column is the RHS.
+    t: Matrix,
+    /// Basis variable per row.
+    basis: Vec<usize>,
+    /// Total structural + slack columns (artificials come after).
+    num_structural: usize,
+    num_slack: usize,
+    num_artificial: usize,
+    /// Shift (original lower bounds) to map the solution back.
+    shift: Vec<f64>,
+    /// Objective constant accumulated by the shift.
+    obj_offset: f64,
+    objective: Vec<f64>,
+}
+
+impl Tableau {
+    fn build(p: &LpProblem) -> Self {
+        let n = p.num_vars;
+        // Shifted rows: every constraint becomes `a . x' <= b'` (or two
+        // rows for equalities), plus an upper-bound row per variable with
+        // a strictly positive range.
+        struct Row {
+            coeffs: Vec<f64>,
+            rhs: f64,
+        }
+        let mut rows: Vec<Row> = Vec::new();
+        let mut push = |coeffs: Vec<f64>, rhs: f64| rows.push(Row { coeffs, rhs });
+
+        for c in &p.constraints {
+            let shift_amount: f64 = c
+                .coeffs
+                .iter()
+                .zip(p.lower.iter())
+                .map(|(a, l)| a * l)
+                .sum();
+            let rhs = c.rhs - shift_amount;
+            match c.relation {
+                Relation::Le => push(c.coeffs.clone(), rhs),
+                Relation::Ge => push(c.coeffs.iter().map(|a| -a).collect(), -rhs),
+                Relation::Eq => {
+                    push(c.coeffs.clone(), rhs);
+                    push(c.coeffs.iter().map(|a| -a).collect(), -rhs);
+                }
+            }
+        }
+        for v in 0..n {
+            let range = p.upper[v] - p.lower[v];
+            let mut coeffs = vec![0.0; n];
+            coeffs[v] = 1.0;
+            push(coeffs, range);
+        }
+
+        let m = rows.len();
+        // Decide which rows need artificials (negative RHS after slack).
+        let mut needs_artificial = vec![false; m];
+        let mut num_artificial = 0;
+        for (i, row) in rows.iter().enumerate() {
+            if row.rhs < 0.0 {
+                needs_artificial[i] = true;
+                num_artificial += 1;
+            }
+        }
+
+        let cols = n + m + num_artificial + 1;
+        let mut t = Matrix::zeros(m, cols);
+        let mut basis = vec![0usize; m];
+        let mut art_idx = n + m;
+        for (i, row) in rows.iter().enumerate() {
+            let flip = if needs_artificial[i] { -1.0 } else { 1.0 };
+            for (j, a) in row.coeffs.iter().enumerate() {
+                t.set(i, j, flip * a);
+            }
+            // Slack for this row.
+            t.set(i, n + i, flip);
+            t.set(i, cols - 1, flip * row.rhs);
+            if needs_artificial[i] {
+                t.set(i, art_idx, 1.0);
+                basis[i] = art_idx;
+                art_idx += 1;
+            } else {
+                basis[i] = n + i;
+            }
+        }
+
+        let obj_offset: f64 = p
+            .objective
+            .iter()
+            .zip(p.lower.iter())
+            .map(|(c, l)| c * l)
+            .sum();
+
+        Tableau {
+            t,
+            basis,
+            num_structural: n,
+            num_slack: m,
+            num_artificial,
+            shift: p.lower.clone(),
+            obj_offset,
+            objective: p.objective.clone(),
+        }
+    }
+
+    fn cols(&self) -> usize {
+        self.t.cols()
+    }
+
+    fn rows(&self) -> usize {
+        self.t.rows()
+    }
+
+    fn rhs(&self, row: usize) -> f64 {
+        self.t.get(row, self.cols() - 1)
+    }
+
+    /// Runs simplex on the objective row `reduced`, pivoting with Bland's
+    /// rule restricted to columns `< limit`. Returns `false` if the
+    /// iteration budget (or the deadline) is exhausted.
+    fn run_simplex(
+        &mut self,
+        reduced: &mut [f64],
+        obj_val: &mut f64,
+        limit: usize,
+        deadline: Option<std::time::Instant>,
+    ) -> bool {
+        let max_iters = 50 * (self.rows() + limit) + 1000;
+        for iter in 0..max_iters {
+            if iter % 32 == 0 {
+                if let Some(d) = deadline {
+                    if std::time::Instant::now() >= d {
+                        return false;
+                    }
+                }
+            }
+            // Bland's rule: entering variable = lowest index with
+            // negative reduced cost.
+            let entering = (0..limit).find(|&j| reduced[j] < -EPS);
+            let Some(enter) = entering else {
+                return true; // optimal
+            };
+            // Ratio test (Bland: lowest basis index on ties).
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..self.rows() {
+                let a = self.t.get(i, enter);
+                if a > EPS {
+                    let ratio = self.rhs(i) / a;
+                    if ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave.is_some_and(|l| self.basis[i] < self.basis[l]))
+                    {
+                        best_ratio = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(leave) = leave else {
+                // Unbounded in this direction. With finite variable
+                // bounds this can only happen through numerical trouble;
+                // treat as converged to avoid spinning.
+                return true;
+            };
+            self.pivot(leave, enter, reduced, obj_val);
+        }
+        false
+    }
+
+    fn pivot(&mut self, row: usize, col: usize, reduced: &mut [f64], obj_val: &mut f64) {
+        let cols = self.cols();
+        let pivot_val = self.t.get(row, col);
+        debug_assert!(pivot_val.abs() > EPS, "pivot on (near) zero element");
+        // Normalize pivot row.
+        for j in 0..cols {
+            let v = self.t.get(row, j) / pivot_val;
+            self.t.set(row, j, v);
+        }
+        // Eliminate the column from other rows.
+        for i in 0..self.rows() {
+            if i == row {
+                continue;
+            }
+            let factor = self.t.get(i, col);
+            if factor.abs() <= EPS {
+                continue;
+            }
+            for j in 0..cols {
+                let v = self.t.get(i, j) - factor * self.t.get(row, j);
+                self.t.set(i, j, v);
+            }
+        }
+        // Update the reduced-cost row.
+        let factor = reduced[col];
+        if factor.abs() > EPS {
+            for (j, r) in reduced.iter_mut().enumerate().take(cols - 1) {
+                *r -= factor * self.t.get(row, j);
+            }
+            // `obj_val` stores z (not -z as a tableau row would), so the
+            // elimination step adds factor * rhs.
+            *obj_val += factor * self.rhs(row);
+        }
+        self.basis[row] = col;
+    }
+
+    fn reduced_costs(&self, cost: &[f64]) -> (Vec<f64>, f64) {
+        // reduced_j = c_j - c_B . B^{-1} A_j, computed directly from the
+        // current tableau: for basic rows, tableau already holds B^{-1} A.
+        let cols = self.cols();
+        let mut reduced = vec![0.0; cols - 1];
+        reduced[..cost.len()].copy_from_slice(cost);
+        let mut obj = 0.0;
+        for (i, &b) in self.basis.iter().enumerate() {
+            let cb = if b < cost.len() { cost[b] } else { 0.0 };
+            if cb == 0.0 {
+                continue;
+            }
+            for (j, r) in reduced.iter_mut().enumerate() {
+                *r -= cb * self.t.get(i, j);
+            }
+            obj += cb * self.rhs(i);
+        }
+        (reduced, obj)
+    }
+
+    fn solve(mut self, deadline: Option<std::time::Instant>) -> LpOutcome {
+        let n = self.num_structural;
+        let total_cols = self.cols() - 1;
+
+        // Phase 1: minimize the sum of artificial variables.
+        if self.num_artificial > 0 {
+            let mut cost = vec![0.0; total_cols];
+            for j in n + self.num_slack..total_cols {
+                cost[j] = 1.0;
+            }
+            let (mut reduced, mut obj) = self.reduced_costs(&cost);
+            if !self.run_simplex(&mut reduced, &mut obj, total_cols, deadline) {
+                return LpOutcome::IterationLimit;
+            }
+            if obj > 1e-6 {
+                return LpOutcome::Infeasible;
+            }
+            // Drive any remaining artificials out of the basis where
+            // possible (degenerate rows can keep a zero-valued
+            // artificial; pivot it out on any eligible column).
+            for i in 0..self.rows() {
+                if self.basis[i] >= n + self.num_slack {
+                    if let Some(col) =
+                        (0..n + self.num_slack).find(|&j| self.t.get(i, j).abs() > 1e-7)
+                    {
+                        let mut dummy = vec![0.0; self.cols() - 1];
+                        let mut dv = 0.0;
+                        self.pivot(i, col, &mut dummy, &mut dv);
+                    }
+                }
+            }
+        }
+
+        // Phase 2: the real objective over structural + slack columns only
+        // (artificial columns are excluded from pivoting).
+        let mut cost = vec![0.0; total_cols];
+        cost[..n].copy_from_slice(&self.objective);
+        let (mut reduced, mut obj) = self.reduced_costs(&cost);
+        if !self.run_simplex(&mut reduced, &mut obj, n + self.num_slack, deadline) {
+            return LpOutcome::IterationLimit;
+        }
+
+        // Extract the solution.
+        let mut x_shifted = vec![0.0; n];
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b < n {
+                x_shifted[b] = self.rhs(i);
+            }
+        }
+        let x: Vec<f64> = x_shifted
+            .iter()
+            .zip(self.shift.iter())
+            .map(|(v, l)| v + l)
+            .collect();
+        let value = tensor::ops::dot(&self.objective, &x_shifted) + self.obj_offset;
+        LpOutcome::Optimal { x, value }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn assert_optimal(outcome: &LpOutcome) -> (&Vec<f64>, f64) {
+        match outcome {
+            LpOutcome::Optimal { x, value } => (x, *value),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unconstrained_box_minimum() {
+        let mut p = LpProblem::new(2);
+        p.set_bounds(0, -1.0, 2.0);
+        p.set_bounds(1, -3.0, 5.0);
+        p.set_objective(vec![1.0, -1.0]);
+        let (x, v) = match p.solve() {
+            LpOutcome::Optimal { x, value } => (x, value),
+            o => panic!("{o:?}"),
+        };
+        assert!((x[0] + 1.0).abs() < 1e-9);
+        assert!((x[1] - 5.0).abs() < 1e-9);
+        assert!((v + 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classic_2d_lp() {
+        // min -3x - 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y in [0,10]
+        let mut p = LpProblem::new(2);
+        p.set_bounds(0, 0.0, 10.0);
+        p.set_bounds(1, 0.0, 10.0);
+        p.set_objective(vec![-3.0, -5.0]);
+        p.add_constraint(Constraint::le(vec![1.0, 0.0], 4.0));
+        p.add_constraint(Constraint::le(vec![0.0, 2.0], 12.0));
+        p.add_constraint(Constraint::le(vec![3.0, 2.0], 18.0));
+        let out = p.solve();
+        let (x, v) = assert_optimal(&out);
+        assert!((x[0] - 2.0).abs() < 1e-8, "x = {x:?}");
+        assert!((x[1] - 6.0).abs() < 1e-8);
+        assert!((v + 36.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn equality_constraint() {
+        // min x + y  s.t.  x + y = 1,  x,y in [0,1]
+        let mut p = LpProblem::new(2);
+        p.set_objective(vec![1.0, 1.0]);
+        p.add_constraint(Constraint::eq(vec![1.0, 1.0], 1.0));
+        let out = p.solve();
+        let (_, v) = assert_optimal(&out);
+        assert!((v - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ge_constraint_with_negative_bounds() {
+        // min y  s.t.  y >= x, x in [-2, 2], y in [-5, 5]  => y = -2
+        let mut p = LpProblem::new(2);
+        p.set_bounds(0, -2.0, 2.0);
+        p.set_bounds(1, -5.0, 5.0);
+        p.set_objective(vec![0.0, 1.0]);
+        p.add_constraint(Constraint::ge(vec![-1.0, 1.0], 0.0));
+        let out = p.solve();
+        let (x, v) = assert_optimal(&out);
+        assert!((v + 2.0).abs() < 1e-8, "value {v} x {x:?}");
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let mut p = LpProblem::new(1);
+        p.set_bounds(0, 0.0, 1.0);
+        p.add_constraint(Constraint::ge(vec![1.0], 2.0));
+        assert!(matches!(p.solve(), LpOutcome::Infeasible));
+        assert!(!p.is_feasible());
+    }
+
+    #[test]
+    fn infeasible_equalities() {
+        let mut p = LpProblem::new(2);
+        p.set_bounds(0, -10.0, 10.0);
+        p.set_bounds(1, -10.0, 10.0);
+        p.add_constraint(Constraint::eq(vec![1.0, 1.0], 1.0));
+        p.add_constraint(Constraint::eq(vec![1.0, 1.0], 2.0));
+        assert!(matches!(p.solve(), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn feasible_system_reports_point_satisfying_constraints() {
+        let mut p = LpProblem::new(3);
+        for v in 0..3 {
+            p.set_bounds(v, -1.0, 1.0);
+        }
+        p.add_constraint(Constraint::le(vec![1.0, 1.0, 1.0], 0.5));
+        p.add_constraint(Constraint::ge(vec![1.0, -1.0, 0.0], -0.25));
+        p.set_objective(vec![0.3, -0.2, 0.9]);
+        let out = p.solve();
+        let (x, _) = assert_optimal(&out);
+        assert!(x.iter().all(|v| (-1.0 - 1e-7..=1.0 + 1e-7).contains(v)));
+        assert!(x[0] + x[1] + x[2] <= 0.5 + 1e-7);
+        assert!(x[0] - x[1] >= -0.25 - 1e-7);
+    }
+
+    #[test]
+    fn degenerate_fixed_variable() {
+        let mut p = LpProblem::new(2);
+        p.set_bounds(0, 0.5, 0.5);
+        p.set_bounds(1, 0.0, 1.0);
+        p.set_objective(vec![1.0, 1.0]);
+        let out = p.solve();
+        let (x, v) = assert_optimal(&out);
+        assert!((x[0] - 0.5).abs() < 1e-9);
+        assert!((v - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn redundant_constraints_are_harmless() {
+        let mut p = LpProblem::new(2);
+        p.set_bounds(0, 0.0, 2.0);
+        p.set_bounds(1, 0.0, 2.0);
+        p.set_objective(vec![-1.0, -1.0]);
+        // The same constraint three times plus a slack one.
+        for _ in 0..3 {
+            p.add_constraint(Constraint::le(vec![1.0, 1.0], 2.0));
+        }
+        p.add_constraint(Constraint::le(vec![1.0, 0.0], 100.0));
+        let (x, v) = match p.solve() {
+            LpOutcome::Optimal { x, value } => (x, value),
+            o => panic!("{o:?}"),
+        };
+        assert!((v + 2.0).abs() < 1e-8);
+        assert!((x[0] + x[1] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn all_variables_fixed() {
+        let mut p = LpProblem::new(3);
+        for v in 0..3 {
+            p.set_bounds(v, 0.25, 0.25);
+        }
+        p.set_objective(vec![1.0, 2.0, 3.0]);
+        p.add_constraint(Constraint::le(vec![1.0, 1.0, 1.0], 1.0));
+        let (_, v) = match p.solve() {
+            LpOutcome::Optimal { x, value } => (x, value),
+            o => panic!("{o:?}"),
+        };
+        assert!((v - 1.5).abs() < 1e-9);
+        // An infeasible constraint over fixed variables is detected.
+        let mut q = p.clone();
+        q.add_constraint(Constraint::ge(vec![1.0, 1.0, 1.0], 1.0));
+        assert!(matches!(q.solve(), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn solve_until_expired_deadline_reports_limit() {
+        let mut p = LpProblem::new(4);
+        for v in 0..4 {
+            p.set_bounds(v, -1.0, 1.0);
+        }
+        p.set_objective(vec![1.0, -1.0, 1.0, -1.0]);
+        p.add_constraint(Constraint::le(vec![1.0, 1.0, 1.0, 1.0], 0.5));
+        let past = std::time::Instant::now() - std::time::Duration::from_secs(1);
+        assert!(matches!(p.solve_until(past), LpOutcome::IterationLimit));
+    }
+
+    #[test]
+    fn equality_with_negative_rhs() {
+        // Exercises the artificial-variable path: x + y = -1 with
+        // negative-capable bounds.
+        let mut p = LpProblem::new(2);
+        p.set_bounds(0, -2.0, 0.0);
+        p.set_bounds(1, -2.0, 0.0);
+        p.set_objective(vec![1.0, 0.0]);
+        p.add_constraint(Constraint::eq(vec![1.0, 1.0], -1.0));
+        let (x, v) = match p.solve() {
+            LpOutcome::Optimal { x, value } => (x, value),
+            o => panic!("{o:?}"),
+        };
+        assert!((x[0] + x[1] + 1.0).abs() < 1e-8);
+        assert!((v + 1.0).abs() < 1e-8, "min x0 should be -1, got {v}");
+    }
+
+    #[test]
+    fn random_lps_optimum_beats_random_feasible_points() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for trial in 0..20 {
+            let n = rng.gen_range(2..5);
+            let mut p = LpProblem::new(n);
+            for v in 0..n {
+                let lo = rng.gen_range(-2.0..0.0);
+                let hi = rng.gen_range(0.0..2.0);
+                p.set_bounds(v, lo, hi);
+            }
+            let obj: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            p.set_objective(obj.clone());
+            // A constraint through the box center keeps things feasible.
+            let coeffs: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            p.add_constraint(Constraint::le(coeffs.clone(), 1.0));
+            let out = p.solve();
+            let (x, v) = assert_optimal(&out);
+            // Constraint satisfied.
+            assert!(tensor::ops::dot(&coeffs, x) <= 1.0 + 1e-6, "trial {trial}");
+            // No sampled feasible point does better.
+            for _ in 0..200 {
+                let cand: Vec<f64> = (0..n)
+                    .map(|i| {
+                        let (l, u) = (p.lower[i], p.upper[i]);
+                        rng.gen_range(l..=u)
+                    })
+                    .collect();
+                if tensor::ops::dot(&coeffs, &cand) <= 1.0 {
+                    let cv = tensor::ops::dot(&obj, &cand);
+                    assert!(
+                        cv >= v - 1e-6,
+                        "sampled {cv} beats optimum {v} (trial {trial})"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! Convolution and spatial pooling lowered to the core layer set.
+//!
+//! The paper (§2.1) treats convolutional layers as affine transformations;
+//! [`Conv2d::to_affine`] materializes the sparse convolution matrix, and
+//! [`max_pool_groups`] builds the index groups consumed by
+//! [`crate::MaxPoolLayer`]. Tensors are laid out channel-major:
+//! `index = c * h * w + y * w + x`.
+
+use tensor::Matrix;
+
+use crate::{AffineLayer, MaxPoolLayer};
+
+/// Shape of a channel-major 3-D activation tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shape3 {
+    /// Number of channels.
+    pub channels: usize,
+    /// Spatial height.
+    pub height: usize,
+    /// Spatial width.
+    pub width: usize,
+}
+
+impl Shape3 {
+    /// Creates a shape.
+    pub fn new(channels: usize, height: usize, width: usize) -> Self {
+        Shape3 {
+            channels,
+            height,
+            width,
+        }
+    }
+
+    /// Total number of scalar entries.
+    pub fn len(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+
+    /// Whether the shape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat index of `(channel, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn index(&self, channel: usize, y: usize, x: usize) -> usize {
+        assert!(channel < self.channels && y < self.height && x < self.width);
+        channel * self.height * self.width + y * self.width + x
+    }
+}
+
+/// A 2-D convolution specification (valid padding, unit stride unless set).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv2d {
+    /// Input tensor shape.
+    pub input: Shape3,
+    /// Number of output channels.
+    pub out_channels: usize,
+    /// Kernel height and width.
+    pub kernel: (usize, usize),
+    /// Stride in y and x.
+    pub stride: (usize, usize),
+    /// Kernel weights indexed `[out_c][in_c][ky][kx]`, flattened
+    /// `out_c * (in_c * kh * kw) + in_c * (kh * kw) + ky * kw + kx`.
+    pub weights: Vec<f64>,
+    /// Per-output-channel bias.
+    pub bias: Vec<f64>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight or bias buffer sizes do not match the
+    /// configuration, or if the kernel does not fit in the input.
+    pub fn new(
+        input: Shape3,
+        out_channels: usize,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        weights: Vec<f64>,
+        bias: Vec<f64>,
+    ) -> Self {
+        assert!(kernel.0 <= input.height && kernel.1 <= input.width);
+        assert!(stride.0 > 0 && stride.1 > 0, "stride must be positive");
+        assert_eq!(
+            weights.len(),
+            out_channels * input.channels * kernel.0 * kernel.1,
+            "weight buffer size mismatch"
+        );
+        assert_eq!(bias.len(), out_channels, "bias size mismatch");
+        Conv2d {
+            input,
+            out_channels,
+            kernel,
+            stride,
+            weights,
+            bias,
+        }
+    }
+
+    /// Shape of the output tensor.
+    pub fn output_shape(&self) -> Shape3 {
+        let oh = (self.input.height - self.kernel.0) / self.stride.0 + 1;
+        let ow = (self.input.width - self.kernel.1) / self.stride.1 + 1;
+        Shape3::new(self.out_channels, oh, ow)
+    }
+
+    fn weight(&self, oc: usize, ic: usize, ky: usize, kx: usize) -> f64 {
+        let (kh, kw) = self.kernel;
+        let per_oc = self.input.channels * kh * kw;
+        self.weights[oc * per_oc + ic * (kh * kw) + ky * kw + kx]
+    }
+
+    /// Lowers the convolution to a dense [`AffineLayer`].
+    ///
+    /// The resulting matrix has one row per output entry and one column per
+    /// input entry; applying it is equivalent to the convolution.
+    pub fn to_affine(&self) -> AffineLayer {
+        let out = self.output_shape();
+        let mut w = Matrix::zeros(out.len(), self.input.len());
+        let mut b = vec![0.0; out.len()];
+        for oc in 0..out.channels {
+            for oy in 0..out.height {
+                for ox in 0..out.width {
+                    let row = out.index(oc, oy, ox);
+                    b[row] = self.bias[oc];
+                    for ic in 0..self.input.channels {
+                        for ky in 0..self.kernel.0 {
+                            for kx in 0..self.kernel.1 {
+                                let iy = oy * self.stride.0 + ky;
+                                let ix = ox * self.stride.1 + kx;
+                                let col = self.input.index(ic, iy, ix);
+                                w.set(row, col, self.weight(oc, ic, ky, kx));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        AffineLayer::new(w, b)
+    }
+
+    /// Directly evaluates the convolution on a flat channel-major input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.input.len()`.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.input.len(), "conv input size mismatch");
+        let out = self.output_shape();
+        let mut y = vec![0.0; out.len()];
+        for oc in 0..out.channels {
+            for oy in 0..out.height {
+                for ox in 0..out.width {
+                    let mut acc = self.bias[oc];
+                    for ic in 0..self.input.channels {
+                        for ky in 0..self.kernel.0 {
+                            for kx in 0..self.kernel.1 {
+                                let iy = oy * self.stride.0 + ky;
+                                let ix = ox * self.stride.1 + kx;
+                                acc +=
+                                    self.weight(oc, ic, ky, kx) * x[self.input.index(ic, iy, ix)];
+                            }
+                        }
+                    }
+                    y[out.index(oc, oy, ox)] = acc;
+                }
+            }
+        }
+        y
+    }
+}
+
+/// Builds an [`AffineLayer`] performing non-overlapping `size x size`
+/// *average* pooling on a channel-major tensor.
+///
+/// Average pooling is linear, so it lowers directly to an affine layer
+/// (weight `1/size²` on each pooled input) — unlike max pooling, it needs
+/// no dedicated abstract transformer.
+///
+/// # Panics
+///
+/// Panics if the spatial dimensions are not divisible by `size`.
+pub fn avg_pool_affine(input: Shape3, size: usize) -> AffineLayer {
+    assert!(size > 0, "pool size must be positive");
+    assert_eq!(input.height % size, 0, "height not divisible by pool size");
+    assert_eq!(input.width % size, 0, "width not divisible by pool size");
+    let oh = input.height / size;
+    let ow = input.width / size;
+    let out_len = input.channels * oh * ow;
+    let weight = 1.0 / (size * size) as f64;
+    let mut w = Matrix::zeros(out_len, input.len());
+    let mut row = 0;
+    for c in 0..input.channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for dy in 0..size {
+                    for dx in 0..size {
+                        w.set(row, input.index(c, oy * size + dy, ox * size + dx), weight);
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    AffineLayer::new(w, vec![0.0; out_len])
+}
+
+/// Builds a [`MaxPoolLayer`] performing non-overlapping `size x size`
+/// spatial pooling on a channel-major tensor.
+///
+/// # Panics
+///
+/// Panics if the spatial dimensions are not divisible by `size`.
+pub fn max_pool_groups(input: Shape3, size: usize) -> MaxPoolLayer {
+    assert!(size > 0, "pool size must be positive");
+    assert_eq!(input.height % size, 0, "height not divisible by pool size");
+    assert_eq!(input.width % size, 0, "width not divisible by pool size");
+    let oh = input.height / size;
+    let ow = input.width / size;
+    let mut groups = Vec::with_capacity(input.channels * oh * ow);
+    for c in 0..input.channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut group = Vec::with_capacity(size * size);
+                for dy in 0..size {
+                    for dx in 0..size {
+                        group.push(input.index(c, oy * size + dy, ox * size + dx));
+                    }
+                }
+                groups.push(group);
+            }
+        }
+    }
+    MaxPoolLayer::new(input.len(), groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small_conv() -> Conv2d {
+        // 1 input channel 3x3, 2 output channels, 2x2 kernel, stride 1.
+        Conv2d::new(
+            Shape3::new(1, 3, 3),
+            2,
+            (2, 2),
+            (1, 1),
+            vec![
+                1.0, 0.0, 0.0, 1.0, // oc 0: identity-ish diagonal kernel
+                0.0, 1.0, 1.0, 0.0, // oc 1: anti-diagonal kernel
+            ],
+            vec![0.5, -0.5],
+        )
+    }
+
+    #[test]
+    fn output_shape() {
+        let c = small_conv();
+        assert_eq!(c.output_shape(), Shape3::new(2, 2, 2));
+    }
+
+    #[test]
+    fn apply_known_values() {
+        let c = small_conv();
+        #[rustfmt::skip]
+        let x = vec![
+            1.0, 2.0, 3.0,
+            4.0, 5.0, 6.0,
+            7.0, 8.0, 9.0,
+        ];
+        let y = c.apply(&x);
+        // oc0 at (0,0): 1*1 + 5*1 + 0.5 = 6.5
+        assert_eq!(y[0], 6.5);
+        // oc1 at (0,0): 2 + 4 - 0.5 = 5.5
+        assert_eq!(y[4], 5.5);
+    }
+
+    #[test]
+    fn to_affine_matches_apply() {
+        let c = small_conv();
+        let affine = c.to_affine();
+        let x: Vec<f64> = (0..9).map(|i| (i as f64) * 0.37 - 1.2).collect();
+        let direct = c.apply(&x);
+        let lowered = affine.apply(&x);
+        for (a, b) in direct.iter().zip(lowered.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn strided_conv_shape_and_equivalence() {
+        let c = Conv2d::new(
+            Shape3::new(2, 4, 4),
+            3,
+            (2, 2),
+            (2, 2),
+            (0..3 * 2 * 4).map(|i| (i as f64) * 0.1 - 1.0).collect(),
+            vec![0.1, 0.2, 0.3],
+        );
+        assert_eq!(c.output_shape(), Shape3::new(3, 2, 2));
+        let x: Vec<f64> = (0..32).map(|i| ((i * 7) % 5) as f64 - 2.0).collect();
+        let direct = c.apply(&x);
+        let lowered = c.to_affine().apply(&x);
+        for (a, b) in direct.iter().zip(lowered.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn avg_pool_averages() {
+        let pool = avg_pool_affine(Shape3::new(1, 2, 2), 2);
+        assert_eq!(pool.apply(&[1.0, 2.0, 3.0, 6.0]), vec![3.0]);
+        // Two channels pool independently.
+        let pool2 = avg_pool_affine(Shape3::new(2, 2, 2), 2);
+        let y = pool2.apply(&[1.0, 1.0, 1.0, 1.0, 4.0, 4.0, 4.0, 4.0]);
+        assert_eq!(y, vec![1.0, 4.0]);
+    }
+
+    #[test]
+    fn avg_pool_matches_manual_average() {
+        let shape = Shape3::new(1, 4, 4);
+        let pool = avg_pool_affine(shape, 2);
+        let x: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let y = pool.apply(&x);
+        // Top-left block: (0 + 1 + 4 + 5) / 4 = 2.5
+        assert_eq!(y[0], 2.5);
+        assert_eq!(y.len(), 4);
+    }
+
+    #[test]
+    fn pool_groups_partition_input() {
+        let pool = max_pool_groups(Shape3::new(2, 4, 4), 2);
+        assert_eq!(pool.output_dim(), 2 * 2 * 2);
+        let mut seen = [false; 32];
+        for group in &pool.groups {
+            assert_eq!(group.len(), 4);
+            for &i in group {
+                assert!(!seen[i], "index {i} pooled twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "pool groups must cover the input");
+    }
+
+    proptest! {
+        #[test]
+        fn conv_is_linear_in_input(
+            x in proptest::collection::vec(-2.0f64..2.0, 9),
+            y in proptest::collection::vec(-2.0f64..2.0, 9),
+        ) {
+            // conv(x + y) + bias_correction == conv(x) + conv(y) - conv(0)
+            let c = small_conv();
+            let zero = c.apply(&[0.0; 9]);
+            let sum: Vec<f64> = x.iter().zip(y.iter()).map(|(a, b)| a + b).collect();
+            let lhs = c.apply(&sum);
+            let cx = c.apply(&x);
+            let cy = c.apply(&y);
+            for i in 0..lhs.len() {
+                prop_assert!((lhs[i] - (cx[i] + cy[i] - zero[i])).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! ReLU neural networks for the Charon reproduction.
+//!
+//! A [`Network`] is a sequence of [`Layer`]s: affine transformations
+//! (`y = W x + b`), element-wise ReLU activations, and max-pooling layers
+//! expressed as index groups. Both fully-connected and convolutional layers
+//! are represented as affine transformations, following the paper (§2.1);
+//! the [`conv`] module lowers a convolution specification into an
+//! [`AffineLayer`].
+//!
+//! The crate also provides exact input gradients via backpropagation
+//! ([`Network::gradient`]), a softmax cross-entropy SGD trainer ([`train`]),
+//! a plain-text serialization format ([`serialize`]), and the example
+//! networks used in the paper's figures ([`samples`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use nn::samples;
+//!
+//! // The XOR network from Figure 3 of the paper.
+//! let net = samples::xor_network();
+//! assert_eq!(net.classify(&[0.0, 0.0]), 0);
+//! assert_eq!(net.classify(&[1.0, 0.0]), 1);
+//! assert_eq!(net.classify(&[0.0, 1.0]), 1);
+//! assert_eq!(net.classify(&[1.0, 1.0]), 0);
+//! ```
+
+mod grad;
+mod layer;
+mod network;
+
+pub mod conv;
+pub mod samples;
+pub mod serialize;
+pub mod train;
+
+pub use layer::{AffineLayer, Layer, MaxPoolLayer};
+pub use network::{margin, Network};
+
+/// Error produced when assembling or deserializing a network fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// Two adjacent layers have incompatible dimensions.
+    ShapeMismatch {
+        /// Index of the offending layer.
+        layer: usize,
+        /// Dimension produced by the preceding layer.
+        expected: usize,
+        /// Dimension the offending layer consumes.
+        actual: usize,
+    },
+    /// A serialized network could not be parsed.
+    Parse(String),
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkError::ShapeMismatch {
+                layer,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "layer {layer} consumes dimension {actual} but receives {expected}"
+            ),
+            NetworkError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}

@@ -1,0 +1,127 @@
+//! The example networks used throughout the paper.
+//!
+//! These small hand-written networks back the worked examples in §2 and §3
+//! and are used heavily by unit and integration tests across the workspace.
+
+use tensor::Matrix;
+
+use crate::{AffineLayer, Layer, Network};
+
+/// The XOR network of Figure 3: a two-layer feed-forward network that
+/// classifies `[0,0]` and `[1,1]` as class 0 and `[0,1]`, `[1,0]` as
+/// class 1.
+///
+/// ```
+/// let net = nn::samples::xor_network();
+/// assert_eq!(net.classify(&[1.0, 1.0]), 0);
+/// ```
+pub fn xor_network() -> Network {
+    Network::new(
+        2,
+        vec![
+            Layer::Affine(AffineLayer::new(
+                Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]),
+                vec![0.0, -1.0],
+            )),
+            Layer::Relu,
+            Layer::Affine(AffineLayer::new(
+                Matrix::from_rows(&[&[-1.0, 2.0], &[1.0, -2.0]]),
+                vec![1.0, 0.0],
+            )),
+        ],
+    )
+    .expect("XOR network shapes are consistent")
+}
+
+/// The single-input network of Example 2.2.
+///
+/// Robust on `I = [-1, 1]` for class 1 but not on `I' = [-1, 2]`.
+pub fn example_2_2_network() -> Network {
+    Network::new(
+        1,
+        vec![
+            Layer::Affine(AffineLayer::new(
+                Matrix::from_rows(&[&[1.0], &[2.0]]),
+                vec![-1.0, 1.0],
+            )),
+            Layer::Relu,
+            Layer::Affine(AffineLayer::new(
+                Matrix::from_rows(&[&[2.0, 1.0], &[-1.0, 1.0]]),
+                vec![1.0, 2.0],
+            )),
+        ],
+    )
+    .expect("example 2.2 network shapes are consistent")
+}
+
+/// The two-input network of Example 2.3.
+///
+/// On `[0, 1]^2` with target class 1 (class "B"), the plain zonotope domain
+/// fails to verify robustness but the 2-disjunct powerset of zonotopes
+/// succeeds.
+pub fn example_2_3_network() -> Network {
+    Network::new(
+        2,
+        vec![
+            Layer::Affine(AffineLayer::new(
+                Matrix::from_rows(&[&[1.0, -3.0], &[0.0, 3.0]]),
+                vec![1.0, 1.0],
+            )),
+            Layer::Relu,
+            Layer::Affine(AffineLayer::new(
+                Matrix::from_rows(&[&[1.0, 1.1], &[-1.0, 1.0]]),
+                vec![-3.0, 1.2],
+            )),
+        ],
+    )
+    .expect("example 2.3 network shapes are consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_truth_table() {
+        let net = xor_network();
+        assert_eq!(net.classify(&[0.0, 0.0]), 0);
+        assert_eq!(net.classify(&[0.0, 1.0]), 1);
+        assert_eq!(net.classify(&[1.0, 0.0]), 1);
+        assert_eq!(net.classify(&[1.0, 1.0]), 0);
+    }
+
+    #[test]
+    fn xor_is_robust_near_center_points() {
+        // The robustness property of Example 3.1: [0.3, 0.7]^2 -> class 1.
+        let net = xor_network();
+        for &x0 in &[0.3, 0.5, 0.7] {
+            for &x1 in &[0.3, 0.5, 0.7] {
+                assert_eq!(net.classify(&[x0, x1]), 1, "at ({x0}, {x1})");
+            }
+        }
+    }
+
+    #[test]
+    fn example_2_2_robust_on_unit_interval() {
+        let net = example_2_2_network();
+        let mut x = -1.0;
+        while x <= 1.0 {
+            assert_eq!(net.classify(&[x]), 1, "at {x}");
+            x += 0.05;
+        }
+        assert_eq!(net.classify(&[2.0]), 0);
+    }
+
+    #[test]
+    fn example_2_3_robust_for_class_b() {
+        // The property holds (concretely) over [0, 1]^2 even though plain
+        // zonotopes cannot prove it.
+        let net = example_2_3_network();
+        for i in 0..=10 {
+            for j in 0..=10 {
+                let x = [i as f64 / 10.0, j as f64 / 10.0];
+                assert_eq!(net.classify(&x), 1, "at {x:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Plain-text (de)serialization of networks.
+//!
+//! The format is line-oriented and human-inspectable, replacing the
+//! TensorFlow protobuf files consumed by the original tool:
+//!
+//! ```text
+//! charon-net 1
+//! input <dim>
+//! affine <out> <in>
+//! <row 0 of W, whitespace separated>
+//! ...
+//! <bias row>
+//! relu
+//! maxpool <out> <in>
+//! <group 0: indices>
+//! ...
+//! end
+//! ```
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use tensor::Matrix;
+
+use crate::{AffineLayer, Layer, MaxPoolLayer, Network, NetworkError};
+
+/// Serializes a network to the plain-text format.
+pub fn to_text(net: &Network) -> String {
+    let mut out = String::new();
+    writeln!(out, "charon-net 1").unwrap();
+    writeln!(out, "input {}", net.input_dim()).unwrap();
+    for layer in net.layers() {
+        match layer {
+            Layer::Affine(a) => {
+                writeln!(out, "affine {} {}", a.output_dim(), a.input_dim()).unwrap();
+                for r in 0..a.weights.rows() {
+                    let row: Vec<String> =
+                        a.weights.row(r).iter().map(|v| format!("{v:?}")).collect();
+                    writeln!(out, "{}", row.join(" ")).unwrap();
+                }
+                let bias: Vec<String> = a.bias.iter().map(|v| format!("{v:?}")).collect();
+                writeln!(out, "{}", bias.join(" ")).unwrap();
+            }
+            Layer::Relu => writeln!(out, "relu").unwrap(),
+            Layer::MaxPool(p) => {
+                writeln!(out, "maxpool {} {}", p.output_dim(), p.input_dim).unwrap();
+                for group in &p.groups {
+                    let idx: Vec<String> = group.iter().map(|i| i.to_string()).collect();
+                    writeln!(out, "{}", idx.join(" ")).unwrap();
+                }
+            }
+        }
+    }
+    writeln!(out, "end").unwrap();
+    out
+}
+
+/// Parses a network from the plain-text format.
+///
+/// # Errors
+///
+/// Returns [`NetworkError::Parse`] on any syntactic problem and
+/// [`NetworkError::ShapeMismatch`] if the parsed layers do not compose.
+pub fn from_text(text: &str) -> Result<Network, NetworkError> {
+    let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+    let parse_err = |msg: &str| NetworkError::Parse(msg.to_string());
+
+    let header = lines.next().ok_or_else(|| parse_err("empty input"))?;
+    if header != "charon-net 1" {
+        return Err(parse_err("bad header"));
+    }
+    let input_line = lines
+        .next()
+        .ok_or_else(|| parse_err("missing input line"))?;
+    let input_dim = input_line
+        .strip_prefix("input ")
+        .and_then(|s| s.parse::<usize>().ok())
+        .ok_or_else(|| parse_err("bad input line"))?;
+
+    let mut layers = Vec::new();
+    loop {
+        let line = lines
+            .next()
+            .ok_or_else(|| parse_err("missing end marker"))?;
+        if line == "end" {
+            break;
+        }
+        if line == "relu" {
+            layers.push(Layer::Relu);
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("affine") => {
+                let rows: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err("bad affine rows"))?;
+                let cols: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err("bad affine cols"))?;
+                let mut w = Matrix::zeros(rows, cols);
+                for r in 0..rows {
+                    let row_line = lines
+                        .next()
+                        .ok_or_else(|| parse_err("missing weight row"))?;
+                    let vals = parse_f64_row(row_line, cols)?;
+                    w.row_mut(r).copy_from_slice(&vals);
+                }
+                let bias_line = lines.next().ok_or_else(|| parse_err("missing bias row"))?;
+                let bias = parse_f64_row(bias_line, rows)?;
+                layers.push(Layer::Affine(AffineLayer::new(w, bias)));
+            }
+            Some("maxpool") => {
+                let out: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err("bad maxpool out"))?;
+                let input: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err("bad maxpool in"))?;
+                let mut groups = Vec::with_capacity(out);
+                for _ in 0..out {
+                    let group_line = lines
+                        .next()
+                        .ok_or_else(|| parse_err("missing pool group"))?;
+                    let group: Result<Vec<usize>, _> = group_line
+                        .split_whitespace()
+                        .map(|s| s.parse::<usize>())
+                        .collect();
+                    groups.push(group.map_err(|_| parse_err("bad pool index"))?);
+                }
+                layers.push(Layer::MaxPool(MaxPoolLayer::new(input, groups)));
+            }
+            other => return Err(NetworkError::Parse(format!("unknown layer kind {other:?}"))),
+        }
+    }
+    Network::new(input_dim, layers)
+}
+
+fn parse_f64_row(line: &str, expected: usize) -> Result<Vec<f64>, NetworkError> {
+    let vals: Result<Vec<f64>, _> = line.split_whitespace().map(|s| s.parse::<f64>()).collect();
+    let vals = vals.map_err(|e| NetworkError::Parse(format!("bad float: {e}")))?;
+    if vals.len() != expected {
+        return Err(NetworkError::Parse(format!(
+            "expected {expected} values, got {}",
+            vals.len()
+        )));
+    }
+    Ok(vals)
+}
+
+/// Saves a network to a file in the plain-text format.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing the file.
+pub fn save(net: &Network, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, to_text(net))
+}
+
+/// Loads a network from a plain-text file.
+///
+/// # Errors
+///
+/// Returns an I/O error wrapped as [`NetworkError::Parse`] if the file
+/// cannot be read, or a parse error if the contents are malformed.
+pub fn load(path: &Path) -> Result<Network, NetworkError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| NetworkError::Parse(format!("cannot read {}: {e}", path.display())))?;
+    from_text(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::{max_pool_groups, Shape3};
+    use crate::samples;
+
+    #[test]
+    fn roundtrip_xor() {
+        let net = samples::xor_network();
+        let text = to_text(&net);
+        let parsed = from_text(&text).unwrap();
+        assert_eq!(parsed, net);
+    }
+
+    #[test]
+    fn roundtrip_with_maxpool() {
+        let pool = max_pool_groups(Shape3::new(1, 2, 2), 2);
+        let net = Network::new(
+            4,
+            vec![
+                Layer::MaxPool(pool),
+                Layer::Affine(AffineLayer::new(
+                    Matrix::from_rows(&[&[1.5], &[-2.5]]),
+                    vec![0.125, -0.25],
+                )),
+            ],
+        )
+        .unwrap();
+        let parsed = from_text(&to_text(&net)).unwrap();
+        assert_eq!(parsed, net);
+    }
+
+    #[test]
+    fn roundtrip_preserves_exact_floats() {
+        let net = Network::new(
+            1,
+            vec![Layer::Affine(AffineLayer::new(
+                Matrix::from_rows(&[&[0.1 + 0.2], &[1.0 / 3.0]]),
+                vec![f64::MIN_POSITIVE, 1e300],
+            ))],
+        )
+        .unwrap();
+        let parsed = from_text(&to_text(&net)).unwrap();
+        assert_eq!(parsed, net);
+    }
+
+    #[test]
+    fn roundtrip_random_trained_networks() {
+        for seed in 0..5 {
+            let net = crate::train::random_mlp(4, &[6, 3], 2, seed);
+            let parsed = from_text(&to_text(&net)).unwrap();
+            assert_eq!(parsed, net);
+            // Behaviour is bit-identical, not just structurally equal.
+            let x = [0.1, -0.5, 0.9, 0.0];
+            assert_eq!(net.eval(&x), parsed.eval(&x));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            from_text("bogus\ninput 2\nend"),
+            Err(NetworkError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_affine() {
+        let text = "charon-net 1\ninput 2\naffine 2 2\n1 0\n";
+        assert!(matches!(from_text(text), Err(NetworkError::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_wrong_row_width() {
+        let text = "charon-net 1\ninput 2\naffine 1 2\n1 2 3\n0\nend";
+        assert!(matches!(from_text(text), Err(NetworkError::Parse(_))));
+    }
+}

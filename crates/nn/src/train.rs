@@ -1,0 +1,331 @@
+//! Training: random initialization and softmax cross-entropy SGD.
+//!
+//! The original evaluation used networks trained offline on MNIST/CIFAR;
+//! this module lets the `data` crate train equivalent (smaller) networks
+//! from scratch, deterministically from a seed.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use tensor::Matrix;
+
+use crate::{AffineLayer, Layer, Network};
+
+/// Hyper-parameters for [`train_classifier`].
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// L2 weight decay coefficient.
+    pub weight_decay: f64,
+    /// RNG seed for shuffling and initialization.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 30,
+            learning_rate: 0.05,
+            batch_size: 16,
+            weight_decay: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// Creates a fully-connected ReLU network with He-style random
+/// initialization.
+///
+/// `hidden` lists the widths of the hidden layers; the final affine layer
+/// maps to `classes` outputs. With `N` hidden layers this is the paper's
+/// "`N+1 x M`" family.
+///
+/// # Panics
+///
+/// Panics if `input_dim == 0` or `classes < 2`.
+pub fn random_mlp(input_dim: usize, hidden: &[usize], classes: usize, seed: u64) -> Network {
+    assert!(input_dim > 0, "input dimension must be positive");
+    assert!(classes >= 2, "need at least two classes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut layers = Vec::new();
+    let mut prev = input_dim;
+    for &width in hidden {
+        layers.push(Layer::Affine(random_affine(&mut rng, width, prev)));
+        layers.push(Layer::Relu);
+        prev = width;
+    }
+    layers.push(Layer::Affine(random_affine(&mut rng, classes, prev)));
+    Network::new(input_dim, layers).expect("generated shapes are consistent")
+}
+
+fn random_affine(rng: &mut StdRng, out: usize, inp: usize) -> AffineLayer {
+    let scale = (2.0 / inp as f64).sqrt();
+    let w = Matrix::from_fn(out, inp, |_, _| {
+        // Box-Muller style normal sample from two uniforms.
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        scale * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    });
+    AffineLayer::new(w, vec![0.0; out])
+}
+
+fn softmax(y: &[f64]) -> Vec<f64> {
+    let max = y.iter().fold(f64::NEG_INFINITY, |m, v| m.max(*v));
+    let exps: Vec<f64> = y.iter().map(|v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|e| e / sum).collect()
+}
+
+/// Trains `net` in place with mini-batch SGD on softmax cross-entropy.
+///
+/// Returns the final training accuracy in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `inputs` and `labels` have different lengths, the set is
+/// empty, or any label is out of range.
+pub fn train_classifier(
+    net: &mut Network,
+    inputs: &[Vec<f64>],
+    labels: &[usize],
+    config: &TrainConfig,
+) -> f64 {
+    assert_eq!(inputs.len(), labels.len(), "inputs/labels length mismatch");
+    assert!(!inputs.is_empty(), "empty training set");
+    let classes = net.output_dim();
+    assert!(
+        labels.iter().all(|&l| l < classes),
+        "label out of range for {classes} classes"
+    );
+
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x5eed));
+    let mut order: Vec<usize> = (0..inputs.len()).collect();
+
+    for _ in 0..config.epochs {
+        order.shuffle(&mut rng);
+        for batch in order.chunks(config.batch_size.max(1)) {
+            let grads = batch_gradients(net, inputs, labels, batch);
+            apply_gradients(net, &grads, config, batch.len());
+        }
+    }
+    accuracy(net, inputs, labels)
+}
+
+/// Classification accuracy of `net` on a labelled set.
+///
+/// # Panics
+///
+/// Panics if `inputs` and `labels` have different lengths.
+pub fn accuracy(net: &Network, inputs: &[Vec<f64>], labels: &[usize]) -> f64 {
+    assert_eq!(inputs.len(), labels.len(), "inputs/labels length mismatch");
+    if inputs.is_empty() {
+        return 0.0;
+    }
+    let correct = inputs
+        .iter()
+        .zip(labels.iter())
+        .filter(|(x, &l)| net.classify(x) == l)
+        .count();
+    correct as f64 / inputs.len() as f64
+}
+
+/// Per-affine-layer gradient accumulators.
+struct LayerGrads {
+    /// Indices into `net.layers()` of the affine layers.
+    indices: Vec<usize>,
+    weight_grads: Vec<Matrix>,
+    bias_grads: Vec<Vec<f64>>,
+}
+
+fn batch_gradients(
+    net: &Network,
+    inputs: &[Vec<f64>],
+    labels: &[usize],
+    batch: &[usize],
+) -> LayerGrads {
+    let mut indices = Vec::new();
+    let mut weight_grads = Vec::new();
+    let mut bias_grads = Vec::new();
+    for (i, layer) in net.layers().iter().enumerate() {
+        if let Layer::Affine(a) = layer {
+            indices.push(i);
+            weight_grads.push(Matrix::zeros(a.weights.rows(), a.weights.cols()));
+            bias_grads.push(vec![0.0; a.bias.len()]);
+        }
+    }
+
+    for &sample in batch {
+        let x = &inputs[sample];
+        let label = labels[sample];
+        let trace = net.eval_trace(x);
+        let probs = softmax(trace.last().expect("trace non-empty"));
+        // dL/dy for cross entropy with softmax: p - onehot(label)
+        let mut g: Vec<f64> = probs;
+        g[label] -= 1.0;
+
+        let mut affine_slot = indices.len();
+        for (idx, layer) in net.layers().iter().enumerate().rev() {
+            let input = &trace[idx];
+            match layer {
+                Layer::Affine(a) => {
+                    affine_slot -= 1;
+                    // dL/dW = g x^T, dL/db = g
+                    let wg = &mut weight_grads[affine_slot];
+                    for (r, gr) in g.iter().enumerate() {
+                        if *gr == 0.0 {
+                            continue;
+                        }
+                        let row = wg.row_mut(r);
+                        for (c, xv) in input.iter().enumerate() {
+                            row[c] += gr * xv;
+                        }
+                    }
+                    for (b, gr) in bias_grads[affine_slot].iter_mut().zip(g.iter()) {
+                        *b += gr;
+                    }
+                    g = a.weights.matvec_transpose(&g);
+                }
+                Layer::Relu => {
+                    for (gi, pre) in g.iter_mut().zip(input.iter()) {
+                        if *pre <= 0.0 {
+                            *gi = 0.0;
+                        }
+                    }
+                }
+                Layer::MaxPool(p) => {
+                    let mut back = vec![0.0; p.input_dim];
+                    for (out_idx, group) in p.groups.iter().enumerate() {
+                        let winner = group
+                            .iter()
+                            .copied()
+                            .max_by(|&a, &b| {
+                                input[a]
+                                    .partial_cmp(&input[b])
+                                    .unwrap_or(std::cmp::Ordering::Equal)
+                                    .then(b.cmp(&a))
+                            })
+                            .expect("non-empty group");
+                        back[winner] += g[out_idx];
+                    }
+                    g = back;
+                }
+            }
+        }
+    }
+
+    LayerGrads {
+        indices,
+        weight_grads,
+        bias_grads,
+    }
+}
+
+fn apply_gradients(net: &mut Network, grads: &LayerGrads, config: &TrainConfig, batch: usize) {
+    let lr = config.learning_rate / batch.max(1) as f64;
+    // Rebuild the layer list with updated affine layers.
+    let mut layers: Vec<Layer> = net.layers().to_vec();
+    for (slot, &idx) in grads.indices.iter().enumerate() {
+        if let Layer::Affine(a) = &mut layers[idx] {
+            let wg = &grads.weight_grads[slot];
+            for r in 0..a.weights.rows() {
+                let row = a.weights.row_mut(r);
+                let grow = wg.row(r);
+                for c in 0..row.len() {
+                    row[c] -= lr * (grow[c] + config.weight_decay * row[c]);
+                }
+            }
+            for (b, g) in a.bias.iter_mut().zip(grads.bias_grads[slot].iter()) {
+                *b -= lr * g;
+            }
+        }
+    }
+    *net = Network::new(net.input_dim(), layers).expect("shapes unchanged by SGD step");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two linearly separable blobs in 2-D.
+    fn blobs(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let label = i % 2;
+            let cx = if label == 0 { -1.0 } else { 1.0 };
+            xs.push(vec![
+                cx + rng.gen_range(-0.4..0.4),
+                cx + rng.gen_range(-0.4..0.4),
+            ]);
+            ys.push(label);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_linearly_separable_blobs() {
+        let (xs, ys) = blobs(120, 7);
+        let mut net = random_mlp(2, &[8], 2, 3);
+        let acc = train_classifier(&mut net, &xs, &ys, &TrainConfig::default());
+        assert!(acc > 0.95, "training accuracy too low: {acc}");
+    }
+
+    #[test]
+    fn learns_xor_pattern() {
+        // XOR is not linearly separable; requires the hidden layer to work.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..200 {
+            let a = rng.gen_bool(0.5);
+            let b = rng.gen_bool(0.5);
+            let mut x = vec![if a { 1.0 } else { 0.0 }, if b { 1.0 } else { 0.0 }];
+            x[0] += rng.gen_range(-0.15..0.15);
+            x[1] += rng.gen_range(-0.15..0.15);
+            xs.push(x);
+            ys.push(usize::from(a != b));
+        }
+        let mut net = random_mlp(2, &[16], 2, 5);
+        let config = TrainConfig {
+            epochs: 200,
+            learning_rate: 0.1,
+            ..TrainConfig::default()
+        };
+        let acc = train_classifier(&mut net, &xs, &ys, &config);
+        assert!(acc > 0.9, "XOR training accuracy too low: {acc}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (xs, ys) = blobs(60, 3);
+        let mut a = random_mlp(2, &[6], 2, 1);
+        let mut b = random_mlp(2, &[6], 2, 1);
+        let config = TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        };
+        train_classifier(&mut a, &xs, &ys, &config);
+        train_classifier(&mut b, &xs, &ys, &config);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_mlp_architecture() {
+        let net = random_mlp(10, &[20, 30], 4, 0);
+        assert_eq!(net.input_dim(), 10);
+        assert_eq!(net.output_dim(), 4);
+        assert_eq!(net.depth(), 3);
+    }
+
+    #[test]
+    fn softmax_normalizes() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+}

@@ -1,0 +1,56 @@
+//! Dense vector and matrix math for the Charon reproduction.
+//!
+//! This crate provides the small amount of linear algebra the rest of the
+//! workspace needs: a row-major [`Matrix`] type, slice-based vector
+//! operations in [`ops`], and the dense factorizations ([`linalg`]) used by
+//! the Gaussian-process surrogate in the Bayesian-optimization crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let x = vec![1.0, 1.0];
+//! assert_eq!(a.matvec(&x), vec![3.0, 7.0]);
+//! ```
+
+// Numeric kernels in this crate co-index several arrays at once; index
+// loops are clearer than zipped iterator chains there.
+#![allow(clippy::needless_range_loop)]
+
+mod matrix;
+
+pub mod linalg;
+pub mod ops;
+
+pub use matrix::Matrix;
+
+/// Error produced by fallible linear-algebra routines in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix was not (numerically) positive definite.
+    NotPositiveDefinite,
+    /// Operand dimensions were incompatible for the requested operation.
+    DimensionMismatch {
+        /// Dimension that was expected by the operation.
+        expected: usize,
+        /// Dimension that was actually supplied.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite")
+            }
+            LinalgError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

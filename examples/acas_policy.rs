@@ -1,0 +1,55 @@
+//! Policy learning on ACAS-Xu-like collision-avoidance properties (§6).
+//!
+//! Trains the synthetic collision-avoidance network, learns a
+//! verification policy on its 12 training properties via Bayesian
+//! optimization, and deploys the learned policy on fresh properties.
+//!
+//! Run with `cargo run --release --example acas_policy`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use charon::train::{train_policy, TrainConfig};
+use charon::{RobustnessProperty, Verifier};
+use domains::Bounds;
+
+fn main() {
+    println!("training the ACAS-like advisory network ...");
+    let (net, accuracy) = data::acas::build_network(0);
+    println!("advisory accuracy: {accuracy:.2}");
+
+    let problems = data::acas::training_properties(&net, 0);
+    println!("policy-training corpus: {} properties", problems.len());
+
+    let config = TrainConfig {
+        time_limit: Duration::from_millis(300),
+        ..TrainConfig::default()
+    };
+    println!("running Bayesian optimization over policy parameters ...");
+    let outcome = train_policy(&problems, &config);
+    println!(
+        "learned policy score: {:.3}s (default policy: {:.3}s, {} evaluations)",
+        outcome.score, outcome.baseline_score, outcome.evaluations
+    );
+
+    // Deploy on properties not seen during training.
+    let verifier = Verifier::with_policy(Arc::new(outcome.policy));
+    println!("\ndeploying on unseen properties:");
+    for (i, center) in [
+        vec![0.9, 0.5, 0.5, 0.3, 0.3],  // far away: clear of conflict
+        vec![0.15, 0.2, 0.5, 0.8, 0.8], // close on the left
+        vec![0.5, 0.5, 0.5, 0.5, 0.5],  // boundary region
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let advisory = net.classify(&center);
+        let property =
+            RobustnessProperty::new(Bounds::linf_ball(&center, 0.03, Some((0.0, 1.0))), advisory);
+        let verdict = verifier.verify(&net, &property);
+        println!(
+            "  property {i}: advisory {advisory} stable on +-0.03 ball: {:?}",
+            verdict
+        );
+    }
+}

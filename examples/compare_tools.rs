@@ -1,0 +1,77 @@
+//! Head-to-head: Charon vs AI2 vs ReluVal vs Reluplex on one property.
+//!
+//! Run with `cargo run --release --example compare_tools`.
+
+use std::time::{Duration, Instant};
+
+use baselines::ai2::Ai2;
+use baselines::reluplex::Reluplex;
+use baselines::reluval::ReluVal;
+use charon::{RobustnessProperty, Verdict, Verifier};
+use domains::Bounds;
+
+fn main() {
+    // A small trained network and a moderately hard property.
+    let (net, _) = data::zoo::build(
+        data::zoo::ZooNetwork::Mnist3x32,
+        &data::zoo::ZooConfig::default(),
+    );
+    let eval = data::zoo::ZooNetwork::Mnist3x32.dataset(50, 555);
+    let image = &eval.images[0];
+    let property = RobustnessProperty::new(
+        data::properties::brightening_region(image, 0.75),
+        net.classify(image),
+    );
+    let region: &Bounds = property.region();
+    println!(
+        "property: brightening attack, {} free pixels, target class {}",
+        region.widths().iter().filter(|w| **w > 0.0).count(),
+        property.target()
+    );
+
+    let timeout = Duration::from_secs(10);
+
+    let t = Instant::now();
+    let charon = match Verifier::default().verify(&net, &property) {
+        Verdict::Verified => "verified".to_string(),
+        Verdict::Refuted(c) => format!("falsified (F = {:.4})", c.objective),
+        Verdict::ResourceLimit => "timeout".to_string(),
+    };
+    println!("  {:<14} {:<28} {:?}", "Charon", charon, t.elapsed());
+
+    let t = Instant::now();
+    let v = Ai2::zonotope().analyze(&net, &property, timeout);
+    println!(
+        "  {:<14} {:<28} {:?}",
+        "AI2-Zonotope",
+        v.to_string(),
+        t.elapsed()
+    );
+
+    let t = Instant::now();
+    let v = Ai2::bounded64().analyze(&net, &property, timeout);
+    println!(
+        "  {:<14} {:<28} {:?}",
+        "AI2-Bounded64",
+        v.to_string(),
+        t.elapsed()
+    );
+
+    let t = Instant::now();
+    let v = ReluVal::default().analyze(&net, &property, timeout);
+    println!(
+        "  {:<14} {:<28} {:?}",
+        "ReluVal",
+        v.to_string(),
+        t.elapsed()
+    );
+
+    let t = Instant::now();
+    let v = Reluplex::default().analyze(&net, &property, timeout);
+    println!(
+        "  {:<14} {:<28} {:?}",
+        "Reluplex",
+        v.to_string(),
+        t.elapsed()
+    );
+}

@@ -1,0 +1,67 @@
+//! Building a network by hand, saving it, and verifying robustness
+//! through both the library API and the CLI file formats.
+//!
+//! Run with `cargo run --example custom_network`.
+
+use charon::{RobustnessProperty, Verdict, Verifier};
+use domains::deeppoly::DeepPoly;
+use domains::{propagate, AbstractElement, Bounds, Zonotope};
+use nn::{AffineLayer, Layer, Network};
+use tensor::Matrix;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A hand-written 2-4-3 classifier that carves the plane into three
+    // angular sectors.
+    let net = Network::new(
+        2,
+        vec![
+            Layer::Affine(AffineLayer::new(
+                Matrix::from_rows(&[&[1.0, 0.4], &[-0.8, 1.0], &[0.3, -1.2], &[-1.0, -1.0]]),
+                vec![0.1, 0.0, 0.2, -0.1],
+            )),
+            Layer::Relu,
+            Layer::Affine(AffineLayer::new(
+                Matrix::from_rows(&[
+                    &[1.2, -0.3, 0.1, -0.8],
+                    &[-0.5, 1.1, -0.2, 0.3],
+                    &[0.0, -0.4, 1.3, 0.6],
+                ]),
+                vec![0.0, 0.0, 0.0],
+            )),
+        ],
+    )?;
+
+    let x = [0.8, 0.2];
+    let class = net.classify(&x);
+    println!("network classifies {x:?} as class {class}");
+
+    // Compare what different abstract domains see on a small ball.
+    let region = Bounds::linf_ball(&x, 0.1, None);
+    let zonotope_margin = propagate(&net, Zonotope::from_bounds(&region)).margin_lower_bound(class);
+    let deeppoly_margin = DeepPoly::analyze(&net, &region).margin_lower_bound(class);
+    println!("zonotope margin bound: {zonotope_margin:.4}");
+    println!("deeppoly margin bound: {deeppoly_margin:.4}");
+
+    // Full verification with Charon.
+    let property = RobustnessProperty::new(region, class);
+    match Verifier::default().verify(&net, &property) {
+        Verdict::Verified => println!("Charon: verified"),
+        Verdict::Refuted(cex) => println!("Charon: refuted at {:?}", cex.point),
+        Verdict::ResourceLimit => println!("Charon: resource limit"),
+    }
+
+    // Save both artifacts in the CLI formats.
+    let dir = std::env::temp_dir().join("charon-custom-example");
+    std::fs::create_dir_all(&dir)?;
+    let net_path = dir.join("sector.net");
+    let prop_path = dir.join("sector.prop");
+    nn::serialize::save(&net, &net_path)?;
+    std::fs::write(&prop_path, property.to_text())?;
+    println!("\nwrote {} and {}", net_path.display(), prop_path.display());
+    println!(
+        "try: cargo run -p cli --bin charon-cli -- verify --network {} --property {}",
+        net_path.display(),
+        prop_path.display()
+    );
+    Ok(())
+}

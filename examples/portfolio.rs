@@ -1,0 +1,76 @@
+//! Portfolio verification: race several policies on hard properties.
+//!
+//! Run with `cargo run --release --example portfolio`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use charon::policy::{DomainSelection, FixedPolicy, LinearPolicy};
+use charon::portfolio::PortfolioVerifier;
+use charon::{RobustnessProperty, Verdict, Verifier, VerifierConfig};
+use domains::{Bounds, DomainChoice};
+
+fn main() {
+    // A spiral classifier: many unstable ReLUs, properties of mixed
+    // difficulty.
+    let data = data::images::spiral(400, 0);
+    let mut net = nn::train::random_mlp(2, &[24, 24], 2, 1);
+    let tc = nn::train::TrainConfig {
+        epochs: 150,
+        learning_rate: 0.1,
+        ..nn::train::TrainConfig::default()
+    };
+    let acc = nn::train::train_classifier(&mut net, &data.images, &data.labels, &tc);
+    println!("spiral network accuracy: {acc:.2}");
+
+    let config = VerifierConfig {
+        timeout: Duration::from_secs(5),
+        ..VerifierConfig::default()
+    };
+    let portfolio = PortfolioVerifier::new(
+        vec![
+            Arc::new(LinearPolicy::default()),
+            Arc::new(FixedPolicy::new(DomainChoice::interval())),
+            Arc::new(FixedPolicy::with_selection(DomainSelection::DeepPoly)),
+            Arc::new(FixedPolicy::with_selection(DomainSelection::Solver {
+                node_budget: 200,
+            })),
+        ],
+        config.clone(),
+    );
+    let solo = Verifier::new(Arc::new(LinearPolicy::default()), config);
+
+    println!(
+        "\n{:<28} {:>12} {:>10} {:>12} {:>10}",
+        "property", "portfolio", "(time)", "solo", "(time)"
+    );
+    for (i, center) in data.images.iter().take(6).enumerate() {
+        let target = net.classify(center);
+        let property =
+            RobustnessProperty::new(Bounds::linf_ball(center, 0.04, Some((0.0, 1.0))), target);
+        let t = Instant::now();
+        let pv = portfolio.verify(&net, &property);
+        let pt = t.elapsed();
+        let t = Instant::now();
+        let sv = solo.verify(&net, &property);
+        let st = t.elapsed();
+        println!(
+            "{:<28} {:>12} {:>10.2?} {:>12} {:>10.2?}",
+            format!("point {i} (class {target})"),
+            verdict_name(&pv),
+            pt,
+            verdict_name(&sv),
+            st
+        );
+    }
+    println!("\nThe portfolio never loses to its members: the fastest decisive");
+    println!("verdict wins and cancels the rest cooperatively.");
+}
+
+fn verdict_name(v: &Verdict) -> &'static str {
+    match v {
+        Verdict::Verified => "verified",
+        Verdict::Refuted(_) => "refuted",
+        Verdict::ResourceLimit => "budget",
+    }
+}

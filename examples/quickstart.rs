@@ -1,0 +1,51 @@
+//! Quickstart: verify and refute robustness of the paper's XOR network.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use charon::{RobustnessProperty, Verdict, Verifier};
+use domains::Bounds;
+use nn::samples;
+
+fn main() {
+    // The XOR network from Figure 3 of the paper.
+    let net = samples::xor_network();
+    println!(
+        "XOR network: {} inputs, {} classes",
+        net.input_dim(),
+        net.output_dim()
+    );
+    for input in [[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]] {
+        println!("  classify({input:?}) = {}", net.classify(&input));
+    }
+
+    let verifier = Verifier::default();
+
+    // Example 3.1: all inputs in [0.3, 0.7]^2 must be classified 1.
+    let robust = RobustnessProperty::new(Bounds::new(vec![0.3, 0.3], vec![0.7, 0.7]), 1);
+    match verifier.verify(&net, &robust) {
+        Verdict::Verified => println!("\n[0.3, 0.7]^2 -> class 1: VERIFIED (as in Example 3.1)"),
+        other => println!("\nunexpected verdict: {other:?}"),
+    }
+
+    // The full unit square contains [0,0] and [1,1], which are class 0:
+    // the property is falsifiable and Charon finds a counterexample.
+    let broken = RobustnessProperty::new(Bounds::new(vec![0.0, 0.0], vec![1.0, 1.0]), 1);
+    match verifier.verify(&net, &broken) {
+        Verdict::Refuted(cex) => {
+            println!(
+                "[0, 1]^2 -> class 1: REFUTED by x* = [{:.3}, {:.3}] (classified {})",
+                cex.point[0],
+                cex.point[1],
+                net.classify(&cex.point)
+            );
+        }
+        other => println!("unexpected verdict: {other:?}"),
+    }
+
+    // Detailed statistics for the verified property.
+    let (verdict, stats) = verifier.verify_with_stats(&net, &robust);
+    println!(
+        "\nstats: verdict={verdict:?}, regions={}, splits={}, analyze_calls={}, domains={:?}",
+        stats.regions, stats.splits, stats.analyze_calls, stats.domain_uses
+    );
+}

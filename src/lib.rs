@@ -1,0 +1,39 @@
+//! Umbrella crate for the Charon reproduction workspace.
+//!
+//! This crate re-exports the member crates so downstream users can depend
+//! on a single package, and hosts the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`).
+//!
+//! See the README for an overview and `DESIGN.md` for the system
+//! inventory.
+//!
+//! # Examples
+//!
+//! ```
+//! use charon_repro::prelude::*;
+//!
+//! let net = nn::samples::xor_network();
+//! let property = RobustnessProperty::new(
+//!     Bounds::new(vec![0.3, 0.3], vec![0.7, 0.7]),
+//!     1,
+//! );
+//! assert!(Verifier::default().verify(&net, &property).is_verified());
+//! ```
+
+pub use attack;
+pub use baselines;
+pub use bayesopt;
+pub use charon;
+pub use complete;
+pub use data;
+pub use domains;
+pub use lp;
+pub use nn;
+pub use tensor;
+
+/// The most commonly used types, for glob import.
+pub mod prelude {
+    pub use charon::{RobustnessProperty, Verdict, Verifier, VerifierConfig};
+    pub use domains::{AbstractElement, Bounds, DomainChoice};
+    pub use nn::Network;
+}

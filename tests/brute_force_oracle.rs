@@ -1,0 +1,144 @@
+//! Brute-force oracles on tiny networks: grid-enumerate the input region
+//! densely and compare every analysis against ground truth.
+//!
+//! Tiny dimensions make near-exhaustive checking feasible: with a 60×60
+//! grid on 2-D inputs, a sound analysis can never report a margin bound
+//! above the grid minimum, and the complete solver's verdict must match
+//! the grid's (up to boundary effects, which the margin band excludes).
+
+use std::time::{Duration, Instant};
+
+use charon::{RobustnessProperty, Verdict, Verifier};
+use complete::{CompleteSolver, Decision};
+use domains::deeppoly::DeepPoly;
+use domains::symbolic::propagate_symbolic;
+use domains::{propagate, AbstractElement, Bounds, Interval, Powerset, Zonotope};
+
+/// Dense grid minimum of the margin over a 2-D region.
+fn grid_min_margin(net: &nn::Network, region: &Bounds, target: usize, steps: usize) -> f64 {
+    let mut min = f64::INFINITY;
+    for i in 0..=steps {
+        for j in 0..=steps {
+            let x = [
+                region.lower()[0]
+                    + (region.upper()[0] - region.lower()[0]) * i as f64 / steps as f64,
+                region.lower()[1]
+                    + (region.upper()[1] - region.lower()[1]) * j as f64 / steps as f64,
+            ];
+            min = min.min(nn::margin(&net.eval(&x), target));
+        }
+    }
+    min
+}
+
+#[test]
+fn every_domain_bounded_by_grid_truth() {
+    for seed in 0..10 {
+        let net = nn::train::random_mlp(2, &[6, 6], 3, seed);
+        let center = [0.1, -0.2];
+        let region = Bounds::linf_ball(&center, 0.5, None);
+        let target = net.classify(&center);
+        let truth = grid_min_margin(&net, &region, target, 60);
+
+        let bounds = [
+            (
+                "interval",
+                propagate(&net, Interval::from_bounds(&region)).margin_lower_bound(target),
+            ),
+            (
+                "zonotope",
+                propagate(&net, Zonotope::from_bounds(&region)).margin_lower_bound(target),
+            ),
+            (
+                "powerset4",
+                propagate(&net, Powerset::<Zonotope>::with_budget(&region, 4))
+                    .margin_lower_bound(target),
+            ),
+            (
+                "deeppoly",
+                DeepPoly::analyze(&net, &region).margin_lower_bound(target),
+            ),
+            (
+                "symbolic",
+                propagate_symbolic(&net, &region).margin_lower_bound(target),
+            ),
+        ];
+        for (name, bound) in bounds {
+            assert!(
+                bound <= truth + 1e-7,
+                "seed {seed}: {name} bound {bound} exceeds grid truth {truth}"
+            );
+        }
+    }
+}
+
+#[test]
+fn complete_solver_matches_grid_verdict_away_from_boundary() {
+    let deadline = || Instant::now() + Duration::from_secs(20);
+    let mut checked = 0;
+    for seed in 0..15 {
+        let net = nn::train::random_mlp(2, &[5], 2, seed + 500);
+        let center = [0.0, 0.0];
+        let region = Bounds::linf_ball(&center, 0.45, None);
+        let target = net.classify(&center);
+        let truth = grid_min_margin(&net, &region, target, 80);
+        // Skip near-boundary cases where grid resolution is inconclusive.
+        if truth.abs() < 0.05 {
+            continue;
+        }
+        checked += 1;
+        match CompleteSolver::default().decide(&net, &region, target, deadline()) {
+            Decision::Proved => {
+                assert!(
+                    truth > 0.0,
+                    "seed {seed}: proved but grid margin {truth} < 0"
+                )
+            }
+            Decision::Violated(x) => {
+                assert!(
+                    truth < 0.0,
+                    "seed {seed}: violated but grid margin {truth} > 0"
+                );
+                assert!(nn::margin(&net.eval(&x), target) <= 0.0);
+            }
+            Decision::Budget => {}
+        }
+    }
+    assert!(checked >= 5, "too few decisive oracle cases ({checked})");
+}
+
+#[test]
+fn charon_matches_grid_verdict_away_from_boundary() {
+    let mut verifier = Verifier::default();
+    verifier.config_mut().timeout = Duration::from_secs(20);
+    let mut checked = 0;
+    for seed in 0..15 {
+        let net = nn::train::random_mlp(2, &[6], 3, seed + 900);
+        let center = [0.1, 0.1];
+        let region = Bounds::linf_ball(&center, 0.4, None);
+        let target = net.classify(&center);
+        let truth = grid_min_margin(&net, &region, target, 80);
+        if truth.abs() < 0.05 {
+            continue;
+        }
+        checked += 1;
+        let prop = RobustnessProperty::new(region, target);
+        match verifier.verify(&net, &prop) {
+            Verdict::Verified => {
+                assert!(
+                    truth > 0.0,
+                    "seed {seed}: verified but grid margin {truth} < 0"
+                )
+            }
+            Verdict::Refuted(cex) => {
+                assert!(
+                    truth < 0.0,
+                    "seed {seed}: refuted but grid margin {truth} > 0"
+                );
+                assert!(cex.objective <= 1e-9);
+            }
+            Verdict::ResourceLimit => panic!("seed {seed}: tiny case hit budget"),
+        }
+    }
+    assert!(checked >= 5, "too few decisive oracle cases ({checked})");
+}

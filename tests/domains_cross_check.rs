@@ -1,0 +1,151 @@
+//! Cross-validation of the abstract domains against each other and
+//! against the complete solver: precision ordering, mutual soundness, and
+//! exactness relationships that must hold by construction.
+
+use std::time::{Duration, Instant};
+
+use complete::{CompleteSolver, Decision};
+use domains::deeppoly::DeepPoly;
+use domains::symbolic::propagate_symbolic;
+use domains::{propagate, AbstractElement, Bounds, Interval, Powerset, Zonotope};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_case(seed: u64) -> (nn::Network, Bounds, usize) {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e3779b9));
+    let net = nn::train::random_mlp(3, &[8, 8], 3, seed);
+    let center: Vec<f64> = (0..3).map(|_| rng.gen_range(-0.6..0.6)).collect();
+    let eps = rng.gen_range(0.05..0.35);
+    let region = Bounds::linf_ball(&center, eps, None);
+    let target = net.classify(&center);
+    (net, region, target)
+}
+
+/// Every domain's margin bound must under-approximate the exact minimum
+/// margin, which the complete solver can bracket: if a domain verifies
+/// (margin > 0), the complete solver must prove the property.
+#[test]
+fn domains_never_verify_what_the_solver_refutes() {
+    let deadline = || Instant::now() + Duration::from_secs(20);
+    for seed in 0..12 {
+        let (net, region, target) = random_case(seed);
+        let decision = CompleteSolver::default().decide(&net, &region, target, deadline());
+        let truth_holds = match &decision {
+            Decision::Proved => true,
+            Decision::Violated(_) => false,
+            Decision::Budget => continue,
+        };
+
+        let interval = propagate(&net, Interval::from_bounds(&region)).margin_lower_bound(target);
+        let zonotope = propagate(&net, Zonotope::from_bounds(&region)).margin_lower_bound(target);
+        let powerset = propagate(&net, Powerset::<Zonotope>::with_budget(&region, 4))
+            .margin_lower_bound(target);
+        let deeppoly = DeepPoly::analyze(&net, &region).margin_lower_bound(target);
+        let symbolic = propagate_symbolic(&net, &region).margin_lower_bound(target);
+
+        for (name, margin) in [
+            ("interval", interval),
+            ("zonotope", zonotope),
+            ("powerset", powerset),
+            ("deeppoly", deeppoly),
+            ("symbolic", symbolic),
+        ] {
+            if margin > 0.0 {
+                assert!(
+                    truth_holds,
+                    "seed {seed}: {name} verified (margin {margin}) but solver found a violation"
+                );
+            }
+        }
+    }
+}
+
+/// On purely affine networks every relational domain is exact, so all
+/// margin bounds must coincide with the true minimum (which lives at a
+/// box corner).
+#[test]
+fn relational_domains_exact_on_affine_networks() {
+    for seed in 0..6 {
+        let layer = {
+            let mut rng = StdRng::seed_from_u64(seed);
+            nn::AffineLayer::new(
+                tensor::Matrix::from_fn(3, 2, |_, _| rng.gen_range(-1.0..1.0)),
+                vec![0.1, -0.2, 0.3],
+            )
+        };
+        let net = nn::Network::new(2, vec![nn::Layer::Affine(layer)]).unwrap();
+        let region = Bounds::new(vec![-1.0, 0.0], vec![1.0, 2.0]);
+        let target = net.classify(&region.center());
+
+        // Brute-force the true minimum margin over the corners (the
+        // minimum of a linear function over a box is at a corner).
+        let mut truth = f64::INFINITY;
+        for cx in [region.lower()[0], region.upper()[0]] {
+            for cy in [region.lower()[1], region.upper()[1]] {
+                truth = truth.min(nn::margin(&net.eval(&[cx, cy]), target));
+            }
+        }
+
+        let zonotope = propagate(&net, Zonotope::from_bounds(&region)).margin_lower_bound(target);
+        let deeppoly = DeepPoly::analyze(&net, &region).margin_lower_bound(target);
+        let symbolic = propagate_symbolic(&net, &region).margin_lower_bound(target);
+        assert!(
+            (zonotope - truth).abs() < 1e-9,
+            "zonotope {zonotope} vs {truth}"
+        );
+        assert!(
+            (deeppoly - truth).abs() < 1e-9,
+            "deeppoly {deeppoly} vs {truth}"
+        );
+        assert!(
+            (symbolic - truth).abs() < 1e-9,
+            "symbolic {symbolic} vs {truth}"
+        );
+    }
+}
+
+/// Every powerset budget yields a *sound* margin bound (never exceeds a
+/// sampled concrete margin). Note that precision is not monotone in the
+/// budget in general — case splits change which coordinates get relaxed
+/// downstream — so we check soundness per budget rather than ordering.
+#[test]
+fn powerset_sound_for_every_budget() {
+    for seed in 0..8 {
+        let (net, region, target) = random_case(seed + 100);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples: Vec<Vec<f64>> = (0..40).map(|_| region.sample(&mut rng)).collect();
+        let true_min = samples
+            .iter()
+            .map(|x| nn::margin(&net.eval(x), target))
+            .fold(f64::INFINITY, f64::min);
+        for budget in [1, 2, 4, 8] {
+            let margin = propagate(&net, Powerset::<Zonotope>::with_budget(&region, budget))
+                .margin_lower_bound(target);
+            assert!(
+                margin <= true_min + 1e-9,
+                "seed {seed}: budget {budget} margin {margin} exceeds sampled min {true_min}"
+            );
+        }
+    }
+}
+
+/// DeepPoly with the box intersection is never looser than intervals
+/// (per-coordinate output bounds).
+#[test]
+fn deeppoly_dominates_interval_bounds() {
+    for seed in 0..10 {
+        let (net, region, _) = random_case(seed + 300);
+        let dp = DeepPoly::analyze(&net, &region).bounds();
+        let iv = propagate(&net, Interval::from_bounds(&region)).bounds();
+        for k in 0..dp.dim() {
+            assert!(
+                dp.lower()[k] >= iv.lower()[k] - 1e-9,
+                "seed {seed} coord {k}"
+            );
+            assert!(
+                dp.upper()[k] <= iv.upper()[k] + 1e-9,
+                "seed {seed} coord {k}"
+            );
+        }
+    }
+}

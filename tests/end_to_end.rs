@@ -1,0 +1,165 @@
+//! End-to-end integration tests spanning the whole workspace: data
+//! generation -> training -> property generation -> verification with
+//! Charon and all baselines.
+
+use std::time::Duration;
+
+use baselines::ai2::Ai2;
+use baselines::reluplex::Reluplex;
+use baselines::reluval::ReluVal;
+use baselines::ToolVerdict;
+use charon::{RobustnessProperty, Verdict, Verifier};
+use data::properties::brightening_suite;
+use data::zoo::{build, ZooConfig, ZooNetwork};
+use nn::train::TrainConfig;
+
+fn quick_zoo_config() -> ZooConfig {
+    ZooConfig {
+        train_size: 200,
+        train: TrainConfig {
+            epochs: 25,
+            ..TrainConfig::default()
+        },
+        cache_dir: None,
+        ..ZooConfig::default()
+    }
+}
+
+#[test]
+fn full_pipeline_mnist_brightening() {
+    let (net, accuracy) = build(ZooNetwork::Mnist3x32, &quick_zoo_config());
+    assert!(
+        accuracy > 0.75,
+        "network too weak for meaningful benchmarks"
+    );
+
+    let eval = ZooNetwork::Mnist3x32.dataset(60, 42);
+    let suite = brightening_suite(&net, &eval, &[0.85], 6);
+    assert!(!suite.is_empty());
+
+    let mut verifier = Verifier::default();
+    verifier.config_mut().timeout = Duration::from_secs(10);
+
+    let mut decided = 0;
+    for b in &suite {
+        match verifier.verify(&net, &b.property) {
+            Verdict::Verified => decided += 1,
+            Verdict::Refuted(cex) => {
+                decided += 1;
+                // The counterexample must live in the region and be a
+                // δ-counterexample.
+                assert!(b.property.region().contains(&cex.point));
+                assert!(net.objective(&cex.point, b.property.target()) <= 1e-9 + 1e-12);
+            }
+            Verdict::ResourceLimit => {}
+        }
+    }
+    assert!(
+        decided >= suite.len() / 2,
+        "too few decided: {decided}/{}",
+        suite.len()
+    );
+}
+
+#[test]
+fn charon_agrees_with_complete_solver() {
+    // On tiny networks the Reluplex-style solver is the ground truth.
+    let budget = Duration::from_secs(30);
+    for seed in 0..5 {
+        let net = nn::train::random_mlp(3, &[6, 6], 3, seed);
+        let center = vec![0.2, -0.1, 0.4];
+        let prop = RobustnessProperty::new(
+            domains::Bounds::linf_ball(&center, 0.25, None),
+            net.classify(&center),
+        );
+        let truth = Reluplex::default().analyze(&net, &prop, budget);
+        let charon = {
+            let mut v = Verifier::default();
+            v.config_mut().timeout = budget;
+            v.verify(&net, &prop)
+        };
+        match (&truth, &charon) {
+            (ToolVerdict::Verified, Verdict::Verified) => {}
+            (ToolVerdict::Falsified(_), Verdict::Refuted(_)) => {}
+            (ToolVerdict::Timeout, _) | (_, Verdict::ResourceLimit) => {}
+            other => panic!("seed {seed}: disagreement {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn all_tools_run_on_shared_property() {
+    let (net, _) = build(ZooNetwork::Mnist3x32, &quick_zoo_config());
+    let eval = ZooNetwork::Mnist3x32.dataset(10, 3);
+    let image = &eval.images[0];
+    let prop = RobustnessProperty::new(
+        data::properties::brightening_region(image, 0.9),
+        net.classify(image),
+    );
+    let budget = Duration::from_secs(10);
+
+    let charon = Verifier::default().verify(&net, &prop);
+    let ai2 = Ai2::zonotope().analyze(&net, &prop, budget);
+    let reluval = ReluVal::default().analyze(&net, &prop, budget);
+
+    // Soundness coherence: if any sound tool verifies, no other may
+    // produce a *true* counterexample.
+    let someone_verified =
+        charon.is_verified() || ai2 == ToolVerdict::Verified || reluval == ToolVerdict::Verified;
+    if someone_verified {
+        if let Verdict::Refuted(cex) = &charon {
+            assert!(
+                !cex.is_true_violation(),
+                "verified by a sound tool but Charon found a violation"
+            );
+        }
+    }
+}
+
+#[test]
+fn conv_network_verifiable_by_charon_and_ai2_only() {
+    let (net, _) = build(ZooNetwork::ConvSmall, &quick_zoo_config());
+    let eval = ZooNetwork::ConvSmall.dataset(10, 9);
+    let image = &eval.images[0];
+    let prop = RobustnessProperty::new(
+        data::properties::brightening_region(image, 0.95),
+        net.classify(image),
+    );
+    let budget = Duration::from_secs(10);
+
+    // ReluVal and Reluplex refuse max-pool architectures (as in §7.2).
+    assert_eq!(
+        ReluVal::default().analyze(&net, &prop, budget),
+        ToolVerdict::Unsupported
+    );
+    assert_eq!(
+        Reluplex::default().analyze(&net, &prop, budget),
+        ToolVerdict::Unsupported
+    );
+
+    // Charon handles it (any verdict but a crash/unknown is acceptable;
+    // δ-completeness means no Unknown).
+    let mut verifier = Verifier::default();
+    verifier.config_mut().timeout = Duration::from_secs(10);
+    let verdict = verifier.verify(&net, &prop);
+    match verdict {
+        Verdict::Verified | Verdict::Refuted(_) | Verdict::ResourceLimit => {}
+    }
+}
+
+#[test]
+fn serialized_network_verifies_identically() {
+    let (net, _) = build(ZooNetwork::Mnist3x32, &quick_zoo_config());
+    let text = nn::serialize::to_text(&net);
+    let reloaded = nn::serialize::from_text(&text).unwrap();
+    assert_eq!(net, reloaded);
+
+    let eval = ZooNetwork::Mnist3x32.dataset(5, 77);
+    let prop = RobustnessProperty::new(
+        data::properties::brightening_region(&eval.images[0], 0.9),
+        net.classify(&eval.images[0]),
+    );
+    let a = Verifier::default().verify(&net, &prop);
+    let b = Verifier::default().verify(&reloaded, &prop);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,92 @@
+//! The parallel verifier must agree with the sequential one on every
+//! decidable problem, across policies and thread counts.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use charon::parallel::ParallelVerifier;
+use charon::policy::{DomainSelection, FixedPolicy, LinearPolicy};
+use charon::{RobustnessProperty, Verdict, Verifier, VerifierConfig};
+use domains::{Bounds, DomainChoice};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn config() -> VerifierConfig {
+    VerifierConfig {
+        timeout: Duration::from_secs(20),
+        ..VerifierConfig::default()
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(0xbeef);
+    for trial in 0..6 {
+        let net = nn::train::random_mlp(3, &[7], 3, trial);
+        let center: Vec<f64> = (0..3).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        let eps = rng.gen_range(0.1..0.5);
+        let prop =
+            RobustnessProperty::new(Bounds::linf_ball(&center, eps, None), net.classify(&center));
+        let sequential =
+            Verifier::new(Arc::new(LinearPolicy::default()), config()).verify(&net, &prop);
+        for threads in [1, 2, 4] {
+            let parallel =
+                ParallelVerifier::new(Arc::new(LinearPolicy::default()), config(), threads)
+                    .verify(&net, &prop);
+            // Verdict *kind* must match; the specific counterexample may
+            // differ between schedules.
+            assert_eq!(
+                sequential.is_verified(),
+                parallel.is_verified(),
+                "trial {trial}, {threads} threads: {sequential:?} vs {parallel:?}"
+            );
+            assert_eq!(sequential.is_refuted(), parallel.is_refuted());
+            if let Verdict::Refuted(cex) = &parallel {
+                assert!(prop.region().contains(&cex.point));
+                assert!(net.objective(&cex.point, prop.target()) <= 1e-9);
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_works_with_every_fixed_selection() {
+    let net = nn::samples::example_2_3_network();
+    let prop = RobustnessProperty::new(Bounds::new(vec![0.0, 0.0], vec![1.0, 1.0]), 1);
+    for selection in [
+        DomainSelection::Abstract(DomainChoice::zonotope()),
+        DomainSelection::Abstract(DomainChoice::interval()),
+        DomainSelection::DeepPoly,
+        DomainSelection::Solver { node_budget: 100 },
+    ] {
+        let policy = Arc::new(FixedPolicy::with_selection(selection));
+        let verdict = ParallelVerifier::new(policy, config(), 3).verify(&net, &prop);
+        assert!(
+            verdict.is_verified(),
+            "selection {selection} failed: {verdict:?}"
+        );
+    }
+}
+
+#[test]
+fn batch_runner_matches_individual_runs() {
+    let problems: Vec<(nn::Network, RobustnessProperty)> = (0..5)
+        .map(|seed| {
+            let net = nn::train::random_mlp(2, &[5], 2, seed);
+            let prop = RobustnessProperty::new(
+                Bounds::linf_ball(&[0.1, -0.1], 0.3, None),
+                net.classify(&[0.1, -0.1]),
+            );
+            (net, prop)
+        })
+        .collect();
+    let batch =
+        charon::parallel::verify_batch(&problems, Arc::new(LinearPolicy::default()), &config(), 3);
+    assert_eq!(batch.len(), problems.len());
+    for ((net, prop), (verdict, elapsed)) in problems.iter().zip(batch.iter()) {
+        let solo = Verifier::new(Arc::new(LinearPolicy::default()), config()).verify(net, prop);
+        assert_eq!(solo.is_verified(), verdict.is_verified());
+        assert_eq!(solo.is_refuted(), verdict.is_refuted());
+        assert!(*elapsed <= Duration::from_secs(21));
+    }
+}

@@ -1,0 +1,120 @@
+//! Soundness and δ-completeness properties of the full verifier, checked
+//! against concrete sampling and gradient attack on random networks.
+
+use std::time::Duration;
+
+use charon::{RobustnessProperty, Verdict, Verifier};
+use domains::Bounds;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn verifier(secs: u64) -> Verifier {
+    let mut v = Verifier::default();
+    v.config_mut().timeout = Duration::from_secs(secs);
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// If Charon verifies a property, no sampled point violates it and
+    /// a fresh PGD attack cannot find a violation either.
+    #[test]
+    fn verified_regions_have_no_counterexamples(seed in 0u64..40) {
+        let net = nn::train::random_mlp(3, &[8, 8], 3, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7777);
+        let center: Vec<f64> = (0..3).map(|_| rng.gen_range(-0.8..0.8)).collect();
+        let target = net.classify(&center);
+        let region = Bounds::linf_ball(&center, 0.15, None);
+        let prop = RobustnessProperty::new(region.clone(), target);
+
+        if let Verdict::Verified = verifier(20).verify(&net, &prop) {
+            // Dense random sampling.
+            for _ in 0..300 {
+                let x = region.sample(&mut rng);
+                prop_assert_eq!(net.classify(&x), target, "sampled violation at {:?}", x);
+            }
+            // Independent adversarial attack with a different seed.
+            let attack = attack::Minimizer::new(seed ^ 0xdead)
+                .with_restarts(6)
+                .minimize(&net, &region, target);
+            prop_assert!(
+                attack.objective > 0.0,
+                "PGD found a violation in a verified region"
+            );
+        }
+    }
+
+    /// If Charon refutes, the returned point is inside the region and is
+    /// a δ-counterexample (Definition 5.3).
+    #[test]
+    fn refutations_are_delta_counterexamples(seed in 0u64..40) {
+        let net = nn::train::random_mlp(2, &[6], 3, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1212);
+        let center: Vec<f64> = (0..2).map(|_| rng.gen_range(-0.8..0.8)).collect();
+        let target = net.classify(&center);
+        // Large region: often falsifiable.
+        let region = Bounds::linf_ball(&center, 0.8, None);
+        let prop = RobustnessProperty::new(region.clone(), target);
+
+        if let Verdict::Refuted(cex) = verifier(20).verify(&net, &prop) {
+            prop_assert!(region.contains(&cex.point));
+            let f = net.objective(&cex.point, target);
+            prop_assert!((f - cex.objective).abs() < 1e-9, "stale objective value");
+            prop_assert!(f <= 1e-9, "not a δ-counterexample: F = {f}");
+        }
+    }
+}
+
+#[test]
+fn delta_complete_no_unknowns_with_budget() {
+    // With a generous budget on small problems the verifier must decide
+    // one way or the other (Theorem 5.2/5.4): never Unknown, and
+    // ResourceLimit should not occur on these sizes.
+    for seed in 0..10 {
+        let net = nn::train::random_mlp(2, &[5], 2, seed);
+        let prop = RobustnessProperty::new(
+            Bounds::linf_ball(&[0.1, -0.1], 0.5, None),
+            net.classify(&[0.1, -0.1]),
+        );
+        let verdict = verifier(30).verify(&net, &prop);
+        assert!(
+            !matches!(verdict, Verdict::ResourceLimit),
+            "seed {seed} failed to decide a tiny problem"
+        );
+    }
+}
+
+#[test]
+fn delta_controls_refutation_strictness() {
+    // A robust property with a known positive margin is verified for
+    // δ below the margin and refuted (δ-counterexample) above it.
+    let net = nn::samples::xor_network();
+    let prop = RobustnessProperty::new(Bounds::new(vec![0.3, 0.3], vec![0.7, 0.7]), 1);
+    // True minimum margin on this region is 0.2.
+    let mut v = verifier(20);
+    v.config_mut().delta = 0.05;
+    assert_eq!(v.verify(&net, &prop), Verdict::Verified);
+
+    v.config_mut().delta = 0.3;
+    match v.verify(&net, &prop) {
+        Verdict::Refuted(cex) => {
+            assert!(cex.objective <= 0.3);
+            assert!(cex.objective > 0.0, "margin is truly positive");
+        }
+        other => panic!("expected δ-refutation, got {other:?}"),
+    }
+}
+
+#[test]
+fn verifier_is_deterministic() {
+    let net = nn::train::random_mlp(3, &[10], 3, 5);
+    let prop = RobustnessProperty::new(
+        Bounds::linf_ball(&[0.0, 0.1, -0.2], 0.3, None),
+        net.classify(&[0.0, 0.1, -0.2]),
+    );
+    let a = verifier(20).verify(&net, &prop);
+    let b = verifier(20).verify(&net, &prop);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,168 @@
+//! Property-based tests of the verifier's metatheory: δ-monotonicity,
+//! region-split coherence, statistics consistency, and policy invariance
+//! of the *verdict* (only performance may differ between sound policies).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use charon::policy::{FixedPolicy, LinearPolicy};
+use charon::{RobustnessProperty, Verdict, Verifier, VerifierConfig};
+use domains::{Bounds, DomainChoice};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn verifier_with(delta: f64) -> Verifier {
+    let mut v = Verifier::default();
+    v.config_mut().timeout = Duration::from_secs(15);
+    v.config_mut().delta = delta;
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// δ-monotonicity: if the verifier refutes with a small δ, it must
+    /// also refute (or at least not verify) with any larger δ, because
+    /// every δ1-counterexample is a δ2-counterexample for δ2 >= δ1.
+    #[test]
+    fn refutations_are_monotone_in_delta(seed in 0u64..25) {
+        let net = nn::train::random_mlp(2, &[6], 2, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5a5a);
+        let center: Vec<f64> = (0..2).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        let prop = RobustnessProperty::new(
+            Bounds::linf_ball(&center, 0.4, None),
+            net.classify(&center),
+        );
+        let small = verifier_with(1e-9).verify(&net, &prop);
+        let large = verifier_with(0.1).verify(&net, &prop);
+        if small.is_refuted() {
+            prop_assert!(
+                !large.is_verified(),
+                "refuted at δ=1e-9 but verified at δ=0.1"
+            );
+        }
+        if large.is_verified() {
+            prop_assert!(small.is_verified(), "verified at δ=0.1 must imply at 1e-9");
+        }
+    }
+
+    /// Split coherence: a property verified on a region is verified on
+    /// both halves of any interior split (soundness is monotone under
+    /// region restriction).
+    #[test]
+    fn verified_regions_verify_their_halves(seed in 0u64..20) {
+        let net = nn::train::random_mlp(3, &[6], 3, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1f1f);
+        let center: Vec<f64> = (0..3).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        let region = Bounds::linf_ball(&center, 0.2, None);
+        let target = net.classify(&center);
+        let prop = RobustnessProperty::new(region.clone(), target);
+        let verifier = verifier_with(1e-9);
+        if verifier.verify(&net, &prop).is_verified() {
+            let (a, b) = region.bisect();
+            prop_assert!(verifier
+                .verify(&net, &prop.with_region(a))
+                .is_verified());
+            prop_assert!(verifier
+                .verify(&net, &prop.with_region(b))
+                .is_verified());
+        }
+    }
+
+    /// Verdict invariance across sound policies: different policies may
+    /// take different time but cannot disagree on decidable problems
+    /// (everything here is small enough to decide well within budget).
+    #[test]
+    fn sound_policies_agree_on_verdicts(seed in 0u64..15) {
+        let net = nn::train::random_mlp(2, &[5], 2, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x77);
+        let center: Vec<f64> = (0..2).map(|_| rng.gen_range(-0.4..0.4)).collect();
+        let prop = RobustnessProperty::new(
+            Bounds::linf_ball(&center, 0.3, None),
+            net.classify(&center),
+        );
+        let config = VerifierConfig {
+            timeout: Duration::from_secs(15),
+            ..VerifierConfig::default()
+        };
+        let default = Verifier::new(Arc::new(LinearPolicy::default()), config.clone())
+            .verify(&net, &prop);
+        let interval = Verifier::new(
+            Arc::new(FixedPolicy::new(DomainChoice::interval())),
+            config.clone(),
+        )
+        .verify(&net, &prop);
+        let zonotope = Verifier::new(
+            Arc::new(FixedPolicy::new(DomainChoice::zonotope())),
+            config,
+        )
+        .verify(&net, &prop);
+        for v in [&interval, &zonotope] {
+            match (&default, v) {
+                (Verdict::ResourceLimit, _) | (_, Verdict::ResourceLimit) => {}
+                (a, b) => prop_assert_eq!(
+                    a.is_verified(),
+                    b.is_verified(),
+                    "policy disagreement: {:?} vs {:?}",
+                    a,
+                    b
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn stats_are_internally_consistent() {
+    let net = nn::samples::xor_network();
+    // Example 3.1's region: minimum margin 0.2 > 0, so it verifies.
+    let prop = RobustnessProperty::new(Bounds::new(vec![0.3, 0.3], vec![0.7, 0.7]), 1);
+    let (verdict, stats) = verifier_with(1e-9).verify_with_stats(&net, &prop);
+    assert!(verdict.is_verified());
+    // Every split produces exactly two child regions; every region except
+    // the root was produced by a split. On full verification the worklist
+    // drains, so: regions == 1 + 2 * splits - (pruned == 0).
+    assert_eq!(stats.regions, 1 + 2 * stats.splits);
+    // Each processed region gets at most one attack and one analyze call.
+    assert!(stats.attacks <= stats.regions);
+    assert!(stats.analyze_calls <= stats.regions);
+    let domain_total: usize = stats.domain_uses.iter().map(|(_, c)| c).sum();
+    assert_eq!(domain_total, stats.analyze_calls);
+    assert!(stats.verified_regions <= stats.analyze_calls + stats.regions);
+}
+
+#[test]
+fn max_regions_cap_is_respected() {
+    let net = nn::train::random_mlp(4, &[16, 16], 3, 11);
+    let prop = RobustnessProperty::new(
+        Bounds::linf_ball(&[0.0; 4], 0.9, None),
+        net.classify(&[0.0; 4]),
+    );
+    let mut verifier = Verifier::default();
+    verifier.config_mut().max_regions = 5;
+    verifier.config_mut().counterexample_search = false;
+    let (verdict, stats) = verifier.verify_with_stats(&net, &prop);
+    // Either it decides very fast or it stops at the cap.
+    if verdict == Verdict::ResourceLimit {
+        assert!(stats.regions <= 5);
+    }
+}
+
+#[test]
+fn cancellation_flag_stops_verification() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let net = nn::train::random_mlp(4, &[16, 16], 3, 13);
+    let prop = RobustnessProperty::new(
+        Bounds::linf_ball(&[0.0; 4], 0.9, None),
+        net.classify(&[0.0; 4]),
+    );
+    let flag = Arc::new(AtomicBool::new(true)); // pre-cancelled
+    let mut verifier = Verifier::default();
+    verifier.config_mut().cancel = Some(Arc::clone(&flag));
+    verifier.config_mut().counterexample_search = false;
+    let (verdict, stats) = verifier.verify_with_stats(&net, &prop);
+    assert_eq!(verdict, Verdict::ResourceLimit);
+    assert!(stats.regions <= 1, "pre-cancelled run did work: {stats:?}");
+    assert!(flag.load(Ordering::Relaxed));
+}
