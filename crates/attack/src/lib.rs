@@ -28,6 +28,26 @@ use nn::Network;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Replaces a NaN objective value with `+∞` so it can never be accepted
+/// as a best-so-far or trip a `<= δ` refutation check. Networks with
+/// poisoned parameters evaluate to NaN everywhere; the sentinel makes
+/// every optimizer in this crate report "attack found nothing" instead
+/// of returning a NaN that compares false with everything downstream.
+fn sanitize_objective(f: f64) -> f64 {
+    if f.is_nan() {
+        f64::INFINITY
+    } else {
+        f
+    }
+}
+
+/// Whether a gradient is usable for a descent step. Non-finite entries
+/// (NaN or ±∞ from poisoned numerics) would teleport the iterate out of
+/// the region or poison it outright.
+fn gradient_is_finite(g: &[f64]) -> bool {
+    g.iter().all(|v| v.is_finite())
+}
+
 /// Result of an optimization run: the best point found and its objective
 /// value.
 #[derive(Debug, Clone)]
@@ -80,7 +100,7 @@ pub fn pgd(
     assert!(region.contains(start), "start point must lie in the region");
     let mut x = start.to_vec();
     let mut best = x.clone();
-    let mut best_f = net.objective(&x, target);
+    let mut best_f = sanitize_objective(net.objective(&x, target));
     let mut evals = 1;
     let mut step = config.step_fraction * region.mean_width().max(1e-12);
 
@@ -90,6 +110,9 @@ pub fn pgd(
         }
         let g = net.objective_gradient(&x, target);
         evals += 1;
+        if !gradient_is_finite(&g) {
+            break;
+        }
         let norm = tensor::ops::norm2(&g);
         if norm < 1e-12 {
             break;
@@ -99,7 +122,7 @@ pub fn pgd(
             *xi -= step * gi / norm;
         }
         region.clamp(&mut x);
-        let f = net.objective(&x, target);
+        let f = sanitize_objective(net.objective(&x, target));
         evals += 1;
         if f < best_f {
             best_f = f;
@@ -140,7 +163,7 @@ pub fn pgd_momentum(
     let mut x = start.to_vec();
     let mut velocity = vec![0.0; x.len()];
     let mut best = x.clone();
-    let mut best_f = net.objective(&x, target);
+    let mut best_f = sanitize_objective(net.objective(&x, target));
     let mut evals = 1;
     let step = config.step_fraction * region.mean_width().max(1e-12);
 
@@ -150,6 +173,9 @@ pub fn pgd_momentum(
         }
         let g = net.objective_gradient(&x, target);
         evals += 1;
+        if !gradient_is_finite(&g) {
+            break;
+        }
         let norm = tensor::ops::norm2(&g);
         if norm < 1e-12 && tensor::ops::norm2(&velocity) < 1e-12 {
             break;
@@ -159,7 +185,7 @@ pub fn pgd_momentum(
             *xi += *vi;
         }
         region.clamp(&mut x);
-        let f = net.objective(&x, target);
+        let f = sanitize_objective(net.objective(&x, target));
         evals += 1;
         if f < best_f {
             best_f = f;
@@ -190,7 +216,7 @@ pub fn coordinate_descent(
 ) -> AttackResult {
     assert!(region.contains(start), "start point must lie in the region");
     let mut x = start.to_vec();
-    let mut best_f = net.objective(&x, target);
+    let mut best_f = sanitize_objective(net.objective(&x, target));
     let mut evals = 1;
     let free: Vec<usize> = region
         .widths()
@@ -214,7 +240,7 @@ pub fn coordinate_descent(
                     continue;
                 }
                 x[i] = candidate;
-                let f = net.objective(&x, target);
+                let f = sanitize_objective(net.objective(&x, target));
                 evals += 1;
                 if f < local_best {
                     local_best = f;
@@ -250,6 +276,10 @@ pub fn coordinate_descent(
 pub fn fgsm_step(net: &Network, region: &Bounds, target: usize, start: &[f64]) -> Vec<f64> {
     assert!(region.contains(start), "start point must lie in the region");
     let g = net.objective_gradient(start, target);
+    if !gradient_is_finite(&g) {
+        // A poisoned gradient gives no usable direction; stay put.
+        return start.to_vec();
+    }
     let mut x: Vec<f64> = start
         .iter()
         .zip(g.iter())
@@ -298,6 +328,11 @@ impl Minimizer {
     }
 
     /// Minimizes `F` over `region`, returning the best point found.
+    ///
+    /// If the network evaluates to NaN on every visited point (poisoned
+    /// parameters), the returned objective is `+∞` — a sentinel meaning
+    /// "the attack could not evaluate the network", which no δ-check can
+    /// mistake for a refutation.
     ///
     /// # Panics
     ///
@@ -474,6 +509,41 @@ mod tests {
         let b = Minimizer::new(9).minimize(&net, &region, 1);
         assert_eq!(a.point, b.point);
         assert_eq!(a.objective, b.objective);
+    }
+
+    fn poisoned_network() -> Network {
+        // A single affine layer with a NaN weight: every evaluation and
+        // every gradient of this network is NaN.
+        Network::new(
+            1,
+            vec![nn::Layer::Affine(nn::AffineLayer::new(
+                tensor::Matrix::from_rows(&[&[f64::NAN], &[1.0]]),
+                vec![0.0, 0.0],
+            ))],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn poisoned_network_reports_infinite_objective_not_nan() {
+        let net = poisoned_network();
+        let region = Bounds::new(vec![0.0], vec![1.0]);
+        let result = Minimizer::new(1).with_restarts(2).minimize(&net, &region, 0);
+        assert!(
+            result.objective.is_infinite() && result.objective > 0.0,
+            "poisoned objective must surface as +inf, got {}",
+            result.objective
+        );
+        assert!(region.contains(&result.point));
+        assert!(result.point.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn fgsm_stays_put_on_poisoned_gradient() {
+        let net = poisoned_network();
+        let region = Bounds::new(vec![0.0], vec![1.0]);
+        let x = fgsm_step(&net, &region, 0, &[0.25]);
+        assert_eq!(x, vec![0.25]);
     }
 
     #[test]

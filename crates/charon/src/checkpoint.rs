@@ -1,0 +1,201 @@
+//! Serializable verification checkpoints.
+//!
+//! When a run stops on a budget (timeout, region cap, cancellation, or
+//! the numeric splitting floor) the as-yet-undecided part of the region
+//! worklist still represents real progress: every region *not* in it has
+//! already been verified. A [`Checkpoint`] captures that worklist in a
+//! line-oriented text format (in the same family as `nn::serialize` and
+//! the `charon-prop` property format) so a later
+//! [`crate::Verifier::resume`] can pick up exactly where the run
+//! stopped, revisiting no already-verified region.
+//!
+//! ```text
+//! charon-ckpt 1
+//! target <class>
+//! dim <n>
+//! done <regions-processed-so-far>
+//! region <depth> <l_1> <u_1> ... <l_n> <u_n>
+//! ...
+//! end
+//! ```
+
+use domains::Bounds;
+
+/// The resumable remainder of an interrupted verification run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The property's target class.
+    pub target: usize,
+    /// Undecided regions with their split depths, in worklist order
+    /// (the sequential verifier treats this as a stack, deepest last).
+    pub pending: Vec<(Bounds, usize)>,
+    /// Regions already processed before the interruption (carried for
+    /// reporting; resumed stats start from zero).
+    pub regions_done: usize,
+}
+
+impl Checkpoint {
+    /// Serializes to the `charon-ckpt 1` text format.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let dim = self.pending.first().map_or(0, |(b, _)| b.dim());
+        let mut out = String::new();
+        writeln!(out, "charon-ckpt 1").unwrap();
+        writeln!(out, "target {}", self.target).unwrap();
+        writeln!(out, "dim {dim}").unwrap();
+        writeln!(out, "done {}", self.regions_done).unwrap();
+        for (region, depth) in &self.pending {
+            write!(out, "region {depth}").unwrap();
+            for (l, u) in region.lower().iter().zip(region.upper().iter()) {
+                write!(out, " {l:?} {u:?}").unwrap();
+            }
+            out.push('\n');
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses the text format produced by [`Checkpoint::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on any syntactic problem.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+        if lines.next() != Some("charon-ckpt 1") {
+            return Err("bad header (expected 'charon-ckpt 1')".into());
+        }
+        let target = lines
+            .next()
+            .and_then(|l| l.strip_prefix("target "))
+            .and_then(|s| s.parse::<usize>().ok())
+            .ok_or("bad target line")?;
+        let dim = lines
+            .next()
+            .and_then(|l| l.strip_prefix("dim "))
+            .and_then(|s| s.parse::<usize>().ok())
+            .ok_or("bad dim line")?;
+        let regions_done = lines
+            .next()
+            .and_then(|l| l.strip_prefix("done "))
+            .and_then(|s| s.parse::<usize>().ok())
+            .ok_or("bad done line")?;
+        let mut pending = Vec::new();
+        loop {
+            let line = lines.next().ok_or("missing end marker")?;
+            if line == "end" {
+                break;
+            }
+            let rest = line.strip_prefix("region ").ok_or("bad region line")?;
+            let mut parts = rest.split_whitespace();
+            let depth: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or("bad region depth")?;
+            let values: Result<Vec<f64>, String> = parts
+                .map(|s| s.parse::<f64>().map_err(|_| format!("bad bound {s:?}")))
+                .collect();
+            let values = values?;
+            if values.len() != 2 * dim {
+                return Err(format!(
+                    "region line has {} values, expected {}",
+                    values.len(),
+                    2 * dim
+                ));
+            }
+            let mut lower = Vec::with_capacity(dim);
+            let mut upper = Vec::with_capacity(dim);
+            for pair in values.chunks_exact(2) {
+                if pair[0] > pair[1] || pair[0].is_nan() || pair[1].is_nan() {
+                    return Err(format!("invalid bound pair [{}, {}]", pair[0], pair[1]));
+                }
+                lower.push(pair[0]);
+                upper.push(pair[1]);
+            }
+            pending.push((Bounds::new(lower, upper), depth));
+        }
+        Ok(Checkpoint {
+            target,
+            pending,
+            regions_done,
+        })
+    }
+
+    /// Saves the checkpoint to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Loads a checkpoint from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the file cannot be read or parsed.
+    pub fn load(path: &std::path::Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Checkpoint::from_text(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            target: 3,
+            pending: vec![
+                (Bounds::new(vec![0.1 + 0.2, -1.0], vec![0.5, 1e9]), 2),
+                (Bounds::new(vec![0.5, 0.0], vec![1.0, 0.0]), 7),
+            ],
+            regions_done: 41,
+        }
+    }
+
+    #[test]
+    fn text_roundtrip_is_exact() {
+        let ckpt = sample();
+        let parsed = Checkpoint::from_text(&ckpt.to_text()).unwrap();
+        assert_eq!(parsed, ckpt);
+    }
+
+    #[test]
+    fn empty_worklist_roundtrips() {
+        let ckpt = Checkpoint {
+            target: 0,
+            pending: vec![],
+            regions_done: 5,
+        };
+        assert_eq!(Checkpoint::from_text(&ckpt.to_text()).unwrap(), ckpt);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        let cases = [
+            ("", "empty"),
+            ("bogus\nend", "bad header"),
+            ("charon-ckpt 1\ntarget x\ndim 1\ndone 0\nend", "bad target"),
+            ("charon-ckpt 1\ntarget 0\ndim 1\ndone 0\nregion 0 0.5\nend", "arity"),
+            (
+                "charon-ckpt 1\ntarget 0\ndim 1\ndone 0\nregion 0 2.0 1.0\nend",
+                "inverted bounds",
+            ),
+            (
+                "charon-ckpt 1\ntarget 0\ndim 1\ndone 0\nregion 0 NaN NaN\nend",
+                "NaN bounds",
+            ),
+            ("charon-ckpt 1\ntarget 0\ndim 1\ndone 0", "missing end"),
+        ];
+        for (text, why) in cases {
+            assert!(
+                Checkpoint::from_text(text).is_err(),
+                "should reject {why}: {text:?}"
+            );
+        }
+    }
+}

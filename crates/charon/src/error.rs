@@ -1,0 +1,139 @@
+//! Structured failure taxonomy for the verification engine.
+//!
+//! The verifier distinguishes two very different kinds of "no answer":
+//!
+//! * **Couldn't decide** — the budget ran out or the region became
+//!   numerically unsplittable. This is the δ-completeness escape hatch
+//!   ([`crate::Verdict::ResourceLimit`]); the run is resumable from its
+//!   checkpoint.
+//! * **Engine broke** — a worker panicked twice, NaN poisoned both the
+//!   chosen domain and the interval fallback, or the model itself is
+//!   malformed. This is a [`VerifyError`]; no verdict can honestly be
+//!   reported.
+//!
+//! The `Result`-based API ([`crate::Verifier::try_verify_run`] and
+//! friends) keeps the two apart; the legacy [`crate::Verifier::verify`]
+//! API maps engine failures to panics, as it always did.
+
+/// Why a verification run stopped without a decisive verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// The wall-clock timeout elapsed.
+    Timeout,
+    /// The region cap (`max_regions`) was reached.
+    Regions,
+    /// The cooperative cancellation flag was set.
+    Cancelled,
+    /// A region could not be split further at f64 precision and no
+    /// domain could decide it.
+    NumericPrecision,
+}
+
+impl std::fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetKind::Timeout => write!(f, "timeout"),
+            BudgetKind::Regions => write!(f, "region budget"),
+            BudgetKind::Cancelled => write!(f, "cancelled"),
+            BudgetKind::NumericPrecision => write!(f, "numeric precision floor"),
+        }
+    }
+}
+
+/// A failure of the verification engine itself, as opposed to an
+/// inconclusive verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// A region's analyze/attack step panicked, and so did the coarse
+    /// interval retry. The process survives; the run does not.
+    WorkerPanic {
+        /// Panic payload (if it was a string), for diagnostics.
+        message: String,
+    },
+    /// NaN poisoned both the selected abstract domain and the interval
+    /// fallback on some region; no sound statement is possible.
+    NonFinitePoisoning {
+        /// Which stage detected the poisoning (e.g. `"transformer"`,
+        /// `"attack"`).
+        stage: &'static str,
+    },
+    /// The run exhausted a resource budget before reaching a decision.
+    ///
+    /// Produced by the strict [`crate::Verifier::try_verify`] API, which
+    /// folds [`crate::Verdict::ResourceLimit`] into the error channel;
+    /// [`crate::Verifier::try_verify_run`] reports the same situation as
+    /// an `Ok` run carrying a checkpoint instead.
+    Budget {
+        /// Which budget was exhausted.
+        kind: BudgetKind,
+    },
+    /// The network or property is structurally unusable: dimension
+    /// mismatch, out-of-range target class, or non-finite parameters.
+    MalformedModel {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::WorkerPanic { message } => {
+                write!(f, "verification worker panicked: {message}")
+            }
+            VerifyError::NonFinitePoisoning { stage } => {
+                write!(f, "non-finite values poisoned the {stage} stage")
+            }
+            VerifyError::Budget { kind } => write!(f, "budget exhausted: {kind}"),
+            VerifyError::MalformedModel { reason } => write!(f, "malformed model: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Extracts a printable message from a panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_line() {
+        let errors = [
+            VerifyError::WorkerPanic {
+                message: "boom".into(),
+            },
+            VerifyError::NonFinitePoisoning {
+                stage: "transformer",
+            },
+            VerifyError::Budget {
+                kind: BudgetKind::Timeout,
+            },
+            VerifyError::MalformedModel {
+                reason: "NaN weight".into(),
+            },
+        ];
+        for e in errors {
+            let text = e.to_string();
+            assert!(!text.is_empty());
+            assert!(!text.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn panic_message_handles_both_string_kinds() {
+        assert_eq!(panic_message(&"static"), "static");
+        assert_eq!(panic_message(&String::from("owned")), "owned");
+        assert_eq!(panic_message(&42usize), "non-string panic payload");
+    }
+}

@@ -1,0 +1,141 @@
+//! Deterministic fault injection for testing the verifier's failure
+//! handling.
+//!
+//! A [`FaultPlan`] is attached to a [`crate::VerifierConfig`] and fires
+//! each configured [`Injection`] exactly once, when the verifier begins
+//! processing the region with the matching ordinal (regions are numbered
+//! in the order any worker dequeues them, starting at 0). This gives the
+//! chaos tests precise, repeatable control over *where* in the search a
+//! panic, a NaN, a delay, or a cancellation strikes.
+//!
+//! This module exists for testing only: production configurations leave
+//! `VerifierConfig::faults` as `None`, in which case the verifier pays a
+//! single `Option` check per region.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Where in a region's processing a fault is injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Panic at the start of the region step (simulates a bug anywhere
+    /// in the analyze/attack code).
+    WorkerPanic,
+    /// Replace the attack result with a NaN point claiming an objective
+    /// of `-∞` (simulates poisoned gradients producing a bogus
+    /// "counterexample").
+    AttackNan,
+    /// Force the abstract analysis of the region to report poisoning
+    /// (simulates NaN appearing inside a transformer).
+    TransformerNan,
+    /// Sleep briefly before processing (simulates a straggler worker).
+    Delay,
+    /// Trip the cooperative cancellation path mid-run.
+    Cancel,
+}
+
+/// One scheduled fault: a site plus the ordinal of the region it fires
+/// on.
+#[derive(Debug)]
+pub struct Injection {
+    site: FaultSite,
+    region_index: usize,
+    fired: AtomicBool,
+}
+
+/// A deterministic schedule of faults, shared by all workers of a run.
+///
+/// # Examples
+///
+/// ```
+/// use charon::faults::{FaultPlan, FaultSite};
+/// use std::sync::Arc;
+///
+/// let plan = Arc::new(FaultPlan::new().inject(FaultSite::WorkerPanic, 0));
+/// let mut config = charon::VerifierConfig::default();
+/// config.faults = Some(plan);
+/// ```
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    injections: Vec<Injection>,
+    counter: AtomicUsize,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds an injection firing when region number `region_index` is
+    /// dequeued.
+    pub fn inject(mut self, site: FaultSite, region_index: usize) -> Self {
+        self.injections.push(Injection {
+            site,
+            region_index,
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Assigns the next region ordinal. Called once per dequeued region
+    /// by the verifier.
+    pub(crate) fn next_region(&self) -> usize {
+        self.counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Whether an injection for `site` is due at region `ordinal`; each
+    /// injection fires at most once even with concurrent callers.
+    pub(crate) fn fire(&self, site: FaultSite, ordinal: usize) -> bool {
+        self.injections.iter().any(|inj| {
+            inj.site == site
+                && inj.region_index == ordinal
+                && !inj.fired.swap(true, Ordering::Relaxed)
+        })
+    }
+
+    /// Number of injections that have fired so far.
+    pub fn fired_count(&self) -> usize {
+        self.injections
+            .iter()
+            .filter(|inj| inj.fired.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Whether every scheduled injection has fired.
+    pub fn all_fired(&self) -> bool {
+        self.injections
+            .iter()
+            .all(|inj| inj.fired.load(Ordering::Relaxed))
+    }
+
+    /// Number of regions dequeued so far (the ordinal counter).
+    pub fn regions_seen(&self) -> usize {
+        self.counter.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injections_fire_exactly_once() {
+        let plan = FaultPlan::new()
+            .inject(FaultSite::WorkerPanic, 1)
+            .inject(FaultSite::Delay, 1);
+        assert!(!plan.fire(FaultSite::WorkerPanic, 0));
+        assert!(plan.fire(FaultSite::WorkerPanic, 1));
+        assert!(!plan.fire(FaultSite::WorkerPanic, 1), "must not re-fire");
+        assert!(plan.fire(FaultSite::Delay, 1));
+        assert_eq!(plan.fired_count(), 2);
+        assert!(plan.all_fired());
+    }
+
+    #[test]
+    fn ordinals_increment() {
+        let plan = FaultPlan::new();
+        assert_eq!(plan.next_region(), 0);
+        assert_eq!(plan.next_region(), 1);
+        assert_eq!(plan.regions_seen(), 2);
+    }
+}

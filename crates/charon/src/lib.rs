@@ -33,6 +33,16 @@
 //! margin is at most δ, Definition 5.3) or an explicit resource-limit
 //! verdict.
 //!
+//! # Failure model
+//!
+//! Engine faults are isolated per region: a panicking or NaN-poisoned
+//! region step is retried once on the interval domain, and only a second
+//! failure aborts the run with a structured [`VerifyError`] (via the
+//! `Result`-based [`Verifier::try_verify_run`] API). Budget-limited runs
+//! emit a [`Checkpoint`] from which [`Verifier::resume`] continues without
+//! revisiting verified regions. The [`faults`] module provides the
+//! deterministic fault-injection harness used by the chaos tests.
+//!
 //! # Examples
 //!
 //! ```
@@ -50,14 +60,21 @@
 //! assert!(matches!(verifier.verify(&net, &property), Verdict::Verified));
 //! ```
 
+mod checkpoint;
+mod error;
 mod property;
 mod verify;
 
+pub mod faults;
 pub mod parallel;
 pub mod policy;
 pub mod portfolio;
 pub mod report;
 pub mod train;
 
+pub use checkpoint::Checkpoint;
+pub use error::{BudgetKind, VerifyError};
 pub use property::RobustnessProperty;
-pub use verify::{Counterexample, Verdict, Verifier, VerifierConfig, VerifyStats};
+pub use verify::{
+    Counterexample, Verdict, Verifier, VerifierConfig, VerifyRun, VerifyStats,
+};

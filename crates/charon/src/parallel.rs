@@ -6,18 +6,30 @@
 //! regions, run counterexample search and abstract interpretation, and
 //! push split sub-regions back. The first δ-counterexample found aborts
 //! the whole run.
+//!
+//! Fault tolerance matches the sequential verifier: every region step is
+//! panic-isolated with an interval-domain retry, so a single bad region
+//! degrades precision instead of killing a worker thread (or the
+//! process). Budget-limited runs drain the shared queue into a
+//! [`Checkpoint`] for [`ParallelVerifier::resume`].
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use attack::Minimizer;
-use domains::{analyze, Bounds};
+use domains::Bounds;
 use nn::Network;
 use parking_lot::Mutex;
 
-use crate::policy::{Policy, PolicyContext};
-use crate::verify::{Counterexample, Verdict, VerifierConfig};
+use crate::checkpoint::Checkpoint;
+use crate::error::{BudgetKind, VerifyError};
+use crate::faults::FaultSite;
+use crate::policy::Policy;
+use crate::verify::{
+    guarded_region_step, validate_problem, RegionOutcome, StepEnv, Verdict, VerifierConfig,
+    VerifyRun, VerifyStats,
+};
 use crate::RobustnessProperty;
 
 /// A parallel variant of the [`crate::Verifier`].
@@ -30,6 +42,36 @@ pub struct ParallelVerifier {
     policy: Arc<dyn Policy>,
     config: VerifierConfig,
     threads: usize,
+}
+
+/// State shared by every worker of one parallel run.
+struct Shared<'a> {
+    queue: &'a Mutex<Vec<(Bounds, usize)>>,
+    in_flight: &'a AtomicUsize,
+    regions_done: &'a AtomicUsize,
+    stop: &'a AtomicBool,
+    found: &'a Mutex<Option<(Verdict, Option<BudgetKind>)>>,
+    error: &'a Mutex<Option<VerifyError>>,
+}
+
+impl Shared<'_> {
+    /// Records a verdict (first writer wins) and tells everyone to stop.
+    fn record_and_stop(&self, verdict: Verdict, limit: Option<BudgetKind>) {
+        let mut slot = self.found.lock();
+        if slot.is_none() {
+            *slot = Some((verdict, limit));
+        }
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Records an engine error (first writer wins) and stops the run.
+    fn record_error(&self, e: VerifyError) {
+        let mut slot = self.error.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        self.stop.store(true, Ordering::Release);
+    }
 }
 
 impl ParallelVerifier {
@@ -59,178 +101,242 @@ impl ParallelVerifier {
     /// # Panics
     ///
     /// Panics if the property's region dimension differs from the
-    /// network's input dimension.
+    /// network's input dimension, the target class is out of range, or
+    /// the engine fails irrecoverably (see
+    /// [`ParallelVerifier::try_verify_run`] for the non-panicking API).
     pub fn verify(&self, net: &Network, property: &RobustnessProperty) -> Verdict {
         assert_eq!(
             property.region().dim(),
             net.input_dim(),
             "region dimension must match network input"
         );
-        let deadline = Instant::now() + self.config.timeout;
-        let target = property.target();
+        assert!(
+            property.target() < net.output_dim(),
+            "target class out of range"
+        );
+        match self.try_verify_run(net, property) {
+            Ok(run) => run.verdict,
+            Err(e) => panic!("verification engine failure: {e}"),
+        }
+    }
 
-        let queue: Mutex<Vec<Bounds>> = Mutex::new(vec![property.region().clone()]);
+    /// Parallel analogue of [`crate::Verifier::try_verify_run`].
+    ///
+    /// # Errors
+    ///
+    /// As the sequential variant: structured [`VerifyError`]s for
+    /// malformed inputs and irrecoverable engine failures.
+    pub fn try_verify_run(
+        &self,
+        net: &Network,
+        property: &RobustnessProperty,
+    ) -> Result<VerifyRun, VerifyError> {
+        validate_problem(net, property.region(), property.target())?;
+        self.run_worklist(
+            net,
+            property.target(),
+            vec![(property.region().clone(), 0)],
+        )
+    }
+
+    /// Continues an interrupted run from a [`Checkpoint`] (see
+    /// [`crate::Verifier::resume`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`ParallelVerifier::try_verify_run`].
+    pub fn resume(&self, net: &Network, checkpoint: &Checkpoint) -> Result<VerifyRun, VerifyError> {
+        if checkpoint.target >= net.output_dim() {
+            return Err(VerifyError::MalformedModel {
+                reason: format!(
+                    "checkpoint target class {} out of range for {} outputs",
+                    checkpoint.target,
+                    net.output_dim()
+                ),
+            });
+        }
+        for (region, _) in &checkpoint.pending {
+            validate_problem(net, region, checkpoint.target)?;
+        }
+        self.run_worklist(net, checkpoint.target, checkpoint.pending.clone())
+    }
+
+    fn run_worklist(
+        &self,
+        net: &Network,
+        target: usize,
+        initial: Vec<(Bounds, usize)>,
+    ) -> Result<VerifyRun, VerifyError> {
+        let start = Instant::now();
+        let deadline = start + self.config.timeout;
+        let queue: Mutex<Vec<(Bounds, usize)>> = Mutex::new(initial);
         let in_flight = AtomicUsize::new(0);
         let regions_done = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
-        let found: Mutex<Option<Verdict>> = Mutex::new(None);
+        let found: Mutex<Option<(Verdict, Option<BudgetKind>)>> = Mutex::new(None);
+        let error: Mutex<Option<VerifyError>> = Mutex::new(None);
+        let total_stats: Mutex<VerifyStats> = Mutex::new(VerifyStats::default());
+        let objective_lipschitz = if self.config.lipschitz_prefilter {
+            2.0 * net.lipschitz_bound()
+        } else {
+            f64::INFINITY
+        };
 
-        crossbeam::scope(|scope| {
+        let scope_result = crossbeam::scope(|scope| {
             for worker in 0..self.threads {
-                let queue = &queue;
-                let in_flight = &in_flight;
-                let regions_done = &regions_done;
-                let stop = &stop;
-                let found = &found;
+                let shared = Shared {
+                    queue: &queue,
+                    in_flight: &in_flight,
+                    regions_done: &regions_done,
+                    stop: &stop,
+                    found: &found,
+                    error: &error,
+                };
+                let total_stats = &total_stats;
                 let policy = Arc::clone(&self.policy);
                 let config = self.config.clone();
                 scope.spawn(move |_| {
                     let minimizer = Minimizer::new(config.seed.wrapping_add(worker as u64))
                         .with_restarts(config.restarts);
-                    loop {
-                        if stop.load(Ordering::Acquire) {
-                            return;
-                        }
-                        if Instant::now() >= deadline
-                            || regions_done.load(Ordering::Relaxed) >= config.max_regions
-                        {
-                            let mut slot = found.lock();
-                            if slot.is_none() {
-                                *slot = Some(Verdict::ResourceLimit);
-                            }
-                            stop.store(true, Ordering::Release);
-                            return;
-                        }
-                        let region = {
-                            let mut q = queue.lock();
-                            match q.pop() {
-                                Some(r) => {
-                                    in_flight.fetch_add(1, Ordering::AcqRel);
-                                    Some(r)
-                                }
-                                None => None,
-                            }
-                        };
-                        let Some(region) = region else {
-                            // Queue empty: finished only if no worker is
-                            // still processing (it may push new regions).
-                            if in_flight.load(Ordering::Acquire) == 0 {
-                                return;
-                            }
-                            std::thread::yield_now();
-                            continue;
-                        };
-
-                        let outcome = process_region(
-                            net,
-                            &region,
-                            target,
-                            &minimizer,
-                            policy.as_ref(),
-                            &config,
-                            deadline,
-                        );
-                        regions_done.fetch_add(1, Ordering::Relaxed);
-                        match outcome {
-                            RegionOutcome::Verified => {}
-                            RegionOutcome::Refuted(cex) => {
-                                let mut slot = found.lock();
-                                if slot.is_none() {
-                                    *slot = Some(Verdict::Refuted(cex));
-                                }
-                                stop.store(true, Ordering::Release);
-                            }
-                            RegionOutcome::Split(a, b) => {
-                                let mut q = queue.lock();
-                                q.push(a);
-                                q.push(b);
-                            }
-                        }
-                        in_flight.fetch_sub(1, Ordering::AcqRel);
-                    }
+                    let env = StepEnv {
+                        net,
+                        target,
+                        minimizer: &minimizer,
+                        policy: policy.as_ref(),
+                        config: &config,
+                        deadline,
+                        objective_lipschitz,
+                    };
+                    let mut stats = VerifyStats::default();
+                    worker_loop(&env, &shared, &mut stats);
+                    total_stats.lock().absorb(&stats);
                 });
             }
-        })
-        .expect("worker thread panicked");
-
-        let slot = found.into_inner();
-        slot.unwrap_or(Verdict::Verified)
-    }
-}
-
-enum RegionOutcome {
-    Verified,
-    Refuted(Counterexample),
-    Split(Bounds, Bounds),
-}
-
-fn process_region(
-    net: &Network,
-    region: &Bounds,
-    target: usize,
-    minimizer: &Minimizer,
-    policy: &dyn Policy,
-    config: &VerifierConfig,
-    deadline: Instant,
-) -> RegionOutcome {
-    let (x_star, objective) = if config.counterexample_search {
-        let result = minimizer.minimize(net, region, target);
-        (result.point, result.objective)
-    } else {
-        let center = region.center();
-        let f = net.objective(&center, target);
-        (center, f)
-    };
-    if objective <= config.delta {
-        return RegionOutcome::Refuted(Counterexample {
-            point: x_star,
-            objective,
         });
-    }
-    if region.widths().iter().all(|w| *w <= f64::EPSILON) {
-        return if analyze(net, region, target, domains::DomainChoice::interval()) {
-            RegionOutcome::Verified
-        } else {
-            RegionOutcome::Refuted(Counterexample {
-                point: x_star,
-                objective,
-            })
-        };
-    }
-    let ctx = PolicyContext {
-        net,
-        region,
-        target,
-        x_star: &x_star,
-        objective,
-    };
-    let choice = policy.choose_domain(&ctx);
-    match crate::verify::run_selection(net, region, target, choice, deadline) {
-        crate::verify::SelectionResult::Verified => return RegionOutcome::Verified,
-        crate::verify::SelectionResult::Violated(point) => {
-            let objective = net.objective(&point, target);
-            return RegionOutcome::Refuted(Counterexample { point, objective });
+        if scope_result.is_err() {
+            // Workers are panic-isolated, so this is a bug in the driver
+            // itself; surface it as an engine error, not a process abort.
+            return Err(VerifyError::WorkerPanic {
+                message: "parallel worker panicked outside the isolation boundary".to_string(),
+            });
         }
-        crate::verify::SelectionResult::Inconclusive => {}
+
+        let found = found.into_inner();
+        let (verdict, limit) = match (error.into_inner(), found) {
+            // A validated refutation outranks a late engine error: the
+            // counterexample is real regardless of what broke elsewhere.
+            (Some(_), Some((Verdict::Refuted(cex), _))) => (Verdict::Refuted(cex), None),
+            (Some(e), _) => return Err(e),
+            (None, Some((verdict, limit))) => (verdict, limit),
+            (None, None) => (Verdict::Verified, None),
+        };
+        let checkpoint = if verdict == Verdict::ResourceLimit {
+            Some(Checkpoint {
+                target,
+                pending: queue.into_inner(),
+                regions_done: regions_done.load(Ordering::Relaxed),
+            })
+        } else {
+            None
+        };
+        let mut stats = total_stats.into_inner();
+        stats.elapsed = start.elapsed();
+        Ok(VerifyRun {
+            verdict,
+            stats,
+            checkpoint,
+            limit,
+        })
     }
-    let plan = policy.choose_split(&ctx);
-    let at = crate::policy::clamp_split(region, plan.dim, plan.at);
-    let (dim, at) = if at > region.lower()[plan.dim] && at < region.upper()[plan.dim] {
-        (plan.dim, at)
-    } else {
-        let dim = region.longest_dim();
-        (dim, 0.5 * (region.lower()[dim] + region.upper()[dim]))
-    };
-    if at <= region.lower()[dim] || at >= region.upper()[dim] {
-        // Numerically unsplittable but not degenerate enough for the exact
-        // branch; treat as a refutation candidate via the center check.
-        return RegionOutcome::Refuted(Counterexample {
-            point: x_star,
-            objective,
-        });
+}
+
+/// One worker: pop regions, run the guarded step, push splits back.
+fn worker_loop(env: &StepEnv<'_>, shared: &Shared<'_>, stats: &mut VerifyStats) {
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let budget = if Instant::now() >= env.deadline {
+            Some(BudgetKind::Timeout)
+        } else if shared.regions_done.load(Ordering::Relaxed) >= env.config.max_regions {
+            Some(BudgetKind::Regions)
+        } else if env
+            .config
+            .cancel
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
+        {
+            Some(BudgetKind::Cancelled)
+        } else {
+            None
+        };
+        if let Some(kind) = budget {
+            shared.record_and_stop(Verdict::ResourceLimit, Some(kind));
+            return;
+        }
+        let popped = {
+            let mut q = shared.queue.lock();
+            let r = q.pop();
+            if r.is_some() {
+                shared.in_flight.fetch_add(1, Ordering::AcqRel);
+            }
+            r
+        };
+        let Some((region, depth)) = popped else {
+            // Queue empty: finished only if no worker is still processing
+            // (it may push new regions).
+            if shared.in_flight.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            std::thread::yield_now();
+            continue;
+        };
+        let ordinal = match &env.config.faults {
+            Some(plan) => plan.next_region(),
+            None => shared.regions_done.load(Ordering::Relaxed),
+        };
+        if env
+            .config
+            .faults
+            .as_ref()
+            .is_some_and(|plan| plan.fire(FaultSite::Cancel, ordinal))
+        {
+            if let Some(flag) = &env.config.cancel {
+                flag.store(true, Ordering::Relaxed);
+            }
+            shared.queue.lock().push((region, depth));
+            shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+            shared.record_and_stop(Verdict::ResourceLimit, Some(BudgetKind::Cancelled));
+            return;
+        }
+        stats.regions += 1;
+        stats.max_depth = stats.max_depth.max(depth);
+        let outcome = guarded_region_step(env, &region, ordinal, stats);
+        shared.regions_done.fetch_add(1, Ordering::Relaxed);
+        match outcome {
+            Ok(RegionOutcome::Verified) => stats.verified_regions += 1,
+            Ok(RegionOutcome::Refuted(cex)) => {
+                shared.record_and_stop(Verdict::Refuted(cex), None);
+            }
+            Ok(RegionOutcome::Split(a, b)) => {
+                let mut q = shared.queue.lock();
+                q.push((a, depth + 1));
+                q.push((b, depth + 1));
+            }
+            Ok(RegionOutcome::Unsplittable) => {
+                // Undecidable at f64 precision: an honest resource limit,
+                // never a fabricated refutation. Keep the region in the
+                // queue so the checkpoint records it.
+                shared.queue.lock().push((region, depth));
+                shared.record_and_stop(
+                    Verdict::ResourceLimit,
+                    Some(BudgetKind::NumericPrecision),
+                );
+            }
+            Err(e) => shared.record_error(e),
+        }
+        shared.in_flight.fetch_sub(1, Ordering::AcqRel);
     }
-    let (a, b) = region.split_at(dim, at);
-    RegionOutcome::Split(a, b)
 }
 
 /// Solves a batch of `(network, property)` pairs in parallel, one property
@@ -282,7 +388,8 @@ pub fn verify_batch(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::LinearPolicy;
+    use crate::policy::{FixedPolicy, LinearPolicy};
+    use domains::DomainChoice;
     use nn::samples;
 
     fn default_parallel(threads: usize) -> ParallelVerifier {
@@ -333,6 +440,44 @@ mod tests {
         let net = samples::example_2_3_network();
         let prop = RobustnessProperty::new(Bounds::new(vec![0.0, 0.0], vec![1.0, 1.0]), 1);
         assert_eq!(default_parallel(1).verify(&net, &prop), Verdict::Verified);
+    }
+
+    #[test]
+    fn parallel_budget_run_checkpoints_and_resumes() {
+        let net = samples::xor_network();
+        let prop = RobustnessProperty::new(Bounds::new(vec![0.3, 0.3], vec![0.7, 0.7]), 1);
+        let config = VerifierConfig {
+            max_regions: 1,
+            ..VerifierConfig::default()
+        };
+        let limited = ParallelVerifier::new(
+            Arc::new(FixedPolicy::new(DomainChoice::interval())),
+            config.clone(),
+            2,
+        );
+        let first = limited.try_verify_run(&net, &prop).unwrap();
+        assert_eq!(first.verdict, Verdict::ResourceLimit);
+        assert_eq!(first.limit, Some(BudgetKind::Regions));
+        let ckpt = first.checkpoint.expect("budget run checkpoints");
+        assert!(!ckpt.pending.is_empty());
+
+        let full = ParallelVerifier::new(
+            Arc::new(FixedPolicy::new(DomainChoice::interval())),
+            VerifierConfig::default(),
+            2,
+        );
+        let resumed = full.resume(&net, &ckpt).unwrap();
+        assert_eq!(resumed.verdict, Verdict::Verified);
+    }
+
+    #[test]
+    fn parallel_collects_aggregate_stats() {
+        let net = samples::xor_network();
+        let prop = RobustnessProperty::new(Bounds::new(vec![0.3, 0.3], vec![0.7, 0.7]), 1);
+        let run = default_parallel(3).try_verify_run(&net, &prop).unwrap();
+        assert_eq!(run.verdict, Verdict::Verified);
+        assert!(run.stats.regions >= 1);
+        assert!(run.stats.analyze_calls >= 1);
     }
 
     #[test]

@@ -9,8 +9,9 @@
 //! The portfolio is sound because each member is sound; it is δ-complete
 //! whenever at least one member decides within the budget.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use nn::Network;
 use parking_lot::Mutex;
@@ -51,12 +52,20 @@ impl PortfolioVerifier {
     /// Verifies a property with all members concurrently; the first
     /// decisive verdict cancels the others.
     ///
+    /// A caller-supplied `config.cancel` flag is *composed with*, not
+    /// replaced by, the portfolio's internal race-cancellation: setting
+    /// the external flag cancels every member, while a member winning the
+    /// race never touches the external flag.
+    ///
     /// # Panics
     ///
     /// Panics if the property's dimensions mismatch the network.
     pub fn verify(&self, net: &Network, property: &RobustnessProperty) -> Verdict {
+        let external = self.config.cancel.clone();
         let cancel = Arc::new(AtomicBool::new(false));
         let winner: Mutex<Option<Verdict>> = Mutex::new(None);
+        let members_done = AtomicUsize::new(0);
+        let members = self.policies.len();
 
         crossbeam::scope(|scope| {
             for policy in &self.policies {
@@ -65,6 +74,7 @@ impl PortfolioVerifier {
                 let policy = Arc::clone(policy);
                 let cancel = &cancel;
                 let winner = &winner;
+                let members_done = &members_done;
                 scope.spawn(move |_| {
                     let verifier = Verifier::new(policy, config);
                     let verdict = verifier.verify(net, property);
@@ -78,6 +88,25 @@ impl PortfolioVerifier {
                         }
                         Verdict::ResourceLimit => {}
                     }
+                    members_done.fetch_add(1, Ordering::Release);
+                });
+            }
+            if let Some(external) = external {
+                // Watcher: forward the caller's cancellation into the
+                // members' shared flag, exiting once the race is over.
+                let cancel = &cancel;
+                let members_done = &members_done;
+                scope.spawn(move |_| loop {
+                    if cancel.load(Ordering::Relaxed)
+                        || members_done.load(Ordering::Acquire) >= members
+                    {
+                        return;
+                    }
+                    if external.load(Ordering::Relaxed) {
+                        cancel.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
                 });
             }
         })
@@ -154,5 +183,37 @@ mod tests {
     #[should_panic(expected = "at least one policy")]
     fn empty_portfolio_panics() {
         PortfolioVerifier::new(vec![], config());
+    }
+
+    #[test]
+    fn external_cancel_flag_is_composed_not_overwritten() {
+        use crate::faults::{FaultPlan, FaultSite};
+
+        // A verifiable property that interval-only members need several
+        // regions for (no member can decide on its first region).
+        let net = nn::samples::xor_network();
+        let prop = RobustnessProperty::new(Bounds::new(vec![0.3, 0.3], vec![0.7, 0.7]), 1);
+        let external = Arc::new(AtomicBool::new(true));
+        let mut cfg = config();
+        cfg.cancel = Some(Arc::clone(&external));
+        // Delay each member's first region so the watcher thread forwards
+        // the (pre-set) external flag before any member reaches its
+        // second region boundary.
+        cfg.faults = Some(Arc::new(
+            FaultPlan::new()
+                .inject(FaultSite::Delay, 0)
+                .inject(FaultSite::Delay, 1),
+        ));
+        let portfolio = PortfolioVerifier::new(
+            vec![
+                Arc::new(FixedPolicy::new(DomainChoice::interval())),
+                Arc::new(FixedPolicy::new(DomainChoice::interval())),
+            ],
+            cfg,
+        );
+        // Before the fix the portfolio overwrote `cancel` with its own
+        // flag, so a pre-set external cancellation was silently ignored
+        // and the members ran to a decision.
+        assert_eq!(portfolio.verify(&net, &prop), Verdict::ResourceLimit);
     }
 }

@@ -1,13 +1,29 @@
 //! The `Verify` procedure (Algorithm 1) with the δ-complete modification
-//! (Eq. 4).
+//! (Eq. 4), hardened against engine faults.
+//!
+//! Fault tolerance is layered around the per-region work (see
+//! `DESIGN.md`, "Failure model & degradation ladder"):
+//!
+//! 1. every region step runs under [`std::panic::catch_unwind`];
+//! 2. a panicking or NaN-poisoned step is retried once on the coarsest
+//!    (interval) domain, trading precision for survival;
+//! 3. if the retry also fails, the run — not the process — dies with a
+//!    structured [`VerifyError`];
+//! 4. budget-limited runs emit a [`Checkpoint`] from which
+//!    [`Verifier::resume`] continues without revisiting verified regions.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use attack::Minimizer;
-use domains::{analyze, Bounds};
+use domains::{analyze_checked, AnalysisOutcome, Bounds, DomainChoice};
 use nn::Network;
 
+use crate::checkpoint::Checkpoint;
+use crate::error::{panic_message, BudgetKind, VerifyError};
+use crate::faults::{FaultPlan, FaultSite};
 use crate::policy::{DomainSelection, LinearPolicy, Policy, PolicyContext};
 use crate::RobustnessProperty;
 
@@ -80,6 +96,9 @@ pub struct VerifierConfig {
     /// runner), the verifier stops at the next region boundary with
     /// [`Verdict::ResourceLimit`].
     pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    /// Deterministic fault-injection schedule, for chaos testing only.
+    /// Production configurations leave this `None`.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for VerifierConfig {
@@ -93,6 +112,7 @@ impl Default for VerifierConfig {
             counterexample_search: true,
             lipschitz_prefilter: false,
             cancel: None,
+            faults: None,
         }
     }
 }
@@ -120,6 +140,23 @@ pub struct VerifyStats {
 }
 
 impl VerifyStats {
+    /// Adds another worker's counters into this one (parallel runs).
+    pub(crate) fn absorb(&mut self, other: &VerifyStats) {
+        self.regions += other.regions;
+        self.verified_regions += other.verified_regions;
+        self.analyze_calls += other.analyze_calls;
+        self.attacks += other.attacks;
+        self.splits += other.splits;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        for (key, count) in &other.domain_uses {
+            if let Some(entry) = self.domain_uses.iter_mut().find(|(k, _)| k == key) {
+                entry.1 += count;
+            } else {
+                self.domain_uses.push((key.clone(), *count));
+            }
+        }
+    }
+
     fn record_domain(&mut self, choice: DomainSelection) {
         let key = choice.to_string();
         if let Some(entry) = self.domain_uses.iter_mut().find(|(k, _)| *k == key) {
@@ -128,6 +165,24 @@ impl VerifyStats {
             self.domain_uses.push((key, 1));
         }
     }
+}
+
+/// Outcome of a completed (possibly budget-limited) verification run.
+///
+/// `ResourceLimit` verdicts carry the budget class that was hit and a
+/// [`Checkpoint`] of the unexplored worklist, so callers can report *why*
+/// the run stopped and resume it later.
+#[derive(Debug, Clone)]
+pub struct VerifyRun {
+    /// The verdict (all three classic variants are `Ok` outcomes).
+    pub verdict: Verdict,
+    /// Statistics for this run only (a resumed run restarts from zero).
+    pub stats: VerifyStats,
+    /// For [`Verdict::ResourceLimit`]: the undecided remainder of the
+    /// worklist, suitable for [`Verifier::resume`].
+    pub checkpoint: Option<Checkpoint>,
+    /// For [`Verdict::ResourceLimit`]: which budget stopped the run.
+    pub limit: Option<BudgetKind>,
 }
 
 /// The Charon verifier: Algorithm 1 driven by a verification policy.
@@ -185,12 +240,18 @@ impl Verifier {
     /// # Panics
     ///
     /// Panics if the property's region dimension differs from the
-    /// network's input dimension, or the target class is out of range.
+    /// network's input dimension, the target class is out of range, or the
+    /// engine fails irrecoverably (see [`Verifier::try_verify_run`] for
+    /// the non-panicking API).
     pub fn verify(&self, net: &Network, property: &RobustnessProperty) -> Verdict {
         self.verify_with_stats(net, property).0
     }
 
     /// Runs Algorithm 1, also returning run statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Verifier::verify`].
     pub fn verify_with_stats(
         &self,
         net: &Network,
@@ -205,11 +266,95 @@ impl Verifier {
             property.target() < net.output_dim(),
             "target class out of range"
         );
+        match self.try_verify_run(net, property) {
+            Ok(run) => (run.verdict, run.stats),
+            Err(e) => panic!("verification engine failure: {e}"),
+        }
+    }
 
+    /// Runs Algorithm 1, separating verdicts from engine failures.
+    ///
+    /// All three [`Verdict`] variants are `Ok` outcomes; budget-limited
+    /// runs additionally carry a [`Checkpoint`] and the [`BudgetKind`]
+    /// that was hit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError::MalformedModel`] for structurally unusable
+    /// inputs, [`VerifyError::WorkerPanic`] if a region step panicked and
+    /// the interval retry panicked too, and
+    /// [`VerifyError::NonFinitePoisoning`] if NaN poisoned both the
+    /// selected domain and the interval fallback.
+    pub fn try_verify_run(
+        &self,
+        net: &Network,
+        property: &RobustnessProperty,
+    ) -> Result<VerifyRun, VerifyError> {
+        validate_problem(net, property.region(), property.target())?;
+        self.run_worklist(
+            net,
+            property.target(),
+            vec![(property.region().clone(), 0)],
+        )
+    }
+
+    /// Strict variant of [`Verifier::try_verify_run`]: budget exhaustion
+    /// is folded into the error channel as [`VerifyError::Budget`], so
+    /// `Ok` always means a decisive verdict.
+    ///
+    /// # Errors
+    ///
+    /// As [`Verifier::try_verify_run`], plus [`VerifyError::Budget`] for
+    /// [`Verdict::ResourceLimit`] outcomes.
+    pub fn try_verify(
+        &self,
+        net: &Network,
+        property: &RobustnessProperty,
+    ) -> Result<Verdict, VerifyError> {
+        let run = self.try_verify_run(net, property)?;
+        match run.limit {
+            Some(kind) => Err(VerifyError::Budget { kind }),
+            None => Ok(run.verdict),
+        }
+    }
+
+    /// Continues an interrupted run from a [`Checkpoint`], processing only
+    /// the regions the earlier run left undecided.
+    ///
+    /// Budgets (timeout, region cap) start afresh for the resumed run;
+    /// `checkpoint.regions_done` is informational. With identical
+    /// configuration and seeds the union of the interrupted run's regions
+    /// and the resumed run's regions equals a fresh uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// As [`Verifier::try_verify_run`].
+    pub fn resume(&self, net: &Network, checkpoint: &Checkpoint) -> Result<VerifyRun, VerifyError> {
+        if checkpoint.target >= net.output_dim() {
+            return Err(VerifyError::MalformedModel {
+                reason: format!(
+                    "checkpoint target class {} out of range for {} outputs",
+                    checkpoint.target,
+                    net.output_dim()
+                ),
+            });
+        }
+        for (region, _) in &checkpoint.pending {
+            validate_problem(net, region, checkpoint.target)?;
+        }
+        self.run_worklist(net, checkpoint.target, checkpoint.pending.clone())
+    }
+
+    /// The shared depth-first driver behind every entry point.
+    fn run_worklist(
+        &self,
+        net: &Network,
+        target: usize,
+        mut stack: Vec<(Bounds, usize)>,
+    ) -> Result<VerifyRun, VerifyError> {
         let start = Instant::now();
         let deadline = start + self.config.timeout;
         let mut stats = VerifyStats::default();
-        let target = property.target();
         let minimizer = Minimizer::new(self.config.seed).with_restarts(self.config.restarts);
         // The objective F is a difference of two M-Lipschitz outputs, so
         // it is 2M-Lipschitz; computed once per verification run.
@@ -218,120 +363,404 @@ impl Verifier {
         } else {
             f64::INFINITY
         };
+        let env = StepEnv {
+            net,
+            target,
+            minimizer: &minimizer,
+            policy: self.policy.as_ref(),
+            config: &self.config,
+            deadline,
+            objective_lipschitz,
+        };
 
-        // Depth-first worklist, equivalent to the recursion in Algorithm 1.
-        let mut stack: Vec<(Bounds, usize)> = vec![(property.region().clone(), 0)];
-        let verdict = loop {
+        let outcome = loop {
             let Some((region, depth)) = stack.pop() else {
-                break Verdict::Verified;
+                break Ok((Verdict::Verified, None, None));
             };
-            if Instant::now() >= deadline || stats.regions >= self.config.max_regions {
-                break Verdict::ResourceLimit;
-            }
-            if let Some(flag) = &self.config.cancel {
-                if flag.load(std::sync::atomic::Ordering::Relaxed) {
-                    break Verdict::ResourceLimit;
+            let ordinal = match &self.config.faults {
+                Some(plan) => plan.next_region(),
+                None => stats.regions,
+            };
+            let mut limit = if Instant::now() >= deadline {
+                Some(BudgetKind::Timeout)
+            } else if stats.regions >= self.config.max_regions {
+                Some(BudgetKind::Regions)
+            } else if self
+                .config
+                .cancel
+                .as_ref()
+                .is_some_and(|flag| flag.load(Ordering::Relaxed))
+            {
+                Some(BudgetKind::Cancelled)
+            } else {
+                None
+            };
+            if limit.is_none() {
+                if let Some(plan) = &self.config.faults {
+                    if plan.fire(FaultSite::Cancel, ordinal) {
+                        if let Some(flag) = &self.config.cancel {
+                            flag.store(true, Ordering::Relaxed);
+                        }
+                        limit = Some(BudgetKind::Cancelled);
+                    }
                 }
+            }
+            if let Some(kind) = limit {
+                stack.push((region, depth));
+                let ckpt = Checkpoint {
+                    target,
+                    pending: stack.clone(),
+                    regions_done: stats.regions,
+                };
+                break Ok((Verdict::ResourceLimit, Some(kind), Some(ckpt)));
             }
             stats.regions += 1;
             stats.max_depth = stats.max_depth.max(depth);
 
-            // Line 2: x* <- Minimize(I, F).
-            let (x_star, objective) = if self.config.counterexample_search {
-                stats.attacks += 1;
-                let result = minimizer.minimize(net, &region, target);
-                (result.point, result.objective)
-            } else {
-                let center = region.center();
-                let f = net.objective(&center, target);
-                (center, f)
-            };
-
-            // Line 3 (Eq. 4): F(x*) <= δ refutes.
-            if objective <= self.config.delta {
-                break Verdict::Refuted(Counterexample {
-                    point: x_star,
-                    objective,
-                });
-            }
-
-            // Lipschitz pre-filter: if the center margin dominates the
-            // worst-case change across the region, the region is safe.
-            if self.config.lipschitz_prefilter {
-                let center = region.center();
-                let center_margin = net.objective(&center, target);
-                if center_margin - objective_lipschitz * 0.5 * region.diameter() > 0.0 {
-                    stats.verified_regions += 1;
-                    continue;
+            match guarded_region_step(&env, &region, ordinal, &mut stats) {
+                Err(e) => break Err(e),
+                Ok(RegionOutcome::Verified) => stats.verified_regions += 1,
+                Ok(RegionOutcome::Refuted(cex)) => {
+                    break Ok((Verdict::Refuted(cex), None, None));
                 }
-            }
-
-            // Degenerate regions are decided exactly by the interval
-            // domain (the box is a point along every zero-width axis).
-            if region.widths().iter().all(|w| *w <= f64::EPSILON) {
-                stats.analyze_calls += 1;
-                if analyze(net, &region, target, domains::DomainChoice::interval()) {
-                    stats.verified_regions += 1;
-                    continue;
-                }
-                // Exact analysis failed on a point region: its center is a
-                // true counterexample.
-                break Verdict::Refuted(Counterexample {
-                    point: x_star,
-                    objective,
-                });
-            }
-
-            // Lines 5-7: pick a domain and try to prove the region.
-            let ctx = PolicyContext {
-                net,
-                region: &region,
-                target,
-                x_star: &x_star,
-                objective,
-            };
-            let choice = self.policy.choose_domain(&ctx);
-            stats.analyze_calls += 1;
-            stats.record_domain(choice);
-            match run_selection(net, &region, target, choice, deadline) {
-                SelectionResult::Verified => {
-                    stats.verified_regions += 1;
-                    continue;
-                }
-                SelectionResult::Violated(point) => {
-                    let objective = net.objective(&point, target);
-                    break Verdict::Refuted(Counterexample { point, objective });
-                }
-                SelectionResult::Inconclusive => {}
-            }
-
-            // Lines 8-12: split and recurse on both halves.
-            let plan = self.policy.choose_split(&ctx);
-            let at = crate::policy::clamp_split(&region, plan.dim, plan.at);
-            if at <= region.lower()[plan.dim] || at >= region.upper()[plan.dim] {
-                // Zero-width split dimension: fall back to the widest
-                // dimension; if everything is (numerically) degenerate,
-                // the degenerate-region branch above will catch it next
-                // iteration.
-                let dim = region.longest_dim();
-                let mid = 0.5 * (region.lower()[dim] + region.upper()[dim]);
-                if mid > region.lower()[dim] && mid < region.upper()[dim] {
-                    let (a, b) = region.split_at(dim, mid);
-                    stats.splits += 1;
+                Ok(RegionOutcome::Split(a, b)) => {
                     stack.push((b, depth + 1));
                     stack.push((a, depth + 1));
-                    continue;
                 }
-                break Verdict::ResourceLimit;
+                Ok(RegionOutcome::Unsplittable) => {
+                    stack.push((region, depth));
+                    let ckpt = Checkpoint {
+                        target,
+                        pending: stack.clone(),
+                        regions_done: stats.regions,
+                    };
+                    break Ok((
+                        Verdict::ResourceLimit,
+                        Some(BudgetKind::NumericPrecision),
+                        Some(ckpt),
+                    ));
+                }
             }
-            let (a, b) = region.split_at(plan.dim, at);
-            stats.splits += 1;
-            stack.push((b, depth + 1));
-            stack.push((a, depth + 1));
         };
 
+        let (verdict, limit, checkpoint) = outcome?;
         stats.elapsed = start.elapsed();
-        (verdict, stats)
+        Ok(VerifyRun {
+            verdict,
+            stats,
+            checkpoint,
+            limit,
+        })
+    }
+}
+
+/// Checks that a (network, region, target) triple is structurally usable.
+pub(crate) fn validate_problem(
+    net: &Network,
+    region: &Bounds,
+    target: usize,
+) -> Result<(), VerifyError> {
+    if region.dim() != net.input_dim() {
+        return Err(VerifyError::MalformedModel {
+            reason: format!(
+                "region dimension {} does not match network input dimension {}",
+                region.dim(),
+                net.input_dim()
+            ),
+        });
+    }
+    if target >= net.output_dim() {
+        return Err(VerifyError::MalformedModel {
+            reason: format!(
+                "target class {target} out of range for {} outputs",
+                net.output_dim()
+            ),
+        });
+    }
+    if !region.is_finite() {
+        return Err(VerifyError::MalformedModel {
+            reason: "property region has non-finite bounds".to_string(),
+        });
+    }
+    if !net.params_finite() {
+        return Err(VerifyError::MalformedModel {
+            reason: "network has non-finite parameters".to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Everything a region step needs, shared by the sequential and parallel
+/// drivers.
+pub(crate) struct StepEnv<'a> {
+    pub net: &'a Network,
+    pub target: usize,
+    pub minimizer: &'a Minimizer,
+    pub policy: &'a dyn Policy,
+    pub config: &'a VerifierConfig,
+    pub deadline: Instant,
+    pub objective_lipschitz: f64,
+}
+
+/// What processing one region concluded.
+#[derive(Debug)]
+pub(crate) enum RegionOutcome {
+    /// The region was proved safe.
+    Verified,
+    /// A validated δ-counterexample was found inside the region.
+    Refuted(Counterexample),
+    /// Undecided; recurse on the two halves.
+    Split(Bounds, Bounds),
+    /// Undecided and numerically unsplittable: the driver must report
+    /// [`Verdict::ResourceLimit`] (never a fabricated refutation).
+    Unsplittable,
+}
+
+/// Result of one *attempt* at a region step, before the degradation
+/// ladder is applied.
+enum StepResult {
+    Outcome(RegionOutcome),
+    /// NaN reached the named stage; the caller retries on intervals.
+    Poisoned(&'static str),
+}
+
+/// Runs a region step under panic isolation with the degradation ladder:
+/// a panicking or poisoned full-precision step is retried once on the
+/// coarsest (interval) domain; only a second failure aborts the run.
+pub(crate) fn guarded_region_step(
+    env: &StepEnv<'_>,
+    region: &Bounds,
+    ordinal: usize,
+    stats: &mut VerifyStats,
+) -> Result<RegionOutcome, VerifyError> {
+    let first = catch_unwind(AssertUnwindSafe(|| region_step(env, region, ordinal, stats)));
+    match first {
+        Ok(StepResult::Outcome(outcome)) => Ok(outcome),
+        Ok(StepResult::Poisoned(_)) | Err(_) => {
+            let retry = catch_unwind(AssertUnwindSafe(|| coarse_region_step(env, region, stats)));
+            match retry {
+                Ok(StepResult::Outcome(outcome)) => Ok(outcome),
+                Ok(StepResult::Poisoned(stage)) => Err(VerifyError::NonFinitePoisoning { stage }),
+                Err(payload) => Err(VerifyError::WorkerPanic {
+                    message: panic_message(payload.as_ref()),
+                }),
+            }
+        }
+    }
+}
+
+/// One full-precision region step (Algorithm 1 lines 2-12). May panic;
+/// always called through [`guarded_region_step`].
+fn region_step(
+    env: &StepEnv<'_>,
+    region: &Bounds,
+    ordinal: usize,
+    stats: &mut VerifyStats,
+) -> StepResult {
+    let config = env.config;
+    let net = env.net;
+    let target = env.target;
+
+    if let Some(plan) = &config.faults {
+        if plan.fire(FaultSite::WorkerPanic, ordinal) {
+            panic!("injected fault: worker panic at region {ordinal}");
+        }
+        if plan.fire(FaultSite::Delay, ordinal) {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    // Line 2: x* <- Minimize(I, F).
+    let (mut x_star, mut objective) = if config.counterexample_search {
+        stats.attacks += 1;
+        let result = env.minimizer.minimize(net, region, target);
+        (result.point, result.objective)
+    } else {
+        let center = region.center();
+        let f = net.objective(&center, target);
+        (center, f)
+    };
+    if let Some(plan) = &config.faults {
+        if plan.fire(FaultSite::AttackNan, ordinal) {
+            // A poisoned gradient run claiming an impossible objective:
+            // the validation below must reject it.
+            x_star = vec![f64::NAN; region.dim()];
+            objective = f64::NEG_INFINITY;
+        }
+    }
+
+    // Line 3 (Eq. 4): F(x*) <= δ refutes — but only counterexamples that
+    // survive validation (finite, clamped in-region, margin re-checked)
+    // are ever reported.
+    if objective <= config.delta {
+        if let Some(cex) = validated_counterexample(net, region, target, &x_star, config.delta) {
+            return StepResult::Outcome(RegionOutcome::Refuted(cex));
+        }
+    }
+
+    // Numeric guard: a non-finite attack result must not reach the policy
+    // featurization. Degrade to the region center; if even that evaluates
+    // non-finite, the network itself is emitting NaN on this region.
+    if !objective.is_finite() || x_star.iter().any(|v| !v.is_finite()) {
+        let center = region.center();
+        let f = net.objective(&center, target);
+        if !f.is_finite() {
+            return StepResult::Poisoned("attack");
+        }
+        x_star = center;
+        objective = f;
+        if objective <= config.delta {
+            if let Some(cex) = validated_counterexample(net, region, target, &x_star, config.delta)
+            {
+                return StepResult::Outcome(RegionOutcome::Refuted(cex));
+            }
+        }
+    }
+
+    // Lipschitz pre-filter: if the center margin dominates the worst-case
+    // change across the region, the region is safe.
+    if config.lipschitz_prefilter {
+        let center = region.center();
+        let center_margin = net.objective(&center, target);
+        if center_margin - env.objective_lipschitz * 0.5 * region.diameter() > 0.0 {
+            return StepResult::Outcome(RegionOutcome::Verified);
+        }
+    }
+
+    // Degenerate regions are decided exactly by the interval domain (the
+    // box is a point along every zero-width axis).
+    if region.widths().iter().all(|w| *w <= f64::EPSILON) {
+        stats.analyze_calls += 1;
+        return match analyze_checked(net, region, target, DomainChoice::interval()) {
+            AnalysisOutcome::Proved => StepResult::Outcome(RegionOutcome::Verified),
+            AnalysisOutcome::Poisoned => StepResult::Poisoned("transformer"),
+            AnalysisOutcome::Inconclusive => {
+                // Exact analysis failed on a point region: its center is a
+                // true counterexample (modulo validation).
+                match validated_counterexample(net, region, target, &region.center(), config.delta)
+                {
+                    Some(cex) => StepResult::Outcome(RegionOutcome::Refuted(cex)),
+                    None => StepResult::Outcome(RegionOutcome::Unsplittable),
+                }
+            }
+        };
+    }
+
+    // Lines 5-7: pick a domain and try to prove the region.
+    let ctx = PolicyContext {
+        net,
+        region,
+        target,
+        x_star: &x_star,
+        objective,
+    };
+    let choice = env.policy.choose_domain(&ctx);
+    stats.analyze_calls += 1;
+    stats.record_domain(choice);
+    let forced_nan = config
+        .faults
+        .as_ref()
+        .is_some_and(|plan| plan.fire(FaultSite::TransformerNan, ordinal));
+    let selection = if forced_nan {
+        SelectionResult::Poisoned
+    } else {
+        run_selection(net, region, target, choice, env.deadline)
+    };
+    match selection {
+        SelectionResult::Verified => return StepResult::Outcome(RegionOutcome::Verified),
+        SelectionResult::Violated(point) => {
+            if let Some(cex) = validated_counterexample(net, region, target, &point, config.delta) {
+                return StepResult::Outcome(RegionOutcome::Refuted(cex));
+            }
+            // The solver's witness did not validate; treat as
+            // inconclusive and fall through to the split.
+        }
+        SelectionResult::Poisoned => {
+            // First rung of the degradation ladder: retry this region on
+            // the interval domain before splitting or giving up.
+            stats.analyze_calls += 1;
+            match analyze_checked(net, region, target, DomainChoice::interval()) {
+                AnalysisOutcome::Proved => return StepResult::Outcome(RegionOutcome::Verified),
+                AnalysisOutcome::Poisoned => return StepResult::Poisoned("transformer"),
+                AnalysisOutcome::Inconclusive => {}
+            }
+        }
+        SelectionResult::Inconclusive => {}
+    }
+
+    // Lines 8-12: split and recurse on both halves.
+    let plan = env.policy.choose_split(&ctx);
+    let at = crate::policy::clamp_split(region, plan.dim, plan.at);
+    let (dim, at) = if at > region.lower()[plan.dim] && at < region.upper()[plan.dim] {
+        (plan.dim, at)
+    } else {
+        // Zero-width split dimension: fall back to the widest dimension.
+        let dim = region.longest_dim();
+        (dim, 0.5 * (region.lower()[dim] + region.upper()[dim]))
+    };
+    if at <= region.lower()[dim] || at >= region.upper()[dim] {
+        return StepResult::Outcome(RegionOutcome::Unsplittable);
+    }
+    stats.splits += 1;
+    let (a, b) = region.split_at(dim, at);
+    StepResult::Outcome(RegionOutcome::Split(a, b))
+}
+
+/// The coarse retry: interval analysis plus a midpoint split, with no
+/// attack, no policy, and no faults. Used after a panic or poisoning.
+fn coarse_region_step(env: &StepEnv<'_>, region: &Bounds, stats: &mut VerifyStats) -> StepResult {
+    stats.analyze_calls += 1;
+    match analyze_checked(env.net, region, env.target, DomainChoice::interval()) {
+        AnalysisOutcome::Proved => StepResult::Outcome(RegionOutcome::Verified),
+        AnalysisOutcome::Poisoned => StepResult::Poisoned("transformer"),
+        AnalysisOutcome::Inconclusive => {
+            // Cheap δ-check at the center before splitting.
+            if let Some(cex) = validated_counterexample(
+                env.net,
+                region,
+                env.target,
+                &region.center(),
+                env.config.delta,
+            ) {
+                return StepResult::Outcome(RegionOutcome::Refuted(cex));
+            }
+            let dim = region.longest_dim();
+            let mid = 0.5 * (region.lower()[dim] + region.upper()[dim]);
+            if mid > region.lower()[dim] && mid < region.upper()[dim] {
+                stats.splits += 1;
+                let (a, b) = region.split_at(dim, mid);
+                StepResult::Outcome(RegionOutcome::Split(a, b))
+            } else {
+                StepResult::Outcome(RegionOutcome::Unsplittable)
+            }
+        }
+    }
+}
+
+/// Validates a claimed counterexample before it is reported: the point
+/// must be finite, is clamped into the region, and the objective is
+/// recomputed from scratch and re-checked against δ.
+///
+/// This is the sole path by which a [`Counterexample`] is constructed, so
+/// a poisoned attack or solver can never fabricate a refutation.
+pub(crate) fn validated_counterexample(
+    net: &Network,
+    region: &Bounds,
+    target: usize,
+    candidate: &[f64],
+    delta: f64,
+) -> Option<Counterexample> {
+    if candidate.len() != region.dim() || candidate.iter().any(|v| !v.is_finite()) {
+        return None;
+    }
+    let mut point = candidate.to_vec();
+    region.clamp(&mut point);
+    let objective = net.objective(&point, target);
+    // NaN fails the comparison, so a poisoned evaluation cannot refute.
+    if objective.is_finite() && objective <= delta {
+        Some(Counterexample { point, objective })
+    } else {
+        None
     }
 }
 
@@ -343,6 +772,8 @@ pub(crate) enum SelectionResult {
     Violated(Vec<f64>),
     /// The analysis could not decide the region.
     Inconclusive,
+    /// NaN poisoned the analysis; the result is meaningless.
+    Poisoned,
 }
 
 /// Dispatches a [`DomainSelection`] on a region. The deadline bounds the
@@ -355,15 +786,16 @@ pub(crate) fn run_selection(
     choice: DomainSelection,
     deadline: Instant,
 ) -> SelectionResult {
+    let from_outcome = |outcome: AnalysisOutcome| match outcome {
+        AnalysisOutcome::Proved => SelectionResult::Verified,
+        AnalysisOutcome::Inconclusive => SelectionResult::Inconclusive,
+        AnalysisOutcome::Poisoned => SelectionResult::Poisoned,
+    };
     match choice {
-        DomainSelection::Abstract(c) => {
-            if analyze(net, region, target, c) {
-                SelectionResult::Verified
-            } else {
-                SelectionResult::Inconclusive
-            }
-        }
+        DomainSelection::Abstract(c) => from_outcome(analyze_checked(net, region, target, c)),
         DomainSelection::DeepPoly => {
+            // DeepPoly's margin comparison is NaN-safe (NaN reads as
+            // "not verified"), so a poisoned run is merely inconclusive.
             if domains::deeppoly::verifies(net, region, target) {
                 SelectionResult::Verified
             } else {
@@ -373,11 +805,12 @@ pub(crate) fn run_selection(
         DomainSelection::RefinedZonotope { lp_per_layer } => {
             if !complete::supports(net) {
                 // Architectures the LP cannot encode use the plain domain.
-                return if analyze(net, region, target, domains::DomainChoice::zonotope()) {
-                    SelectionResult::Verified
-                } else {
-                    SelectionResult::Inconclusive
-                };
+                return from_outcome(analyze_checked(
+                    net,
+                    region,
+                    target,
+                    DomainChoice::zonotope(),
+                ));
             }
             let Some(refined) =
                 complete::refine::refined_relu_bounds(net, region, deadline, lp_per_layer)
@@ -403,7 +836,10 @@ pub(crate) fn run_selection(
                 }
             }
             use domains::AbstractElement as _;
-            if element.margin_lower_bound(target) > 0.0 {
+            let margin = element.margin_lower_bound(target);
+            if element.is_poisoned() || margin.is_nan() {
+                SelectionResult::Poisoned
+            } else if margin > 0.0 {
                 SelectionResult::Verified
             } else {
                 SelectionResult::Inconclusive
@@ -413,11 +849,12 @@ pub(crate) fn run_selection(
             if !complete::supports(net) {
                 // Fall back to the strongest classic domain for
                 // architectures the solver cannot encode.
-                return if analyze(net, region, target, domains::DomainChoice::zonotope()) {
-                    SelectionResult::Verified
-                } else {
-                    SelectionResult::Inconclusive
-                };
+                return from_outcome(analyze_checked(
+                    net,
+                    region,
+                    target,
+                    DomainChoice::zonotope(),
+                ));
             }
             let solver = complete::CompleteSolver::with_node_budget(node_budget);
             match solver.decide(net, region, target, deadline) {
@@ -657,5 +1094,130 @@ mod tests {
             }
             other => panic!("expected δ-refutation, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn try_verify_folds_budget_into_error() {
+        let net = nn::train::random_mlp(6, &[24, 24, 24], 4, 3);
+        let prop = property(vec![-1.0; 6], vec![1.0; 6], 0);
+        let mut verifier = Verifier::default();
+        verifier.config_mut().timeout = Duration::ZERO;
+        match verifier.try_verify(&net, &prop) {
+            Err(VerifyError::Budget {
+                kind: BudgetKind::Timeout,
+            }) => {}
+            other => panic!("expected timeout budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_verify_run_rejects_malformed_problems() {
+        let net = samples::xor_network();
+        let verifier = Verifier::default();
+        // Dimension mismatch.
+        let bad_dim = property(vec![0.0], vec![1.0], 1);
+        assert!(matches!(
+            verifier.try_verify_run(&net, &bad_dim),
+            Err(VerifyError::MalformedModel { .. })
+        ));
+        // Target class out of range.
+        let bad_target = property(vec![0.0, 0.0], vec![1.0, 1.0], 9);
+        assert!(matches!(
+            verifier.try_verify_run(&net, &bad_target),
+            Err(VerifyError::MalformedModel { .. })
+        ));
+        // Non-finite region.
+        let bad_region = property(vec![0.0, 0.0], vec![f64::INFINITY, 1.0], 1);
+        assert!(matches!(
+            verifier.try_verify_run(&net, &bad_region),
+            Err(VerifyError::MalformedModel { .. })
+        ));
+    }
+
+    #[test]
+    fn try_verify_run_rejects_nan_weights() {
+        let layers = vec![
+            nn::Layer::Affine(nn::AffineLayer::new(
+                tensor::Matrix::from_rows(&[&[f64::NAN, 1.0], &[1.0, 0.0]]),
+                vec![0.0, 0.0],
+            )),
+        ];
+        let net = Network::new(2, layers).unwrap();
+        let prop = property(vec![0.0, 0.0], vec![1.0, 1.0], 1);
+        match Verifier::default().try_verify_run(&net, &prop) {
+            Err(VerifyError::MalformedModel { reason }) => {
+                assert!(reason.contains("non-finite"), "reason: {reason}");
+            }
+            other => panic!("expected malformed model, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_limited_run_carries_checkpoint_and_resume_finishes() {
+        // Interval-only policy so the property needs several splits.
+        let net = samples::xor_network();
+        let prop = property(vec![0.3, 0.3], vec![0.7, 0.7], 1);
+        let fresh =
+            Verifier::with_policy(Arc::new(FixedPolicy::new(DomainChoice::interval())));
+        let full = fresh.try_verify_run(&net, &prop).unwrap();
+        assert_eq!(full.verdict, Verdict::Verified);
+        assert!(
+            full.stats.regions > 2,
+            "need a multi-region run for this test, got {}",
+            full.stats.regions
+        );
+
+        let mut limited = fresh.clone();
+        limited.config_mut().max_regions = 2;
+        let first = limited.try_verify_run(&net, &prop).unwrap();
+        assert_eq!(first.verdict, Verdict::ResourceLimit);
+        assert_eq!(first.limit, Some(BudgetKind::Regions));
+        let ckpt = first.checkpoint.expect("budget-limited run checkpoints");
+        assert!(!ckpt.pending.is_empty());
+        assert_eq!(first.stats.regions, 2);
+
+        // Resume with the original budget: reaches the fresh verdict and
+        // revisits no already-verified region (exact region-count split).
+        let resumed = fresh.resume(&net, &ckpt).unwrap();
+        assert_eq!(resumed.verdict, Verdict::Verified);
+        assert_eq!(
+            first.stats.regions + resumed.stats.regions,
+            full.stats.regions,
+            "resume must not revisit already-verified regions"
+        );
+    }
+
+    #[test]
+    fn checkpoint_survives_text_roundtrip_mid_run() {
+        let net = samples::xor_network();
+        let prop = property(vec![0.3, 0.3], vec![0.7, 0.7], 1);
+        let verifier =
+            Verifier::with_policy(Arc::new(FixedPolicy::new(DomainChoice::interval())));
+        let mut limited = verifier.clone();
+        limited.config_mut().max_regions = 1;
+        let first = limited.try_verify_run(&net, &prop).unwrap();
+        let ckpt = first.checkpoint.expect("checkpoint");
+        let reloaded = Checkpoint::from_text(&ckpt.to_text()).unwrap();
+        assert_eq!(reloaded, ckpt);
+        let resumed = verifier.resume(&net, &reloaded).unwrap();
+        assert_eq!(resumed.verdict, Verdict::Verified);
+    }
+
+    #[test]
+    fn validated_counterexample_rejects_nan_and_out_of_region() {
+        let net = samples::xor_network();
+        let region = Bounds::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        // NaN point: rejected outright.
+        assert!(validated_counterexample(&net, &region, 1, &[f64::NAN, 0.5], 1e-9).is_none());
+        // Wrong arity: rejected.
+        assert!(validated_counterexample(&net, &region, 1, &[0.5], 1e-9).is_none());
+        // A genuine violation (corner of the unit square) is accepted and
+        // clamped into the region even if slightly outside.
+        let cex = validated_counterexample(&net, &region, 1, &[-0.1, -0.1], 1e-9)
+            .expect("corner violates");
+        assert!(region.contains(&cex.point));
+        assert!(cex.objective <= 1e-9);
+        // A point with a healthy positive margin does not validate.
+        assert!(validated_counterexample(&net, &region, 1, &[0.5, 0.5], 1e-9).is_none());
     }
 }

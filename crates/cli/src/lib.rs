@@ -4,8 +4,9 @@
 //! vector and executes one of the subcommands:
 //!
 //! ```text
-//! charon-cli verify  --network NET --property PROP [--timeout-ms N]
-//!                    [--delta D] [--policy FILE] [--parallel N] [--no-cex] [--stats]
+//! charon-cli verify  --network NET (--property PROP | --resume CKPT) [--timeout-ms N]
+//!                    [--delta D] [--policy FILE] [--parallel N] [--checkpoint FILE]
+//!                    [--no-cex] [--stats]
 //! charon-cli attack  --network NET --property PROP [--restarts N] [--seed N]
 //! charon-cli train   [--seed N] [--time-limit-ms N] --out FILE
 //! charon-cli info    --network NET
@@ -17,7 +18,11 @@
 //! Networks use the `nn::serialize` plain-text format and properties the
 //! `charon-prop` format (see [`charon::RobustnessProperty::from_text`]).
 //! Exit codes from `verify`: 0 = verified, 1 = refuted, 2 = resource
-//! limit, 64 = usage error.
+//! limit, 64 = usage error, 65 = unreadable/malformed input data
+//! (`EX_DATAERR`), 70 = internal engine failure (`EX_SOFTWARE`).
+//!
+//! Interrupted `verify` runs can persist their worklist with
+//! `--checkpoint FILE` and continue later with `--resume FILE`.
 
 use std::collections::HashMap;
 use std::path::Path;
@@ -25,7 +30,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use charon::policy::LinearPolicy;
-use charon::{RobustnessProperty, Verdict, Verifier, VerifierConfig};
+use charon::{
+    Checkpoint, RobustnessProperty, Verdict, Verifier, VerifierConfig, VerifyError, VerifyRun,
+};
 
 /// Exit status of a CLI invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,8 +43,12 @@ pub enum ExitCode {
     Refuted,
     /// Budget exhausted.
     ResourceLimit,
-    /// Bad usage or I/O failure.
+    /// Bad usage (unknown flags, missing arguments).
     UsageError,
+    /// Input data could not be loaded or is malformed (`EX_DATAERR`).
+    DataError,
+    /// The verification engine itself failed (`EX_SOFTWARE`).
+    EngineError,
 }
 
 impl ExitCode {
@@ -48,6 +59,39 @@ impl ExitCode {
             ExitCode::Refuted => 1,
             ExitCode::ResourceLimit => 2,
             ExitCode::UsageError => 64,
+            ExitCode::DataError => 65,
+            ExitCode::EngineError => 70,
+        }
+    }
+}
+
+/// A classified CLI failure, mapped to a distinct exit code so scripts
+/// can tell "you called it wrong" from "your file is broken" from "the
+/// tool is broken".
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CliError {
+    /// Bad invocation: unknown command, missing flag, unparsable value.
+    Usage(String),
+    /// Unreadable or malformed input data (network, property, policy,
+    /// checkpoint files).
+    Data(String),
+    /// Internal engine failure (worker panic, numeric poisoning).
+    Engine(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
+impl From<VerifyError> for CliError {
+    fn from(e: VerifyError) -> Self {
+        match e {
+            // A structurally unusable model is a data problem, not an
+            // engine bug.
+            VerifyError::MalformedModel { .. } => CliError::Data(e.to_string()),
+            _ => CliError::Engine(e.to_string()),
         }
     }
 }
@@ -147,21 +191,26 @@ impl Args {
 }
 
 fn usage() -> String {
-    "usage:\n  charon-cli verify  --network NET --property PROP [--timeout-ms N] [--delta D] [--policy FILE] [--parallel N] [--no-cex]\n  charon-cli attack  --network NET --property PROP [--restarts N] [--seed N]\n  charon-cli train   [--seed N] [--time-limit-ms N] --out FILE\n  charon-cli info    --network NET\n  charon-cli example --out-network NET --out-property PROP\n  charon-cli prop    --zoo NAME --image N --tau T --out-network NET --out-property PROP\n  charon-cli certify --zoo NAME --eps E [--points N] [--timeout-ms N]".to_string()
+    "usage:\n  charon-cli verify  --network NET (--property PROP | --resume CKPT) [--timeout-ms N] [--delta D] [--policy FILE] [--parallel N] [--checkpoint FILE] [--no-cex]\n  charon-cli attack  --network NET --property PROP [--restarts N] [--seed N]\n  charon-cli train   [--seed N] [--time-limit-ms N] --out FILE\n  charon-cli info    --network NET\n  charon-cli example --out-network NET --out-property PROP\n  charon-cli prop    --zoo NAME --image N --tau T --out-network NET --out-property PROP\n  charon-cli certify --zoo NAME --eps E [--points N] [--timeout-ms N]".to_string()
 }
 
 /// Executes a CLI invocation, writing human-readable output to `out`.
 pub fn run(argv: &[String], out: &mut impl std::io::Write) -> ExitCode {
     match run_inner(argv, out) {
         Ok(code) => code,
-        Err(msg) => {
+        Err(e) => {
+            let (msg, code) = match e {
+                CliError::Usage(msg) => (msg, ExitCode::UsageError),
+                CliError::Data(msg) => (msg, ExitCode::DataError),
+                CliError::Engine(msg) => (msg, ExitCode::EngineError),
+            };
             let _ = writeln!(out, "error: {msg}");
-            ExitCode::UsageError
+            code
         }
     }
 }
 
-fn run_inner(argv: &[String], out: &mut impl std::io::Write) -> Result<ExitCode, String> {
+fn run_inner(argv: &[String], out: &mut impl std::io::Write) -> Result<ExitCode, CliError> {
     let args = Args::parse(argv)?;
     if args.switch("help") {
         writeln!(out, "{}", usage()).map_err(|e| e.to_string())?;
@@ -175,22 +224,26 @@ fn run_inner(argv: &[String], out: &mut impl std::io::Write) -> Result<ExitCode,
         "example" => cmd_example(&args, out),
         "prop" => cmd_prop(&args, out),
         "certify" => cmd_certify(&args, out),
-        other => Err(format!("unknown command {other:?}\n{}", usage())),
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?}\n{}",
+            usage()
+        ))),
     }
 }
 
-fn load_network(path: &str) -> Result<nn::Network, String> {
-    nn::serialize::load(Path::new(path)).map_err(|e| format!("cannot load network: {e}"))
+fn load_network(path: &str) -> Result<nn::Network, CliError> {
+    nn::serialize::load(Path::new(path)).map_err(|e| CliError::Data(format!("cannot load network: {e}")))
 }
 
-fn load_property(path: &str) -> Result<RobustnessProperty, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+fn load_property(path: &str) -> Result<RobustnessProperty, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Data(format!("cannot read {path}: {e}")))?;
     RobustnessProperty::from_text(&text)
+        .map_err(|e| CliError::Data(format!("cannot load property: {e}")))
 }
 
-fn cmd_verify(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, String> {
+fn cmd_verify(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, CliError> {
     let net = load_network(args.require("network")?)?;
-    let property = load_property(args.require("property")?)?;
     let mut config = VerifierConfig {
         timeout: Duration::from_millis(args.get_u64("timeout-ms", 60_000)?),
         delta: args.get_f64("delta", 1e-9)?,
@@ -201,18 +254,38 @@ fn cmd_verify(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, St
 
     let policy: Arc<dyn charon::policy::Policy> = match args.get("policy") {
         Some(path) => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            Arc::new(LinearPolicy::from_text(&text)?)
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Data(format!("cannot read {path}: {e}")))?;
+            Arc::new(LinearPolicy::from_text(&text).map_err(CliError::Data)?)
         }
         None => Arc::new(LinearPolicy::default()),
     };
 
     let threads = args.get_u64("parallel", 1)? as usize;
-    let verdict = if threads > 1 {
-        charon::parallel::ParallelVerifier::new(policy, config, threads).verify(&net, &property)
-    } else if args.switch("stats") {
-        let (verdict, stats) = Verifier::new(policy, config).verify_with_stats(&net, &property);
+    let resume_from = match args.get("resume") {
+        Some(path) => Some(
+            Checkpoint::load(Path::new(path))
+                .map_err(|e| CliError::Data(format!("cannot load checkpoint: {e}")))?,
+        ),
+        None => None,
+    };
+
+    let run: VerifyRun = if threads > 1 {
+        let verifier = charon::parallel::ParallelVerifier::new(policy, config, threads);
+        match &resume_from {
+            Some(ckpt) => verifier.resume(&net, ckpt)?,
+            None => verifier.try_verify_run(&net, &load_property(args.require("property")?)?)?,
+        }
+    } else {
+        let verifier = Verifier::new(policy, config);
+        match &resume_from {
+            Some(ckpt) => verifier.resume(&net, ckpt)?,
+            None => verifier.try_verify_run(&net, &load_property(args.require("property")?)?)?,
+        }
+    };
+
+    if args.switch("stats") {
+        let stats = &run.stats;
         writeln!(
             out,
             "stats: regions={} splits={} analyze_calls={} attacks={} max_depth={} elapsed={:?}",
@@ -227,12 +300,9 @@ fn cmd_verify(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, St
         for (domain, count) in &stats.domain_uses {
             writeln!(out, "stats: domain {domain} used {count}x").map_err(|e| e.to_string())?;
         }
-        verdict
-    } else {
-        Verifier::new(policy, config).verify(&net, &property)
-    };
+    }
 
-    match verdict {
+    match run.verdict {
         Verdict::Verified => {
             writeln!(out, "verified").map_err(|e| e.to_string())?;
             Ok(ExitCode::Success)
@@ -243,13 +313,35 @@ fn cmd_verify(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, St
             Ok(ExitCode::Refuted)
         }
         Verdict::ResourceLimit => {
-            writeln!(out, "resource limit reached").map_err(|e| e.to_string())?;
+            match run.limit {
+                Some(kind) => writeln!(out, "resource limit reached ({kind})"),
+                None => writeln!(out, "resource limit reached"),
+            }
+            .map_err(|e| e.to_string())?;
+            if let Some(path) = args.get("checkpoint") {
+                match &run.checkpoint {
+                    Some(ckpt) => {
+                        ckpt.save(Path::new(path)).map_err(|e| {
+                            CliError::Data(format!("cannot write checkpoint {path}: {e}"))
+                        })?;
+                        writeln!(
+                            out,
+                            "checkpoint written to {path} ({} pending regions)",
+                            ckpt.pending.len()
+                        )
+                        .map_err(|e| e.to_string())?;
+                    }
+                    None => {
+                        writeln!(out, "no checkpoint available").map_err(|e| e.to_string())?;
+                    }
+                }
+            }
             Ok(ExitCode::ResourceLimit)
         }
     }
 }
 
-fn cmd_attack(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, String> {
+fn cmd_attack(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, CliError> {
     let net = load_network(args.require("network")?)?;
     let property = load_property(args.require("property")?)?;
     let restarts = args.get_u64("restarts", 8)? as usize;
@@ -272,7 +364,7 @@ fn cmd_attack(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, St
     }
 }
 
-fn cmd_train(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, String> {
+fn cmd_train(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, CliError> {
     let seed = args.get_u64("seed", 0)?;
     let out_path = args.require("out")?;
     let (net, acc) = data::acas::build_network(seed);
@@ -296,7 +388,7 @@ fn cmd_train(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, Str
     Ok(ExitCode::Success)
 }
 
-fn cmd_info(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, String> {
+fn cmd_info(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, CliError> {
     let net = load_network(args.require("network")?)?;
     writeln!(out, "inputs:   {}", net.input_dim()).map_err(|e| e.to_string())?;
     writeln!(out, "outputs:  {}", net.output_dim()).map_err(|e| e.to_string())?;
@@ -316,7 +408,7 @@ fn cmd_info(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, Stri
 
 /// Writes the paper's XOR network and Example 3.1 property to disk so
 /// users can try the tool immediately.
-fn cmd_example(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, String> {
+fn cmd_example(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, CliError> {
     let net_path = args.require("out-network")?;
     let prop_path = args.require("out-property")?;
     let net = nn::samples::xor_network();
@@ -331,7 +423,7 @@ fn cmd_example(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, S
 
 /// Builds a zoo network, generates a brightening-attack property for one
 /// of its evaluation images, and writes both to disk.
-fn cmd_prop(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, String> {
+fn cmd_prop(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, CliError> {
     let zoo_name = args.require("zoo")?;
     let which = data::zoo::ZooNetwork::ALL
         .into_iter()
@@ -380,7 +472,7 @@ fn cmd_prop(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, Stri
 }
 
 /// Certified-accuracy measurement over a zoo network's evaluation set.
-fn cmd_certify(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, String> {
+fn cmd_certify(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, CliError> {
     let zoo_name = args.require("zoo")?;
     let which = data::zoo::ZooNetwork::ALL
         .into_iter()
@@ -646,5 +738,162 @@ mod tests {
         let (code, output) = run_capture(&["verify", "--help"]);
         assert_eq!(code, ExitCode::Success);
         assert!(output.contains("usage"));
+    }
+
+    #[test]
+    fn missing_network_file_is_a_data_error() {
+        let (code, output) = run_capture(&[
+            "verify",
+            "--network",
+            "/nonexistent/net.txt",
+            "--property",
+            "/nonexistent/p.prop",
+        ]);
+        assert_eq!(code, ExitCode::DataError, "output: {output}");
+        // One-line diagnostic naming the failure.
+        assert!(output.starts_with("error: cannot load network:"), "output: {output}");
+        assert_eq!(output.lines().count(), 1, "output: {output}");
+    }
+
+    #[test]
+    fn malformed_network_file_is_a_data_error() {
+        let dir = temp_dir();
+        let net_path = dir.join("broken.net");
+        std::fs::write(&net_path, "charon-net 1\ninput 2\naffine 2 2\n1 0\n").unwrap();
+        let (code, output) = run_capture(&[
+            "info",
+            "--network",
+            net_path.to_str().unwrap(),
+        ]);
+        assert_eq!(code, ExitCode::DataError, "output: {output}");
+        assert!(output.contains("cannot load network"), "output: {output}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn nan_weights_are_a_data_error_not_an_engine_crash() {
+        // The file parses (NaN is a valid float token) but the verifier's
+        // problem validation must reject it as a malformed model.
+        let dir = temp_dir();
+        let net_path = dir.join("nan.net");
+        let prop_path = dir.join("p.prop");
+        std::fs::write(
+            &net_path,
+            "charon-net 1\ninput 2\naffine 2 2\nNaN 1\n1 0\n0 0\nend\n",
+        )
+        .unwrap();
+        let property =
+            RobustnessProperty::new(domains::Bounds::new(vec![0.3, 0.3], vec![0.7, 0.7]), 1);
+        std::fs::write(&prop_path, property.to_text()).unwrap();
+        let (code, output) = run_capture(&[
+            "verify",
+            "--network",
+            net_path.to_str().unwrap(),
+            "--property",
+            prop_path.to_str().unwrap(),
+        ]);
+        assert_eq!(code, ExitCode::DataError, "output: {output}");
+        assert!(output.contains("non-finite"), "output: {output}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn checkpoint_then_resume_reaches_a_verdict() {
+        let dir = temp_dir();
+        let net = dir.join("xor.net");
+        let prop = dir.join("p.prop");
+        let ckpt = dir.join("run.ckpt");
+        run_capture(&[
+            "example",
+            "--out-network",
+            net.to_str().unwrap(),
+            "--out-property",
+            prop.to_str().unwrap(),
+        ]);
+
+        // A zero timeout trips the budget check before the first region,
+        // so the whole worklist lands in the checkpoint.
+        let (code, output) = run_capture(&[
+            "verify",
+            "--network",
+            net.to_str().unwrap(),
+            "--property",
+            prop.to_str().unwrap(),
+            "--timeout-ms",
+            "0",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ]);
+        assert_eq!(code, ExitCode::ResourceLimit, "output: {output}");
+        assert!(output.contains("resource limit reached (timeout)"), "output: {output}");
+        assert!(output.contains("checkpoint written"), "output: {output}");
+        assert!(ckpt.exists());
+
+        // Resuming with a sane budget finishes the proof.
+        let (code, output) = run_capture(&[
+            "verify",
+            "--network",
+            net.to_str().unwrap(),
+            "--resume",
+            ckpt.to_str().unwrap(),
+        ]);
+        assert_eq!(code, ExitCode::Success, "output: {output}");
+        assert!(output.contains("verified"), "output: {output}");
+
+        // The parallel engine accepts the same checkpoint.
+        let (code, output) = run_capture(&[
+            "verify",
+            "--network",
+            net.to_str().unwrap(),
+            "--resume",
+            ckpt.to_str().unwrap(),
+            "--parallel",
+            "2",
+        ]);
+        assert_eq!(code, ExitCode::Success, "output: {output}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn malformed_checkpoint_is_a_data_error() {
+        let dir = temp_dir();
+        let net = dir.join("xor.net");
+        let prop = dir.join("p.prop");
+        let ckpt = dir.join("bad.ckpt");
+        run_capture(&[
+            "example",
+            "--out-network",
+            net.to_str().unwrap(),
+            "--out-property",
+            prop.to_str().unwrap(),
+        ]);
+        std::fs::write(&ckpt, "not a checkpoint\n").unwrap();
+        let (code, output) = run_capture(&[
+            "verify",
+            "--network",
+            net.to_str().unwrap(),
+            "--resume",
+            ckpt.to_str().unwrap(),
+        ]);
+        assert_eq!(code, ExitCode::DataError, "output: {output}");
+        assert!(output.contains("cannot load checkpoint"), "output: {output}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_and_stable() {
+        let codes = [
+            ExitCode::Success,
+            ExitCode::Refuted,
+            ExitCode::ResourceLimit,
+            ExitCode::UsageError,
+            ExitCode::DataError,
+            ExitCode::EngineError,
+        ];
+        assert_eq!(
+            codes.map(ExitCode::code),
+            [0, 1, 2, 64, 65, 70],
+            "exit codes are a published interface"
+        );
     }
 }

@@ -115,6 +115,24 @@ impl Bounds {
         tensor::ops::argmax(&self.widths())
     }
 
+    /// Whether any bound is NaN.
+    ///
+    /// NaN bounds cannot arise through [`Bounds::new`] (the order check
+    /// rejects them), but they can slip in through [`Bounds::point`] or
+    /// arithmetic on already-poisoned data; such a box poisons every
+    /// comparison made against it.
+    pub fn has_nan(&self) -> bool {
+        self.lower.iter().chain(self.upper.iter()).any(|v| v.is_nan())
+    }
+
+    /// Whether every bound is finite (no NaN, no ±∞).
+    pub fn is_finite(&self) -> bool {
+        self.lower
+            .iter()
+            .chain(self.upper.iter())
+            .all(|v| v.is_finite())
+    }
+
     /// Whether `x` lies inside the box (inclusive).
     pub fn contains(&self, x: &[f64]) -> bool {
         x.len() == self.dim()

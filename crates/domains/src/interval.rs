@@ -115,6 +115,10 @@ impl AbstractElement for Interval {
         }
         worst
     }
+
+    fn is_poisoned(&self) -> bool {
+        self.lower.iter().chain(self.upper.iter()).any(|v| v.is_nan())
+    }
 }
 
 impl ReluCoordOps for Interval {

@@ -87,6 +87,18 @@ pub trait AbstractElement: Clone + std::fmt::Debug + Sized {
     /// If this is positive, every concrete point abstracted by the element
     /// is classified as `target`.
     fn margin_lower_bound(&self, target: usize) -> f64;
+
+    /// Whether the element's numeric representation contains NaN.
+    ///
+    /// A poisoned element no longer over-approximates anything: NaN
+    /// compares false with everything, so transformers and the margin
+    /// check silently lose soundness. Verifiers must treat a poisoned
+    /// element as "analysis failed", never as "inconclusive". Infinite
+    /// bounds are *not* poison — they are a sound (if useless)
+    /// over-approximation.
+    fn is_poisoned(&self) -> bool {
+        false
+    }
 }
 
 /// Propagates an abstract element through every layer of a network.
@@ -109,6 +121,39 @@ pub fn propagate<E: AbstractElement>(net: &Network, element: E) -> E {
         };
     }
     current
+}
+
+/// Propagates an abstract element through a network with a per-layer
+/// poisoning check.
+///
+/// Returns `None` as soon as any intermediate element contains NaN
+/// (see [`AbstractElement::is_poisoned`]); the result of further
+/// propagation would be meaningless.
+///
+/// # Panics
+///
+/// Panics if `element.dim() != net.input_dim()`.
+pub fn propagate_checked<E: AbstractElement>(net: &Network, element: E) -> Option<E> {
+    assert_eq!(
+        element.dim(),
+        net.input_dim(),
+        "element dimension must match network input"
+    );
+    if element.is_poisoned() {
+        return None;
+    }
+    let mut current = element;
+    for layer in net.layers() {
+        current = match layer {
+            Layer::Affine(a) => current.affine(a),
+            Layer::Relu => current.relu(),
+            Layer::MaxPool(p) => current.max_pool(p),
+        };
+        if current.is_poisoned() {
+            return None;
+        }
+    }
+    Some(current)
 }
 
 /// The base abstract domains selectable by a verification policy.
@@ -186,33 +231,87 @@ impl std::fmt::Display for DomainChoice {
     }
 }
 
+/// Result of a guarded abstract analysis ([`analyze_checked`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalysisOutcome {
+    /// The abstraction proves every point of the region is classified as
+    /// the target class.
+    Proved,
+    /// The abstraction is too coarse to decide; the region may still be
+    /// safe.
+    Inconclusive,
+    /// NaN appeared inside the abstract computation; the result carries
+    /// no information and the caller must degrade (e.g. retry on a
+    /// coarser domain) rather than treat it as inconclusive.
+    Poisoned,
+}
+
 /// Attempts to verify a robustness property `(region, target)` of `net`
 /// using the given abstract domain.
 ///
 /// Returns `true` if the abstract analysis proves that every point in
 /// `region` is classified as `target`. A `false` result is inconclusive
-/// (the abstraction may simply be too coarse).
+/// (the abstraction may simply be too coarse). Callers that need to
+/// distinguish "too coarse" from "numerically poisoned" should use
+/// [`analyze_checked`].
 ///
 /// # Panics
 ///
 /// Panics if `region.dim() != net.input_dim()` or
 /// `target >= net.output_dim()`.
 pub fn analyze(net: &Network, region: &Bounds, target: usize, choice: DomainChoice) -> bool {
+    analyze_checked(net, region, target, choice) == AnalysisOutcome::Proved
+}
+
+/// [`analyze`] with NaN-poisoning detection: every intermediate element
+/// and the final margin bound are checked for NaN, and
+/// [`AnalysisOutcome::Poisoned`] is reported instead of silently
+/// comparing NaN against zero.
+///
+/// # Panics
+///
+/// Panics if `region.dim() != net.input_dim()` or
+/// `target >= net.output_dim()`.
+pub fn analyze_checked(
+    net: &Network,
+    region: &Bounds,
+    target: usize,
+    choice: DomainChoice,
+) -> AnalysisOutcome {
     assert!(target < net.output_dim(), "target class out of range");
+    if region.has_nan() {
+        return AnalysisOutcome::Poisoned;
+    }
     match (choice.base, choice.disjuncts) {
         (BaseDomain::Interval, 1) => {
-            propagate(net, Interval::from_bounds(region)).margin_lower_bound(target) > 0.0
+            margin_outcome(propagate_checked(net, Interval::from_bounds(region)), target)
         }
         (BaseDomain::Zonotope, 1) => {
-            propagate(net, Zonotope::from_bounds(region)).margin_lower_bound(target) > 0.0
+            margin_outcome(propagate_checked(net, Zonotope::from_bounds(region)), target)
         }
         (BaseDomain::Interval, k) => {
             let element = Powerset::<Interval>::with_budget(region, k);
-            propagate(net, element).margin_lower_bound(target) > 0.0
+            margin_outcome(propagate_checked(net, element), target)
         }
         (BaseDomain::Zonotope, k) => {
             let element = Powerset::<Zonotope>::with_budget(region, k);
-            propagate(net, element).margin_lower_bound(target) > 0.0
+            margin_outcome(propagate_checked(net, element), target)
+        }
+    }
+}
+
+fn margin_outcome<E: AbstractElement>(element: Option<E>, target: usize) -> AnalysisOutcome {
+    match element {
+        None => AnalysisOutcome::Poisoned,
+        Some(e) => {
+            let margin = e.margin_lower_bound(target);
+            if margin.is_nan() {
+                AnalysisOutcome::Poisoned
+            } else if margin > 0.0 {
+                AnalysisOutcome::Proved
+            } else {
+                AnalysisOutcome::Inconclusive
+            }
         }
     }
 }

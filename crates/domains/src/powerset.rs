@@ -183,6 +183,10 @@ impl<D: ReluCoordOps> AbstractElement for Powerset<D> {
             .map(|d| d.margin_lower_bound(target))
             .fold(f64::INFINITY, f64::min)
     }
+
+    fn is_poisoned(&self) -> bool {
+        self.disjuncts.iter().any(|d| d.is_poisoned())
+    }
 }
 
 #[cfg(test)]

@@ -93,6 +93,21 @@ impl Network {
         total
     }
 
+    /// Whether every weight and bias in the network is finite.
+    ///
+    /// A network with NaN or infinite parameters poisons both concrete
+    /// evaluation and every abstract transformer, so verifiers reject
+    /// such models up front instead of producing unsound verdicts.
+    pub fn params_finite(&self) -> bool {
+        self.layers.iter().all(|layer| match layer {
+            Layer::Affine(a) => {
+                a.weights.as_slice().iter().all(|w| w.is_finite())
+                    && a.bias.iter().all(|b| b.is_finite())
+            }
+            Layer::Relu | Layer::MaxPool(_) => true,
+        })
+    }
+
     /// Evaluates the network on an input point.
     ///
     /// # Panics

@@ -250,4 +250,54 @@ mod tests {
         let text = "charon-net 1\ninput 2\naffine 1 2\n1 2 3\n0\nend";
         assert!(matches!(from_text(text), Err(NetworkError::Parse(_))));
     }
+
+    /// Table of malformed inputs the parser must reject with a typed
+    /// error — a malformed model file must never panic the loader or
+    /// produce a silently wrong network.
+    #[test]
+    fn rejects_malformed_inputs_with_typed_errors() {
+        let cases: &[(&str, &str)] = &[
+            ("", "empty file"),
+            ("charon-net 2\ninput 2\nend", "unknown version"),
+            ("charon-net 1\nend", "missing input line"),
+            ("charon-net 1\ninput two\nend", "non-numeric input dim"),
+            (
+                "charon-net 1\ninput 2\naffine 2 2\n1 0\n0 1\n",
+                "truncated matrix (missing bias and end)",
+            ),
+            (
+                "charon-net 1\ninput 2\naffine 2 2\n1 0\n0 x\n0 0\nend",
+                "non-numeric weight token",
+            ),
+            (
+                "charon-net 1\ninput 2\naffine 2 2\n1 0 0\n0 1\n0 0\nend",
+                "wrong row arity",
+            ),
+            (
+                "charon-net 1\ninput 2\naffine 2 2\n1 0\n0 1\n0 0",
+                "missing end marker",
+            ),
+            (
+                "charon-net 1\ninput 2\nteleport 3\nend",
+                "unknown layer kind",
+            ),
+        ];
+        for (text, why) in cases {
+            match from_text(text) {
+                Err(NetworkError::Parse(msg)) => {
+                    assert!(!msg.is_empty(), "{why}: empty diagnostic")
+                }
+                other => panic!("{why}: expected Parse error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn load_missing_file_reports_path_in_error() {
+        let err = load(std::path::Path::new("/nonexistent/charon-net.txt")).unwrap_err();
+        match err {
+            NetworkError::Parse(msg) => assert!(msg.contains("nonexistent"), "msg: {msg}"),
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
 }

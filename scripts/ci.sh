@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: build, full test suite, lint wall, then the chaos
+# (fault-injection) suite under the dedicated `ci` profile.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test -q -p charon --test chaos --profile ci

@@ -1,0 +1,99 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides [`scope`] with the crossbeam 0.8 calling convention (spawn
+//! closures receive a `&Scope` argument, the scope call returns a
+//! `Result` that is `Err` when a child thread panicked), implemented on
+//! top of `std::thread::scope`.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub mod thread {
+    //! Scoped threads.
+
+    use super::*;
+
+    /// Error payload of a panicked scope: the boxed panic value of the
+    /// first child that panicked (or of the scope closure itself).
+    pub type ScopeResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle passed to [`scope`] closures and to spawned threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a `&Scope` so it
+        /// can spawn further threads, matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which threads can be spawned; returns
+    /// after every spawned thread has finished.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the panic payload if the closure or any
+    /// not-explicitly-joined child thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicUsize::new(0);
+        let out = scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            42
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let result = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset of the proptest 1.x surface used by this
+//! workspace: the [`proptest!`] macro over functions whose arguments are
+//! drawn from range strategies or [`collection::vec`], plus
+//! [`prop_assert!`] / [`prop_assert_eq!`]. Each test runs a fixed number
+//! of deterministic seeded cases (no shrinking — failing inputs are
+//! printed instead).
+
+use rand::prelude::*;
+
+/// Number of cases each `proptest!` test executes by default.
+pub const CASES: u64 = 24;
+
+/// Per-block configuration, settable with
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: CASES }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u64) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A source of random test inputs.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f64, u64, u32, usize, i64, i32);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::*;
+
+    /// Length specification for [`vec`]: a fixed `usize` or a `Range<usize>`.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Creates a strategy for vectors with the given element strategy and
+    /// length specification.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runs the body of one generated test case; used by the [`proptest!`]
+/// expansion.
+pub fn run_case(case: u64, args: &str, result: Result<(), String>) {
+    if let Err(msg) = result {
+        panic!("proptest case {case} failed: {msg}\n  inputs: {args}");
+    }
+}
+
+/// Creates the deterministic per-test RNG; used by the [`proptest!`]
+/// expansion (callers may not depend on `rand` themselves).
+pub fn new_rng() -> StdRng {
+    StdRng::seed_from_u64(0x5eed_0000)
+}
+
+/// Property-test entry point: declares `#[test]` functions whose
+/// arguments are drawn from strategies, e.g.
+/// `proptest! { #[test] fn f(x in 0u64..10) { prop_assert!(x < 10); } }`.
+///
+/// An optional `#![proptest_config(...)]` inner attribute at the top of
+/// the block overrides the case count.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)+) => {
+        $crate::__proptest_impl!(($cfg); $($rest)+);
+    };
+    ($($rest:tt)+) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()); $($rest)+);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::Strategy as _;
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::new_rng();
+                for __case in 0..__config.cases {
+                    $(let $arg = ($strat).generate(&mut __rng);)+
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}  ",)+),
+                        $(&$arg),+
+                    );
+                    let __result: ::std::result::Result<(), ::std::string::String> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    $crate::run_case(__case, &__inputs, __result);
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, reporting the failing
+/// inputs instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($a), stringify!($b), __a, __b
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    }};
+}
+
+pub mod prelude {
+    //! Common imports, mirroring `proptest::prelude`.
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    proptest! {
+        #[test]
+        fn ranges_respected(x in 0u64..10, f in -1.0f64..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&f), "f out of range: {f}");
+        }
+
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(0.0f64..1.0, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert_eq!(v.len(), v.iter().filter(|x| x.is_finite()).count());
+        }
+    }
+}

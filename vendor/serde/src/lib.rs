@@ -1,0 +1,15 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Provides marker traits named `Serialize` / `Deserialize` and re-exports
+//! the no-op derive macros of the vendored `serde_derive`, so existing
+//! `#[derive(Serialize, Deserialize)]` annotations compile unchanged. No
+//! actual serialization is provided — every on-disk format in this
+//! workspace is hand-rolled plain text.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
