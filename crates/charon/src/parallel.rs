@@ -55,10 +55,20 @@ struct Shared<'a> {
 }
 
 impl Shared<'_> {
-    /// Records a verdict (first writer wins) and tells everyone to stop.
+    /// Records a verdict and tells everyone to stop. First writer wins,
+    /// with one exception: a validated refutation replaces an
+    /// already-recorded `ResourceLimit`. A worker mid-step when another
+    /// hits a budget may still find a real counterexample; dropping it
+    /// would checkpoint a worklist without the refuted region, and
+    /// resuming that checkpoint could flip the verdict to `Verified`.
     fn record_and_stop(&self, verdict: Verdict, limit: Option<BudgetKind>) {
         let mut slot = self.found.lock();
-        if slot.is_none() {
+        let record = match &*slot {
+            None => true,
+            Some((Verdict::ResourceLimit, _)) => matches!(verdict, Verdict::Refuted(_)),
+            Some(_) => false,
+        };
+        if record {
             *slot = Some((verdict, limit));
         }
         self.stop.store(true, Ordering::Release);
@@ -271,7 +281,18 @@ fn worker_loop(env: &StepEnv<'_>, shared: &Shared<'_>, stats: &mut VerifyStats) 
             None
         };
         if let Some(kind) = budget {
-            shared.record_and_stop(Verdict::ResourceLimit, Some(kind));
+            // A budget lapsing after the worklist drained is a completed
+            // run, not a resource limit: report nothing and let the
+            // driver conclude `Verified`. The in-flight check happens
+            // under the queue lock because workers increment it while
+            // holding the lock and push splits before decrementing.
+            let drained = {
+                let q = shared.queue.lock();
+                q.is_empty() && shared.in_flight.load(Ordering::Acquire) == 0
+            };
+            if !drained {
+                shared.record_and_stop(Verdict::ResourceLimit, Some(kind));
+            }
             return;
         }
         let popped = {
@@ -468,6 +489,114 @@ mod tests {
         );
         let resumed = full.resume(&net, &ckpt).unwrap();
         assert_eq!(resumed.verdict, Verdict::Verified);
+    }
+
+    #[test]
+    fn refutation_outranks_recorded_resource_limit() {
+        use crate::verify::Counterexample;
+
+        let queue: Mutex<Vec<(Bounds, usize)>> = Mutex::new(Vec::new());
+        let in_flight = AtomicUsize::new(0);
+        let regions_done = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let found: Mutex<Option<(Verdict, Option<BudgetKind>)>> = Mutex::new(None);
+        let error: Mutex<Option<VerifyError>> = Mutex::new(None);
+        let shared = Shared {
+            queue: &queue,
+            in_flight: &in_flight,
+            regions_done: &regions_done,
+            stop: &stop,
+            found: &found,
+            error: &error,
+        };
+        let cex = Counterexample {
+            point: vec![0.0, 0.0],
+            objective: 0.0,
+        };
+
+        // A worker mid-step when the budget lapses may still validate a
+        // counterexample; it must replace the budget verdict.
+        shared.record_and_stop(Verdict::ResourceLimit, Some(BudgetKind::Timeout));
+        shared.record_and_stop(Verdict::Refuted(cex.clone()), None);
+        assert_eq!(*found.lock(), Some((Verdict::Refuted(cex.clone()), None)));
+
+        // A later budget verdict never downgrades the refutation, and a
+        // second refutation does not replace the first.
+        shared.record_and_stop(Verdict::ResourceLimit, Some(BudgetKind::Regions));
+        shared.record_and_stop(
+            Verdict::Refuted(Counterexample {
+                point: vec![1.0, 1.0],
+                objective: -1.0,
+            }),
+            None,
+        );
+        assert_eq!(*found.lock(), Some((Verdict::Refuted(cex), None)));
+        assert!(stop.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn lapsed_budget_with_drained_worklist_reports_verified() {
+        // A worklist that completes exactly as the deadline lapses (here:
+        // resuming a checkpoint whose pending set is already empty under a
+        // zero timeout) is a finished proof, not a resource limit.
+        let net = samples::xor_network();
+        let ckpt = Checkpoint {
+            target: 1,
+            pending: vec![],
+            regions_done: 7,
+        };
+        let config = VerifierConfig {
+            timeout: Duration::ZERO,
+            ..VerifierConfig::default()
+        };
+        let verifier = ParallelVerifier::new(Arc::new(LinearPolicy::default()), config, 2);
+        let run = verifier.resume(&net, &ckpt).unwrap();
+        assert_eq!(run.verdict, Verdict::Verified);
+        assert!(run.checkpoint.is_none());
+        assert!(run.limit.is_none());
+    }
+
+    #[test]
+    fn resource_limited_refutable_run_never_resumes_to_verified() {
+        // Budget-starve a refutable property so workers race budgets
+        // against the refutation; whatever interleaving happens, chasing
+        // checkpoints must end in Refuted, never flip to Verified.
+        let net = samples::xor_network();
+        let prop = RobustnessProperty::new(Bounds::new(vec![0.0, 0.0], vec![1.0, 1.0]), 1);
+        for seed in 0..4 {
+            let starved = ParallelVerifier::new(
+                Arc::new(FixedPolicy::new(DomainChoice::interval())),
+                VerifierConfig {
+                    max_regions: 1,
+                    counterexample_search: false,
+                    seed,
+                    ..VerifierConfig::default()
+                },
+                4,
+            );
+            let full = ParallelVerifier::new(
+                Arc::new(FixedPolicy::new(DomainChoice::interval())),
+                VerifierConfig::default(),
+                4,
+            );
+            let mut run = starved.try_verify_run(&net, &prop).unwrap();
+            let mut hops = 0;
+            loop {
+                match run.verdict {
+                    Verdict::Refuted(ref cex) => {
+                        assert!(prop.region().contains(&cex.point));
+                        break;
+                    }
+                    Verdict::ResourceLimit => {
+                        let ckpt = run.checkpoint.expect("budget runs checkpoint");
+                        run = full.resume(&net, &ckpt).unwrap();
+                    }
+                    Verdict::Verified => panic!("verdict flip on refutable property (seed {seed})"),
+                }
+                hops += 1;
+                assert!(hops < 8, "resume chain did not converge");
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::time::Duration;
 use nn::Network;
 use parking_lot::Mutex;
 
+use crate::error::VerifyError;
 use crate::policy::Policy;
 use crate::verify::{Verdict, Verifier, VerifierConfig};
 use crate::RobustnessProperty;
@@ -59,34 +60,71 @@ impl PortfolioVerifier {
     ///
     /// # Panics
     ///
-    /// Panics if the property's dimensions mismatch the network.
+    /// Panics if the problem is malformed or the engine fails in every
+    /// member before any decides (see [`PortfolioVerifier::try_verify`]
+    /// for the non-panicking API).
     pub fn verify(&self, net: &Network, property: &RobustnessProperty) -> Verdict {
+        match self.try_verify(net, property) {
+            Ok(verdict) => verdict,
+            Err(e) => panic!("verification engine failure: {e}"),
+        }
+    }
+
+    /// Non-panicking variant of [`PortfolioVerifier::verify`].
+    ///
+    /// A member that fails with a [`VerifyError`] degrades the portfolio
+    /// instead of aborting it: the failure is recorded and the remaining
+    /// members keep racing. The first recorded failure is surfaced only
+    /// when no member reaches a decisive verdict.
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured [`VerifyError`] when no member decides and at
+    /// least one member failed (malformed problem, double panic, numeric
+    /// poisoning).
+    pub fn try_verify(
+        &self,
+        net: &Network,
+        property: &RobustnessProperty,
+    ) -> Result<Verdict, VerifyError> {
         let external = self.config.cancel.clone();
         let cancel = Arc::new(AtomicBool::new(false));
         let winner: Mutex<Option<Verdict>> = Mutex::new(None);
+        let error: Mutex<Option<VerifyError>> = Mutex::new(None);
         let members_done = AtomicUsize::new(0);
         let members = self.policies.len();
 
-        crossbeam::scope(|scope| {
+        let scope_result = crossbeam::scope(|scope| {
             for policy in &self.policies {
                 let mut config = self.config.clone();
                 config.cancel = Some(Arc::clone(&cancel));
                 let policy = Arc::clone(policy);
                 let cancel = &cancel;
                 let winner = &winner;
+                let error = &error;
                 let members_done = &members_done;
                 scope.spawn(move |_| {
                     let verifier = Verifier::new(policy, config);
-                    let verdict = verifier.verify(net, property);
-                    match verdict {
-                        Verdict::Verified | Verdict::Refuted(_) => {
-                            let mut slot = winner.lock();
-                            if slot.is_none() {
-                                *slot = Some(verdict);
+                    match verifier.try_verify_run(net, property) {
+                        Ok(run) => match run.verdict {
+                            Verdict::Verified | Verdict::Refuted(_) => {
+                                let mut slot = winner.lock();
+                                if slot.is_none() {
+                                    *slot = Some(run.verdict);
+                                }
+                                cancel.store(true, Ordering::Relaxed);
                             }
-                            cancel.store(true, Ordering::Relaxed);
+                            Verdict::ResourceLimit => {}
+                        },
+                        // A broken member is a non-winning member, not a
+                        // process abort: record the first failure and let
+                        // the rest of the race continue.
+                        Err(e) => {
+                            let mut slot = error.lock();
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
                         }
-                        Verdict::ResourceLimit => {}
                     }
                     members_done.fetch_add(1, Ordering::Release);
                 });
@@ -109,10 +147,22 @@ impl PortfolioVerifier {
                     std::thread::sleep(Duration::from_millis(1));
                 });
             }
-        })
-        .expect("portfolio worker panicked");
+        });
+        if scope_result.is_err() {
+            // Members are panic-isolated inside the verifier, so this is a
+            // bug in the portfolio driver itself.
+            return Err(VerifyError::WorkerPanic {
+                message: "portfolio member panicked outside the isolation boundary".to_string(),
+            });
+        }
 
-        winner.into_inner().unwrap_or(Verdict::ResourceLimit)
+        match winner.into_inner() {
+            Some(verdict) => Ok(verdict),
+            None => match error.into_inner() {
+                Some(e) => Err(e),
+                None => Ok(Verdict::ResourceLimit),
+            },
+        }
     }
 }
 
@@ -183,6 +233,40 @@ mod tests {
     #[should_panic(expected = "at least one policy")]
     fn empty_portfolio_panics() {
         PortfolioVerifier::new(vec![], config());
+    }
+
+    #[test]
+    fn member_engine_failure_is_an_error_not_a_process_abort() {
+        // A 1-d property against a 2-input network fails validation in
+        // every member. The portfolio must surface the structured error
+        // through try_verify instead of panicking inside crossbeam::scope
+        // and taking the process down.
+        let net = nn::samples::xor_network();
+        let prop = RobustnessProperty::new(Bounds::new(vec![0.0], vec![1.0]), 1);
+        match mixed_portfolio().try_verify(&net, &prop) {
+            Err(crate::VerifyError::MalformedModel { reason }) => {
+                assert!(reason.contains("dimension"), "reason: {reason}");
+            }
+            other => panic!("expected malformed-model error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "verification engine failure")]
+    fn verify_panics_with_structured_message_on_engine_failure() {
+        let net = nn::samples::xor_network();
+        let prop = RobustnessProperty::new(Bounds::new(vec![0.0], vec![1.0]), 1);
+        mixed_portfolio().verify(&net, &prop);
+    }
+
+    #[test]
+    fn try_verify_matches_verify_on_decidable_properties() {
+        let net = nn::samples::xor_network();
+        let prop = RobustnessProperty::new(Bounds::new(vec![0.3, 0.3], vec![0.7, 0.7]), 1);
+        assert_eq!(
+            mixed_portfolio().try_verify(&net, &prop).unwrap(),
+            Verdict::Verified
+        );
     }
 
     #[test]

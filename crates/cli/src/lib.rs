@@ -243,6 +243,12 @@ fn load_property(path: &str) -> Result<RobustnessProperty, CliError> {
 }
 
 fn cmd_verify(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, CliError> {
+    if args.get("resume").is_some() && args.get("property").is_some() {
+        return Err(CliError::Usage(format!(
+            "--resume and --property are mutually exclusive; a checkpoint already fixes the property\n{}",
+            usage()
+        )));
+    }
     let net = load_network(args.require("network")?)?;
     let mut config = VerifierConfig {
         timeout: Duration::from_millis(args.get_u64("timeout-ms", 60_000)?),
@@ -852,6 +858,23 @@ mod tests {
         ]);
         assert_eq!(code, ExitCode::Success, "output: {output}");
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn resume_and_property_are_mutually_exclusive() {
+        // Silently ignoring the property file would let a user resume
+        // against the wrong checkpoint without any warning.
+        let (code, output) = run_capture(&[
+            "verify",
+            "--network",
+            "/nonexistent/net.txt",
+            "--property",
+            "/nonexistent/p.prop",
+            "--resume",
+            "/nonexistent/run.ckpt",
+        ]);
+        assert_eq!(code, ExitCode::UsageError, "output: {output}");
+        assert!(output.contains("mutually exclusive"), "output: {output}");
     }
 
     #[test]
