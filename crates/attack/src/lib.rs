@@ -27,6 +27,7 @@ use domains::Bounds;
 use nn::Network;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use tensor::Matrix;
 
 /// Replaces a NaN objective value with `+∞` so it can never be accepted
 /// as a best-so-far or trip a `<= δ` refutation check. Networks with
@@ -267,6 +268,112 @@ pub fn coordinate_descent(
     }
 }
 
+/// Projected gradient descent on a batch of starting points in lockstep.
+///
+/// Each row of `starts` is one restart. Every descent iteration evaluates
+/// the whole batch with one blocked forward/backward pass
+/// ([`Network::objective_gradient_batch`]) instead of one matrix-vector
+/// product per point per layer, so the per-layer weight matrix is read
+/// once per iteration for all restarts. Rows retire independently (zero or
+/// poisoned gradient, step underflow), and the whole batch stops as soon
+/// as any row reaches a non-positive objective — matching the sequential
+/// restart loop, which never ran later restarts after a success.
+///
+/// Returns the best point across all rows (earliest row wins ties).
+///
+/// # Panics
+///
+/// Panics if any row of `starts` lies outside `region`, or dimensions
+/// mismatch.
+pub fn pgd_batch(
+    net: &Network,
+    region: &Bounds,
+    target: usize,
+    starts: &Matrix,
+    config: &PgdConfig,
+) -> AttackResult {
+    assert!(starts.rows() > 0, "batch must contain at least one start");
+    for start in starts.rows_iter() {
+        assert!(region.contains(start), "start point must lie in the region");
+    }
+    let n = starts.cols();
+    let base_step = config.step_fraction * region.mean_width().max(1e-12);
+
+    let mut xs = starts.clone();
+    let mut best = starts.clone();
+    let mut best_f: Vec<f64> = net
+        .objective_batch(&xs, target)
+        .into_iter()
+        .map(sanitize_objective)
+        .collect();
+    let mut evals = starts.rows();
+    let mut step = vec![base_step; starts.rows()];
+    let mut active = vec![true; starts.rows()];
+
+    'outer: for _ in 0..config.steps {
+        if best_f.iter().any(|f| *f <= 0.0) {
+            break;
+        }
+        // Compact the live rows so retired restarts stop consuming
+        // kernel work, then scatter the results back by row id.
+        let live: Vec<usize> = (0..xs.rows()).filter(|&r| active[r]).collect();
+        if live.is_empty() {
+            break;
+        }
+        let mut packed = Matrix::zeros(0, n);
+        for &r in &live {
+            packed.push_row(xs.row(r));
+        }
+        let gs = net.objective_gradient_batch(&packed, target);
+        evals += live.len();
+        for ((&r, g), x) in live.iter().zip(gs.rows_iter()).zip(packed.rows_iter_mut()) {
+            if !gradient_is_finite(g) {
+                active[r] = false;
+                continue;
+            }
+            let norm = tensor::ops::norm2(g);
+            if norm < 1e-12 {
+                active[r] = false;
+                continue;
+            }
+            for (xi, gi) in x.iter_mut().zip(g.iter()) {
+                *xi -= step[r] * gi / norm;
+            }
+            region.clamp(x);
+            xs.row_mut(r).copy_from_slice(x);
+        }
+        let fs = net.objective_batch(&packed, target);
+        for (&r, f) in live.iter().zip(fs.iter()) {
+            if !active[r] {
+                continue;
+            }
+            evals += 1;
+            let f = sanitize_objective(*f);
+            if f < best_f[r] {
+                best_f[r] = f;
+                best.row_mut(r).copy_from_slice(xs.row(r));
+                if f <= 0.0 {
+                    break 'outer;
+                }
+            } else {
+                step[r] *= config.decay;
+                if step[r] < 1e-12 {
+                    active[r] = false;
+                }
+            }
+        }
+    }
+
+    let winner = (0..best_f.len())
+        .reduce(|a, b| if best_f[b] < best_f[a] { b } else { a })
+        .expect("batch is non-empty");
+    AttackResult {
+        point: best.row(winner).to_vec(),
+        objective: best_f[winner],
+        evals,
+    }
+}
+
 /// One fast-gradient-sign step from `start`: moves to the corner of the
 /// region indicated by the sign of the objective gradient.
 ///
@@ -363,13 +470,15 @@ impl Minimizer {
             return best;
         }
 
-        for _ in 0..self.restarts {
-            let start = region.sample(&mut rng);
-            let run = pgd(net, region, target, &start, &self.config);
-            best = merge(best, run);
-            if best.objective <= 0.0 {
-                break;
+        // Random restarts run as one lockstep batch: a single blocked
+        // forward/backward per descent iteration covers every restart.
+        if self.restarts > 0 {
+            let mut starts = Matrix::zeros(0, region.dim());
+            for _ in 0..self.restarts {
+                starts.push_row(&region.sample(&mut rng));
             }
+            let run = pgd_batch(net, region, target, &starts, &self.config);
+            best = merge(best, run);
         }
         best
     }
@@ -544,6 +653,70 @@ mod tests {
         let region = Bounds::new(vec![0.0], vec![1.0]);
         let x = fgsm_step(&net, &region, 0, &[0.25]);
         assert_eq!(x, vec![0.25]);
+    }
+
+    #[test]
+    fn batched_pgd_agrees_with_sequential_per_start() {
+        let net = samples::xor_network();
+        let region = Bounds::new(vec![0.05, 0.05], vec![0.95, 0.95]);
+        let starts = [
+            vec![0.1, 0.2],
+            vec![0.8, 0.85],
+            vec![0.5, 0.4],
+            vec![0.25, 0.9],
+        ];
+        let rows: Vec<&[f64]> = starts.iter().map(Vec::as_slice).collect();
+        let batch = pgd_batch(
+            &net,
+            &region,
+            1,
+            &tensor::Matrix::from_rows(&rows),
+            &PgdConfig::default(),
+        );
+        // The batch's best can only match or beat every individual
+        // sequential run it subsumes (it stops early once any row finds a
+        // violation, which only happens when a sequential run would too).
+        let sequential_best = starts
+            .iter()
+            .map(|s| pgd(&net, &region, 1, s, &PgdConfig::default()).objective)
+            .fold(f64::INFINITY, f64::min);
+        assert!(region.contains(&batch.point));
+        assert_eq!(batch.objective, net.objective(&batch.point, 1));
+        if sequential_best <= 0.0 {
+            assert!(batch.objective <= 0.0);
+        }
+    }
+
+    #[test]
+    fn batched_pgd_single_row_matches_plain_pgd() {
+        let net = samples::xor_network();
+        let region = Bounds::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let start = [0.8, 0.8];
+        let plain = pgd(&net, &region, 1, &start, &PgdConfig::default());
+        let batch = pgd_batch(
+            &net,
+            &region,
+            1,
+            &tensor::Matrix::from_rows(&[&start]),
+            &PgdConfig::default(),
+        );
+        assert_eq!(batch.point, plain.point);
+        assert_eq!(batch.objective, plain.objective);
+    }
+
+    #[test]
+    fn batched_pgd_poisoned_network_reports_infinity() {
+        let net = poisoned_network();
+        let region = Bounds::new(vec![0.0], vec![1.0]);
+        let batch = pgd_batch(
+            &net,
+            &region,
+            0,
+            &tensor::Matrix::from_rows(&[&[0.25], &[0.75]]),
+            &PgdConfig::default(),
+        );
+        assert!(batch.objective.is_infinite() && batch.objective > 0.0);
+        assert!(batch.point.iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -155,7 +155,7 @@ impl BayesOpt {
 
         let (best_input, best_value) = history
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(x, y)| (x.clone(), *y))
             .expect("history is non-empty");
         BayesOptResult {

@@ -1,0 +1,295 @@
+//! Performance-regression harness for the matrix-kernel hot path.
+//!
+//! Times the flat blocked kernels against naive per-generator references
+//! and measures end-to-end region throughput, then emits machine-readable
+//! `BENCH_kernels.json`. The committed baseline at the repo root is the
+//! reference; regenerate it with `cargo run --release --bin perf_kernels`
+//! after intentional kernel changes (see DESIGN.md, "Performance
+//! architecture").
+//!
+//! Flags:
+//! - `--smoke`: tiny shapes, one repetition — validates that the harness
+//!   runs and the JSON schema is intact (used by `scripts/ci.sh`).
+//! - `--out <path>`: write the JSON somewhere other than
+//!   `BENCH_kernels.json` in the current directory.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use domains::{AbstractElement, Bounds, Workspace, Zonotope};
+use nn::AffineLayer;
+use tensor::Matrix;
+
+/// One named measurement: times are medians over `reps` runs.
+struct Sample {
+    name: &'static str,
+    /// Naive-reference median seconds (0 when no reference exists).
+    naive_s: f64,
+    /// Fast-path median seconds.
+    fast_s: f64,
+    /// Work-rate context (elements, regions, …) for human readers.
+    note: String,
+}
+
+impl Sample {
+    fn speedup(&self) -> f64 {
+        if self.fast_s > 0.0 && self.naive_s > 0.0 {
+            self.naive_s / self.fast_s
+        } else {
+            0.0
+        }
+    }
+}
+
+fn median(mut times: Vec<f64>) -> f64 {
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Times `f` `reps` times and returns the median seconds; a `sink`
+/// accumulator defeats dead-code elimination.
+fn time_median<F: FnMut() -> f64>(reps: usize, mut f: F) -> f64 {
+    let mut times = Vec::with_capacity(reps);
+    let mut sink = 0.0f64;
+    for _ in 0..reps {
+        let start = Instant::now();
+        sink += f();
+        times.push(start.elapsed().as_secs_f64());
+    }
+    assert!(sink.is_finite(), "benchmark computation poisoned");
+    median(times)
+}
+
+fn deterministic_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        (((r * 31 + c * 17) as f64 + seed as f64) * 0.193).sin()
+    })
+}
+
+fn deterministic_layer(out_dim: usize, in_dim: usize, seed: u64) -> AffineLayer {
+    AffineLayer::new(
+        deterministic_matrix(out_dim, in_dim, seed),
+        (0..out_dim).map(|r| (r as f64 * 0.53).cos()).collect(),
+    )
+}
+
+/// Naive per-generator affine: the pre-flat `Vec<Vec<f64>>` hot path.
+fn naive_zonotope_affine(
+    center: &[f64],
+    gens: &[Vec<f64>],
+    layer: &AffineLayer,
+) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let mut new_center = layer.weights.matvec(center);
+    for (c, b) in new_center.iter_mut().zip(layer.bias.iter()) {
+        *c += b;
+    }
+    let new_gens = gens
+        .iter()
+        .map(|g| layer.weights.matvec(g))
+        .collect();
+    (new_center, new_gens)
+}
+
+/// The tentpole target: one zonotope affine layer, 1024 neurons × 256
+/// generators, naive per-generator matvecs vs one blocked matmul.
+fn bench_zonotope_affine(neurons: usize, generators: usize, reps: usize) -> Sample {
+    let layer = deterministic_layer(neurons, neurons, 3);
+    // A `generators`-dim box has one noise symbol per coordinate; lifting
+    // it through a `generators -> neurons` affine map yields a dense
+    // zonotope with exactly the requested shape.
+    let region = Bounds::new(vec![-1.0; generators], vec![1.0; generators]);
+    let z = Zonotope::from_bounds(&region).affine(&deterministic_layer(neurons, generators, 5));
+    let gens: Vec<Vec<f64>> = z.generator_rows().map(<[f64]>::to_vec).collect();
+    let center = z.center().to_vec();
+
+    let naive_s = time_median(reps, || {
+        let (c, g) = naive_zonotope_affine(&center, &gens, &layer);
+        c[0] + g.last().map_or(0.0, |r| r[0])
+    });
+    let mut ws = Workspace::new();
+    let fast_s = time_median(reps, || {
+        let out = z.affine_ws(&layer, &mut ws);
+        let probe = out.center()[0];
+        out.recycle(&mut ws);
+        probe
+    });
+    Sample {
+        name: "zonotope_affine",
+        naive_s,
+        fast_s,
+        note: format!("{neurons} neurons x {} generators", z.num_generators()),
+    }
+}
+
+/// Raw kernel: blocked `A·Bᵀ` vs the naive triple loop.
+fn bench_matmul_transb(m: usize, k: usize, n: usize, reps: usize) -> Sample {
+    let a = deterministic_matrix(m, k, 1);
+    let b = deterministic_matrix(n, k, 2);
+    let naive_s = time_median(reps, || {
+        let mut acc = 0.0;
+        for i in 0..m {
+            for j in 0..n {
+                let mut dot = 0.0;
+                for kk in 0..k {
+                    dot += a.row(i)[kk] * b.row(j)[kk];
+                }
+                acc += dot;
+            }
+        }
+        acc
+    });
+    let fast_s = time_median(reps, || a.matmul_transb(&b).as_slice().iter().sum());
+    Sample {
+        name: "matmul_transb",
+        naive_s,
+        fast_s,
+        note: format!("{m}x{k} . ({n}x{k})^T"),
+    }
+}
+
+/// Fused center transform vs separate matvec + bias loop.
+fn bench_matvec_bias(n: usize, reps: usize) -> Sample {
+    let layer = deterministic_layer(n, n, 9);
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).sin()).collect();
+    let naive_s = time_median(reps, || {
+        let mut y = layer.weights.matvec(&x);
+        for (yi, bi) in y.iter_mut().zip(layer.bias.iter()) {
+            *yi += bi;
+        }
+        y[0]
+    });
+    let fast_s = time_median(reps, || layer.weights.matvec_bias(&x, &layer.bias)[0]);
+    Sample {
+        name: "matvec_bias",
+        naive_s,
+        fast_s,
+        note: format!("{n}x{n} matrix"),
+    }
+}
+
+/// End-to-end: full zonotope propagation through a deep MLP, fresh
+/// allocations vs the Workspace-recycled path.
+fn bench_region_throughput(width: usize, depth: usize, reps: usize) -> Sample {
+    let hidden = vec![width; depth];
+    let net = nn::train::random_mlp(8, &hidden, 4, 42);
+    let region = Bounds::linf_ball(&[0.05; 8], 0.1, None);
+
+    let naive_s = time_median(reps, || {
+        let mut e = Zonotope::from_bounds(&region);
+        for layer in net.layers() {
+            e = match layer {
+                nn::Layer::Affine(a) => e.affine(a),
+                nn::Layer::Relu => e.relu(),
+                nn::Layer::MaxPool(p) => e.max_pool(p),
+            };
+        }
+        e.margin_lower_bound(0)
+    });
+    let mut ws = Workspace::new();
+    let fast_s = time_median(reps, || {
+        let mut e = Zonotope::from_bounds(&region);
+        for layer in net.layers() {
+            let next = match layer {
+                nn::Layer::Affine(a) => e.affine_ws(a, &mut ws),
+                nn::Layer::Relu => e.relu(),
+                nn::Layer::MaxPool(p) => e.max_pool(p),
+            };
+            let old = std::mem::replace(&mut e, next);
+            old.recycle(&mut ws);
+        }
+        let margin = e.margin_lower_bound(0);
+        e.recycle(&mut ws);
+        margin
+    });
+    Sample {
+        name: "region_propagation",
+        naive_s,
+        fast_s,
+        note: format!("8 -> {depth}x{width} -> 4 MLP"),
+    }
+}
+
+/// Hand-rolled JSON (the workspace deliberately has no serde_json).
+fn render_json(samples: &[Sample], smoke: bool) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"bench-kernels-v1\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    out.push_str("  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 < samples.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"naive_s\": {:.9}, \"fast_s\": {:.9}, \
+             \"speedup\": {:.3}, \"note\": \"{}\"}}{comma}",
+            s.name,
+            s.naive_s,
+            s.fast_s,
+            s.speedup(),
+            s.note,
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Minimal structural check that the emitted JSON honours the schema the
+/// CI smoke run relies on.
+fn validate_json(json: &str) {
+    for needle in [
+        "\"schema\": \"bench-kernels-v1\"",
+        "\"samples\": [",
+        "\"name\": \"zonotope_affine\"",
+        "\"speedup\":",
+    ] {
+        assert!(json.contains(needle), "JSON schema lost field: {needle}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(|| "BENCH_kernels.json".to_string(), String::clone);
+
+    let (neurons, generators, mm, reps) = if smoke {
+        (64, 16, 48, 3)
+    } else {
+        (1024, 256, 512, 9)
+    };
+
+    let samples = vec![
+        bench_zonotope_affine(neurons, generators, reps),
+        bench_matmul_transb(generators.max(8), mm, neurons.min(mm), reps),
+        bench_matvec_bias(neurons, reps),
+        bench_region_throughput(if smoke { 24 } else { 96 }, 4, reps),
+    ];
+
+    println!("kernel perf ({}):", if smoke { "smoke" } else { "full" });
+    for s in &samples {
+        println!(
+            "  {:<20} naive {:>10.3e}s  fast {:>10.3e}s  speedup {:>6.2}x  [{}]",
+            s.name,
+            s.naive_s,
+            s.fast_s,
+            s.speedup(),
+            s.note,
+        );
+    }
+
+    let json = render_json(&samples, smoke);
+    validate_json(&json);
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+
+    if !smoke {
+        let affine = &samples[0];
+        assert!(
+            affine.speedup() >= 3.0,
+            "zonotope affine speedup regressed below 3x: {:.2}x",
+            affine.speedup()
+        );
+    }
+}

@@ -353,7 +353,7 @@ pub fn print_cactus(label: &str, runs: &[ToolRun]) {
         .filter(|r| r.verdict.is_decided())
         .map(|r| r.elapsed.as_secs_f64())
         .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    times.sort_by(f64::total_cmp);
     let mut cumulative = 0.0;
     print!("  {label:<14} ");
     if times.is_empty() {

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use attack::Minimizer;
-use domains::Bounds;
+use domains::{Bounds, Workspace};
 use nn::Network;
 use parking_lot::Mutex;
 
@@ -218,7 +218,10 @@ impl ParallelVerifier {
                         objective_lipschitz,
                     };
                     let mut stats = VerifyStats::default();
-                    worker_loop(&env, &shared, &mut stats);
+                    // Per-worker scratch arena: buffers recycle across the
+                    // regions this worker processes, never across threads.
+                    let mut ws = Workspace::new();
+                    worker_loop(&env, &shared, &mut stats, &mut ws);
                     total_stats.lock().absorb(&stats);
                 });
             }
@@ -261,7 +264,12 @@ impl ParallelVerifier {
 }
 
 /// One worker: pop regions, run the guarded step, push splits back.
-fn worker_loop(env: &StepEnv<'_>, shared: &Shared<'_>, stats: &mut VerifyStats) {
+fn worker_loop(
+    env: &StepEnv<'_>,
+    shared: &Shared<'_>,
+    stats: &mut VerifyStats,
+    ws: &mut Workspace,
+) {
     loop {
         if shared.stop.load(Ordering::Acquire) {
             return;
@@ -332,7 +340,7 @@ fn worker_loop(env: &StepEnv<'_>, shared: &Shared<'_>, stats: &mut VerifyStats) 
         }
         stats.regions += 1;
         stats.max_depth = stats.max_depth.max(depth);
-        let outcome = guarded_region_step(env, &region, ordinal, stats);
+        let outcome = guarded_region_step(env, &region, ordinal, stats, ws);
         shared.regions_done.fetch_add(1, Ordering::Relaxed);
         match outcome {
             Ok(RegionOutcome::Verified) => stats.verified_regions += 1,

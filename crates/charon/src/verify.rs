@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use attack::Minimizer;
-use domains::{analyze_checked, AnalysisOutcome, Bounds, DomainChoice};
+use domains::{analyze_checked_ws, AnalysisOutcome, Bounds, DomainChoice, Workspace};
 use nn::Network;
 
 use crate::checkpoint::Checkpoint;
@@ -372,6 +372,9 @@ impl Verifier {
             deadline,
             objective_lipschitz,
         };
+        // One scratch arena for the whole run: per-region propagation
+        // reuses layer buffers instead of reallocating them.
+        let mut ws = Workspace::new();
 
         let outcome = loop {
             let Some((region, depth)) = stack.pop() else {
@@ -417,7 +420,7 @@ impl Verifier {
             stats.regions += 1;
             stats.max_depth = stats.max_depth.max(depth);
 
-            match guarded_region_step(&env, &region, ordinal, &mut stats) {
+            match guarded_region_step(&env, &region, ordinal, &mut stats, &mut ws) {
                 Err(e) => break Err(e),
                 Ok(RegionOutcome::Verified) => stats.verified_regions += 1,
                 Ok(RegionOutcome::Refuted(cex)) => {
@@ -527,17 +530,27 @@ enum StepResult {
 /// Runs a region step under panic isolation with the degradation ladder:
 /// a panicking or poisoned full-precision step is retried once on the
 /// coarsest (interval) domain; only a second failure aborts the run.
+///
+/// `ws` is the caller's scratch arena (one per sequential run / parallel
+/// worker). It only ever holds buffers whose contents are overwritten
+/// before use, so unwinding mid-step cannot leave observable state behind
+/// (`AssertUnwindSafe` is justified).
 pub(crate) fn guarded_region_step(
     env: &StepEnv<'_>,
     region: &Bounds,
     ordinal: usize,
     stats: &mut VerifyStats,
+    ws: &mut Workspace,
 ) -> Result<RegionOutcome, VerifyError> {
-    let first = catch_unwind(AssertUnwindSafe(|| region_step(env, region, ordinal, stats)));
+    let first = catch_unwind(AssertUnwindSafe(|| {
+        region_step(env, region, ordinal, stats, ws)
+    }));
     match first {
         Ok(StepResult::Outcome(outcome)) => Ok(outcome),
         Ok(StepResult::Poisoned(_)) | Err(_) => {
-            let retry = catch_unwind(AssertUnwindSafe(|| coarse_region_step(env, region, stats)));
+            let retry = catch_unwind(AssertUnwindSafe(|| {
+                coarse_region_step(env, region, stats, ws)
+            }));
             match retry {
                 Ok(StepResult::Outcome(outcome)) => Ok(outcome),
                 Ok(StepResult::Poisoned(stage)) => Err(VerifyError::NonFinitePoisoning { stage }),
@@ -556,6 +569,7 @@ fn region_step(
     region: &Bounds,
     ordinal: usize,
     stats: &mut VerifyStats,
+    ws: &mut Workspace,
 ) -> StepResult {
     let config = env.config;
     let net = env.net;
@@ -631,7 +645,7 @@ fn region_step(
     // box is a point along every zero-width axis).
     if region.widths().iter().all(|w| *w <= f64::EPSILON) {
         stats.analyze_calls += 1;
-        return match analyze_checked(net, region, target, DomainChoice::interval()) {
+        return match analyze_checked_ws(net, region, target, DomainChoice::interval(), ws) {
             AnalysisOutcome::Proved => StepResult::Outcome(RegionOutcome::Verified),
             AnalysisOutcome::Poisoned => StepResult::Poisoned("transformer"),
             AnalysisOutcome::Inconclusive => {
@@ -664,7 +678,7 @@ fn region_step(
     let selection = if forced_nan {
         SelectionResult::Poisoned
     } else {
-        run_selection(net, region, target, choice, env.deadline)
+        run_selection(net, region, target, choice, env.deadline, ws)
     };
     match selection {
         SelectionResult::Verified => return StepResult::Outcome(RegionOutcome::Verified),
@@ -679,7 +693,7 @@ fn region_step(
             // First rung of the degradation ladder: retry this region on
             // the interval domain before splitting or giving up.
             stats.analyze_calls += 1;
-            match analyze_checked(net, region, target, DomainChoice::interval()) {
+            match analyze_checked_ws(net, region, target, DomainChoice::interval(), ws) {
                 AnalysisOutcome::Proved => return StepResult::Outcome(RegionOutcome::Verified),
                 AnalysisOutcome::Poisoned => return StepResult::Poisoned("transformer"),
                 AnalysisOutcome::Inconclusive => {}
@@ -708,9 +722,14 @@ fn region_step(
 
 /// The coarse retry: interval analysis plus a midpoint split, with no
 /// attack, no policy, and no faults. Used after a panic or poisoning.
-fn coarse_region_step(env: &StepEnv<'_>, region: &Bounds, stats: &mut VerifyStats) -> StepResult {
+fn coarse_region_step(
+    env: &StepEnv<'_>,
+    region: &Bounds,
+    stats: &mut VerifyStats,
+    ws: &mut Workspace,
+) -> StepResult {
     stats.analyze_calls += 1;
-    match analyze_checked(env.net, region, env.target, DomainChoice::interval()) {
+    match analyze_checked_ws(env.net, region, env.target, DomainChoice::interval(), ws) {
         AnalysisOutcome::Proved => StepResult::Outcome(RegionOutcome::Verified),
         AnalysisOutcome::Poisoned => StepResult::Poisoned("transformer"),
         AnalysisOutcome::Inconclusive => {
@@ -785,6 +804,7 @@ pub(crate) fn run_selection(
     target: usize,
     choice: DomainSelection,
     deadline: Instant,
+    ws: &mut Workspace,
 ) -> SelectionResult {
     let from_outcome = |outcome: AnalysisOutcome| match outcome {
         AnalysisOutcome::Proved => SelectionResult::Verified,
@@ -792,7 +812,9 @@ pub(crate) fn run_selection(
         AnalysisOutcome::Poisoned => SelectionResult::Poisoned,
     };
     match choice {
-        DomainSelection::Abstract(c) => from_outcome(analyze_checked(net, region, target, c)),
+        DomainSelection::Abstract(c) => {
+            from_outcome(analyze_checked_ws(net, region, target, c, ws))
+        }
         DomainSelection::DeepPoly => {
             // DeepPoly's margin comparison is NaN-safe (NaN reads as
             // "not verified"), so a poisoned run is merely inconclusive.
@@ -805,11 +827,12 @@ pub(crate) fn run_selection(
         DomainSelection::RefinedZonotope { lp_per_layer } => {
             if !complete::supports(net) {
                 // Architectures the LP cannot encode use the plain domain.
-                return from_outcome(analyze_checked(
+                return from_outcome(analyze_checked_ws(
                     net,
                     region,
                     target,
                     DomainChoice::zonotope(),
+                    ws,
                 ));
             }
             let Some(refined) =
@@ -819,25 +842,30 @@ pub(crate) fn run_selection(
             };
             // Propagate a zonotope, meeting each ReLU input with the
             // LP-refined box (sound: both over-approximate the truth).
-            let mut element = <domains::Zonotope as domains::AbstractElement>::from_bounds(region);
+            // Superseded elements are recycled into the worker workspace.
+            use domains::AbstractElement as _;
+            let mut element = domains::Zonotope::from_bounds(region);
             let mut relu_idx = 0;
             for layer in net.layers() {
-                use domains::AbstractElement as _;
-                match layer {
-                    nn::Layer::Affine(a) => element = element.affine(a),
+                let next = match layer {
+                    nn::Layer::Affine(a) => element.affine_ws(a, ws),
                     nn::Layer::Relu => {
                         if let Some(met) = element.meet_box(&refined.relu_inputs[relu_idx]) {
-                            element = met;
+                            let old = std::mem::replace(&mut element, met);
+                            old.recycle(ws);
                         }
                         relu_idx += 1;
-                        element = element.relu();
+                        element.relu()
                     }
-                    nn::Layer::MaxPool(p) => element = element.max_pool(p),
-                }
+                    nn::Layer::MaxPool(p) => element.max_pool(p),
+                };
+                let old = std::mem::replace(&mut element, next);
+                old.recycle(ws);
             }
-            use domains::AbstractElement as _;
             let margin = element.margin_lower_bound(target);
-            if element.is_poisoned() || margin.is_nan() {
+            let poisoned = element.is_poisoned();
+            element.recycle(ws);
+            if poisoned || margin.is_nan() {
                 SelectionResult::Poisoned
             } else if margin > 0.0 {
                 SelectionResult::Verified
@@ -849,11 +877,12 @@ pub(crate) fn run_selection(
             if !complete::supports(net) {
                 // Fall back to the strongest classic domain for
                 // architectures the solver cannot encode.
-                return from_outcome(analyze_checked(
+                return from_outcome(analyze_checked_ws(
                     net,
                     region,
                     target,
                     DomainChoice::zonotope(),
+                    ws,
                 ));
             }
             let solver = complete::CompleteSolver::with_node_budget(node_budget);

@@ -239,7 +239,7 @@ fn pick_undecided(enc: &Encoding, phases: &[Phase]) -> Option<usize> {
         .max_by(|(a, _), (b, _)| {
             let wa = enc.unstable[*a].3.min(-enc.unstable[*a].2);
             let wb = enc.unstable[*b].3.min(-enc.unstable[*b].2);
-            wa.partial_cmp(&wb).unwrap_or(std::cmp::Ordering::Equal)
+            wa.total_cmp(&wb)
         })
         .map(|(i, _)| i)
 }

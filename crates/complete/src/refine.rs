@@ -102,7 +102,7 @@ pub fn refined_relu_bounds(
                     .filter(|&slot| lo[slot] < 0.0 && hi[slot] > 0.0)
                     .map(|slot| (slot, hi[slot].min(-lo[slot])))
                     .collect();
-                unstable.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                unstable.sort_by(|a, b| b.1.total_cmp(&a.1));
 
                 for &(slot, _) in unstable.iter().take(max_lp_per_layer) {
                     if Instant::now() >= deadline {

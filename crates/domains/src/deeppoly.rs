@@ -40,13 +40,37 @@ impl Expr {
     }
 }
 
-/// Relational bounds of one analyzed layer: for each neuron, a lower and
-/// an upper expression over the *previous* layer, plus cached concrete
-/// bounds.
+/// The relational constraints one analyzed layer imposes on the previous
+/// one, in the densest representation the layer kind allows.
+///
+/// Affine layers share one weight matrix between the lower and upper
+/// relation (they are exact), and ReLU layers are diagonal — per-neuron
+/// slopes instead of `dim` dense unit expressions. Both make the
+/// back-substitution step a row-slice kernel rather than a walk over
+/// `O(dim²)` mostly-zero coefficients.
+#[derive(Debug, Clone)]
+enum LayerRelation {
+    /// `h_out = W h_prev + b`, exact in both directions.
+    Affine { weights: tensor::Matrix, bias: Vec<f64> },
+    /// Per-neuron bounds `lower_slope_i · x_i <= y_i <= upper_slope_i · x_i
+    /// + upper_const_i`.
+    Relu {
+        lower_slope: Vec<f64>,
+        upper_slope: Vec<f64>,
+        upper_const: Vec<f64>,
+    },
+    /// General per-neuron expression pairs (max-pool).
+    General {
+        lower_expr: Vec<Expr>,
+        upper_expr: Vec<Expr>,
+    },
+}
+
+/// Relational bounds of one analyzed layer: the relation to the *previous*
+/// layer, plus cached concrete bounds.
 #[derive(Debug, Clone)]
 struct LayerBounds {
-    lower_expr: Vec<Expr>,
-    upper_expr: Vec<Expr>,
+    relation: LayerRelation,
     lower: Vec<f64>,
     upper: Vec<f64>,
 }
@@ -143,29 +167,70 @@ impl DeepPoly {
 
     /// Back-substitutes `expr` (over the outputs of layer `upto - 1`)
     /// down to the input box and returns a sound lower bound.
+    ///
+    /// For a lower bound, positive coefficients pull in each neuron's
+    /// lower relation, negative ones its upper.
     fn lower_bound_of(&self, mut expr: Expr, upto: usize) -> f64 {
         for idx in (0..upto).rev() {
-            let layer = &self.layers[idx];
-            let prev_dim = layer
-                .lower_expr
-                .first()
-                .map_or(self.region.dim(), |e| e.coeffs.len());
-            let mut next = Expr::constant(prev_dim, expr.constant);
-            for (i, &c) in expr.coeffs.iter().enumerate() {
-                if c == 0.0 {
-                    continue;
+            expr = match &self.layers[idx].relation {
+                LayerRelation::Affine { weights, bias } => {
+                    // Both relations are the exact affine map, so the
+                    // substitution is one transposed matvec (row slices,
+                    // zero coefficients skipped) plus the bias dot.
+                    let coeffs = weights.matvec_transpose(&expr.coeffs);
+                    let mut constant = expr.constant;
+                    for (c, b) in expr.coeffs.iter().zip(bias.iter()) {
+                        if *c != 0.0 {
+                            constant += c * b;
+                        }
+                    }
+                    Expr { coeffs, constant }
                 }
-                // For a lower bound, positive coefficients pull in the
-                // neuron's lower expression, negative ones its upper.
-                let source = if c > 0.0 {
-                    &layer.lower_expr[i]
-                } else {
-                    &layer.upper_expr[i]
-                };
-                tensor::ops::axpy(c, &source.coeffs, &mut next.coeffs);
-                next.constant += c * source.constant;
-            }
-            expr = next;
+                LayerRelation::Relu {
+                    lower_slope,
+                    upper_slope,
+                    upper_const,
+                } => {
+                    // Diagonal relation: coordinate i of the new
+                    // expression depends only on coordinate i.
+                    let mut coeffs = expr.coeffs;
+                    let mut constant = expr.constant;
+                    for (i, c) in coeffs.iter_mut().enumerate() {
+                        if *c == 0.0 {
+                            continue;
+                        }
+                        if *c > 0.0 {
+                            *c *= lower_slope[i];
+                        } else {
+                            constant += *c * upper_const[i];
+                            *c *= upper_slope[i];
+                        }
+                    }
+                    Expr { coeffs, constant }
+                }
+                LayerRelation::General {
+                    lower_expr,
+                    upper_expr,
+                } => {
+                    let prev_dim = lower_expr
+                        .first()
+                        .map_or(self.region.dim(), |e| e.coeffs.len());
+                    let mut next = Expr::constant(prev_dim, expr.constant);
+                    for (i, &c) in expr.coeffs.iter().enumerate() {
+                        if c == 0.0 {
+                            continue;
+                        }
+                        let source = if c > 0.0 {
+                            &lower_expr[i]
+                        } else {
+                            &upper_expr[i]
+                        };
+                        tensor::ops::axpy(c, &source.coeffs, &mut next.coeffs);
+                        next.constant += c * source.constant;
+                    }
+                    next
+                }
+            };
         }
         // Evaluate the final expression over the input box.
         let mut v = expr.constant;
@@ -195,19 +260,11 @@ impl DeepPoly {
             "affine dimension mismatch"
         );
         let out = a.output_dim();
-        let mut lower_expr = Vec::with_capacity(out);
-        let mut upper_expr = Vec::with_capacity(out);
-        for r in 0..out {
-            let e = Expr {
-                coeffs: a.weights.row(r).to_vec(),
-                constant: a.bias[r],
-            };
-            lower_expr.push(e.clone());
-            upper_expr.push(e);
-        }
         self.layers.push(LayerBounds {
-            lower_expr,
-            upper_expr,
+            relation: LayerRelation::Affine {
+                weights: a.weights.clone(),
+                bias: a.bias.clone(),
+            },
             lower: vec![0.0; out],
             upper: vec![0.0; out],
         });
@@ -220,31 +277,32 @@ impl DeepPoly {
             Some(l) => (l.lower.clone(), l.upper.clone()),
             None => (self.region.lower().to_vec(), self.region.upper().to_vec()),
         };
-        let mut lower_expr = Vec::with_capacity(dim);
-        let mut upper_expr = Vec::with_capacity(dim);
+        let mut lower_slope = vec![0.0; dim];
+        let mut upper_slope = vec![0.0; dim];
+        let mut upper_const = vec![0.0; dim];
         for i in 0..dim {
             let (l, u) = (pre_lo[i], pre_hi[i]);
             if u <= 0.0 {
-                lower_expr.push(Expr::constant(dim, 0.0));
-                upper_expr.push(Expr::constant(dim, 0.0));
+                // Dead neuron: y = 0 in both directions.
             } else if l >= 0.0 {
-                lower_expr.push(Expr::unit(dim, i, 1.0));
-                upper_expr.push(Expr::unit(dim, i, 1.0));
+                lower_slope[i] = 1.0;
+                upper_slope[i] = 1.0;
             } else {
                 // Upper: the chord y <= u (x - l) / (u - l).
                 let slope = u / (u - l);
-                let mut up = Expr::unit(dim, i, slope);
-                up.constant = -slope * l;
-                upper_expr.push(up);
+                upper_slope[i] = slope;
+                upper_const[i] = -slope * l;
                 // Lower: y >= λ x with λ chosen to minimize relaxation
                 // area (DeepPoly's heuristic): λ = 1 when u > -l else 0.
-                let lambda = if u > -l { 1.0 } else { 0.0 };
-                lower_expr.push(Expr::unit(dim, i, lambda));
+                lower_slope[i] = if u > -l { 1.0 } else { 0.0 };
             }
         }
         self.layers.push(LayerBounds {
-            lower_expr,
-            upper_expr,
+            relation: LayerRelation::Relu {
+                lower_slope,
+                upper_slope,
+                upper_const,
+            },
             lower: vec![0.0; dim],
             upper: vec![0.0; dim],
         });
@@ -282,11 +340,7 @@ impl DeepPoly {
                     let best = group
                         .iter()
                         .copied()
-                        .max_by(|&a, &b| {
-                            pre_lo[a]
-                                .partial_cmp(&pre_lo[b])
-                                .unwrap_or(std::cmp::Ordering::Equal)
-                        })
+                        .max_by(|&a, &b| pre_lo[a].total_cmp(&pre_lo[b]))
                         .expect("non-empty pool group");
                     lower_expr.push(Expr::unit(in_dim, best, 1.0));
                     let hi = group
@@ -300,8 +354,10 @@ impl DeepPoly {
         self.layers.push(LayerBounds {
             lower: vec![0.0; lower_expr.len()],
             upper: vec![0.0; upper_expr.len()],
-            lower_expr,
-            upper_expr,
+            relation: LayerRelation::General {
+                lower_expr,
+                upper_expr,
+            },
         });
         self.refresh_concrete(box_bounds);
     }

@@ -1,6 +1,6 @@
 use nn::{AffineLayer, MaxPoolLayer};
 
-use crate::{AbstractElement, Bounds, ReluCoordOps};
+use crate::{AbstractElement, Bounds, ReluCoordOps, Workspace};
 
 /// The interval (box) abstract domain.
 ///
@@ -34,6 +34,34 @@ impl Interval {
     pub fn upper(&self) -> &[f64] {
         &self.upper
     }
+
+    /// Shared kernel for [`AbstractElement::affine`] /
+    /// [`AbstractElement::affine_ws`]: writes the output bounds of
+    /// `W x + b` into caller-provided buffers, one row-slice pass per
+    /// output neuron (no per-element index bounds checks).
+    fn affine_into(&self, layer: &AffineLayer, lower: &mut [f64], upper: &mut [f64]) {
+        for (r, (lo_out, hi_out)) in lower.iter_mut().zip(upper.iter_mut()).enumerate() {
+            let mut lo = layer.bias[r];
+            let mut hi = layer.bias[r];
+            for ((w, l), u) in layer
+                .weights
+                .row(r)
+                .iter()
+                .zip(self.lower.iter())
+                .zip(self.upper.iter())
+            {
+                if *w >= 0.0 {
+                    lo += w * l;
+                    hi += w * u;
+                } else {
+                    lo += w * u;
+                    hi += w * l;
+                }
+            }
+            *lo_out = lo;
+            *hi_out = hi;
+        }
+    }
 }
 
 impl AbstractElement for Interval {
@@ -57,22 +85,22 @@ impl AbstractElement for Interval {
         let out = layer.output_dim();
         let mut lower = vec![0.0; out];
         let mut upper = vec![0.0; out];
-        for r in 0..out {
-            let mut lo = layer.bias[r];
-            let mut hi = layer.bias[r];
-            for (c, w) in layer.weights.row(r).iter().enumerate() {
-                if *w >= 0.0 {
-                    lo += w * self.lower[c];
-                    hi += w * self.upper[c];
-                } else {
-                    lo += w * self.upper[c];
-                    hi += w * self.lower[c];
-                }
-            }
-            lower[r] = lo;
-            upper[r] = hi;
-        }
+        self.affine_into(layer, &mut lower, &mut upper);
         Interval { lower, upper }
+    }
+
+    fn affine_ws(&self, layer: &AffineLayer, ws: &mut Workspace) -> Self {
+        assert_eq!(self.dim(), layer.input_dim(), "affine dimension mismatch");
+        let out = layer.output_dim();
+        let mut lower = ws.take(out);
+        let mut upper = ws.take(out);
+        self.affine_into(layer, &mut lower, &mut upper);
+        Interval { lower, upper }
+    }
+
+    fn recycle(self, ws: &mut Workspace) {
+        ws.give(self.lower);
+        ws.give(self.upper);
     }
 
     fn relu(&self) -> Self {

@@ -58,6 +58,78 @@ pub use zonotope::Zonotope;
 
 use nn::{Layer, Network};
 
+/// A scratch arena of reusable `f64` buffers.
+///
+/// Region-level verification propagates thousands of abstract elements
+/// through the same network; without reuse every affine layer allocates a
+/// fresh center vector and generator matrix. A `Workspace` recycles those
+/// heap buffers across layers (and across regions, when the caller keeps
+/// one workspace per worker).
+///
+/// Ownership rules (see DESIGN.md "Performance architecture"):
+///
+/// * `take(len)` hands out a buffer of exactly `len` elements with
+///   **unspecified contents** — callers must overwrite every element
+///   (the `*_into` tensor kernels do).
+/// * `give(buf)` returns a buffer to the pool; the buffer must no longer
+///   be referenced anywhere else.
+/// * A workspace is single-threaded state: parallel verifiers keep one
+///   workspace per worker, never share one across threads.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pool: Vec<Vec<f64>>,
+}
+
+impl Workspace {
+    /// Maximum number of buffers retained in the pool; beyond this,
+    /// returned buffers are simply dropped.
+    const MAX_POOLED: usize = 64;
+
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Hands out a buffer of exactly `len` elements with unspecified
+    /// contents. Prefers a pooled buffer whose capacity already fits.
+    pub fn take(&mut self, len: usize) -> Vec<f64> {
+        if self.pool.is_empty() {
+            return vec![0.0; len];
+        }
+        let idx = self
+            .pool
+            .iter()
+            .position(|v| v.capacity() >= len)
+            .unwrap_or_else(|| {
+                // No buffer fits: grow the largest one instead of a
+                // small one, so capacity converges on the working set.
+                let mut best = 0;
+                for (i, v) in self.pool.iter().enumerate() {
+                    if v.capacity() > self.pool[best].capacity() {
+                        best = i;
+                    }
+                }
+                best
+            });
+        let mut v = self.pool.swap_remove(idx);
+        v.clear();
+        v.resize(len, 0.0);
+        v
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn give(&mut self, v: Vec<f64>) {
+        if v.capacity() > 0 && self.pool.len() < Self::MAX_POOLED {
+            self.pool.push(v);
+        }
+    }
+
+    /// Number of buffers currently pooled (diagnostics / tests).
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+}
+
 /// An abstract value that can be propagated through a ReLU network.
 ///
 /// Implementations must be *sound*: the concretization of the result of
@@ -74,6 +146,22 @@ pub trait AbstractElement: Clone + std::fmt::Debug + Sized {
 
     /// Abstract affine transformer for `y = W x + b`.
     fn affine(&self, layer: &nn::AffineLayer) -> Self;
+
+    /// [`AbstractElement::affine`] writing into scratch buffers from `ws`.
+    ///
+    /// Must compute bit-identical results to `affine`; the default simply
+    /// delegates. Domains that override this take their output buffers
+    /// from the workspace instead of allocating.
+    fn affine_ws(&self, layer: &nn::AffineLayer, _ws: &mut Workspace) -> Self {
+        self.affine(layer)
+    }
+
+    /// Returns the element's heap buffers to `ws` for reuse.
+    ///
+    /// The default drops the element. Callers must only recycle elements
+    /// they own exclusively (no outstanding clones sharing buffers —
+    /// which `Clone` on `Vec<f64>`-backed domains never produces).
+    fn recycle(self, _ws: &mut Workspace) {}
 
     /// Abstract ReLU transformer (applied to every coordinate).
     fn relu(&self) -> Self;
@@ -149,6 +237,44 @@ pub fn propagate_checked<E: AbstractElement>(net: &Network, element: E) -> Optio
             Layer::Relu => current.relu(),
             Layer::MaxPool(p) => current.max_pool(p),
         };
+        if current.is_poisoned() {
+            return None;
+        }
+    }
+    Some(current)
+}
+
+/// [`propagate_checked`] with a scratch [`Workspace`]: affine layers use
+/// [`AbstractElement::affine_ws`] and each intermediate element's buffers
+/// are recycled as soon as the next layer's output exists.
+///
+/// Produces bit-identical results to [`propagate_checked`].
+///
+/// # Panics
+///
+/// Panics if `element.dim() != net.input_dim()`.
+pub fn propagate_checked_ws<E: AbstractElement>(
+    net: &Network,
+    element: E,
+    ws: &mut Workspace,
+) -> Option<E> {
+    assert_eq!(
+        element.dim(),
+        net.input_dim(),
+        "element dimension must match network input"
+    );
+    if element.is_poisoned() {
+        return None;
+    }
+    let mut current = element;
+    for layer in net.layers() {
+        let next = match layer {
+            Layer::Affine(a) => current.affine_ws(a, ws),
+            Layer::Relu => current.relu(),
+            Layer::MaxPool(p) => current.max_pool(p),
+        };
+        current.recycle(ws);
+        current = next;
         if current.is_poisoned() {
             return None;
         }
@@ -278,33 +404,62 @@ pub fn analyze_checked(
     target: usize,
     choice: DomainChoice,
 ) -> AnalysisOutcome {
+    analyze_checked_ws(net, region, target, choice, &mut Workspace::new())
+}
+
+/// [`analyze_checked`] with a caller-provided scratch [`Workspace`], so
+/// repeated analyses (worklist verification) reuse heap buffers across
+/// regions instead of reallocating every layer.
+///
+/// Produces bit-identical outcomes to [`analyze_checked`].
+///
+/// # Panics
+///
+/// Panics if `region.dim() != net.input_dim()` or
+/// `target >= net.output_dim()`.
+pub fn analyze_checked_ws(
+    net: &Network,
+    region: &Bounds,
+    target: usize,
+    choice: DomainChoice,
+    ws: &mut Workspace,
+) -> AnalysisOutcome {
     assert!(target < net.output_dim(), "target class out of range");
     if region.has_nan() {
         return AnalysisOutcome::Poisoned;
     }
     match (choice.base, choice.disjuncts) {
-        (BaseDomain::Interval, 1) => {
-            margin_outcome(propagate_checked(net, Interval::from_bounds(region)), target)
-        }
-        (BaseDomain::Zonotope, 1) => {
-            margin_outcome(propagate_checked(net, Zonotope::from_bounds(region)), target)
-        }
+        (BaseDomain::Interval, 1) => margin_outcome_ws(
+            propagate_checked_ws(net, Interval::from_bounds(region), ws),
+            target,
+            ws,
+        ),
+        (BaseDomain::Zonotope, 1) => margin_outcome_ws(
+            propagate_checked_ws(net, Zonotope::from_bounds(region), ws),
+            target,
+            ws,
+        ),
         (BaseDomain::Interval, k) => {
             let element = Powerset::<Interval>::with_budget(region, k);
-            margin_outcome(propagate_checked(net, element), target)
+            margin_outcome_ws(propagate_checked_ws(net, element, ws), target, ws)
         }
         (BaseDomain::Zonotope, k) => {
             let element = Powerset::<Zonotope>::with_budget(region, k);
-            margin_outcome(propagate_checked(net, element), target)
+            margin_outcome_ws(propagate_checked_ws(net, element, ws), target, ws)
         }
     }
 }
 
-fn margin_outcome<E: AbstractElement>(element: Option<E>, target: usize) -> AnalysisOutcome {
+fn margin_outcome_ws<E: AbstractElement>(
+    element: Option<E>,
+    target: usize,
+    ws: &mut Workspace,
+) -> AnalysisOutcome {
     match element {
         None => AnalysisOutcome::Poisoned,
         Some(e) => {
             let margin = e.margin_lower_bound(target);
+            e.recycle(ws);
             if margin.is_nan() {
                 AnalysisOutcome::Poisoned
             } else if margin > 0.0 {
@@ -315,6 +470,7 @@ fn margin_outcome<E: AbstractElement>(element: Option<E>, target: usize) -> Anal
         }
     }
 }
+
 
 /// Operations on a single coordinate of an abstract element, used by the
 /// powerset domain to perform ReLU case splitting.

@@ -1,6 +1,6 @@
 use nn::{AffineLayer, MaxPoolLayer};
 
-use crate::{AbstractElement, Bounds, ReluCoordOps};
+use crate::{AbstractElement, Bounds, ReluCoordOps, Workspace};
 
 /// The bounded powerset domain: a disjunction of at most `budget` base
 /// elements.
@@ -67,7 +67,7 @@ impl<D: ReluCoordOps> Powerset<D> {
                 (lo < 0.0 && hi > 0.0).then(|| (i, hi.min(-lo)))
             })
             .collect();
-        unstable.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        unstable.sort_by(|a, b| b.1.total_cmp(&a.1));
         unstable.into_iter().map(|(i, _)| i).collect()
     }
 }
@@ -92,6 +92,23 @@ impl<D: ReluCoordOps> AbstractElement for Powerset<D> {
         Powerset {
             disjuncts: self.disjuncts.iter().map(|d| d.affine(layer)).collect(),
             budget: self.budget,
+        }
+    }
+
+    fn affine_ws(&self, layer: &AffineLayer, ws: &mut Workspace) -> Self {
+        Powerset {
+            disjuncts: self
+                .disjuncts
+                .iter()
+                .map(|d| d.affine_ws(layer, ws))
+                .collect(),
+            budget: self.budget,
+        }
+    }
+
+    fn recycle(self, ws: &mut Workspace) {
+        for d in self.disjuncts {
+            d.recycle(ws);
         }
     }
 

@@ -1,0 +1,263 @@
+//! Equivalence suite for the flat-generator zonotope: the blocked
+//! matrix-kernel transformers must agree with a naive per-generator
+//! `Vec<Vec<f64>>` reference (the pre-flat representation) within 1e-12,
+//! including the empty-generator and single-generator edge cases.
+
+use domains::{AbstractElement, Bounds, Zonotope};
+use nn::AffineLayer;
+use proptest::prelude::*;
+use tensor::Matrix;
+
+/// Reference zonotope with one `Vec<f64>` per generator, mirroring the
+/// semantics of the flat implementation transformer by transformer.
+#[derive(Debug, Clone)]
+struct NaiveZonotope {
+    center: Vec<f64>,
+    gens: Vec<Vec<f64>>,
+}
+
+impl NaiveZonotope {
+    fn from_bounds(bounds: &Bounds) -> Self {
+        let dim = bounds.dim();
+        let center = bounds.center();
+        let widths = bounds.widths();
+        let mut gens = Vec::new();
+        for (i, w) in widths.iter().enumerate() {
+            if *w > 0.0 {
+                let mut g = vec![0.0; dim];
+                g[i] = 0.5 * w;
+                gens.push(g);
+            }
+        }
+        NaiveZonotope { center, gens }
+    }
+
+    fn dim(&self) -> usize {
+        self.center.len()
+    }
+
+    /// Per-generator matvec affine map (the pre-flat implementation).
+    fn affine(&self, layer: &AffineLayer) -> Self {
+        let out = layer.output_dim();
+        let mut center = vec![0.0; out];
+        for (r, c) in center.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (w, x) in layer.weights.row(r).iter().zip(self.center.iter()) {
+                acc += w * x;
+            }
+            *c = acc + layer.bias[r];
+        }
+        let gens = self
+            .gens
+            .iter()
+            .map(|g| {
+                (0..out)
+                    .map(|r| {
+                        layer
+                            .weights
+                            .row(r)
+                            .iter()
+                            .zip(g.iter())
+                            .map(|(w, v)| w * v)
+                            .sum()
+                    })
+                    .collect()
+            })
+            .collect();
+        NaiveZonotope { center, gens }
+    }
+
+    fn radii(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim()];
+        for g in &self.gens {
+            for (acc, v) in out.iter_mut().zip(g.iter()) {
+                *acc += v.abs();
+            }
+        }
+        out
+    }
+
+    /// λ-relaxation ReLU mirroring the flat transformer: radii cached up
+    /// front, stable-negative coordinates projected, unstable coordinates
+    /// relaxed with a fresh box generator, zero rows pruned at the end.
+    fn relu(&self) -> Self {
+        let mut out = self.clone();
+        let radii = out.radii();
+        for (i, r) in radii.into_iter().enumerate() {
+            let (lo, hi) = (out.center[i] - r, out.center[i] + r);
+            if hi <= 0.0 {
+                out.center[i] = 0.0;
+                for g in &mut out.gens {
+                    g[i] = 0.0;
+                }
+            } else if lo < 0.0 {
+                let lambda = hi / (hi - lo);
+                let mu = -0.5 * lambda * lo;
+                out.center[i] = lambda * out.center[i] + mu;
+                for g in &mut out.gens {
+                    g[i] *= lambda;
+                }
+                let mut fresh = vec![0.0; out.dim()];
+                fresh[i] = mu;
+                out.gens.push(fresh);
+            }
+        }
+        out.gens.retain(|g| g.iter().any(|v| *v != 0.0));
+        out
+    }
+
+    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        let radii = self.radii();
+        let lower = self
+            .center
+            .iter()
+            .zip(radii.iter())
+            .map(|(c, r)| c - r)
+            .collect();
+        let upper = self
+            .center
+            .iter()
+            .zip(radii.iter())
+            .map(|(c, r)| c + r)
+            .collect();
+        (lower, upper)
+    }
+
+    fn margin_lower_bound(&self, target: usize) -> f64 {
+        let mut worst = f64::INFINITY;
+        for j in 0..self.dim() {
+            if j == target {
+                continue;
+            }
+            let dev: f64 = self.gens.iter().map(|g| (g[target] - g[j]).abs()).sum();
+            worst = worst.min(self.center[target] - self.center[j] - dev);
+        }
+        worst
+    }
+}
+
+fn assert_zonotopes_match(flat: &Zonotope, naive: &NaiveZonotope) {
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-12 * b.abs().max(1.0);
+    assert_eq!(flat.center().len(), naive.center.len());
+    for (a, b) in flat.center().iter().zip(naive.center.iter()) {
+        assert!(close(*a, *b), "center {a} vs naive {b}");
+    }
+    assert_eq!(
+        flat.num_generators(),
+        naive.gens.len(),
+        "generator counts diverged"
+    );
+    for (fg, ng) in flat.generator_rows().zip(naive.gens.iter()) {
+        for (a, b) in fg.iter().zip(ng.iter()) {
+            assert!(close(*a, *b), "generator entry {a} vs naive {b}");
+        }
+    }
+}
+
+fn deterministic_layer(out_dim: usize, in_dim: usize, seed: u64) -> AffineLayer {
+    let weights = Matrix::from_fn(out_dim, in_dim, |r, c| {
+        (((r * 13 + c * 7) as f64 + seed as f64) * 0.271).sin() * 2.0
+    });
+    let bias = (0..out_dim)
+        .map(|r| ((r as f64 + seed as f64) * 0.53).cos())
+        .collect();
+    AffineLayer::new(weights, bias)
+}
+
+fn deterministic_region(dim: usize, seed: u64) -> Bounds {
+    let lower: Vec<f64> = (0..dim)
+        .map(|i| ((i as f64 + seed as f64) * 0.37).sin() - 0.8)
+        .collect();
+    let upper: Vec<f64> = lower
+        .iter()
+        .enumerate()
+        .map(|(i, l)| l + ((i as f64 + seed as f64) * 0.19).cos().abs() + 0.1)
+        .collect();
+    Bounds::new(lower, upper)
+}
+
+proptest! {
+    /// One affine layer: flat blocked path equals per-generator matvecs.
+    #[test]
+    fn affine_matches_naive(dim in 1usize..7, out in 1usize..7, seed in 0u64..500) {
+        let region = deterministic_region(dim, seed);
+        let layer = deterministic_layer(out, dim, seed);
+        let flat = Zonotope::from_bounds(&region).affine(&layer);
+        let naive = NaiveZonotope::from_bounds(&region).affine(&layer);
+        assert_zonotopes_match(&flat, &naive);
+    }
+
+    /// Affine → ReLU → affine: the full hot path including pruning and
+    /// fresh noise symbols agrees exactly.
+    #[test]
+    fn affine_relu_chain_matches_naive(dim in 1usize..6, hidden in 1usize..8, seed in 0u64..500) {
+        let region = deterministic_region(dim, seed);
+        let l1 = deterministic_layer(hidden, dim, seed);
+        let l2 = deterministic_layer(3, hidden, seed ^ 0x99);
+
+        let flat = Zonotope::from_bounds(&region).affine(&l1).relu().affine(&l2);
+        let naive = NaiveZonotope::from_bounds(&region).affine(&l1).relu().affine(&l2);
+        assert_zonotopes_match(&flat, &naive);
+
+        let (nlo, nhi) = naive.bounds();
+        let fb = flat.bounds();
+        for i in 0..3 {
+            prop_assert!((fb.lower()[i] - nlo[i]).abs() <= 1e-12 * nlo[i].abs().max(1.0));
+            prop_assert!((fb.upper()[i] - nhi[i]).abs() <= 1e-12 * nhi[i].abs().max(1.0));
+        }
+        for t in 0..3 {
+            let fm = flat.margin_lower_bound(t);
+            let nm = naive.margin_lower_bound(t);
+            prop_assert!((fm - nm).abs() <= 1e-12 * nm.abs().max(1.0),
+                "margin {fm} vs naive {nm}");
+        }
+    }
+}
+
+#[test]
+fn empty_generator_zonotope_propagates() {
+    // A degenerate point region has zero generators; the flat kernels
+    // must handle the 0×n generator matrix.
+    let region = Bounds::new(vec![0.25, -0.5], vec![0.25, -0.5]);
+    let layer = deterministic_layer(3, 2, 11);
+    let flat = Zonotope::from_bounds(&region).affine(&layer).relu();
+    let naive = NaiveZonotope::from_bounds(&region).affine(&layer).relu();
+    assert_eq!(flat.num_generators(), naive.gens.len());
+    assert_zonotopes_match(&flat, &naive);
+    let b = flat.bounds();
+    // Point in, point out: lower == upper everywhere.
+    for i in 0..3 {
+        assert!((b.upper()[i] - b.lower()[i]).abs() <= 1e-12);
+    }
+}
+
+#[test]
+fn single_generator_zonotope_matches() {
+    // Exactly one coordinate has width, so the generator matrix has one
+    // row — the smallest non-empty blocked matmul.
+    let region = Bounds::new(vec![-1.0, 0.5], vec![1.0, 0.5]);
+    let layer = deterministic_layer(4, 2, 23);
+    let flat = Zonotope::from_bounds(&region).affine(&layer).relu();
+    let naive = NaiveZonotope::from_bounds(&region).affine(&layer).relu();
+    assert_zonotopes_match(&flat, &naive);
+}
+
+#[test]
+fn affine_no_longer_prunes_zero_rows() {
+    // A weight matrix with a zero column maps one generator to a zero
+    // row. The affine transformer must keep it (pruning now happens only
+    // after ReLU / order reduction), matching the naive reference which
+    // never pruned inside affine.
+    let region = Bounds::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+    let layer = AffineLayer::new(
+        Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 2.0]]),
+        vec![0.0, 0.0],
+    );
+    let flat = Zonotope::from_bounds(&region).affine(&layer);
+    // Generator for x0 maps to the zero row; both rows survive.
+    assert_eq!(flat.num_generators(), 2);
+    assert!(flat.generator_rows().next().unwrap().iter().all(|v| *v == 0.0));
+    // ReLU prunes it: outputs are stable-positive halves of [0, 1]/[0, 2].
+    let after = flat.relu();
+    assert_eq!(after.num_generators(), 1);
+}

@@ -25,6 +25,7 @@
 //! assert_eq!(net.classify(&[1.0, 1.0]), 0);
 //! ```
 
+mod batch;
 mod grad;
 mod layer;
 mod network;

@@ -79,14 +79,17 @@ impl Matrix {
     }
 
     /// Creates a matrix by evaluating `f(row, col)` at every position.
+    ///
+    /// Fills the flat row-major buffer directly, so building large weight
+    /// matrices pays no per-element bounds checks.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
-        let mut m = Matrix::zeros(rows, cols);
+        let mut data = Vec::with_capacity(rows * cols);
         for i in 0..rows {
             for j in 0..cols {
-                m.set(i, j, f(i, j));
+                data.push(f(i, j));
             }
         }
-        m
+        Matrix { rows, cols, data }
     }
 
     /// Number of rows.
@@ -131,6 +134,47 @@ impl Matrix {
     #[inline]
     pub fn row_mut(&mut self, row: usize) -> &mut [f64] {
         &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Iterates over the rows as contiguous slices.
+    ///
+    /// Inner loops over `rows_iter()` pay one bounds check per *row*
+    /// instead of one per element, unlike repeated `get()` calls.
+    #[inline]
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        // `chunks_exact(0)` panics; a matrix with zero columns has an
+        // empty buffer and `rows` conceptually empty rows.
+        let width = self.cols.max(1);
+        self.data
+            .chunks_exact(width)
+            .take(if self.cols == 0 { 0 } else { self.rows })
+    }
+
+    /// Iterates over the rows as mutable contiguous slices.
+    #[inline]
+    pub fn rows_iter_mut(&mut self) -> impl Iterator<Item = &mut [f64]> {
+        let width = self.cols.max(1);
+        let rows = if self.cols == 0 { 0 } else { self.rows };
+        self.data.chunks_exact_mut(width).take(rows)
+    }
+
+    /// Appends a row to the bottom of the matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.cols()`.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.cols, "push_row length mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Consumes the matrix, returning its flat row-major buffer.
+    ///
+    /// The buffer can be recycled through a scratch arena and later
+    /// rebuilt with [`Matrix::from_vec`] without reallocating.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
     }
 
     /// The flat row-major data buffer.
@@ -183,28 +227,177 @@ impl Matrix {
         y
     }
 
+    /// Matrix-vector product `self * x` written into a caller-provided
+    /// buffer (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `out.len() != self.rows()`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec_into dimension mismatch");
+        assert_eq!(out.len(), self.rows, "matvec_into output length mismatch");
+        for (yi, row) in out.iter_mut().zip(self.rows_iter()) {
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc += a * b;
+            }
+            *yi = acc;
+        }
+    }
+
+    /// Fused affine map `self * x + bias`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `bias.len() != self.rows()`.
+    pub fn matvec_bias(&self, x: &[f64], bias: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        self.matvec_bias_into(x, bias, &mut y);
+        y
+    }
+
+    /// Fused affine map `self * x + bias` written into a caller-provided
+    /// buffer. One pass over the weights; no temporary for `W x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`, or `bias`/`out` lengths differ
+    /// from `self.rows()`.
+    pub fn matvec_bias_into(&self, x: &[f64], bias: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec_bias_into dimension mismatch");
+        assert_eq!(bias.len(), self.rows, "matvec_bias_into bias mismatch");
+        assert_eq!(out.len(), self.rows, "matvec_bias_into output mismatch");
+        for ((yi, bi), row) in out.iter_mut().zip(bias.iter()).zip(self.rows_iter()) {
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc += a * b;
+            }
+            *yi = acc + bi;
+        }
+    }
+
     /// Matrix product `self * other`.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
-                if a == 0.0 {
+        self.gemm_into(other, &mut out.data);
+        out
+    }
+
+    /// Matrix product `self * other` written into a caller-provided
+    /// row-major buffer of length `self.rows() * other.cols()`.
+    ///
+    /// The buffer is fully overwritten; its prior contents are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()` or the buffer length is
+    /// wrong.
+    pub fn gemm_into(&self, other: &Matrix, out: &mut [f64]) {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let n = other.cols;
+        assert_eq!(out.len(), self.rows * n, "gemm_into output length mismatch");
+        out.fill(0.0);
+        if n == 0 {
+            return;
+        }
+        for (arow, orow) in self.rows_iter().zip(out.chunks_exact_mut(n)) {
+            for (k, &aik) in arow.iter().enumerate() {
+                if aik == 0.0 {
                     continue;
                 }
-                let orow = other.row(k);
-                let out_row = out.row_mut(i);
-                for (o, b) in out_row.iter_mut().zip(orow.iter()) {
-                    *o += a * b;
+                let brow = other.row(k);
+                for (o, b) in orow.iter_mut().zip(brow.iter()) {
+                    *o += aik * b;
                 }
             }
         }
+    }
+
+    /// Matrix product with a transposed right operand: `self * other^T`,
+    /// without materializing the transpose.
+    ///
+    /// Both operands are walked along contiguous rows, so this is the
+    /// cache-friendly kernel for "map every row of `self` through the
+    /// linear map `other`" (e.g. pushing a zonotope's generator matrix
+    /// through a layer's weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_transb(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_transb_into(other, &mut out.data);
         out
+    }
+
+    /// [`Matrix::matmul_transb`] writing into a caller-provided row-major
+    /// buffer of length `self.rows() * other.rows()`.
+    ///
+    /// The kernel is register-tiled: 4 rows of `self` meet 4 rows of
+    /// `other` in a 4×4 micro-kernel, so every operand load feeds four
+    /// multiply-adds instead of one, and the inner dimension is tiled so
+    /// the working set stays cache-resident. Remainder rows fall back to
+    /// narrower dot kernels. The buffer is fully overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()` or the buffer length is
+    /// wrong.
+    pub fn matmul_transb_into(&self, other: &Matrix, out: &mut [f64]) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transb inner dimension mismatch"
+        );
+        let (m, n, k) = (self.rows, other.rows, self.cols);
+        assert_eq!(out.len(), m * n, "matmul_transb output length mismatch");
+        // k-tile keeps the 8 active rows (4 of `self`, 4 of `other`)
+        // within L1: 8 * KB * 8 bytes = 32 KiB.
+        const KB: usize = 512;
+        out.fill(0.0);
+        let a = &self.data;
+        let b = &other.data;
+        let mut k0 = 0;
+        while k0 < k.max(1) {
+            let kb = KB.min(k - k0);
+            let arow = |r: usize| &a[r * k + k0..r * k + k0 + kb];
+            let brow = |r: usize| &b[r * k + k0..r * k + k0 + kb];
+            let mut i = 0;
+            while i + 4 <= m {
+                let (a0, a1, a2, a3) = (arow(i), arow(i + 1), arow(i + 2), arow(i + 3));
+                let mut j = 0;
+                while j + 4 <= n {
+                    let tile = tile4x4(
+                        [a0, a1, a2, a3],
+                        [brow(j), brow(j + 1), brow(j + 2), brow(j + 3)],
+                    );
+                    for (r, row) in tile.iter().enumerate() {
+                        for (c, v) in row.iter().enumerate() {
+                            out[(i + r) * n + j + c] += v;
+                        }
+                    }
+                    j += 4;
+                }
+                while j < n {
+                    let dots = dot4_unrolled(a0, a1, a2, a3, brow(j));
+                    for (r, d) in dots.into_iter().enumerate() {
+                        out[(i + r) * n + j] += d;
+                    }
+                    j += 1;
+                }
+                i += 4;
+            }
+            while i < m {
+                for j in 0..n {
+                    out[i * n + j] += dot_unrolled(arow(i), brow(j));
+                }
+                i += 1;
+            }
+            k0 += kb.max(1);
+        }
     }
 
     /// Returns the transpose of this matrix.
@@ -249,6 +442,119 @@ impl Matrix {
     pub fn norm_frobenius(&self) -> f64 {
         self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
     }
+}
+
+/// Dot product with eight independent accumulators.
+///
+/// A single-accumulator dot is latency-bound: every add waits on the
+/// previous one, capping throughput at one element per FP-add latency.
+/// Eight parallel chains keep the adder pipeline full (and give LLVM a
+/// reduction it can vectorize). The price is a different summation
+/// association than a naive ascending loop — equal within the usual
+/// `O(k·eps)` reassociation error, covered by the kernel equivalence
+/// suite.
+/// 4×4 register-tile micro-kernel: sixteen dot products between four
+/// left rows and four right rows, sharing every operand load across four
+/// multiply-adds.
+///
+/// This is the classic GEMM register tile. Sixteen independent
+/// accumulator chains hide FP-add latency, and the load:FLOP ratio drops
+/// from 2:1 (plain dot) to 1:2, which is what lifts the kernel off the
+/// load-port ceiling. Same reassociation caveat as [`dot_unrolled`].
+///
+/// All eight slices must have equal length (callers slice them to the
+/// same k-tile).
+#[inline]
+fn tile4x4(a: [&[f64]; 4], b: [&[f64]; 4]) -> [[f64; 4]; 4] {
+    let kb = b[0].len();
+    let mut acc = [[0.0f64; 4]; 4];
+    let chunks = kb / 4;
+    for c in 0..chunks {
+        let o = c * 4;
+        let lane = |s: &[f64]| -> [f64; 4] { s[o..o + 4].try_into().expect("chunk is 4 wide") };
+        let la = a.map(lane);
+        let lb = b.map(lane);
+        for (ai, arow) in la.iter().enumerate() {
+            for (bj, brow) in lb.iter().enumerate() {
+                let mut s = 0.0;
+                for l in 0..4 {
+                    s += arow[l] * brow[l];
+                }
+                acc[ai][bj] += s;
+            }
+        }
+    }
+    for o in chunks * 4..kb {
+        for (ai, arow) in a.iter().enumerate() {
+            let av = arow[o];
+            for (bj, brow) in b.iter().enumerate() {
+                acc[ai][bj] += av * brow[o];
+            }
+        }
+    }
+    acc
+}
+
+/// Four simultaneous dot products against a shared right-hand side.
+///
+/// The dominant cost of the blocked kernel is load traffic: a plain dot
+/// issues two loads per multiply-add. Amortizing each `b` load over four
+/// `a` rows drops that to 1.25 loads per multiply-add, and the sixteen
+/// independent accumulator chains keep the FP pipeline saturated. Same
+/// reassociation caveat as [`dot_unrolled`].
+///
+/// All five slices must have equal length (callers slice them to the
+/// same k-tile).
+#[inline]
+fn dot4_unrolled(a0: &[f64], a1: &[f64], a2: &[f64], a3: &[f64], b: &[f64]) -> [f64; 4] {
+    let mut acc = [[0.0f64; 4]; 4];
+    let mut c0 = a0.chunks_exact(4);
+    let mut c1 = a1.chunks_exact(4);
+    let mut c2 = a2.chunks_exact(4);
+    let mut c3 = a3.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for ((((r0, r1), r2), r3), bb) in (&mut c0).zip(&mut c1).zip(&mut c2).zip(&mut c3).zip(&mut cb)
+    {
+        let r0: &[f64; 4] = r0.try_into().expect("chunk is 4 wide");
+        let r1: &[f64; 4] = r1.try_into().expect("chunk is 4 wide");
+        let r2: &[f64; 4] = r2.try_into().expect("chunk is 4 wide");
+        let r3: &[f64; 4] = r3.try_into().expect("chunk is 4 wide");
+        let bb: &[f64; 4] = bb.try_into().expect("chunk is 4 wide");
+        for i in 0..4 {
+            acc[0][i] += r0[i] * bb[i];
+            acc[1][i] += r1[i] * bb[i];
+            acc[2][i] += r2[i] * bb[i];
+            acc[3][i] += r3[i] * bb[i];
+        }
+    }
+    let tail = b.len() - cb.remainder().len();
+    for o in tail..b.len() {
+        acc[0][0] += a0[o] * b[o];
+        acc[1][0] += a1[o] * b[o];
+        acc[2][0] += a2[o] * b[o];
+        acc[3][0] += a3[o] * b[o];
+    }
+    let reduce = |s: &[f64; 4]| (s[0] + s[2]) + (s[1] + s[3]);
+    [reduce(&acc[0]), reduce(&acc[1]), reduce(&acc[2]), reduce(&acc[3])]
+}
+
+#[inline]
+fn dot_unrolled(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 8];
+    let mut chunks_a = a.chunks_exact(8);
+    let mut chunks_b = b.chunks_exact(8);
+    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+        let ca: &[f64; 8] = ca.try_into().expect("chunk is 8 wide");
+        let cb: &[f64; 8] = cb.try_into().expect("chunk is 8 wide");
+        for i in 0..8 {
+            acc[i] += ca[i] * cb[i];
+        }
+    }
+    let mut tail = 0.0;
+    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        tail += x * y;
+    }
+    (((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]))) + tail
 }
 
 impl std::fmt::Display for Matrix {
@@ -323,5 +629,90 @@ mod tests {
         let m = Matrix::from_fn(2, 2, |i, j| (i * 10 + j) as f64);
         assert_eq!(m.get(1, 0), 10.0);
         assert_eq!(m.get(1, 1), 11.0);
+    }
+
+    #[test]
+    fn from_fn_is_row_major_order() {
+        let mut calls = Vec::new();
+        Matrix::from_fn(2, 3, |i, j| {
+            calls.push((i, j));
+            0.0
+        });
+        assert_eq!(
+            calls,
+            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+        );
+    }
+
+    #[test]
+    fn rows_iter_yields_each_row() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let rows: Vec<&[f64]> = m.rows_iter().collect();
+        assert_eq!(rows, vec![&[1.0, 2.0][..], &[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!(Matrix::zeros(3, 0).rows_iter().count(), 0);
+        assert_eq!(Matrix::zeros(0, 3).rows_iter().count(), 0);
+    }
+
+    #[test]
+    fn push_row_grows_matrix() {
+        let mut m = Matrix::zeros(0, 2);
+        m.push_row(&[1.0, 2.0]);
+        m.push_row(&[3.0, 4.0]);
+        assert_eq!(m, Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+    }
+
+    #[test]
+    fn matvec_bias_fuses_add() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let x = [1.0, -1.0];
+        let bias = [10.0, 20.0];
+        assert_eq!(m.matvec_bias(&x, &bias), vec![9.0, 19.0]);
+        let mut out = vec![f64::NAN; 2];
+        m.matvec_bias_into(&x, &bias, &mut out);
+        assert_eq!(out, vec![9.0, 19.0]);
+    }
+
+    #[test]
+    fn matmul_transb_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.0, -1.0], &[2.0, 1.0, 0.5], &[0.0, 3.0, 1.0]]);
+        assert_eq!(a.matmul_transb(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn matmul_transb_blocked_on_large_shapes() {
+        // Shapes that exercise the IB/KB tiling remainders.
+        let a = Matrix::from_fn(13, 700, |i, j| ((i * 31 + j * 7) % 11) as f64 - 5.0);
+        let b = Matrix::from_fn(9, 700, |i, j| ((i * 17 + j * 3) % 13) as f64 - 6.0);
+        let blocked = a.matmul_transb(&b);
+        let naive = a.matmul(&b.transpose());
+        for (x, y) in blocked.as_slice().iter().zip(naive.as_slice()) {
+            assert!((x - y).abs() < 1e-9, "blocked {x} vs naive {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_transb_empty_inner_dim_is_zero() {
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(2, 0);
+        assert_eq!(a.matmul_transb(&b), Matrix::zeros(3, 2));
+    }
+
+    #[test]
+    fn gemm_into_overwrites_stale_buffer() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let mut out = vec![f64::NAN; 4];
+        a.gemm_into(&b, &mut out);
+        assert_eq!(out, vec![2.0, 1.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let x = [1.0, -1.0];
+        let mut out = vec![f64::NAN; 3];
+        m.matvec_into(&x, &mut out);
+        assert_eq!(out, m.matvec(&x));
     }
 }

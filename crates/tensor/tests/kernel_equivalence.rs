@@ -1,0 +1,152 @@
+//! Equivalence suite for the blocked/fused matrix kernels: every fast
+//! path must agree with a straightforward triple-loop reference within
+//! 1e-12, including empty and single-row edge cases.
+
+use proptest::prelude::*;
+use tensor::Matrix;
+
+/// Reference `W x` with explicit index loops.
+fn naive_matvec(w: &Matrix, x: &[f64]) -> Vec<f64> {
+    (0..w.rows())
+        .map(|r| (0..w.cols()).map(|c| w.row(r)[c] * x[c]).sum())
+        .collect()
+}
+
+/// Reference `A · Bᵀ` with explicit index loops.
+fn naive_matmul_transb(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    for i in 0..a.rows() {
+        for j in 0..b.rows() {
+            let mut acc = 0.0;
+            for k in 0..a.cols() {
+                acc += a.row(i)[k] * b.row(j)[k];
+            }
+            out.row_mut(i)[j] = acc;
+        }
+    }
+    out
+}
+
+/// Reference `A · B` with explicit index loops.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0;
+            for k in 0..a.cols() {
+                acc += a.row(i)[k] * b.row(k)[j];
+            }
+            out.row_mut(i)[j] = acc;
+        }
+    }
+    out
+}
+
+fn assert_close(fast: &[f64], reference: &[f64]) {
+    assert_eq!(fast.len(), reference.len());
+    for (a, b) in fast.iter().zip(reference.iter()) {
+        assert!(
+            (a - b).abs() <= 1e-12 * b.abs().max(1.0),
+            "kernel {a} vs reference {b}"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn matvec_bias_matches_naive(rows in 1usize..12, cols in 1usize..12, seed in 0u64..1000) {
+        let w = deterministic_matrix(rows, cols, seed);
+        let x: Vec<f64> = (0..cols).map(|i| ((seed + i as u64) as f64 * 0.37).sin() * 4.0).collect();
+        let bias: Vec<f64> = (0..rows).map(|i| ((seed + i as u64) as f64 * 0.61).cos() * 2.0).collect();
+        let mut reference = naive_matvec(&w, &x);
+        for (r, b) in reference.iter_mut().zip(bias.iter()) {
+            *r += b;
+        }
+        assert_close(&w.matvec_bias(&x, &bias), &reference);
+
+        let mut out = vec![f64::NAN; rows];
+        w.matvec_bias_into(&x, &bias, &mut out);
+        assert_close(&out, &reference);
+    }
+
+    #[test]
+    fn matmul_transb_matches_naive_on_random_shapes(
+        arows in 1usize..10,
+        k in 1usize..600,
+        jrows in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let a = deterministic_matrix(arows, k, seed);
+        let b = deterministic_matrix(jrows, k, seed ^ 7);
+        let fast = a.matmul_transb(&b);
+        let reference = naive_matmul_transb(&a, &b);
+        assert_close(fast.as_slice(), reference.as_slice());
+
+        let mut out = vec![f64::NAN; a.rows() * jrows];
+        a.matmul_transb_into(&b, &mut out);
+        assert_close(&out, reference.as_slice());
+    }
+
+    #[test]
+    fn gemm_matches_naive(m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in 0u64..1000) {
+        let a = deterministic_matrix(m, k, seed);
+        let b = deterministic_matrix(k, n, seed ^ 0x5a5a);
+        let fast = a.matmul(&b);
+        let reference = naive_matmul(&a, &b);
+        assert_close(fast.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec_random(rows in 1usize..10, cols in 1usize..10, seed in 0u64..1000) {
+        let w = deterministic_matrix(rows, cols, seed);
+        let x: Vec<f64> = (0..cols).map(|i| ((seed + 3 * i as u64) as f64 * 0.11).sin()).collect();
+        let mut out = vec![f64::NAN; rows];
+        w.matvec_into(&x, &mut out);
+        assert_close(&out, &naive_matvec(&w, &x));
+    }
+}
+
+fn deterministic_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        (((r * 31 + c * 17) as f64 + seed as f64) * 0.193).sin() * 5.0
+    })
+}
+
+#[test]
+fn empty_inner_dimension_yields_zero_products() {
+    let a = Matrix::zeros(3, 0);
+    let b = Matrix::zeros(4, 0);
+    let out = a.matmul_transb(&b);
+    assert_eq!(out.rows(), 3);
+    assert_eq!(out.cols(), 4);
+    assert!(out.as_slice().iter().all(|v| *v == 0.0));
+}
+
+#[test]
+fn empty_row_count_yields_empty_product() {
+    let a = Matrix::zeros(0, 5);
+    let b = deterministic_matrix(3, 5, 1);
+    let out = a.matmul_transb(&b);
+    assert_eq!(out.rows(), 0);
+    assert_eq!(out.cols(), 3);
+}
+
+#[test]
+fn single_row_matmul_transb_is_a_matvec() {
+    let a = deterministic_matrix(1, 9, 2);
+    let b = deterministic_matrix(4, 9, 3);
+    let product = a.matmul_transb(&b);
+    let per_row: Vec<f64> = b.rows_iter().map(|r| tensor::ops::dot(a.row(0), r)).collect();
+    assert_close(product.as_slice(), &per_row);
+}
+
+#[test]
+fn blocked_kernel_exercises_k_tiling_remainders() {
+    // 700 columns crosses the 512-wide k-tile boundary with a remainder;
+    // 13 and 9 rows cross the row-block boundary with remainders.
+    let a = deterministic_matrix(13, 700, 4);
+    let b = deterministic_matrix(9, 700, 5);
+    let fast = a.matmul_transb(&b);
+    let reference = naive_matmul_transb(&a, &b);
+    assert_close(fast.as_slice(), reference.as_slice());
+}

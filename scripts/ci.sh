@@ -8,3 +8,12 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q -p charon --test chaos --profile ci
+
+# Kernel perf harness smoke run: validates the harness executes and the
+# machine-readable schema is intact (full runs regenerate the committed
+# BENCH_kernels.json baseline; see DESIGN.md "Performance architecture").
+smoke_out="$(mktemp)"
+cargo run --release -q -p bench --bin perf_kernels -- --smoke --out "$smoke_out"
+grep -q '"schema": "bench-kernels-v1"' "$smoke_out"
+grep -q '"name": "zonotope_affine"' "$smoke_out"
+rm -f "$smoke_out"
