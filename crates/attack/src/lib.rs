@@ -9,6 +9,22 @@
 //! A point with `F(x) <= 0` is a true adversarial counterexample; points
 //! with `F(x) <= δ` are the δ-counterexamples of Definition 5.3.
 //!
+//! # API invariants
+//!
+//! * [`Minimizer::minimize`] always returns a point inside the given
+//!   region (every step is projected back onto the box), and never
+//!   reports an objective it did not evaluate at that point.
+//! * The search is deterministic for a fixed seed and restart count.
+//! * The minimizer itself does not filter non-finite objectives; the
+//!   verifier treats a NaN objective as a poisoned attack (never as a
+//!   refutation) and falls back to abstraction — see the failure model
+//!   in the `charon` crate docs.
+//! * [`Minimizer::minimize_traced`] is the observability twin of
+//!   `minimize`: identical search, plus one [`PhaseStat`] per phase
+//!   (center probe, FGSM, coordinate descent, PGD restarts) with
+//!   evaluation counts, best objective, and wall time. The untraced path
+//!   reads no clocks.
+//!
 //! # Examples
 //!
 //! ```
@@ -397,6 +413,30 @@ pub fn fgsm_step(net: &Network, region: &Bounds, target: usize, start: &[f64]) -
     x
 }
 
+/// Timing and outcome of one attack phase inside
+/// [`Minimizer::minimize_traced`].
+#[derive(Debug, Clone)]
+pub struct PhaseStat {
+    /// Phase name: `center`, `fgsm`, `coordinate`, or `restarts`.
+    pub phase: &'static str,
+    /// Gradient/objective evaluations this phase contributed.
+    pub evals: usize,
+    /// Best objective over the whole minimization *after* this phase.
+    pub best_objective: f64,
+    /// Wall-clock seconds of this phase.
+    pub seconds: f64,
+}
+
+/// Per-phase statistics of one traced minimization run.
+///
+/// A minimization that early-exits on a found counterexample records
+/// only the phases that actually ran.
+#[derive(Debug, Clone, Default)]
+pub struct MinimizeTrace {
+    /// The phases that ran, in execution order.
+    pub phases: Vec<PhaseStat>,
+}
+
 /// Multi-restart minimizer for the robustness objective (the `Minimize`
 /// call at line 2 of Algorithm 1).
 ///
@@ -446,9 +486,63 @@ impl Minimizer {
     /// Panics if `region.dim() != net.input_dim()` or `target` is out of
     /// range.
     pub fn minimize(&self, net: &Network, region: &Bounds, target: usize) -> AttackResult {
+        self.minimize_impl(net, region, target, None)
+    }
+
+    /// [`Minimizer::minimize`], additionally returning per-phase timing
+    /// and evaluation counts.
+    ///
+    /// The untraced [`Minimizer::minimize`] path performs no clock reads;
+    /// use it when the statistics are not needed.
+    ///
+    /// # Panics
+    ///
+    /// As [`Minimizer::minimize`].
+    pub fn minimize_traced(
+        &self,
+        net: &Network,
+        region: &Bounds,
+        target: usize,
+    ) -> (AttackResult, MinimizeTrace) {
+        let mut trace = MinimizeTrace::default();
+        let result = self.minimize_impl(net, region, target, Some(&mut trace));
+        (result, trace)
+    }
+
+    /// Shared phase driver: `trace = None` is the production path (no
+    /// `Instant` reads), `Some` records a [`PhaseStat`] per phase run.
+    fn minimize_impl(
+        &self,
+        net: &Network,
+        region: &Bounds,
+        target: usize,
+        mut trace: Option<&mut MinimizeTrace>,
+    ) -> AttackResult {
+        use std::time::Instant;
+        let mut phase_start = trace.as_ref().map(|_| Instant::now());
+        // Appends one phase row and restarts the phase clock (tracing
+        // runs only; a no-op otherwise).
+        let record = |trace: &mut Option<&mut MinimizeTrace>,
+                      phase_start: &mut Option<Instant>,
+                      phase: &'static str,
+                      evals: usize,
+                      best_objective: f64| {
+            if let Some(t) = trace.as_deref_mut() {
+                let start = phase_start.expect("phase clock runs while tracing");
+                t.phases.push(PhaseStat {
+                    phase,
+                    evals,
+                    best_objective,
+                    seconds: start.elapsed().as_secs_f64(),
+                });
+                *phase_start = Some(Instant::now());
+            }
+        };
+
         let mut rng = StdRng::seed_from_u64(self.seed);
         let center = region.center();
         let mut best = pgd(net, region, target, &center, &self.config);
+        record(&mut trace, &mut phase_start, "center", best.evals, best.objective);
         if best.objective <= 0.0 {
             return best;
         }
@@ -456,7 +550,9 @@ impl Minimizer {
         // FGSM-seeded run: jump to the steepest corner, then refine.
         let corner = fgsm_step(net, region, target, &center);
         let run = pgd(net, region, target, &corner, &self.config);
+        let before = best.evals;
         best = merge(best, run);
+        record(&mut trace, &mut phase_start, "fgsm", best.evals - before, best.objective);
         if best.objective <= 0.0 {
             return best;
         }
@@ -465,7 +561,9 @@ impl Minimizer {
         // brightening attacks of §7.1) often hide their minima in
         // corners that gradient steps orbit around.
         let run = coordinate_descent(net, region, target, &center, 2);
+        let before = best.evals;
         best = merge(best, run);
+        record(&mut trace, &mut phase_start, "coordinate", best.evals - before, best.objective);
         if best.objective <= 0.0 {
             return best;
         }
@@ -478,7 +576,9 @@ impl Minimizer {
                 starts.push_row(&region.sample(&mut rng));
             }
             let run = pgd_batch(net, region, target, &starts, &self.config);
+            let before = best.evals;
             best = merge(best, run);
+            record(&mut trace, &mut phase_start, "restarts", best.evals - before, best.objective);
         }
         best
     }

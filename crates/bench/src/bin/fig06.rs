@@ -21,6 +21,10 @@ fn main() {
     ];
     let mut totals: Vec<Summary> = vec![Summary::default(); tools.len()];
     let mut csv_rows: Vec<(String, usize, bench::ToolRun)> = Vec::new();
+    // Aggregate per-phase engine metrics over every Charon run so the
+    // figure also answers *where* the time went (see EXPERIMENTS.md,
+    // "Profiling the gap").
+    let mut charon_metrics = charon::Metrics::default();
 
     for which in ZooNetwork::ALL {
         let suite = build_suite(which, &scale);
@@ -37,6 +41,11 @@ fn main() {
             print_summary_row(kind.name(), &summary);
             merge(&mut totals[t], &summary);
             for (i, run) in runs.into_iter().enumerate() {
+                if *kind == ToolKind::Charon {
+                    if let Some(m) = &run.metrics {
+                        charon_metrics.merge(m);
+                    }
+                }
                 csv_rows.push((format!("{}/{}", kind.name(), which.name()), i, run));
             }
         }
@@ -47,6 +56,9 @@ fn main() {
         .collect();
     if let Some(path) = write_csv("fig06", &borrowed) {
         println!("\n(raw results written to {})", path.display());
+    }
+    if let Some(path) = write_metrics_json(&charon_metrics) {
+        println!("(charon phase metrics written to {})", path.display());
     }
 
     println!("\n== Aggregate (paper Figure 6) ==");
@@ -68,6 +80,21 @@ fn main() {
             charon.solved() as f64 / zonotope.solved() as f64
         );
     }
+}
+
+/// Writes the aggregated Charon metrics as JSON under `bench_out/`,
+/// using the same hand-rolled encoding as the trace events. Returns
+/// `None` instead of aborting when the filesystem is read-only.
+fn write_metrics_json(metrics: &charon::Metrics) -> Option<std::path::PathBuf> {
+    let dir = std::path::Path::new("bench_out");
+    std::fs::create_dir_all(dir).ok()?;
+    let path = dir.join("fig06_metrics.json");
+    let json = format!(
+        "{{\"schema\": \"fig06-metrics-v1\", \"tool\": \"Charon\", \"metrics\": {}}}\n",
+        metrics.to_json()
+    );
+    std::fs::write(&path, json).ok()?;
+    Some(path)
 }
 
 fn merge(into: &mut Summary, from: &Summary) {

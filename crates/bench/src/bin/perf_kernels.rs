@@ -209,11 +209,26 @@ fn bench_region_throughput(width: usize, depth: usize, reps: usize) -> Sample {
     }
 }
 
+/// One small end-to-end verification, returning the engine's per-phase
+/// metrics so kernel-level numbers sit next to where the verifier
+/// actually spends its time. Tracing stays off (the default `NullSink`);
+/// only the always-on metrics counters are exercised.
+fn phase_metrics() -> charon::Metrics {
+    let net = nn::samples::xor_network();
+    let property =
+        charon::RobustnessProperty::new(Bounds::new(vec![0.3, 0.3], vec![0.7, 0.7]), 1);
+    match charon::Verifier::default().try_verify_run(&net, &property) {
+        Ok(run) => run.stats.metrics,
+        Err(_) => charon::Metrics::default(),
+    }
+}
+
 /// Hand-rolled JSON (the workspace deliberately has no serde_json).
-fn render_json(samples: &[Sample], smoke: bool) -> String {
+fn render_json(samples: &[Sample], smoke: bool, phases: &charon::Metrics) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"schema\": \"bench-kernels-v1\",");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"phases\": {},", phases.to_json());
     out.push_str("  \"samples\": [\n");
     for (i, s) in samples.iter().enumerate() {
         let comma = if i + 1 < samples.len() { "," } else { "" };
@@ -240,6 +255,7 @@ fn validate_json(json: &str) {
         "\"samples\": [",
         "\"name\": \"zonotope_affine\"",
         "\"speedup\":",
+        "\"phases\":",
     ] {
         assert!(json.contains(needle), "JSON schema lost field: {needle}");
     }
@@ -279,7 +295,7 @@ fn main() {
         );
     }
 
-    let json = render_json(&samples, smoke);
+    let json = render_json(&samples, smoke, &phase_metrics());
     validate_json(&json);
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     println!("wrote {out_path}");

@@ -138,10 +138,12 @@ impl Tool {
     }
 
     /// Runs the tool on one benchmark with a timeout, returning the
-    /// verdict and elapsed wall-clock time.
+    /// verdict and elapsed wall-clock time. Charon variants also surface
+    /// the engine's per-phase [`charon::Metrics`]; baselines report
+    /// `None`.
     pub fn run(&self, net: &Network, benchmark: &Benchmark, timeout: Duration) -> ToolRun {
         let start = Instant::now();
-        let verdict = match self.kind {
+        let (verdict, metrics) = match self.kind {
             ToolKind::Charon => self.run_charon(net, benchmark, timeout, true, None),
             ToolKind::CharonNoCex => self.run_charon(net, benchmark, timeout, false, None),
             ToolKind::CharonFixedZonotope => self.run_charon(
@@ -165,11 +167,7 @@ impl Tool {
                     ..VerifierConfig::default()
                 };
                 let verifier = Verifier::new(Arc::clone(&self.policy), config);
-                match verifier.verify(net, &benchmark.property) {
-                    Verdict::Verified => ToolVerdict::Verified,
-                    Verdict::Refuted(cex) => ToolVerdict::Falsified(cex.point),
-                    Verdict::ResourceLimit => ToolVerdict::Timeout,
-                }
+                run_verifier(&verifier, net, benchmark)
             }
             ToolKind::CharonDeepPoly => {
                 let config = VerifierConfig {
@@ -179,20 +177,23 @@ impl Tool {
                 let policy = Arc::new(charon::policy::FixedPolicy::with_selection(
                     charon::policy::DomainSelection::DeepPoly,
                 ));
-                match Verifier::new(policy, config).verify(net, &benchmark.property) {
-                    Verdict::Verified => ToolVerdict::Verified,
-                    Verdict::Refuted(cex) => ToolVerdict::Falsified(cex.point),
-                    Verdict::ResourceLimit => ToolVerdict::Timeout,
-                }
+                run_verifier(&Verifier::new(policy, config), net, benchmark)
             }
-            ToolKind::Ai2Zonotope => Ai2::zonotope().analyze(net, &benchmark.property, timeout),
-            ToolKind::Ai2Bounded64 => Ai2::bounded64().analyze(net, &benchmark.property, timeout),
-            ToolKind::ReluVal => ReluVal::default().analyze(net, &benchmark.property, timeout),
-            ToolKind::Reluplex => Reluplex::default().analyze(net, &benchmark.property, timeout),
+            ToolKind::Ai2Zonotope => {
+                (Ai2::zonotope().analyze(net, &benchmark.property, timeout), None)
+            }
+            ToolKind::Ai2Bounded64 => {
+                (Ai2::bounded64().analyze(net, &benchmark.property, timeout), None)
+            }
+            ToolKind::ReluVal => (ReluVal::default().analyze(net, &benchmark.property, timeout), None),
+            ToolKind::Reluplex => {
+                (Reluplex::default().analyze(net, &benchmark.property, timeout), None)
+            }
         };
         ToolRun {
             verdict,
             elapsed: start.elapsed(),
+            metrics,
         }
     }
 
@@ -203,7 +204,7 @@ impl Tool {
         timeout: Duration,
         cex_search: bool,
         fixed_domain: Option<domains::DomainChoice>,
-    ) -> ToolVerdict {
+    ) -> (ToolVerdict, Option<charon::Metrics>) {
         let config = VerifierConfig {
             timeout,
             counterexample_search: cex_search,
@@ -213,12 +214,28 @@ impl Tool {
             Some(choice) => Arc::new(FixedPolicy::new(choice)),
             None => Arc::clone(&self.policy),
         };
-        let verifier = Verifier::new(policy, config);
-        match verifier.verify(net, &benchmark.property) {
-            Verdict::Verified => ToolVerdict::Verified,
-            Verdict::Refuted(cex) => ToolVerdict::Falsified(cex.point),
-            Verdict::ResourceLimit => ToolVerdict::Timeout,
+        run_verifier(&Verifier::new(policy, config), net, benchmark)
+    }
+}
+
+/// Drives one verifier run and maps the outcome to the uniform tool
+/// verdict, keeping the engine metrics alongside. An engine failure is a
+/// non-answer for comparison purposes, not a harness abort.
+fn run_verifier(
+    verifier: &Verifier,
+    net: &Network,
+    benchmark: &Benchmark,
+) -> (ToolVerdict, Option<charon::Metrics>) {
+    match verifier.try_verify_run(net, &benchmark.property) {
+        Ok(run) => {
+            let verdict = match run.verdict {
+                Verdict::Verified => ToolVerdict::Verified,
+                Verdict::Refuted(cex) => ToolVerdict::Falsified(cex.point),
+                Verdict::ResourceLimit => ToolVerdict::Timeout,
+            };
+            (verdict, Some(run.stats.metrics))
         }
+        Err(_) => (ToolVerdict::Unknown, None),
     }
 }
 
@@ -229,6 +246,8 @@ pub struct ToolRun {
     pub verdict: ToolVerdict,
     /// Wall-clock time taken.
     pub elapsed: Duration,
+    /// Engine metrics for Charon variants, `None` for baselines.
+    pub metrics: Option<charon::Metrics>,
 }
 
 /// A network with its benchmark suite.
@@ -453,14 +472,17 @@ mod tests {
             ToolRun {
                 verdict: ToolVerdict::Verified,
                 elapsed: Duration::from_millis(10),
+                metrics: None,
             },
             ToolRun {
                 verdict: ToolVerdict::Falsified(vec![]),
                 elapsed: Duration::from_millis(20),
+                metrics: None,
             },
             ToolRun {
                 verdict: ToolVerdict::Timeout,
                 elapsed: Duration::from_millis(30),
+                metrics: None,
             },
         ];
         let s = Summary::from_runs(&runs);
@@ -476,10 +498,12 @@ mod tests {
             ToolRun {
                 verdict: ToolVerdict::Verified,
                 elapsed: Duration::from_millis(5),
+                metrics: None,
             },
             ToolRun {
                 verdict: ToolVerdict::Timeout,
                 elapsed: Duration::from_millis(7),
+                metrics: None,
             },
         ];
         let rows: Vec<(String, usize, &ToolRun)> = runs

@@ -33,6 +33,20 @@ pub enum FaultSite {
     Cancel,
 }
 
+impl FaultSite {
+    /// Stable `snake_case` name of the site, as used in
+    /// [`crate::telemetry::TraceEvent::FaultTriggered`] events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultSite::WorkerPanic => "worker_panic",
+            FaultSite::AttackNan => "attack_nan",
+            FaultSite::TransformerNan => "transformer_nan",
+            FaultSite::Delay => "delay",
+            FaultSite::Cancel => "cancel",
+        }
+    }
+}
+
 /// One scheduled fault: a site plus the ordinal of the region it fires
 /// on.
 #[derive(Debug)]

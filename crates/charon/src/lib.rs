@@ -43,6 +43,17 @@
 //! revisiting verified regions. The [`faults`] module provides the
 //! deterministic fault-injection harness used by the chaos tests.
 //!
+//! # Observability
+//!
+//! The [`telemetry`] module provides structured tracing and metrics:
+//! attach a [`telemetry::TraceSink`] with [`Verifier::with_trace`] (e.g.
+//! a [`telemetry::JsonlSink`] writing one JSON object per event), read
+//! per-phase [`telemetry::Metrics`] from any completed run via
+//! [`VerifyRun::metrics`], and render them with
+//! [`telemetry::RunReport`]. The default sink is
+//! [`telemetry::NullSink`]: tracing disabled, zero overhead — metrics
+//! counters are always on.
+//!
 //! # Examples
 //!
 //! ```
@@ -60,6 +71,8 @@
 //! assert!(matches!(verifier.verify(&net, &property), Verdict::Verified));
 //! ```
 
+#![warn(missing_docs)]
+
 mod checkpoint;
 mod error;
 mod property;
@@ -70,11 +83,13 @@ pub mod parallel;
 pub mod policy;
 pub mod portfolio;
 pub mod report;
+pub mod telemetry;
 pub mod train;
 
 pub use checkpoint::Checkpoint;
 pub use error::{BudgetKind, VerifyError};
 pub use property::RobustnessProperty;
+pub use telemetry::{JsonlSink, Metrics, NullSink, RunReport, SummarySink, TraceEvent, TraceSink};
 pub use verify::{
     Counterexample, Verdict, Verifier, VerifierConfig, VerifyRun, VerifyStats,
 };

@@ -26,9 +26,10 @@ use crate::checkpoint::Checkpoint;
 use crate::error::{BudgetKind, VerifyError};
 use crate::faults::FaultSite;
 use crate::policy::Policy;
+use crate::telemetry::{emit, SharedSink, TraceEvent};
 use crate::verify::{
-    guarded_region_step, validate_problem, RegionOutcome, StepEnv, Verdict, VerifierConfig,
-    VerifyRun, VerifyStats,
+    guarded_region_step, validate_problem, verdict_name, RegionOutcome, StepEnv, Verdict,
+    VerifierConfig, VerifyRun, VerifyStats,
 };
 use crate::RobustnessProperty;
 
@@ -42,6 +43,7 @@ pub struct ParallelVerifier {
     policy: Arc<dyn Policy>,
     config: VerifierConfig,
     threads: usize,
+    trace: SharedSink,
 }
 
 /// State shared by every worker of one parallel run.
@@ -98,7 +100,17 @@ impl ParallelVerifier {
             policy,
             config,
             threads,
+            trace: crate::telemetry::null_sink(),
         }
+    }
+
+    /// Attaches a trace sink shared by all workers; events from different
+    /// workers interleave at event granularity. The default sink is
+    /// [`crate::telemetry::NullSink`] (tracing off, zero overhead).
+    #[must_use]
+    pub fn with_trace(mut self, sink: SharedSink) -> Self {
+        self.trace = sink;
+        self
     }
 
     /// Number of worker threads used.
@@ -205,6 +217,7 @@ impl ParallelVerifier {
                 let total_stats = &total_stats;
                 let policy = Arc::clone(&self.policy);
                 let config = self.config.clone();
+                let trace = Arc::clone(&self.trace);
                 scope.spawn(move |_| {
                     let minimizer = Minimizer::new(config.seed.wrapping_add(worker as u64))
                         .with_restarts(config.restarts);
@@ -216,6 +229,7 @@ impl ParallelVerifier {
                         config: &config,
                         deadline,
                         objective_lipschitz,
+                        trace: trace.as_ref(),
                     };
                     let mut stats = VerifyStats::default();
                     // Per-worker scratch arena: buffers recycle across the
@@ -243,17 +257,34 @@ impl ParallelVerifier {
             (None, Some((verdict, limit))) => (verdict, limit),
             (None, None) => (Verdict::Verified, None),
         };
+        let mut stats = total_stats.into_inner();
+        stats.elapsed = start.elapsed();
+        // The checkpoint is built from the *merged* worker stats, not the
+        // `regions_done` atomic: a worker that exits on the degradation
+        // ladder (or mid-step on a panic retry) has counted a region in
+        // its local stats that never reached the atomic, so the atomic
+        // can run stale by the time the workers have joined. The merged
+        // counters absorb every worker on every exit path.
         let checkpoint = if verdict == Verdict::ResourceLimit {
             Some(Checkpoint {
                 target,
                 pending: queue.into_inner(),
-                regions_done: regions_done.load(Ordering::Relaxed),
+                regions_done: stats.regions,
             })
         } else {
             None
         };
-        let mut stats = total_stats.into_inner();
-        stats.elapsed = start.elapsed();
+        if let Some(ckpt) = &checkpoint {
+            emit(self.trace.as_ref(), || TraceEvent::CheckpointSaved {
+                pending: ckpt.pending.len(),
+                regions_done: ckpt.regions_done,
+            });
+        }
+        emit(self.trace.as_ref(), || TraceEvent::Verdict {
+            verdict: verdict_name(&verdict).to_string(),
+            regions: stats.regions,
+            seconds: stats.elapsed.as_secs_f64(),
+        });
         Ok(VerifyRun {
             verdict,
             stats,
@@ -324,12 +355,17 @@ fn worker_loop(
             Some(plan) => plan.next_region(),
             None => shared.regions_done.load(Ordering::Relaxed),
         };
+        emit(env.trace, || TraceEvent::RegionPopped { ordinal, depth });
         if env
             .config
             .faults
             .as_ref()
             .is_some_and(|plan| plan.fire(FaultSite::Cancel, ordinal))
         {
+            emit(env.trace, || TraceEvent::FaultTriggered {
+                site: FaultSite::Cancel.as_str().to_string(),
+                ordinal,
+            });
             if let Some(flag) = &env.config.cancel {
                 flag.store(true, Ordering::Relaxed);
             }
@@ -348,6 +384,8 @@ fn worker_loop(
                 shared.record_and_stop(Verdict::Refuted(cex), None);
             }
             Ok(RegionOutcome::Split(a, b)) => {
+                emit(env.trace, || TraceEvent::RegionPushed { depth: depth + 1 });
+                emit(env.trace, || TraceEvent::RegionPushed { depth: depth + 1 });
                 let mut q = shared.queue.lock();
                 q.push((a, depth + 1));
                 q.push((b, depth + 1));

@@ -26,6 +26,7 @@ use crate::RobustnessProperty;
 pub struct PortfolioVerifier {
     policies: Vec<Arc<dyn Policy>>,
     config: VerifierConfig,
+    trace: crate::telemetry::SharedSink,
 }
 
 impl PortfolioVerifier {
@@ -36,7 +37,21 @@ impl PortfolioVerifier {
     /// Panics if `policies` is empty.
     pub fn new(policies: Vec<Arc<dyn Policy>>, config: VerifierConfig) -> Self {
         assert!(!policies.is_empty(), "portfolio needs at least one policy");
-        PortfolioVerifier { policies, config }
+        PortfolioVerifier {
+            policies,
+            config,
+            trace: crate::telemetry::null_sink(),
+        }
+    }
+
+    /// Attaches a trace sink shared by every member verifier; events from
+    /// different members interleave at event granularity. The default
+    /// sink is [`crate::telemetry::NullSink`] (tracing off, zero
+    /// overhead).
+    #[must_use]
+    pub fn with_trace(mut self, sink: crate::telemetry::SharedSink) -> Self {
+        self.trace = sink;
+        self
     }
 
     /// Number of member policies.
@@ -103,8 +118,9 @@ impl PortfolioVerifier {
                 let winner = &winner;
                 let error = &error;
                 let members_done = &members_done;
+                let trace = Arc::clone(&self.trace);
                 scope.spawn(move |_| {
-                    let verifier = Verifier::new(policy, config);
+                    let verifier = Verifier::new(policy, config).with_trace(trace);
                     match verifier.try_verify_run(net, property) {
                         Ok(run) => match run.verdict {
                             Verdict::Verified | Verdict::Refuted(_) => {

@@ -25,6 +25,7 @@ use crate::checkpoint::Checkpoint;
 use crate::error::{panic_message, BudgetKind, VerifyError};
 use crate::faults::{FaultPlan, FaultSite};
 use crate::policy::{DomainSelection, LinearPolicy, Policy, PolicyContext};
+use crate::telemetry::{emit, Metrics, SharedSink, TraceEvent, TraceSink};
 use crate::RobustnessProperty;
 
 /// A δ-counterexample (Definition 5.3): a point whose score margin for the
@@ -137,6 +138,9 @@ pub struct VerifyStats {
     /// Uses of each abstract domain, keyed by `(base, disjuncts)` display
     /// string.
     pub domain_uses: Vec<(String, usize)>,
+    /// Per-phase timing and latency metrics (always on; merged across
+    /// workers at join in parallel runs).
+    pub metrics: Metrics,
 }
 
 impl VerifyStats {
@@ -148,6 +152,7 @@ impl VerifyStats {
         self.attacks += other.attacks;
         self.splits += other.splits;
         self.max_depth = self.max_depth.max(other.max_depth);
+        self.metrics.merge(&other.metrics);
         for (key, count) in &other.domain_uses {
             if let Some(entry) = self.domain_uses.iter_mut().find(|(k, _)| k == key) {
                 entry.1 += count;
@@ -185,6 +190,15 @@ pub struct VerifyRun {
     pub limit: Option<BudgetKind>,
 }
 
+impl VerifyRun {
+    /// The run's per-phase engine metrics (merged across all workers for
+    /// parallel runs). See [`crate::telemetry::RunReport`] for a rendered
+    /// view.
+    pub fn metrics(&self) -> &Metrics {
+        &self.stats.metrics
+    }
+}
+
 /// The Charon verifier: Algorithm 1 driven by a verification policy.
 ///
 /// See the [crate-level documentation](crate) for an example.
@@ -192,6 +206,7 @@ pub struct VerifyRun {
 pub struct Verifier {
     policy: Arc<dyn Policy>,
     config: VerifierConfig,
+    trace: SharedSink,
 }
 
 impl std::fmt::Debug for Verifier {
@@ -207,6 +222,7 @@ impl Default for Verifier {
         Verifier {
             policy: Arc::new(LinearPolicy::default()),
             config: VerifierConfig::default(),
+            trace: crate::telemetry::null_sink(),
         }
     }
 }
@@ -214,7 +230,11 @@ impl Default for Verifier {
 impl Verifier {
     /// Creates a verifier with an explicit policy and configuration.
     pub fn new(policy: Arc<dyn Policy>, config: VerifierConfig) -> Self {
-        Verifier { policy, config }
+        Verifier {
+            policy,
+            config,
+            trace: crate::telemetry::null_sink(),
+        }
     }
 
     /// Creates a verifier with the given policy and default configuration.
@@ -222,7 +242,17 @@ impl Verifier {
         Verifier {
             policy,
             config: VerifierConfig::default(),
+            trace: crate::telemetry::null_sink(),
         }
+    }
+
+    /// Attaches a trace sink; subsequent runs emit
+    /// [`crate::telemetry::TraceEvent`]s into it. The default sink is
+    /// [`crate::telemetry::NullSink`] (tracing off, zero overhead).
+    #[must_use]
+    pub fn with_trace(mut self, sink: SharedSink) -> Self {
+        self.trace = sink;
+        self
     }
 
     /// The verifier's configuration.
@@ -371,6 +401,7 @@ impl Verifier {
             config: &self.config,
             deadline,
             objective_lipschitz,
+            trace: self.trace.as_ref(),
         };
         // One scratch arena for the whole run: per-region propagation
         // reuses layer buffers instead of reallocating them.
@@ -384,6 +415,7 @@ impl Verifier {
                 Some(plan) => plan.next_region(),
                 None => stats.regions,
             };
+            emit(env.trace, || TraceEvent::RegionPopped { ordinal, depth });
             let mut limit = if Instant::now() >= deadline {
                 Some(BudgetKind::Timeout)
             } else if stats.regions >= self.config.max_regions {
@@ -401,6 +433,10 @@ impl Verifier {
             if limit.is_none() {
                 if let Some(plan) = &self.config.faults {
                     if plan.fire(FaultSite::Cancel, ordinal) {
+                        emit(env.trace, || TraceEvent::FaultTriggered {
+                            site: FaultSite::Cancel.as_str().to_string(),
+                            ordinal,
+                        });
                         if let Some(flag) = &self.config.cancel {
                             flag.store(true, Ordering::Relaxed);
                         }
@@ -415,6 +451,10 @@ impl Verifier {
                     pending: stack.clone(),
                     regions_done: stats.regions,
                 };
+                emit(env.trace, || TraceEvent::CheckpointSaved {
+                    pending: ckpt.pending.len(),
+                    regions_done: ckpt.regions_done,
+                });
                 break Ok((Verdict::ResourceLimit, Some(kind), Some(ckpt)));
             }
             stats.regions += 1;
@@ -427,6 +467,8 @@ impl Verifier {
                     break Ok((Verdict::Refuted(cex), None, None));
                 }
                 Ok(RegionOutcome::Split(a, b)) => {
+                    emit(env.trace, || TraceEvent::RegionPushed { depth: depth + 1 });
+                    emit(env.trace, || TraceEvent::RegionPushed { depth: depth + 1 });
                     stack.push((b, depth + 1));
                     stack.push((a, depth + 1));
                 }
@@ -437,6 +479,10 @@ impl Verifier {
                         pending: stack.clone(),
                         regions_done: stats.regions,
                     };
+                    emit(env.trace, || TraceEvent::CheckpointSaved {
+                        pending: ckpt.pending.len(),
+                        regions_done: ckpt.regions_done,
+                    });
                     break Ok((
                         Verdict::ResourceLimit,
                         Some(BudgetKind::NumericPrecision),
@@ -448,12 +494,26 @@ impl Verifier {
 
         let (verdict, limit, checkpoint) = outcome?;
         stats.elapsed = start.elapsed();
+        emit(self.trace.as_ref(), || TraceEvent::Verdict {
+            verdict: verdict_name(&verdict).to_string(),
+            regions: stats.regions,
+            seconds: stats.elapsed.as_secs_f64(),
+        });
         Ok(VerifyRun {
             verdict,
             stats,
             checkpoint,
             limit,
         })
+    }
+}
+
+/// Stable `snake_case` name of a verdict, as used in trace events.
+pub(crate) fn verdict_name(verdict: &Verdict) -> &'static str {
+    match verdict {
+        Verdict::Verified => "verified",
+        Verdict::Refuted(_) => "refuted",
+        Verdict::ResourceLimit => "resource_limit",
     }
 }
 
@@ -503,6 +563,7 @@ pub(crate) struct StepEnv<'a> {
     pub config: &'a VerifierConfig,
     pub deadline: Instant,
     pub objective_lipschitz: f64,
+    pub trace: &'a dyn TraceSink,
 }
 
 /// What processing one region concluded.
@@ -549,7 +610,7 @@ pub(crate) fn guarded_region_step(
         Ok(StepResult::Outcome(outcome)) => Ok(outcome),
         Ok(StepResult::Poisoned(_)) | Err(_) => {
             let retry = catch_unwind(AssertUnwindSafe(|| {
-                coarse_region_step(env, region, stats, ws)
+                coarse_region_step(env, region, ordinal, stats, ws)
             }));
             match retry {
                 Ok(StepResult::Outcome(outcome)) => Ok(outcome),
@@ -577,9 +638,17 @@ fn region_step(
 
     if let Some(plan) = &config.faults {
         if plan.fire(FaultSite::WorkerPanic, ordinal) {
+            emit(env.trace, || TraceEvent::FaultTriggered {
+                site: FaultSite::WorkerPanic.as_str().to_string(),
+                ordinal,
+            });
             panic!("injected fault: worker panic at region {ordinal}");
         }
         if plan.fire(FaultSite::Delay, ordinal) {
+            emit(env.trace, || TraceEvent::FaultTriggered {
+                site: FaultSite::Delay.as_str().to_string(),
+                ordinal,
+            });
             std::thread::sleep(Duration::from_millis(25));
         }
     }
@@ -587,7 +656,27 @@ fn region_step(
     // Line 2: x* <- Minimize(I, F).
     let (mut x_star, mut objective) = if config.counterexample_search {
         stats.attacks += 1;
-        let result = env.minimizer.minimize(net, region, target);
+        let attack_start = Instant::now();
+        let result = if env.trace.enabled() {
+            // Traced path: per-phase events carry evals, best objective,
+            // and wall time for each attack stage.
+            let (result, phases) = env.minimizer.minimize_traced(net, region, target);
+            for p in &phases.phases {
+                env.trace.record(&TraceEvent::Attack {
+                    ordinal,
+                    phase: p.phase.to_string(),
+                    evals: p.evals,
+                    best_objective: p.best_objective,
+                    seconds: p.seconds,
+                });
+            }
+            result
+        } else {
+            env.minimizer.minimize(net, region, target)
+        };
+        stats
+            .metrics
+            .record_attack(attack_start.elapsed().as_secs_f64());
         (result.point, result.objective)
     } else {
         let center = region.center();
@@ -596,6 +685,10 @@ fn region_step(
     };
     if let Some(plan) = &config.faults {
         if plan.fire(FaultSite::AttackNan, ordinal) {
+            emit(env.trace, || TraceEvent::FaultTriggered {
+                site: FaultSite::AttackNan.as_str().to_string(),
+                ordinal,
+            });
             // A poisoned gradient run claiming an impossible objective:
             // the validation below must reject it.
             x_star = vec![f64::NAN; region.dim()];
@@ -645,7 +738,7 @@ fn region_step(
     // box is a point along every zero-width axis).
     if region.widths().iter().all(|w| *w <= f64::EPSILON) {
         stats.analyze_calls += 1;
-        return match analyze_checked_ws(net, region, target, DomainChoice::interval(), ws) {
+        return match timed_interval_analysis(env, region, ordinal, stats, ws) {
             AnalysisOutcome::Proved => StepResult::Outcome(RegionOutcome::Verified),
             AnalysisOutcome::Poisoned => StepResult::Poisoned("transformer"),
             AnalysisOutcome::Inconclusive => {
@@ -668,18 +761,43 @@ fn region_step(
         x_star: &x_star,
         objective,
     };
+    let policy_start = Instant::now();
     let choice = env.policy.choose_domain(&ctx);
+    stats
+        .metrics
+        .record_policy(policy_start.elapsed().as_secs_f64());
     stats.analyze_calls += 1;
     stats.record_domain(choice);
     let forced_nan = config
         .faults
         .as_ref()
         .is_some_and(|plan| plan.fire(FaultSite::TransformerNan, ordinal));
+    if forced_nan {
+        emit(env.trace, || TraceEvent::FaultTriggered {
+            site: FaultSite::TransformerNan.as_str().to_string(),
+            ordinal,
+        });
+    }
+    let propagation_start = Instant::now();
+    let mut layer_seconds = Vec::new();
     let selection = if forced_nan {
         SelectionResult::Poisoned
     } else {
-        run_selection(net, region, target, choice, env.deadline, ws)
+        let layer_times = env.trace.enabled().then_some(&mut layer_seconds);
+        run_selection(net, region, target, choice, env.deadline, ws, layer_times)
     };
+    let propagation_seconds = propagation_start.elapsed().as_secs_f64();
+    stats.metrics.record_propagation(
+        propagation_seconds,
+        matches!(selection, SelectionResult::Verified),
+    );
+    emit(env.trace, || TraceEvent::Propagation {
+        ordinal,
+        domain: choice.to_string(),
+        seconds: propagation_seconds,
+        outcome: selection_name(&selection).to_string(),
+        layer_seconds: layer_seconds.clone(),
+    });
     match selection {
         SelectionResult::Verified => return StepResult::Outcome(RegionOutcome::Verified),
         SelectionResult::Violated(point) => {
@@ -693,7 +811,7 @@ fn region_step(
             // First rung of the degradation ladder: retry this region on
             // the interval domain before splitting or giving up.
             stats.analyze_calls += 1;
-            match analyze_checked_ws(net, region, target, DomainChoice::interval(), ws) {
+            match timed_interval_analysis(env, region, ordinal, stats, ws) {
                 AnalysisOutcome::Proved => return StepResult::Outcome(RegionOutcome::Verified),
                 AnalysisOutcome::Poisoned => return StepResult::Poisoned("transformer"),
                 AnalysisOutcome::Inconclusive => {}
@@ -703,7 +821,11 @@ fn region_step(
     }
 
     // Lines 8-12: split and recurse on both halves.
+    let policy_start = Instant::now();
     let plan = env.policy.choose_split(&ctx);
+    stats
+        .metrics
+        .record_policy(policy_start.elapsed().as_secs_f64());
     let at = crate::policy::clamp_split(region, plan.dim, plan.at);
     let (dim, at) = if at > region.lower()[plan.dim] && at < region.upper()[plan.dim] {
         (plan.dim, at)
@@ -716,8 +838,59 @@ fn region_step(
         return StepResult::Outcome(RegionOutcome::Unsplittable);
     }
     stats.splits += 1;
+    emit(env.trace, || TraceEvent::Bisection {
+        ordinal,
+        dim,
+        at,
+        objective,
+    });
     let (a, b) = region.split_at(dim, at);
     StepResult::Outcome(RegionOutcome::Split(a, b))
+}
+
+/// Interval analysis with metrics timing and a `Propagation` trace event
+/// — the shared instrumentation for the degenerate-region path and the
+/// degradation ladder's interval retry.
+fn timed_interval_analysis(
+    env: &StepEnv<'_>,
+    region: &Bounds,
+    ordinal: usize,
+    stats: &mut VerifyStats,
+    ws: &mut Workspace,
+) -> AnalysisOutcome {
+    let start = Instant::now();
+    let outcome = analyze_checked_ws(env.net, region, env.target, DomainChoice::interval(), ws);
+    let seconds = start.elapsed().as_secs_f64();
+    stats
+        .metrics
+        .record_propagation(seconds, matches!(outcome, AnalysisOutcome::Proved));
+    emit(env.trace, || TraceEvent::Propagation {
+        ordinal,
+        domain: DomainChoice::interval().to_string(),
+        seconds,
+        outcome: outcome_name(outcome).to_string(),
+        layer_seconds: Vec::new(),
+    });
+    outcome
+}
+
+/// Stable name of an [`AnalysisOutcome`], as used in trace events.
+fn outcome_name(outcome: AnalysisOutcome) -> &'static str {
+    match outcome {
+        AnalysisOutcome::Proved => "proved",
+        AnalysisOutcome::Inconclusive => "inconclusive",
+        AnalysisOutcome::Poisoned => "poisoned",
+    }
+}
+
+/// Stable name of a [`SelectionResult`], as used in trace events.
+fn selection_name(selection: &SelectionResult) -> &'static str {
+    match selection {
+        SelectionResult::Verified => "proved",
+        SelectionResult::Violated(_) => "violated",
+        SelectionResult::Inconclusive => "inconclusive",
+        SelectionResult::Poisoned => "poisoned",
+    }
 }
 
 /// The coarse retry: interval analysis plus a midpoint split, with no
@@ -725,11 +898,12 @@ fn region_step(
 fn coarse_region_step(
     env: &StepEnv<'_>,
     region: &Bounds,
+    ordinal: usize,
     stats: &mut VerifyStats,
     ws: &mut Workspace,
 ) -> StepResult {
     stats.analyze_calls += 1;
-    match analyze_checked_ws(env.net, region, env.target, DomainChoice::interval(), ws) {
+    match timed_interval_analysis(env, region, ordinal, stats, ws) {
         AnalysisOutcome::Proved => StepResult::Outcome(RegionOutcome::Verified),
         AnalysisOutcome::Poisoned => StepResult::Poisoned("transformer"),
         AnalysisOutcome::Inconclusive => {
@@ -798,6 +972,10 @@ pub(crate) enum SelectionResult {
 /// Dispatches a [`DomainSelection`] on a region. The deadline bounds the
 /// complete solver; the abstract domains run to completion (they are fast
 /// relative to a region budget).
+///
+/// When `layer_times` is `Some`, abstract-domain propagations record
+/// per-layer wall-clock seconds into it (tracing only; the untimed path
+/// is byte-for-byte the PR 2 hot path).
 pub(crate) fn run_selection(
     net: &Network,
     region: &Bounds,
@@ -805,6 +983,7 @@ pub(crate) fn run_selection(
     choice: DomainSelection,
     deadline: Instant,
     ws: &mut Workspace,
+    layer_times: Option<&mut Vec<f64>>,
 ) -> SelectionResult {
     let from_outcome = |outcome: AnalysisOutcome| match outcome {
         AnalysisOutcome::Proved => SelectionResult::Verified,
@@ -812,9 +991,12 @@ pub(crate) fn run_selection(
         AnalysisOutcome::Poisoned => SelectionResult::Poisoned,
     };
     match choice {
-        DomainSelection::Abstract(c) => {
-            from_outcome(analyze_checked_ws(net, region, target, c, ws))
-        }
+        DomainSelection::Abstract(c) => match layer_times {
+            Some(times) => {
+                from_outcome(domains::analyze_checked_traced(net, region, target, c, ws, times))
+            }
+            None => from_outcome(analyze_checked_ws(net, region, target, c, ws)),
+        },
         DomainSelection::DeepPoly => {
             // DeepPoly's margin comparison is NaN-safe (NaN reads as
             // "not verified"), so a poisoned run is merely inconclusive.

@@ -341,3 +341,66 @@ fn timed_out_run_resumes_to_verified() {
         "resume revisited already-verified regions"
     );
 }
+
+/// Every injected fault must leave a footprint in the trace: a
+/// `fault_triggered` event with the site name, observable through a
+/// [`charon::SummarySink`] attached to the verifier.
+#[test]
+fn injected_faults_emit_fault_triggered_events() {
+    quiet_injected_panics();
+    let net = samples::xor_network();
+    let prop = RobustnessProperty::new(Bounds::new(vec![0.3, 0.3], vec![0.7, 0.7]), 1);
+    for site in [
+        FaultSite::WorkerPanic,
+        FaultSite::AttackNan,
+        FaultSite::TransformerNan,
+        FaultSite::Delay,
+    ] {
+        let sink = Arc::new(charon::SummarySink::new());
+        let config = VerifierConfig {
+            faults: Some(Arc::new(FaultPlan::new().inject(site, 0))),
+            ..VerifierConfig::default()
+        };
+        let verifier = Verifier::new(Arc::new(LinearPolicy::default()), config)
+            .with_trace(Arc::clone(&sink) as _);
+        verifier
+            .try_verify_run(&net, &prop)
+            .expect("injection must degrade, not abort");
+        let summary = sink.snapshot();
+        assert!(
+            summary.faults >= 1,
+            "no fault_triggered event for {site:?}: {summary:?}"
+        );
+        assert!(summary.verdicts == 1, "run must still end in a verdict");
+    }
+}
+
+/// Regression test for the stale-counter bug: the checkpoint written by
+/// an interrupted parallel run must count regions from the *merged*
+/// worker stats, including workers that panicked and degraded, not from
+/// a driver-side counter that can lag behind worker exits.
+#[test]
+fn parallel_checkpoint_counts_match_merged_worker_stats() {
+    quiet_injected_panics();
+    let net = samples::xor_network();
+    let prop = RobustnessProperty::new(Bounds::new(vec![0.3, 0.3], vec![0.7, 0.7]), 1);
+    let policy: Arc<dyn Policy> = Arc::new(FixedPolicy::new(DomainChoice::interval()));
+    let config = VerifierConfig {
+        cancel: Some(Arc::new(AtomicBool::new(false))),
+        faults: Some(Arc::new(
+            FaultPlan::new()
+                .inject(FaultSite::WorkerPanic, 0)
+                .inject(FaultSite::Cancel, 2),
+        )),
+        ..VerifierConfig::default()
+    };
+    let run = ParallelVerifier::new(policy, config, 2)
+        .try_verify_run(&net, &prop)
+        .unwrap();
+    assert_eq!(run.verdict, Verdict::ResourceLimit);
+    let ckpt = run.checkpoint.expect("cancelled run checkpoints");
+    assert_eq!(
+        ckpt.regions_done, run.stats.regions,
+        "checkpoint progress disagrees with merged worker stats"
+    );
+}

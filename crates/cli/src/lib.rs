@@ -6,13 +6,14 @@
 //! ```text
 //! charon-cli verify  --network NET (--property PROP | --resume CKPT) [--timeout-ms N]
 //!                    [--delta D] [--policy FILE] [--parallel N] [--checkpoint FILE]
-//!                    [--no-cex] [--stats]
+//!                    [--no-cex] [--stats] [--report] [--trace-out FILE]
 //! charon-cli attack  --network NET --property PROP [--restarts N] [--seed N]
 //! charon-cli train   [--seed N] [--time-limit-ms N] --out FILE
 //! charon-cli info    --network NET
 //! charon-cli example --out-network NET --out-property PROP
 //! charon-cli prop    --zoo NAME --image N --tau T --out-network NET --out-property PROP
 //! charon-cli certify --zoo NAME --eps E [--points N] [--timeout-ms N]
+//! charon-cli trace   --in FILE
 //! ```
 //!
 //! Networks use the `nn::serialize` plain-text format and properties the
@@ -23,6 +24,11 @@
 //!
 //! Interrupted `verify` runs can persist their worklist with
 //! `--checkpoint FILE` and continue later with `--resume FILE`.
+//!
+//! Observability: `verify --report` prints a per-phase run report (see
+//! [`charon::RunReport`]), `verify --trace-out FILE` streams one JSON
+//! event per line (see [`charon::telemetry`]), and `trace --in FILE`
+//! validates and summarizes such a trace file.
 
 use std::collections::HashMap;
 use std::path::Path;
@@ -125,7 +131,7 @@ impl Args {
                 ));
             };
             // Boolean switches take no value.
-            if matches!(name, "no-cex" | "help" | "stats") {
+            if matches!(name, "no-cex" | "help" | "stats" | "report") {
                 switches.push(name.to_string());
                 continue;
             }
@@ -191,7 +197,7 @@ impl Args {
 }
 
 fn usage() -> String {
-    "usage:\n  charon-cli verify  --network NET (--property PROP | --resume CKPT) [--timeout-ms N] [--delta D] [--policy FILE] [--parallel N] [--checkpoint FILE] [--no-cex]\n  charon-cli attack  --network NET --property PROP [--restarts N] [--seed N]\n  charon-cli train   [--seed N] [--time-limit-ms N] --out FILE\n  charon-cli info    --network NET\n  charon-cli example --out-network NET --out-property PROP\n  charon-cli prop    --zoo NAME --image N --tau T --out-network NET --out-property PROP\n  charon-cli certify --zoo NAME --eps E [--points N] [--timeout-ms N]".to_string()
+    "usage:\n  charon-cli verify  --network NET (--property PROP | --resume CKPT) [--timeout-ms N] [--delta D] [--policy FILE] [--parallel N] [--checkpoint FILE] [--no-cex] [--stats] [--report] [--trace-out FILE]\n  charon-cli attack  --network NET --property PROP [--restarts N] [--seed N]\n  charon-cli train   [--seed N] [--time-limit-ms N] --out FILE\n  charon-cli info    --network NET\n  charon-cli example --out-network NET --out-property PROP\n  charon-cli prop    --zoo NAME --image N --tau T --out-network NET --out-property PROP\n  charon-cli certify --zoo NAME --eps E [--points N] [--timeout-ms N]\n  charon-cli trace   --in FILE".to_string()
 }
 
 /// Executes a CLI invocation, writing human-readable output to `out`.
@@ -224,6 +230,7 @@ fn run_inner(argv: &[String], out: &mut impl std::io::Write) -> Result<ExitCode,
         "example" => cmd_example(&args, out),
         "prop" => cmd_prop(&args, out),
         "certify" => cmd_certify(&args, out),
+        "trace" => cmd_trace(&args, out),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}\n{}",
             usage()
@@ -276,19 +283,47 @@ fn cmd_verify(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, Cl
         None => None,
     };
 
+    // One shared sink for whichever engine runs; `None` leaves the
+    // default NullSink in place (tracing off, zero overhead).
+    let jsonl = match args.get("trace-out") {
+        Some(path) => Some(Arc::new(charon::JsonlSink::create(Path::new(path)).map_err(
+            |e| CliError::Data(format!("cannot create trace file {path}: {e}")),
+        )?)),
+        None => None,
+    };
+    let sink: Option<charon::telemetry::SharedSink> =
+        jsonl.as_ref().map(|s| Arc::clone(s) as _);
+
     let run: VerifyRun = if threads > 1 {
-        let verifier = charon::parallel::ParallelVerifier::new(policy, config, threads);
+        let mut verifier = charon::parallel::ParallelVerifier::new(policy, config, threads);
+        if let Some(sink) = sink {
+            verifier = verifier.with_trace(sink);
+        }
         match &resume_from {
             Some(ckpt) => verifier.resume(&net, ckpt)?,
             None => verifier.try_verify_run(&net, &load_property(args.require("property")?)?)?,
         }
     } else {
-        let verifier = Verifier::new(policy, config);
+        let mut verifier = Verifier::new(policy, config);
+        if let Some(sink) = sink {
+            verifier = verifier.with_trace(sink);
+        }
         match &resume_from {
             Some(ckpt) => verifier.resume(&net, ckpt)?,
             None => verifier.try_verify_run(&net, &load_property(args.require("property")?)?)?,
         }
     };
+
+    if let (Some(sink), Some(path)) = (&jsonl, args.get("trace-out")) {
+        sink.flush()
+            .map_err(|e| CliError::Data(format!("cannot write trace file {path}: {e}")))?;
+        writeln!(out, "trace written to {path}").map_err(|e| e.to_string())?;
+    }
+
+    if args.switch("report") {
+        write!(out, "{}", charon::RunReport::from_run(&run).render())
+            .map_err(|e| e.to_string())?;
+    }
 
     if args.switch("stats") {
         let stats = &run.stats;
@@ -516,6 +551,51 @@ fn cmd_certify(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, C
     Ok(ExitCode::Success)
 }
 
+/// Validates a JSONL trace file (as written by `verify --trace-out`) and
+/// prints per-event-kind counts plus an aggregate summary.
+///
+/// Any line that fails schema validation is a data error (exit 65) naming
+/// the file and line number, which makes this the CI check that traces
+/// stay parseable.
+fn cmd_trace(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, CliError> {
+    let path = args.require("in")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Data(format!("cannot read {path}: {e}")))?;
+    let mut summary = charon::telemetry::TraceSummary::new();
+    let mut kinds: std::collections::BTreeMap<&'static str, u64> = std::collections::BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = charon::TraceEvent::from_json(line)
+            .map_err(|e| CliError::Data(format!("{path}:{}: {e}", idx + 1)))?;
+        *kinds.entry(event.kind()).or_insert(0) += 1;
+        summary.absorb(&event);
+    }
+    writeln!(out, "{}: {} events", path, summary.events).map_err(|e| e.to_string())?;
+    for (kind, count) in &kinds {
+        writeln!(out, "  {kind}: {count}").map_err(|e| e.to_string())?;
+    }
+    if summary.propagations > 0 {
+        writeln!(
+            out,
+            "  propagation time: {:.6}s over {} calls",
+            summary.propagation_seconds, summary.propagations
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    if summary.attack_phases > 0 {
+        writeln!(
+            out,
+            "  attack time: {:.6}s over {} phases (best objective {})",
+            summary.attack_seconds, summary.attack_phases, summary.best_objective
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    writeln!(out, "  max depth: {}", summary.max_depth).map_err(|e| e.to_string())?;
+    Ok(ExitCode::Success)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -719,6 +799,80 @@ mod tests {
         ]);
         assert_eq!(code, ExitCode::Success, "output: {output}");
         assert!(output.contains("stats: regions="), "output: {output}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn report_switch_prints_phase_breakdown() {
+        let dir = temp_dir();
+        let net = dir.join("xor.net");
+        let prop = dir.join("p.prop");
+        run_capture(&[
+            "example",
+            "--out-network",
+            net.to_str().unwrap(),
+            "--out-property",
+            prop.to_str().unwrap(),
+        ]);
+        let (code, output) = run_capture(&[
+            "verify",
+            "--network",
+            net.to_str().unwrap(),
+            "--property",
+            prop.to_str().unwrap(),
+            "--report",
+        ]);
+        assert_eq!(code, ExitCode::Success, "output: {output}");
+        assert!(output.contains("run report: verified"), "output: {output}");
+        assert!(output.contains("regions/s"), "output: {output}");
+        assert!(output.contains("propagation"), "output: {output}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn trace_out_then_trace_in_roundtrips() {
+        let dir = temp_dir();
+        let net = dir.join("xor.net");
+        let prop = dir.join("p.prop");
+        let trace = dir.join("run.jsonl");
+        run_capture(&[
+            "example",
+            "--out-network",
+            net.to_str().unwrap(),
+            "--out-property",
+            prop.to_str().unwrap(),
+        ]);
+        let (code, output) = run_capture(&[
+            "verify",
+            "--network",
+            net.to_str().unwrap(),
+            "--property",
+            prop.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ]);
+        assert_eq!(code, ExitCode::Success, "output: {output}");
+        assert!(output.contains("trace written to"), "output: {output}");
+
+        // Every line the verifier wrote must round-trip through the
+        // schema validator, and the stream must contain a verdict.
+        let (code, output) = run_capture(&["trace", "--in", trace.to_str().unwrap()]);
+        assert_eq!(code, ExitCode::Success, "output: {output}");
+        assert!(output.contains("verdict: 1"), "output: {output}");
+        assert!(output.contains("region_popped"), "output: {output}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn malformed_trace_file_is_a_data_error() {
+        let dir = temp_dir();
+        let trace = dir.join("bad.jsonl");
+        std::fs::write(&trace, "{\"event\":\"region_popped\",\"ordinal\":0,\"depth\":0}\nnot json\n")
+            .unwrap();
+        let (code, output) = run_capture(&["trace", "--in", trace.to_str().unwrap()]);
+        assert_eq!(code, ExitCode::DataError, "output: {output}");
+        // The diagnostic names the offending line.
+        assert!(output.contains(":2:"), "output: {output}");
         let _ = std::fs::remove_dir_all(dir);
     }
 

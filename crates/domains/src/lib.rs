@@ -27,6 +27,33 @@
 //! `x ∈ γ(a)` then `layer(x) ∈ γ(transform(a))`. The property tests in this
 //! crate check this by sampling concrete points.
 //!
+//! # Workspace ownership
+//!
+//! The `_ws` entry points ([`propagate_checked_ws`], [`analyze_checked_ws`],
+//! and the per-element `affine_ws` methods) thread a [`Workspace`] of
+//! reusable scratch buffers through the propagation loop so the hot path
+//! allocates nothing in steady state. The ownership rules:
+//!
+//! * A [`Workspace`] belongs to exactly one thread (it is deliberately not
+//!   shared); parallel verifiers keep one workspace per worker.
+//! * Buffers are *borrowed* from the workspace by the `_ws` constructors
+//!   and must be handed back with `recycle` once the element is dead —
+//!   dropping an element instead of recycling it is safe but forfeits the
+//!   reuse. The propagation loops in this crate always recycle.
+//! * A workspace never holds live data between calls: any buffer handed
+//!   out is fully overwritten before use, so workspaces may be reused
+//!   across unrelated networks and properties.
+//!
+//! # Numeric failure model
+//!
+//! The `checked` variants guard every layer transition against NaN/Inf
+//! poisoning: [`analyze_checked_ws`] returns
+//! [`AnalysisOutcome::Poisoned`] instead of silently propagating
+//! non-finite bounds, and the verifier reacts by retrying the region on
+//! the interval domain. [`propagate_checked_ws_timed`] and
+//! [`analyze_checked_traced`] are the observability twins used when a
+//! trace sink is attached: identical math, plus per-layer wall time.
+//!
 //! # Examples
 //!
 //! ```
@@ -282,6 +309,53 @@ pub fn propagate_checked_ws<E: AbstractElement>(
     Some(current)
 }
 
+/// [`propagate_checked_ws`] with per-layer wall-clock timing: the
+/// duration of each layer transformer (plus its poisoning check) is
+/// pushed onto `layer_seconds` in layer order.
+///
+/// This is the tracing-only entry point — the untimed
+/// [`propagate_checked_ws`] stays free of `Instant` reads so the hot
+/// path is unchanged when telemetry is disabled. Produces bit-identical
+/// elements to [`propagate_checked_ws`]; on early poisoning exit,
+/// `layer_seconds` covers only the layers that ran.
+///
+/// # Panics
+///
+/// Panics if `element.dim() != net.input_dim()`.
+pub fn propagate_checked_ws_timed<E: AbstractElement>(
+    net: &Network,
+    element: E,
+    ws: &mut Workspace,
+    layer_seconds: &mut Vec<f64>,
+) -> Option<E> {
+    use std::time::Instant;
+    assert_eq!(
+        element.dim(),
+        net.input_dim(),
+        "element dimension must match network input"
+    );
+    if element.is_poisoned() {
+        return None;
+    }
+    let mut current = element;
+    for layer in net.layers() {
+        let start = Instant::now();
+        let next = match layer {
+            Layer::Affine(a) => current.affine_ws(a, ws),
+            Layer::Relu => current.relu(),
+            Layer::MaxPool(p) => current.max_pool(p),
+        };
+        current.recycle(ws);
+        current = next;
+        let poisoned = current.is_poisoned();
+        layer_seconds.push(start.elapsed().as_secs_f64());
+        if poisoned {
+            return None;
+        }
+    }
+    Some(current)
+}
+
 /// The base abstract domains selectable by a verification policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BaseDomain {
@@ -446,6 +520,59 @@ pub fn analyze_checked_ws(
         (BaseDomain::Zonotope, k) => {
             let element = Powerset::<Zonotope>::with_budget(region, k);
             margin_outcome_ws(propagate_checked_ws(net, element, ws), target, ws)
+        }
+    }
+}
+
+/// [`analyze_checked_ws`] with per-layer wall-clock timing (see
+/// [`propagate_checked_ws_timed`]): each layer's duration is appended to
+/// `layer_seconds` in layer order.
+///
+/// Tracing-only entry point; produces bit-identical outcomes to
+/// [`analyze_checked_ws`].
+///
+/// # Panics
+///
+/// Panics if `region.dim() != net.input_dim()` or
+/// `target >= net.output_dim()`.
+pub fn analyze_checked_traced(
+    net: &Network,
+    region: &Bounds,
+    target: usize,
+    choice: DomainChoice,
+    ws: &mut Workspace,
+    layer_seconds: &mut Vec<f64>,
+) -> AnalysisOutcome {
+    assert!(target < net.output_dim(), "target class out of range");
+    if region.has_nan() {
+        return AnalysisOutcome::Poisoned;
+    }
+    match (choice.base, choice.disjuncts) {
+        (BaseDomain::Interval, 1) => margin_outcome_ws(
+            propagate_checked_ws_timed(net, Interval::from_bounds(region), ws, layer_seconds),
+            target,
+            ws,
+        ),
+        (BaseDomain::Zonotope, 1) => margin_outcome_ws(
+            propagate_checked_ws_timed(net, Zonotope::from_bounds(region), ws, layer_seconds),
+            target,
+            ws,
+        ),
+        (BaseDomain::Interval, k) => {
+            let element = Powerset::<Interval>::with_budget(region, k);
+            margin_outcome_ws(
+                propagate_checked_ws_timed(net, element, ws, layer_seconds),
+                target,
+                ws,
+            )
+        }
+        (BaseDomain::Zonotope, k) => {
+            let element = Powerset::<Zonotope>::with_budget(region, k);
+            margin_outcome_ws(
+                propagate_checked_ws_timed(net, element, ws, layer_seconds),
+                target,
+                ws,
+            )
         }
     }
 }

@@ -12,6 +12,19 @@
 //! a plain-text serialization format ([`serialize`]), and the example
 //! networks used in the paper's figures ([`samples`]).
 //!
+//! # API invariants
+//!
+//! * Layer shapes always chain: constructors check that each layer's
+//!   input dimension equals the previous layer's output dimension, so a
+//!   built [`Network`] can evaluate any input of `input_dim()` length.
+//! * Evaluation is pure and deterministic; `classify` breaks score ties
+//!   toward the lower class index.
+//! * Weights loaded through [`serialize`] may contain any parseable
+//!   float, including NaN — structural validation happens at parse time,
+//!   *numeric* validation (rejecting non-finite weights) is the
+//!   verifier's job, so a malformed model surfaces as a data error
+//!   rather than a crash deep inside a transformer.
+//!
 //! # Examples
 //!
 //! ```

@@ -9,6 +9,11 @@ cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q -p charon --test chaos --profile ci
 
+# Documentation gate: doctests must pass and rustdoc must build clean
+# (broken intra-doc links and missing docs surface as warnings).
+cargo test -q --doc --workspace
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+
 # Kernel perf harness smoke run: validates the harness executes and the
 # machine-readable schema is intact (full runs regenerate the committed
 # BENCH_kernels.json baseline; see DESIGN.md "Performance architecture").
@@ -16,4 +21,16 @@ smoke_out="$(mktemp)"
 cargo run --release -q -p bench --bin perf_kernels -- --smoke --out "$smoke_out"
 grep -q '"schema": "bench-kernels-v1"' "$smoke_out"
 grep -q '"name": "zonotope_affine"' "$smoke_out"
+grep -q '"phases":' "$smoke_out"
 rm -f "$smoke_out"
+
+# Telemetry smoke run: a traced verify must produce schema-valid JSONL,
+# checked by the `trace` subcommand's strict line-by-line validator.
+trace_dir="$(mktemp -d)"
+cargo run --release -q -p cli -- example \
+  --out-network "$trace_dir/xor.net" --out-property "$trace_dir/p.prop"
+cargo run --release -q -p cli -- verify \
+  --network "$trace_dir/xor.net" --property "$trace_dir/p.prop" \
+  --report --trace-out "$trace_dir/run.jsonl" | grep -q 'run report: verified'
+cargo run --release -q -p cli -- trace --in "$trace_dir/run.jsonl" | grep -q 'verdict: 1'
+rm -rf "$trace_dir"
