@@ -1,0 +1,279 @@
+//! Load generator for the verification daemon: replays a synthetic
+//! query stream (a hot/cold mix of repeated and distinct robustness
+//! queries) against an in-process server and against one-shot CLI runs,
+//! then emits machine-readable `BENCH_server.json`.
+//!
+//! The committed baseline at the repo root is the reference; regenerate
+//! it with `cargo run --release --bin loadgen` after intentional server
+//! changes (see DESIGN.md, "Service architecture").
+//!
+//! The warm path amortizes model parsing through the daemon's registry
+//! and serves repeated queries from the result cache; the cold baseline
+//! reloads and re-verifies everything per query, which is exactly what a
+//! shell loop over `charon-cli verify` does.
+//!
+//! Flags:
+//! - `--smoke`: tiny stream, no throughput assertion — validates that
+//!   the harness runs and the JSON schema is intact (used by
+//!   `scripts/ci.sh`).
+//! - `--out <path>`: write the JSON somewhere other than
+//!   `BENCH_server.json` in the current directory.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use charon::json::ObjectBuilder;
+use charon::RobustnessProperty;
+use domains::Bounds;
+use server::{Client, Server, ServerAddr, ServerConfig, VerifyRequest};
+
+/// Shape of one benchmark run.
+struct Plan {
+    /// Distinct (network, property) queries in the stream.
+    distinct: usize,
+    /// Times each distinct query appears (1 cold + `repeats - 1` hot).
+    repeats: usize,
+    /// Daemon worker threads.
+    workers: usize,
+    /// Concurrent client connections replaying the warm stream.
+    clients: usize,
+}
+
+impl Plan {
+    fn queries(&self) -> usize {
+        self.distinct * self.repeats
+    }
+}
+
+/// A small MLP whose tiny-ε robustness queries verify in a handful of
+/// regions: enough work that verification dominates a one-shot run, but
+/// fast enough for a full sweep in seconds.
+fn bench_network() -> nn::Network {
+    nn::train::random_mlp(6, &[24, 24], 4, 42)
+}
+
+/// Distinct properties: small L∞ balls around distinct anchor points,
+/// each targeting the network's own classification of the anchor (so
+/// the expected verdict is "verified" and therefore cacheable).
+fn bench_properties(net: &nn::Network, count: usize) -> Vec<RobustnessProperty> {
+    (0..count)
+        .map(|i| {
+            let point: Vec<f64> = (0..6)
+                .map(|d| 0.05 + 0.013 * ((i * 7 + d * 3) % 11) as f64)
+                .collect();
+            let region = Bounds::linf_ball(&point, 0.01, None);
+            RobustnessProperty::new(region, net.classify(&point))
+        })
+        .collect()
+}
+
+/// The query stream: index `k` uses property `k % distinct`, so every
+/// property appears once cold and `repeats - 1` times hot, interleaved
+/// the way independent clients would interleave them.
+fn stream_order(plan: &Plan) -> Vec<usize> {
+    (0..plan.queries()).map(|k| k % plan.distinct).collect()
+}
+
+/// Warm path: every query goes through the daemon. Client `j` replays
+/// queries `j, j + clients, j + 2·clients, …` on its own connection.
+fn run_warm(
+    addr: &ServerAddr,
+    net_path: &Path,
+    properties: &[RobustnessProperty],
+    plan: &Plan,
+) -> f64 {
+    let order = stream_order(plan);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for j in 0..plan.clients {
+            let order = &order;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("loadgen client connect");
+                for (k, &prop_idx) in order.iter().enumerate().skip(j).step_by(plan.clients) {
+                    let request = VerifyRequest {
+                        id: k as u64 + 1,
+                        network: net_path.display().to_string(),
+                        property: properties[prop_idx].to_text(),
+                        timeout_ms: 60_000,
+                        ..VerifyRequest::default()
+                    };
+                    let reply = client.request(&request.to_line()).expect("loadgen reply");
+                    let kind = reply.str_field("response").expect("response kind");
+                    assert_eq!(kind, "verdict", "unexpected response: {kind}");
+                }
+            });
+        }
+    });
+    start.elapsed().as_secs_f64()
+}
+
+/// Cold baseline: the same stream as one-shot `charon-cli verify` runs,
+/// each reloading the network and building a fresh verifier.
+fn run_cold(net_path: &Path, prop_paths: &[PathBuf], plan: &Plan) -> f64 {
+    let order = stream_order(plan);
+    let start = Instant::now();
+    for &prop_idx in &order {
+        let argv = vec![
+            "verify".to_string(),
+            "--network".to_string(),
+            net_path.display().to_string(),
+            "--property".to_string(),
+            prop_paths[prop_idx].display().to_string(),
+        ];
+        let mut sink = Vec::new();
+        let code = cli::run(&argv, &mut sink);
+        assert_eq!(
+            code.code(),
+            0,
+            "cold run did not verify: {}",
+            String::from_utf8_lossy(&sink)
+        );
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn render_json(plan: &Plan, smoke: bool, warm_s: f64, cold_s: f64, stats: &charon::json::Fields) -> String {
+    let queries = plan.queries() as f64;
+    ObjectBuilder::new()
+        .str("schema", "bench-server-v1")
+        .int("smoke", u64::from(smoke))
+        .int("queries", plan.queries() as u64)
+        .int("distinct", plan.distinct as u64)
+        .int("repeats", plan.repeats as u64)
+        .int("workers", plan.workers as u64)
+        .int("clients", plan.clients as u64)
+        .num("warm_s", warm_s)
+        .num("cold_s", cold_s)
+        .num("speedup", cold_s / warm_s)
+        .num("warm_qps", queries / warm_s)
+        .num("cold_qps", queries / cold_s)
+        .int("completed", stats.usize_field("completed").expect("completed") as u64)
+        .int("cache_hits", stats.usize_field("cache_hits").expect("cache_hits") as u64)
+        .int(
+            "cache_misses",
+            stats.usize_field("cache_misses").expect("cache_misses") as u64,
+        )
+        .num(
+            "cache_hit_rate",
+            stats.f64_field("cache_hit_rate").expect("cache_hit_rate"),
+        )
+        .build()
+}
+
+/// Minimal structural check that the emitted JSON honours the schema the
+/// CI smoke run relies on.
+fn validate_json(json: &str) {
+    for needle in [
+        "\"schema\": \"bench-server-v1\"",
+        "\"speedup\":",
+        "\"cache_hits\":",
+        "\"warm_qps\":",
+    ] {
+        assert!(json.contains(needle), "JSON schema lost field: {needle}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(|| "BENCH_server.json".to_string(), String::clone);
+
+    let plan = if smoke {
+        Plan {
+            distinct: 2,
+            repeats: 2,
+            workers: 1,
+            clients: 1,
+        }
+    } else {
+        Plan {
+            distinct: 8,
+            repeats: 6,
+            workers: 2,
+            clients: 4,
+        }
+    };
+
+    let dir = std::env::temp_dir().join(format!("charon-loadgen-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("loadgen temp dir");
+    let net = bench_network();
+    let net_path = dir.join("bench.net");
+    nn::serialize::save(&net, &net_path).expect("write bench network");
+    let properties = bench_properties(&net, plan.distinct);
+    let prop_paths: Vec<PathBuf> = properties
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let path = dir.join(format!("bench-{i}.prop"));
+            std::fs::write(&path, p.to_text()).expect("write bench property");
+            path
+        })
+        .collect();
+
+    let handle = Server::start(ServerConfig {
+        addr: ServerAddr::Unix(dir.join("loadgen.sock")),
+        workers: plan.workers,
+        queue_capacity: 64,
+        cache_capacity: 256,
+    })
+    .expect("start daemon");
+    let addr = handle.addr().clone();
+
+    let warm_s = run_warm(&addr, &net_path, &properties, &plan);
+    let mut control = Client::connect(&addr).expect("control connect");
+    let stats = control
+        .request("{\"request\": \"stats\"}")
+        .expect("stats request");
+    let drained = control
+        .request("{\"request\": \"drain\"}")
+        .expect("drain request");
+    assert_eq!(
+        drained.f64_field("lost").expect("lost") as i64,
+        0,
+        "daemon lost jobs during drain"
+    );
+    handle.join();
+
+    let cold_s = run_cold(&net_path, &prop_paths, &plan);
+    let speedup = cold_s / warm_s;
+
+    println!("server loadgen ({}):", if smoke { "smoke" } else { "full" });
+    println!(
+        "  {} queries ({} distinct x {} repeats), {} workers, {} clients",
+        plan.queries(),
+        plan.distinct,
+        plan.repeats,
+        plan.workers,
+        plan.clients,
+    );
+    println!(
+        "  warm {:.3}s ({:.1} q/s)   cold {:.3}s ({:.1} q/s)   speedup {:.2}x",
+        warm_s,
+        plan.queries() as f64 / warm_s,
+        cold_s,
+        plan.queries() as f64 / cold_s,
+        speedup,
+    );
+    println!(
+        "  cache: {} hits / {} misses",
+        stats.usize_field("cache_hits").expect("cache_hits"),
+        stats.usize_field("cache_misses").expect("cache_misses"),
+    );
+
+    let json = render_json(&plan, smoke, warm_s, cold_s, &stats);
+    validate_json(&json);
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if !smoke {
+        assert!(
+            speedup >= 2.0,
+            "warm/cold speedup regressed below 2x: {speedup:.2}x"
+        );
+    }
+}

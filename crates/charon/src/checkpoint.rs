@@ -21,6 +21,8 @@
 
 use domains::Bounds;
 
+use crate::error::VerifyError;
+
 /// The resumable remainder of an interrupted verification run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
@@ -59,55 +61,78 @@ impl Checkpoint {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable message on any syntactic problem.
-    pub fn from_text(text: &str) -> Result<Self, String> {
+    /// Returns [`VerifyError::CheckpointVersion`] if the header names a
+    /// `charon-ckpt` version other than 1 (the file is recognizably a
+    /// checkpoint, just from an incompatible build), and
+    /// [`VerifyError::MalformedCheckpoint`] on any other syntactic
+    /// problem.
+    pub fn from_text(text: &str) -> Result<Self, VerifyError> {
+        let malformed = |reason: &str| VerifyError::MalformedCheckpoint {
+            reason: reason.to_string(),
+        };
         let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
-        if lines.next() != Some("charon-ckpt 1") {
-            return Err("bad header (expected 'charon-ckpt 1')".into());
+        match lines.next() {
+            Some("charon-ckpt 1") => {}
+            // A well-formed header with the wrong version is a
+            // compatibility problem, not file corruption.
+            Some(header) if header.starts_with("charon-ckpt ") => {
+                return Err(VerifyError::CheckpointVersion {
+                    found: header.to_string(),
+                });
+            }
+            _ => return Err(malformed("bad header (expected 'charon-ckpt 1')")),
         }
         let target = lines
             .next()
             .and_then(|l| l.strip_prefix("target "))
             .and_then(|s| s.parse::<usize>().ok())
-            .ok_or("bad target line")?;
+            .ok_or_else(|| malformed("bad target line"))?;
         let dim = lines
             .next()
             .and_then(|l| l.strip_prefix("dim "))
             .and_then(|s| s.parse::<usize>().ok())
-            .ok_or("bad dim line")?;
+            .ok_or_else(|| malformed("bad dim line"))?;
         let regions_done = lines
             .next()
             .and_then(|l| l.strip_prefix("done "))
             .and_then(|s| s.parse::<usize>().ok())
-            .ok_or("bad done line")?;
+            .ok_or_else(|| malformed("bad done line"))?;
         let mut pending = Vec::new();
         loop {
-            let line = lines.next().ok_or("missing end marker")?;
+            let line = lines.next().ok_or_else(|| malformed("missing end marker"))?;
             if line == "end" {
                 break;
             }
-            let rest = line.strip_prefix("region ").ok_or("bad region line")?;
+            let rest = line
+                .strip_prefix("region ")
+                .ok_or_else(|| malformed("bad region line"))?;
             let mut parts = rest.split_whitespace();
             let depth: usize = parts
                 .next()
                 .and_then(|s| s.parse().ok())
-                .ok_or("bad region depth")?;
-            let values: Result<Vec<f64>, String> = parts
-                .map(|s| s.parse::<f64>().map_err(|_| format!("bad bound {s:?}")))
+                .ok_or_else(|| malformed("bad region depth"))?;
+            let values: Result<Vec<f64>, VerifyError> = parts
+                .map(|s| {
+                    s.parse::<f64>()
+                        .map_err(|_| malformed(&format!("bad bound {s:?}")))
+                })
                 .collect();
             let values = values?;
             if values.len() != 2 * dim {
-                return Err(format!(
+                return Err(malformed(&format!(
                     "region line has {} values, expected {}",
                     values.len(),
                     2 * dim
-                ));
+                )));
             }
             let mut lower = Vec::with_capacity(dim);
             let mut upper = Vec::with_capacity(dim);
             for pair in values.chunks_exact(2) {
                 if pair[0] > pair[1] || pair[0].is_nan() || pair[1].is_nan() {
-                    return Err(format!("invalid bound pair [{}, {}]", pair[0], pair[1]));
+                    return Err(malformed(&format!(
+                        "invalid bound pair [{}, {}]",
+                        pair[0], pair[1]
+                    )));
                 }
                 lower.push(pair[0]);
                 upper.push(pair[1]);
@@ -134,10 +159,13 @@ impl Checkpoint {
     ///
     /// # Errors
     ///
-    /// Returns a message if the file cannot be read or parsed.
-    pub fn load(path: &std::path::Path) -> Result<Self, String> {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    /// Returns [`VerifyError::MalformedCheckpoint`] if the file cannot be
+    /// read, plus everything [`Checkpoint::from_text`] reports.
+    pub fn load(path: &std::path::Path) -> Result<Self, VerifyError> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| VerifyError::MalformedCheckpoint {
+                reason: format!("cannot read {}: {e}", path.display()),
+            })?;
         Checkpoint::from_text(&text)
     }
 }
@@ -192,10 +220,35 @@ mod tests {
             ("charon-ckpt 1\ntarget 0\ndim 1\ndone 0", "missing end"),
         ];
         for (text, why) in cases {
-            assert!(
-                Checkpoint::from_text(text).is_err(),
-                "should reject {why}: {text:?}"
-            );
+            match Checkpoint::from_text(text) {
+                Err(VerifyError::MalformedCheckpoint { reason }) => {
+                    assert!(!reason.is_empty(), "{why}: empty diagnostic")
+                }
+                other => panic!("should reject {why} as MalformedCheckpoint, got {other:?}"),
+            }
         }
+    }
+
+    #[test]
+    fn version_mismatch_is_a_typed_error_not_a_parse_failure() {
+        // A checkpoint written by a hypothetical newer build must be
+        // rejected as a version incompatibility with a clear message, so
+        // operators do not chase a corruption that isn't there.
+        let future = sample().to_text().replace("charon-ckpt 1", "charon-ckpt 2");
+        match Checkpoint::from_text(&future) {
+            Err(VerifyError::CheckpointVersion { found }) => {
+                assert_eq!(found, "charon-ckpt 2");
+            }
+            other => panic!("expected CheckpointVersion, got {other:?}"),
+        }
+        let msg = Checkpoint::from_text(&future).unwrap_err().to_string();
+        assert!(msg.contains("charon-ckpt 1"), "message names the supported version: {msg}");
+        assert!(msg.contains("charon-ckpt 2"), "message names the found version: {msg}");
+
+        // Garbage that merely mentions no version stays a parse failure.
+        assert!(matches!(
+            Checkpoint::from_text("bogus\nend"),
+            Err(VerifyError::MalformedCheckpoint { .. })
+        ));
     }
 }

@@ -73,6 +73,19 @@ pub enum VerifyError {
         /// Human-readable description of the defect.
         reason: String,
     },
+    /// A checkpoint file declares a format version this build does not
+    /// read. Distinct from [`VerifyError::MalformedCheckpoint`] so
+    /// callers can tell "wrong tool version" from "corrupted file".
+    CheckpointVersion {
+        /// The header line found in the file.
+        found: String,
+    },
+    /// A checkpoint file is syntactically unusable (truncated, bad
+    /// bounds, wrong arity).
+    MalformedCheckpoint {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for VerifyError {
@@ -86,6 +99,14 @@ impl std::fmt::Display for VerifyError {
             }
             VerifyError::Budget { kind } => write!(f, "budget exhausted: {kind}"),
             VerifyError::MalformedModel { reason } => write!(f, "malformed model: {reason}"),
+            VerifyError::CheckpointVersion { found } => write!(
+                f,
+                "unsupported checkpoint version: found {found:?}, but this build reads \
+                 'charon-ckpt 1' (was the checkpoint written by a newer build?)"
+            ),
+            VerifyError::MalformedCheckpoint { reason } => {
+                write!(f, "malformed checkpoint: {reason}")
+            }
         }
     }
 }
@@ -121,6 +142,12 @@ mod tests {
             },
             VerifyError::MalformedModel {
                 reason: "NaN weight".into(),
+            },
+            VerifyError::CheckpointVersion {
+                found: "charon-ckpt 7".into(),
+            },
+            VerifyError::MalformedCheckpoint {
+                reason: "missing end marker".into(),
             },
         ];
         for e in errors {

@@ -79,6 +79,7 @@ mod property;
 mod verify;
 
 pub mod faults;
+pub mod json;
 pub mod parallel;
 pub mod policy;
 pub mod portfolio;

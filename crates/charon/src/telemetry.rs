@@ -26,13 +26,16 @@
 //!
 //! JSON is hand-rolled: the workspace deliberately has no serde_json (the
 //! vendored `serde` is a marker-trait stub), so [`TraceEvent::to_json`]
-//! and [`TraceEvent::from_json`] implement the one flat schema this
-//! module needs and round-trip it exactly.
+//! and [`TraceEvent::from_json`] build on the shared flat-object codec in
+//! [`crate::json`] (also used by the verification server's wire protocol)
+//! and round-trip the one schema this module needs exactly.
 
 use std::io::Write;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+
+use crate::json::{json_f64, json_str, parse_flat_object};
 
 /// One structured event from the verification engine.
 ///
@@ -120,42 +123,6 @@ pub enum TraceEvent {
         /// Region ordinal at which the fault fired.
         ordinal: usize,
     },
-}
-
-/// Encodes an `f64` as a JSON token, mapping non-finite values to the
-/// strings `"inf"`, `"-inf"`, and `"nan"` (plain JSON has no spelling
-/// for them).
-fn json_f64(v: f64) -> String {
-    if v.is_nan() {
-        "\"nan\"".to_string()
-    } else if v == f64::INFINITY {
-        "\"inf\"".to_string()
-    } else if v == f64::NEG_INFINITY {
-        "\"-inf\"".to_string()
-    } else {
-        // `{:?}` prints the shortest representation that round-trips.
-        format!("{v:?}")
-    }
-}
-
-/// Escapes a string for a JSON literal (quotes, backslashes, control
-/// characters).
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 impl TraceEvent {
@@ -309,202 +276,6 @@ impl TraceEvent {
             other => Err(format!("unknown event kind {other:?}")),
         }
     }
-}
-
-/// A parsed JSON scalar/array value from a flat event object.
-#[derive(Debug, Clone, PartialEq)]
-enum JsonValue {
-    Num(f64),
-    Str(String),
-    Arr(Vec<f64>),
-}
-
-/// The parsed `key: value` pairs of one flat event object.
-struct Fields(Vec<(String, JsonValue)>);
-
-impl Fields {
-    fn get(&self, key: &str) -> Result<&JsonValue, String> {
-        self.0
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v)
-            .ok_or_else(|| format!("missing field {key:?}"))
-    }
-
-    fn str_field(&self, key: &str) -> Result<String, String> {
-        match self.get(key)? {
-            JsonValue::Str(s) => Ok(s.clone()),
-            other => Err(format!("field {key:?} is not a string: {other:?}")),
-        }
-    }
-
-    /// Numeric field; the strings `"inf"`, `"-inf"` and `"nan"` decode
-    /// to the corresponding non-finite floats.
-    fn f64_field(&self, key: &str) -> Result<f64, String> {
-        match self.get(key)? {
-            JsonValue::Num(v) => Ok(*v),
-            JsonValue::Str(s) => decode_nonfinite(s)
-                .ok_or_else(|| format!("field {key:?} is not a number: {s:?}")),
-            other => Err(format!("field {key:?} is not a number: {other:?}")),
-        }
-    }
-
-    fn usize_field(&self, key: &str) -> Result<usize, String> {
-        let v = self.f64_field(key)?;
-        if v >= 0.0 && v.fract() == 0.0 && v <= usize::MAX as f64 {
-            Ok(v as usize)
-        } else {
-            Err(format!("field {key:?} is not a non-negative integer: {v}"))
-        }
-    }
-
-    fn arr_field(&self, key: &str) -> Result<Vec<f64>, String> {
-        match self.get(key)? {
-            JsonValue::Arr(v) => Ok(v.clone()),
-            other => Err(format!("field {key:?} is not an array: {other:?}")),
-        }
-    }
-}
-
-fn decode_nonfinite(s: &str) -> Option<f64> {
-    match s {
-        "inf" => Some(f64::INFINITY),
-        "-inf" => Some(f64::NEG_INFINITY),
-        "nan" => Some(f64::NAN),
-        _ => None,
-    }
-}
-
-/// Parses one flat JSON object `{"k": v, ...}` where values are numbers,
-/// strings, or arrays of numbers — the only shapes [`TraceEvent::to_json`]
-/// emits.
-fn parse_flat_object(line: &str) -> Result<Fields, String> {
-    let mut chars = line.trim().char_indices().peekable();
-    let text = line.trim();
-    let expect = |chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
-                  want: char|
-     -> Result<(), String> {
-        match chars.next() {
-            Some((_, c)) if c == want => Ok(()),
-            Some((i, c)) => Err(format!("expected {want:?} at byte {i}, found {c:?}")),
-            None => Err(format!("expected {want:?}, found end of input")),
-        }
-    };
-    let skip_ws = |chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>| {
-        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
-            chars.next();
-        }
-    };
-    fn parse_string(
-        chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
-    ) -> Result<String, String> {
-        match chars.next() {
-            Some((_, '"')) => {}
-            other => return Err(format!("expected string, found {other:?}")),
-        }
-        let mut out = String::new();
-        loop {
-            match chars.next() {
-                None => return Err("unterminated string".to_string()),
-                Some((_, '"')) => return Ok(out),
-                Some((_, '\\')) => match chars.next() {
-                    Some((_, '"')) => out.push('"'),
-                    Some((_, '\\')) => out.push('\\'),
-                    Some((_, 'n')) => out.push('\n'),
-                    Some((_, 't')) => out.push('\t'),
-                    Some((_, 'r')) => out.push('\r'),
-                    Some((_, 'u')) => {
-                        let mut code = 0u32;
-                        for _ in 0..4 {
-                            let d = chars
-                                .next()
-                                .and_then(|(_, c)| c.to_digit(16))
-                                .ok_or("bad \\u escape")?;
-                            code = code * 16 + d;
-                        }
-                        out.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
-                    }
-                    other => return Err(format!("bad escape {other:?}")),
-                },
-                Some((_, c)) => out.push(c),
-            }
-        }
-    }
-    fn parse_number(
-        chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
-        text: &str,
-    ) -> Result<f64, String> {
-        let start = chars.peek().map(|(i, _)| *i).unwrap_or(text.len());
-        let mut end = start;
-        while matches!(
-            chars.peek(),
-            Some((_, c)) if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')
-        ) {
-            end = chars.next().map(|(i, c)| i + c.len_utf8()).unwrap_or(end);
-        }
-        text[start..end]
-            .parse::<f64>()
-            .map_err(|e| format!("bad number {:?}: {e}", &text[start..end]))
-    }
-
-    expect(&mut chars, '{')?;
-    let mut fields = Vec::new();
-    skip_ws(&mut chars);
-    if matches!(chars.peek(), Some((_, '}'))) {
-        chars.next();
-        return Ok(Fields(fields));
-    }
-    loop {
-        skip_ws(&mut chars);
-        let key = parse_string(&mut chars)?;
-        skip_ws(&mut chars);
-        expect(&mut chars, ':')?;
-        skip_ws(&mut chars);
-        let value = match chars.peek() {
-            Some((_, '"')) => JsonValue::Str(parse_string(&mut chars)?),
-            Some((_, '[')) => {
-                chars.next();
-                let mut items = Vec::new();
-                skip_ws(&mut chars);
-                if matches!(chars.peek(), Some((_, ']'))) {
-                    chars.next();
-                } else {
-                    loop {
-                        skip_ws(&mut chars);
-                        let item = match chars.peek() {
-                            Some((_, '"')) => {
-                                let s = parse_string(&mut chars)?;
-                                decode_nonfinite(&s)
-                                    .ok_or_else(|| format!("bad array item {s:?}"))?
-                            }
-                            _ => parse_number(&mut chars, text)?,
-                        };
-                        items.push(item);
-                        skip_ws(&mut chars);
-                        match chars.next() {
-                            Some((_, ',')) => {}
-                            Some((_, ']')) => break,
-                            other => return Err(format!("bad array separator {other:?}")),
-                        }
-                    }
-                }
-                JsonValue::Arr(items)
-            }
-            _ => JsonValue::Num(parse_number(&mut chars, text)?),
-        };
-        fields.push((key, value));
-        skip_ws(&mut chars);
-        match chars.next() {
-            Some((_, ',')) => {}
-            Some((_, '}')) => break,
-            other => return Err(format!("bad object separator {other:?}")),
-        }
-    }
-    skip_ws(&mut chars);
-    if chars.next().is_some() {
-        return Err("trailing content after object".to_string());
-    }
-    Ok(Fields(fields))
 }
 
 /// A consumer of [`TraceEvent`]s.

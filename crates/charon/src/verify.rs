@@ -320,11 +320,33 @@ impl Verifier {
         net: &Network,
         property: &RobustnessProperty,
     ) -> Result<VerifyRun, VerifyError> {
+        let mut ws = Workspace::new();
+        self.try_verify_run_ws(net, property, &mut ws)
+    }
+
+    /// As [`Verifier::try_verify_run`], but propagating through a
+    /// caller-owned [`Workspace`] scratch arena.
+    ///
+    /// Long-lived callers that verify many properties back to back (the
+    /// verification server's worker pool, batch certification) keep one
+    /// arena per worker thread so layer buffers recycle across *jobs*,
+    /// not just across the regions of one run.
+    ///
+    /// # Errors
+    ///
+    /// As [`Verifier::try_verify_run`].
+    pub fn try_verify_run_ws(
+        &self,
+        net: &Network,
+        property: &RobustnessProperty,
+        ws: &mut Workspace,
+    ) -> Result<VerifyRun, VerifyError> {
         validate_problem(net, property.region(), property.target())?;
         self.run_worklist(
             net,
             property.target(),
             vec![(property.region().clone(), 0)],
+            ws,
         )
     }
 
@@ -360,6 +382,22 @@ impl Verifier {
     ///
     /// As [`Verifier::try_verify_run`].
     pub fn resume(&self, net: &Network, checkpoint: &Checkpoint) -> Result<VerifyRun, VerifyError> {
+        let mut ws = Workspace::new();
+        self.resume_ws(net, checkpoint, &mut ws)
+    }
+
+    /// As [`Verifier::resume`], but propagating through a caller-owned
+    /// [`Workspace`] scratch arena (see [`Verifier::try_verify_run_ws`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Verifier::try_verify_run`].
+    pub fn resume_ws(
+        &self,
+        net: &Network,
+        checkpoint: &Checkpoint,
+        ws: &mut Workspace,
+    ) -> Result<VerifyRun, VerifyError> {
         if checkpoint.target >= net.output_dim() {
             return Err(VerifyError::MalformedModel {
                 reason: format!(
@@ -372,7 +410,7 @@ impl Verifier {
         for (region, _) in &checkpoint.pending {
             validate_problem(net, region, checkpoint.target)?;
         }
-        self.run_worklist(net, checkpoint.target, checkpoint.pending.clone())
+        self.run_worklist(net, checkpoint.target, checkpoint.pending.clone(), ws)
     }
 
     /// The shared depth-first driver behind every entry point.
@@ -381,6 +419,7 @@ impl Verifier {
         net: &Network,
         target: usize,
         mut stack: Vec<(Bounds, usize)>,
+        ws: &mut Workspace,
     ) -> Result<VerifyRun, VerifyError> {
         let start = Instant::now();
         let deadline = start + self.config.timeout;
@@ -403,10 +442,9 @@ impl Verifier {
             objective_lipschitz,
             trace: self.trace.as_ref(),
         };
-        // One scratch arena for the whole run: per-region propagation
-        // reuses layer buffers instead of reallocating them.
-        let mut ws = Workspace::new();
-
+        // The caller-provided scratch arena spans the whole run (and, for
+        // long-lived callers, many runs): per-region propagation reuses
+        // layer buffers instead of reallocating them.
         let outcome = loop {
             let Some((region, depth)) = stack.pop() else {
                 break Ok((Verdict::Verified, None, None));
@@ -460,7 +498,7 @@ impl Verifier {
             stats.regions += 1;
             stats.max_depth = stats.max_depth.max(depth);
 
-            match guarded_region_step(&env, &region, ordinal, &mut stats, &mut ws) {
+            match guarded_region_step(&env, &region, ordinal, &mut stats, ws) {
                 Err(e) => break Err(e),
                 Ok(RegionOutcome::Verified) => stats.verified_regions += 1,
                 Ok(RegionOutcome::Refuted(cex)) => {

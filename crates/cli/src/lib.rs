@@ -14,13 +14,23 @@
 //! charon-cli prop    --zoo NAME --image N --tau T --out-network NET --out-property PROP
 //! charon-cli certify --zoo NAME --eps E [--points N] [--timeout-ms N]
 //! charon-cli trace   --in FILE
+//! charon-cli serve   --addr ADDR [--workers N] [--queue N] [--cache N]
+//! charon-cli submit  --addr ADDR (--network NET --property PROP | --stats | --drain | --ping)
+//!                    [--id N] [--priority N] [--deadline-ms N] [--timeout-ms N]
+//!                    [--delta D] [--restarts N] [--seed N] [--no-cex] [--checkpoint FILE]
 //! ```
 //!
 //! Networks use the `nn::serialize` plain-text format and properties the
 //! `charon-prop` format (see [`charon::RobustnessProperty::from_text`]).
-//! Exit codes from `verify`: 0 = verified, 1 = refuted, 2 = resource
-//! limit, 64 = usage error, 65 = unreadable/malformed input data
-//! (`EX_DATAERR`), 70 = internal engine failure (`EX_SOFTWARE`).
+//! Exit codes from `verify` and `submit`: 0 = verified, 1 = refuted,
+//! 2 = resource limit, 64 = usage error, 65 = unreadable/malformed input
+//! data (`EX_DATAERR`), 69 = daemon unavailable (`EX_UNAVAILABLE`:
+//! connection refused, queue full, or draining), 70 = internal engine
+//! failure (`EX_SOFTWARE`).
+//!
+//! `serve` runs the [`server`] daemon in the foreground until a client
+//! drains it; `submit` is the matching one-shot client. An address is
+//! either `unix:/path/to.sock` (or a bare path) or `tcp:host:port`.
 //!
 //! Interrupted `verify` runs can persist their worklist with
 //! `--checkpoint FILE` and continue later with `--resume FILE`.
@@ -53,6 +63,9 @@ pub enum ExitCode {
     UsageError,
     /// Input data could not be loaded or is malformed (`EX_DATAERR`).
     DataError,
+    /// The daemon could not take the job: connection refused, queue
+    /// full, or draining (`EX_UNAVAILABLE`).
+    Unavailable,
     /// The verification engine itself failed (`EX_SOFTWARE`).
     EngineError,
 }
@@ -66,6 +79,7 @@ impl ExitCode {
             ExitCode::ResourceLimit => 2,
             ExitCode::UsageError => 64,
             ExitCode::DataError => 65,
+            ExitCode::Unavailable => 69,
             ExitCode::EngineError => 70,
         }
     }
@@ -81,6 +95,9 @@ enum CliError {
     /// Unreadable or malformed input data (network, property, policy,
     /// checkpoint files).
     Data(String),
+    /// The daemon refused or cannot be reached (connect failure, queue
+    /// full, draining).
+    Unavailable(String),
     /// Internal engine failure (worker panic, numeric poisoning).
     Engine(String),
 }
@@ -131,7 +148,7 @@ impl Args {
                 ));
             };
             // Boolean switches take no value.
-            if matches!(name, "no-cex" | "help" | "stats" | "report") {
+            if matches!(name, "no-cex" | "help" | "stats" | "report" | "drain" | "ping") {
                 switches.push(name.to_string());
                 continue;
             }
@@ -197,7 +214,7 @@ impl Args {
 }
 
 fn usage() -> String {
-    "usage:\n  charon-cli verify  --network NET (--property PROP | --resume CKPT) [--timeout-ms N] [--delta D] [--policy FILE] [--parallel N] [--checkpoint FILE] [--no-cex] [--stats] [--report] [--trace-out FILE]\n  charon-cli attack  --network NET --property PROP [--restarts N] [--seed N]\n  charon-cli train   [--seed N] [--time-limit-ms N] --out FILE\n  charon-cli info    --network NET\n  charon-cli example --out-network NET --out-property PROP\n  charon-cli prop    --zoo NAME --image N --tau T --out-network NET --out-property PROP\n  charon-cli certify --zoo NAME --eps E [--points N] [--timeout-ms N]\n  charon-cli trace   --in FILE".to_string()
+    "usage:\n  charon-cli verify  --network NET (--property PROP | --resume CKPT) [--timeout-ms N] [--delta D] [--policy FILE] [--parallel N] [--checkpoint FILE] [--no-cex] [--stats] [--report] [--trace-out FILE]\n  charon-cli attack  --network NET --property PROP [--restarts N] [--seed N]\n  charon-cli train   [--seed N] [--time-limit-ms N] --out FILE\n  charon-cli info    --network NET\n  charon-cli example --out-network NET --out-property PROP\n  charon-cli prop    --zoo NAME --image N --tau T --out-network NET --out-property PROP\n  charon-cli certify --zoo NAME --eps E [--points N] [--timeout-ms N]\n  charon-cli trace   --in FILE\n  charon-cli serve   --addr ADDR [--workers N] [--queue N] [--cache N]\n  charon-cli submit  --addr ADDR (--network NET --property PROP | --stats | --drain | --ping) [--id N] [--priority N] [--deadline-ms N] [--timeout-ms N] [--delta D] [--restarts N] [--seed N] [--no-cex] [--checkpoint FILE]".to_string()
 }
 
 /// Executes a CLI invocation, writing human-readable output to `out`.
@@ -208,6 +225,7 @@ pub fn run(argv: &[String], out: &mut impl std::io::Write) -> ExitCode {
             let (msg, code) = match e {
                 CliError::Usage(msg) => (msg, ExitCode::UsageError),
                 CliError::Data(msg) => (msg, ExitCode::DataError),
+                CliError::Unavailable(msg) => (msg, ExitCode::Unavailable),
                 CliError::Engine(msg) => (msg, ExitCode::EngineError),
             };
             let _ = writeln!(out, "error: {msg}");
@@ -231,6 +249,8 @@ fn run_inner(argv: &[String], out: &mut impl std::io::Write) -> Result<ExitCode,
         "prop" => cmd_prop(&args, out),
         "certify" => cmd_certify(&args, out),
         "trace" => cmd_trace(&args, out),
+        "serve" => cmd_serve(&args, out),
+        "submit" => cmd_submit(&args, out),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}\n{}",
             usage()
@@ -594,6 +614,204 @@ fn cmd_trace(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, Cli
     }
     writeln!(out, "  max depth: {}", summary.max_depth).map_err(|e| e.to_string())?;
     Ok(ExitCode::Success)
+}
+
+/// Runs the verification daemon in the foreground. Returns once a
+/// client drains it (`submit --drain`).
+fn cmd_serve(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, CliError> {
+    let addr = server::ServerAddr::parse(args.require("addr")?).map_err(CliError::Usage)?;
+    let config = server::ServerConfig {
+        addr,
+        workers: args.get_u64("workers", 2)? as usize,
+        queue_capacity: args.get_u64("queue", 64)? as usize,
+        cache_capacity: args.get_u64("cache", 256)? as usize,
+    };
+    let handle = server::Server::start(config)
+        .map_err(|e| CliError::Unavailable(format!("cannot start daemon: {e}")))?;
+    writeln!(out, "listening on {}", handle.addr()).map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())?;
+    handle.join();
+    writeln!(out, "daemon drained, shutting down").map_err(|e| e.to_string())?;
+    Ok(ExitCode::Success)
+}
+
+/// Any transport failure talking to the daemon is an availability
+/// problem, not a data or engine problem.
+fn io_unavailable(e: std::io::Error) -> CliError {
+    CliError::Unavailable(format!("daemon connection failed: {e}"))
+}
+
+/// One-shot client for a running daemon: submits a verify job, or with
+/// `--stats` / `--drain` / `--ping` sends the matching control request.
+fn cmd_submit(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, CliError> {
+    let addr = server::ServerAddr::parse(args.require("addr")?).map_err(CliError::Usage)?;
+    let mut client = server::Client::connect(&addr)
+        .map_err(|e| CliError::Unavailable(format!("cannot connect to {addr}: {e}")))?;
+
+    if args.switch("ping") {
+        let reply = client
+            .request("{\"request\": \"ping\"}")
+            .map_err(io_unavailable)?;
+        let protocol = reply.usize_field("protocol").map_err(CliError::Engine)?;
+        writeln!(out, "pong (protocol {protocol})").map_err(|e| e.to_string())?;
+        return Ok(ExitCode::Success);
+    }
+
+    if args.switch("stats") {
+        let reply = client
+            .request("{\"request\": \"stats\"}")
+            .map_err(io_unavailable)?;
+        // Render every counter on its own `name: value` line so shell
+        // scripts can grep a single field.
+        for key in [
+            "protocol",
+            "workers",
+            "queue_depth",
+            "queue_capacity",
+            "draining",
+            "accepted",
+            "completed",
+            "checkpointed",
+            "unstarted",
+            "rejected_full",
+            "rejected_draining",
+            "errored",
+            "deadline_expired",
+            "cache_entries",
+            "cache_hits",
+            "cache_misses",
+            "cache_evictions",
+            "registry_models",
+            "registry_hits",
+            "registry_misses",
+            "attack_calls",
+            "propagation_calls",
+            "policy_calls",
+        ] {
+            let value = reply.usize_field(key).map_err(CliError::Engine)?;
+            writeln!(out, "{key}: {value}").map_err(|e| e.to_string())?;
+        }
+        let hit_rate = reply.f64_field("cache_hit_rate").map_err(CliError::Engine)?;
+        writeln!(out, "cache_hit_rate: {hit_rate:.3}").map_err(|e| e.to_string())?;
+        return Ok(ExitCode::Success);
+    }
+
+    if args.switch("drain") {
+        let reply = client
+            .request("{\"request\": \"drain\"}")
+            .map_err(io_unavailable)?;
+        let lost = reply.f64_field("lost").map_err(CliError::Engine)? as i64;
+        writeln!(
+            out,
+            "drained: accepted={} completed={} checkpointed={} unstarted={} lost={lost}",
+            reply.usize_field("accepted").map_err(CliError::Engine)?,
+            reply.usize_field("completed").map_err(CliError::Engine)?,
+            reply.usize_field("checkpointed").map_err(CliError::Engine)?,
+            reply.usize_field("unstarted").map_err(CliError::Engine)?,
+        )
+        .map_err(|e| e.to_string())?;
+        return if lost == 0 {
+            Ok(ExitCode::Success)
+        } else {
+            Err(CliError::Engine(format!("daemon lost {lost} job(s) during drain")))
+        };
+    }
+
+    let prop_path = args.require("property")?;
+    let property = std::fs::read_to_string(prop_path)
+        .map_err(|e| CliError::Data(format!("cannot read {prop_path}: {e}")))?;
+    let request = server::VerifyRequest {
+        id: args.get_u64("id", 1)?,
+        network: args.require("network")?.to_string(),
+        property,
+        priority: args.get_f64("priority", 0.0)? as i64,
+        deadline_ms: match args.get("deadline-ms") {
+            Some(_) => Some(args.get_u64("deadline-ms", 0)?),
+            None => None,
+        },
+        timeout_ms: args.get_u64("timeout-ms", server::protocol::DEFAULT_TIMEOUT_MS)?,
+        delta: args.get_f64("delta", 1e-9)?,
+        max_regions: args.get_u64("max-regions", 200_000)? as usize,
+        restarts: args.get_u64("restarts", 2)? as usize,
+        seed: args.get_u64("seed", 0)?,
+        cex_search: !args.switch("no-cex"),
+    };
+    let reply = client.request(&request.to_line()).map_err(io_unavailable)?;
+
+    match reply.str_field("response").map_err(CliError::Engine)?.as_str() {
+        "verdict" => {
+            let cached = reply.opt_usize("cached").map_err(CliError::Engine)?.unwrap_or(0);
+            let provenance = if cached != 0 { " (cached)" } else { "" };
+            match reply.str_field("verdict").map_err(CliError::Engine)?.as_str() {
+                "verified" => {
+                    writeln!(out, "verified{provenance}").map_err(|e| e.to_string())?;
+                    Ok(ExitCode::Success)
+                }
+                "refuted" => {
+                    let objective = reply.opt_f64("objective").map_err(CliError::Engine)?;
+                    let point = reply
+                        .opt("counterexample")
+                        .map(|_| reply.arr_field("counterexample"))
+                        .transpose()
+                        .map_err(CliError::Engine)?;
+                    match (objective, point) {
+                        (Some(objective), Some(point)) => writeln!(
+                            out,
+                            "refuted{provenance}: F = {objective:.6} at {point:?}"
+                        ),
+                        _ => writeln!(out, "refuted{provenance}"),
+                    }
+                    .map_err(|e| e.to_string())?;
+                    Ok(ExitCode::Refuted)
+                }
+                "resource_limit" => {
+                    match reply.opt_str("limit").map_err(CliError::Engine)? {
+                        Some(kind) => writeln!(out, "resource limit reached ({kind})"),
+                        None => writeln!(out, "resource limit reached"),
+                    }
+                    .map_err(|e| e.to_string())?;
+                    Ok(ExitCode::ResourceLimit)
+                }
+                other => Err(CliError::Engine(format!("unknown verdict {other:?}"))),
+            }
+        }
+        "checkpointed" => {
+            let regions = reply.usize_field("regions_done").map_err(CliError::Engine)?;
+            writeln!(
+                out,
+                "daemon drained mid-run after {regions} regions; job is resumable"
+            )
+            .map_err(|e| e.to_string())?;
+            if let Some(path) = args.get("checkpoint") {
+                let text = reply.str_field("checkpoint").map_err(CliError::Engine)?;
+                std::fs::write(path, text)
+                    .map_err(|e| CliError::Data(format!("cannot write checkpoint {path}: {e}")))?;
+                writeln!(out, "checkpoint written to {path}").map_err(|e| e.to_string())?;
+            }
+            Ok(ExitCode::ResourceLimit)
+        }
+        "unstarted" => {
+            writeln!(out, "daemon drained before the job started; resubmit it elsewhere")
+                .map_err(|e| e.to_string())?;
+            Ok(ExitCode::Unavailable)
+        }
+        "error" => {
+            let code = reply.str_field("error").map_err(CliError::Engine)?;
+            let message = reply
+                .opt_str("message")
+                .map_err(CliError::Engine)?
+                .unwrap_or_default();
+            let rendered = format!("{code}: {message}");
+            match code.as_str() {
+                "queue_full" | "draining" => Err(CliError::Unavailable(rendered)),
+                "bad_request" | "model_error" | "deadline_expired" => {
+                    Err(CliError::Data(rendered))
+                }
+                _ => Err(CliError::Engine(rendered)),
+            }
+        }
+        other => Err(CliError::Engine(format!("unknown response kind {other:?}"))),
+    }
 }
 
 #[cfg(test)]
@@ -1065,12 +1283,96 @@ mod tests {
             ExitCode::ResourceLimit,
             ExitCode::UsageError,
             ExitCode::DataError,
+            ExitCode::Unavailable,
             ExitCode::EngineError,
         ];
         assert_eq!(
             codes.map(ExitCode::code),
-            [0, 1, 2, 64, 65, 70],
+            [0, 1, 2, 64, 65, 69, 70],
             "exit codes are a published interface"
         );
+    }
+
+    #[test]
+    fn submit_to_missing_daemon_is_unavailable() {
+        let dir = temp_dir();
+        let sock = dir.join("nobody-home.sock");
+        let (code, output) = run_capture(&[
+            "submit",
+            "--addr",
+            sock.to_str().unwrap(),
+            "--ping",
+        ]);
+        assert_eq!(code, ExitCode::Unavailable, "output: {output}");
+        assert!(output.contains("cannot connect"), "output: {output}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn submit_rejects_bad_address_scheme() {
+        let (code, output) = run_capture(&["submit", "--addr", "ftp:example.com:21", "--ping"]);
+        assert_eq!(code, ExitCode::UsageError, "output: {output}");
+    }
+
+    #[test]
+    fn serve_then_submit_full_lifecycle() {
+        let dir = temp_dir();
+        let sock = dir.join("daemon.sock");
+        let net = dir.join("xor.net");
+        let prop = dir.join("p.prop");
+        run_capture(&[
+            "example",
+            "--out-network",
+            net.to_str().unwrap(),
+            "--out-property",
+            prop.to_str().unwrap(),
+        ]);
+
+        // The daemon runs in the foreground until drained, so host it on
+        // a helper thread and drive it with `submit` from this one.
+        let sock_str = sock.to_str().unwrap().to_string();
+        let daemon = std::thread::spawn({
+            let sock_str = sock_str.clone();
+            move || run_capture(&["serve", "--addr", &sock_str, "--workers", "1"])
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !sock.exists() {
+            assert!(std::time::Instant::now() < deadline, "daemon never bound");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+
+        // First submission computes, the duplicate must be served from
+        // the result cache.
+        for expect_cached in [false, true] {
+            let (code, output) = run_capture(&[
+                "submit",
+                "--addr",
+                &sock_str,
+                "--network",
+                net.to_str().unwrap(),
+                "--property",
+                prop.to_str().unwrap(),
+            ]);
+            assert_eq!(code, ExitCode::Success, "output: {output}");
+            assert_eq!(
+                output.contains("(cached)"),
+                expect_cached,
+                "output: {output}"
+            );
+        }
+
+        let (code, output) = run_capture(&["submit", "--addr", &sock_str, "--stats"]);
+        assert_eq!(code, ExitCode::Success, "output: {output}");
+        assert!(output.contains("cache_hits: 1"), "output: {output}");
+        assert!(output.contains("completed: 2"), "output: {output}");
+
+        let (code, output) = run_capture(&["submit", "--addr", &sock_str, "--drain"]);
+        assert_eq!(code, ExitCode::Success, "output: {output}");
+        assert!(output.contains("lost=0"), "output: {output}");
+
+        let (code, output) = daemon.join().unwrap();
+        assert_eq!(code, ExitCode::Success, "output: {output}");
+        assert!(output.contains("listening on"), "output: {output}");
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -151,17 +151,7 @@ pub fn default_cache_dir() -> PathBuf {
 pub fn build(which: ZooNetwork, config: &ZooConfig) -> (Network, f64) {
     let data = which.dataset(config.train_size + 100, config.seed);
     let (train, test) = data.split(config.train_size);
-    // The cache key includes a fingerprint of the training data so that
-    // changes to the synthetic generators invalidate stale networks.
-    let fingerprint: u64 = train
-        .images
-        .first()
-        .map(|img| {
-            img.iter().fold(0u64, |acc, v| {
-                acc.wrapping_mul(31).wrapping_add(v.to_bits())
-            })
-        })
-        .unwrap_or(0);
+    let fingerprint = training_fingerprint(&train, config);
     let cache_path = config.cache_dir.as_ref().map(|dir| {
         dir.join(format!(
             "{}-s{}-n{}-d{:016x}.net",
@@ -200,6 +190,38 @@ pub fn build(which: ZooNetwork, config: &ZooConfig) -> (Network, f64) {
         let _ = nn::serialize::save(&net, path);
     }
     (net, acc)
+}
+
+/// Content hash of everything that determines the trained network
+/// besides the architecture (which the cache file name already pins):
+/// every training image and label, the class count, and the training
+/// hyper-parameters.
+///
+/// Uses the same FNV-1a hash as [`nn::serialize::content_hash`] (and the
+/// verification server's model registry), so *any* change to the
+/// synthetic data generators or to a retraining configuration produces a
+/// different cache key. The previous scheme fingerprinted only the first
+/// training image, which let a retrained network with the same name
+/// silently serve a stale cached artifact.
+fn training_fingerprint(train: &Dataset, config: &ZooConfig) -> u64 {
+    let mut bytes = Vec::with_capacity(
+        train.images.len() * train.input_dim().max(1) * 8 + train.labels.len() * 8 + 64,
+    );
+    for img in &train.images {
+        for v in img {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    for &label in &train.labels {
+        bytes.extend_from_slice(&(label as u64).to_le_bytes());
+    }
+    bytes.extend_from_slice(&(train.num_classes as u64).to_le_bytes());
+    bytes.extend_from_slice(&(config.train.epochs as u64).to_le_bytes());
+    bytes.extend_from_slice(&config.train.learning_rate.to_bits().to_le_bytes());
+    bytes.extend_from_slice(&(config.train.batch_size as u64).to_le_bytes());
+    bytes.extend_from_slice(&config.train.weight_decay.to_bits().to_le_bytes());
+    bytes.extend_from_slice(&config.seed.to_le_bytes());
+    nn::serialize::fnv1a(&bytes)
 }
 
 /// The untrained LeNet-style skeleton: conv -> relu -> max-pool ->
@@ -311,6 +333,33 @@ mod tests {
         let (a, _) = build(ZooNetwork::Mnist3x32, &config);
         let (b, _) = build(ZooNetwork::Mnist3x32, &config);
         assert_eq!(a, b, "cached reload must be identical");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn retraining_config_change_invalidates_cache() {
+        // Regression: the cache key once fingerprinted only the first
+        // training image, so retraining with different hyper-parameters
+        // (same name, seed, and train size) served the stale cached
+        // network. The key must cover the full training inputs.
+        let dir = std::env::temp_dir().join(format!("zoo-stale-{}", std::process::id()));
+        let config = ZooConfig {
+            cache_dir: Some(dir.clone()),
+            ..quick_config()
+        };
+        let (original, _) = build(ZooNetwork::Mnist3x32, &config);
+
+        let mut retrained_config = config.clone();
+        retrained_config.train.epochs += 5;
+        let (retrained, _) = build(ZooNetwork::Mnist3x32, &retrained_config);
+        assert_ne!(
+            original, retrained,
+            "a retrained network must not be served from the stale cache"
+        );
+
+        // And the retrained artifact is itself cached correctly.
+        let (again, _) = build(ZooNetwork::Mnist3x32, &retrained_config);
+        assert_eq!(retrained, again);
         let _ = std::fs::remove_dir_all(dir);
     }
 

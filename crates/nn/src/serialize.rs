@@ -140,6 +140,34 @@ pub fn from_text(text: &str) -> Result<Network, NetworkError> {
     Network::new(input_dim, layers)
 }
 
+/// FNV-1a 64-bit hash of a byte string.
+///
+/// Used to content-address serialized networks ([`content_hash`]) and
+/// raw model files (the server's model registry, the zoo's on-disk
+/// cache). Not cryptographic — it keys caches, it does not authenticate
+/// anything.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Content hash of a network: FNV-1a over its canonical text form.
+///
+/// Two networks hash equal iff their [`to_text`] serializations are
+/// byte-identical, so the hash pins exact weights (floats are printed
+/// shortest-round-trip), not just architecture. This is the shared cache
+/// key between the server's model registry and `data::zoo`'s on-disk
+/// network cache.
+pub fn content_hash(net: &Network) -> u64 {
+    fnv1a(to_text(net).as_bytes())
+}
+
 fn parse_f64_row(line: &str, expected: usize) -> Result<Vec<f64>, NetworkError> {
     let vals: Result<Vec<f64>, _> = line.split_whitespace().map(|s| s.parse::<f64>()).collect();
     let vals = vals.map_err(|e| NetworkError::Parse(format!("bad float: {e}")))?;

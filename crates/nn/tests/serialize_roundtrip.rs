@@ -1,0 +1,183 @@
+//! Property-based round-trip suite for `nn::serialize`.
+//!
+//! The `charon-net 1` text format is the interchange point between the
+//! trainer, the model zoo's on-disk cache, the CLI, and the
+//! verification server's model registry — all of which assume that
+//! `from_text(to_text(net))` reproduces `net` *bit-identically*, and
+//! that `content_hash` distinguishes any two networks whose behaviour
+//! could differ. These properties exercise that contract on randomly
+//! parameterized convolutional (lowered to affine) and max-pool
+//! architectures, the two layer families the unit tests cover only at
+//! fixed sizes.
+
+use nn::conv::{max_pool_groups, Conv2d, Shape3};
+use nn::serialize::{content_hash, fnv1a, from_text, to_text};
+use nn::{AffineLayer, Layer, Network};
+use proptest::prelude::*;
+use tensor::Matrix;
+
+/// Deterministic "awkward float" stream: mixes exact dyadics, numbers
+/// with no short decimal form, huge and tiny magnitudes, and negatives,
+/// so the round-trip is tested against values where naive `{}`
+/// formatting would lose bits.
+fn float_stream(seed: u64) -> impl FnMut() -> f64 {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    move || {
+        // xorshift64*
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let bits = state.wrapping_mul(0x2545_f491_4f6c_dd1d);
+        let unit = (bits >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+        match bits % 7 {
+            0 => unit,                      // plain value in [-0.5, 0.5)
+            1 => unit / 3.0,                // repeating binary expansion
+            2 => unit * 1e12,               // large magnitude
+            3 => unit * 1e-12,              // small magnitude
+            4 => (unit * 8.0).round() / 8.0, // exact dyadic
+            5 => unit + 0.1,                // classic 0.1-family value
+            _ => -unit,
+        }
+    }
+}
+
+fn conv_network(
+    channels: usize,
+    height: usize,
+    width: usize,
+    out_channels: usize,
+    kernel: usize,
+    seed: u64,
+) -> Network {
+    conv_network_nudged(channels, height, width, out_channels, kernel, seed, 0.0)
+}
+
+/// Same as [`conv_network`], with `nudge` added to the first conv bias —
+/// a minimal single-parameter retraining stand-in.
+fn conv_network_nudged(
+    channels: usize,
+    height: usize,
+    width: usize,
+    out_channels: usize,
+    kernel: usize,
+    seed: u64,
+    nudge: f64,
+) -> Network {
+    let input = Shape3::new(channels, height, width);
+    let mut next = float_stream(seed);
+    let weights: Vec<f64> = (0..out_channels * channels * kernel * kernel)
+        .map(|_| next())
+        .collect();
+    let mut bias: Vec<f64> = (0..out_channels).map(|_| next()).collect();
+    if nudge != 0.0 {
+        // Relative + absolute so the nudge survives any bias magnitude.
+        bias[0] = bias[0] * (1.0 + nudge) + nudge;
+    }
+    let conv = Conv2d::new(input, out_channels, (kernel, kernel), (1, 1), weights, bias);
+    let lowered = conv.to_affine();
+    let hidden = lowered.output_dim();
+    // Small affine head so the network has the realistic conv -> relu ->
+    // dense shape rather than a single layer.
+    let head_rows: Vec<Vec<f64>> = (0..2)
+        .map(|_| (0..hidden).map(|_| next()).collect())
+        .collect();
+    let head_refs: Vec<&[f64]> = head_rows.iter().map(Vec::as_slice).collect();
+    let head = AffineLayer::new(Matrix::from_rows(&head_refs), vec![next(), next()]);
+    Network::new(
+        input.len(),
+        vec![Layer::Affine(lowered), Layer::Relu, Layer::Affine(head)],
+    )
+    .unwrap()
+}
+
+fn maxpool_network(channels: usize, side: usize, pool: usize, seed: u64) -> Network {
+    let input = Shape3::new(channels, side * pool, side * pool);
+    let groups = max_pool_groups(input, pool);
+    let pooled = groups.output_dim();
+    let mut next = float_stream(seed);
+    let rows: Vec<Vec<f64>> = (0..3)
+        .map(|_| (0..pooled).map(|_| next()).collect())
+        .collect();
+    let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+    let head = AffineLayer::new(Matrix::from_rows(&refs), vec![next(), next(), next()]);
+    Network::new(
+        input.len(),
+        vec![Layer::MaxPool(groups), Layer::Affine(head)],
+    )
+    .unwrap()
+}
+
+fn probe_point(dim: usize, seed: u64) -> Vec<f64> {
+    let mut next = float_stream(seed ^ 0xdead_beef);
+    (0..dim).map(|_| next()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Conv-lowered networks survive the text round trip bit-for-bit:
+    /// structural equality and identical evaluation on a probe input.
+    #[test]
+    fn conv_roundtrip_is_bit_identical(
+        channels in 1usize..3,
+        height in 2usize..5,
+        width in 2usize..5,
+        out_channels in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let kernel = 2.min(height).min(width);
+        let net = conv_network(channels, height, width, out_channels, kernel, seed);
+        let parsed = from_text(&to_text(&net)).unwrap();
+        prop_assert_eq!(&parsed, &net);
+        let x = probe_point(net.input_dim(), seed);
+        prop_assert_eq!(net.eval(&x), parsed.eval(&x));
+        prop_assert_eq!(content_hash(&parsed), content_hash(&net));
+    }
+
+    /// Max-pool networks (index groups, not weights) round trip exactly.
+    #[test]
+    fn maxpool_roundtrip_is_bit_identical(
+        channels in 1usize..3,
+        side in 1usize..4,
+        pool in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let net = maxpool_network(channels, side, pool, seed);
+        let parsed = from_text(&to_text(&net)).unwrap();
+        prop_assert_eq!(&parsed, &net);
+        let x = probe_point(net.input_dim(), seed);
+        prop_assert_eq!(net.eval(&x), parsed.eval(&x));
+        prop_assert_eq!(content_hash(&parsed), content_hash(&net));
+    }
+
+    /// A single-weight perturbation changes the content hash: the hash
+    /// pins exact parameters, so a cache keyed by it can never serve a
+    /// stale artifact for a retrained network.
+    #[test]
+    fn content_hash_detects_single_weight_change(
+        channels in 1usize..3,
+        height in 2usize..4,
+        width in 2usize..4,
+        seed in 0u64..1000,
+    ) {
+        let net = conv_network(channels, height, width, 2, 2, seed);
+        let perturbed = conv_network_nudged(channels, height, width, 2, 2, seed, 1e-9);
+        prop_assert!(content_hash(&perturbed) != content_hash(&net));
+    }
+}
+
+#[test]
+fn fnv1a_matches_reference_vectors() {
+    // Published FNV-1a 64 test vectors.
+    assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+}
+
+#[test]
+fn content_hash_is_stable_across_calls_and_copies() {
+    let net = conv_network(1, 3, 3, 2, 2, 7);
+    let copy = from_text(&to_text(&net)).unwrap();
+    assert_eq!(content_hash(&net), content_hash(&net));
+    assert_eq!(content_hash(&net), content_hash(&copy));
+}

@@ -1,0 +1,80 @@
+//! A minimal blocking client for the daemon protocol, shared by
+//! `charon-cli submit`, the load generator, and the integration tests.
+
+use std::io::{BufRead, BufReader, Write};
+
+use charon::json::{parse_flat_object, Fields};
+
+use crate::net::{ServerAddr, Stream};
+
+/// One connection to a running daemon.
+pub struct Client {
+    reader: BufReader<Stream>,
+    writer: Stream,
+}
+
+impl Client {
+    /// Connects to the daemon at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying connect error.
+    pub fn connect(addr: &ServerAddr) -> std::io::Result<Client> {
+        let stream = Stream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one request line (the newline is appended here).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying write error.
+    pub fn send(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads the next response object. An EOF or a malformed line maps
+    /// to [`std::io::ErrorKind::UnexpectedEof`] / `InvalidData`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying read or parse failure.
+    pub fn recv(&mut self) -> std::io::Result<Fields> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return parse_flat_object(&line).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("malformed response: {e}"),
+                )
+            });
+        }
+    }
+
+    /// Sends one request line and reads one response object.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::send`] and [`Client::recv`].
+    pub fn request(&mut self, line: &str) -> std::io::Result<Fields> {
+        self.send(line)?;
+        self.recv()
+    }
+}

@@ -1,0 +1,644 @@
+//! Verification-as-a-service: a persistent job-queue daemon serving
+//! robustness queries over a Unix or TCP socket.
+//!
+//! A running verification farm amortizes everything a one-shot CLI run
+//! pays per query: model deserialization (the [`registry`] shares each
+//! network by content hash), scratch-arena allocation (each worker
+//! thread reuses one [`domains::Workspace`] across jobs via
+//! [`charon::Verifier::try_verify_run_ws`]), and the verification itself
+//! (the [`cache`] memoizes decisive verdicts keyed by network hash +
+//! property + configuration). The protocol is newline-delimited flat
+//! JSON ([`protocol`]), reusing the workspace codec in [`charon::json`].
+//!
+//! # Lifecycle guarantees
+//!
+//! * **Admission control** — a full [`queue::JobQueue`] rejects with
+//!   `queue_full` immediately; the daemon never buffers unbounded work.
+//! * **Graceful drain** — a `drain` request stops admission, reports
+//!   every still-queued job back to its submitter as `unstarted`,
+//!   cancels in-flight jobs cooperatively so they return `charon-ckpt`
+//!   checkpoints, and only then shuts down. The drain summary proves
+//!   the accounting: `accepted == completed + checkpointed + unstarted`.
+//! * **Observability** — `stats` reports queue depth, cache hit rate,
+//!   registry sharing, and per-phase latency histograms merged across
+//!   all workers (the same [`charon::telemetry::Metrics`] the CLI's
+//!   `--report` renders).
+//!
+//! ```no_run
+//! use server::{Client, Server, ServerAddr, ServerConfig};
+//!
+//! let config = ServerConfig {
+//!     addr: ServerAddr::parse("unix:/tmp/charon.sock").unwrap(),
+//!     ..ServerConfig::default()
+//! };
+//! let handle = Server::start(config).unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let pong = client.request("{\"request\": \"ping\"}").unwrap();
+//! assert_eq!(pong.str_field("response").unwrap(), "pong");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod net;
+pub mod protocol;
+pub mod queue;
+pub mod registry;
+
+pub use cache::{CacheKey, CachedResult, ResultCache};
+pub use client::Client;
+pub use net::{ServerAddr, Stream};
+pub use protocol::{Request, VerifyRequest, PROTOCOL_VERSION};
+pub use queue::{JobQueue, RejectReason};
+pub use registry::ModelRegistry;
+
+use std::io::{BufRead, BufReader, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use charon::json::ObjectBuilder;
+use charon::telemetry::{Histogram, Metrics};
+use charon::{BudgetKind, RobustnessProperty, Verdict, Verifier, VerifierConfig, VerifyError};
+use domains::Workspace;
+
+use net::Listener;
+use protocol::{checkpointed_response, error_response, pong_response, unstarted_response};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Where to listen.
+    pub addr: ServerAddr,
+    /// Worker threads driving verifications (each owns one reused
+    /// scratch arena).
+    pub workers: usize,
+    /// Maximum queued (admitted but not started) jobs.
+    pub queue_capacity: usize,
+    /// Maximum memoized verdicts in the LRU result cache.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: ServerAddr::Unix(std::env::temp_dir().join("charon-server.sock")),
+            workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// One admitted verification job.
+struct Job {
+    id: u64,
+    request: VerifyRequest,
+    accepted_at: Instant,
+    cancel: Arc<AtomicBool>,
+    reply: Reply,
+}
+
+/// A shared write handle back to the submitting connection.
+type Reply = Arc<Mutex<Stream>>;
+
+fn send_line(reply: &Reply, line: &str) {
+    // The client may be gone; a failed response write must not take the
+    // daemon down (Rust already ignores SIGPIPE).
+    let mut writer = reply.lock().unwrap();
+    let _ = writer.write_all(line.as_bytes());
+    let _ = writer.write_all(b"\n");
+    let _ = writer.flush();
+}
+
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    checkpointed: AtomicU64,
+    unstarted: AtomicU64,
+    rejected_full: AtomicU64,
+    rejected_draining: AtomicU64,
+    errored: AtomicU64,
+    deadline_expired: AtomicU64,
+}
+
+struct Shared {
+    registry: ModelRegistry,
+    queue: JobQueue<Job>,
+    cache: Mutex<ResultCache>,
+    metrics: Mutex<Metrics>,
+    job_hist: Mutex<Histogram>,
+    counters: Counters,
+    draining: AtomicBool,
+    shutdown: AtomicBool,
+    /// Cancellation flags of jobs currently being verified.
+    inflight: Mutex<Vec<(u64, Arc<AtomicBool>)>>,
+    /// Admitted jobs that have not yet reached a terminal response
+    /// (completed, checkpointed, or unstarted). Drain waits on this.
+    outstanding: Mutex<i64>,
+    idle: Condvar,
+    workers: usize,
+}
+
+impl Shared {
+    fn new(config: &ServerConfig) -> Self {
+        Shared {
+            registry: ModelRegistry::new(),
+            queue: JobQueue::new(config.queue_capacity),
+            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            metrics: Mutex::new(Metrics::new()),
+            job_hist: Mutex::new(Histogram::new()),
+            counters: Counters::default(),
+            draining: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            inflight: Mutex::new(Vec::new()),
+            outstanding: Mutex::new(0),
+            idle: Condvar::new(),
+            workers: config.workers,
+        }
+    }
+
+    /// Marks one admitted job terminal and wakes a waiting drain.
+    fn job_terminal(&self) {
+        let mut outstanding = self.outstanding.lock().unwrap();
+        *outstanding -= 1;
+        drop(outstanding);
+        self.idle.notify_all();
+    }
+}
+
+/// A running daemon.
+pub struct Server;
+
+/// Handle to a started daemon: its bound address plus the thread handles
+/// [`ServerHandle::join`] waits on.
+pub struct ServerHandle {
+    addr: ServerAddr,
+    listener: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the daemon is listening on (for TCP port 0, the
+    /// kernel-assigned port).
+    pub fn addr(&self) -> &ServerAddr {
+        &self.addr
+    }
+
+    /// Blocks until the daemon has drained and shut down.
+    pub fn join(self) {
+        let _ = self.listener.join();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Server {
+    /// Binds the listener and starts the worker pool; returns
+    /// immediately. The daemon runs until a client sends `drain`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = Listener::bind(&config.addr)?;
+        let addr = listener.local_addr(&config.addr);
+        let shared = Arc::new(Shared::new(&config));
+
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for _ in 0..config.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            workers.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+
+        let listen_shared = Arc::clone(&shared);
+        let listen_addr = addr.clone();
+        let listener_thread = std::thread::spawn(move || {
+            loop {
+                match listener.accept() {
+                    Ok(stream) => {
+                        if listen_shared.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let shared = Arc::clone(&listen_shared);
+                        let addr = listen_addr.clone();
+                        std::thread::spawn(move || connection_loop(&shared, stream, &addr));
+                    }
+                    Err(_) => {
+                        if listen_shared.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                    }
+                }
+            }
+            if let ServerAddr::Unix(path) = &listen_addr {
+                let _ = std::fs::remove_file(path);
+            }
+        });
+
+        Ok(ServerHandle {
+            addr,
+            listener: listener_thread,
+            workers,
+        })
+    }
+}
+
+fn connection_loop(shared: &Arc<Shared>, stream: Stream, addr: &ServerAddr) {
+    let reply: Reply = match stream.try_clone() {
+        Ok(writer) => Arc::new(Mutex::new(writer)),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match Request::parse(trimmed) {
+            Err(e) => send_line(&reply, &error_response(None, "bad_request", &e)),
+            Ok(Request::Ping) => send_line(&reply, &pong_response()),
+            Ok(Request::Stats) => send_line(&reply, &stats_response(shared)),
+            Ok(Request::Verify(request)) => submit(shared, request, &reply),
+            Ok(Request::Drain) => {
+                let summary = drain(shared);
+                // Write the summary before waking the listener: once the
+                // listener exits, `ServerHandle::join` returns and the
+                // hosting process may exit, killing this thread. The
+                // response must already be on the wire by then.
+                send_line(&reply, &summary);
+                shared.shutdown.store(true, Ordering::SeqCst);
+                let _ = Stream::connect(addr);
+                return;
+            }
+        }
+    }
+}
+
+/// Admission control: reject while draining or at capacity, otherwise
+/// enqueue. Every admitted job is guaranteed a terminal response.
+fn submit(shared: &Arc<Shared>, request: VerifyRequest, reply: &Reply) {
+    let id = request.id;
+    if shared.draining.load(Ordering::SeqCst) {
+        shared
+            .counters
+            .rejected_draining
+            .fetch_add(1, Ordering::Relaxed);
+        send_line(
+            reply,
+            &error_response(Some(id), "draining", "daemon is draining; resubmit later"),
+        );
+        return;
+    }
+    let priority = request.priority;
+    let job = Job {
+        id,
+        request,
+        accepted_at: Instant::now(),
+        cancel: Arc::new(AtomicBool::new(false)),
+        reply: Arc::clone(reply),
+    };
+    // Count the job outstanding *before* it becomes poppable, so a
+    // drain can never observe an admitted-but-uncounted job.
+    *shared.outstanding.lock().unwrap() += 1;
+    match shared.queue.push(priority, job) {
+        Ok(()) => {
+            shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        }
+        Err((job, reason)) => {
+            shared.job_terminal();
+            let (counter, code, message) = match reason {
+                RejectReason::Full => (
+                    &shared.counters.rejected_full,
+                    "queue_full",
+                    "job queue is at capacity; retry with backoff",
+                ),
+                RejectReason::Closed => (
+                    &shared.counters.rejected_draining,
+                    "draining",
+                    "daemon is draining; resubmit later",
+                ),
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            send_line(&job.reply, &error_response(Some(job.id), code, message));
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    // The tentpole of the service hot path: one scratch arena per
+    // worker, reused across every job this thread ever runs.
+    let mut ws = Workspace::new();
+    while let Some(job) = shared.queue.pop() {
+        shared
+            .inflight
+            .lock()
+            .unwrap()
+            .push((job.id, Arc::clone(&job.cancel)));
+        let response = execute_job(shared, &job, &mut ws);
+        send_line(&job.reply, &response);
+        shared
+            .inflight
+            .lock()
+            .unwrap()
+            .retain(|(id, _)| *id != job.id);
+        shared.job_terminal();
+    }
+}
+
+/// Runs one admitted job to a terminal response line, updating counters
+/// and telemetry.
+fn execute_job(shared: &Arc<Shared>, job: &Job, ws: &mut Workspace) -> String {
+    let start = Instant::now();
+    let counters = &shared.counters;
+    let request = &job.request;
+
+    if let Some(deadline_ms) = request.deadline_ms {
+        if job.accepted_at.elapsed() >= Duration::from_millis(deadline_ms) {
+            counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            counters.completed.fetch_add(1, Ordering::Relaxed);
+            return error_response(
+                Some(job.id),
+                "deadline_expired",
+                "job spent its deadline in the queue",
+            );
+        }
+    }
+
+    let (net_hash, net) = match shared.registry.load(&request.network) {
+        Ok(found) => found,
+        Err(message) => {
+            counters.errored.fetch_add(1, Ordering::Relaxed);
+            counters.completed.fetch_add(1, Ordering::Relaxed);
+            return error_response(Some(job.id), "model_error", &message);
+        }
+    };
+    let property = match RobustnessProperty::from_text(&request.property) {
+        Ok(property) => property,
+        Err(message) => {
+            counters.errored.fetch_add(1, Ordering::Relaxed);
+            counters.completed.fetch_add(1, Ordering::Relaxed);
+            return error_response(Some(job.id), "bad_request", &format!("property: {message}"));
+        }
+    };
+
+    let key = CacheKey {
+        net_hash,
+        property: property.to_text(),
+        config: request.config_key(),
+    };
+    if let Some(hit) = shared.cache.lock().unwrap().get(&key) {
+        counters.completed.fetch_add(1, Ordering::Relaxed);
+        let elapsed = start.elapsed();
+        shared
+            .job_hist
+            .lock()
+            .unwrap()
+            .observe(elapsed.as_secs_f64());
+        let mut b = ObjectBuilder::new()
+            .str("response", "verdict")
+            .int("id", job.id)
+            .str("verdict", &hit.verdict)
+            .int("cached", 1)
+            .int("computed_by", hit.computed_by)
+            .num("compute_ms", hit.compute_seconds * 1e3)
+            .str("net_hash", &format!("{net_hash:016x}"))
+            .int("regions", hit.regions as u64)
+            .num("elapsed_ms", elapsed.as_secs_f64() * 1e3);
+        if let Some(objective) = hit.objective {
+            b = b.num("objective", objective);
+        }
+        if let Some(point) = &hit.counterexample {
+            b = b.arr("counterexample", point);
+        }
+        return b.build();
+    }
+
+    let mut timeout = Duration::from_millis(request.timeout_ms);
+    if let Some(deadline_ms) = request.deadline_ms {
+        let remaining =
+            Duration::from_millis(deadline_ms).saturating_sub(job.accepted_at.elapsed());
+        timeout = timeout.min(remaining);
+    }
+    let mut verifier = Verifier::default();
+    *verifier.config_mut() = VerifierConfig {
+        delta: request.delta,
+        timeout,
+        max_regions: request.max_regions,
+        restarts: request.restarts,
+        seed: request.seed,
+        counterexample_search: request.cex_search,
+        lipschitz_prefilter: false,
+        cancel: Some(Arc::clone(&job.cancel)),
+        faults: None,
+    };
+
+    let run = match verifier.try_verify_run_ws(&net, &property, ws) {
+        Ok(run) => run,
+        Err(error) => {
+            counters.errored.fetch_add(1, Ordering::Relaxed);
+            counters.completed.fetch_add(1, Ordering::Relaxed);
+            let code = match &error {
+                VerifyError::MalformedModel { .. } => "model_error",
+                _ => "engine_error",
+            };
+            return error_response(Some(job.id), code, &error.to_string());
+        }
+    };
+
+    let elapsed = start.elapsed();
+    shared.metrics.lock().unwrap().merge(&run.stats.metrics);
+    shared
+        .job_hist
+        .lock()
+        .unwrap()
+        .observe(elapsed.as_secs_f64());
+
+    let base = |verdict: &str| {
+        ObjectBuilder::new()
+            .str("response", "verdict")
+            .int("id", job.id)
+            .str("verdict", verdict)
+            .int("cached", 0)
+            .str("net_hash", &format!("{net_hash:016x}"))
+            .int("regions", run.stats.regions as u64)
+            .num("elapsed_ms", elapsed.as_secs_f64() * 1e3)
+    };
+    match &run.verdict {
+        Verdict::Verified => {
+            shared.cache.lock().unwrap().insert(
+                key,
+                CachedResult {
+                    verdict: "verified".to_string(),
+                    objective: None,
+                    counterexample: None,
+                    computed_by: job.id,
+                    regions: run.stats.regions,
+                    compute_seconds: elapsed.as_secs_f64(),
+                },
+            );
+            counters.completed.fetch_add(1, Ordering::Relaxed);
+            base("verified").build()
+        }
+        Verdict::Refuted(cex) => {
+            shared.cache.lock().unwrap().insert(
+                key,
+                CachedResult {
+                    verdict: "refuted".to_string(),
+                    objective: Some(cex.objective),
+                    counterexample: Some(cex.point.clone()),
+                    computed_by: job.id,
+                    regions: run.stats.regions,
+                    compute_seconds: elapsed.as_secs_f64(),
+                },
+            );
+            counters.completed.fetch_add(1, Ordering::Relaxed);
+            base("refuted")
+                .num("objective", cex.objective)
+                .arr("counterexample", &cex.point)
+                .build()
+        }
+        Verdict::ResourceLimit => {
+            let drain_cancelled = matches!(run.limit, Some(BudgetKind::Cancelled))
+                && shared.draining.load(Ordering::SeqCst);
+            if drain_cancelled {
+                if let Some(checkpoint) = &run.checkpoint {
+                    counters.checkpointed.fetch_add(1, Ordering::Relaxed);
+                    return checkpointed_response(
+                        job.id,
+                        &checkpoint.to_text(),
+                        checkpoint.regions_done,
+                    );
+                }
+            }
+            counters.completed.fetch_add(1, Ordering::Relaxed);
+            let mut b = base("resource_limit");
+            if let Some(kind) = run.limit {
+                b = b.str("limit", &kind.to_string());
+            }
+            b.build()
+        }
+    }
+}
+
+/// Stops admission, reports queued jobs as unstarted, checkpoints
+/// in-flight jobs via cooperative cancellation, and waits for the
+/// accounting to balance. Returns the drain summary response; the
+/// caller shuts the listener down after delivering it.
+fn drain(shared: &Arc<Shared>) -> String {
+    shared.draining.store(true, Ordering::SeqCst);
+
+    // Every still-queued job goes back to its submitter, unstarted.
+    for job in shared.queue.close_and_drain() {
+        shared.counters.unstarted.fetch_add(1, Ordering::Relaxed);
+        send_line(&job.reply, &unstarted_response(job.id));
+        shared.job_terminal();
+    }
+
+    // Cancel in-flight jobs until every admitted job is terminal. The
+    // cancel flags are re-signalled each round because a worker may pop
+    // a job and only register it in `inflight` moments later.
+    loop {
+        for (_, cancel) in shared.inflight.lock().unwrap().iter() {
+            cancel.store(true, Ordering::SeqCst);
+        }
+        let outstanding = shared.outstanding.lock().unwrap();
+        if *outstanding <= 0 {
+            break;
+        }
+        let (guard, _) = shared
+            .idle
+            .wait_timeout(outstanding, Duration::from_millis(10))
+            .unwrap();
+        if *guard <= 0 {
+            break;
+        }
+    }
+
+    let counters = &shared.counters;
+    let accepted = counters.accepted.load(Ordering::Relaxed);
+    let completed = counters.completed.load(Ordering::Relaxed);
+    let checkpointed = counters.checkpointed.load(Ordering::Relaxed);
+    let unstarted = counters.unstarted.load(Ordering::Relaxed);
+    let lost = accepted as i64 - (completed + checkpointed + unstarted) as i64;
+    ObjectBuilder::new()
+        .str("response", "drained")
+        .int("accepted", accepted)
+        .int("completed", completed)
+        .int("checkpointed", checkpointed)
+        .int("unstarted", unstarted)
+        .num("lost", lost as f64)
+        .build()
+}
+
+/// Builds the `stats` response: queue/cache/registry state plus the
+/// per-phase engine metrics and latency histograms merged across all
+/// workers.
+fn stats_response(shared: &Arc<Shared>) -> String {
+    let metrics = shared.metrics.lock().unwrap().clone();
+    let job_hist = shared.job_hist.lock().unwrap().clone();
+    let counters = &shared.counters;
+    let (cache_entries, cache_hits, cache_misses, cache_evictions, cache_hit_rate) = {
+        let cache = shared.cache.lock().unwrap();
+        (
+            cache.len(),
+            cache.hits(),
+            cache.misses(),
+            cache.evictions(),
+            cache.hit_rate(),
+        )
+    };
+    let to_f64 = |counts: &[u64]| -> Vec<f64> { counts.iter().map(|&c| c as f64).collect() };
+    ObjectBuilder::new()
+        .str("response", "stats")
+        .int("protocol", PROTOCOL_VERSION)
+        .int("workers", shared.workers as u64)
+        .int("queue_depth", shared.queue.len() as u64)
+        .int("queue_capacity", shared.queue.capacity() as u64)
+        .int("draining", u64::from(shared.draining.load(Ordering::SeqCst)))
+        .int("accepted", counters.accepted.load(Ordering::Relaxed))
+        .int("completed", counters.completed.load(Ordering::Relaxed))
+        .int("checkpointed", counters.checkpointed.load(Ordering::Relaxed))
+        .int("unstarted", counters.unstarted.load(Ordering::Relaxed))
+        .int("rejected_full", counters.rejected_full.load(Ordering::Relaxed))
+        .int(
+            "rejected_draining",
+            counters.rejected_draining.load(Ordering::Relaxed),
+        )
+        .int("errored", counters.errored.load(Ordering::Relaxed))
+        .int(
+            "deadline_expired",
+            counters.deadline_expired.load(Ordering::Relaxed),
+        )
+        .int("cache_entries", cache_entries as u64)
+        .int("cache_hits", cache_hits)
+        .int("cache_misses", cache_misses)
+        .int("cache_evictions", cache_evictions)
+        .num("cache_hit_rate", cache_hit_rate)
+        .int("registry_models", shared.registry.len() as u64)
+        .int("registry_hits", shared.registry.hits())
+        .int("registry_misses", shared.registry.misses())
+        .int("attack_calls", metrics.attack_calls)
+        .num("attack_seconds", metrics.attack_seconds)
+        .int("propagation_calls", metrics.propagation_calls)
+        .num("propagation_seconds", metrics.propagation_seconds)
+        .int("policy_calls", metrics.policy_calls)
+        .num("policy_seconds", metrics.policy_seconds)
+        .arr("job_latency_hist", &to_f64(job_hist.counts()))
+        .arr("attack_latency_hist", &to_f64(metrics.attack_hist.counts()))
+        .arr(
+            "propagation_latency_hist",
+            &to_f64(metrics.propagation_hist.counts()),
+        )
+        .build()
+}

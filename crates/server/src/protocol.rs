@@ -1,0 +1,277 @@
+//! The daemon's wire protocol: one flat JSON object per line, using the
+//! workspace's hand-rolled codec ([`charon::json`]) in both directions.
+//!
+//! Requests carry a `"request"` discriminator, responses a `"response"`
+//! discriminator; verify responses echo the client-chosen `"id"` so
+//! pipelined submissions can be matched up out of order. Multi-line
+//! payloads (the `charon-prop` property text, `charon-ckpt` checkpoint
+//! text) travel as JSON strings with escaped newlines.
+//!
+//! ```text
+//! → {"request": "verify", "id": 1, "network": "/tmp/net.txt", "property": "charon-prop 1\n..."}
+//! ← {"response": "verdict", "id": 1, "verdict": "verified", "cached": 0, ...}
+//! ```
+
+use charon::json::{parse_flat_object, Fields, ObjectBuilder};
+
+/// Protocol version, echoed by `ping` and `stats` responses.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Default per-job verification wall-clock budget (ms) when the request
+/// does not set one.
+pub const DEFAULT_TIMEOUT_MS: u64 = 10_000;
+
+/// A parsed client request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a verification job.
+    Verify(VerifyRequest),
+    /// Report queue/cache/latency statistics.
+    Stats,
+    /// Gracefully drain and shut down the daemon.
+    Drain,
+    /// Liveness probe.
+    Ping,
+}
+
+/// A verification job submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyRequest {
+    /// Client-chosen id echoed in every response for this job.
+    pub id: u64,
+    /// Path (on the daemon's filesystem) of the `charon-net` file.
+    pub network: String,
+    /// Inline `charon-prop 1` property text.
+    pub property: String,
+    /// Scheduling priority; higher runs earlier (default 0).
+    pub priority: i64,
+    /// Optional deadline in ms from admission; a job still queued (or
+    /// not finished) past it completes with `deadline_expired`.
+    pub deadline_ms: Option<u64>,
+    /// Verification wall-clock budget in ms.
+    pub timeout_ms: u64,
+    /// δ of the δ-complete check.
+    pub delta: f64,
+    /// Region-count budget.
+    pub max_regions: usize,
+    /// Random restarts per counterexample search.
+    pub restarts: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Whether gradient-based counterexample search is enabled.
+    pub cex_search: bool,
+}
+
+impl VerifyRequest {
+    /// Fingerprint of the verdict-relevant verifier configuration, used
+    /// as the third component of the result-cache key.
+    ///
+    /// Budgets (`timeout_ms`, `max_regions`, `deadline_ms`) are
+    /// deliberately excluded: only decisive verdicts are cached, and a
+    /// decisive verdict is sound under any budget. Parameters that can
+    /// change *which* decisive verdict is reached (δ, the restart count,
+    /// the seed, the search switch) are all included.
+    pub fn config_key(&self) -> String {
+        format!(
+            "delta={:016x};restarts={};seed={};cex={}",
+            self.delta.to_bits(),
+            self.restarts,
+            self.seed,
+            u8::from(self.cex_search)
+        )
+    }
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformed field; the server
+    /// reports it back as a `bad_request` error response.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let fields = parse_flat_object(line)?;
+        match fields.str_field("request")?.as_str() {
+            "verify" => Ok(Request::Verify(VerifyRequest::from_fields(&fields)?)),
+            "stats" => Ok(Request::Stats),
+            "drain" => Ok(Request::Drain),
+            "ping" => Ok(Request::Ping),
+            other => Err(format!("unknown request kind {other:?}")),
+        }
+    }
+}
+
+impl VerifyRequest {
+    fn from_fields(fields: &Fields) -> Result<VerifyRequest, String> {
+        let timeout_ms = fields
+            .opt_usize("timeout_ms")?
+            .map_or(DEFAULT_TIMEOUT_MS, |v| v as u64);
+        if timeout_ms == 0 {
+            return Err("timeout_ms must be positive".to_string());
+        }
+        Ok(VerifyRequest {
+            id: fields.opt_usize("id")?.unwrap_or(0) as u64,
+            network: fields.str_field("network")?,
+            property: fields.str_field("property")?,
+            priority: fields.opt_f64("priority")?.map_or(0, |v| v as i64),
+            deadline_ms: fields.opt_usize("deadline_ms")?.map(|v| v as u64),
+            timeout_ms,
+            delta: fields.opt_f64("delta")?.unwrap_or(1e-9),
+            max_regions: fields.opt_usize("max_regions")?.unwrap_or(200_000),
+            restarts: fields.opt_usize("restarts")?.unwrap_or(2),
+            seed: fields.opt_usize("seed")?.unwrap_or(0) as u64,
+            cex_search: fields.opt_usize("cex_search")? != Some(0),
+        })
+    }
+
+    /// Renders this request back to its wire form (used by clients).
+    pub fn to_line(&self) -> String {
+        let mut b = ObjectBuilder::new()
+            .str("request", "verify")
+            .int("id", self.id)
+            .str("network", &self.network)
+            .str("property", &self.property)
+            .num("priority", self.priority as f64)
+            .int("timeout_ms", self.timeout_ms)
+            .num("delta", self.delta)
+            .int("max_regions", self.max_regions as u64)
+            .int("restarts", self.restarts as u64)
+            .int("seed", self.seed)
+            .int("cex_search", u64::from(self.cex_search));
+        if let Some(deadline) = self.deadline_ms {
+            b = b.int("deadline_ms", deadline);
+        }
+        b.build()
+    }
+}
+
+impl Default for VerifyRequest {
+    fn default() -> Self {
+        VerifyRequest {
+            id: 0,
+            network: String::new(),
+            property: String::new(),
+            priority: 0,
+            deadline_ms: None,
+            timeout_ms: DEFAULT_TIMEOUT_MS,
+            delta: 1e-9,
+            max_regions: 200_000,
+            restarts: 2,
+            seed: 0,
+            cex_search: true,
+        }
+    }
+}
+
+/// Builds an error response. `code` is machine-readable (`queue_full`,
+/// `draining`, `bad_request`, `model_error`, `engine_error`,
+/// `deadline_expired`); `message` is for humans.
+pub fn error_response(id: Option<u64>, code: &str, message: &str) -> String {
+    let mut b = ObjectBuilder::new().str("response", "error");
+    if let Some(id) = id {
+        b = b.int("id", id);
+    }
+    b.str("error", code).str("message", message).build()
+}
+
+/// Builds the response for a job interrupted by a drain: the submitter
+/// receives the `charon-ckpt` text to resume from.
+pub fn checkpointed_response(id: u64, checkpoint_text: &str, regions_done: usize) -> String {
+    ObjectBuilder::new()
+        .str("response", "checkpointed")
+        .int("id", id)
+        .int("regions_done", regions_done as u64)
+        .str("checkpoint", checkpoint_text)
+        .build()
+}
+
+/// Builds the response for a job that was still queued when the daemon
+/// drained: never started, safe to resubmit elsewhere.
+pub fn unstarted_response(id: u64) -> String {
+    ObjectBuilder::new()
+        .str("response", "unstarted")
+        .int("id", id)
+        .build()
+}
+
+/// Builds the `ping` response.
+pub fn pong_response() -> String {
+    ObjectBuilder::new()
+        .str("response", "pong")
+        .int("protocol", PROTOCOL_VERSION)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verify_request_round_trips_through_wire_form() {
+        let request = VerifyRequest {
+            id: 7,
+            network: "/tmp/a.net".to_string(),
+            property: "charon-prop 1\ntarget 3\nend\n".to_string(),
+            priority: -2,
+            deadline_ms: Some(1500),
+            timeout_ms: 250,
+            delta: 1e-6,
+            max_regions: 1000,
+            restarts: 5,
+            seed: 99,
+            cex_search: false,
+        };
+        match Request::parse(&request.to_line()).unwrap() {
+            Request::Verify(parsed) => assert_eq!(parsed, request),
+            other => panic!("expected verify, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_fill_in_missing_optionals() {
+        let line = "{\"request\": \"verify\", \"network\": \"n\", \"property\": \"p\"}";
+        match Request::parse(line).unwrap() {
+            Request::Verify(v) => {
+                assert_eq!(v.id, 0);
+                assert_eq!(v.priority, 0);
+                assert_eq!(v.deadline_ms, None);
+                assert_eq!(v.timeout_ms, DEFAULT_TIMEOUT_MS);
+                assert!(v.cex_search);
+            }
+            other => panic!("expected verify, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_control_requests() {
+        assert_eq!(Request::parse("{\"request\": \"stats\"}").unwrap(), Request::Stats);
+        assert_eq!(Request::parse("{\"request\": \"drain\"}").unwrap(), Request::Drain);
+        assert_eq!(Request::parse("{\"request\": \"ping\"}").unwrap(), Request::Ping);
+        assert!(Request::parse("{\"request\": \"explode\"}").is_err());
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse("{\"request\": \"verify\"}").is_err(), "missing fields");
+    }
+
+    #[test]
+    fn config_key_excludes_budgets_but_pins_delta_and_seed() {
+        let base = VerifyRequest {
+            network: "n".to_string(),
+            property: "p".to_string(),
+            ..VerifyRequest::default()
+        };
+        let budget_only = VerifyRequest {
+            timeout_ms: 1,
+            max_regions: 7,
+            deadline_ms: Some(5),
+            ..base.clone()
+        };
+        assert_eq!(base.config_key(), budget_only.config_key());
+        let different_delta = VerifyRequest {
+            delta: 0.5,
+            ..base.clone()
+        };
+        assert_ne!(base.config_key(), different_delta.config_key());
+        let different_seed = VerifyRequest { seed: 1, ..base };
+        assert_ne!(different_seed.config_key(), different_delta.config_key());
+    }
+}

@@ -1,0 +1,203 @@
+//! Bounded priority job queue with admission control.
+//!
+//! The daemon's central backpressure point: submissions beyond
+//! `capacity` are rejected immediately with `queue_full` rather than
+//! blocking the connection thread (a stalled verification farm must say
+//! so, not silently buffer unbounded work). Workers block on [`JobQueue::pop`]
+//! and drain in priority order, FIFO within a priority level.
+
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was not admitted. The rejected item is handed back so the
+/// caller can report it to its submitter — no job is silently dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The queue is at capacity.
+    Full,
+    /// The queue was closed (the daemon is draining).
+    Closed,
+}
+
+struct Entry<T> {
+    priority: i64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then earlier sequence number
+        // (FIFO within a priority level).
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Inner<T> {
+    heap: BinaryHeap<Entry<T>>,
+    closed: bool,
+    seq: u64,
+}
+
+/// A bounded, closable priority queue shared between connection threads
+/// (producers) and the worker pool (consumers).
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// Creates a queue admitting at most `capacity` queued items.
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                heap: BinaryHeap::new(),
+                closed: false,
+                seq: 0,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The current number of queued items.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().heap.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admits an item, or returns it back with the rejection reason
+    /// (never blocks).
+    ///
+    /// # Errors
+    ///
+    /// Returns the item and [`RejectReason::Full`] at capacity, or
+    /// [`RejectReason::Closed`] after [`JobQueue::close_and_drain`].
+    pub fn push(&self, priority: i64, item: T) -> Result<(), (T, RejectReason)> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err((item, RejectReason::Closed));
+        }
+        if inner.heap.len() >= self.capacity {
+            return Err((item, RejectReason::Full));
+        }
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.heap.push(Entry {
+            priority,
+            seq,
+            item,
+        });
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available (highest priority first) or the
+    /// queue is closed and empty (`None`: the worker should exit).
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(entry) = inner.heap.pop() {
+                return Some(entry.item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.available.wait(inner).unwrap();
+        }
+    }
+
+    /// Atomically closes the queue and removes every queued item,
+    /// returning them in pop order. Subsequent pushes are rejected with
+    /// [`RejectReason::Closed`]; blocked and future [`JobQueue::pop`]
+    /// calls return `None` once the queue is empty.
+    pub fn close_and_drain(&self) -> Vec<T> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        let mut items = Vec::with_capacity(inner.heap.len());
+        while let Some(entry) = inner.heap.pop() {
+            items.push(entry.item);
+        }
+        drop(inner);
+        self.available.notify_all();
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_by_priority_then_fifo() {
+        let q = JobQueue::new(10);
+        q.push(0, "low-a").unwrap();
+        q.push(5, "high").unwrap();
+        q.push(0, "low-b").unwrap();
+        assert_eq!(q.pop(), Some("high"));
+        assert_eq!(q.pop(), Some("low-a"));
+        assert_eq!(q.pop(), Some("low-b"));
+    }
+
+    #[test]
+    fn rejects_when_full_and_returns_the_item() {
+        let q = JobQueue::new(2);
+        q.push(0, 1).unwrap();
+        q.push(0, 2).unwrap();
+        match q.push(0, 3) {
+            Err((item, RejectReason::Full)) => assert_eq!(item, 3),
+            other => panic!("expected Full rejection, got {other:?}"),
+        }
+        // Popping frees a slot.
+        assert_eq!(q.pop(), Some(1));
+        q.push(0, 3).unwrap();
+    }
+
+    #[test]
+    fn close_and_drain_reports_every_queued_item() {
+        let q = JobQueue::new(10);
+        q.push(1, "a").unwrap();
+        q.push(3, "b").unwrap();
+        let drained = q.close_and_drain();
+        assert_eq!(drained, vec!["b", "a"]);
+        assert_eq!(q.pop(), None, "closed empty queue releases workers");
+        assert!(matches!(q.push(0, "c"), Err(("c", RejectReason::Closed))));
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push_and_on_close() {
+        use std::sync::Arc;
+        let q = Arc::new(JobQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let popper = std::thread::spawn(move || (q2.pop(), q2.pop()));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(0, 7).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close_and_drain();
+        assert_eq!(popper.join().unwrap(), (Some(7), None));
+    }
+}

@@ -1,0 +1,182 @@
+//! Content-addressed model registry.
+//!
+//! Every verify request names a network *file*; the registry turns that
+//! name into a content hash and a shared, already-deserialized
+//! [`Network`]. Two levels of deduplication:
+//!
+//! 1. the raw file bytes are hashed ([`nn::serialize::fnv1a`], the same
+//!    hash `data::zoo` keys its on-disk cache with) — a byte-identical
+//!    file is never re-read into a `Network`;
+//! 2. the parsed network's canonical hash
+//!    ([`nn::serialize::content_hash`]) keys the shared instance — two
+//!    files that differ only in formatting still share one `Network`,
+//!    and that canonical hash is what the result cache keys verdicts by.
+//!
+//! Networks are shared via [`Arc`], so a registry lookup on the job hot
+//! path is a hash and a map probe, never a deserialization.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use nn::serialize::{content_hash, fnv1a, from_text};
+use nn::Network;
+
+struct Maps {
+    /// File-bytes hash → canonical content hash (memoizes parsing).
+    by_file: HashMap<u64, u64>,
+    /// Canonical content hash → the shared network.
+    by_content: HashMap<u64, Arc<Network>>,
+}
+
+/// Shared store of deserialized networks, keyed by content hash.
+pub struct ModelRegistry {
+    maps: Mutex<Maps>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ModelRegistry {
+            maps: Mutex::new(Maps {
+                by_file: HashMap::new(),
+                by_content: HashMap::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Loads the network file at `path`, returning its canonical content
+    /// hash and the shared deserialized instance. Deserializes at most
+    /// once per distinct content.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the file cannot be read or does not parse as
+    /// `charon-net 1`.
+    pub fn load(&self, path: &str) -> Result<(u64, Arc<Network>), String> {
+        let bytes =
+            std::fs::read(path).map_err(|e| format!("cannot read network {path:?}: {e}"))?;
+        let file_hash = fnv1a(&bytes);
+        {
+            let maps = self.maps.lock().unwrap();
+            if let Some(&canonical) = maps.by_file.get(&file_hash) {
+                if let Some(net) = maps.by_content.get(&canonical) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((canonical, Arc::clone(net)));
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let text = String::from_utf8(bytes)
+            .map_err(|_| format!("network {path:?} is not valid UTF-8"))?;
+        let net = from_text(&text).map_err(|e| format!("network {path:?}: {e}"))?;
+        let canonical = content_hash(&net);
+        let mut maps = self.maps.lock().unwrap();
+        maps.by_file.insert(file_hash, canonical);
+        let shared = maps
+            .by_content
+            .entry(canonical)
+            .or_insert_with(|| Arc::new(net));
+        Ok((canonical, Arc::clone(shared)))
+    }
+
+    /// Registers an in-memory network directly (used by tests and
+    /// in-process embedding), returning its canonical hash.
+    pub fn insert(&self, net: Network) -> u64 {
+        let canonical = content_hash(&net);
+        let mut maps = self.maps.lock().unwrap();
+        maps.by_content
+            .entry(canonical)
+            .or_insert_with(|| Arc::new(net));
+        canonical
+    }
+
+    /// The number of distinct networks held.
+    pub fn len(&self) -> usize {
+        self.maps.lock().unwrap().by_content.len()
+    }
+
+    /// Whether the registry holds no networks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered without re-reading a file's contents into a new
+    /// network.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to read and deserialize.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        ModelRegistry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn::serialize::to_text;
+
+    fn temp_file(name: &str, contents: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "charon-registry-{}-{name}",
+            std::process::id()
+        ));
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn second_load_shares_the_same_instance() {
+        let net = nn::samples::xor_network();
+        let path = temp_file("a.net", &to_text(&net));
+        let registry = ModelRegistry::new();
+        let (h1, n1) = registry.load(path.to_str().unwrap()).unwrap();
+        let (h2, n2) = registry.load(path.to_str().unwrap()).unwrap();
+        assert_eq!(h1, h2);
+        assert!(Arc::ptr_eq(&n1, &n2), "same content shares one instance");
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.hits(), 1);
+        assert_eq!(registry.misses(), 1);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn formatting_differences_share_one_canonical_network() {
+        let net = nn::samples::xor_network();
+        let text = to_text(&net);
+        let reformatted = format!("\n{}\n", text.replace('\n', "\n\n"));
+        let a = temp_file("b.net", &text);
+        let b = temp_file("c.net", &reformatted);
+        let registry = ModelRegistry::new();
+        let (ha, na) = registry.load(a.to_str().unwrap()).unwrap();
+        let (hb, nb) = registry.load(b.to_str().unwrap()).unwrap();
+        assert_eq!(ha, hb, "canonical hash ignores formatting");
+        assert!(Arc::ptr_eq(&na, &nb));
+        assert_eq!(registry.len(), 1, "one network despite two files");
+        let _ = std::fs::remove_file(a);
+        let _ = std::fs::remove_file(b);
+    }
+
+    #[test]
+    fn load_errors_name_the_path() {
+        let registry = ModelRegistry::new();
+        let err = registry.load("/nonexistent/net.txt").unwrap_err();
+        assert!(err.contains("nonexistent"), "error: {err}");
+        let bad = temp_file("bad.net", "not a network");
+        let err = registry.load(bad.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("bad.net"), "error: {err}");
+        let _ = std::fs::remove_file(bad);
+    }
+}

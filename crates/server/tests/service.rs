@@ -1,0 +1,350 @@
+//! End-to-end service tests over a real Unix socket: submit/verdict
+//! round trips, result-cache hits with provenance, queue-full admission
+//! control, deadline expiry, and the zero-lost-jobs drain guarantee.
+
+use std::path::PathBuf;
+
+use charon::json::Fields;
+use charon::{Checkpoint, RobustnessProperty};
+use domains::Bounds;
+use nn::{AffineLayer, Layer, Network};
+use server::{Client, Server, ServerAddr, ServerConfig, VerifyRequest};
+use tensor::Matrix;
+
+fn unique_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("charon-service-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start(tag: &str, workers: usize, queue: usize, cache: usize) -> (server::ServerHandle, PathBuf) {
+    let dir = unique_dir(tag);
+    let config = ServerConfig {
+        addr: ServerAddr::Unix(dir.join("daemon.sock")),
+        workers,
+        queue_capacity: queue,
+        cache_capacity: cache,
+    };
+    (Server::start(config).unwrap(), dir)
+}
+
+fn save_net(dir: &std::path::Path, name: &str, net: &Network) -> String {
+    let path = dir.join(name);
+    nn::serialize::save(net, &path).unwrap();
+    path.to_str().unwrap().to_string()
+}
+
+/// A network whose two outputs are `relu(z) + 0.05` and `relu(z)` for a
+/// nonlinear `z(x)`: the target-0 property is *true* with a constant
+/// thin margin, the attack can never refute it (minimum objective is
+/// 0.05 >> δ), and proving it needs the abstraction error of two
+/// independently-relaxed ReLUs on the same value to drop below the
+/// margin — which requires splitting [-2, 2]^6 astronomically fine.
+/// Net effect: a verification job that runs until cancelled.
+fn endless_network() -> Network {
+    let dim = 6;
+    let hidden = 8;
+    let mut state = 0x1234_5678_u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+    };
+    let w1 = Matrix::from_fn(hidden, dim, |_, _| 2.0 * next());
+    let l1 = AffineLayer::new(w1, (0..hidden).map(|_| next()).collect());
+    // Both rows identical: z is computed twice, then ReLU'd separately.
+    let row: Vec<f64> = (0..hidden).map(|_| 2.0 * next()).collect();
+    let w2 = Matrix::from_rows(&[row.as_slice(), row.as_slice()]);
+    let l2 = AffineLayer::new(w2, vec![0.0, 0.0]);
+    let head = AffineLayer::new(
+        Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]),
+        vec![0.05, 0.0],
+    );
+    Network::new(
+        dim,
+        vec![
+            Layer::Affine(l1),
+            Layer::Relu,
+            Layer::Affine(l2),
+            Layer::Relu,
+            Layer::Affine(head),
+        ],
+    )
+    .unwrap()
+}
+
+fn endless_property() -> String {
+    RobustnessProperty::new(Bounds::new(vec![-2.0; 6], vec![2.0; 6]), 0).to_text()
+}
+
+fn recv_by_id(client: &mut Client, want: u64) -> Fields {
+    let response = client.recv().unwrap();
+    assert_eq!(
+        response.usize_field("id").unwrap() as u64,
+        want,
+        "expected response for job {want}: {response:?}"
+    );
+    response
+}
+
+#[test]
+fn verify_round_trip_with_cache_hit_and_drain_accounting() {
+    let (handle, dir) = start("cache", 2, 16, 16);
+    let net_path = save_net(&dir, "xor.net", &nn::samples::xor_network());
+    let property =
+        RobustnessProperty::new(Bounds::new(vec![0.3, 0.3], vec![0.7, 0.7]), 1).to_text();
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let request = VerifyRequest {
+        id: 1,
+        network: net_path.clone(),
+        property: property.clone(),
+        ..VerifyRequest::default()
+    };
+    let first = client.request(&request.to_line()).unwrap();
+    assert_eq!(first.str_field("response").unwrap(), "verdict");
+    assert_eq!(first.str_field("verdict").unwrap(), "verified");
+    assert_eq!(first.usize_field("cached").unwrap(), 0);
+    let net_hash = first.str_field("net_hash").unwrap();
+
+    // The identical question is answered from the cache, with
+    // provenance pointing at the job that computed it.
+    let duplicate = VerifyRequest { id: 2, ..request };
+    let second = client.request(&duplicate.to_line()).unwrap();
+    assert_eq!(second.str_field("verdict").unwrap(), "verified");
+    assert_eq!(second.usize_field("cached").unwrap(), 1);
+    assert_eq!(second.usize_field("computed_by").unwrap(), 1);
+    assert_eq!(second.str_field("net_hash").unwrap(), net_hash);
+
+    // A refuted verdict carries its counterexample and is cached too.
+    let refutable = VerifyRequest {
+        id: 3,
+        network: net_path.clone(),
+        property: RobustnessProperty::new(Bounds::new(vec![0.0, 0.0], vec![1.0, 1.0]), 1)
+            .to_text(),
+        ..VerifyRequest::default()
+    };
+    let third = client.request(&refutable.to_line()).unwrap();
+    assert_eq!(third.str_field("verdict").unwrap(), "refuted");
+    let point = third.arr_field("counterexample").unwrap();
+    assert_eq!(point.len(), 2);
+
+    let stats = client.request("{\"request\": \"stats\"}").unwrap();
+    assert_eq!(stats.str_field("response").unwrap(), "stats");
+    assert_eq!(stats.usize_field("accepted").unwrap(), 3);
+    assert_eq!(stats.usize_field("completed").unwrap(), 3);
+    assert_eq!(stats.usize_field("cache_hits").unwrap(), 1);
+    assert_eq!(stats.usize_field("cache_misses").unwrap(), 2);
+    assert_eq!(stats.usize_field("cache_entries").unwrap(), 2);
+    assert_eq!(stats.usize_field("registry_models").unwrap(), 1);
+    assert_eq!(
+        stats.usize_field("registry_hits").unwrap(),
+        2,
+        "jobs 2 and 3 reuse the deserialized network"
+    );
+    assert!(stats.f64_field("cache_hit_rate").unwrap() > 0.3);
+    let hist = stats.arr_field("job_latency_hist").unwrap();
+    assert_eq!(hist.iter().sum::<f64>() as u64, 3, "three jobs observed");
+    assert!(stats.usize_field("propagation_calls").unwrap() > 0);
+
+    let drained = client.request("{\"request\": \"drain\"}").unwrap();
+    assert_eq!(drained.str_field("response").unwrap(), "drained");
+    assert_eq!(drained.usize_field("accepted").unwrap(), 3);
+    assert_eq!(drained.usize_field("completed").unwrap(), 3);
+    assert_eq!(drained.f64_field("lost").unwrap(), 0.0);
+    handle.join();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn drain_checkpoints_inflight_and_reports_queued_unstarted() {
+    let (handle, dir) = start("drain", 1, 8, 8);
+    let net_path = save_net(&dir, "endless.net", &endless_network());
+    let property = endless_property();
+
+    let mut submitter = Client::connect(handle.addr()).unwrap();
+    for id in 1..=4 {
+        let request = VerifyRequest {
+            id,
+            network: net_path.clone(),
+            property: property.clone(),
+            timeout_ms: 120_000,
+            max_regions: usize::MAX / 2,
+            ..VerifyRequest::default()
+        };
+        submitter.send(&request.to_line()).unwrap();
+    }
+
+    // Wait until job 1 is in flight and 2–4 are queued.
+    let mut control = Client::connect(handle.addr()).unwrap();
+    loop {
+        let stats = control.request("{\"request\": \"stats\"}").unwrap();
+        if stats.usize_field("queue_depth").unwrap() == 3 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(50));
+
+    let drained = control.request("{\"request\": \"drain\"}").unwrap();
+    assert_eq!(drained.usize_field("accepted").unwrap(), 4);
+    assert_eq!(drained.usize_field("checkpointed").unwrap(), 1);
+    assert_eq!(drained.usize_field("unstarted").unwrap(), 3);
+    assert_eq!(drained.usize_field("completed").unwrap(), 0);
+    assert_eq!(drained.f64_field("lost").unwrap(), 0.0, "no job may be lost");
+
+    // The submitter got a terminal response for every job: queued jobs
+    // as unstarted, the in-flight one as a resumable checkpoint.
+    let mut unstarted = Vec::new();
+    let mut checkpoint = None;
+    for _ in 0..4 {
+        let response = submitter.recv().unwrap();
+        match response.str_field("response").unwrap().as_str() {
+            "unstarted" => unstarted.push(response.usize_field("id").unwrap()),
+            "checkpointed" => {
+                assert_eq!(response.usize_field("id").unwrap(), 1);
+                checkpoint = Some(response.str_field("checkpoint").unwrap());
+            }
+            other => panic!("unexpected drain-era response {other:?}: {response:?}"),
+        }
+    }
+    unstarted.sort_unstable();
+    assert_eq!(unstarted, vec![2, 3, 4]);
+    let checkpoint = checkpoint.expect("in-flight job must be checkpointed");
+    let parsed = Checkpoint::from_text(&checkpoint).unwrap();
+    assert!(
+        !parsed.pending.is_empty(),
+        "cancelled mid-search: undecided regions must be resumable"
+    );
+    assert_eq!(parsed.target, 0);
+
+    handle.join();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn queue_full_submissions_are_rejected_not_blocked() {
+    let (handle, dir) = start("full", 1, 1, 8);
+    let net_path = save_net(&dir, "endless.net", &endless_network());
+    let property = endless_property();
+    let long_job = |id: u64| VerifyRequest {
+        id,
+        network: net_path.clone(),
+        property: property.clone(),
+        timeout_ms: 120_000,
+        max_regions: usize::MAX / 2,
+        ..VerifyRequest::default()
+    };
+
+    let mut submitter = Client::connect(handle.addr()).unwrap();
+    submitter.send(&long_job(1).to_line()).unwrap();
+    // Wait until job 1 occupies the single worker (queue back to empty).
+    let mut control = Client::connect(handle.addr()).unwrap();
+    loop {
+        let stats = control.request("{\"request\": \"stats\"}").unwrap();
+        if stats.usize_field("accepted").unwrap() == 1
+            && stats.usize_field("queue_depth").unwrap() == 0
+        {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    // Job 2 fills the queue; job 3 must be rejected immediately.
+    submitter.send(&long_job(2).to_line()).unwrap();
+    loop {
+        let stats = control.request("{\"request\": \"stats\"}").unwrap();
+        if stats.usize_field("queue_depth").unwrap() == 1 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let rejection = submitter.request(&long_job(3).to_line()).unwrap();
+    assert_eq!(rejection.str_field("response").unwrap(), "error");
+    assert_eq!(rejection.str_field("error").unwrap(), "queue_full");
+    assert_eq!(rejection.usize_field("id").unwrap(), 3);
+
+    let drained = control.request("{\"request\": \"drain\"}").unwrap();
+    assert_eq!(drained.usize_field("accepted").unwrap(), 2);
+    assert_eq!(drained.f64_field("lost").unwrap(), 0.0);
+    // Job 1 checkpointed, job 2 unstarted — in some order.
+    let kinds: Vec<String> = (0..2)
+        .map(|_| submitter.recv().unwrap().str_field("response").unwrap())
+        .collect();
+    assert!(kinds.contains(&"checkpointed".to_string()), "{kinds:?}");
+    assert!(kinds.contains(&"unstarted".to_string()), "{kinds:?}");
+
+    handle.join();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn malformed_requests_and_missing_models_get_typed_errors() {
+    let (handle, dir) = start("errors", 1, 8, 8);
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let garbage = client.request("this is not json").unwrap();
+    assert_eq!(garbage.str_field("response").unwrap(), "error");
+    assert_eq!(garbage.str_field("error").unwrap(), "bad_request");
+
+    let missing = VerifyRequest {
+        id: 9,
+        network: dir.join("nope.net").to_str().unwrap().to_string(),
+        property: endless_property(),
+        ..VerifyRequest::default()
+    };
+    client.send(&missing.to_line()).unwrap();
+    let response = recv_by_id(&mut client, 9);
+    assert_eq!(response.str_field("error").unwrap(), "model_error");
+
+    let pong = client.request("{\"request\": \"ping\"}").unwrap();
+    assert_eq!(pong.str_field("response").unwrap(), "pong");
+
+    let drained = client.request("{\"request\": \"drain\"}").unwrap();
+    // The model_error job still counts as accepted + completed.
+    assert_eq!(drained.usize_field("accepted").unwrap(), 1);
+    assert_eq!(drained.usize_field("completed").unwrap(), 1);
+    assert_eq!(drained.f64_field("lost").unwrap(), 0.0);
+    handle.join();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn deadline_expired_in_queue_is_a_terminal_typed_response() {
+    let (handle, dir) = start("deadline", 1, 8, 8);
+    let net_path = save_net(&dir, "endless.net", &endless_network());
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    // Job 1 occupies the worker for ~300ms.
+    let blocker = VerifyRequest {
+        id: 1,
+        network: net_path.clone(),
+        property: endless_property(),
+        timeout_ms: 300,
+        max_regions: usize::MAX / 2,
+        ..VerifyRequest::default()
+    };
+    client.send(&blocker.to_line()).unwrap();
+    // Job 2's deadline will expire while it waits in the queue.
+    let doomed = VerifyRequest {
+        id: 2,
+        network: net_path,
+        property: endless_property(),
+        deadline_ms: Some(1),
+        ..VerifyRequest::default()
+    };
+    client.send(&doomed.to_line()).unwrap();
+
+    let first = client.recv().unwrap();
+    assert_eq!(first.usize_field("id").unwrap(), 1);
+    assert_eq!(first.str_field("verdict").unwrap(), "resource_limit");
+    assert_eq!(first.str_field("limit").unwrap(), "timeout");
+    let second = client.recv().unwrap();
+    assert_eq!(second.usize_field("id").unwrap(), 2);
+    assert_eq!(second.str_field("error").unwrap(), "deadline_expired");
+
+    let drained = client.request("{\"request\": \"drain\"}").unwrap();
+    assert_eq!(drained.usize_field("accepted").unwrap(), 2);
+    assert_eq!(drained.usize_field("completed").unwrap(), 2);
+    assert_eq!(drained.f64_field("lost").unwrap(), 0.0);
+    handle.join();
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -26,11 +26,55 @@ rm -f "$smoke_out"
 
 # Telemetry smoke run: a traced verify must produce schema-valid JSONL,
 # checked by the `trace` subcommand's strict line-by-line validator.
+# (Capture output instead of piping into `grep -q`: an early grep exit
+# closes the pipe and turns the CLI's remaining writes into EPIPE
+# failures.)
 trace_dir="$(mktemp -d)"
 cargo run --release -q -p cli -- example \
   --out-network "$trace_dir/xor.net" --out-property "$trace_dir/p.prop"
 cargo run --release -q -p cli -- verify \
   --network "$trace_dir/xor.net" --property "$trace_dir/p.prop" \
-  --report --trace-out "$trace_dir/run.jsonl" | grep -q 'run report: verified'
-cargo run --release -q -p cli -- trace --in "$trace_dir/run.jsonl" | grep -q 'verdict: 1'
+  --report --trace-out "$trace_dir/run.jsonl" | tee "$trace_dir/verify.out" >/dev/null
+grep -q 'run report: verified' "$trace_dir/verify.out"
+cargo run --release -q -p cli -- trace --in "$trace_dir/run.jsonl" \
+  | tee "$trace_dir/trace.out" >/dev/null
+grep -q 'verdict: 1' "$trace_dir/trace.out"
 rm -rf "$trace_dir"
+
+# Server smoke run: start the daemon on a Unix socket, verify one job,
+# resubmit it (must be a result-cache hit), then drain with zero lost
+# jobs. Everything goes through the public CLI, so this also covers the
+# serve/submit subcommands and their exit codes.
+server_dir="$(mktemp -d)"
+sock="$server_dir/daemon.sock"
+cargo run --release -q -p cli -- example \
+  --out-network "$server_dir/xor.net" --out-property "$server_dir/p.prop"
+cargo run --release -q -p cli -- serve --addr "unix:$sock" --workers 1 &
+serve_pid=$!
+for _ in $(seq 100); do [ -S "$sock" ] && break; sleep 0.05; done
+[ -S "$sock" ]
+cargo run --release -q -p cli -- submit --addr "unix:$sock" \
+  --network "$server_dir/xor.net" --property "$server_dir/p.prop" \
+  | tee "$server_dir/s1.out" >/dev/null
+grep -qx 'verified' "$server_dir/s1.out"
+cargo run --release -q -p cli -- submit --addr "unix:$sock" \
+  --network "$server_dir/xor.net" --property "$server_dir/p.prop" \
+  | tee "$server_dir/s2.out" >/dev/null
+grep -qx 'verified (cached)' "$server_dir/s2.out"
+cargo run --release -q -p cli -- submit --addr "unix:$sock" --stats \
+  | tee "$server_dir/stats.out" >/dev/null
+grep -qx 'cache_hits: 1' "$server_dir/stats.out"
+cargo run --release -q -p cli -- submit --addr "unix:$sock" --drain \
+  | tee "$server_dir/drain.out" >/dev/null
+grep -q 'lost=0' "$server_dir/drain.out"
+wait "$serve_pid"
+rm -rf "$server_dir"
+
+# Server loadgen smoke run: harness executes and the machine-readable
+# schema is intact (full runs regenerate the committed BENCH_server.json
+# baseline; see DESIGN.md "Service architecture").
+loadgen_out="$(mktemp)"
+cargo run --release -q -p bench --bin loadgen -- --smoke --out "$loadgen_out"
+grep -q '"schema": "bench-server-v1"' "$loadgen_out"
+grep -q '"cache_hits":' "$loadgen_out"
+rm -f "$loadgen_out"
