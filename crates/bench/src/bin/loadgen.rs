@@ -16,16 +16,24 @@
 //! - `--smoke`: tiny stream, no throughput assertion — validates that
 //!   the harness runs and the JSON schema is intact (used by
 //!   `scripts/ci.sh`).
+//! - `--faults`: run the warm stream against a journaled daemon with a
+//!   deterministic worker-kill schedule; every query must still answer,
+//!   the supervisor must log the deaths and requeues, and the drain
+//!   must lose nothing. Implies no throughput assertion.
 //! - `--out <path>`: write the JSON somewhere other than
 //!   `BENCH_server.json` in the current directory.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 use charon::json::ObjectBuilder;
 use charon::RobustnessProperty;
 use domains::Bounds;
-use server::{Client, Server, ServerAddr, ServerConfig, VerifyRequest};
+use server::{
+    Client, Server, ServerAddr, ServerConfig, ServerFaultPlan, ServerFaultPlanBuilder,
+    VerifyRequest,
+};
 
 /// Shape of one benchmark run.
 struct Plan {
@@ -176,6 +184,7 @@ fn validate_json(json: &str) {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let faults_on = args.iter().any(|a| a == "--faults");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -214,11 +223,24 @@ fn main() {
         })
         .collect();
 
+    // Under --faults the daemon journals and a deterministic schedule
+    // panics two workers mid-stream; every query must still come back.
+    let fault_plan: Option<Arc<ServerFaultPlan>> = faults_on.then(|| {
+        Arc::new(
+            ServerFaultPlanBuilder::new()
+                .kill_worker_at_pop(1)
+                .kill_worker_at_pop(3)
+                .build(),
+        )
+    });
     let handle = Server::start(ServerConfig {
         addr: ServerAddr::Unix(dir.join("loadgen.sock")),
         workers: plan.workers,
         queue_capacity: 64,
         cache_capacity: 256,
+        journal: faults_on.then(|| dir.join("loadgen.wal")),
+        faults: fault_plan.clone(),
+        ..ServerConfig::default()
     })
     .expect("start daemon");
     let addr = handle.addr().clone();
@@ -263,6 +285,22 @@ fn main() {
         stats.usize_field("cache_hits").expect("cache_hits"),
         stats.usize_field("cache_misses").expect("cache_misses"),
     );
+    if let Some(fault_plan) = &fault_plan {
+        let deaths = stats.usize_field("worker_deaths").expect("worker_deaths");
+        let requeued = stats.usize_field("requeued").expect("requeued");
+        assert_eq!(
+            fault_plan.worker_kills_fired(),
+            2,
+            "both scheduled worker kills must fire"
+        );
+        assert!(
+            deaths >= 2 && requeued >= 2,
+            "supervisor must log the injected deaths: deaths={deaths} requeued={requeued}"
+        );
+        println!(
+            "  faults: {deaths} worker deaths, {requeued} requeued, every query answered"
+        );
+    }
 
     let json = render_json(&plan, smoke, warm_s, cold_s, &stats);
     validate_json(&json);
@@ -270,7 +308,9 @@ fn main() {
     println!("wrote {out_path}");
     let _ = std::fs::remove_dir_all(&dir);
 
-    if !smoke {
+    // Fault runs pay for journal fsyncs and worker respawns; only the
+    // clean configuration is held to the throughput bar.
+    if !smoke && !faults_on {
         assert!(
             speedup >= 2.0,
             "warm/cold speedup regressed below 2x: {speedup:.2}x"

@@ -128,6 +128,80 @@ impl FaultPlan {
     }
 }
 
+/// A deterministic one-shot trigger over a monotonically increasing
+/// ordinal sequence, shared by concurrent observers.
+///
+/// Where [`FaultPlan`] schedules faults against the verifier's *region*
+/// ordinals, an `OrdinalTrigger` is the reusable primitive beneath it:
+/// any layer that processes a numbered sequence of events (the server's
+/// job pops, journal appends, accepted connections) can attach one and
+/// ask, for each event, whether a fault is due. Each listed ordinal
+/// fires at most once, even with concurrent callers.
+///
+/// # Examples
+///
+/// ```
+/// use charon::faults::OrdinalTrigger;
+///
+/// let trigger = OrdinalTrigger::at(&[1]);
+/// assert!(!trigger.check()); // ordinal 0: not scheduled
+/// assert!(trigger.check()); // ordinal 1: fires
+/// assert!(!trigger.check()); // ordinal 2: already past
+/// assert_eq!(trigger.fired_count(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct OrdinalTrigger {
+    scheduled: Vec<(usize, AtomicBool)>,
+    counter: AtomicUsize,
+}
+
+impl OrdinalTrigger {
+    /// A trigger that never fires.
+    pub fn none() -> Self {
+        OrdinalTrigger::default()
+    }
+
+    /// A trigger firing once at each of the given ordinals.
+    pub fn at(ordinals: &[usize]) -> Self {
+        OrdinalTrigger {
+            scheduled: ordinals
+                .iter()
+                .map(|&o| (o, AtomicBool::new(false)))
+                .collect(),
+            counter: AtomicUsize::new(0),
+        }
+    }
+
+    /// Consumes the next ordinal and reports whether a fault is due at
+    /// it. Thread-safe; each scheduled ordinal fires exactly once.
+    pub fn check(&self) -> bool {
+        let ordinal = self.counter.fetch_add(1, Ordering::Relaxed);
+        self.scheduled.iter().any(|(at, fired)| {
+            *at == ordinal && !fired.swap(true, Ordering::Relaxed)
+        })
+    }
+
+    /// Number of scheduled ordinals that have fired so far.
+    pub fn fired_count(&self) -> usize {
+        self.scheduled
+            .iter()
+            .filter(|(_, fired)| fired.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Whether every scheduled ordinal has fired.
+    pub fn all_fired(&self) -> bool {
+        self.scheduled
+            .iter()
+            .all(|(_, fired)| fired.load(Ordering::Relaxed))
+    }
+
+    /// Number of ordinals consumed so far.
+    pub fn seen(&self) -> usize {
+        self.counter.load(Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +225,37 @@ mod tests {
         assert_eq!(plan.next_region(), 0);
         assert_eq!(plan.next_region(), 1);
         assert_eq!(plan.regions_seen(), 2);
+    }
+
+    #[test]
+    fn ordinal_trigger_fires_once_per_scheduled_ordinal() {
+        let trigger = OrdinalTrigger::at(&[0, 2]);
+        assert!(trigger.check(), "ordinal 0 scheduled");
+        assert!(!trigger.check(), "ordinal 1 not scheduled");
+        assert!(trigger.check(), "ordinal 2 scheduled");
+        assert!(!trigger.check(), "past the schedule");
+        assert_eq!(trigger.fired_count(), 2);
+        assert!(trigger.all_fired());
+        assert_eq!(trigger.seen(), 4);
+        assert!(!OrdinalTrigger::none().check());
+    }
+
+    #[test]
+    fn ordinal_trigger_is_safe_under_concurrency() {
+        use std::sync::Arc;
+        let trigger = Arc::new(OrdinalTrigger::at(&[5, 50]));
+        let fired: usize = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let t = Arc::clone(&trigger);
+                    scope.spawn(move || (0..25).filter(|_| t.check()).count())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(fired, 2, "each scheduled ordinal fires exactly once");
+        assert_eq!(trigger.seen(), 100);
     }
 }

@@ -15,8 +15,10 @@
 //! charon-cli certify --zoo NAME --eps E [--points N] [--timeout-ms N]
 //! charon-cli trace   --in FILE
 //! charon-cli serve   --addr ADDR [--workers N] [--queue N] [--cache N]
-//! charon-cli submit  --addr ADDR (--network NET --property PROP | --stats | --drain | --ping)
-//!                    [--id N] [--priority N] [--deadline-ms N] [--timeout-ms N]
+//!                    [--journal FILE | --no-journal]
+//! charon-cli submit  --addr ADDR (--network NET --property PROP | --query ID
+//!                    | --stats | --drain | --ping) [--id N] [--retries N]
+//!                    [--priority N] [--deadline-ms N] [--timeout-ms N]
 //!                    [--delta D] [--restarts N] [--seed N] [--no-cex] [--checkpoint FILE]
 //! ```
 //!
@@ -25,12 +27,26 @@
 //! Exit codes from `verify` and `submit`: 0 = verified, 1 = refuted,
 //! 2 = resource limit, 64 = usage error, 65 = unreadable/malformed input
 //! data (`EX_DATAERR`), 69 = daemon unavailable (`EX_UNAVAILABLE`:
-//! connection refused, queue full, or draining), 70 = internal engine
-//! failure (`EX_SOFTWARE`).
+//! connection refused, queue full, draining, or the retry budget ran
+//! out on such a transient condition), 70 = internal engine failure
+//! (`EX_SOFTWARE`), including a `poisoned` quarantine verdict.
 //!
 //! `serve` runs the [`server`] daemon in the foreground until a client
 //! drains it; `submit` is the matching one-shot client. An address is
 //! either `unix:/path/to.sock` (or a bare path) or `tcp:host:port`.
+//!
+//! The daemon is crash-only: on a Unix-socket address it journals every
+//! accepted job to `<socket>.wal` by default (override with `--journal
+//! FILE`, opt out with `--no-journal`; TCP daemons journal only when
+//! `--journal` is given) and replays unfinished jobs after a restart.
+//! `submit` picks a fresh job id per invocation unless `--id` pins one,
+//! submits with the idempotent `ack` handshake, and retries transient
+//! failures (connection refused, queue full, draining, journal write
+//! errors) up to `--retries N` (default 3) times with capped
+//! exponential backoff before giving up with exit code 69. A job that
+//! repeatedly kills workers comes back as a `poisoned` verdict carrying
+//! the panic diagnostic (exit code 70). `submit --query ID` asks a
+//! daemon for the stored outcome of a previously submitted job.
 //!
 //! Interrupted `verify` runs can persist their worklist with
 //! `--checkpoint FILE` and continue later with `--resume FILE`.
@@ -148,7 +164,10 @@ impl Args {
                 ));
             };
             // Boolean switches take no value.
-            if matches!(name, "no-cex" | "help" | "stats" | "report" | "drain" | "ping") {
+            if matches!(
+                name,
+                "no-cex" | "help" | "stats" | "report" | "drain" | "ping" | "no-journal"
+            ) {
                 switches.push(name.to_string());
                 continue;
             }
@@ -214,7 +233,7 @@ impl Args {
 }
 
 fn usage() -> String {
-    "usage:\n  charon-cli verify  --network NET (--property PROP | --resume CKPT) [--timeout-ms N] [--delta D] [--policy FILE] [--parallel N] [--checkpoint FILE] [--no-cex] [--stats] [--report] [--trace-out FILE]\n  charon-cli attack  --network NET --property PROP [--restarts N] [--seed N]\n  charon-cli train   [--seed N] [--time-limit-ms N] --out FILE\n  charon-cli info    --network NET\n  charon-cli example --out-network NET --out-property PROP\n  charon-cli prop    --zoo NAME --image N --tau T --out-network NET --out-property PROP\n  charon-cli certify --zoo NAME --eps E [--points N] [--timeout-ms N]\n  charon-cli trace   --in FILE\n  charon-cli serve   --addr ADDR [--workers N] [--queue N] [--cache N]\n  charon-cli submit  --addr ADDR (--network NET --property PROP | --stats | --drain | --ping) [--id N] [--priority N] [--deadline-ms N] [--timeout-ms N] [--delta D] [--restarts N] [--seed N] [--no-cex] [--checkpoint FILE]".to_string()
+    "usage:\n  charon-cli verify  --network NET (--property PROP | --resume CKPT) [--timeout-ms N] [--delta D] [--policy FILE] [--parallel N] [--checkpoint FILE] [--no-cex] [--stats] [--report] [--trace-out FILE]\n  charon-cli attack  --network NET --property PROP [--restarts N] [--seed N]\n  charon-cli train   [--seed N] [--time-limit-ms N] --out FILE\n  charon-cli info    --network NET\n  charon-cli example --out-network NET --out-property PROP\n  charon-cli prop    --zoo NAME --image N --tau T --out-network NET --out-property PROP\n  charon-cli certify --zoo NAME --eps E [--points N] [--timeout-ms N]\n  charon-cli trace   --in FILE\n  charon-cli serve   --addr ADDR [--workers N] [--queue N] [--cache N] [--journal FILE | --no-journal] [--fault-kill-job ID] [--fault-worker-kill ORD]\n  charon-cli submit  --addr ADDR (--network NET --property PROP | --query ID | --stats | --drain | --ping) [--id N] [--retries N] [--priority N] [--deadline-ms N] [--timeout-ms N] [--delta D] [--restarts N] [--seed N] [--no-cex] [--checkpoint FILE]\n\nserve journals accepted jobs to <socket>.wal on Unix addresses unless --no-journal; --journal FILE overrides the path (and is required for durability on tcp: addresses). --fault-kill-job / --fault-worker-kill schedule deterministic worker panics for chaos testing only.\nsubmit retries transient failures (connect refused, queue full, draining, journal errors) --retries times with capped exponential backoff; exit 69 = retryable/unavailable, 70 = engine failure or poisoned job.".to_string()
 }
 
 /// Executes a CLI invocation, writing human-readable output to `out`.
@@ -618,17 +637,71 @@ fn cmd_trace(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, Cli
 
 /// Runs the verification daemon in the foreground. Returns once a
 /// client drains it (`submit --drain`).
+/// The journal path for a daemon: `--journal FILE` wins, `--no-journal`
+/// disables, and a Unix-socket daemon otherwise defaults to durability
+/// at `<socket>.wal`. TCP daemons have no filesystem anchor to derive a
+/// default from, so they journal only on request.
+fn journal_path(
+    args: &Args,
+    addr: &server::ServerAddr,
+) -> Result<Option<std::path::PathBuf>, CliError> {
+    if args.switch("no-journal") {
+        if args.get("journal").is_some() {
+            return Err(CliError::Usage(format!(
+                "--journal and --no-journal are mutually exclusive\n{}",
+                usage()
+            )));
+        }
+        return Ok(None);
+    }
+    Ok(match (args.get("journal"), addr) {
+        (Some(path), _) => Some(std::path::PathBuf::from(path)),
+        (None, server::ServerAddr::Unix(sock)) => {
+            let mut wal = sock.as_os_str().to_owned();
+            wal.push(".wal");
+            Some(std::path::PathBuf::from(wal))
+        }
+        (None, _) => None,
+    })
+}
+
+/// Chaos-test fault schedule from the `--fault-*` flags, `None` when no
+/// fault flag was passed (the production configuration).
+fn fault_plan(args: &Args) -> Result<Option<Arc<server::ServerFaultPlan>>, CliError> {
+    let mut builder = server::ServerFaultPlanBuilder::new();
+    let mut any = false;
+    if args.get("fault-kill-job").is_some() {
+        builder = builder.kill_job(args.get_u64("fault-kill-job", 0).map_err(CliError::Usage)?);
+        any = true;
+    }
+    if args.get("fault-worker-kill").is_some() {
+        let ordinal = args.get_u64("fault-worker-kill", 0).map_err(CliError::Usage)? as usize;
+        builder = builder.kill_worker_at_pop(ordinal);
+        any = true;
+    }
+    Ok(any.then(|| Arc::new(builder.build())))
+}
+
 fn cmd_serve(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, CliError> {
     let addr = server::ServerAddr::parse(args.require("addr")?).map_err(CliError::Usage)?;
+    let journal = journal_path(args, &addr)?;
+    let journal_banner = match &journal {
+        Some(path) => format!("journaling to {}", path.display()),
+        None => "journal disabled (a crash loses queued jobs)".to_string(),
+    };
     let config = server::ServerConfig {
         addr,
         workers: args.get_u64("workers", 2)? as usize,
         queue_capacity: args.get_u64("queue", 64)? as usize,
         cache_capacity: args.get_u64("cache", 256)? as usize,
+        journal,
+        faults: fault_plan(args)?,
+        ..server::ServerConfig::default()
     };
     let handle = server::Server::start(config)
         .map_err(|e| CliError::Unavailable(format!("cannot start daemon: {e}")))?;
     writeln!(out, "listening on {}", handle.addr()).map_err(|e| e.to_string())?;
+    writeln!(out, "{journal_banner}").map_err(|e| e.to_string())?;
     out.flush().map_err(|e| e.to_string())?;
     handle.join();
     writeln!(out, "daemon drained, shutting down").map_err(|e| e.to_string())?;
@@ -641,14 +714,23 @@ fn io_unavailable(e: std::io::Error) -> CliError {
     CliError::Unavailable(format!("daemon connection failed: {e}"))
 }
 
-/// One-shot client for a running daemon: submits a verify job, or with
-/// `--stats` / `--drain` / `--ping` sends the matching control request.
+/// Connects once, without retry, for the control requests (`--ping`,
+/// `--stats`, `--drain`, `--query`): they are status reads or explicit
+/// shutdowns, so an unreachable daemon is itself the answer.
+fn control_client(addr: &server::ServerAddr) -> Result<server::Client, CliError> {
+    server::Client::connect(addr)
+        .map_err(|e| CliError::Unavailable(format!("cannot connect to {addr}: {e}")))
+}
+
+/// One-shot client for a running daemon: submits a verify job over the
+/// reliable path (idempotent id, retry with backoff), or sends the
+/// matching control request for `--query` / `--stats` / `--drain` /
+/// `--ping`.
 fn cmd_submit(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, CliError> {
     let addr = server::ServerAddr::parse(args.require("addr")?).map_err(CliError::Usage)?;
-    let mut client = server::Client::connect(&addr)
-        .map_err(|e| CliError::Unavailable(format!("cannot connect to {addr}: {e}")))?;
 
     if args.switch("ping") {
+        let mut client = control_client(&addr)?;
         let reply = client
             .request("{\"request\": \"ping\"}")
             .map_err(io_unavailable)?;
@@ -658,6 +740,7 @@ fn cmd_submit(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, Cl
     }
 
     if args.switch("stats") {
+        let mut client = control_client(&addr)?;
         let reply = client
             .request("{\"request\": \"stats\"}")
             .map_err(io_unavailable)?;
@@ -677,6 +760,15 @@ fn cmd_submit(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, Cl
             "rejected_draining",
             "errored",
             "deadline_expired",
+            "replayed",
+            "requeued",
+            "quarantined",
+            "worker_deaths",
+            "duplicates",
+            "journal_errors",
+            "journal_enabled",
+            "journal_appends",
+            "results_entries",
             "cache_entries",
             "cache_hits",
             "cache_misses",
@@ -697,6 +789,7 @@ fn cmd_submit(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, Cl
     }
 
     if args.switch("drain") {
+        let mut client = control_client(&addr)?;
         let reply = client
             .request("{\"request\": \"drain\"}")
             .map_err(io_unavailable)?;
@@ -717,11 +810,36 @@ fn cmd_submit(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, Cl
         };
     }
 
+    if args.get("query").is_some() {
+        let id = args.get_u64("query", 0)?;
+        let mut client = control_client(&addr)?;
+        let reply = client
+            .request(&server::VerifyRequest::query_line(id))
+            .map_err(io_unavailable)?;
+        return match reply.str_field("response").map_err(CliError::Engine)?.as_str() {
+            "pending" => {
+                writeln!(out, "job {id} is pending (queued or in flight)")
+                    .map_err(|e| e.to_string())?;
+                Ok(ExitCode::Success)
+            }
+            "unknown" => Err(CliError::Unavailable(format!(
+                "job {id} is unknown to the daemon; resubmit it"
+            ))),
+            _ => render_terminal(&reply, args, out),
+        };
+    }
+
     let prop_path = args.require("property")?;
     let property = std::fs::read_to_string(prop_path)
         .map_err(|e| CliError::Data(format!("cannot read {prop_path}: {e}")))?;
     let request = server::VerifyRequest {
-        id: args.get_u64("id", 1)?,
+        // A fresh default id per invocation keeps the daemon's
+        // idempotency window from conflating two unrelated submissions
+        // that both omitted --id.
+        id: match args.get("id") {
+            Some(_) => args.get_u64("id", 0)?,
+            None => unique_job_id(),
+        },
         network: args.require("network")?.to_string(),
         property,
         priority: args.get_f64("priority", 0.0)? as i64,
@@ -735,9 +853,44 @@ fn cmd_submit(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, Cl
         restarts: args.get_u64("restarts", 2)? as usize,
         seed: args.get_u64("seed", 0)?,
         cex_search: !args.switch("no-cex"),
+        ack: true,
     };
-    let reply = client.request(&request.to_line()).map_err(io_unavailable)?;
+    let policy = server::RetryPolicy {
+        max_attempts: (args.get_u64("retries", 3)? as u32).saturating_add(1),
+        ..server::RetryPolicy::default()
+    };
+    let reply = server::submit_reliable(&addr, &request, &policy).map_err(|e| match e {
+        server::ClientError::Io(err) => io_unavailable(err),
+        server::ClientError::Protocol(msg) => {
+            CliError::Engine(format!("daemon protocol error: {msg}"))
+        }
+        exhausted @ server::ClientError::RetriesExhausted { .. } => {
+            CliError::Unavailable(exhausted.to_string())
+        }
+    })?;
+    render_terminal(&reply, args, out)
+}
 
+/// A practically-unique default job id: epoch nanoseconds mixed with the
+/// process id, so concurrent clients that both omit `--id` do not
+/// collide in the daemon's idempotency window. Ids travel as JSON
+/// numbers (`f64` on the wire), so the value is masked into the 53-bit
+/// range that round-trips exactly.
+fn unique_job_id() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(1);
+    ((nanos ^ (u64::from(std::process::id()) << 40)) & ((1 << 53) - 1)) | 1
+}
+
+/// Renders a terminal daemon response (`verdict`, `checkpointed`,
+/// `unstarted`, or a non-retryable `error`) and maps it to an exit code.
+fn render_terminal(
+    reply: &charon::json::Fields,
+    args: &Args,
+    out: &mut impl std::io::Write,
+) -> Result<ExitCode, CliError> {
     match reply.str_field("response").map_err(CliError::Engine)?.as_str() {
         "verdict" => {
             let cached = reply.opt_usize("cached").map_err(CliError::Engine)?.unwrap_or(0);
@@ -772,6 +925,22 @@ fn cmd_submit(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, Cl
                     .map_err(|e| e.to_string())?;
                     Ok(ExitCode::ResourceLimit)
                 }
+                "poisoned" => {
+                    let attempts = reply
+                        .opt_usize("attempts")
+                        .map_err(CliError::Engine)?
+                        .unwrap_or(0);
+                    let diagnostic = reply
+                        .opt_str("diagnostic")
+                        .map_err(CliError::Engine)?
+                        .unwrap_or_default();
+                    writeln!(
+                        out,
+                        "poisoned: job quarantined after killing {attempts} worker(s): {diagnostic}"
+                    )
+                    .map_err(|e| e.to_string())?;
+                    Ok(ExitCode::EngineError)
+                }
                 other => Err(CliError::Engine(format!("unknown verdict {other:?}"))),
             }
         }
@@ -803,7 +972,9 @@ fn cmd_submit(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, Cl
                 .unwrap_or_default();
             let rendered = format!("{code}: {message}");
             match code.as_str() {
-                "queue_full" | "draining" => Err(CliError::Unavailable(rendered)),
+                "queue_full" | "draining" | "journal_error" => {
+                    Err(CliError::Unavailable(rendered))
+                }
                 "bad_request" | "model_error" | "deadline_expired" => {
                     Err(CliError::Data(rendered))
                 }
@@ -1291,6 +1462,33 @@ mod tests {
             [0, 1, 2, 64, 65, 69, 70],
             "exit codes are a published interface"
         );
+    }
+
+    #[test]
+    fn unique_job_ids_round_trip_as_json_numbers() {
+        let a = unique_job_id();
+        std::thread::sleep(std::time::Duration::from_micros(10));
+        let b = unique_job_id();
+        for id in [a, b] {
+            assert!(id > 0, "id must be nonzero");
+            assert!(id < (1 << 53), "id must be f64-exact, got {id}");
+            assert_eq!(id as f64 as u64, id, "id must survive the wire format");
+        }
+        assert_ne!(a, b, "successive invocations must not collide");
+    }
+
+    #[test]
+    fn serve_rejects_contradictory_journal_flags() {
+        let (code, output) = run_capture(&[
+            "serve",
+            "--addr",
+            "/tmp/never-bound.sock",
+            "--journal",
+            "/tmp/never-written.wal",
+            "--no-journal",
+        ]);
+        assert_eq!(code, ExitCode::UsageError, "output: {output}");
+        assert!(output.contains("mutually exclusive"), "output: {output}");
     }
 
     #[test]

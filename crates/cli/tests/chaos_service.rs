@@ -1,0 +1,197 @@
+//! End-to-end chaos tests against the real `charon-cli` binary: a
+//! journaled daemon is SIGKILLed mid-stream and restarted, and every
+//! submitted job must still resolve exactly once; a poison job that
+//! repeatedly kills workers must come back as a typed `poisoned`
+//! verdict with exit code 70.
+//!
+//! These tests spawn real processes (`CARGO_BIN_EXE_charon-cli`), so
+//! they exercise the whole stack: argument parsing, the reliable
+//! submission path with reconnect/backoff, the write-ahead journal,
+//! replay, and worker supervision.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_charon-cli");
+
+fn unique_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "charon-chaos-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Writes the example network/property pair into `dir` via the library
+/// entry point (no daemon involved).
+fn example_files(dir: &Path) -> (PathBuf, PathBuf) {
+    let net = dir.join("xor.net");
+    let prop = dir.join("p.prop");
+    let mut out = Vec::new();
+    let code = cli::run(
+        &[
+            "example".to_string(),
+            "--out-network".to_string(),
+            net.to_str().unwrap().to_string(),
+            "--out-property".to_string(),
+            prop.to_str().unwrap().to_string(),
+        ],
+        &mut out,
+    );
+    assert_eq!(code, cli::ExitCode::Success);
+    (net, prop)
+}
+
+/// Starts the daemon process and waits until it is accepting. A stale
+/// socket file from a SIGKILLed predecessor is removed first, so the
+/// wait below observes the *new* process's bind.
+fn spawn_daemon(sock: &Path, journal: &Path, extra: &[&str]) -> Child {
+    let _ = std::fs::remove_file(sock);
+    let mut cmd = Command::new(BIN);
+    cmd.args([
+        "serve",
+        "--addr",
+        sock.to_str().unwrap(),
+        "--workers",
+        "1",
+        "--journal",
+        journal.to_str().unwrap(),
+    ])
+    .args(extra)
+    .stdout(Stdio::null())
+    .stderr(Stdio::null());
+    let child = cmd.spawn().expect("spawn daemon");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !sock.exists() {
+        assert!(Instant::now() < deadline, "daemon never bound {sock:?}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child
+}
+
+/// Spawns a `submit` child for the given job id with a generous retry
+/// budget, so it rides out a daemon restart.
+fn spawn_submit(sock: &Path, net: &Path, prop: &Path, id: u64) -> Child {
+    Command::new(BIN)
+        .args([
+            "submit",
+            "--addr",
+            sock.to_str().unwrap(),
+            "--network",
+            net.to_str().unwrap(),
+            "--property",
+            prop.to_str().unwrap(),
+            "--id",
+            &id.to_string(),
+            "--retries",
+            "10",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn submit")
+}
+
+fn finish(child: Child) -> (i32, String) {
+    let output = child.wait_with_output().expect("wait for child");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    (output.status.code().unwrap_or(-1), text)
+}
+
+/// One-shot control request through the real binary.
+fn control(sock: &Path, args: &[&str]) -> (i32, String) {
+    let child = Command::new(BIN)
+        .args(["submit", "--addr", sock.to_str().unwrap()])
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn control");
+    finish(child)
+}
+
+#[test]
+fn sigkill_mid_stream_then_restart_loses_and_duplicates_nothing() {
+    let dir = unique_dir("sigkill");
+    let (net, prop) = example_files(&dir);
+    let sock = dir.join("daemon.sock");
+    let journal = dir.join("daemon.wal");
+
+    let mut daemon = spawn_daemon(&sock, &journal, &[]);
+
+    // A stream of submissions; the daemon dies somewhere in the middle
+    // of serving them.
+    let ids = [11u64, 12, 13, 14];
+    let clients: Vec<Child> = ids
+        .iter()
+        .map(|id| spawn_submit(&sock, &net, &prop, *id))
+        .collect();
+    std::thread::sleep(Duration::from_millis(40));
+
+    daemon.kill().expect("SIGKILL daemon");
+    daemon.wait().expect("reap daemon");
+
+    // Crash-only restart: same journal, same socket. The clients keep
+    // retrying with backoff and must all land on the new process.
+    let mut daemon = spawn_daemon(&sock, &journal, &[]);
+
+    for (client, id) in clients.into_iter().zip(ids) {
+        let (code, output) = finish(client);
+        assert_eq!(code, 0, "job {id} must verify across the restart: {output}");
+        assert!(output.contains("verified"), "job {id}: {output}");
+    }
+
+    // Every id must resolve to exactly one stored verdict — query is
+    // idempotent and must agree with what the clients saw.
+    for id in ids {
+        let (code, output) = control(&sock, &["--query", &id.to_string()]);
+        assert_eq!(code, 0, "query {id}: {output}");
+        assert!(output.contains("verified"), "query {id}: {output}");
+    }
+
+    let (code, output) = control(&sock, &["--stats"]);
+    assert_eq!(code, 0, "stats: {output}");
+    assert!(output.contains("journal_enabled: 1"), "stats: {output}");
+
+    let (code, output) = control(&sock, &["--drain"]);
+    assert_eq!(code, 0, "drain must report lost=0: {output}");
+    assert!(output.contains("lost=0"), "drain: {output}");
+    daemon.wait().expect("daemon exits after drain");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn poison_job_is_quarantined_with_exit_code_70() {
+    let dir = unique_dir("poison");
+    let (net, prop) = example_files(&dir);
+    let sock = dir.join("daemon.sock");
+    let journal = dir.join("daemon.wal");
+
+    // Job 7 panics every worker that picks it up; the retry budget
+    // turns that into a quarantine instead of a crash loop.
+    let mut daemon = spawn_daemon(&sock, &journal, &["--fault-kill-job", "7"]);
+
+    let (code, output) = finish(spawn_submit(&sock, &net, &prop, 7));
+    assert_eq!(code, 70, "poison job must exit EX_SOFTWARE: {output}");
+    assert!(output.contains("poisoned"), "output: {output}");
+    assert!(output.contains("injected worker kill"), "output: {output}");
+
+    // The daemon survived both worker deaths: a healthy job still runs.
+    let (code, output) = finish(spawn_submit(&sock, &net, &prop, 8));
+    assert_eq!(code, 0, "healthy job after quarantine: {output}");
+    assert!(output.contains("verified"), "output: {output}");
+
+    let (code, output) = control(&sock, &["--drain"]);
+    assert_eq!(code, 0, "drain: {output}");
+    assert!(output.contains("lost=0"), "drain: {output}");
+    daemon.wait().expect("daemon exits after drain");
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -1,0 +1,142 @@
+//! Deterministic fault injection for the service layer, extending the
+//! engine-level [`charon::faults`] harness up into the daemon.
+//!
+//! Where [`charon::faults::FaultPlan`] strikes inside one verification
+//! run (per-region panics, NaNs, delays), a [`ServerFaultPlan`] strikes
+//! the *service* machinery around the runs:
+//!
+//! * **worker kill** — panic the worker thread itself when it dequeues
+//!   the job with a scheduled pop ordinal (or any job whose id is listed
+//!   in [`ServerFaultPlanBuilder::kill_job`], which fires on *every*
+//!   pop of that job — the crash-looping "poison job" scenario the
+//!   supervisor must quarantine);
+//! * **journal fault** — fail a scheduled journal append with an I/O
+//!   error, exercising the "accepted is only acked after the journal
+//!   write" path;
+//! * **connection drop** — close a scheduled accepted connection
+//!   immediately, exercising client reconnect-with-backoff.
+//!
+//! All schedules are ordinal-based and one-shot via
+//! [`charon::faults::OrdinalTrigger`], so chaos tests are exactly
+//! repeatable. Production configurations leave
+//! [`crate::ServerConfig::faults`] as `None`.
+
+use charon::faults::OrdinalTrigger;
+
+/// A deterministic schedule of service-level faults.
+#[derive(Debug, Default)]
+pub struct ServerFaultPlan {
+    pub(crate) worker_kill: OrdinalTrigger,
+    pub(crate) kill_jobs: Vec<u64>,
+    pub(crate) journal_fault: OrdinalTrigger,
+    pub(crate) conn_drop: OrdinalTrigger,
+}
+
+/// Builder for a [`ServerFaultPlan`].
+#[derive(Debug, Default)]
+pub struct ServerFaultPlanBuilder {
+    worker_kill: Vec<usize>,
+    kill_jobs: Vec<u64>,
+    journal_fault: Vec<usize>,
+    conn_drop: Vec<usize>,
+}
+
+impl ServerFaultPlanBuilder {
+    /// Starts an empty plan (no faults).
+    pub fn new() -> Self {
+        ServerFaultPlanBuilder::default()
+    }
+
+    /// Panics the worker that performs pop number `ordinal` (0-based,
+    /// counted across all workers), once.
+    pub fn kill_worker_at_pop(mut self, ordinal: usize) -> Self {
+        self.worker_kill.push(ordinal);
+        self
+    }
+
+    /// Panics the worker every time it pops the job with this id. The
+    /// supervisor's retry budget turns this into a quarantine.
+    pub fn kill_job(mut self, id: u64) -> Self {
+        self.kill_jobs.push(id);
+        self
+    }
+
+    /// Fails journal append number `ordinal` (0-based) with an I/O
+    /// error, once.
+    pub fn fail_journal_append(mut self, ordinal: usize) -> Self {
+        self.journal_fault.push(ordinal);
+        self
+    }
+
+    /// Drops accepted connection number `ordinal` (0-based) immediately
+    /// after accept, once.
+    pub fn drop_connection(mut self, ordinal: usize) -> Self {
+        self.conn_drop.push(ordinal);
+        self
+    }
+
+    /// Finishes the plan.
+    pub fn build(self) -> ServerFaultPlan {
+        ServerFaultPlan {
+            worker_kill: OrdinalTrigger::at(&self.worker_kill),
+            kill_jobs: self.kill_jobs,
+            journal_fault: OrdinalTrigger::at(&self.journal_fault),
+            conn_drop: OrdinalTrigger::at(&self.conn_drop),
+        }
+    }
+}
+
+impl ServerFaultPlan {
+    /// Whether the worker that just popped job `id` must die: either the
+    /// pop ordinal is scheduled, or the job id is marked poisonous.
+    pub(crate) fn worker_must_die(&self, id: u64) -> bool {
+        // Consume the pop ordinal first so scheduled ordinals stay
+        // aligned with actual pops even when a kill_jobs id also fires.
+        let by_ordinal = self.worker_kill.check();
+        by_ordinal || self.kill_jobs.contains(&id)
+    }
+
+    /// Number of worker-kill pop ordinals that have fired.
+    pub fn worker_kills_fired(&self) -> usize {
+        self.worker_kill.fired_count()
+    }
+
+    /// Number of journal-append faults that have fired.
+    pub fn journal_faults_fired(&self) -> usize {
+        self.journal_fault.fired_count()
+    }
+
+    /// Number of connection drops that have fired.
+    pub fn connection_drops_fired(&self) -> usize {
+        self.conn_drop.fired_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_ordinal_kill_fires_once_and_job_kill_fires_always() {
+        let plan = ServerFaultPlanBuilder::new()
+            .kill_worker_at_pop(1)
+            .kill_job(7)
+            .build();
+        assert!(!plan.worker_must_die(3), "pop 0: nothing scheduled");
+        assert!(plan.worker_must_die(3), "pop 1: ordinal kill");
+        assert!(!plan.worker_must_die(3), "pop 2: ordinal spent");
+        assert!(plan.worker_must_die(7), "poison job always kills");
+        assert!(plan.worker_must_die(7), "... every time it is popped");
+        assert_eq!(plan.worker_kills_fired(), 1);
+    }
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let plan = ServerFaultPlanBuilder::new().build();
+        for id in 0..10 {
+            assert!(!plan.worker_must_die(id));
+        }
+        assert_eq!(plan.journal_faults_fired(), 0);
+        assert_eq!(plan.connection_drops_fired(), 0);
+    }
+}

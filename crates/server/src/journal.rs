@@ -1,0 +1,640 @@
+//! Durable write-ahead job journal: the daemon's crash-only backbone.
+//!
+//! Every accepted job is appended (and fsync'd) *before* its acceptance
+//! is acknowledged, and every state transition — started, checkpointed,
+//! completed — is appended as it happens. After any process death
+//! (including `SIGKILL`), restarting the daemon on the same journal
+//! replays it: jobs with a terminal record have their response retained
+//! for idempotent re-delivery, jobs caught mid-flight are re-enqueued
+//! (resuming from their last `charon-ckpt` checkpoint when one was
+//! journaled), and the file is compacted down to what is still live.
+//!
+//! # On-disk format
+//!
+//! One record per line, each framed as eight lowercase hex digits of
+//! CRC-32 (IEEE) over the payload, a space, and a flat-JSON payload in
+//! the workspace codec ([`charon::json`]):
+//!
+//! ```text
+//! 8d3f00c1 {"record": "header", "version": 1}
+//! 1a2b3c4d {"record": "accepted", "id": 7, "request": "{\"request\": \"verify\", ...}"}
+//! ...      {"record": "started", "id": 7, "attempt": 1}
+//! ...      {"record": "checkpointed", "id": 7, "regions_done": 42, "checkpoint": "charon-ckpt 1\n..."}
+//! ...      {"record": "completed", "id": 7, "response": "{\"response\": \"verdict\", ...}"}
+//! ```
+//!
+//! A torn *final* record (the write the crash interrupted) is expected
+//! and tolerated on replay; a corrupt record followed by further intact
+//! records means the file was damaged some other way and is reported as
+//! an error rather than silently skipped.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use charon::json::{parse_flat_object, ObjectBuilder};
+
+use crate::faults::ServerFaultPlan;
+use crate::protocol::{Request, VerifyRequest};
+
+/// Journal format version written in the header record.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// Terminal results retained through compaction, newest first. Bounds
+/// journal regrowth while keeping recent verdicts answerable by id
+/// across restarts.
+pub const RESULT_RETENTION: usize = 1024;
+
+/// One journal record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A job passed admission; carries the full wire-form request so
+    /// replay can re-create it.
+    Accepted {
+        /// The job id.
+        id: u64,
+        /// The admitted request.
+        request: VerifyRequest,
+    },
+    /// A worker began (or re-began) executing the job.
+    Started {
+        /// The job id.
+        id: u64,
+        /// 1-based execution attempt, counted across process lives.
+        attempt: u32,
+    },
+    /// The job was cooperatively cancelled to a resumable checkpoint.
+    Checkpointed {
+        /// The job id.
+        id: u64,
+        /// Regions decided before the interruption.
+        regions_done: usize,
+        /// The `charon-ckpt 1` text.
+        checkpoint: String,
+    },
+    /// The job reached a terminal response (verdict, error, unstarted,
+    /// checkpointed-and-delivered, or poisoned).
+    Completed {
+        /// The job id.
+        id: u64,
+        /// The full terminal response line, retained for idempotent
+        /// re-delivery and `query`.
+        response: String,
+    },
+}
+
+impl Record {
+    fn encode(&self) -> String {
+        match self {
+            Record::Accepted { id, request } => ObjectBuilder::new()
+                .str("record", "accepted")
+                .int("id", *id)
+                .str("request", &request.to_line())
+                .build(),
+            Record::Started { id, attempt } => ObjectBuilder::new()
+                .str("record", "started")
+                .int("id", *id)
+                .int("attempt", u64::from(*attempt))
+                .build(),
+            Record::Checkpointed {
+                id,
+                regions_done,
+                checkpoint,
+            } => ObjectBuilder::new()
+                .str("record", "checkpointed")
+                .int("id", *id)
+                .int("regions_done", *regions_done as u64)
+                .str("checkpoint", checkpoint)
+                .build(),
+            Record::Completed { id, response } => ObjectBuilder::new()
+                .str("record", "completed")
+                .int("id", *id)
+                .str("response", response)
+                .build(),
+        }
+    }
+
+    fn decode(payload: &str) -> Result<Option<Record>, String> {
+        let fields = parse_flat_object(payload)?;
+        let kind = fields.str_field("record")?;
+        if kind == "header" {
+            let version = fields.usize_field("version")? as u64;
+            if version != JOURNAL_VERSION {
+                return Err(format!(
+                    "journal version {version} not supported (this build writes {JOURNAL_VERSION})"
+                ));
+            }
+            return Ok(None);
+        }
+        let id = fields.usize_field("id")? as u64;
+        match kind.as_str() {
+            "accepted" => {
+                let line = fields.str_field("request")?;
+                match Request::parse(&line)? {
+                    Request::Verify(request) => Ok(Some(Record::Accepted { id, request })),
+                    other => Err(format!("accepted record holds a non-verify request {other:?}")),
+                }
+            }
+            "started" => Ok(Some(Record::Started {
+                id,
+                attempt: fields.usize_field("attempt")? as u32,
+            })),
+            "checkpointed" => Ok(Some(Record::Checkpointed {
+                id,
+                regions_done: fields.usize_field("regions_done")?,
+                checkpoint: fields.str_field("checkpoint")?,
+            })),
+            "completed" => Ok(Some(Record::Completed {
+                id,
+                response: fields.str_field("response")?,
+            })),
+            other => Err(format!("unknown record kind {other:?}")),
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected), bitwise — journal lines are short and
+/// appends are fsync-bound, so a lookup table would buy nothing.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffff_u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn frame(payload: &str) -> String {
+    format!("{:08x} {payload}\n", crc32(payload.as_bytes()))
+}
+
+/// A job reconstructed from the journal that never reached a terminal
+/// record: it was queued or in flight when the process died.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredJob {
+    /// The original admitted request (id included).
+    pub request: VerifyRequest,
+    /// Execution attempts already begun (counted `started` records,
+    /// across process lives). The supervisor's quarantine budget treats
+    /// these the same as in-process worker kills: a job that took a
+    /// process down twice is poison.
+    pub starts: u32,
+    /// The most recent journaled checkpoint, if any: replay resumes from
+    /// it instead of re-verifying from scratch.
+    pub checkpoint: Option<String>,
+}
+
+/// Everything replay learned from an existing journal.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Jobs to re-enqueue, in original admission order.
+    pub live: Vec<RecoveredJob>,
+    /// Terminal `(id, response)` pairs, in append order, for idempotent
+    /// re-delivery via `query`.
+    pub results: Vec<(u64, String)>,
+    /// Whether the final record was torn (interrupted mid-write) and
+    /// discarded.
+    pub torn_tail: bool,
+    /// Intact records replayed (excluding the header).
+    pub records: u64,
+}
+
+#[derive(Default)]
+struct JobState {
+    request: Option<VerifyRequest>,
+    starts: u32,
+    checkpoint: Option<String>,
+    terminal: bool,
+}
+
+/// An open, append-only journal handle.
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    appends: u64,
+    faults: Option<Arc<ServerFaultPlan>>,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("path", &self.path)
+            .field("appends", &self.appends)
+            .finish()
+    }
+}
+
+fn corrupt(line_no: usize, why: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("journal record {line_no}: {why}"),
+    )
+}
+
+/// Parses journal text into a [`Replay`]. A damaged *final* record is
+/// tolerated (`torn_tail`); damage followed by intact records is an
+/// error.
+///
+/// # Errors
+///
+/// Returns `InvalidData` naming the first corrupt non-final record.
+pub fn replay_text(text: &str) -> std::io::Result<Replay> {
+    let mut replay = Replay::default();
+    let mut jobs: Vec<(u64, JobState)> = Vec::new();
+    let state_of = |id: u64, jobs: &mut Vec<(u64, JobState)>| -> usize {
+        match jobs.iter().position(|(jid, _)| *jid == id) {
+            Some(i) => i,
+            None => {
+                jobs.push((id, JobState::default()));
+                jobs.len() - 1
+            }
+        }
+    };
+
+    let lines: Vec<&str> = text.lines().collect();
+    let mut saw_header = false;
+    for (idx, line) in lines.iter().enumerate() {
+        let is_last = idx + 1 == lines.len();
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = (|| -> Result<Option<Record>, String> {
+            let (crc_hex, payload) = line
+                .split_once(' ')
+                .ok_or_else(|| "missing CRC frame".to_string())?;
+            let want = u32::from_str_radix(crc_hex, 16)
+                .map_err(|_| format!("bad CRC field {crc_hex:?}"))?;
+            let got = crc32(payload.as_bytes());
+            if want != got {
+                return Err(format!("CRC mismatch (stored {want:08x}, computed {got:08x})"));
+            }
+            Record::decode(payload)
+        })();
+        let record = match parsed {
+            Ok(record) => record,
+            Err(why) if is_last => {
+                // The crash interrupted this very write; the record never
+                // took effect, so it is discarded rather than reported.
+                replay.torn_tail = true;
+                let _ = why;
+                break;
+            }
+            Err(why) => return Err(corrupt(idx + 1, &why)),
+        };
+        let Some(record) = record else {
+            saw_header = true;
+            continue;
+        };
+        if !saw_header {
+            return Err(corrupt(idx + 1, "record before journal header"));
+        }
+        replay.records += 1;
+        match record {
+            Record::Accepted { id, request } => {
+                // A re-used id after a terminal record is a fresh job:
+                // reset its state.
+                let i = state_of(id, &mut jobs);
+                jobs[i].1 = JobState {
+                    request: Some(request),
+                    ..JobState::default()
+                };
+            }
+            Record::Started { id, attempt } => {
+                let i = state_of(id, &mut jobs);
+                jobs[i].1.starts = jobs[i].1.starts.max(attempt);
+            }
+            Record::Checkpointed { id, checkpoint, .. } => {
+                let i = state_of(id, &mut jobs);
+                jobs[i].1.checkpoint = Some(checkpoint);
+            }
+            Record::Completed { id, response } => {
+                let i = state_of(id, &mut jobs);
+                jobs[i].1.terminal = true;
+                replay.results.push((id, response));
+            }
+        }
+    }
+
+    for (_, state) in jobs {
+        if state.terminal {
+            continue;
+        }
+        if let Some(request) = state.request {
+            replay.live.push(RecoveredJob {
+                request,
+                starts: state.starts,
+                checkpoint: state.checkpoint,
+            });
+        }
+        // A started/checkpointed record without its accepted record can
+        // only appear in a hand-damaged file; there is nothing to run.
+    }
+    Ok(replay)
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path`: replays any
+    /// existing records, compacts the file down to the header, live
+    /// jobs, and the most recent [`RESULT_RETENTION`] terminal results,
+    /// and returns the append handle plus what replay found.
+    ///
+    /// # Errors
+    ///
+    /// Returns read/parse errors for a corrupt journal (a torn final
+    /// record is not corruption) and write errors from compaction.
+    pub fn open(
+        path: &Path,
+        faults: Option<Arc<ServerFaultPlan>>,
+    ) -> std::io::Result<(Journal, Replay)> {
+        let mut text = String::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_string(&mut text)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let replay = replay_text(&text)?;
+
+        // Compact: header + retained results + every record needed to
+        // re-create the live jobs, atomically via tmp-and-rename.
+        let mut compacted = String::new();
+        compacted.push_str(&frame(
+            &ObjectBuilder::new()
+                .str("record", "header")
+                .int("version", JOURNAL_VERSION)
+                .build(),
+        ));
+        let skip = replay.results.len().saturating_sub(RESULT_RETENTION);
+        for (id, response) in replay.results.iter().skip(skip) {
+            compacted.push_str(&frame(
+                &Record::Completed {
+                    id: *id,
+                    response: response.clone(),
+                }
+                .encode(),
+            ));
+        }
+        for job in &replay.live {
+            compacted.push_str(&frame(
+                &Record::Accepted {
+                    id: job.request.id,
+                    request: job.request.clone(),
+                }
+                .encode(),
+            ));
+            if job.starts > 0 {
+                compacted.push_str(&frame(
+                    &Record::Started {
+                        id: job.request.id,
+                        attempt: job.starts,
+                    }
+                    .encode(),
+                ));
+            }
+            if let Some(checkpoint) = &job.checkpoint {
+                compacted.push_str(&frame(
+                    &Record::Checkpointed {
+                        id: job.request.id,
+                        regions_done: 0,
+                        checkpoint: checkpoint.clone(),
+                    }
+                    .encode(),
+                ));
+            }
+        }
+        let tmp = path.with_extension("wal.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(compacted.as_bytes())?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, path)?;
+
+        let file = OpenOptions::new().append(true).open(path)?;
+        file.sync_data()?;
+        Ok((
+            Journal {
+                file,
+                path: path.to_path_buf(),
+                appends: 0,
+                faults,
+            },
+            replay,
+        ))
+    }
+
+    /// Appends one record and syncs it to disk. The record is durable
+    /// when this returns `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying write/sync error, or an injected fault
+    /// from the attached [`ServerFaultPlan`].
+    pub fn append(&mut self, record: &Record) -> std::io::Result<()> {
+        if let Some(plan) = &self.faults {
+            if plan.journal_fault.check() {
+                return Err(std::io::Error::other("injected journal write fault"));
+            }
+        }
+        self.file.write_all(frame(&record.encode()).as_bytes())?;
+        self.file.sync_data()?;
+        self.appends += 1;
+        Ok(())
+    }
+
+    /// Records appended through this handle (excluding replayed ones).
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_journal(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "charon-journal-{tag}-{}-{:?}.wal",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    fn request(id: u64) -> VerifyRequest {
+        VerifyRequest {
+            id,
+            network: format!("/tmp/net-{id}.txt"),
+            property: "charon-prop 1\ntarget 0\nend\n".to_string(),
+            ..VerifyRequest::default()
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn records_round_trip_through_append_and_replay() {
+        let path = temp_journal("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut journal, replay) = Journal::open(&path, None).unwrap();
+            assert!(replay.live.is_empty());
+            journal
+                .append(&Record::Accepted {
+                    id: 1,
+                    request: request(1),
+                })
+                .unwrap();
+            journal.append(&Record::Started { id: 1, attempt: 1 }).unwrap();
+            journal
+                .append(&Record::Accepted {
+                    id: 2,
+                    request: request(2),
+                })
+                .unwrap();
+            journal
+                .append(&Record::Completed {
+                    id: 2,
+                    response: "{\"response\": \"verdict\", \"id\": 2}".to_string(),
+                })
+                .unwrap();
+            journal
+                .append(&Record::Checkpointed {
+                    id: 1,
+                    regions_done: 5,
+                    checkpoint: "charon-ckpt 1\ntarget 0\ndim 0\ndone 5\nend\n".to_string(),
+                })
+                .unwrap();
+            assert_eq!(journal.appends(), 5);
+        }
+        let (_, replay) = Journal::open(&path, None).unwrap();
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.results, vec![(2, "{\"response\": \"verdict\", \"id\": 2}".to_string())]);
+        assert_eq!(replay.live.len(), 1, "job 2 is terminal, job 1 is live");
+        let live = &replay.live[0];
+        assert_eq!(live.request, request(1));
+        assert_eq!(live.starts, 1);
+        assert!(live.checkpoint.as_deref().unwrap().starts_with("charon-ckpt 1"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_final_record_is_tolerated_and_compacted_away() {
+        let path = temp_journal("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut journal, _) = Journal::open(&path, None).unwrap();
+            journal
+                .append(&Record::Accepted {
+                    id: 1,
+                    request: request(1),
+                })
+                .unwrap();
+        }
+        // Simulate a write the crash interrupted: a half-record tail.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"deadbeef {\"record\": \"comp").unwrap();
+        }
+        let (_, replay) = Journal::open(&path, None).unwrap();
+        assert!(replay.torn_tail, "tail damage must be flagged");
+        assert_eq!(replay.live.len(), 1, "the torn record never took effect");
+        // Compaction rewrote the file; reopening is clean.
+        let (_, replay) = Journal::open(&path, None).unwrap();
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.live.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_an_error_not_a_skip() {
+        let path = temp_journal("corrupt");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut journal, _) = Journal::open(&path, None).unwrap();
+            journal
+                .append(&Record::Accepted {
+                    id: 1,
+                    request: request(1),
+                })
+                .unwrap();
+            journal.append(&Record::Started { id: 1, attempt: 1 }).unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        // Flip a payload byte of the middle record without touching its CRC.
+        let target = lines.len() - 2;
+        lines[target] = lines[target].replace("accepted", "acXepted");
+        std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+        let err = Journal::open(&path, None).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("CRC mismatch"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reused_id_after_terminal_is_a_fresh_job() {
+        let path = temp_journal("reuse");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut journal, _) = Journal::open(&path, None).unwrap();
+            journal
+                .append(&Record::Accepted {
+                    id: 9,
+                    request: request(9),
+                })
+                .unwrap();
+            journal
+                .append(&Record::Completed {
+                    id: 9,
+                    response: "{\"response\": \"verdict\", \"id\": 9}".to_string(),
+                })
+                .unwrap();
+            journal
+                .append(&Record::Accepted {
+                    id: 9,
+                    request: request(9),
+                })
+                .unwrap();
+        }
+        let (_, replay) = Journal::open(&path, None).unwrap();
+        assert_eq!(replay.live.len(), 1, "the second accepted is live again");
+        assert_eq!(replay.live[0].starts, 0, "prior life's starts do not carry over");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn injected_journal_fault_fails_the_append() {
+        use crate::faults::ServerFaultPlanBuilder;
+        let path = temp_journal("fault");
+        let _ = std::fs::remove_file(&path);
+        let plan = Arc::new(ServerFaultPlanBuilder::new().fail_journal_append(1).build());
+        let (mut journal, _) = Journal::open(&path, Some(plan)).unwrap();
+        journal
+            .append(&Record::Accepted {
+                id: 1,
+                request: request(1),
+            })
+            .unwrap();
+        let err = journal
+            .append(&Record::Started { id: 1, attempt: 1 })
+            .unwrap_err();
+        assert!(err.to_string().contains("injected journal write fault"));
+        // The next append succeeds: the fault is one-shot.
+        journal.append(&Record::Started { id: 1, attempt: 1 }).unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+}

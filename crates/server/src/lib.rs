@@ -1,5 +1,5 @@
-//! Verification-as-a-service: a persistent job-queue daemon serving
-//! robustness queries over a Unix or TCP socket.
+//! Verification-as-a-service: a crash-only, persistent job-queue daemon
+//! serving robustness queries over a Unix or TCP socket.
 //!
 //! A running verification farm amortizes everything a one-shot CLI run
 //! pays per query: model deserialization (the [`registry`] shares each
@@ -14,21 +14,36 @@
 //!
 //! * **Admission control** — a full [`queue::JobQueue`] rejects with
 //!   `queue_full` immediately; the daemon never buffers unbounded work.
+//! * **Crash-only durability** — with a [`journal::Journal`] configured,
+//!   every accepted job is fsync'd to a CRC-framed write-ahead log
+//!   *before* its acceptance is acknowledged, and every state transition
+//!   (started, checkpointed, completed) is appended as it happens. After
+//!   any process death — including `SIGKILL` — restarting on the same
+//!   journal re-enqueues unstarted jobs, resumes checkpointed ones via
+//!   the `charon-ckpt` path, retains recent terminal results for
+//!   idempotent `query` re-delivery, and compacts the log.
+//! * **Worker supervision** — each worker thread runs under a
+//!   supervisor that detects its death, re-queues the orphaned job with
+//!   a bounded retry budget, and respawns the worker with a fresh
+//!   scratch arena. A job that kills workers [`ServerConfig::retry_budget`]
+//!   times is quarantined as a typed `poisoned` verdict carrying the
+//!   panic diagnostic instead of crash-looping the fleet.
 //! * **Graceful drain** — a `drain` request stops admission, reports
 //!   every still-queued job back to its submitter as `unstarted`,
 //!   cancels in-flight jobs cooperatively so they return `charon-ckpt`
 //!   checkpoints, and only then shuts down. The drain summary proves
 //!   the accounting: `accepted == completed + checkpointed + unstarted`.
 //! * **Observability** — `stats` reports queue depth, cache hit rate,
-//!   registry sharing, and per-phase latency histograms merged across
-//!   all workers (the same [`charon::telemetry::Metrics`] the CLI's
-//!   `--report` renders).
+//!   registry sharing, recovery counters, and per-phase latency
+//!   histograms merged across all workers (the same
+//!   [`charon::telemetry::Metrics`] the CLI's `--report` renders).
 //!
 //! ```no_run
 //! use server::{Client, Server, ServerAddr, ServerConfig};
 //!
 //! let config = ServerConfig {
 //!     addr: ServerAddr::parse("unix:/tmp/charon.sock").unwrap(),
+//!     journal: Some("/tmp/charon.wal".into()),
 //!     ..ServerConfig::default()
 //! };
 //! let handle = Server::start(config).unwrap();
@@ -41,19 +56,24 @@
 
 pub mod cache;
 pub mod client;
+pub mod faults;
+pub mod journal;
 pub mod net;
 pub mod protocol;
 pub mod queue;
 pub mod registry;
 
 pub use cache::{CacheKey, CachedResult, ResultCache};
-pub use client::Client;
+pub use client::{connect_retry, submit_reliable, Client, ClientError, RetryPolicy};
+pub use faults::{ServerFaultPlan, ServerFaultPlanBuilder};
 pub use net::{ServerAddr, Stream};
 pub use protocol::{Request, VerifyRequest, PROTOCOL_VERSION};
 pub use queue::{JobQueue, RejectReason};
 pub use registry::ModelRegistry;
 
-use std::io::{BufRead, BufReader, Write};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{BufReader, Write};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -61,11 +81,17 @@ use std::time::{Duration, Instant};
 
 use charon::json::ObjectBuilder;
 use charon::telemetry::{Histogram, Metrics};
-use charon::{BudgetKind, RobustnessProperty, Verdict, Verifier, VerifierConfig, VerifyError};
+use charon::{
+    BudgetKind, Checkpoint, RobustnessProperty, Verdict, Verifier, VerifierConfig, VerifyError,
+};
 use domains::Workspace;
 
-use net::Listener;
-use protocol::{checkpointed_response, error_response, pong_response, unstarted_response};
+use journal::{Journal, Record};
+use net::{read_line_bounded, Listener, DEFAULT_MAX_LINE_BYTES};
+use protocol::{
+    accepted_response, checkpointed_response, error_response, pending_response, poisoned_response,
+    pong_response, unknown_response, unstarted_response,
+};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -73,12 +99,34 @@ pub struct ServerConfig {
     /// Where to listen.
     pub addr: ServerAddr,
     /// Worker threads driving verifications (each owns one reused
-    /// scratch arena).
+    /// scratch arena and runs under a supervisor).
     pub workers: usize,
     /// Maximum queued (admitted but not started) jobs.
     pub queue_capacity: usize,
     /// Maximum memoized verdicts in the LRU result cache.
     pub cache_capacity: usize,
+    /// Write-ahead journal path. `None` (the default) disables
+    /// durability: a crash loses queued and in-flight jobs, exactly the
+    /// pre-journal behavior.
+    pub journal: Option<PathBuf>,
+    /// Terminal results kept in memory for idempotent `query`
+    /// re-delivery.
+    pub results_capacity: usize,
+    /// Worker deaths a single job may cause before it is quarantined
+    /// with a `poisoned` verdict (journal-replayed `started` records
+    /// count toward the same budget).
+    pub retry_budget: u32,
+    /// Cap on one received protocol line.
+    pub max_line_bytes: usize,
+    /// Per-connection read timeout. When it fires on a connection with
+    /// no queued or in-flight jobs, the connection is closed; otherwise
+    /// the daemon keeps waiting for the next request.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection write timeout, so one stalled client cannot wedge
+    /// a worker mid-response.
+    pub write_timeout: Option<Duration>,
+    /// Deterministic service-level fault injection (tests only).
+    pub faults: Option<Arc<ServerFaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -88,26 +136,49 @@ impl Default for ServerConfig {
             workers: 2,
             queue_capacity: 64,
             cache_capacity: 256,
+            journal: None,
+            results_capacity: 1024,
+            retry_budget: 2,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            read_timeout: None,
+            write_timeout: Some(Duration::from_secs(10)),
+            faults: None,
         }
     }
 }
 
+/// Where a job's responses go.
+#[derive(Clone)]
+enum Reply {
+    /// The live submitting connection.
+    Socket(Arc<Mutex<Stream>>),
+    /// A journal-replayed job whose original connection died with the
+    /// previous process; the terminal response is stored for `query`.
+    Recovered,
+}
+
 /// One admitted verification job.
+#[derive(Clone)]
 struct Job {
     id: u64,
     request: VerifyRequest,
     accepted_at: Instant,
     cancel: Arc<AtomicBool>,
     reply: Reply,
+    /// Execution attempts begun, across process lives.
+    attempts: u32,
+    /// Worker deaths attributed to this job (quarantine at
+    /// `retry_budget`).
+    kills: u32,
+    /// Resume point recovered from the journal, if any.
+    checkpoint: Option<String>,
 }
-
-/// A shared write handle back to the submitting connection.
-type Reply = Arc<Mutex<Stream>>;
 
 fn send_line(reply: &Reply, line: &str) {
     // The client may be gone; a failed response write must not take the
     // daemon down (Rust already ignores SIGPIPE).
-    let mut writer = reply.lock().unwrap();
+    let Reply::Socket(sock) = reply else { return };
+    let mut writer = sock.lock().unwrap();
     let _ = writer.write_all(line.as_bytes());
     let _ = writer.write_all(b"\n");
     let _ = writer.flush();
@@ -123,6 +194,60 @@ struct Counters {
     rejected_draining: AtomicU64,
     errored: AtomicU64,
     deadline_expired: AtomicU64,
+    replayed: AtomicU64,
+    requeued: AtomicU64,
+    quarantined: AtomicU64,
+    worker_deaths: AtomicU64,
+    journal_errors: AtomicU64,
+    duplicates: AtomicU64,
+}
+
+/// Bounded store of terminal responses by job id, answering `query` and
+/// deduplicated resubmissions.
+struct ResultsStore {
+    map: HashMap<u64, String>,
+    order: VecDeque<u64>,
+    capacity: usize,
+}
+
+impl ResultsStore {
+    fn new(capacity: usize) -> Self {
+        ResultsStore {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn insert(&mut self, id: u64, line: String) {
+        if self.map.insert(id, line).is_none() {
+            self.order.push_back(id);
+            while self.order.len() > self.capacity {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.map.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    fn get(&self, id: u64) -> Option<String> {
+        self.map.get(&id).cloned()
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Whether a terminal response line is a *retryable* error (queue-full
+/// and friends): those must not be replayed to a deduplicated
+/// resubmission as if they were the job's verdict.
+fn is_retryable_response(line: &str) -> bool {
+    charon::json::parse_flat_object(line)
+        .ok()
+        .filter(|f| f.str_field("response").as_deref() == Ok("error"))
+        .and_then(|f| f.str_field("error").ok())
+        .is_some_and(|code| client::is_retryable_error_code(&code))
 }
 
 struct Shared {
@@ -141,10 +266,17 @@ struct Shared {
     outstanding: Mutex<i64>,
     idle: Condvar,
     workers: usize,
+    journal: Option<Mutex<Journal>>,
+    results: Mutex<ResultsStore>,
+    /// Ids of admitted jobs that are not yet terminal.
+    known: Mutex<HashSet<u64>>,
+    retry_budget: u32,
+    max_line_bytes: usize,
+    faults: Option<Arc<ServerFaultPlan>>,
 }
 
 impl Shared {
-    fn new(config: &ServerConfig) -> Self {
+    fn new(config: &ServerConfig, journal: Option<Journal>) -> Self {
         Shared {
             registry: ModelRegistry::new(),
             queue: JobQueue::new(config.queue_capacity),
@@ -158,6 +290,12 @@ impl Shared {
             outstanding: Mutex::new(0),
             idle: Condvar::new(),
             workers: config.workers,
+            journal: journal.map(Mutex::new),
+            results: Mutex::new(ResultsStore::new(config.results_capacity)),
+            known: Mutex::new(HashSet::new()),
+            retry_budget: config.retry_budget.max(1),
+            max_line_bytes: config.max_line_bytes,
+            faults: config.faults.clone(),
         }
     }
 
@@ -167,6 +305,40 @@ impl Shared {
         *outstanding -= 1;
         drop(outstanding);
         self.idle.notify_all();
+    }
+
+    /// Appends a load-bearing record; the caller decides what an error
+    /// means (admission refuses the job on failure).
+    fn journal_append(&self, record: &Record) -> std::io::Result<()> {
+        match &self.journal {
+            Some(journal) => journal.lock().unwrap().append(record),
+            None => Ok(()),
+        }
+    }
+
+    /// Appends a best-effort state-transition record; failures are
+    /// counted but do not stop the job (replay just redoes more work).
+    fn journal_transition(&self, record: &Record) {
+        if self.journal_append(record).is_err() {
+            self.counters.journal_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Delivers a terminal response for an admitted job: journals the
+    /// completion, stores it for `query`, releases the id, writes it to
+    /// the submitter if the connection is still there, and settles the
+    /// drain accounting.
+    fn deliver(&self, id: u64, reply: &Reply, response: &str) {
+        self.journal_transition(&Record::Completed {
+            id,
+            response: response.to_string(),
+        });
+        if !is_retryable_response(response) {
+            self.results.lock().unwrap().insert(id, response.to_string());
+        }
+        self.known.lock().unwrap().remove(&id);
+        send_line(reply, response);
+        self.job_terminal();
     }
 }
 
@@ -178,7 +350,7 @@ pub struct Server;
 pub struct ServerHandle {
     addr: ServerAddr,
     listener: JoinHandle<()>,
-    workers: Vec<JoinHandle<()>>,
+    supervisors: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -191,32 +363,49 @@ impl ServerHandle {
     /// Blocks until the daemon has drained and shut down.
     pub fn join(self) {
         let _ = self.listener.join();
-        for worker in self.workers {
-            let _ = worker.join();
+        for supervisor in self.supervisors {
+            let _ = supervisor.join();
         }
     }
 }
 
 impl Server {
-    /// Binds the listener and starts the worker pool; returns
-    /// immediately. The daemon runs until a client sends `drain`.
+    /// Opens the journal (replaying and compacting any existing one),
+    /// binds the listener, and starts the supervised worker pool;
+    /// returns immediately. The daemon runs until a client sends
+    /// `drain`.
     ///
     /// # Errors
     ///
-    /// Returns the bind error.
+    /// Returns the bind error, or a journal open/replay error (a
+    /// *corrupt* journal refuses to start rather than silently dropping
+    /// jobs; a torn final record is expected crash damage and is fine).
     pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let (journal, replay) = match &config.journal {
+            Some(path) => {
+                let (journal, replay) = Journal::open(path, config.faults.clone())?;
+                (Some(journal), Some(replay))
+            }
+            None => (None, None),
+        };
         let listener = Listener::bind(&config.addr)?;
         let addr = listener.local_addr(&config.addr);
-        let shared = Arc::new(Shared::new(&config));
+        let shared = Arc::new(Shared::new(&config, journal));
 
-        let mut workers = Vec::with_capacity(config.workers.max(1));
+        if let Some(replay) = replay {
+            restore(&shared, replay);
+        }
+
+        let mut supervisors = Vec::with_capacity(config.workers.max(1));
         for _ in 0..config.workers.max(1) {
             let shared = Arc::clone(&shared);
-            workers.push(std::thread::spawn(move || worker_loop(&shared)));
+            supervisors.push(std::thread::spawn(move || supervisor_loop(&shared)));
         }
 
         let listen_shared = Arc::clone(&shared);
         let listen_addr = addr.clone();
+        let read_timeout = config.read_timeout;
+        let write_timeout = config.write_timeout;
         let listener_thread = std::thread::spawn(move || {
             loop {
                 match listener.accept() {
@@ -224,6 +413,14 @@ impl Server {
                         if listen_shared.shutdown.load(Ordering::SeqCst) {
                             break;
                         }
+                        if let Some(plan) = &listen_shared.faults {
+                            if plan.conn_drop.check() {
+                                stream.shutdown();
+                                continue;
+                            }
+                        }
+                        let _ = stream.set_read_timeout(read_timeout);
+                        let _ = stream.set_write_timeout(write_timeout);
                         let shared = Arc::clone(&listen_shared);
                         let addr = listen_addr.clone();
                         std::thread::spawn(move || connection_loop(&shared, stream, &addr));
@@ -243,23 +440,97 @@ impl Server {
         Ok(ServerHandle {
             addr,
             listener: listener_thread,
-            workers,
+            supervisors,
         })
     }
 }
 
+/// Re-admits what the journal replay recovered: stored results become
+/// queryable, live jobs are re-enqueued (resuming from their last
+/// checkpoint), and jobs that were already in flight through
+/// `retry_budget` process deaths are quarantined instead of being given
+/// another chance to take the daemon down.
+fn restore(shared: &Arc<Shared>, replay: journal::Replay) {
+    {
+        let mut results = shared.results.lock().unwrap();
+        for (id, response) in replay.results {
+            if !is_retryable_response(&response) {
+                results.insert(id, response);
+            }
+        }
+    }
+    for recovered in replay.live {
+        let id = recovered.request.id;
+        shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        shared.counters.replayed.fetch_add(1, Ordering::Relaxed);
+        *shared.outstanding.lock().unwrap() += 1;
+        if recovered.starts >= shared.retry_budget {
+            let response = poisoned_response(
+                id,
+                &format!(
+                    "job was in flight during {} process deaths; quarantined on replay",
+                    recovered.starts
+                ),
+                recovered.starts,
+            );
+            shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+            shared.counters.quarantined.fetch_add(1, Ordering::Relaxed);
+            shared.deliver(id, &Reply::Recovered, &response);
+            continue;
+        }
+        shared.known.lock().unwrap().insert(id);
+        let priority = recovered.request.priority;
+        let job = Job {
+            id,
+            request: recovered.request,
+            accepted_at: Instant::now(),
+            cancel: Arc::new(AtomicBool::new(false)),
+            reply: Reply::Recovered,
+            attempts: recovered.starts,
+            kills: recovered.starts,
+            checkpoint: recovered.checkpoint,
+        };
+        // `requeue`, not `push`: replayed jobs were admitted by a
+        // previous life and must not bounce off the capacity check.
+        if let Err((job, _)) = shared.queue.requeue(priority, job) {
+            shared.counters.unstarted.fetch_add(1, Ordering::Relaxed);
+            shared.deliver(job.id, &job.reply, &unstarted_response(job.id));
+        }
+    }
+}
+
 fn connection_loop(shared: &Arc<Shared>, stream: Stream, addr: &ServerAddr) {
-    let reply: Reply = match stream.try_clone() {
+    let sock: Arc<Mutex<Stream>> = match stream.try_clone() {
         Ok(writer) => Arc::new(Mutex::new(writer)),
         Err(_) => return,
     };
+    let reply = Reply::Socket(Arc::clone(&sock));
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
         line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return,
+        match read_line_bounded(&mut reader, &mut line, shared.max_line_bytes) {
+            Ok(0) => return,
             Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                send_line(&reply, &error_response(None, "bad_request", &e.to_string()));
+                return;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle-timeout policy: close only if no queued or
+                // in-flight job still holds this connection's reply
+                // handle; otherwise keep waiting for the next request.
+                if Arc::strong_count(&sock) <= 1 {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
         }
         let trimmed = line.trim();
         if trimmed.is_empty() {
@@ -269,7 +540,16 @@ fn connection_loop(shared: &Arc<Shared>, stream: Stream, addr: &ServerAddr) {
             Err(e) => send_line(&reply, &error_response(None, "bad_request", &e)),
             Ok(Request::Ping) => send_line(&reply, &pong_response()),
             Ok(Request::Stats) => send_line(&reply, &stats_response(shared)),
-            Ok(Request::Verify(request)) => submit(shared, request, &reply),
+            Ok(Request::Query { id }) => {
+                let stored = shared.results.lock().unwrap().get(id);
+                let response = match stored {
+                    Some(line) => line,
+                    None if shared.known.lock().unwrap().contains(&id) => pending_response(id),
+                    None => unknown_response(id),
+                };
+                send_line(&reply, &response);
+            }
+            Ok(Request::Verify(request)) => submit(shared, request, &sock),
             Ok(Request::Drain) => {
                 let summary = drain(shared);
                 // Write the summary before waking the listener: once the
@@ -285,38 +565,78 @@ fn connection_loop(shared: &Arc<Shared>, stream: Stream, addr: &ServerAddr) {
     }
 }
 
-/// Admission control: reject while draining or at capacity, otherwise
-/// enqueue. Every admitted job is guaranteed a terminal response.
-fn submit(shared: &Arc<Shared>, request: VerifyRequest, reply: &Reply) {
+/// Admission control: reject while draining or at capacity, deduplicate
+/// `ack`-mode resubmissions, journal, then enqueue. Every admitted job
+/// is guaranteed a terminal response — by this process or, with a
+/// journal, by the next one.
+fn submit(shared: &Arc<Shared>, request: VerifyRequest, sock: &Arc<Mutex<Stream>>) {
     let id = request.id;
+    let reply = Reply::Socket(Arc::clone(sock));
     if shared.draining.load(Ordering::SeqCst) {
         shared
             .counters
             .rejected_draining
             .fetch_add(1, Ordering::Relaxed);
         send_line(
-            reply,
+            &reply,
             &error_response(Some(id), "draining", "daemon is draining; resubmit later"),
         );
         return;
     }
+    if request.ack {
+        // Idempotent ids: a resubmission (a retry whose ack or verdict
+        // was lost in a crash) must not run the job twice.
+        if shared.known.lock().unwrap().contains(&id) {
+            shared.counters.duplicates.fetch_add(1, Ordering::Relaxed);
+            send_line(&reply, &accepted_response(id, true));
+            return;
+        }
+        if let Some(stored) = shared.results.lock().unwrap().get(id) {
+            shared.counters.duplicates.fetch_add(1, Ordering::Relaxed);
+            send_line(&reply, &stored);
+            return;
+        }
+    }
+    // The accepted record is load-bearing: it must be on disk before the
+    // client hears anything, otherwise a crash between ack and disk
+    // would silently lose an acknowledged job.
+    if let Err(e) = shared.journal_append(&Record::Accepted {
+        id,
+        request: request.clone(),
+    }) {
+        shared.counters.journal_errors.fetch_add(1, Ordering::Relaxed);
+        send_line(
+            &reply,
+            &error_response(Some(id), "journal_error", &format!("journal append: {e}")),
+        );
+        return;
+    }
+    let wants_ack = request.ack;
     let priority = request.priority;
     let job = Job {
         id,
         request,
         accepted_at: Instant::now(),
         cancel: Arc::new(AtomicBool::new(false)),
-        reply: Arc::clone(reply),
+        reply,
+        attempts: 0,
+        kills: 0,
+        checkpoint: None,
     };
     // Count the job outstanding *before* it becomes poppable, so a
-    // drain can never observe an admitted-but-uncounted job.
+    // drain can never observe an admitted-but-uncounted job; likewise
+    // the ack goes out before the push so it always precedes the
+    // verdict on the wire.
     *shared.outstanding.lock().unwrap() += 1;
+    shared.known.lock().unwrap().insert(id);
+    if wants_ack {
+        send_line(&job.reply, &accepted_response(id, false));
+    }
     match shared.queue.push(priority, job) {
         Ok(()) => {
             shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
         }
         Err((job, reason)) => {
-            shared.job_terminal();
             let (counter, code, message) = match reason {
                 RejectReason::Full => (
                     &shared.counters.rejected_full,
@@ -330,29 +650,107 @@ fn submit(shared: &Arc<Shared>, request: VerifyRequest, reply: &Reply) {
                 ),
             };
             counter.fetch_add(1, Ordering::Relaxed);
-            send_line(&job.reply, &error_response(Some(job.id), code, message));
+            shared.deliver(job.id, &job.reply, &error_response(Some(job.id), code, message));
         }
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>) {
+/// Extracts a human-readable panic message from a worker's payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker died with a non-string panic payload".to_string()
+    }
+}
+
+/// Runs one worker under supervision: spawn it, wait for it to die or
+/// exit cleanly, recover its orphaned job, and respawn. The job the
+/// dead worker held is re-queued (capacity-exempt) unless it has spent
+/// its retry budget, in which case it is quarantined with a `poisoned`
+/// verdict carrying the panic diagnostic.
+fn supervisor_loop(shared: &Arc<Shared>) {
+    loop {
+        let slot: Arc<Mutex<Option<Job>>> = Arc::new(Mutex::new(None));
+        let worker_shared = Arc::clone(shared);
+        let worker_slot = Arc::clone(&slot);
+        let worker = std::thread::Builder::new()
+            .name("charon-worker".to_string())
+            .spawn(move || worker_loop(&worker_shared, &worker_slot))
+            .expect("spawn worker thread");
+        let payload = match worker.join() {
+            Ok(()) => return, // Clean exit: the queue is closed and empty.
+            Err(payload) => payload,
+        };
+        let diagnostic = panic_text(payload.as_ref());
+        shared.counters.worker_deaths.fetch_add(1, Ordering::Relaxed);
+        let orphan = slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        if let Some(mut job) = orphan {
+            shared
+                .inflight
+                .lock()
+                .unwrap()
+                .retain(|(id, _)| *id != job.id);
+            job.kills += 1;
+            if job.kills >= shared.retry_budget {
+                shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+                shared.counters.quarantined.fetch_add(1, Ordering::Relaxed);
+                let response = poisoned_response(job.id, &diagnostic, job.kills);
+                shared.deliver(job.id, &job.reply, &response);
+            } else {
+                shared.counters.requeued.fetch_add(1, Ordering::Relaxed);
+                let priority = job.request.priority;
+                if let Err((job, _)) = shared.queue.requeue(priority, job) {
+                    // Draining: the job goes back to its submitter
+                    // unstarted, like everything else still queued.
+                    shared.counters.unstarted.fetch_add(1, Ordering::Relaxed);
+                    shared.deliver(job.id, &job.reply, &unstarted_response(job.id));
+                }
+            }
+        }
+        // Loop: respawn the worker (with a fresh Workspace) and keep
+        // serving.
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, slot: &Mutex<Option<Job>>) {
     // The tentpole of the service hot path: one scratch arena per
-    // worker, reused across every job this thread ever runs.
+    // worker, reused across every job this thread ever runs. A respawn
+    // after a death starts from a fresh arena, so a panic can never
+    // leak a poisoned scratch state into the next job.
     let mut ws = Workspace::new();
-    while let Some(job) = shared.queue.pop() {
+    while let Some(mut job) = shared.queue.pop() {
+        job.attempts += 1;
+        // Park a copy where the supervisor can recover it if this thread
+        // dies anywhere below.
+        *slot.lock().unwrap() = Some(job.clone());
         shared
             .inflight
             .lock()
             .unwrap()
             .push((job.id, Arc::clone(&job.cancel)));
+        shared.journal_transition(&Record::Started {
+            id: job.id,
+            attempt: job.attempts,
+        });
+        if let Some(plan) = &shared.faults {
+            if plan.worker_must_die(job.id) {
+                panic!("injected worker kill (job {})", job.id);
+            }
+        }
         let response = execute_job(shared, &job, &mut ws);
-        send_line(&job.reply, &response);
         shared
             .inflight
             .lock()
             .unwrap()
             .retain(|(id, _)| *id != job.id);
-        shared.job_terminal();
+        *slot.lock().unwrap() = None;
+        shared.deliver(job.id, &job.reply, &response);
     }
 }
 
@@ -443,7 +841,14 @@ fn execute_job(shared: &Arc<Shared>, job: &Job, ws: &mut Workspace) -> String {
         faults: None,
     };
 
-    let run = match verifier.try_verify_run_ws(&net, &property, ws) {
+    // A journal-replayed checkpoint resumes the interrupted search
+    // instead of re-verifying from scratch.
+    let run = match &job.checkpoint {
+        Some(text) => Checkpoint::from_text(text)
+            .and_then(|checkpoint| verifier.resume_ws(&net, &checkpoint, ws)),
+        None => verifier.try_verify_run_ws(&net, &property, ws),
+    };
+    let run = match run {
         Ok(run) => run,
         Err(error) => {
             counters.errored.fetch_add(1, Ordering::Relaxed);
@@ -514,6 +919,14 @@ fn execute_job(shared: &Arc<Shared>, job: &Job, ws: &mut Workspace) -> String {
             if drain_cancelled {
                 if let Some(checkpoint) = &run.checkpoint {
                     counters.checkpointed.fetch_add(1, Ordering::Relaxed);
+                    // The checkpoint record lands before the completed
+                    // record, so a crash in between replays the job from
+                    // the checkpoint instead of from scratch.
+                    shared.journal_transition(&Record::Checkpointed {
+                        id: job.id,
+                        regions_done: checkpoint.regions_done,
+                        checkpoint: checkpoint.to_text(),
+                    });
                     return checkpointed_response(
                         job.id,
                         &checkpoint.to_text(),
@@ -541,8 +954,7 @@ fn drain(shared: &Arc<Shared>) -> String {
     // Every still-queued job goes back to its submitter, unstarted.
     for job in shared.queue.close_and_drain() {
         shared.counters.unstarted.fetch_add(1, Ordering::Relaxed);
-        send_line(&job.reply, &unstarted_response(job.id));
-        shared.job_terminal();
+        shared.deliver(job.id, &job.reply, &unstarted_response(job.id));
     }
 
     // Cancel in-flight jobs until every admitted job is terminal. The
@@ -577,6 +989,9 @@ fn drain(shared: &Arc<Shared>) -> String {
         .int("completed", completed)
         .int("checkpointed", checkpointed)
         .int("unstarted", unstarted)
+        .int("replayed", counters.replayed.load(Ordering::Relaxed))
+        .int("requeued", counters.requeued.load(Ordering::Relaxed))
+        .int("quarantined", counters.quarantined.load(Ordering::Relaxed))
         .num("lost", lost as f64)
         .build()
 }
@@ -597,6 +1012,10 @@ fn stats_response(shared: &Arc<Shared>) -> String {
             cache.evictions(),
             cache.hit_rate(),
         )
+    };
+    let (journal_enabled, journal_appends) = match &shared.journal {
+        Some(journal) => (1, journal.lock().unwrap().appends()),
+        None => (0, 0),
     };
     let to_f64 = |counts: &[u64]| -> Vec<f64> { counts.iter().map(|&c| c as f64).collect() };
     ObjectBuilder::new()
@@ -619,6 +1038,21 @@ fn stats_response(shared: &Arc<Shared>) -> String {
         .int(
             "deadline_expired",
             counters.deadline_expired.load(Ordering::Relaxed),
+        )
+        .int("replayed", counters.replayed.load(Ordering::Relaxed))
+        .int("requeued", counters.requeued.load(Ordering::Relaxed))
+        .int("quarantined", counters.quarantined.load(Ordering::Relaxed))
+        .int("worker_deaths", counters.worker_deaths.load(Ordering::Relaxed))
+        .int("duplicates", counters.duplicates.load(Ordering::Relaxed))
+        .int(
+            "journal_errors",
+            counters.journal_errors.load(Ordering::Relaxed),
+        )
+        .int("journal_enabled", journal_enabled)
+        .int("journal_appends", journal_appends)
+        .int(
+            "results_entries",
+            shared.results.lock().unwrap().len() as u64,
         )
         .int("cache_entries", cache_entries as u64)
         .int("cache_hits", cache_hits)

@@ -2,10 +2,68 @@
 //! protocol over a Unix domain socket (the default for local use and the
 //! CI smoke test) or a TCP socket (for cross-host benchmarking).
 
-use std::io::{Read, Write};
+use std::io::{BufRead, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
+use std::time::Duration;
+
+/// Default cap on one protocol line (requests carry inline property
+/// text and responses carry checkpoint text, so the bound is generous —
+/// but it exists, so one malformed client cannot buffer unbounded
+/// memory into the daemon).
+pub const DEFAULT_MAX_LINE_BYTES: usize = 4 * 1024 * 1024;
+
+/// Reads one newline-terminated line into `line`, buffering at most
+/// `max_bytes` of it. Returns the number of bytes consumed (0 at EOF),
+/// like [`BufRead::read_line`], but a line longer than the cap fails
+/// with [`std::io::ErrorKind::InvalidData`] instead of growing without
+/// bound.
+///
+/// # Errors
+///
+/// Returns the underlying read error, `InvalidData` for an over-long or
+/// non-UTF-8 line.
+pub fn read_line_bounded(
+    reader: &mut impl BufRead,
+    line: &mut String,
+    max_bytes: usize,
+) -> std::io::Result<usize> {
+    let mut bytes: Vec<u8> = Vec::new();
+    loop {
+        let (done, used) = {
+            let available = match reader.fill_buf() {
+                Ok(buf) => buf,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            match available.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    bytes.extend_from_slice(&available[..=i]);
+                    (true, i + 1)
+                }
+                None => {
+                    bytes.extend_from_slice(available);
+                    (available.is_empty(), available.len())
+                }
+            }
+        };
+        reader.consume(used);
+        if bytes.len() > max_bytes {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line exceeds the {max_bytes}-byte cap"),
+            ));
+        }
+        if done {
+            let text = std::str::from_utf8(&bytes).map_err(|_| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "line is not UTF-8")
+            })?;
+            line.push_str(text);
+            return Ok(bytes.len());
+        }
+    }
+}
 
 /// Where the daemon listens (or where a client connects).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -141,6 +199,45 @@ impl Stream {
             Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
         }
     }
+
+    /// Sets the read timeout (`None` blocks forever). A timed-out read
+    /// fails with `WouldBlock`/`TimedOut` depending on the platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying setsockopt error.
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(dur),
+            Stream::Tcp(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    /// Sets the write timeout (`None` blocks forever), so a stalled
+    /// client cannot wedge a worker mid-response.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying setsockopt error.
+    pub fn set_write_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_write_timeout(dur),
+            Stream::Tcp(s) => s.set_write_timeout(dur),
+        }
+    }
+
+    /// Shuts down both directions of the connection, releasing any peer
+    /// blocked on it (used by the connection-drop fault injection).
+    pub(crate) fn shutdown(&self) {
+        match self {
+            Stream::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            Stream::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
 }
 
 impl Read for Stream {
@@ -196,5 +293,28 @@ mod tests {
             let addr = ServerAddr::parse(spec).unwrap();
             assert_eq!(ServerAddr::parse(&addr.to_string()).unwrap(), addr);
         }
+    }
+
+    #[test]
+    fn bounded_read_returns_lines_within_the_cap() {
+        let mut reader = std::io::Cursor::new(b"hello\nworld".to_vec());
+        let mut line = String::new();
+        assert_eq!(read_line_bounded(&mut reader, &mut line, 64).unwrap(), 6);
+        assert_eq!(line, "hello\n");
+        line.clear();
+        // EOF with a partial final line behaves like read_line.
+        assert_eq!(read_line_bounded(&mut reader, &mut line, 64).unwrap(), 5);
+        assert_eq!(line, "world");
+        line.clear();
+        assert_eq!(read_line_bounded(&mut reader, &mut line, 64).unwrap(), 0);
+    }
+
+    #[test]
+    fn bounded_read_rejects_over_long_lines() {
+        let mut reader = std::io::Cursor::new(vec![b'x'; 100]);
+        let mut line = String::new();
+        let err = read_line_bounded(&mut reader, &mut line, 16).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("16-byte cap"), "{err}");
     }
 }

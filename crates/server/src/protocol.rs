@@ -15,7 +15,13 @@
 use charon::json::{parse_flat_object, Fields, ObjectBuilder};
 
 /// Protocol version, echoed by `ping` and `stats` responses.
-pub const PROTOCOL_VERSION: u64 = 1;
+///
+/// Version 2 added the crash-only surface: the `ack` submission flag
+/// (journaled-acceptance acknowledgement + duplicate-id detection), the
+/// `query` request, and the `accepted` / `pending` / `unknown` /
+/// `poisoned` responses. Version-1 clients are unaffected: every new
+/// behavior is opt-in.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// Default per-job verification wall-clock budget (ms) when the request
 /// does not set one.
@@ -26,6 +32,12 @@ pub const DEFAULT_TIMEOUT_MS: u64 = 10_000;
 pub enum Request {
     /// Submit a verification job.
     Verify(VerifyRequest),
+    /// Look up the stored terminal result for a job id (idempotent
+    /// re-delivery after a reconnect or a daemon restart).
+    Query {
+        /// The job id to look up.
+        id: u64,
+    },
     /// Report queue/cache/latency statistics.
     Stats,
     /// Gracefully drain and shut down the daemon.
@@ -60,6 +72,12 @@ pub struct VerifyRequest {
     pub seed: u64,
     /// Whether gradient-based counterexample search is enabled.
     pub cex_search: bool,
+    /// Opt into crash-only semantics: the daemon journals the job and
+    /// sends an `accepted` acknowledgement before the verdict, and a
+    /// duplicate id (a retry of a submission whose ack was lost) is
+    /// deduplicated instead of re-verified. Defaults off so version-1
+    /// clients see the original fire-and-wait behavior.
+    pub ack: bool,
 }
 
 impl VerifyRequest {
@@ -93,6 +111,9 @@ impl Request {
         let fields = parse_flat_object(line)?;
         match fields.str_field("request")?.as_str() {
             "verify" => Ok(Request::Verify(VerifyRequest::from_fields(&fields)?)),
+            "query" => Ok(Request::Query {
+                id: fields.usize_field("id")? as u64,
+            }),
             "stats" => Ok(Request::Stats),
             "drain" => Ok(Request::Drain),
             "ping" => Ok(Request::Ping),
@@ -121,6 +142,7 @@ impl VerifyRequest {
             restarts: fields.opt_usize("restarts")?.unwrap_or(2),
             seed: fields.opt_usize("seed")?.unwrap_or(0) as u64,
             cex_search: fields.opt_usize("cex_search")? != Some(0),
+            ack: fields.opt_usize("ack")? == Some(1),
         })
     }
 
@@ -141,7 +163,18 @@ impl VerifyRequest {
         if let Some(deadline) = self.deadline_ms {
             b = b.int("deadline_ms", deadline);
         }
+        if self.ack {
+            b = b.int("ack", 1);
+        }
         b.build()
+    }
+
+    /// Renders the `query` request for this job's id.
+    pub fn query_line(id: u64) -> String {
+        ObjectBuilder::new()
+            .str("request", "query")
+            .int("id", id)
+            .build()
     }
 }
 
@@ -159,6 +192,7 @@ impl Default for VerifyRequest {
             restarts: 2,
             seed: 0,
             cex_search: true,
+            ack: false,
         }
     }
 }
@@ -194,6 +228,49 @@ pub fn unstarted_response(id: u64) -> String {
         .build()
 }
 
+/// Builds the acknowledgement sent once an `ack`-mode submission has
+/// been journaled and enqueued. `duplicate` marks a resubmission of an
+/// id the daemon already holds live (the verdict will arrive on the
+/// original owner's connection; this submitter should poll `query`).
+pub fn accepted_response(id: u64, duplicate: bool) -> String {
+    let mut b = ObjectBuilder::new().str("response", "accepted").int("id", id);
+    if duplicate {
+        b = b.int("duplicate", 1);
+    }
+    b.build()
+}
+
+/// Builds the `query` response for a job that is known but not yet
+/// terminal.
+pub fn pending_response(id: u64) -> String {
+    ObjectBuilder::new()
+        .str("response", "pending")
+        .int("id", id)
+        .build()
+}
+
+/// Builds the `query` response for a job id the daemon has no record
+/// of (never accepted here, or its result aged out of retention).
+pub fn unknown_response(id: u64) -> String {
+    ObjectBuilder::new()
+        .str("response", "unknown")
+        .int("id", id)
+        .build()
+}
+
+/// Builds the quarantine verdict for a poison job: one that killed its
+/// worker more times than the retry budget allows. The panic diagnostic
+/// travels to the submitter instead of crash-looping the fleet.
+pub fn poisoned_response(id: u64, diagnostic: &str, attempts: u32) -> String {
+    ObjectBuilder::new()
+        .str("response", "verdict")
+        .int("id", id)
+        .str("verdict", "poisoned")
+        .int("attempts", u64::from(attempts))
+        .str("diagnostic", diagnostic)
+        .build()
+}
+
 /// Builds the `ping` response.
 pub fn pong_response() -> String {
     ObjectBuilder::new()
@@ -220,6 +297,7 @@ mod tests {
             restarts: 5,
             seed: 99,
             cex_search: false,
+            ack: true,
         };
         match Request::parse(&request.to_line()).unwrap() {
             Request::Verify(parsed) => assert_eq!(parsed, request),
@@ -247,9 +325,43 @@ mod tests {
         assert_eq!(Request::parse("{\"request\": \"stats\"}").unwrap(), Request::Stats);
         assert_eq!(Request::parse("{\"request\": \"drain\"}").unwrap(), Request::Drain);
         assert_eq!(Request::parse("{\"request\": \"ping\"}").unwrap(), Request::Ping);
+        assert_eq!(
+            Request::parse("{\"request\": \"query\", \"id\": 12}").unwrap(),
+            Request::Query { id: 12 }
+        );
+        assert!(Request::parse("{\"request\": \"query\"}").is_err(), "query needs an id");
         assert!(Request::parse("{\"request\": \"explode\"}").is_err());
         assert!(Request::parse("not json").is_err());
         assert!(Request::parse("{\"request\": \"verify\"}").is_err(), "missing fields");
+    }
+
+    #[test]
+    fn ack_flag_round_trips_and_defaults_off() {
+        let mut request = VerifyRequest {
+            network: "n".to_string(),
+            property: "p".to_string(),
+            ..VerifyRequest::default()
+        };
+        assert!(!request.ack);
+        assert!(!request.to_line().contains("\"ack\""), "off the wire when unset");
+        request.ack = true;
+        match Request::parse(&request.to_line()).unwrap() {
+            Request::Verify(parsed) => assert!(parsed.ack),
+            other => panic!("expected verify, got {other:?}"),
+        }
+        // `ack` changes delivery, never the verdict: same cache key.
+        let mut plain = request.clone();
+        plain.ack = false;
+        assert_eq!(request.config_key(), plain.config_key());
+    }
+
+    #[test]
+    fn poisoned_response_carries_the_diagnostic() {
+        let line = poisoned_response(4, "worker died: boom", 2);
+        let fields = charon::json::parse_flat_object(&line).unwrap();
+        assert_eq!(fields.str_field("verdict").unwrap(), "poisoned");
+        assert_eq!(fields.usize_field("attempts").unwrap(), 2);
+        assert_eq!(fields.str_field("diagnostic").unwrap(), "worker died: boom");
     }
 
     #[test]

@@ -131,6 +131,32 @@ impl<T> JobQueue<T> {
         }
     }
 
+    /// Re-admits an item the daemon already owns (a supervisor
+    /// re-enqueue after a worker death, or a journal-replayed job),
+    /// bypassing the capacity check: the job was admitted once and must
+    /// not be bounced by backpressure from *newer* submissions.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item and [`RejectReason::Closed`] if the daemon is
+    /// draining — the caller reports the job unstarted instead.
+    pub fn requeue(&self, priority: i64, item: T) -> Result<(), (T, RejectReason)> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err((item, RejectReason::Closed));
+        }
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.heap.push(Entry {
+            priority,
+            seq,
+            item,
+        });
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
     /// Atomically closes the queue and removes every queued item,
     /// returning them in pop order. Subsequent pushes are rejected with
     /// [`RejectReason::Closed`]; blocked and future [`JobQueue::pop`]
@@ -175,6 +201,17 @@ mod tests {
         // Popping frees a slot.
         assert_eq!(q.pop(), Some(1));
         q.push(0, 3).unwrap();
+    }
+
+    #[test]
+    fn requeue_bypasses_capacity_but_not_close() {
+        let q = JobQueue::new(1);
+        q.push(0, 1).unwrap();
+        assert!(q.push(0, 2).is_err(), "at capacity");
+        q.requeue(5, 2).unwrap();
+        assert_eq!(q.pop(), Some(2), "requeued item obeys priority order");
+        q.close_and_drain();
+        assert!(matches!(q.requeue(0, 9), Err((9, RejectReason::Closed))));
     }
 
     #[test]

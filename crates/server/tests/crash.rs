@@ -1,0 +1,398 @@
+//! Crash-only service tests: journal replay across daemon lives,
+//! checkpoint resume, worker supervision with poison-job quarantine,
+//! and client retry against injected service faults.
+//!
+//! Process-level chaos (a real `SIGKILL` of a real daemon) lives in the
+//! CLI crate's `chaos_service` test and `scripts/ci.sh`; here the daemon
+//! runs in-process, and crashes are modeled the way a crash actually
+//! manifests to the next life — as a journal whose final records stop
+//! mid-story.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use charon::json::Fields;
+use charon::{Checkpoint, RobustnessProperty};
+use domains::Bounds;
+use server::journal::{Journal, Record};
+use server::{
+    submit_reliable, Client, RetryPolicy, Server, ServerAddr, ServerConfig, ServerFaultPlan,
+    ServerFaultPlanBuilder, VerifyRequest,
+};
+
+fn unique_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("charon-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn xor_request(dir: &std::path::Path, id: u64) -> VerifyRequest {
+    let net_path = dir.join("xor.net");
+    if !net_path.exists() {
+        nn::serialize::save(&nn::samples::xor_network(), &net_path).unwrap();
+    }
+    VerifyRequest {
+        id,
+        network: net_path.to_str().unwrap().to_string(),
+        property: RobustnessProperty::new(Bounds::new(vec![0.3, 0.3], vec![0.7, 0.7]), 1)
+            .to_text(),
+        ..VerifyRequest::default()
+    }
+}
+
+fn start(
+    dir: &std::path::Path,
+    journal: bool,
+    faults: Option<Arc<ServerFaultPlan>>,
+) -> server::ServerHandle {
+    let config = ServerConfig {
+        addr: ServerAddr::Unix(dir.join("daemon.sock")),
+        workers: 1,
+        queue_capacity: 16,
+        cache_capacity: 16,
+        journal: journal.then(|| dir.join("daemon.wal")),
+        faults,
+        ..ServerConfig::default()
+    };
+    Server::start(config).unwrap()
+}
+
+fn fast_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 6,
+        base: Duration::from_millis(5),
+        cap: Duration::from_millis(40),
+        seed: 0xc0ffee,
+    }
+}
+
+/// Polls `query` until the job's terminal result is stored.
+fn query_until_terminal(addr: &ServerAddr, id: u64) -> Fields {
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let mut client = Client::connect(addr).unwrap();
+    loop {
+        let response = client
+            .request(&VerifyRequest::query_line(id))
+            .unwrap();
+        match response.str_field("response").unwrap().as_str() {
+            "pending" | "unknown" if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            "pending" | "unknown" => panic!("job {id} never resolved: {response:?}"),
+            _ => return response,
+        }
+    }
+}
+
+fn drain(addr: &ServerAddr) -> Fields {
+    let mut client = Client::connect(addr).unwrap();
+    client.request("{\"request\": \"drain\"}").unwrap()
+}
+
+#[test]
+fn journal_replay_finishes_what_the_previous_life_started() {
+    let dir = unique_dir("replay");
+    let wal = dir.join("daemon.wal");
+
+    // Life 1, reconstructed as its journal: job 1 was accepted and never
+    // started; job 2 was accepted and in flight (one start, no terminal
+    // record); job 3 completed with a stored verdict. Then the process
+    // died — torn final record and all.
+    {
+        let (mut journal, _) = Journal::open(&wal, None).unwrap();
+        journal
+            .append(&Record::Accepted {
+                id: 1,
+                request: xor_request(&dir, 1),
+            })
+            .unwrap();
+        journal
+            .append(&Record::Accepted {
+                id: 2,
+                request: xor_request(&dir, 2),
+            })
+            .unwrap();
+        journal.append(&Record::Started { id: 2, attempt: 1 }).unwrap();
+        journal
+            .append(&Record::Accepted {
+                id: 3,
+                request: xor_request(&dir, 3),
+            })
+            .unwrap();
+        journal
+            .append(&Record::Completed {
+                id: 3,
+                response:
+                    "{\"response\": \"verdict\", \"id\": 3, \"verdict\": \"verified\", \"cached\": 0}"
+                        .to_string(),
+            })
+            .unwrap();
+    }
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&wal).unwrap();
+        f.write_all(b"0badc0de {\"record\": \"star").unwrap();
+    }
+
+    // Life 2: replay must re-enqueue jobs 1 and 2, keep job 3's result
+    // queryable, and run the recovered jobs to verdicts.
+    let handle = start(&dir, true, None);
+    let addr = handle.addr().clone();
+
+    let stored = query_until_terminal(&addr, 3);
+    assert_eq!(stored.str_field("verdict").unwrap(), "verified");
+    for id in [1, 2] {
+        let verdict = query_until_terminal(&addr, id);
+        assert_eq!(verdict.str_field("response").unwrap(), "verdict", "{verdict:?}");
+        assert_eq!(verdict.str_field("verdict").unwrap(), "verified");
+        assert_eq!(verdict.usize_field("id").unwrap() as u64, id);
+    }
+
+    let mut client = Client::connect(&addr).unwrap();
+    let stats = client.request("{\"request\": \"stats\"}").unwrap();
+    assert_eq!(stats.usize_field("replayed").unwrap(), 2);
+    assert_eq!(stats.usize_field("journal_enabled").unwrap(), 1);
+
+    let summary = drain(&addr);
+    assert_eq!(summary.f64_field("lost").unwrap(), 0.0);
+    handle.join();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn replay_resumes_from_the_journaled_checkpoint() {
+    let dir = unique_dir("resume");
+    let wal = dir.join("daemon.wal");
+    let request = xor_request(&dir, 5);
+
+    // The previous life checkpointed job 5 mid-search: the undecided
+    // worklist is the property's whole region (worst case), target 1.
+    let checkpoint = Checkpoint {
+        target: 1,
+        pending: vec![(Bounds::new(vec![0.3, 0.3], vec![0.7, 0.7]), 0)],
+        regions_done: 0,
+    };
+    {
+        let (mut journal, _) = Journal::open(&wal, None).unwrap();
+        journal
+            .append(&Record::Accepted {
+                id: 5,
+                request: request.clone(),
+            })
+            .unwrap();
+        journal.append(&Record::Started { id: 5, attempt: 1 }).unwrap();
+        journal
+            .append(&Record::Checkpointed {
+                id: 5,
+                regions_done: 0,
+                checkpoint: checkpoint.to_text(),
+            })
+            .unwrap();
+    }
+
+    let handle = start(&dir, true, None);
+    let addr = handle.addr().clone();
+    let verdict = query_until_terminal(&addr, 5);
+    assert_eq!(verdict.str_field("verdict").unwrap(), "verified");
+
+    let summary = drain(&addr);
+    assert_eq!(summary.usize_field("replayed").unwrap(), 1);
+    assert_eq!(summary.f64_field("lost").unwrap(), 0.0);
+    handle.join();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn killed_worker_is_respawned_and_the_job_retried_to_a_verdict() {
+    let dir = unique_dir("respawn");
+    let plan = Arc::new(ServerFaultPlanBuilder::new().kill_worker_at_pop(0).build());
+    let handle = start(&dir, true, Some(Arc::clone(&plan)));
+    let addr = handle.addr().clone();
+
+    let verdict = submit_reliable(&addr, &xor_request(&dir, 1), &fast_policy()).unwrap();
+    assert_eq!(verdict.str_field("verdict").unwrap(), "verified");
+    assert_eq!(plan.worker_kills_fired(), 1, "the scheduled kill fired");
+
+    let mut client = Client::connect(&addr).unwrap();
+    let stats = client.request("{\"request\": \"stats\"}").unwrap();
+    assert_eq!(stats.usize_field("worker_deaths").unwrap(), 1);
+    assert_eq!(stats.usize_field("requeued").unwrap(), 1);
+    assert_eq!(stats.usize_field("quarantined").unwrap(), 0);
+
+    let summary = drain(&addr);
+    assert_eq!(summary.f64_field("lost").unwrap(), 0.0);
+    handle.join();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn poison_job_is_quarantined_with_the_panic_diagnostic() {
+    let dir = unique_dir("poison");
+    let plan = Arc::new(ServerFaultPlanBuilder::new().kill_job(7).build());
+    let handle = start(&dir, true, Some(plan));
+    let addr = handle.addr().clone();
+
+    // Job 7 kills every worker that touches it; the default retry budget
+    // (2) quarantines it after the second death instead of letting it
+    // take a third worker down.
+    let verdict = submit_reliable(&addr, &xor_request(&dir, 7), &fast_policy()).unwrap();
+    assert_eq!(verdict.str_field("verdict").unwrap(), "poisoned");
+    assert_eq!(verdict.usize_field("attempts").unwrap(), 2);
+    let diagnostic = verdict.str_field("diagnostic").unwrap();
+    assert!(diagnostic.contains("injected worker kill"), "{diagnostic}");
+
+    // A healthy job still verifies on the respawned worker afterwards.
+    let healthy = submit_reliable(&addr, &xor_request(&dir, 8), &fast_policy()).unwrap();
+    assert_eq!(healthy.str_field("verdict").unwrap(), "verified");
+
+    let mut client = Client::connect(&addr).unwrap();
+    let stats = client.request("{\"request\": \"stats\"}").unwrap();
+    assert_eq!(stats.usize_field("worker_deaths").unwrap(), 2);
+    assert_eq!(stats.usize_field("quarantined").unwrap(), 1);
+
+    let summary = drain(&addr);
+    assert_eq!(summary.f64_field("lost").unwrap(), 0.0);
+    handle.join();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn quarantined_on_replay_after_repeated_process_deaths() {
+    let dir = unique_dir("replay-poison");
+    let wal = dir.join("daemon.wal");
+    // The journal says job 9 was in flight during two process deaths:
+    // two started records, no terminal. Replay must not run it again.
+    {
+        let (mut journal, _) = Journal::open(&wal, None).unwrap();
+        journal
+            .append(&Record::Accepted {
+                id: 9,
+                request: xor_request(&dir, 9),
+            })
+            .unwrap();
+        journal.append(&Record::Started { id: 9, attempt: 1 }).unwrap();
+        journal.append(&Record::Started { id: 9, attempt: 2 }).unwrap();
+    }
+    let handle = start(&dir, true, None);
+    let addr = handle.addr().clone();
+
+    let verdict = query_until_terminal(&addr, 9);
+    assert_eq!(verdict.str_field("verdict").unwrap(), "poisoned");
+    assert_eq!(verdict.usize_field("attempts").unwrap(), 2);
+    assert!(
+        verdict.str_field("diagnostic").unwrap().contains("process deaths"),
+        "{verdict:?}"
+    );
+
+    let summary = drain(&addr);
+    assert_eq!(summary.usize_field("quarantined").unwrap(), 1);
+    assert_eq!(summary.f64_field("lost").unwrap(), 0.0);
+    handle.join();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn journal_append_fault_is_retryable_and_the_retry_lands() {
+    let dir = unique_dir("journal-fault");
+    let plan = Arc::new(ServerFaultPlanBuilder::new().fail_journal_append(0).build());
+    let handle = start(&dir, true, Some(Arc::clone(&plan)));
+    let addr = handle.addr().clone();
+
+    // Append 0 is this job's accepted record: the submission is refused
+    // with the retryable `journal_error`, and the client's second
+    // attempt (same id) succeeds.
+    let verdict = submit_reliable(&addr, &xor_request(&dir, 2), &fast_policy()).unwrap();
+    assert_eq!(verdict.str_field("verdict").unwrap(), "verified");
+    assert_eq!(plan.journal_faults_fired(), 1);
+
+    let mut client = Client::connect(&addr).unwrap();
+    let stats = client.request("{\"request\": \"stats\"}").unwrap();
+    assert_eq!(stats.usize_field("journal_errors").unwrap(), 1);
+    assert_eq!(stats.usize_field("accepted").unwrap(), 1, "admitted exactly once");
+
+    let summary = drain(&addr);
+    assert_eq!(summary.f64_field("lost").unwrap(), 0.0);
+    handle.join();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn dropped_connections_are_survived_by_the_retry_loop() {
+    let dir = unique_dir("conn-drop");
+    // Drop the first two accepted connections outright.
+    let plan = Arc::new(
+        ServerFaultPlanBuilder::new()
+            .drop_connection(0)
+            .drop_connection(1)
+            .build(),
+    );
+    let handle = start(&dir, true, Some(Arc::clone(&plan)));
+    let addr = handle.addr().clone();
+
+    let verdict = submit_reliable(&addr, &xor_request(&dir, 3), &fast_policy()).unwrap();
+    assert_eq!(verdict.str_field("verdict").unwrap(), "verified");
+    assert_eq!(plan.connection_drops_fired(), 2);
+
+    let summary = drain(&addr);
+    assert_eq!(summary.f64_field("lost").unwrap(), 0.0);
+    handle.join();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn duplicate_ack_submissions_are_deduplicated_not_rerun() {
+    let dir = unique_dir("dedup");
+    let handle = start(&dir, true, None);
+    let addr = handle.addr().clone();
+
+    let mut request = xor_request(&dir, 42);
+    request.ack = true;
+
+    let mut first = Client::connect(&addr).unwrap();
+    let ack = first.request(&request.to_line()).unwrap();
+    assert_eq!(ack.str_field("response").unwrap(), "accepted");
+    assert!(ack.opt("duplicate").is_none());
+    let verdict = first.recv().unwrap();
+    assert_eq!(verdict.str_field("verdict").unwrap(), "verified");
+
+    // A retry of the same id (as if the first ack had been lost) gets
+    // the stored response back, not a second verification.
+    let mut second = Client::connect(&addr).unwrap();
+    let replayed = second.request(&request.to_line()).unwrap();
+    assert_eq!(replayed.str_field("response").unwrap(), "verdict");
+    assert_eq!(replayed.str_field("verdict").unwrap(), "verified");
+
+    let stats = second.request("{\"request\": \"stats\"}").unwrap();
+    assert_eq!(stats.usize_field("accepted").unwrap(), 1, "ran once");
+    assert_eq!(stats.usize_field("duplicates").unwrap(), 1);
+
+    let summary = drain(&addr);
+    assert_eq!(summary.f64_field("lost").unwrap(), 0.0);
+    handle.join();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn query_distinguishes_pending_from_unknown() {
+    let dir = unique_dir("query");
+    let handle = start(&dir, true, None);
+    let addr = handle.addr().clone();
+
+    let mut client = Client::connect(&addr).unwrap();
+    let unknown = client
+        .request(&VerifyRequest::query_line(999))
+        .unwrap();
+    assert_eq!(unknown.str_field("response").unwrap(), "unknown");
+
+    let verdict = submit_reliable(&addr, &xor_request(&dir, 1), &fast_policy()).unwrap();
+    assert_eq!(verdict.str_field("verdict").unwrap(), "verified");
+    let stored = client.request(&VerifyRequest::query_line(1)).unwrap();
+    assert_eq!(stored.str_field("response").unwrap(), "verdict");
+
+    let summary = drain(&addr);
+    assert_eq!(summary.f64_field("lost").unwrap(), 0.0);
+    handle.join();
+    let _ = std::fs::remove_dir_all(dir);
+}

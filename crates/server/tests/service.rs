@@ -24,6 +24,7 @@ fn start(tag: &str, workers: usize, queue: usize, cache: usize) -> (server::Serv
         workers,
         queue_capacity: queue,
         cache_capacity: cache,
+        ..ServerConfig::default()
     };
     (Server::start(config).unwrap(), dir)
 }

@@ -70,6 +70,50 @@ grep -q 'lost=0' "$server_dir/drain.out"
 wait "$serve_pid"
 rm -rf "$server_dir"
 
+# Crash-only chaos smoke: a journaled daemon is SIGKILLed mid-stream
+# and restarted on the same socket + journal. Every in-flight submission
+# must ride out the restart (client retry + idempotent ids + journal
+# replay), `--query` must resolve every id from the stored results, and
+# the final drain must lose nothing. The daemon is exec'd directly (not
+# via `cargo run`) so the SIGKILL hits the daemon process itself.
+chaos_dir="$(mktemp -d)"
+charon_bin="target/release/charon-cli"
+csock="$chaos_dir/daemon.sock"
+cwal="$chaos_dir/daemon.wal"
+"$charon_bin" example \
+  --out-network "$chaos_dir/xor.net" --out-property "$chaos_dir/p.prop"
+"$charon_bin" serve --addr "unix:$csock" --workers 1 --journal "$cwal" &
+chaos_pid=$!
+for _ in $(seq 100); do [ -S "$csock" ] && break; sleep 0.05; done
+[ -S "$csock" ]
+sub_pids=()
+for id in 21 22 23; do
+  "$charon_bin" submit --addr "unix:$csock" \
+    --network "$chaos_dir/xor.net" --property "$chaos_dir/p.prop" \
+    --id "$id" --retries 10 >"$chaos_dir/sub$id.out" &
+  sub_pids+=("$!")
+done
+sleep 0.1
+kill -9 "$chaos_pid"
+wait "$chaos_pid" 2>/dev/null || true
+rm -f "$csock"
+"$charon_bin" serve --addr "unix:$csock" --workers 1 --journal "$cwal" &
+chaos_pid=$!
+for _ in $(seq 100); do [ -S "$csock" ] && break; sleep 0.05; done
+[ -S "$csock" ]
+for pid in "${sub_pids[@]}"; do wait "$pid"; done
+for id in 21 22 23; do
+  grep -q 'verified' "$chaos_dir/sub$id.out"
+  "$charon_bin" submit --addr "unix:$csock" --query "$id" \
+    | tee "$chaos_dir/q$id.out" >/dev/null
+  grep -q 'verified' "$chaos_dir/q$id.out"
+done
+"$charon_bin" submit --addr "unix:$csock" --drain \
+  | tee "$chaos_dir/cdrain.out" >/dev/null
+grep -q 'lost=0' "$chaos_dir/cdrain.out"
+wait "$chaos_pid"
+rm -rf "$chaos_dir"
+
 # Server loadgen smoke run: harness executes and the machine-readable
 # schema is intact (full runs regenerate the committed BENCH_server.json
 # baseline; see DESIGN.md "Service architecture").
@@ -78,3 +122,12 @@ cargo run --release -q -p bench --bin loadgen -- --smoke --out "$loadgen_out"
 grep -q '"schema": "bench-server-v1"' "$loadgen_out"
 grep -q '"cache_hits":' "$loadgen_out"
 rm -f "$loadgen_out"
+
+# Loadgen under fault injection: scheduled worker kills mid-stream must
+# not drop a single query (supervised respawn + capacity-exempt
+# requeue), and the drain must still be clean.
+faults_log="$(mktemp)"
+cargo run --release -q -p bench --bin loadgen -- --smoke --faults \
+  --out "$faults_log.json" | tee "$faults_log" >/dev/null
+grep -q 'every query answered' "$faults_log"
+rm -f "$faults_log" "$faults_log.json"
