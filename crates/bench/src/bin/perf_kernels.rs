@@ -18,6 +18,7 @@ use std::time::Instant;
 
 use domains::{AbstractElement, Bounds, Workspace, Zonotope};
 use nn::AffineLayer;
+use tensor::kernels;
 use tensor::Matrix;
 
 /// One named measurement: times are medians over `reps` runs.
@@ -167,6 +168,85 @@ fn bench_matvec_bias(n: usize, reps: usize) -> Sample {
     }
 }
 
+/// The runtime-dispatched SIMD arm vs the portable scalar arm on the
+/// fused zonotope-affine kernel, timed at the raw dispatch-table level
+/// (no element allocation in the loop). On hosts without a vector arm —
+/// or under `CHARON_FORCE_SCALAR` — both sides time the scalar kernel
+/// and the speedup sits at 1x by construction.
+fn bench_simd_affine(neurons: usize, generators: usize, reps: usize) -> Sample {
+    let weights = deterministic_matrix(neurons, neurons, 21);
+    let bias: Vec<f64> = (0..neurons).map(|r| (r as f64 * 0.71).cos()).collect();
+    let center: Vec<f64> = (0..neurons).map(|i| (i as f64 * 0.29).sin()).collect();
+    let gens = deterministic_matrix(generators, neurons, 23);
+    let mut out_c = vec![0.0; neurons];
+    let mut out_g = vec![0.0; generators * neurons];
+    let scalar = kernels::scalar();
+    let active = kernels::active();
+    let naive_s = time_median(reps, || {
+        scalar.zonotope_affine(
+            weights.as_slice(),
+            &bias,
+            &center,
+            gens.as_slice(),
+            &mut out_c,
+            &mut out_g,
+        );
+        out_c[0] + out_g[out_g.len() - 1]
+    });
+    let fast_s = time_median(reps, || {
+        active.zonotope_affine(
+            weights.as_slice(),
+            &bias,
+            &center,
+            gens.as_slice(),
+            &mut out_c,
+            &mut out_g,
+        );
+        out_c[0] + out_g[out_g.len() - 1]
+    });
+    Sample {
+        name: "simd_affine",
+        naive_s,
+        fast_s,
+        note: format!("{} arm vs scalar, {neurons} neurons x {generators} generators", active.name()),
+    }
+}
+
+/// Region throughput under the two scheduling disciplines: the same
+/// refinement-heavy verification run on the shared-queue fallback
+/// (naive) and the work-stealing scheduler (fast). On a single-core
+/// host the two coincide; the row exists so scheduler regressions are
+/// visible wherever the baseline was recorded.
+fn bench_scheduler_throughput(reps: usize) -> Sample {
+    use std::sync::Arc;
+    let net = nn::samples::xor_network();
+    let prop = charon::RobustnessProperty::new(Bounds::new(vec![0.3, 0.3], vec![0.7, 0.7]), 1);
+    let threads = 4;
+    let timed = |mode: charon::SchedulerMode| {
+        let verifier = charon::parallel::ParallelVerifier::new(
+            Arc::new(charon::policy::FixedPolicy::new(domains::DomainChoice::interval())),
+            charon::VerifierConfig::default(),
+            threads,
+        )
+        .with_scheduler(mode);
+        let net = &net;
+        let prop = &prop;
+        move || {
+            let run = verifier.try_verify_run(net, prop).expect("bench verification");
+            assert!(run.verdict.is_verified(), "bench property must verify");
+            run.stats.regions as f64
+        }
+    };
+    let naive_s = time_median(reps, timed(charon::SchedulerMode::SharedQueue));
+    let fast_s = time_median(reps, timed(charon::SchedulerMode::WorkStealing));
+    Sample {
+        name: "scheduler_throughput",
+        naive_s,
+        fast_s,
+        note: format!("xor interval refinement, {threads} workers, shared queue vs work stealing"),
+    }
+}
+
 /// End-to-end: full zonotope propagation through a deep MLP, fresh
 /// allocations vs the Workspace-recycled path.
 fn bench_region_throughput(width: usize, depth: usize, reps: usize) -> Sample {
@@ -254,6 +334,8 @@ fn validate_json(json: &str) {
         "\"schema\": \"bench-kernels-v1\"",
         "\"samples\": [",
         "\"name\": \"zonotope_affine\"",
+        "\"name\": \"simd_affine\"",
+        "\"name\": \"scheduler_throughput\"",
         "\"speedup\":",
         "\"phases\":",
     ] {
@@ -278,9 +360,11 @@ fn main() {
 
     let samples = vec![
         bench_zonotope_affine(neurons, generators, reps),
+        bench_simd_affine(neurons, generators, reps),
         bench_matmul_transb(generators.max(8), mm, neurons.min(mm), reps),
         bench_matvec_bias(neurons, reps),
         bench_region_throughput(if smoke { 24 } else { 96 }, 4, reps),
+        bench_scheduler_throughput(reps),
     ];
 
     println!("kernel perf ({}):", if smoke { "smoke" } else { "full" });
@@ -301,11 +385,36 @@ fn main() {
     println!("wrote {out_path}");
 
     if !smoke {
+        // The naive reference (per-generator matvec) dispatches through
+        // the same backend as the fast path, so the expected ratio
+        // depends on the active arm: with a vector arm the fast path's
+        // blocked matmul gains more from SIMD than the matvec reference;
+        // scalar-only the two share the row-quad matvec and the margin
+        // is just the blocking.
         let affine = &samples[0];
+        let affine_floor = if kernels::active().name() == "scalar" {
+            1.5
+        } else {
+            3.0
+        };
         assert!(
-            affine.speedup() >= 3.0,
-            "zonotope affine speedup regressed below 3x: {:.2}x",
+            affine.speedup() >= affine_floor,
+            "zonotope affine speedup regressed below {affine_floor}x: {:.2}x",
             affine.speedup()
         );
+        // The SIMD acceptance gate applies only where a vector arm is
+        // actually dispatched (skipped under CHARON_FORCE_SCALAR and on
+        // hosts with no detected vector unit).
+        if kernels::active().name() != "scalar" {
+            let simd = samples
+                .iter()
+                .find(|s| s.name == "simd_affine")
+                .expect("simd_affine sample present");
+            assert!(
+                simd.speedup() >= 2.0,
+                "SIMD zonotope-affine arm regressed below 2x over scalar: {:.2}x",
+                simd.speedup()
+            );
+        }
     }
 }

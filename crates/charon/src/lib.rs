@@ -84,12 +84,14 @@ pub mod parallel;
 pub mod policy;
 pub mod portfolio;
 pub mod report;
+pub mod sched;
 pub mod telemetry;
 pub mod train;
 
 pub use checkpoint::Checkpoint;
 pub use error::{BudgetKind, VerifyError};
 pub use property::RobustnessProperty;
+pub use sched::SchedulerMode;
 pub use telemetry::{JsonlSink, Metrics, NullSink, RunReport, SummarySink, TraceEvent, TraceSink};
 pub use verify::{
     Counterexample, Verdict, Verifier, VerifierConfig, VerifyRun, VerifyStats,

@@ -10,8 +10,13 @@
 //! Fault tolerance matches the sequential verifier: every region step is
 //! panic-isolated with an interval-domain retry, so a single bad region
 //! degrades precision instead of killing a worker thread (or the
-//! process). Budget-limited runs drain the shared queue into a
+//! process). Budget-limited runs drain the worklist into a
 //! [`Checkpoint`] for [`ParallelVerifier::resume`].
+//!
+//! Regions are distributed by the work-stealing scheduler in
+//! [`crate::sched`]: per-worker deques with steal-half balancing, and
+//! condvar parking (never spinning) when a worker runs out of work while
+//! regions are still in flight elsewhere.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -26,6 +31,7 @@ use crate::checkpoint::Checkpoint;
 use crate::error::{BudgetKind, VerifyError};
 use crate::faults::FaultSite;
 use crate::policy::Policy;
+use crate::sched::{Scheduler, SchedulerMode};
 use crate::telemetry::{emit, SharedSink, TraceEvent};
 use crate::verify::{
     guarded_region_step, validate_problem, verdict_name, RegionOutcome, StepEnv, Verdict,
@@ -43,13 +49,13 @@ pub struct ParallelVerifier {
     policy: Arc<dyn Policy>,
     config: VerifierConfig,
     threads: usize,
+    sched_mode: SchedulerMode,
     trace: SharedSink,
 }
 
 /// State shared by every worker of one parallel run.
 struct Shared<'a> {
-    queue: &'a Mutex<Vec<(Bounds, usize)>>,
-    in_flight: &'a AtomicUsize,
+    sched: &'a Scheduler,
     regions_done: &'a AtomicUsize,
     stop: &'a AtomicBool,
     found: &'a Mutex<Option<(Verdict, Option<BudgetKind>)>>,
@@ -74,6 +80,9 @@ impl Shared<'_> {
             *slot = Some((verdict, limit));
         }
         self.stop.store(true, Ordering::Release);
+        // Parked workers observe `stop` only when awake; wake them so the
+        // run winds down promptly instead of after a park slice.
+        self.sched.wake_all();
     }
 
     /// Records an engine error (first writer wins) and stops the run.
@@ -83,6 +92,7 @@ impl Shared<'_> {
             *slot = Some(e);
         }
         self.stop.store(true, Ordering::Release);
+        self.sched.wake_all();
     }
 }
 
@@ -100,6 +110,7 @@ impl ParallelVerifier {
             policy,
             config,
             threads,
+            sched_mode: SchedulerMode::default(),
             trace: crate::telemetry::null_sink(),
         }
     }
@@ -111,6 +122,20 @@ impl ParallelVerifier {
     pub fn with_trace(mut self, sink: SharedSink) -> Self {
         self.trace = sink;
         self
+    }
+
+    /// Overrides the scheduling discipline. The default is
+    /// [`SchedulerMode::default`], which selects work stealing unless
+    /// `CHARON_FORCE_SCALAR` forces the shared-queue fallback.
+    #[must_use]
+    pub fn with_scheduler(mut self, mode: SchedulerMode) -> Self {
+        self.sched_mode = mode;
+        self
+    }
+
+    /// The scheduling discipline this verifier will use.
+    pub fn scheduler_mode(&self) -> SchedulerMode {
+        self.sched_mode
     }
 
     /// Number of worker threads used.
@@ -191,8 +216,7 @@ impl ParallelVerifier {
     ) -> Result<VerifyRun, VerifyError> {
         let start = Instant::now();
         let deadline = start + self.config.timeout;
-        let queue: Mutex<Vec<(Bounds, usize)>> = Mutex::new(initial);
-        let in_flight = AtomicUsize::new(0);
+        let sched = Scheduler::new(self.threads, self.sched_mode, initial);
         let regions_done = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
         let found: Mutex<Option<(Verdict, Option<BudgetKind>)>> = Mutex::new(None);
@@ -207,8 +231,7 @@ impl ParallelVerifier {
         let scope_result = crossbeam::scope(|scope| {
             for worker in 0..self.threads {
                 let shared = Shared {
-                    queue: &queue,
-                    in_flight: &in_flight,
+                    sched: &sched,
                     regions_done: &regions_done,
                     stop: &stop,
                     found: &found,
@@ -235,7 +258,7 @@ impl ParallelVerifier {
                     // Per-worker scratch arena: buffers recycle across the
                     // regions this worker processes, never across threads.
                     let mut ws = Workspace::new();
-                    worker_loop(&env, &shared, &mut stats, &mut ws);
+                    worker_loop(worker, &env, &shared, &mut stats, &mut ws);
                     total_stats.lock().absorb(&stats);
                 });
             }
@@ -268,7 +291,7 @@ impl ParallelVerifier {
         let checkpoint = if verdict == Verdict::ResourceLimit {
             Some(Checkpoint {
                 target,
-                pending: queue.into_inner(),
+                pending: sched.into_pending(),
                 regions_done: stats.regions,
             })
         } else {
@@ -294,8 +317,10 @@ impl ParallelVerifier {
     }
 }
 
-/// One worker: pop regions, run the guarded step, push splits back.
+/// One worker: pop (or steal) regions, run the guarded step, push splits
+/// back onto its own deque.
 fn worker_loop(
+    worker: usize,
     env: &StepEnv<'_>,
     shared: &Shared<'_>,
     stats: &mut VerifyStats,
@@ -322,33 +347,28 @@ fn worker_loop(
         if let Some(kind) = budget {
             // A budget lapsing after the worklist drained is a completed
             // run, not a resource limit: report nothing and let the
-            // driver conclude `Verified`. The in-flight check happens
-            // under the queue lock because workers increment it while
-            // holding the lock and push splits before decrementing.
-            let drained = {
-                let q = shared.queue.lock();
-                q.is_empty() && shared.in_flight.load(Ordering::Acquire) == 0
-            };
-            if !drained {
+            // driver conclude `Verified`. `drained` is stable — split
+            // children enter the task count before their parent leaves
+            // it — so this check cannot race a mid-split worker.
+            if !shared.sched.drained() {
                 shared.record_and_stop(Verdict::ResourceLimit, Some(kind));
             }
             return;
         }
-        let popped = {
-            let mut q = shared.queue.lock();
-            let r = q.pop();
-            if r.is_some() {
-                shared.in_flight.fetch_add(1, Ordering::AcqRel);
-            }
-            r
-        };
-        let Some((region, depth)) = popped else {
-            // Queue empty: finished only if no worker is still processing
-            // (it may push new regions).
-            if shared.in_flight.load(Ordering::Acquire) == 0 {
+        let Some((region, depth)) = shared.sched.try_pop(worker, &mut stats.metrics) else {
+            // Every deque is empty: finished if nothing is in flight,
+            // otherwise park until an in-flight region splits (the
+            // scheduler wakes us) or a park slice elapses (so deadlines
+            // and external cancellation stay observed).
+            if shared.sched.drained() {
                 return;
             }
-            std::thread::yield_now();
+            let now = Instant::now();
+            if now < env.deadline {
+                shared.sched.park(env.deadline - now, &mut stats.metrics, || {
+                    shared.stop.load(Ordering::Acquire)
+                });
+            }
             continue;
         };
         let ordinal = match &env.config.faults {
@@ -369,8 +389,9 @@ fn worker_loop(
             if let Some(flag) = &env.config.cancel {
                 flag.store(true, Ordering::Relaxed);
             }
-            shared.queue.lock().push((region, depth));
-            shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+            // Re-queue without completing: the region stays in the task
+            // count and lands in the checkpoint.
+            shared.sched.requeue(worker, (region, depth));
             shared.record_and_stop(Verdict::ResourceLimit, Some(BudgetKind::Cancelled));
             return;
         }
@@ -379,30 +400,37 @@ fn worker_loop(
         let outcome = guarded_region_step(env, &region, ordinal, stats, ws);
         shared.regions_done.fetch_add(1, Ordering::Relaxed);
         match outcome {
-            Ok(RegionOutcome::Verified) => stats.verified_regions += 1,
+            Ok(RegionOutcome::Verified) => {
+                stats.verified_regions += 1;
+                shared.sched.complete_one();
+            }
             Ok(RegionOutcome::Refuted(cex)) => {
                 shared.record_and_stop(Verdict::Refuted(cex), None);
+                shared.sched.complete_one();
             }
             Ok(RegionOutcome::Split(a, b)) => {
                 emit(env.trace, || TraceEvent::RegionPushed { depth: depth + 1 });
                 emit(env.trace, || TraceEvent::RegionPushed { depth: depth + 1 });
-                let mut q = shared.queue.lock();
-                q.push((a, depth + 1));
-                q.push((b, depth + 1));
+                // Children enter the worklist before the parent completes,
+                // so the drained signal never dips mid-split.
+                shared.sched.push_split(worker, (a, depth + 1), (b, depth + 1));
+                shared.sched.complete_one();
             }
             Ok(RegionOutcome::Unsplittable) => {
                 // Undecidable at f64 precision: an honest resource limit,
                 // never a fabricated refutation. Keep the region in the
-                // queue so the checkpoint records it.
-                shared.queue.lock().push((region, depth));
+                // worklist so the checkpoint records it.
+                shared.sched.requeue(worker, (region, depth));
                 shared.record_and_stop(
                     Verdict::ResourceLimit,
                     Some(BudgetKind::NumericPrecision),
                 );
             }
-            Err(e) => shared.record_error(e),
+            Err(e) => {
+                shared.record_error(e);
+                shared.sched.complete_one();
+            }
         }
-        shared.in_flight.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -541,15 +569,13 @@ mod tests {
     fn refutation_outranks_recorded_resource_limit() {
         use crate::verify::Counterexample;
 
-        let queue: Mutex<Vec<(Bounds, usize)>> = Mutex::new(Vec::new());
-        let in_flight = AtomicUsize::new(0);
+        let sched = Scheduler::new(1, SchedulerMode::WorkStealing, Vec::new());
         let regions_done = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
         let found: Mutex<Option<(Verdict, Option<BudgetKind>)>> = Mutex::new(None);
         let error: Mutex<Option<VerifyError>> = Mutex::new(None);
         let shared = Shared {
-            queue: &queue,
-            in_flight: &in_flight,
+            sched: &sched,
             regions_done: &regions_done,
             stop: &stop,
             found: &found,

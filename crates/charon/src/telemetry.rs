@@ -603,6 +603,17 @@ pub struct Metrics {
     pub propagation_hist: Histogram,
     /// Propagation calls that proved their region (precision numerator).
     pub propagation_proved: u64,
+    /// Successful steal operations by the work-stealing scheduler.
+    pub steals: u64,
+    /// Regions moved between worker deques by those steals.
+    pub stolen_regions: u64,
+    /// Times a worker parked on the scheduler condvar for lack of work.
+    pub parks: u64,
+    /// Wall-clock seconds spent parked (scheduler idle time).
+    pub idle_seconds: f64,
+    /// Per-park idle latency distribution; a regression that starves
+    /// workers shows up here as a shift toward the long buckets.
+    pub idle_hist: Histogram,
 }
 
 impl Metrics {
@@ -622,6 +633,11 @@ impl Metrics {
         self.attack_hist.merge(&other.attack_hist);
         self.propagation_hist.merge(&other.propagation_hist);
         self.propagation_proved += other.propagation_proved;
+        self.steals += other.steals;
+        self.stolen_regions += other.stolen_regions;
+        self.parks += other.parks;
+        self.idle_seconds += other.idle_seconds;
+        self.idle_hist.merge(&other.idle_hist);
     }
 
     /// Records one attack call.
@@ -647,6 +663,19 @@ impl Metrics {
         self.policy_seconds += seconds;
     }
 
+    /// Records one successful steal moving `regions` regions.
+    pub fn record_steal(&mut self, regions: u64) {
+        self.steals += 1;
+        self.stolen_regions += regions;
+    }
+
+    /// Records one condvar park of `seconds` idle time.
+    pub fn record_park(&mut self, seconds: f64) {
+        self.parks += 1;
+        self.idle_seconds += seconds;
+        self.idle_hist.observe(seconds);
+    }
+
     /// Serializes the metrics as one flat JSON object (hand-rolled; the
     /// workspace has no serde_json). Used by the bench binaries to embed
     /// phase attribution in their BENCH files.
@@ -655,7 +684,8 @@ impl Metrics {
             "{{\"attack_calls\": {}, \"attack_seconds\": {}, \
              \"propagation_calls\": {}, \"propagation_seconds\": {}, \
              \"policy_calls\": {}, \"policy_seconds\": {}, \
-             \"propagation_proved\": {}}}",
+             \"propagation_proved\": {}, \"steals\": {}, \
+             \"stolen_regions\": {}, \"parks\": {}, \"idle_seconds\": {}}}",
             self.attack_calls,
             json_f64(self.attack_seconds),
             self.propagation_calls,
@@ -663,6 +693,10 @@ impl Metrics {
             self.policy_calls,
             json_f64(self.policy_seconds),
             self.propagation_proved,
+            self.steals,
+            self.stolen_regions,
+            self.parks,
+            json_f64(self.idle_seconds),
         )
     }
 }
@@ -763,6 +797,21 @@ impl RunReport {
                 }
             }
             out.push('\n');
+        }
+        if m.steals > 0 || m.parks > 0 {
+            out.push_str(&format!(
+                "  scheduler: {} steals ({} regions moved), {} parks, {:.6}s idle\n",
+                m.steals, m.stolen_regions, m.parks, m.idle_seconds
+            ));
+            if m.idle_hist.total() > 0 {
+                out.push_str("  park latency:");
+                for (i, c) in m.idle_hist.counts().iter().enumerate() {
+                    if *c > 0 {
+                        out.push_str(&format!(" {}={c}", Histogram::label(i)));
+                    }
+                }
+                out.push('\n');
+            }
         }
         out
     }
@@ -1044,6 +1093,46 @@ mod tests {
         assert_eq!(fields.f64_field("attack_seconds").unwrap(), 0.5);
         assert_eq!(fields.usize_field("propagation_calls").unwrap(), 1);
         assert_eq!(fields.usize_field("propagation_proved").unwrap(), 1);
+    }
+
+    #[test]
+    fn scheduler_counters_merge_serialize_and_render() {
+        let mut a = Metrics::new();
+        a.record_steal(3);
+        a.record_park(0.002);
+        let mut b = Metrics::new();
+        b.record_steal(1);
+        b.record_park(0.0004);
+        b.record_park(0.02);
+        a.merge(&b);
+        assert_eq!(a.steals, 2);
+        assert_eq!(a.stolen_regions, 4);
+        assert_eq!(a.parks, 3);
+        assert!((a.idle_seconds - 0.0224).abs() < 1e-12);
+        assert_eq!(a.idle_hist.total(), 3);
+
+        let fields = parse_flat_object(&a.to_json()).expect("metrics JSON parses");
+        assert_eq!(fields.usize_field("steals").unwrap(), 2);
+        assert_eq!(fields.usize_field("stolen_regions").unwrap(), 4);
+        assert_eq!(fields.usize_field("parks").unwrap(), 3);
+        assert!(fields.f64_field("idle_seconds").unwrap() > 0.0);
+
+        let stats = crate::VerifyStats {
+            metrics: a,
+            ..crate::VerifyStats::default()
+        };
+        let run = crate::VerifyRun {
+            verdict: crate::Verdict::Verified,
+            stats,
+            checkpoint: None,
+            limit: None,
+        };
+        let text = RunReport::from_run(&run).render();
+        assert!(
+            text.contains("scheduler: 2 steals (4 regions moved), 3 parks"),
+            "report: {text}"
+        );
+        assert!(text.contains("park latency:"), "report: {text}");
     }
 
     #[test]

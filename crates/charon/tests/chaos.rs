@@ -375,6 +375,59 @@ fn injected_faults_emit_fault_triggered_events() {
     }
 }
 
+/// Idle workers must park on the scheduler condvar, never spin: a
+/// straggler fault holding the only region forces the other worker idle,
+/// and the merged metrics must account for that idle time as parks. A
+/// run with zero pending work must conclude instantly without parking.
+#[test]
+fn idle_workers_park_instead_of_spinning() {
+    quiet_injected_panics();
+    let net = samples::xor_network();
+    let prop = RobustnessProperty::new(Bounds::new(vec![0.3, 0.3], vec![0.7, 0.7]), 1);
+    let config = VerifierConfig {
+        faults: Some(Arc::new(FaultPlan::new().inject(FaultSite::Delay, 0))),
+        ..VerifierConfig::default()
+    };
+    let run = ParallelVerifier::new(
+        Arc::new(FixedPolicy::new(DomainChoice::interval())),
+        config,
+        2,
+    )
+    .try_verify_run(&net, &prop)
+    .unwrap();
+    assert_eq!(run.verdict, Verdict::Verified);
+    let m = &run.stats.metrics;
+    // While one worker sleeps 25ms inside the injected delay, the other
+    // has an empty worklist and exactly one region in flight: its only
+    // legal move is a (timed, bounded) condvar park.
+    assert!(m.parks >= 1, "idle worker never parked: {m:?}");
+    assert!(m.idle_seconds > 0.0, "parks recorded no idle time: {m:?}");
+    // Every park is histogrammed; idle time is accounted, not spun away.
+    assert_eq!(m.idle_hist.total(), m.parks, "park accounting leak: {m:?}");
+
+    // Zero work: resuming an already-drained checkpoint must observe the
+    // drained worklist on the first pop and exit — no parks at all.
+    let ckpt = charon::Checkpoint {
+        target: 1,
+        pending: vec![],
+        regions_done: 3,
+    };
+    let run = ParallelVerifier::new(
+        Arc::new(LinearPolicy::default()),
+        VerifierConfig::default(),
+        4,
+    )
+    .resume(&net, &ckpt)
+    .unwrap();
+    assert_eq!(run.verdict, Verdict::Verified);
+    assert_eq!(run.stats.regions, 0);
+    assert_eq!(
+        run.stats.metrics.parks, 0,
+        "zero-work run parked instead of exiting: {:?}",
+        run.stats.metrics
+    );
+}
+
 /// Regression test for the stale-counter bug: the checkpoint written by
 /// an interrupted parallel run must count regions from the *merged*
 /// worker stats, including workers that panicked and degraded, not from

@@ -22,15 +22,7 @@ impl Layer {
     /// Panics if `xs.cols()` differs from the layer's input dimension.
     pub fn apply_batch(&self, xs: &Matrix) -> Matrix {
         match self {
-            Layer::Affine(a) => {
-                let mut out = xs.matmul_transb(&a.weights);
-                for row in out.rows_iter_mut() {
-                    for (y, b) in row.iter_mut().zip(a.bias.iter()) {
-                        *y += b;
-                    }
-                }
-                out
-            }
+            Layer::Affine(a) => xs.matmul_transb_bias(&a.weights, &a.bias),
             Layer::Relu => {
                 let mut out = xs.clone();
                 for v in out.as_mut_slice() {

@@ -21,9 +21,11 @@
 
 mod matrix;
 
+pub mod kernels;
 pub mod linalg;
 pub mod ops;
 
+pub use kernels::Backend;
 pub use matrix::Matrix;
 
 /// Error produced by fallible linear-algebra routines in this crate.

@@ -193,16 +193,8 @@ impl Matrix {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            let row = self.row(i);
-            let mut acc = 0.0;
-            for (a, b) in row.iter().zip(x.iter()) {
-                acc += a * b;
-            }
-            y[i] = acc;
-        }
+        self.matvec_into(x, &mut y);
         y
     }
 
@@ -230,19 +222,16 @@ impl Matrix {
     /// Matrix-vector product `self * x` written into a caller-provided
     /// buffer (no allocation).
     ///
+    /// Dispatches to the best kernel arm for this CPU (see
+    /// [`crate::kernels`]).
+    ///
     /// # Panics
     ///
     /// Panics if `x.len() != self.cols()` or `out.len() != self.rows()`.
     pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
-        assert_eq!(x.len(), self.cols, "matvec_into dimension mismatch");
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         assert_eq!(out.len(), self.rows, "matvec_into output length mismatch");
-        for (yi, row) in out.iter_mut().zip(self.rows_iter()) {
-            let mut acc = 0.0;
-            for (a, b) in row.iter().zip(x.iter()) {
-                acc += a * b;
-            }
-            *yi = acc;
-        }
+        crate::kernels::active().matvec(&self.data, x, out);
     }
 
     /// Fused affine map `self * x + bias`.
@@ -267,13 +256,7 @@ impl Matrix {
         assert_eq!(x.len(), self.cols, "matvec_bias_into dimension mismatch");
         assert_eq!(bias.len(), self.rows, "matvec_bias_into bias mismatch");
         assert_eq!(out.len(), self.rows, "matvec_bias_into output mismatch");
-        for ((yi, bi), row) in out.iter_mut().zip(bias.iter()).zip(self.rows_iter()) {
-            let mut acc = 0.0;
-            for (a, b) in row.iter().zip(x.iter()) {
-                acc += a * b;
-            }
-            *yi = acc + bi;
-        }
+        crate::kernels::active().matvec_bias(&self.data, x, bias, out);
     }
 
     /// Matrix product `self * other`.
@@ -300,21 +283,7 @@ impl Matrix {
         assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
         let n = other.cols;
         assert_eq!(out.len(), self.rows * n, "gemm_into output length mismatch");
-        out.fill(0.0);
-        if n == 0 {
-            return;
-        }
-        for (arow, orow) in self.rows_iter().zip(out.chunks_exact_mut(n)) {
-            for (k, &aik) in arow.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let brow = other.row(k);
-                for (o, b) in orow.iter_mut().zip(brow.iter()) {
-                    *o += aik * b;
-                }
-            }
-        }
+        crate::kernels::active().gemm(&self.data, &other.data, self.rows, self.cols, n, out);
     }
 
     /// Matrix product with a transposed right operand: `self * other^T`,
@@ -337,11 +306,9 @@ impl Matrix {
     /// [`Matrix::matmul_transb`] writing into a caller-provided row-major
     /// buffer of length `self.rows() * other.rows()`.
     ///
-    /// The kernel is register-tiled: 4 rows of `self` meet 4 rows of
-    /// `other` in a 4×4 micro-kernel, so every operand load feeds four
-    /// multiply-adds instead of one, and the inner dimension is tiled so
-    /// the working set stays cache-resident. Remainder rows fall back to
-    /// narrower dot kernels. The buffer is fully overwritten.
+    /// Dispatches to the best register-tiled kernel arm for this CPU —
+    /// AVX2+FMA, NEON, or the portable 4×4-tiled scalar kernel (see
+    /// [`crate::kernels`]). The buffer is fully overwritten.
     ///
     /// # Panics
     ///
@@ -354,50 +321,26 @@ impl Matrix {
         );
         let (m, n, k) = (self.rows, other.rows, self.cols);
         assert_eq!(out.len(), m * n, "matmul_transb output length mismatch");
-        // k-tile keeps the 8 active rows (4 of `self`, 4 of `other`)
-        // within L1: 8 * KB * 8 bytes = 32 KiB.
-        const KB: usize = 512;
-        out.fill(0.0);
-        let a = &self.data;
-        let b = &other.data;
-        let mut k0 = 0;
-        while k0 < k.max(1) {
-            let kb = KB.min(k - k0);
-            let arow = |r: usize| &a[r * k + k0..r * k + k0 + kb];
-            let brow = |r: usize| &b[r * k + k0..r * k + k0 + kb];
-            let mut i = 0;
-            while i + 4 <= m {
-                let (a0, a1, a2, a3) = (arow(i), arow(i + 1), arow(i + 2), arow(i + 3));
-                let mut j = 0;
-                while j + 4 <= n {
-                    let tile = tile4x4(
-                        [a0, a1, a2, a3],
-                        [brow(j), brow(j + 1), brow(j + 2), brow(j + 3)],
-                    );
-                    for (r, row) in tile.iter().enumerate() {
-                        for (c, v) in row.iter().enumerate() {
-                            out[(i + r) * n + j + c] += v;
-                        }
-                    }
-                    j += 4;
-                }
-                while j < n {
-                    let dots = dot4_unrolled(a0, a1, a2, a3, brow(j));
-                    for (r, d) in dots.into_iter().enumerate() {
-                        out[(i + r) * n + j] += d;
-                    }
-                    j += 1;
-                }
-                i += 4;
+        crate::kernels::active().matmul_transb(&self.data, &other.data, m, n, k, out);
+    }
+
+    /// Fused `self * otherᵀ + bias` (bias broadcast along rows): the
+    /// batched affine layer map. Each output row `i` is
+    /// `other · self.row(i) + bias`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()` or
+    /// `bias.len() != other.rows()`.
+    pub fn matmul_transb_bias(&self, other: &Matrix, bias: &[f64]) -> Matrix {
+        assert_eq!(bias.len(), other.rows, "matmul_transb_bias bias mismatch");
+        let mut out = self.matmul_transb(other);
+        for row in out.rows_iter_mut() {
+            for (o, b) in row.iter_mut().zip(bias.iter()) {
+                *o += b;
             }
-            while i < m {
-                for j in 0..n {
-                    out[i * n + j] += dot_unrolled(arow(i), brow(j));
-                }
-                i += 1;
-            }
-            k0 += kb.max(1);
         }
+        out
     }
 
     /// Returns the transpose of this matrix.
@@ -442,119 +385,6 @@ impl Matrix {
     pub fn norm_frobenius(&self) -> f64 {
         self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
     }
-}
-
-/// Dot product with eight independent accumulators.
-///
-/// A single-accumulator dot is latency-bound: every add waits on the
-/// previous one, capping throughput at one element per FP-add latency.
-/// Eight parallel chains keep the adder pipeline full (and give LLVM a
-/// reduction it can vectorize). The price is a different summation
-/// association than a naive ascending loop — equal within the usual
-/// `O(k·eps)` reassociation error, covered by the kernel equivalence
-/// suite.
-/// 4×4 register-tile micro-kernel: sixteen dot products between four
-/// left rows and four right rows, sharing every operand load across four
-/// multiply-adds.
-///
-/// This is the classic GEMM register tile. Sixteen independent
-/// accumulator chains hide FP-add latency, and the load:FLOP ratio drops
-/// from 2:1 (plain dot) to 1:2, which is what lifts the kernel off the
-/// load-port ceiling. Same reassociation caveat as [`dot_unrolled`].
-///
-/// All eight slices must have equal length (callers slice them to the
-/// same k-tile).
-#[inline]
-fn tile4x4(a: [&[f64]; 4], b: [&[f64]; 4]) -> [[f64; 4]; 4] {
-    let kb = b[0].len();
-    let mut acc = [[0.0f64; 4]; 4];
-    let chunks = kb / 4;
-    for c in 0..chunks {
-        let o = c * 4;
-        let lane = |s: &[f64]| -> [f64; 4] { s[o..o + 4].try_into().expect("chunk is 4 wide") };
-        let la = a.map(lane);
-        let lb = b.map(lane);
-        for (ai, arow) in la.iter().enumerate() {
-            for (bj, brow) in lb.iter().enumerate() {
-                let mut s = 0.0;
-                for l in 0..4 {
-                    s += arow[l] * brow[l];
-                }
-                acc[ai][bj] += s;
-            }
-        }
-    }
-    for o in chunks * 4..kb {
-        for (ai, arow) in a.iter().enumerate() {
-            let av = arow[o];
-            for (bj, brow) in b.iter().enumerate() {
-                acc[ai][bj] += av * brow[o];
-            }
-        }
-    }
-    acc
-}
-
-/// Four simultaneous dot products against a shared right-hand side.
-///
-/// The dominant cost of the blocked kernel is load traffic: a plain dot
-/// issues two loads per multiply-add. Amortizing each `b` load over four
-/// `a` rows drops that to 1.25 loads per multiply-add, and the sixteen
-/// independent accumulator chains keep the FP pipeline saturated. Same
-/// reassociation caveat as [`dot_unrolled`].
-///
-/// All five slices must have equal length (callers slice them to the
-/// same k-tile).
-#[inline]
-fn dot4_unrolled(a0: &[f64], a1: &[f64], a2: &[f64], a3: &[f64], b: &[f64]) -> [f64; 4] {
-    let mut acc = [[0.0f64; 4]; 4];
-    let mut c0 = a0.chunks_exact(4);
-    let mut c1 = a1.chunks_exact(4);
-    let mut c2 = a2.chunks_exact(4);
-    let mut c3 = a3.chunks_exact(4);
-    let mut cb = b.chunks_exact(4);
-    for ((((r0, r1), r2), r3), bb) in (&mut c0).zip(&mut c1).zip(&mut c2).zip(&mut c3).zip(&mut cb)
-    {
-        let r0: &[f64; 4] = r0.try_into().expect("chunk is 4 wide");
-        let r1: &[f64; 4] = r1.try_into().expect("chunk is 4 wide");
-        let r2: &[f64; 4] = r2.try_into().expect("chunk is 4 wide");
-        let r3: &[f64; 4] = r3.try_into().expect("chunk is 4 wide");
-        let bb: &[f64; 4] = bb.try_into().expect("chunk is 4 wide");
-        for i in 0..4 {
-            acc[0][i] += r0[i] * bb[i];
-            acc[1][i] += r1[i] * bb[i];
-            acc[2][i] += r2[i] * bb[i];
-            acc[3][i] += r3[i] * bb[i];
-        }
-    }
-    let tail = b.len() - cb.remainder().len();
-    for o in tail..b.len() {
-        acc[0][0] += a0[o] * b[o];
-        acc[1][0] += a1[o] * b[o];
-        acc[2][0] += a2[o] * b[o];
-        acc[3][0] += a3[o] * b[o];
-    }
-    let reduce = |s: &[f64; 4]| (s[0] + s[2]) + (s[1] + s[3]);
-    [reduce(&acc[0]), reduce(&acc[1]), reduce(&acc[2]), reduce(&acc[3])]
-}
-
-#[inline]
-fn dot_unrolled(a: &[f64], b: &[f64]) -> f64 {
-    let mut acc = [0.0f64; 8];
-    let mut chunks_a = a.chunks_exact(8);
-    let mut chunks_b = b.chunks_exact(8);
-    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
-        let ca: &[f64; 8] = ca.try_into().expect("chunk is 8 wide");
-        let cb: &[f64; 8] = cb.try_into().expect("chunk is 8 wide");
-        for i in 0..8 {
-            acc[i] += ca[i] * cb[i];
-        }
-    }
-    let mut tail = 0.0;
-    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
-        tail += x * y;
-    }
-    (((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]))) + tail
 }
 
 impl std::fmt::Display for Matrix {

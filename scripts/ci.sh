@@ -9,6 +9,11 @@ cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q -p charon --test chaos --profile ci
 
+# Portable-fallback gate: the same suite with scalar kernels and the
+# shared-queue scheduler forced, so the non-SIMD dispatch arm and the
+# fallback scheduling discipline stay correct on every host.
+CHARON_FORCE_SCALAR=1 cargo test -q
+
 # Documentation gate: doctests must pass and rustdoc must build clean
 # (broken intra-doc links and missing docs surface as warnings).
 cargo test -q --doc --workspace
@@ -21,6 +26,8 @@ smoke_out="$(mktemp)"
 cargo run --release -q -p bench --bin perf_kernels -- --smoke --out "$smoke_out"
 grep -q '"schema": "bench-kernels-v1"' "$smoke_out"
 grep -q '"name": "zonotope_affine"' "$smoke_out"
+grep -q '"name": "simd_affine"' "$smoke_out"
+grep -q '"name": "scheduler_throughput"' "$smoke_out"
 grep -q '"phases":' "$smoke_out"
 rm -f "$smoke_out"
 

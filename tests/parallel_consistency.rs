@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use charon::parallel::ParallelVerifier;
 use charon::policy::{DomainSelection, FixedPolicy, LinearPolicy};
-use charon::{RobustnessProperty, Verdict, Verifier, VerifierConfig};
+use charon::{RobustnessProperty, SchedulerMode, Verdict, Verifier, VerifierConfig};
 use domains::{Bounds, DomainChoice};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -65,6 +65,51 @@ fn parallel_works_with_every_fixed_selection() {
             verdict.is_verified(),
             "selection {selection} failed: {verdict:?}"
         );
+    }
+}
+
+/// Scheduler stress: a refinement-heavy run (interval-only policy forces
+/// many splits) must reach the same verdict and explore exactly the same
+/// number of regions as the sequential engine, under both scheduling
+/// disciplines and with more workers than regions-per-deque (so the
+/// work-stealing mode actually steals). The split tree is deterministic
+/// given the policy, so `regions` accounting is schedule-independent.
+#[test]
+fn scheduler_modes_match_sequential_region_accounting() {
+    let net = nn::samples::xor_network();
+    let prop = RobustnessProperty::new(Bounds::new(vec![0.3, 0.3], vec![0.7, 0.7]), 1);
+    let policy = || Arc::new(FixedPolicy::new(DomainChoice::interval()));
+    let sequential = Verifier::new(policy(), config())
+        .try_verify_run(&net, &prop)
+        .unwrap();
+    assert_eq!(sequential.verdict, Verdict::Verified);
+    assert!(sequential.stats.regions > 4, "need a multi-region baseline");
+
+    for mode in [SchedulerMode::WorkStealing, SchedulerMode::SharedQueue] {
+        for threads in [1, 2, 4, 8] {
+            let verifier = ParallelVerifier::new(policy(), config(), threads).with_scheduler(mode);
+            assert_eq!(verifier.scheduler_mode(), mode);
+            let run = verifier.try_verify_run(&net, &prop).unwrap();
+            assert_eq!(
+                run.verdict,
+                Verdict::Verified,
+                "{} @ {threads} threads",
+                mode.name()
+            );
+            assert_eq!(
+                run.stats.regions,
+                sequential.stats.regions,
+                "{} @ {threads} threads explored a different region count",
+                mode.name()
+            );
+            assert_eq!(run.stats.verified_regions, sequential.stats.verified_regions);
+            // The shared-queue fallback has a single deque: stealing is
+            // structurally impossible there.
+            if mode == SchedulerMode::SharedQueue {
+                assert_eq!(run.stats.metrics.steals, 0);
+                assert_eq!(run.stats.metrics.stolen_regions, 0);
+            }
+        }
     }
 }
 
