@@ -20,8 +20,14 @@
 //!   deterministic worker-kill schedule; every query must still answer,
 //!   the supervisor must log the deaths and requeues, and the drain
 //!   must lose nothing. Implies no throughput assertion.
+//! - `--cluster`: benchmark the multi-node tier instead — a budget-bound
+//!   stream (shards that exhaust their wall-clock timeout) against a
+//!   coordinator with one node and then two nodes, emitting
+//!   `BENCH_cluster.json` and asserting (full mode only) that two nodes
+//!   deliver at least 1.5x the throughput of one.
 //! - `--out <path>`: write the JSON somewhere other than
-//!   `BENCH_server.json` in the current directory.
+//!   `BENCH_server.json` (or `BENCH_cluster.json`) in the current
+//!   directory.
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -31,8 +37,8 @@ use charon::json::ObjectBuilder;
 use charon::RobustnessProperty;
 use domains::Bounds;
 use server::{
-    Client, Server, ServerAddr, ServerConfig, ServerFaultPlan, ServerFaultPlanBuilder,
-    VerifyRequest,
+    Client, Coordinator, CoordinatorConfig, Server, ServerAddr, ServerConfig, ServerFaultPlan,
+    ServerFaultPlanBuilder, VerifyRequest,
 };
 
 /// Shape of one benchmark run.
@@ -181,15 +187,223 @@ fn validate_json(json: &str) {
     }
 }
 
+/// A network no attack can refute and no split schedule can verify
+/// quickly: two outputs `relu(z) + 0.05` and `relu(z)` for a nonlinear
+/// `z(x)`, so the margin is a constant 0.05 and closing the abstraction
+/// error of the twice-relaxed ReLU needs astronomically fine splits.
+/// Every shard of such a property runs its full wall-clock budget —
+/// the workload class where cluster scaling is about consuming budgets
+/// concurrently.
+fn budget_network() -> nn::Network {
+    use tensor::Matrix;
+    let dim = 6;
+    let hidden = 8;
+    let mut state = 0x1234_5678_u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+    };
+    let w1 = Matrix::from_fn(hidden, dim, |_, _| 2.0 * next());
+    let l1 = nn::AffineLayer::new(w1, (0..hidden).map(|_| next()).collect());
+    let row: Vec<f64> = (0..hidden).map(|_| 2.0 * next()).collect();
+    let w2 = Matrix::from_rows(&[row.as_slice(), row.as_slice()]);
+    let l2 = nn::AffineLayer::new(w2, vec![0.0, 0.0]);
+    let head = nn::AffineLayer::new(
+        Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]),
+        vec![0.05, 0.0],
+    );
+    nn::Network::new(
+        dim,
+        vec![
+            nn::Layer::Affine(l1),
+            nn::Layer::Relu,
+            nn::Layer::Affine(l2),
+            nn::Layer::Relu,
+            nn::Layer::Affine(head),
+        ],
+    )
+    .unwrap()
+}
+
+/// One pass of the cluster benchmark: a coordinator over `node_count`
+/// nodes, the given stream of distinct queries submitted sequentially.
+/// Returns (elapsed seconds, shards completed).
+fn run_cluster_pass(
+    dir: &Path,
+    net_path: &Path,
+    properties: &[RobustnessProperty],
+    timeout_ms: u64,
+    expect: &str,
+    node_count: usize,
+    shards: usize,
+) -> (f64, usize) {
+    let nodes: Vec<server::ServerHandle> = (0..node_count)
+        .map(|i| {
+            Server::start(ServerConfig {
+                addr: ServerAddr::Unix(dir.join(format!("cluster-{node_count}-node{i}.sock"))),
+                workers: 1,
+                journal: None,
+                ..ServerConfig::default()
+            })
+            .expect("start node")
+        })
+        .collect();
+    let coordinator = Coordinator::start(CoordinatorConfig {
+        addr: ServerAddr::Unix(dir.join(format!("cluster-{node_count}-coord.sock"))),
+        nodes: nodes.iter().map(|n| n.addr().clone()).collect(),
+        shards,
+        // One shard in flight per node: the two-node pass gets exactly
+        // twice the execution lanes of the one-node pass.
+        connections_per_node: 1,
+        ..CoordinatorConfig::default()
+    })
+    .expect("start coordinator");
+
+    let start = Instant::now();
+    let mut client = Client::connect(coordinator.addr()).expect("cluster client connect");
+    for (k, property) in properties.iter().enumerate() {
+        let request = VerifyRequest {
+            id: k as u64 + 1,
+            network: net_path.display().to_string(),
+            property: property.to_text(),
+            timeout_ms,
+            ..VerifyRequest::default()
+        };
+        let reply = client.request(&request.to_line()).expect("cluster reply");
+        assert_eq!(
+            reply.str_field("verdict").expect("verdict"),
+            expect,
+            "cluster bench query {k}"
+        );
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let stats = client
+        .request("{\"request\": \"stats\"}")
+        .expect("cluster stats");
+    let shards_completed = stats
+        .usize_field("shards_completed")
+        .expect("shards_completed");
+    let drained = client
+        .request("{\"request\": \"drain\"}")
+        .expect("cluster drain");
+    assert_eq!(
+        drained.f64_field("lost").expect("lost") as i64,
+        0,
+        "coordinator lost jobs during drain"
+    );
+    coordinator.join();
+    for node in nodes {
+        let mut control = Client::connect(node.addr()).expect("node control");
+        let _ = control.request("{\"request\": \"drain\"}").expect("node drain");
+        node.join();
+    }
+    (elapsed, shards_completed)
+}
+
+/// The `--cluster` benchmark: same stream, one node vs two nodes.
+///
+/// The full workload is *budget-bound*: properties too hard to decide
+/// whose every shard runs its full wall-clock timeout, which is the
+/// regime where adding nodes pays (shards consume their budgets
+/// concurrently instead of one after another). Smoke mode swaps in a
+/// tiny all-verified stream with no scaling assertion — it only proves
+/// the harness runs end to end.
+fn run_cluster(smoke: bool, out_path: &str) {
+    let shards = 4;
+    let dir = std::env::temp_dir().join(format!("charon-loadgen-cluster-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("loadgen temp dir");
+    let net = if smoke { bench_network() } else { budget_network() };
+    let net_path = dir.join("bench.net");
+    nn::serialize::save(&net, &net_path).expect("write bench network");
+    let (distinct, timeout_ms, expect) = if smoke {
+        (2, 60_000, "verified")
+    } else {
+        (4, 150, "resource_limit")
+    };
+    let properties: Vec<RobustnessProperty> = (0..distinct)
+        .map(|i| {
+            if smoke {
+                let point: Vec<f64> = (0..6)
+                    .map(|d| 0.05 + 0.013 * ((i * 7 + d * 3) % 11) as f64)
+                    .collect();
+                let region = Bounds::linf_ball(&point, 0.01, None);
+                RobustnessProperty::new(region, net.classify(&point))
+            } else {
+                // Slightly different boxes per query so no two jobs are
+                // byte-identical on the wire.
+                let lo = -2.0 + 0.01 * i as f64;
+                RobustnessProperty::new(Bounds::new(vec![lo; 6], vec![2.0; 6]), 0)
+            }
+        })
+        .collect();
+
+    let (one_node_s, one_shards) =
+        run_cluster_pass(&dir, &net_path, &properties, timeout_ms, expect, 1, shards);
+    let (two_node_s, two_shards) =
+        run_cluster_pass(&dir, &net_path, &properties, timeout_ms, expect, 2, shards);
+    let speedup = one_node_s / two_node_s;
+
+    println!("cluster loadgen ({}):", if smoke { "smoke" } else { "full" });
+    println!(
+        "  {distinct} queries x {shards} shards: 1 node {one_node_s:.3}s ({one_shards} shards), 2 nodes {two_node_s:.3}s ({two_shards} shards), speedup {speedup:.2}x"
+    );
+
+    let json = ObjectBuilder::new()
+        .str("schema", "bench-cluster-v1")
+        .int("smoke", u64::from(smoke))
+        .int("queries", distinct as u64)
+        .int("shards_per_job", shards as u64)
+        .num("one_node_s", one_node_s)
+        .num("two_node_s", two_node_s)
+        .num("speedup", speedup)
+        .num("one_node_qps", distinct as f64 / one_node_s)
+        .num("two_node_qps", distinct as f64 / two_node_s)
+        .int("one_node_shards", one_shards as u64)
+        .int("two_node_shards", two_shards as u64)
+        .build();
+    for needle in ["\"schema\": \"bench-cluster-v1\"", "\"speedup\":", "\"two_node_qps\":"] {
+        assert!(json.contains(needle), "JSON schema lost field: {needle}");
+    }
+    std::fs::write(out_path, &json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Smoke mode only proves the harness runs end to end; the scaling
+    // bar applies to the full benchmark.
+    if !smoke {
+        assert!(
+            speedup >= 1.5,
+            "two-node throughput regressed below 1.5x one-node: {speedup:.2}x"
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let faults_on = args.iter().any(|a| a == "--faults");
+    let cluster = args.iter().any(|a| a == "--cluster");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
-        .map_or_else(|| "BENCH_server.json".to_string(), String::clone);
+        .map_or_else(
+            || {
+                if cluster {
+                    "BENCH_cluster.json".to_string()
+                } else {
+                    "BENCH_server.json".to_string()
+                }
+            },
+            String::clone,
+        );
+    if cluster {
+        run_cluster(smoke, &out_path);
+        return;
+    }
 
     let plan = if smoke {
         Plan {

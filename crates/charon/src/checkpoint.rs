@@ -146,6 +146,34 @@ impl Checkpoint {
         })
     }
 
+    /// Merges another checkpoint into this one: pending worklists are
+    /// concatenated and `regions_done` counts summed. Used by the
+    /// coordinator tier to combine the resumable remainders of several
+    /// shards (or straggler nodes) into one checkpoint for the whole
+    /// property.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError::MalformedCheckpoint`] if the two
+    /// checkpoints disagree on the target class — they then belong to
+    /// different properties and combining them would be meaningless.
+    pub fn merge(&mut self, other: Checkpoint) -> Result<(), VerifyError> {
+        if !other.pending.is_empty() && !self.pending.is_empty() && other.target != self.target {
+            return Err(VerifyError::MalformedCheckpoint {
+                reason: format!(
+                    "cannot merge checkpoints with different targets ({} vs {})",
+                    self.target, other.target
+                ),
+            });
+        }
+        if self.pending.is_empty() {
+            self.target = other.target;
+        }
+        self.pending.extend(other.pending);
+        self.regions_done += other.regions_done;
+        Ok(())
+    }
+
     /// Saves the checkpoint to a file.
     ///
     /// # Errors
@@ -227,6 +255,37 @@ mod tests {
                 other => panic!("should reject {why} as MalformedCheckpoint, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn merge_concatenates_and_sums() {
+        let mut a = sample();
+        let mut b = sample();
+        b.regions_done = 9;
+        b.pending.truncate(1);
+        let expect_pending = a.pending.len() + b.pending.len();
+        a.merge(b).unwrap();
+        assert_eq!(a.pending.len(), expect_pending);
+        assert_eq!(a.regions_done, 41 + 9);
+
+        // Different targets on non-empty worklists must be refused.
+        let mut c = sample();
+        let mut d = sample();
+        d.target = 0;
+        assert!(matches!(
+            c.merge(d),
+            Err(VerifyError::MalformedCheckpoint { .. })
+        ));
+
+        // An empty receiver adopts the other side's target.
+        let mut empty = Checkpoint {
+            target: 0,
+            pending: vec![],
+            regions_done: 0,
+        };
+        empty.merge(sample()).unwrap();
+        assert_eq!(empty.target, 3);
+        assert_eq!(empty.regions_done, 41);
     }
 
     #[test]

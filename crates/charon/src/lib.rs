@@ -92,7 +92,9 @@ pub use checkpoint::Checkpoint;
 pub use error::{BudgetKind, VerifyError};
 pub use property::RobustnessProperty;
 pub use sched::SchedulerMode;
-pub use telemetry::{JsonlSink, Metrics, NullSink, RunReport, SummarySink, TraceEvent, TraceSink};
+pub use telemetry::{
+    JsonlSink, Metrics, NodeRow, NullSink, RunReport, SummarySink, TraceEvent, TraceSink,
+};
 pub use verify::{
     Counterexample, Verdict, Verifier, VerifierConfig, VerifyRun, VerifyStats,
 };

@@ -62,21 +62,32 @@ struct Shared<'a> {
     error: &'a Mutex<Option<VerifyError>>,
 }
 
+/// The engine's record-and-stop verdict preference rule: whether an
+/// `incoming` verdict should replace the `current` one.
+///
+/// First writer wins, with one exception: a validated refutation replaces
+/// an already-recorded `ResourceLimit`. A worker (or shard node) mid-step
+/// when another hits a budget may still find a real counterexample;
+/// dropping it would checkpoint a worklist without the refuted region,
+/// and resuming that checkpoint could flip the verdict to `Verified`.
+///
+/// This single rule is shared by the in-process [`ParallelVerifier`] and
+/// the coordinator tier's cross-node shard merge, so the two scheduling
+/// layers cannot drift apart semantically.
+pub fn verdict_supersedes(current: Option<&Verdict>, incoming: &Verdict) -> bool {
+    match current {
+        None => true,
+        Some(Verdict::ResourceLimit) => matches!(incoming, Verdict::Refuted(_)),
+        Some(_) => false,
+    }
+}
+
 impl Shared<'_> {
-    /// Records a verdict and tells everyone to stop. First writer wins,
-    /// with one exception: a validated refutation replaces an
-    /// already-recorded `ResourceLimit`. A worker mid-step when another
-    /// hits a budget may still find a real counterexample; dropping it
-    /// would checkpoint a worklist without the refuted region, and
-    /// resuming that checkpoint could flip the verdict to `Verified`.
+    /// Records a verdict and tells everyone to stop, following
+    /// [`verdict_supersedes`].
     fn record_and_stop(&self, verdict: Verdict, limit: Option<BudgetKind>) {
         let mut slot = self.found.lock();
-        let record = match &*slot {
-            None => true,
-            Some((Verdict::ResourceLimit, _)) => matches!(verdict, Verdict::Refuted(_)),
-            Some(_) => false,
-        };
-        if record {
+        if verdict_supersedes(slot.as_ref().map(|(v, _)| v), &verdict) {
             *slot = Some((verdict, limit));
         }
         self.stop.store(true, Ordering::Release);

@@ -302,6 +302,56 @@ pub fn clamp_split(region: &Bounds, dim: usize, desired: f64) -> f64 {
     desired.clamp(lo + margin, hi - margin)
 }
 
+/// Partitions a region into `n` disjoint shards by repeated bisection of
+/// the longest dimension (midpoint splits, so Assumption 1 holds for
+/// every shard: each is strictly smaller than the original in diameter
+/// whenever any dimension has positive width).
+///
+/// The shards cover the region exactly — their union is the input and
+/// their interiors are disjoint — so a property verified on every shard
+/// is verified on the whole region, and a counterexample in any shard is
+/// a counterexample for the whole region. This is the decomposition the
+/// coordinator tier uses to fan a property out across shard-worker
+/// nodes.
+///
+/// `n == 0` is treated as 1. When `n` is not a power of two the widest
+/// shards are bisected preferentially, so shard volumes differ by at
+/// most a factor of two.
+pub fn shard_region(region: &Bounds, n: usize) -> Vec<Bounds> {
+    let mut shards = vec![region.clone()];
+    while shards.len() < n.max(1) {
+        // Split the shard with the longest edge; ties go to the earliest,
+        // keeping the decomposition deterministic.
+        let (widest, _) = shards
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let d = b.longest_dim();
+                (i, b.upper()[d] - b.lower()[d])
+            })
+            .fold((0, f64::NEG_INFINITY), |best, cand| {
+                if cand.1 > best.1 {
+                    cand
+                } else {
+                    best
+                }
+            });
+        let shard = shards.swap_remove(widest);
+        let dim = shard.longest_dim();
+        let mid = 0.5 * (shard.lower()[dim] + shard.upper()[dim]);
+        if !(shard.lower()[dim] < mid && mid < shard.upper()[dim]) {
+            // Degenerate (zero-width or sub-ulp) region: cannot split
+            // further, return what we have.
+            shards.push(shard);
+            break;
+        }
+        let (left, right) = shard.split_at(dim, mid);
+        shards.push(left);
+        shards.push(right);
+    }
+    shards
+}
+
 /// A hand-crafted policy: fixed analysis selection, bisection of the
 /// longest dimension. This is the "no learning" ablation baseline (RQ3)
 /// and also mirrors how AI2 must be driven with a user-chosen domain.
@@ -464,6 +514,51 @@ mod tests {
         assert_eq!(clamp_split(&region, 0, -5.0), 0.05);
         assert_eq!(clamp_split(&region, 0, 5.0), 0.95);
         assert_eq!(clamp_split(&region, 0, 0.5), 0.5);
+    }
+
+    #[test]
+    fn shard_region_partitions_exactly() {
+        let region = Bounds::new(vec![0.0, 0.0], vec![4.0, 1.0]);
+        for n in [1usize, 2, 3, 4, 5, 8] {
+            let shards = shard_region(&region, n);
+            assert_eq!(shards.len(), n, "requested {n} shards");
+            // Total volume is preserved (the shards tile the region).
+            let volume = |b: &Bounds| {
+                b.lower()
+                    .iter()
+                    .zip(b.upper())
+                    .map(|(l, u)| u - l)
+                    .product::<f64>()
+            };
+            let total: f64 = shards.iter().map(volume).sum();
+            assert!((total - 4.0).abs() < 1e-9, "n={n}: total volume {total}");
+            // Every shard stays inside the region and strictly shrinks.
+            for shard in &shards {
+                assert!(region.contains(&shard.center()));
+                if n > 1 {
+                    assert!(shard.diameter() < region.diameter());
+                }
+            }
+            // Shard interiors are pairwise disjoint: centers of one shard
+            // are not contained in any other.
+            for (i, a) in shards.iter().enumerate() {
+                for (j, b) in shards.iter().enumerate() {
+                    if i != j {
+                        assert!(!b.contains(&a.center()), "shards {i} and {j} overlap");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_region_handles_degenerate_inputs() {
+        // A zero-width region cannot be split: best effort, no panic.
+        let point = Bounds::new(vec![0.5, 0.5], vec![0.5, 0.5]);
+        assert_eq!(shard_region(&point, 4).len(), 1);
+        // n = 0 is treated as 1.
+        let region = Bounds::new(vec![0.0], vec![1.0]);
+        assert_eq!(shard_region(&region, 0).len(), 1);
     }
 
     #[test]

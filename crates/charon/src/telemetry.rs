@@ -575,6 +575,28 @@ impl Histogram {
     }
 }
 
+/// Per-node shard accounting for a coordinator-tier run: how many shards
+/// a node was handed, how many it finished, how many had to be
+/// re-dispatched elsewhere after the node died or dropped them, and how
+/// long the node's dispatcher sat idle waiting for work.
+///
+/// Rows are merged by node name (see [`Metrics::merge`]), mirroring how
+/// per-worker metrics merge inside one process.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeRow {
+    /// Node identity (its address as the coordinator dials it).
+    pub name: String,
+    /// Shards dispatched to this node.
+    pub dispatched: u64,
+    /// Shards the node completed with a usable result.
+    pub completed: u64,
+    /// Shards taken back from this node and re-dispatched (node death,
+    /// timeout, or an injected shard drop).
+    pub redispatched: u64,
+    /// Wall-clock seconds the node's dispatcher spent idle.
+    pub idle_seconds: f64,
+}
+
 /// Per-run engine metrics: phase counters, wall times, and latency
 /// histograms.
 ///
@@ -614,6 +636,9 @@ pub struct Metrics {
     /// Per-park idle latency distribution; a regression that starves
     /// workers shows up here as a shift toward the long buckets.
     pub idle_hist: Histogram,
+    /// Per-node shard accounting (coordinator-tier runs only; empty for
+    /// single-process runs).
+    pub nodes: Vec<NodeRow>,
 }
 
 impl Metrics {
@@ -638,6 +663,23 @@ impl Metrics {
         self.parks += other.parks;
         self.idle_seconds += other.idle_seconds;
         self.idle_hist.merge(&other.idle_hist);
+        for row in &other.nodes {
+            self.merge_node_row(row);
+        }
+    }
+
+    /// Folds one per-node row in, summing into an existing row with the
+    /// same name or appending a new one.
+    pub fn merge_node_row(&mut self, row: &NodeRow) {
+        match self.nodes.iter_mut().find(|n| n.name == row.name) {
+            Some(existing) => {
+                existing.dispatched += row.dispatched;
+                existing.completed += row.completed;
+                existing.redispatched += row.redispatched;
+                existing.idle_seconds += row.idle_seconds;
+            }
+            None => self.nodes.push(row.clone()),
+        }
     }
 
     /// Records one attack call.
@@ -680,12 +722,12 @@ impl Metrics {
     /// workspace has no serde_json). Used by the bench binaries to embed
     /// phase attribution in their BENCH files.
     pub fn to_json(&self) -> String {
-        format!(
+        let mut s = format!(
             "{{\"attack_calls\": {}, \"attack_seconds\": {}, \
              \"propagation_calls\": {}, \"propagation_seconds\": {}, \
              \"policy_calls\": {}, \"policy_seconds\": {}, \
              \"propagation_proved\": {}, \"steals\": {}, \
-             \"stolen_regions\": {}, \"parks\": {}, \"idle_seconds\": {}}}",
+             \"stolen_regions\": {}, \"parks\": {}, \"idle_seconds\": {}",
             self.attack_calls,
             json_f64(self.attack_seconds),
             self.propagation_calls,
@@ -697,7 +739,48 @@ impl Metrics {
             self.stolen_regions,
             self.parks,
             json_f64(self.idle_seconds),
-        )
+        );
+        if !self.nodes.is_empty() {
+            // The flat codec has no nested objects, so per-node rows
+            // travel as a joined name string plus parallel numeric
+            // arrays, index-aligned.
+            let names: Vec<&str> = self.nodes.iter().map(|n| n.name.as_str()).collect();
+            s.push_str(&format!(
+                ", \"node_names\": {}",
+                json_str(&names.join(","))
+            ));
+            let arr = |s: &mut String, key: &str, vals: Vec<String>| {
+                s.push_str(&format!(", \"{key}\": [{}]", vals.join(", ")));
+            };
+            arr(
+                &mut s,
+                "node_dispatched",
+                self.nodes.iter().map(|n| n.dispatched.to_string()).collect(),
+            );
+            arr(
+                &mut s,
+                "node_completed",
+                self.nodes.iter().map(|n| n.completed.to_string()).collect(),
+            );
+            arr(
+                &mut s,
+                "node_redispatched",
+                self.nodes
+                    .iter()
+                    .map(|n| n.redispatched.to_string())
+                    .collect(),
+            );
+            arr(
+                &mut s,
+                "node_idle_seconds",
+                self.nodes
+                    .iter()
+                    .map(|n| json_f64(n.idle_seconds))
+                    .collect(),
+            );
+        }
+        s.push('}');
+        s
     }
 }
 
@@ -811,6 +894,15 @@ impl RunReport {
                     }
                 }
                 out.push('\n');
+            }
+        }
+        if !m.nodes.is_empty() {
+            out.push_str("  node                      dispatched  completed  redispatched     idle\n");
+            for node in &m.nodes {
+                out.push_str(&format!(
+                    "  {:<24} {:>11} {:>10} {:>13} {:>7.3}s\n",
+                    node.name, node.dispatched, node.completed, node.redispatched, node.idle_seconds
+                ));
             }
         }
         out
@@ -1133,6 +1225,64 @@ mod tests {
             "report: {text}"
         );
         assert!(text.contains("park latency:"), "report: {text}");
+    }
+
+    #[test]
+    fn node_rows_merge_serialize_and_render() {
+        let mut a = Metrics::new();
+        a.merge_node_row(&NodeRow {
+            name: "unix:/tmp/n0.sock".to_string(),
+            dispatched: 4,
+            completed: 3,
+            redispatched: 1,
+            idle_seconds: 0.5,
+        });
+        let mut b = Metrics::new();
+        b.merge_node_row(&NodeRow {
+            name: "unix:/tmp/n0.sock".to_string(),
+            dispatched: 2,
+            completed: 2,
+            redispatched: 0,
+            idle_seconds: 0.25,
+        });
+        b.merge_node_row(&NodeRow {
+            name: "unix:/tmp/n1.sock".to_string(),
+            dispatched: 5,
+            completed: 5,
+            redispatched: 0,
+            idle_seconds: 0.125,
+        });
+        a.merge(&b);
+        assert_eq!(a.nodes.len(), 2, "rows merge by name");
+        assert_eq!(a.nodes[0].dispatched, 6);
+        assert_eq!(a.nodes[0].completed, 5);
+        assert_eq!(a.nodes[0].redispatched, 1);
+        assert_eq!(a.nodes[0].idle_seconds, 0.75);
+
+        let fields = parse_flat_object(&a.to_json()).expect("metrics JSON parses");
+        assert_eq!(
+            fields.str_field("node_names").unwrap(),
+            "unix:/tmp/n0.sock,unix:/tmp/n1.sock"
+        );
+        assert_eq!(fields.arr_field("node_dispatched").unwrap(), vec![6.0, 5.0]);
+        assert_eq!(
+            fields.arr_field("node_redispatched").unwrap(),
+            vec![1.0, 0.0]
+        );
+
+        let stats = crate::VerifyStats {
+            metrics: a,
+            ..crate::VerifyStats::default()
+        };
+        let run = crate::VerifyRun {
+            verdict: crate::Verdict::Verified,
+            stats,
+            checkpoint: None,
+            limit: None,
+        };
+        let text = RunReport::from_run(&run).render();
+        assert!(text.contains("unix:/tmp/n0.sock"), "report: {text}");
+        assert!(text.contains("redispatched"), "report: {text}");
     }
 
     #[test]

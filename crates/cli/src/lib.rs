@@ -16,6 +16,10 @@
 //! charon-cli trace   --in FILE
 //! charon-cli serve   --addr ADDR [--workers N] [--queue N] [--cache N]
 //!                    [--journal FILE | --no-journal]
+//! charon-cli serve   --addr ADDR --coordinator --nodes ADDR,ADDR[,...]
+//!                    [--shards N] [--conns-per-node N] [--retry-budget N]
+//!                    [--node-grace-ms N] [--journal FILE | --no-journal]
+//! charon-cli node    --addr ADDR [--workers N] [--journal FILE]
 //! charon-cli submit  --addr ADDR (--network NET --property PROP | --query ID
 //!                    | --stats | --drain | --ping) [--id N] [--retries N]
 //!                    [--priority N] [--deadline-ms N] [--timeout-ms N]
@@ -50,6 +54,15 @@
 //!
 //! Interrupted `verify` runs can persist their worklist with
 //! `--checkpoint FILE` and continue later with `--resume FILE`.
+//!
+//! `serve --coordinator` runs the multi-node tier (see
+//! `docs/PROTOCOL.md` and `docs/OPERATIONS.md`): each accepted job's
+//! input region is split into shards dispatched across the `--nodes`
+//! pool, shard verdicts merge with record-and-stop semantics, dead
+//! nodes are detected by read deadline and their shards re-dispatched
+//! within `--retry-budget`, beyond which the shard is quarantined and
+//! the job delivered as `poisoned`. `node` starts a shard-worker
+//! daemon (a plain daemon that also answers `shard` requests).
 //!
 //! Observability: `verify --report` prints a per-phase run report (see
 //! [`charon::RunReport`]), `verify --trace-out FILE` streams one JSON
@@ -167,6 +180,7 @@ impl Args {
             if matches!(
                 name,
                 "no-cex" | "help" | "stats" | "report" | "drain" | "ping" | "no-journal"
+                    | "coordinator"
             ) {
                 switches.push(name.to_string());
                 continue;
@@ -233,7 +247,7 @@ impl Args {
 }
 
 fn usage() -> String {
-    "usage:\n  charon-cli verify  --network NET (--property PROP | --resume CKPT) [--timeout-ms N] [--delta D] [--policy FILE] [--parallel N] [--checkpoint FILE] [--no-cex] [--stats] [--report] [--trace-out FILE]\n  charon-cli attack  --network NET --property PROP [--restarts N] [--seed N]\n  charon-cli train   [--seed N] [--time-limit-ms N] --out FILE\n  charon-cli info    --network NET\n  charon-cli example --out-network NET --out-property PROP\n  charon-cli prop    --zoo NAME --image N --tau T --out-network NET --out-property PROP\n  charon-cli certify --zoo NAME --eps E [--points N] [--timeout-ms N]\n  charon-cli trace   --in FILE\n  charon-cli serve   --addr ADDR [--workers N] [--queue N] [--cache N] [--journal FILE | --no-journal] [--fault-kill-job ID] [--fault-worker-kill ORD]\n  charon-cli submit  --addr ADDR (--network NET --property PROP | --query ID | --stats | --drain | --ping) [--id N] [--retries N] [--priority N] [--deadline-ms N] [--timeout-ms N] [--delta D] [--restarts N] [--seed N] [--no-cex] [--checkpoint FILE]\n\nserve journals accepted jobs to <socket>.wal on Unix addresses unless --no-journal; --journal FILE overrides the path (and is required for durability on tcp: addresses). --fault-kill-job / --fault-worker-kill schedule deterministic worker panics for chaos testing only.\nsubmit retries transient failures (connect refused, queue full, draining, journal errors) --retries times with capped exponential backoff; exit 69 = retryable/unavailable, 70 = engine failure or poisoned job.".to_string()
+    "usage:\n  charon-cli verify  --network NET (--property PROP | --resume CKPT) [--timeout-ms N] [--delta D] [--policy FILE] [--parallel N] [--checkpoint FILE] [--no-cex] [--stats] [--report] [--trace-out FILE]\n  charon-cli attack  --network NET --property PROP [--restarts N] [--seed N]\n  charon-cli train   [--seed N] [--time-limit-ms N] --out FILE\n  charon-cli info    --network NET\n  charon-cli example --out-network NET --out-property PROP\n  charon-cli prop    --zoo NAME --image N --tau T --out-network NET --out-property PROP\n  charon-cli certify --zoo NAME --eps E [--points N] [--timeout-ms N]\n  charon-cli trace   --in FILE\n  charon-cli serve   --addr ADDR [--workers N] [--queue N] [--cache N] [--journal FILE | --no-journal] [--fault-kill-job ID] [--fault-worker-kill ORD]\n  charon-cli serve   --addr ADDR --coordinator --nodes ADDR,ADDR[,...] [--shards N] [--conns-per-node N] [--retry-budget N] [--node-grace-ms N] [--journal FILE | --no-journal] [--fault-node-kill ORD] [--fault-shard-drop ORD]\n  charon-cli node    --addr ADDR [--workers N] [--journal FILE]\n  charon-cli submit  --addr ADDR (--network NET --property PROP | --query ID | --stats | --drain | --ping) [--id N] [--retries N] [--priority N] [--deadline-ms N] [--timeout-ms N] [--delta D] [--restarts N] [--seed N] [--no-cex] [--checkpoint FILE]\n\nserve journals accepted jobs to <socket>.wal on Unix addresses unless --no-journal; --journal FILE overrides the path (and is required for durability on tcp: addresses). --fault-kill-job / --fault-worker-kill schedule deterministic worker panics for chaos testing only.\nserve --coordinator shards each job's input region across the listed nodes and merges shard verdicts; a node is a daemon started with `charon-cli node` (journal off by default: shards are the coordinator's to re-dispatch). --fault-node-kill / --fault-shard-drop schedule deterministic cluster faults for chaos testing only.\nsubmit retries transient failures (connect refused, queue full, draining, journal errors) --retries times with capped exponential backoff; exit 69 = retryable/unavailable, 70 = engine failure or poisoned job.".to_string()
 }
 
 /// Executes a CLI invocation, writing human-readable output to `out`.
@@ -269,6 +283,7 @@ fn run_inner(argv: &[String], out: &mut impl std::io::Write) -> Result<ExitCode,
         "certify" => cmd_certify(&args, out),
         "trace" => cmd_trace(&args, out),
         "serve" => cmd_serve(&args, out),
+        "node" => cmd_node(&args, out),
         "submit" => cmd_submit(&args, out),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}\n{}",
@@ -679,10 +694,23 @@ fn fault_plan(args: &Args) -> Result<Option<Arc<server::ServerFaultPlan>>, CliEr
         builder = builder.kill_worker_at_pop(ordinal);
         any = true;
     }
+    if args.get("fault-node-kill").is_some() {
+        let ordinal = args.get_u64("fault-node-kill", 0).map_err(CliError::Usage)? as usize;
+        builder = builder.kill_node_at_dispatch(ordinal);
+        any = true;
+    }
+    if args.get("fault-shard-drop").is_some() {
+        let ordinal = args.get_u64("fault-shard-drop", 0).map_err(CliError::Usage)? as usize;
+        builder = builder.drop_shard_result(ordinal);
+        any = true;
+    }
     Ok(any.then(|| Arc::new(builder.build())))
 }
 
 fn cmd_serve(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, CliError> {
+    if args.switch("coordinator") {
+        return cmd_serve_coordinator(args, out);
+    }
     let addr = server::ServerAddr::parse(args.require("addr")?).map_err(CliError::Usage)?;
     let journal = journal_path(args, &addr)?;
     let journal_banner = match &journal {
@@ -705,6 +733,79 @@ fn cmd_serve(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, Cli
     out.flush().map_err(|e| e.to_string())?;
     handle.join();
     writeln!(out, "daemon drained, shutting down").map_err(|e| e.to_string())?;
+    Ok(ExitCode::Success)
+}
+
+/// Runs the cluster coordinator in the foreground: shards each accepted
+/// job's input region across `--nodes` and merges the shard verdicts.
+/// Returns once a client drains it.
+fn cmd_serve_coordinator(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, CliError> {
+    let addr = server::ServerAddr::parse(args.require("addr")?).map_err(CliError::Usage)?;
+    let nodes = args
+        .require("nodes")?
+        .split(',')
+        .filter(|part| !part.trim().is_empty())
+        .map(|part| server::ServerAddr::parse(part.trim()).map_err(CliError::Usage))
+        .collect::<Result<Vec<_>, _>>()?;
+    if nodes.is_empty() {
+        return Err(CliError::Usage(format!(
+            "--nodes needs at least one node address\n{}",
+            usage()
+        )));
+    }
+    let journal = journal_path(args, &addr)?;
+    let journal_banner = match &journal {
+        Some(path) => format!("journaling to {}", path.display()),
+        None => "journal disabled (a crash loses accepted jobs)".to_string(),
+    };
+    let config = server::CoordinatorConfig {
+        addr,
+        nodes,
+        shards: args.get_u64("shards", 0)? as usize,
+        connections_per_node: args.get_u64("conns-per-node", 2)? as usize,
+        retry_budget: args.get_u64("retry-budget", 2)? as u32,
+        node_grace: Duration::from_millis(args.get_u64("node-grace-ms", 10_000)?),
+        journal,
+        faults: fault_plan(args)?,
+        ..server::CoordinatorConfig::default()
+    };
+    let nodes_banner = config
+        .nodes
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+    let handle = server::Coordinator::start(config)
+        .map_err(|e| CliError::Unavailable(format!("cannot start coordinator: {e}")))?;
+    writeln!(out, "coordinating on {}", handle.addr()).map_err(|e| e.to_string())?;
+    writeln!(out, "nodes: {nodes_banner}").map_err(|e| e.to_string())?;
+    writeln!(out, "{journal_banner}").map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())?;
+    handle.join();
+    writeln!(out, "coordinator drained, shutting down").map_err(|e| e.to_string())?;
+    Ok(ExitCode::Success)
+}
+
+/// Runs a shard-worker node in the foreground: a plain daemon tuned for
+/// cluster duty. Shard requests are executed synchronously and are the
+/// coordinator's responsibility to re-dispatch, so the node journals
+/// only when `--journal FILE` is given explicitly.
+fn cmd_node(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, CliError> {
+    let addr = server::ServerAddr::parse(args.require("addr")?).map_err(CliError::Usage)?;
+    let journal = args.get("journal").map(std::path::PathBuf::from);
+    let config = server::ServerConfig {
+        addr,
+        workers: args.get_u64("workers", 2)? as usize,
+        journal,
+        faults: fault_plan(args)?,
+        ..server::ServerConfig::default()
+    };
+    let handle = server::Server::start(config)
+        .map_err(|e| CliError::Unavailable(format!("cannot start node: {e}")))?;
+    writeln!(out, "node listening on {}", handle.addr()).map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())?;
+    handle.join();
+    writeln!(out, "node drained, shutting down").map_err(|e| e.to_string())?;
     Ok(ExitCode::Success)
 }
 
@@ -1571,6 +1672,88 @@ mod tests {
         let (code, output) = daemon.join().unwrap();
         assert_eq!(code, ExitCode::Success, "output: {output}");
         assert!(output.contains("listening on"), "output: {output}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn coordinator_with_two_nodes_full_lifecycle() {
+        let dir = temp_dir();
+        let net = dir.join("xor.net");
+        let prop = dir.join("p.prop");
+        run_capture(&[
+            "example",
+            "--out-network",
+            net.to_str().unwrap(),
+            "--out-property",
+            prop.to_str().unwrap(),
+        ]);
+
+        // Two shard-worker nodes plus the coordinator, each in the
+        // foreground on its own thread.
+        let node_socks: Vec<String> = (0..2)
+            .map(|i| dir.join(format!("node{i}.sock")).to_str().unwrap().to_string())
+            .collect();
+        let nodes: Vec<_> = node_socks
+            .iter()
+            .map(|sock| {
+                let sock = sock.clone();
+                std::thread::spawn(move || {
+                    run_capture(&["node", "--addr", &sock, "--workers", "1"])
+                })
+            })
+            .collect();
+        let coord_sock = dir.join("coord.sock").to_str().unwrap().to_string();
+        let coordinator = std::thread::spawn({
+            let coord_sock = coord_sock.clone();
+            let nodes = node_socks.join(",");
+            move || {
+                run_capture(&[
+                    "serve",
+                    "--addr",
+                    &coord_sock,
+                    "--coordinator",
+                    "--nodes",
+                    &nodes,
+                    "--shards",
+                    "4",
+                ])
+            }
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !std::path::Path::new(&coord_sock).exists() {
+            assert!(std::time::Instant::now() < deadline, "coordinator never bound");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+
+        let (code, output) = run_capture(&[
+            "submit",
+            "--addr",
+            &coord_sock,
+            "--network",
+            net.to_str().unwrap(),
+            "--property",
+            prop.to_str().unwrap(),
+        ]);
+        assert_eq!(code, ExitCode::Success, "output: {output}");
+        assert!(output.contains("verified"), "output: {output}");
+
+        let (code, output) = run_capture(&["submit", "--addr", &coord_sock, "--stats"]);
+        assert_eq!(code, ExitCode::Success, "output: {output}");
+        assert!(output.contains("completed: 1"), "output: {output}");
+
+        let (code, output) = run_capture(&["submit", "--addr", &coord_sock, "--drain"]);
+        assert_eq!(code, ExitCode::Success, "output: {output}");
+        assert!(output.contains("lost=0"), "output: {output}");
+        let (code, output) = coordinator.join().unwrap();
+        assert_eq!(code, ExitCode::Success, "output: {output}");
+        assert!(output.contains("coordinating on"), "output: {output}");
+
+        for (node, sock) in nodes.into_iter().zip(&node_socks) {
+            let (code, output) = run_capture(&["submit", "--addr", sock, "--drain"]);
+            assert_eq!(code, ExitCode::Success, "output: {output}");
+            let (code, output) = node.join().unwrap();
+            assert_eq!(code, ExitCode::Success, "output: {output}");
+        }
         let _ = std::fs::remove_dir_all(dir);
     }
 }

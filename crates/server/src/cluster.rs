@@ -1,0 +1,1220 @@
+//! Sharded multi-node verification: a coordinator that splits one
+//! property's input region into shards and fans them out to a pool of
+//! shard-worker daemons ("nodes") over the v3 wire protocol.
+//!
+//! The coordinator front-end speaks the same protocol as a single-node
+//! daemon — `verify`, `query`, `stats`, `drain`, `ping` — so the CLI
+//! and [`crate::submit_reliable`] work against it unchanged. Behind the
+//! front-end, each submitted property's region is split by
+//! [`charon::policy::shard_region`] into `shards` sub-regions; each
+//! shard travels as a self-contained `shard` request (the property text
+//! is rewritten to the shard's sub-region, so a node is a stateless
+//! executor) and comes back as a `shard_result`.
+//!
+//! # Merge semantics
+//!
+//! Shard verdicts merge with the same record-and-stop preference rule
+//! as [`charon::parallel`] (via [`charon::parallel::verdict_supersedes`]):
+//! the first validated refutation wins and is delivered immediately —
+//! still-queued shards of that job are cancelled, in-flight ones finish
+//! within their own budget and are discarded; all shards `Verified`
+//! means the whole region is `Verified`; otherwise the job is a
+//! `resource_limit` carrying a checkpoint merged from every limited
+//! shard's resumable remainder. [`MergeState`] implements this rule as
+//! a pure value so the property test can drive it through arbitrary
+//! interleavings, duplicates included.
+//!
+//! # Fault model
+//!
+//! A node that dies mid-shard (crash, `kill -9`, network partition) is
+//! detected by the per-shard read deadline (the shard's own budget plus
+//! [`CoordinatorConfig::node_grace`]); the orphaned shard is re-queued
+//! and re-dispatched — to any node — with a bounded retry budget. A
+//! shard that kills [`CoordinatorConfig::retry_budget`] node connections
+//! is quarantined, poisoning its job with a `poisoned` verdict (the same
+//! semantics the single-node supervisor applies to poison jobs). A node
+//! that is merely *unreachable* (connect refused) costs the shard
+//! nothing: the dispatcher backs off and the shard drifts to another
+//! node. Shard dispatches are journaled (`shard_dispatched` records)
+//! for post-crash audit; a recovered coordinator job is re-sharded from
+//! scratch.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::BufReader;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use charon::json::ObjectBuilder;
+use charon::parallel::verdict_supersedes;
+use charon::policy::shard_region;
+use charon::telemetry::NodeRow;
+use charon::{Checkpoint, Counterexample, RobustnessProperty, Verdict};
+
+use crate::client::Client;
+use crate::faults::ServerFaultPlan;
+use crate::journal::{Journal, Record};
+use crate::net::{read_line_bounded, Listener, ServerAddr, Stream, DEFAULT_MAX_LINE_BYTES};
+use crate::protocol::{
+    accepted_response, error_response, pending_response, poisoned_response, pong_response,
+    unknown_response, Request, ShardRequest, ShardResult, VerifyRequest, PROTOCOL_VERSION,
+};
+use crate::{send_line, Reply};
+
+/// Coordinator configuration.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Where the coordinator front-end listens.
+    pub addr: ServerAddr,
+    /// The shard-worker daemons to dispatch to (at least one).
+    pub nodes: Vec<ServerAddr>,
+    /// Shards per submitted job; `0` defaults to `2 × nodes.len()` so
+    /// every node has work and a straggler shard cannot serialize the
+    /// whole job.
+    pub shards: usize,
+    /// Dispatcher connections per node (each owns one connection and
+    /// runs one shard at a time on it).
+    pub connections_per_node: usize,
+    /// Node-connection deaths one shard may cause before it is
+    /// quarantined and its job poisoned.
+    pub retry_budget: u32,
+    /// Slack added to a shard's own timeout to form the read deadline
+    /// after which the node is presumed dead; also the handshake and
+    /// heartbeat timeout.
+    pub node_grace: Duration,
+    /// Write-ahead journal path (`None` disables durability).
+    pub journal: Option<PathBuf>,
+    /// Cap on one received protocol line.
+    pub max_line_bytes: usize,
+    /// Deterministic cluster fault injection (tests only).
+    pub faults: Option<Arc<ServerFaultPlan>>,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            addr: ServerAddr::Unix(std::env::temp_dir().join("charon-coordinator.sock")),
+            nodes: Vec::new(),
+            shards: 0,
+            connections_per_node: 2,
+            retry_budget: 2,
+            node_grace: Duration::from_secs(10),
+            journal: None,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            faults: None,
+        }
+    }
+}
+
+/// Pure merge of shard results into one job verdict — the cluster-side
+/// mirror of [`charon::parallel`]'s record-and-stop rule, factored out
+/// so the merge property test can drive it directly.
+///
+/// Per shard, the first result wins unless a later duplicate
+/// *supersedes* it under [`verdict_supersedes`] (a refutation always
+/// replaces a resource limit, nothing replaces a decisive verdict) —
+/// so duplicate deliveries from re-dispatch are idempotent and a late
+/// refutation still flips an inconclusive shard.
+#[derive(Debug, Clone)]
+pub struct MergeState {
+    slots: Vec<Option<Verdict>>,
+    limits: Vec<Option<String>>,
+    checkpoints: Vec<Option<String>>,
+    regions: Vec<usize>,
+}
+
+impl MergeState {
+    /// Starts an empty merge over `shards` shards (at least one).
+    pub fn new(shards: usize) -> MergeState {
+        let n = shards.max(1);
+        MergeState {
+            slots: vec![None; n],
+            limits: vec![None; n],
+            checkpoints: vec![None; n],
+            regions: vec![0; n],
+        }
+    }
+
+    /// Number of shards being merged.
+    pub fn shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records one shard result (duplicates welcome). Returns whether
+    /// the result changed the shard's resolved state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an out-of-range shard index or a verdict
+    /// string outside the protocol.
+    pub fn record(&mut self, result: &ShardResult) -> Result<bool, String> {
+        let i = result.shard;
+        if i >= self.slots.len() {
+            return Err(format!(
+                "shard index {i} out of range (job has {} shards)",
+                self.slots.len()
+            ));
+        }
+        let verdict = match result.verdict.as_str() {
+            "verified" => Verdict::Verified,
+            "refuted" => Verdict::Refuted(Counterexample {
+                point: result.counterexample.clone().unwrap_or_default(),
+                objective: result.objective.unwrap_or(0.0),
+            }),
+            "resource_limit" => Verdict::ResourceLimit,
+            other => return Err(format!("unknown shard verdict {other:?}")),
+        };
+        if !verdict_supersedes(self.slots[i].as_ref(), &verdict) {
+            return Ok(false);
+        }
+        self.limits[i] = result.limit.clone();
+        self.checkpoints[i] = result.checkpoint.clone();
+        self.regions[i] = result.regions;
+        self.slots[i] = Some(verdict);
+        Ok(true)
+    }
+
+    /// The winning counterexample, if any shard refuted.
+    pub fn refutation(&self) -> Option<&Counterexample> {
+        self.slots.iter().find_map(|slot| match slot {
+            Some(Verdict::Refuted(cex)) => Some(cex),
+            _ => None,
+        })
+    }
+
+    /// Whether every shard has a resolved verdict.
+    pub fn complete(&self) -> bool {
+        self.slots.iter().all(Option::is_some)
+    }
+
+    /// The job-level verdict: a refutation as soon as one exists;
+    /// otherwise, once every shard is resolved, `Verified` iff all
+    /// shards verified, else `ResourceLimit`. `None` while undecided.
+    pub fn verdict(&self) -> Option<Verdict> {
+        if let Some(cex) = self.refutation() {
+            return Some(Verdict::Refuted(cex.clone()));
+        }
+        if !self.complete() {
+            return None;
+        }
+        if self
+            .slots
+            .iter()
+            .all(|slot| matches!(slot, Some(Verdict::Verified)))
+        {
+            Some(Verdict::Verified)
+        } else {
+            Some(Verdict::ResourceLimit)
+        }
+    }
+
+    /// Regions processed across all shards (latest result per shard).
+    pub fn regions(&self) -> usize {
+        self.regions.iter().sum()
+    }
+
+    /// The first recorded budget-limit kind, for the response line.
+    pub fn limit(&self) -> Option<&str> {
+        self.limits.iter().flatten().next().map(String::as_str)
+    }
+
+    /// Merges every limited shard's resumable remainder into one
+    /// checkpoint for the whole property (`None` when no shard left
+    /// one, or none of them parsed).
+    pub fn merged_checkpoint(&self) -> Option<Checkpoint> {
+        let mut merged: Option<Checkpoint> = None;
+        for text in self.checkpoints.iter().flatten() {
+            let Ok(ckpt) = Checkpoint::from_text(text) else {
+                continue;
+            };
+            match &mut merged {
+                None => merged = Some(ckpt),
+                Some(acc) => {
+                    let _ = acc.merge(ckpt);
+                }
+            }
+        }
+        merged
+    }
+}
+
+/// One queued unit of dispatch work.
+struct ShardTask {
+    request: ShardRequest,
+    /// Node-connection deaths this shard has caused so far.
+    kills: u32,
+}
+
+/// Coordinator-side state of one accepted job.
+struct JobState {
+    merge: MergeState,
+    reply: Reply,
+    accepted_at: Instant,
+    /// Set when a shard of this job was quarantined: the diagnostic and
+    /// the kill count, delivered as a `poisoned` verdict unless a
+    /// refutation wins first.
+    poison: Option<(String, u32)>,
+    delivered: bool,
+}
+
+#[derive(Default)]
+struct ClusterCounters {
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    rejected_draining: AtomicU64,
+    errored: AtomicU64,
+    duplicates: AtomicU64,
+    journal_errors: AtomicU64,
+    node_failures: AtomicU64,
+    shards_dispatched: AtomicU64,
+    shards_completed: AtomicU64,
+    shards_redispatched: AtomicU64,
+    shards_quarantined: AtomicU64,
+}
+
+struct ClusterShared {
+    nodes: Vec<ServerAddr>,
+    shards_per_job: usize,
+    retry_budget: u32,
+    node_grace: Duration,
+    max_line_bytes: usize,
+    queue: Mutex<VecDeque<ShardTask>>,
+    /// Wakes dispatchers when shard tasks are enqueued (or at shutdown).
+    work: std::sync::Condvar,
+    jobs: Mutex<HashMap<u64, JobState>>,
+    results: Mutex<HashMap<u64, String>>,
+    counters: ClusterCounters,
+    journal: Option<Mutex<Journal>>,
+    draining: AtomicBool,
+    shutdown: AtomicBool,
+    /// Accepted jobs not yet delivered; drain waits for zero.
+    outstanding: Mutex<i64>,
+    idle: std::sync::Condvar,
+    node_rows: Mutex<Vec<NodeRow>>,
+    faults: Option<Arc<ServerFaultPlan>>,
+}
+
+impl ClusterShared {
+    fn journal_append(&self, record: &Record) -> std::io::Result<()> {
+        match &self.journal {
+            Some(journal) => journal.lock().unwrap().append(record),
+            None => Ok(()),
+        }
+    }
+
+    fn journal_transition(&self, record: &Record) {
+        if self.journal_append(record).is_err() {
+            self.counters.journal_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Folds a delta row into the per-node telemetry table.
+    fn note_node(&self, row: &NodeRow) {
+        let mut rows = self.node_rows.lock().unwrap();
+        match rows.iter_mut().find(|r| r.name == row.name) {
+            Some(existing) => {
+                existing.dispatched += row.dispatched;
+                existing.completed += row.completed;
+                existing.redispatched += row.redispatched;
+                existing.idle_seconds += row.idle_seconds;
+            }
+            None => rows.push(row.clone()),
+        }
+    }
+
+    /// Delivers a job's terminal response. Caller holds the jobs lock
+    /// and has checked `!job.delivered`.
+    fn deliver(&self, id: u64, job: &mut JobState, response: &str) {
+        job.delivered = true;
+        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        self.journal_transition(&Record::Completed {
+            id,
+            response: response.to_string(),
+        });
+        if !crate::is_retryable_response(response) {
+            self.results.lock().unwrap().insert(id, response.to_string());
+        }
+        send_line(&job.reply, response);
+        let mut outstanding = self.outstanding.lock().unwrap();
+        *outstanding -= 1;
+        drop(outstanding);
+        self.idle.notify_all();
+    }
+
+    /// Delivers the job's verdict if the merge has decided it.
+    fn maybe_deliver(&self, id: u64, job: &mut JobState) {
+        if job.delivered {
+            return;
+        }
+        let elapsed_ms = job.accepted_at.elapsed().as_secs_f64() * 1e3;
+        let base = |verdict: &str, job: &JobState| {
+            ObjectBuilder::new()
+                .str("response", "verdict")
+                .int("id", id)
+                .str("verdict", verdict)
+                .int("cached", 0)
+                .int("shards", job.merge.shards() as u64)
+                .int("regions", job.merge.regions() as u64)
+                .num("elapsed_ms", elapsed_ms)
+        };
+        if let Some(cex) = job.merge.refutation() {
+            let response = base("refuted", job)
+                .num("objective", cex.objective)
+                .arr("counterexample", &cex.point)
+                .build();
+            self.deliver(id, job, &response);
+            return;
+        }
+        if !job.merge.complete() {
+            return;
+        }
+        if let Some((diagnostic, attempts)) = &job.poison {
+            self.counters.errored.fetch_add(1, Ordering::Relaxed);
+            let response = poisoned_response(id, diagnostic, *attempts);
+            self.deliver(id, job, &response);
+            return;
+        }
+        let response = match job.merge.verdict() {
+            Some(Verdict::Verified) => base("verified", job).build(),
+            _ => {
+                let mut b = base("resource_limit", job);
+                if let Some(kind) = job.merge.limit() {
+                    b = b.str("limit", kind);
+                }
+                if let Some(ckpt) = job.merge.merged_checkpoint() {
+                    b = b
+                        .int("regions_done", ckpt.regions_done as u64)
+                        .str("checkpoint", &ckpt.to_text());
+                }
+                b.build()
+            }
+        };
+        self.deliver(id, job, &response);
+    }
+}
+
+/// The coordinator daemon.
+pub struct Coordinator;
+
+/// Handle to a started coordinator.
+pub struct CoordinatorHandle {
+    addr: ServerAddr,
+    listener: JoinHandle<()>,
+    dispatchers: Vec<JoinHandle<()>>,
+}
+
+impl CoordinatorHandle {
+    /// The address the front-end is listening on.
+    pub fn addr(&self) -> &ServerAddr {
+        &self.addr
+    }
+
+    /// Blocks until the coordinator has drained and shut down.
+    pub fn join(self) {
+        let _ = self.listener.join();
+        for dispatcher in self.dispatchers {
+            let _ = dispatcher.join();
+        }
+    }
+}
+
+impl Coordinator {
+    /// Opens the journal, binds the front-end listener, and starts
+    /// `connections_per_node` dispatcher threads per node; returns
+    /// immediately. Runs until a client sends `drain`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidInput` for an empty node list, plus bind and
+    /// journal open/replay errors.
+    pub fn start(config: CoordinatorConfig) -> std::io::Result<CoordinatorHandle> {
+        if config.nodes.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "coordinator needs at least one node (--nodes)",
+            ));
+        }
+        let journal = match &config.journal {
+            Some(path) => Some(Journal::open(path, config.faults.clone())?.0),
+            None => None,
+        };
+        let listener = Listener::bind(&config.addr)?;
+        let addr = listener.local_addr(&config.addr);
+        let shards_per_job = if config.shards == 0 {
+            config.nodes.len() * 2
+        } else {
+            config.shards
+        };
+        let shared = Arc::new(ClusterShared {
+            nodes: config.nodes.clone(),
+            shards_per_job,
+            retry_budget: config.retry_budget.max(1),
+            node_grace: config.node_grace,
+            max_line_bytes: config.max_line_bytes,
+            queue: Mutex::new(VecDeque::new()),
+            jobs: Mutex::new(HashMap::new()),
+            results: Mutex::new(HashMap::new()),
+            counters: ClusterCounters::default(),
+            journal: journal.map(Mutex::new),
+            draining: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            outstanding: Mutex::new(0),
+            work: std::sync::Condvar::new(),
+            idle: std::sync::Condvar::new(),
+            node_rows: Mutex::new(Vec::new()),
+            faults: config.faults.clone(),
+        });
+
+        let mut dispatchers = Vec::new();
+        for node in &config.nodes {
+            for _ in 0..config.connections_per_node.max(1) {
+                let shared = Arc::clone(&shared);
+                let node = node.clone();
+                dispatchers.push(std::thread::spawn(move || dispatcher_loop(&shared, &node)));
+            }
+        }
+
+        let listen_shared = Arc::clone(&shared);
+        let listen_addr = addr.clone();
+        let listener_thread = std::thread::spawn(move || {
+            loop {
+                match listener.accept() {
+                    Ok(stream) => {
+                        if listen_shared.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+                        let shared = Arc::clone(&listen_shared);
+                        let addr = listen_addr.clone();
+                        std::thread::spawn(move || connection_loop(&shared, stream, &addr));
+                    }
+                    Err(_) => {
+                        if listen_shared.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                    }
+                }
+            }
+            if let ServerAddr::Unix(path) = &listen_addr {
+                let _ = std::fs::remove_file(path);
+            }
+        });
+
+        Ok(CoordinatorHandle {
+            addr,
+            listener: listener_thread,
+            dispatchers,
+        })
+    }
+}
+
+fn connection_loop(shared: &Arc<ClusterShared>, stream: Stream, addr: &ServerAddr) {
+    let sock: Arc<Mutex<Stream>> = match stream.try_clone() {
+        Ok(writer) => Arc::new(Mutex::new(writer)),
+        Err(_) => return,
+    };
+    let reply = Reply::Socket(Arc::clone(&sock));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match read_line_bounded(&mut reader, &mut line, shared.max_line_bytes) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                send_line(&reply, &error_response(None, "bad_request", &e.to_string()));
+                return;
+            }
+            Err(_) => return,
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match Request::parse(trimmed) {
+            Err(e) => send_line(&reply, &error_response(None, "bad_request", &e)),
+            Ok(Request::Ping) => send_line(&reply, &pong_response()),
+            Ok(Request::Stats) => send_line(&reply, &cluster_stats_response(shared)),
+            Ok(Request::Query { id }) => {
+                let stored = shared.results.lock().unwrap().get(&id).cloned();
+                let response = match stored {
+                    Some(line) => line,
+                    None if shared.jobs.lock().unwrap().contains_key(&id) => pending_response(id),
+                    None => unknown_response(id),
+                };
+                send_line(&reply, &response);
+            }
+            Ok(Request::Verify(request)) => submit_cluster(shared, request, &sock),
+            Ok(Request::Shard(_) | Request::NodeHello | Request::NodeStats) => {
+                send_line(
+                    &reply,
+                    &error_response(
+                        None,
+                        "bad_request",
+                        "this is a coordinator, not a shard node",
+                    ),
+                );
+            }
+            Ok(Request::Drain) => {
+                let summary = drain_cluster(shared);
+                send_line(&reply, &summary);
+                shared.shutdown.store(true, Ordering::SeqCst);
+                shared.work.notify_all();
+                let _ = Stream::connect(addr);
+                return;
+            }
+        }
+    }
+}
+
+/// Admission on the coordinator: reject while draining, deduplicate
+/// `ack` ids, shard the region, journal, enqueue every shard.
+fn submit_cluster(shared: &Arc<ClusterShared>, request: VerifyRequest, sock: &Arc<Mutex<Stream>>) {
+    let id = request.id;
+    let reply = Reply::Socket(Arc::clone(sock));
+    if shared.draining.load(Ordering::SeqCst) {
+        shared
+            .counters
+            .rejected_draining
+            .fetch_add(1, Ordering::Relaxed);
+        send_line(
+            &reply,
+            &error_response(Some(id), "draining", "coordinator is draining; resubmit later"),
+        );
+        return;
+    }
+    if request.ack {
+        let live = {
+            let jobs = shared.jobs.lock().unwrap();
+            jobs.get(&id).is_some_and(|job| !job.delivered)
+        };
+        if live {
+            shared.counters.duplicates.fetch_add(1, Ordering::Relaxed);
+            send_line(&reply, &accepted_response(id, true));
+            return;
+        }
+        if let Some(stored) = shared.results.lock().unwrap().get(&id) {
+            shared.counters.duplicates.fetch_add(1, Ordering::Relaxed);
+            send_line(&reply, stored);
+            return;
+        }
+    }
+    // Shard the region before accepting anything: a property that does
+    // not parse is the submitter's problem, not an accepted job.
+    let property = match RobustnessProperty::from_text(&request.property) {
+        Ok(property) => property,
+        Err(message) => {
+            shared.counters.errored.fetch_add(1, Ordering::Relaxed);
+            send_line(
+                &reply,
+                &error_response(Some(id), "bad_request", &format!("property: {message}")),
+            );
+            return;
+        }
+    };
+    let regions = shard_region(property.region(), shared.shards_per_job);
+    if let Err(e) = shared.journal_append(&Record::Accepted {
+        id,
+        request: request.clone(),
+    }) {
+        shared.counters.journal_errors.fetch_add(1, Ordering::Relaxed);
+        send_line(
+            &reply,
+            &error_response(Some(id), "journal_error", &format!("journal append: {e}")),
+        );
+        return;
+    }
+    shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+    *shared.outstanding.lock().unwrap() += 1;
+    let mut tasks = Vec::with_capacity(regions.len());
+    for (index, bounds) in regions.into_iter().enumerate() {
+        tasks.push(ShardTask {
+            request: ShardRequest {
+                id,
+                shard: index,
+                network: request.network.clone(),
+                property: property.with_region(bounds).to_text(),
+                timeout_ms: request.timeout_ms,
+                delta: request.delta,
+                max_regions: request.max_regions,
+                restarts: request.restarts,
+                // Perturb the seed per shard so shards do not run
+                // identical attack schedules on adjacent regions.
+                seed: request
+                    .seed
+                    .wrapping_add((index as u64).wrapping_mul(0x9e37_79b9)),
+                cex_search: request.cex_search,
+            },
+            kills: 0,
+        });
+    }
+    shared.jobs.lock().unwrap().insert(
+        id,
+        JobState {
+            merge: MergeState::new(tasks.len()),
+            reply: Reply::Socket(Arc::clone(sock)),
+            accepted_at: Instant::now(),
+            poison: None,
+            delivered: false,
+        },
+    );
+    if request.ack {
+        send_line(&reply, &accepted_response(id, false));
+    }
+    shared.queue.lock().unwrap().extend(tasks);
+    shared.work.notify_all();
+}
+
+/// Connects (or reuses) this dispatcher's node connection, performing
+/// the `node_hello` version handshake on a fresh connection.
+fn ensure_client<'a>(
+    client: &'a mut Option<Client>,
+    node: &ServerAddr,
+    grace: Duration,
+) -> std::io::Result<&'a mut Client> {
+    if client.is_none() {
+        let mut fresh = Client::connect(node)?;
+        fresh.set_timeouts(Some(grace), Some(grace))?;
+        let hello = fresh.request("{\"request\": \"node_hello\"}")?;
+        let compatible = hello
+            .str_field("response")
+            .is_ok_and(|kind| kind == "node_hello")
+            && hello
+                .usize_field("protocol")
+                .is_ok_and(|version| version as u64 >= PROTOCOL_VERSION);
+        if !compatible {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("node {node} does not speak protocol {PROTOCOL_VERSION}"),
+            ));
+        }
+        *client = Some(fresh);
+    }
+    Ok(client.as_mut().expect("just ensured"))
+}
+
+/// One dispatcher: owns one connection to one node, pulls shard tasks,
+/// dispatches them, and feeds results (or failures) back into the
+/// merge. Idle dispatchers heartbeat their node with `ping`.
+fn dispatcher_loop(shared: &Arc<ClusterShared>, node: &ServerAddr) {
+    let node_name = node.to_string();
+    let mut client: Option<Client> = None;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Block on the work condvar until a task arrives; a 2 s timeout
+        // doubles as the heartbeat cadence while idle.
+        let waited = Instant::now();
+        let task = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(task) = queue.pop_front() {
+                    break Some(task);
+                }
+                let (guard, timeout) = shared
+                    .work
+                    .wait_timeout(queue, Duration::from_secs(2))
+                    .unwrap();
+                queue = guard;
+                if timeout.timed_out() {
+                    break None;
+                }
+            }
+        };
+        let idle = waited.elapsed();
+        let Some(task) = task else {
+            // Heartbeat: a dead node is noticed while idle, not first
+            // discovered by the next dispatched shard.
+            if let Some(c) = client.as_mut() {
+                let alive = c
+                    .request("{\"request\": \"ping\"}")
+                    .ok()
+                    .and_then(|pong| pong.str_field("response").ok())
+                    .is_some_and(|kind| kind == "pong");
+                if !alive {
+                    client = None;
+                    shared.counters.node_failures.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            shared.note_node(&NodeRow {
+                name: node_name.clone(),
+                idle_seconds: idle.as_secs_f64(),
+                ..NodeRow::default()
+            });
+            continue;
+        };
+        // Flush the time spent waiting into the node's telemetry row.
+        if !idle.is_zero() {
+            shared.note_node(&NodeRow {
+                name: node_name.clone(),
+                idle_seconds: idle.as_secs_f64(),
+                ..NodeRow::default()
+            });
+        }
+        dispatch_one(shared, node, &node_name, &mut client, task);
+    }
+}
+
+/// Dispatches one shard task on this dispatcher's connection and
+/// routes the outcome (result, node death, or unreachable node).
+fn dispatch_one(
+    shared: &Arc<ClusterShared>,
+    node: &ServerAddr,
+    node_name: &str,
+    client: &mut Option<Client>,
+    task: ShardTask,
+) {
+    // A job already delivered (a refutation won, or an error ended it)
+    // cancels its still-queued shards.
+    {
+        let jobs = shared.jobs.lock().unwrap();
+        let live = jobs
+            .get(&task.request.id)
+            .is_some_and(|job| !job.delivered);
+        if !live {
+            return;
+        }
+    }
+    // An unreachable node costs the shard nothing: back off and requeue
+    // so another node's dispatcher picks it up.
+    let connection = match ensure_client(client, node, shared.node_grace) {
+        Ok(connection) => connection,
+        Err(_) => {
+            shared.counters.node_failures.fetch_add(1, Ordering::Relaxed);
+            shared.queue.lock().unwrap().push_back(task);
+            shared.work.notify_one();
+            std::thread::sleep(Duration::from_millis(100));
+            return;
+        }
+    };
+
+    shared
+        .counters
+        .shards_dispatched
+        .fetch_add(1, Ordering::Relaxed);
+    if task.kills > 0 {
+        shared
+            .counters
+            .shards_redispatched
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    shared.note_node(&NodeRow {
+        name: node_name.to_string(),
+        dispatched: 1,
+        redispatched: u64::from(task.kills > 0),
+        ..NodeRow::default()
+    });
+    shared.journal_transition(&Record::ShardDispatched {
+        id: task.request.id,
+        shard: task.request.shard,
+        node: node_name.to_string(),
+    });
+
+    // Injected node kill: sever the connection at this dispatch, as if
+    // the node died with the shard in flight.
+    if let Some(plan) = &shared.faults {
+        if plan.node_kill.check() {
+            *client = None;
+            shard_failed(shared, task, node_name, "injected node kill at dispatch");
+            return;
+        }
+    }
+
+    // The read deadline is the shard's own budget plus grace: a node
+    // that blows through it is presumed dead.
+    let deadline = Duration::from_millis(task.request.timeout_ms) + shared.node_grace;
+    let _ = connection.set_timeouts(Some(deadline), Some(shared.node_grace));
+    let response = connection
+        .send(&task.request.to_line())
+        .and_then(|()| connection.recv());
+    let fields = match response {
+        Ok(fields) => fields,
+        Err(_) => {
+            *client = None;
+            shard_failed(shared, task, node_name, "node connection died mid-shard");
+            return;
+        }
+    };
+
+    // Injected result drop: the shard completed but its result is lost.
+    if let Some(plan) = &shared.faults {
+        if plan.shard_drop.check() {
+            shard_failed(shared, task, node_name, "injected shard result drop");
+            return;
+        }
+    }
+
+    match fields.str_field("response").as_deref() {
+        Ok("shard_result") => {
+            // Reconstruct the wire line the fields were parsed from; the
+            // typed struct is the unit MergeState accepts.
+            match rebuild_shard_result(&fields) {
+                Ok(result) => record_result(shared, node_name, &result),
+                Err(_) => {
+                    *client = None;
+                    shard_failed(shared, task, node_name, "malformed shard_result from node");
+                }
+            }
+        }
+        Ok("error") => {
+            // A typed node error (model missing on that host, malformed
+            // property) is not transient: it ends the whole job.
+            let code = fields
+                .str_field("error")
+                .unwrap_or_else(|_| "engine_error".to_string());
+            let message = fields
+                .opt_str("message")
+                .ok()
+                .flatten()
+                .unwrap_or_else(|| "node reported an error".to_string());
+            shared.counters.errored.fetch_add(1, Ordering::Relaxed);
+            let mut jobs = shared.jobs.lock().unwrap();
+            if let Some(job) = jobs.get_mut(&task.request.id) {
+                if !job.delivered {
+                    let response = error_response(Some(task.request.id), &code, &message);
+                    shared.deliver(task.request.id, job, &response);
+                }
+            }
+        }
+        _ => {
+            *client = None;
+            shard_failed(shared, task, node_name, "unexpected response kind from node");
+        }
+    }
+}
+
+/// Re-types a parsed `shard_result` response.
+fn rebuild_shard_result(fields: &charon::json::Fields) -> Result<ShardResult, String> {
+    Ok(ShardResult {
+        id: fields.usize_field("id")? as u64,
+        shard: fields.usize_field("shard")?,
+        verdict: fields.str_field("verdict")?,
+        regions: fields.opt_usize("regions")?.unwrap_or(0),
+        seconds: fields.opt_f64("seconds")?.unwrap_or(0.0),
+        objective: fields.opt_f64("objective")?,
+        counterexample: match fields.opt("counterexample") {
+            Some(_) => Some(fields.arr_field("counterexample")?),
+            None => None,
+        },
+        limit: fields.opt_str("limit")?,
+        checkpoint: fields.opt_str("checkpoint")?,
+    })
+}
+
+/// Feeds one received shard result into its job's merge and delivers
+/// the job verdict if it is now decided.
+fn record_result(shared: &Arc<ClusterShared>, node_name: &str, result: &ShardResult) {
+    shared
+        .counters
+        .shards_completed
+        .fetch_add(1, Ordering::Relaxed);
+    shared.note_node(&NodeRow {
+        name: node_name.to_string(),
+        completed: 1,
+        ..NodeRow::default()
+    });
+    let mut jobs = shared.jobs.lock().unwrap();
+    let Some(job) = jobs.get_mut(&result.id) else {
+        return; // Straggler for a job this process never knew.
+    };
+    if job.delivered {
+        return; // Straggler after a refutation already won.
+    }
+    if job.merge.record(result).is_err() {
+        return; // Out-of-protocol result; the retry path will cover it.
+    }
+    shared.maybe_deliver(result.id, job);
+}
+
+/// Handles a shard whose dispatch failed after it was counted: requeue
+/// within the retry budget, quarantine (and poison the job) beyond it.
+fn shard_failed(shared: &Arc<ClusterShared>, mut task: ShardTask, node_name: &str, why: &str) {
+    shared.counters.node_failures.fetch_add(1, Ordering::Relaxed);
+    task.kills += 1;
+    if task.kills < shared.retry_budget {
+        shared.queue.lock().unwrap().push_back(task);
+        shared.work.notify_one();
+        return;
+    }
+    shared
+        .counters
+        .shards_quarantined
+        .fetch_add(1, Ordering::Relaxed);
+    let diagnostic = format!(
+        "shard {} of job {} killed {} node connection(s) (last on {node_name}): {why}; quarantined",
+        task.request.shard, task.request.id, task.kills
+    );
+    let mut jobs = shared.jobs.lock().unwrap();
+    let Some(job) = jobs.get_mut(&task.request.id) else {
+        return;
+    };
+    if job.delivered {
+        return;
+    }
+    job.poison = Some((diagnostic, task.kills));
+    // Resolve the shard so the job can settle; the poison marker wins
+    // over the synthetic resource limit at delivery time.
+    let synthetic = ShardResult {
+        id: task.request.id,
+        shard: task.request.shard,
+        verdict: "resource_limit".to_string(),
+        regions: 0,
+        seconds: 0.0,
+        objective: None,
+        counterexample: None,
+        limit: Some("quarantined".to_string()),
+        checkpoint: None,
+    };
+    let _ = job.merge.record(&synthetic);
+    shared.maybe_deliver(task.request.id, job);
+}
+
+/// Stops admission and waits for every accepted job to deliver, then
+/// reports the accounting. The coordinator has no partial-work story of
+/// its own — shards in flight complete on their nodes — so a drain that
+/// returns `lost=0` proves no accepted job went unanswered.
+fn drain_cluster(shared: &Arc<ClusterShared>) -> String {
+    shared.draining.store(true, Ordering::SeqCst);
+    loop {
+        let outstanding = shared.outstanding.lock().unwrap();
+        if *outstanding <= 0 {
+            break;
+        }
+        let (guard, _) = shared
+            .idle
+            .wait_timeout(outstanding, Duration::from_millis(10))
+            .unwrap();
+        if *guard <= 0 {
+            break;
+        }
+    }
+    let counters = &shared.counters;
+    let accepted = counters.accepted.load(Ordering::Relaxed);
+    let completed = counters.completed.load(Ordering::Relaxed);
+    let lost = accepted as i64 - completed as i64;
+    ObjectBuilder::new()
+        .str("response", "drained")
+        .int("accepted", accepted)
+        .int("completed", completed)
+        .int("checkpointed", 0)
+        .int("unstarted", 0)
+        .int("replayed", 0)
+        .int("requeued", counters.shards_redispatched.load(Ordering::Relaxed))
+        .int(
+            "quarantined",
+            counters.shards_quarantined.load(Ordering::Relaxed),
+        )
+        .num("lost", lost as f64)
+        .build()
+}
+
+/// The coordinator's `stats` response: the full single-node counter
+/// surface (so `charon-cli submit --stats` renders unchanged; counters
+/// with no coordinator analogue read zero) plus the cluster extras and
+/// the per-node table as parallel arrays.
+fn cluster_stats_response(shared: &Arc<ClusterShared>) -> String {
+    let counters = &shared.counters;
+    let (journal_enabled, journal_appends) = match &shared.journal {
+        Some(journal) => (1, journal.lock().unwrap().appends()),
+        None => (0, 0),
+    };
+    let rows = shared.node_rows.lock().unwrap().clone();
+    let names: Vec<String> = rows.iter().map(|r| r.name.clone()).collect();
+    let mut b = ObjectBuilder::new()
+        .str("response", "stats")
+        .int("protocol", PROTOCOL_VERSION)
+        .int("workers", shared.nodes.len() as u64)
+        .int("queue_depth", shared.queue.lock().unwrap().len() as u64)
+        .int("queue_capacity", 0)
+        .int("draining", u64::from(shared.draining.load(Ordering::SeqCst)))
+        .int("accepted", counters.accepted.load(Ordering::Relaxed))
+        .int("completed", counters.completed.load(Ordering::Relaxed))
+        .int("checkpointed", 0)
+        .int("unstarted", 0)
+        .int("rejected_full", 0)
+        .int(
+            "rejected_draining",
+            counters.rejected_draining.load(Ordering::Relaxed),
+        )
+        .int("errored", counters.errored.load(Ordering::Relaxed))
+        .int("deadline_expired", 0)
+        .int("replayed", 0)
+        .int(
+            "requeued",
+            counters.shards_redispatched.load(Ordering::Relaxed),
+        )
+        .int(
+            "quarantined",
+            counters.shards_quarantined.load(Ordering::Relaxed),
+        )
+        .int("worker_deaths", counters.node_failures.load(Ordering::Relaxed))
+        .int("duplicates", counters.duplicates.load(Ordering::Relaxed))
+        .int(
+            "journal_errors",
+            counters.journal_errors.load(Ordering::Relaxed),
+        )
+        .int("journal_enabled", journal_enabled)
+        .int("journal_appends", journal_appends)
+        .int(
+            "results_entries",
+            shared.results.lock().unwrap().len() as u64,
+        )
+        .int("cache_entries", 0)
+        .int("cache_hits", 0)
+        .int("cache_misses", 0)
+        .int("cache_evictions", 0)
+        .num("cache_hit_rate", 0.0)
+        .int("registry_models", 0)
+        .int("registry_hits", 0)
+        .int("registry_misses", 0)
+        .int("attack_calls", 0)
+        .num("attack_seconds", 0.0)
+        .int("propagation_calls", 0)
+        .num("propagation_seconds", 0.0)
+        .int("policy_calls", 0)
+        .num("policy_seconds", 0.0)
+        .int("nodes", shared.nodes.len() as u64)
+        .int(
+            "shards_dispatched",
+            counters.shards_dispatched.load(Ordering::Relaxed),
+        )
+        .int(
+            "shards_completed",
+            counters.shards_completed.load(Ordering::Relaxed),
+        )
+        .int(
+            "shards_redispatched",
+            counters.shards_redispatched.load(Ordering::Relaxed),
+        )
+        .int(
+            "shards_quarantined",
+            counters.shards_quarantined.load(Ordering::Relaxed),
+        )
+        .int("node_failures", counters.node_failures.load(Ordering::Relaxed));
+    if !rows.is_empty() {
+        b = b
+            .str("node_names", &names.join(","))
+            .arr(
+                "node_dispatched",
+                &rows.iter().map(|r| r.dispatched as f64).collect::<Vec<_>>(),
+            )
+            .arr(
+                "node_completed",
+                &rows.iter().map(|r| r.completed as f64).collect::<Vec<_>>(),
+            )
+            .arr(
+                "node_redispatched",
+                &rows
+                    .iter()
+                    .map(|r| r.redispatched as f64)
+                    .collect::<Vec<_>>(),
+            )
+            .arr(
+                "node_idle_seconds",
+                &rows.iter().map(|r| r.idle_seconds).collect::<Vec<_>>(),
+            );
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(shard: usize, verdict: &str) -> ShardResult {
+        ShardResult {
+            id: 1,
+            shard,
+            verdict: verdict.to_string(),
+            regions: 10,
+            seconds: 0.1,
+            objective: (verdict == "refuted").then_some(-0.5),
+            counterexample: (verdict == "refuted").then(|| vec![0.5, 0.5]),
+            limit: (verdict == "resource_limit").then(|| "timeout".to_string()),
+            checkpoint: None,
+        }
+    }
+
+    #[test]
+    fn all_verified_merges_to_verified() {
+        let mut merge = MergeState::new(3);
+        for shard in 0..3 {
+            assert!(merge.verdict().is_none(), "undecided before shard {shard}");
+            merge.record(&result(shard, "verified")).unwrap();
+        }
+        assert!(matches!(merge.verdict(), Some(Verdict::Verified)));
+        assert_eq!(merge.regions(), 30);
+    }
+
+    #[test]
+    fn one_refutation_wins_immediately_and_late() {
+        // Immediately: a refutation decides before the merge completes.
+        let mut merge = MergeState::new(3);
+        merge.record(&result(1, "refuted")).unwrap();
+        assert!(matches!(merge.verdict(), Some(Verdict::Refuted(_))));
+
+        // Late: a refutation supersedes the same shard's earlier
+        // resource limit (record-and-stop preference).
+        let mut merge = MergeState::new(2);
+        merge.record(&result(0, "verified")).unwrap();
+        merge.record(&result(1, "resource_limit")).unwrap();
+        assert!(matches!(merge.verdict(), Some(Verdict::ResourceLimit)));
+        merge.record(&result(1, "refuted")).unwrap();
+        let Some(Verdict::Refuted(cex)) = merge.verdict() else {
+            panic!("late refutation must supersede the limit");
+        };
+        assert_eq!(cex.point, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn duplicates_do_not_unresolve_or_flip_decisive_verdicts() {
+        let mut merge = MergeState::new(2);
+        merge.record(&result(0, "verified")).unwrap();
+        // A duplicate delivery of the same shard changes nothing.
+        assert!(!merge.record(&result(0, "verified")).unwrap());
+        assert!(!merge.record(&result(0, "resource_limit")).unwrap());
+        merge.record(&result(1, "verified")).unwrap();
+        assert!(matches!(merge.verdict(), Some(Verdict::Verified)));
+    }
+
+    #[test]
+    fn limited_shards_merge_their_checkpoints() {
+        let ckpt = Checkpoint {
+            target: 2,
+            pending: vec![(domains::Bounds::new(vec![0.0], vec![1.0]), 3)],
+            regions_done: 7,
+        };
+        let mut limited = result(0, "resource_limit");
+        limited.checkpoint = Some(ckpt.to_text());
+        let mut merge = MergeState::new(2);
+        merge.record(&limited).unwrap();
+        let mut second = limited.clone();
+        second.shard = 1;
+        merge.record(&second).unwrap();
+        let merged = merge.merged_checkpoint().unwrap();
+        assert_eq!(merged.pending.len(), 2);
+        assert_eq!(merged.regions_done, 14);
+        assert_eq!(merge.limit(), Some("timeout"));
+    }
+
+    #[test]
+    fn record_rejects_out_of_protocol_results() {
+        let mut merge = MergeState::new(2);
+        assert!(merge.record(&result(5, "verified")).is_err(), "range");
+        assert!(merge.record(&result(0, "maybe")).is_err(), "verdict");
+    }
+
+    #[test]
+    fn coordinator_refuses_an_empty_node_list() {
+        match Coordinator::start(CoordinatorConfig::default()) {
+            Ok(_) => panic!("an empty node list must be rejected"),
+            Err(err) => assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput),
+        }
+    }
+}

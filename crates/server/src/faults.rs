@@ -30,6 +30,8 @@ pub struct ServerFaultPlan {
     pub(crate) kill_jobs: Vec<u64>,
     pub(crate) journal_fault: OrdinalTrigger,
     pub(crate) conn_drop: OrdinalTrigger,
+    pub(crate) node_kill: OrdinalTrigger,
+    pub(crate) shard_drop: OrdinalTrigger,
 }
 
 /// Builder for a [`ServerFaultPlan`].
@@ -39,6 +41,8 @@ pub struct ServerFaultPlanBuilder {
     kill_jobs: Vec<u64>,
     journal_fault: Vec<usize>,
     conn_drop: Vec<usize>,
+    node_kill: Vec<usize>,
+    shard_drop: Vec<usize>,
 }
 
 impl ServerFaultPlanBuilder {
@@ -75,6 +79,23 @@ impl ServerFaultPlanBuilder {
         self
     }
 
+    /// Severs the coordinator's node connection on shard dispatch number
+    /// `ordinal` (0-based, counted across all dispatchers), once. The
+    /// in-flight shard is orphaned and must be re-dispatched, exercising
+    /// the dead-node path without an external `kill -9`.
+    pub fn kill_node_at_dispatch(mut self, ordinal: usize) -> Self {
+        self.node_kill.push(ordinal);
+        self
+    }
+
+    /// Discards shard result number `ordinal` (0-based, counted across
+    /// all dispatchers) after it is received, once — the shard looks
+    /// lost and is re-dispatched, exercising duplicate-delivery merge.
+    pub fn drop_shard_result(mut self, ordinal: usize) -> Self {
+        self.shard_drop.push(ordinal);
+        self
+    }
+
     /// Finishes the plan.
     pub fn build(self) -> ServerFaultPlan {
         ServerFaultPlan {
@@ -82,6 +103,8 @@ impl ServerFaultPlanBuilder {
             kill_jobs: self.kill_jobs,
             journal_fault: OrdinalTrigger::at(&self.journal_fault),
             conn_drop: OrdinalTrigger::at(&self.conn_drop),
+            node_kill: OrdinalTrigger::at(&self.node_kill),
+            shard_drop: OrdinalTrigger::at(&self.shard_drop),
         }
     }
 }
@@ -109,6 +132,16 @@ impl ServerFaultPlan {
     /// Number of connection drops that have fired.
     pub fn connection_drops_fired(&self) -> usize {
         self.conn_drop.fired_count()
+    }
+
+    /// Number of node-kill dispatch ordinals that have fired.
+    pub fn node_kills_fired(&self) -> usize {
+        self.node_kill.fired_count()
+    }
+
+    /// Number of shard-result drops that have fired.
+    pub fn shard_drops_fired(&self) -> usize {
+        self.shard_drop.fired_count()
     }
 }
 
@@ -138,5 +171,22 @@ mod tests {
         }
         assert_eq!(plan.journal_faults_fired(), 0);
         assert_eq!(plan.connection_drops_fired(), 0);
+        assert_eq!(plan.node_kills_fired(), 0);
+        assert_eq!(plan.shard_drops_fired(), 0);
+    }
+
+    #[test]
+    fn cluster_faults_fire_at_their_ordinals_once() {
+        let plan = ServerFaultPlanBuilder::new()
+            .kill_node_at_dispatch(1)
+            .drop_shard_result(0)
+            .build();
+        assert!(!plan.node_kill.check(), "dispatch 0: not scheduled");
+        assert!(plan.node_kill.check(), "dispatch 1: fires");
+        assert!(!plan.node_kill.check(), "one-shot");
+        assert!(plan.shard_drop.check(), "result 0: fires");
+        assert!(!plan.shard_drop.check(), "one-shot");
+        assert_eq!(plan.node_kills_fired(), 1);
+        assert_eq!(plan.shard_drops_fired(), 1);
     }
 }

@@ -82,6 +82,18 @@ pub enum Record {
         /// re-delivery and `query`.
         response: String,
     },
+    /// A coordinator handed one shard of the job to a node (cluster
+    /// tier). Advisory: replay does not reconstruct shard assignments —
+    /// a recovered coordinator job is re-sharded from scratch — but the
+    /// record makes the dispatch history auditable after a crash.
+    ShardDispatched {
+        /// The job id.
+        id: u64,
+        /// The shard index within the job.
+        shard: usize,
+        /// The node address the shard was sent to.
+        node: String,
+    },
 }
 
 impl Record {
@@ -111,6 +123,12 @@ impl Record {
                 .str("record", "completed")
                 .int("id", *id)
                 .str("response", response)
+                .build(),
+            Record::ShardDispatched { id, shard, node } => ObjectBuilder::new()
+                .str("record", "shard_dispatched")
+                .int("id", *id)
+                .int("shard", *shard as u64)
+                .str("node", node)
                 .build(),
         }
     }
@@ -148,6 +166,11 @@ impl Record {
             "completed" => Ok(Some(Record::Completed {
                 id,
                 response: fields.str_field("response")?,
+            })),
+            "shard_dispatched" => Ok(Some(Record::ShardDispatched {
+                id,
+                shard: fields.usize_field("shard")?,
+                node: fields.str_field("node")?,
             })),
             other => Err(format!("unknown record kind {other:?}")),
         }
@@ -316,6 +339,10 @@ pub fn replay_text(text: &str) -> std::io::Result<Replay> {
                 jobs[i].1.terminal = true;
                 replay.results.push((id, response));
             }
+            // Shard assignments are advisory history: a recovered
+            // coordinator job re-shards from scratch, so replay keeps no
+            // per-shard state and compaction drops these records.
+            Record::ShardDispatched { .. } => {}
         }
     }
 
@@ -528,6 +555,35 @@ mod tests {
         assert_eq!(live.request, request(1));
         assert_eq!(live.starts, 1);
         assert!(live.checkpoint.as_deref().unwrap().starts_with("charon-ckpt 1"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shard_dispatched_records_survive_decode_and_are_compacted_away() {
+        let path = temp_journal("shard");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut journal, _) = Journal::open(&path, None).unwrap();
+            journal
+                .append(&Record::Accepted {
+                    id: 5,
+                    request: request(5),
+                })
+                .unwrap();
+            journal
+                .append(&Record::ShardDispatched {
+                    id: 5,
+                    shard: 2,
+                    node: "tcp:127.0.0.1:9000".to_string(),
+                })
+                .unwrap();
+        }
+        let (_, replay) = Journal::open(&path, None).unwrap();
+        assert_eq!(replay.records, 2, "dispatch record decodes and counts");
+        assert_eq!(replay.live.len(), 1, "job is live, assignments advisory");
+        // Compaction re-shards from scratch: no dispatch record remains.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.contains("shard_dispatched"));
         let _ = std::fs::remove_file(&path);
     }
 

@@ -56,6 +56,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod cluster;
 pub mod faults;
 pub mod journal;
 pub mod net;
@@ -65,9 +66,10 @@ pub mod registry;
 
 pub use cache::{CacheKey, CachedResult, ResultCache};
 pub use client::{connect_retry, submit_reliable, Client, ClientError, RetryPolicy};
+pub use cluster::{Coordinator, CoordinatorConfig, CoordinatorHandle, MergeState};
 pub use faults::{ServerFaultPlan, ServerFaultPlanBuilder};
 pub use net::{ServerAddr, Stream};
-pub use protocol::{Request, VerifyRequest, PROTOCOL_VERSION};
+pub use protocol::{Request, ShardRequest, ShardResult, VerifyRequest, PROTOCOL_VERSION};
 pub use queue::{JobQueue, RejectReason};
 pub use registry::ModelRegistry;
 
@@ -200,6 +202,9 @@ struct Counters {
     worker_deaths: AtomicU64,
     journal_errors: AtomicU64,
     duplicates: AtomicU64,
+    shards_executed: AtomicU64,
+    shards_refuted: AtomicU64,
+    shards_limited: AtomicU64,
 }
 
 /// Bounded store of terminal responses by job id, answering `query` and
@@ -507,6 +512,10 @@ fn connection_loop(shared: &Arc<Shared>, stream: Stream, addr: &ServerAddr) {
     let reply = Reply::Socket(Arc::clone(&sock));
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
+    // Shard requests (cluster tier) execute synchronously on this
+    // connection thread; the scratch arena is created on first use so
+    // plain clients pay nothing for it.
+    let mut shard_ws: Option<Workspace> = None;
     loop {
         line.clear();
         match read_line_bounded(&mut reader, &mut line, shared.max_line_bytes) {
@@ -550,6 +559,25 @@ fn connection_loop(shared: &Arc<Shared>, stream: Stream, addr: &ServerAddr) {
                 send_line(&reply, &response);
             }
             Ok(Request::Verify(request)) => submit(shared, request, &sock),
+            Ok(Request::Shard(shard)) => {
+                let ws = shard_ws.get_or_insert_with(Workspace::new);
+                let response = execute_shard(shared, &shard, ws);
+                send_line(&reply, &response);
+            }
+            Ok(Request::NodeHello) => {
+                send_line(&reply, &protocol::node_hello_response(shared.workers));
+            }
+            Ok(Request::NodeStats) => {
+                let counters = &shared.counters;
+                send_line(
+                    &reply,
+                    &protocol::node_stats_response(
+                        counters.shards_executed.load(Ordering::Relaxed),
+                        counters.shards_refuted.load(Ordering::Relaxed),
+                        counters.shards_limited.load(Ordering::Relaxed),
+                    ),
+                );
+            }
             Ok(Request::Drain) => {
                 let summary = drain(shared);
                 // Write the summary before waking the listener: once the
@@ -942,6 +970,89 @@ fn execute_job(shared: &Arc<Shared>, job: &Job, ws: &mut Workspace) -> String {
             b.build()
         }
     }
+}
+
+/// Runs one coordinator-dispatched shard synchronously to a
+/// `shard_result` (or `error`) response line.
+///
+/// A shard bypasses the queue, journal, and result cache on purpose:
+/// the coordinator owns durability (it journals the parent job and the
+/// dispatch), owns retry (an orphaned shard is re-dispatched), and a
+/// shard's sub-region is too specific for the verdict cache to earn its
+/// keep. The node is a stateless executor.
+fn execute_shard(shared: &Arc<Shared>, shard: &protocol::ShardRequest, ws: &mut Workspace) -> String {
+    let start = Instant::now();
+    shared
+        .counters
+        .shards_executed
+        .fetch_add(1, Ordering::Relaxed);
+    let (_, net) = match shared.registry.load(&shard.network) {
+        Ok(found) => found,
+        Err(message) => return error_response(Some(shard.id), "model_error", &message),
+    };
+    let property = match RobustnessProperty::from_text(&shard.property) {
+        Ok(property) => property,
+        Err(message) => {
+            return error_response(Some(shard.id), "bad_request", &format!("property: {message}"))
+        }
+    };
+    let mut verifier = Verifier::default();
+    *verifier.config_mut() = VerifierConfig {
+        delta: shard.delta,
+        timeout: Duration::from_millis(shard.timeout_ms),
+        max_regions: shard.max_regions,
+        restarts: shard.restarts,
+        seed: shard.seed,
+        counterexample_search: shard.cex_search,
+        lipschitz_prefilter: false,
+        cancel: None,
+        faults: None,
+    };
+    let run = match verifier.try_verify_run_ws(&net, &property, ws) {
+        Ok(run) => run,
+        Err(error) => {
+            let code = match &error {
+                VerifyError::MalformedModel { .. } => "model_error",
+                _ => "engine_error",
+            };
+            return error_response(Some(shard.id), code, &error.to_string());
+        }
+    };
+    shared.metrics.lock().unwrap().merge(&run.stats.metrics);
+    let seconds = start.elapsed().as_secs_f64();
+    let mut result = protocol::ShardResult {
+        id: shard.id,
+        shard: shard.shard,
+        verdict: String::new(),
+        regions: run.stats.regions,
+        seconds,
+        objective: None,
+        counterexample: None,
+        limit: None,
+        checkpoint: None,
+    };
+    match &run.verdict {
+        Verdict::Verified => result.verdict = "verified".to_string(),
+        Verdict::Refuted(cex) => {
+            shared
+                .counters
+                .shards_refuted
+                .fetch_add(1, Ordering::Relaxed);
+            result.verdict = "refuted".to_string();
+            result.objective = Some(cex.objective);
+            result.counterexample = Some(cex.point.clone());
+        }
+        Verdict::ResourceLimit => {
+            shared
+                .counters
+                .shards_limited
+                .fetch_add(1, Ordering::Relaxed);
+            result.verdict = "resource_limit".to_string();
+            result.limit = run.limit.map(|kind| kind.to_string());
+            result.checkpoint = run.checkpoint.as_ref().map(Checkpoint::to_text);
+        }
+    }
+    result.to_line()
 }
 
 /// Stops admission, reports queued jobs as unstarted, checkpoints

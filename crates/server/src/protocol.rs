@@ -19,9 +19,22 @@ use charon::json::{parse_flat_object, Fields, ObjectBuilder};
 /// Version 2 added the crash-only surface: the `ack` submission flag
 /// (journaled-acceptance acknowledgement + duplicate-id detection), the
 /// `query` request, and the `accepted` / `pending` / `unknown` /
-/// `poisoned` responses. Version-1 clients are unaffected: every new
-/// behavior is opt-in.
-pub const PROTOCOL_VERSION: u64 = 2;
+/// `poisoned` responses. Version 3 adds the cluster surface: the
+/// `shard` / `node_hello` / `node_stats` requests and the
+/// `shard_result` / `node_hello` / `node_stats` responses used between
+/// a coordinator and its shard-worker nodes. Version-1 and version-2
+/// clients are unaffected: every new behavior is opt-in.
+pub const PROTOCOL_VERSION: u64 = 3;
+
+/// Every request discriminator the daemon understands, in the order
+/// they joined the protocol. `scripts/ci.sh` greps `docs/PROTOCOL.md`
+/// for each entry, so adding a kind here without documenting it fails
+/// CI. Keep each list on one line — the CI extraction is line-oriented.
+pub const REQUEST_KINDS: &[&str] = &["verify", "query", "stats", "drain", "ping", "shard", "node_hello", "node_stats"];
+
+/// Every response discriminator the daemon emits (same CI contract as
+/// [`REQUEST_KINDS`]).
+pub const RESPONSE_KINDS: &[&str] = &["verdict", "error", "checkpointed", "unstarted", "accepted", "pending", "unknown", "pong", "drained", "shard_result", "node_hello", "node_stats"];
 
 /// Default per-job verification wall-clock budget (ms) when the request
 /// does not set one.
@@ -44,6 +57,13 @@ pub enum Request {
     Drain,
     /// Liveness probe.
     Ping,
+    /// Execute one shard of a coordinator-split job synchronously on
+    /// this connection (cluster tier, protocol ≥ 3).
+    Shard(ShardRequest),
+    /// Version/capability negotiation from a coordinator to a node.
+    NodeHello,
+    /// Report a node's shard-execution counters.
+    NodeStats,
 }
 
 /// A verification job submission.
@@ -117,6 +137,9 @@ impl Request {
             "stats" => Ok(Request::Stats),
             "drain" => Ok(Request::Drain),
             "ping" => Ok(Request::Ping),
+            "shard" => Ok(Request::Shard(ShardRequest::from_fields(&fields)?)),
+            "node_hello" => Ok(Request::NodeHello),
+            "node_stats" => Ok(Request::NodeStats),
             other => Err(format!("unknown request kind {other:?}")),
         }
     }
@@ -195,6 +218,186 @@ impl Default for VerifyRequest {
             ack: false,
         }
     }
+}
+
+/// One shard of a coordinator-split verification job.
+///
+/// The property text already carries the shard's sub-region (the
+/// coordinator rewrites the region with
+/// `RobustnessProperty::with_region` before dispatch), so a node
+/// executes a shard exactly like a stand-alone verification — it does
+/// not know or care that the region is a fragment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRequest {
+    /// The coordinator-side job id this shard belongs to.
+    pub id: u64,
+    /// Shard index within the job (0-based, unique per job).
+    pub shard: usize,
+    /// Path (on the node's filesystem) of the `charon-net` file.
+    pub network: String,
+    /// Inline `charon-prop 1` text with the shard's sub-region.
+    pub property: String,
+    /// Verification wall-clock budget in ms for this shard.
+    pub timeout_ms: u64,
+    /// δ of the δ-complete check.
+    pub delta: f64,
+    /// Region-count budget for this shard.
+    pub max_regions: usize,
+    /// Random restarts per counterexample search.
+    pub restarts: usize,
+    /// Base RNG seed (the coordinator perturbs it per shard so shards
+    /// do not run identical attack schedules).
+    pub seed: u64,
+    /// Whether gradient-based counterexample search is enabled.
+    pub cex_search: bool,
+}
+
+impl ShardRequest {
+    fn from_fields(fields: &Fields) -> Result<ShardRequest, String> {
+        let timeout_ms = fields
+            .opt_usize("timeout_ms")?
+            .map_or(DEFAULT_TIMEOUT_MS, |v| v as u64);
+        if timeout_ms == 0 {
+            return Err("timeout_ms must be positive".to_string());
+        }
+        Ok(ShardRequest {
+            id: fields.usize_field("id")? as u64,
+            shard: fields.usize_field("shard")?,
+            network: fields.str_field("network")?,
+            property: fields.str_field("property")?,
+            timeout_ms,
+            delta: fields.opt_f64("delta")?.unwrap_or(1e-9),
+            max_regions: fields.opt_usize("max_regions")?.unwrap_or(200_000),
+            restarts: fields.opt_usize("restarts")?.unwrap_or(2),
+            seed: fields.opt_usize("seed")?.unwrap_or(0) as u64,
+            cex_search: fields.opt_usize("cex_search")? != Some(0),
+        })
+    }
+
+    /// Renders this shard back to its wire form (used by the
+    /// coordinator's dispatchers).
+    pub fn to_line(&self) -> String {
+        ObjectBuilder::new()
+            .str("request", "shard")
+            .int("id", self.id)
+            .int("shard", self.shard as u64)
+            .str("network", &self.network)
+            .str("property", &self.property)
+            .int("timeout_ms", self.timeout_ms)
+            .num("delta", self.delta)
+            .int("max_regions", self.max_regions as u64)
+            .int("restarts", self.restarts as u64)
+            .int("seed", self.seed)
+            .int("cex_search", u64::from(self.cex_search))
+            .build()
+    }
+}
+
+/// A node's answer to a [`ShardRequest`]: the shard's verdict plus the
+/// evidence the coordinator needs to merge it (a counterexample point
+/// for refutations, a resumable checkpoint for resource limits).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardResult {
+    /// The job id echoed from the shard request.
+    pub id: u64,
+    /// The shard index echoed from the shard request.
+    pub shard: usize,
+    /// `"verified"`, `"refuted"`, or `"resource_limit"`.
+    pub verdict: String,
+    /// Regions the node processed while deciding this shard.
+    pub regions: usize,
+    /// Node-side wall-clock seconds spent on this shard.
+    pub seconds: f64,
+    /// The counterexample's score margin (refuted shards only).
+    pub objective: Option<f64>,
+    /// The counterexample point (refuted shards only).
+    pub counterexample: Option<Vec<f64>>,
+    /// Which budget stopped the shard, in [`charon::BudgetKind`]'s
+    /// display form (`"timeout"`, `"region budget"`, `"cancelled"`,
+    /// `"numeric precision floor"`; resource-limit only).
+    pub limit: Option<String>,
+    /// `charon-ckpt 1` text of the undecided remainder (resource-limit
+    /// shards only; may be absent if nothing was pending).
+    pub checkpoint: Option<String>,
+}
+
+impl ShardResult {
+    /// Parses a `shard_result` response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformed field.
+    pub fn parse(line: &str) -> Result<ShardResult, String> {
+        let fields = parse_flat_object(line)?;
+        if fields.str_field("response")? != "shard_result" {
+            return Err("not a shard_result response".to_string());
+        }
+        let verdict = fields.str_field("verdict")?;
+        if !matches!(verdict.as_str(), "verified" | "refuted" | "resource_limit") {
+            return Err(format!("unknown shard verdict {verdict:?}"));
+        }
+        let counterexample = match fields.opt("counterexample") {
+            Some(_) => Some(fields.arr_field("counterexample")?),
+            None => None,
+        };
+        Ok(ShardResult {
+            id: fields.usize_field("id")? as u64,
+            shard: fields.usize_field("shard")?,
+            verdict,
+            regions: fields.opt_usize("regions")?.unwrap_or(0),
+            seconds: fields.opt_f64("seconds")?.unwrap_or(0.0),
+            objective: fields.opt_f64("objective")?,
+            counterexample,
+            limit: fields.opt_str("limit")?,
+            checkpoint: fields.opt_str("checkpoint")?,
+        })
+    }
+
+    /// Renders this result to its wire form (used by nodes).
+    pub fn to_line(&self) -> String {
+        let mut b = ObjectBuilder::new()
+            .str("response", "shard_result")
+            .int("id", self.id)
+            .int("shard", self.shard as u64)
+            .str("verdict", &self.verdict)
+            .int("regions", self.regions as u64)
+            .num("seconds", self.seconds);
+        if let Some(objective) = self.objective {
+            b = b.num("objective", objective);
+        }
+        if let Some(point) = &self.counterexample {
+            b = b.arr("counterexample", point);
+        }
+        if let Some(limit) = &self.limit {
+            b = b.str("limit", limit);
+        }
+        if let Some(checkpoint) = &self.checkpoint {
+            b = b.str("checkpoint", checkpoint);
+        }
+        b.build()
+    }
+}
+
+/// Builds a node's answer to `node_hello`: the protocol version it
+/// speaks and how many verification workers it runs. A coordinator
+/// refuses nodes whose protocol is older than its own.
+pub fn node_hello_response(workers: usize) -> String {
+    ObjectBuilder::new()
+        .str("response", "node_hello")
+        .int("protocol", PROTOCOL_VERSION)
+        .int("workers", workers as u64)
+        .build()
+}
+
+/// Builds a node's `node_stats` response from its shard counters.
+pub fn node_stats_response(executed: u64, refuted: u64, limited: u64) -> String {
+    ObjectBuilder::new()
+        .str("response", "node_stats")
+        .int("protocol", PROTOCOL_VERSION)
+        .int("shards_executed", executed)
+        .int("shards_refuted", refuted)
+        .int("shards_limited", limited)
+        .build()
 }
 
 /// Builds an error response. `code` is machine-readable (`queue_full`,
@@ -353,6 +556,102 @@ mod tests {
         let mut plain = request.clone();
         plain.ack = false;
         assert_eq!(request.config_key(), plain.config_key());
+    }
+
+    #[test]
+    fn shard_request_round_trips_through_wire_form() {
+        let shard = ShardRequest {
+            id: 41,
+            shard: 3,
+            network: "/tmp/a.net".to_string(),
+            property: "charon-prop 1\ntarget 2\nend\n".to_string(),
+            timeout_ms: 800,
+            delta: 1e-6,
+            max_regions: 4096,
+            restarts: 3,
+            seed: 12345,
+            cex_search: false,
+        };
+        match Request::parse(&shard.to_line()).unwrap() {
+            Request::Shard(parsed) => assert_eq!(parsed, shard),
+            other => panic!("expected shard, got {other:?}"),
+        }
+        assert_eq!(
+            Request::parse("{\"request\": \"node_hello\"}").unwrap(),
+            Request::NodeHello
+        );
+        assert_eq!(
+            Request::parse("{\"request\": \"node_stats\"}").unwrap(),
+            Request::NodeStats
+        );
+        assert!(
+            Request::parse("{\"request\": \"shard\", \"id\": 1}").is_err(),
+            "shard needs its payload fields"
+        );
+    }
+
+    #[test]
+    fn shard_result_round_trips_every_verdict_shape() {
+        let verified = ShardResult {
+            id: 9,
+            shard: 0,
+            verdict: "verified".to_string(),
+            regions: 120,
+            seconds: 0.25,
+            objective: None,
+            counterexample: None,
+            limit: None,
+            checkpoint: None,
+        };
+        assert_eq!(ShardResult::parse(&verified.to_line()).unwrap(), verified);
+
+        let refuted = ShardResult {
+            verdict: "refuted".to_string(),
+            objective: Some(-0.125),
+            counterexample: Some(vec![0.25, -1.5, 3.0]),
+            ..verified.clone()
+        };
+        assert_eq!(ShardResult::parse(&refuted.to_line()).unwrap(), refuted);
+
+        // Checkpoint text embeds newlines; they must survive the wire.
+        let limited = ShardResult {
+            verdict: "resource_limit".to_string(),
+            limit: Some("timeout".to_string()),
+            checkpoint: Some("charon-ckpt 1\ntarget 2\ndim 1\ndone 4\nend\n".to_string()),
+            ..verified.clone()
+        };
+        assert_eq!(ShardResult::parse(&limited.to_line()).unwrap(), limited);
+
+        assert!(ShardResult::parse(&pong_response()).is_err(), "wrong kind");
+        let bogus = limited.to_line().replace("resource_limit", "maybe");
+        assert!(ShardResult::parse(&bogus).is_err(), "unknown verdict");
+    }
+
+    #[test]
+    fn kind_inventories_cover_every_parse_arm() {
+        // Every REQUEST_KINDS entry must be accepted by the parser (with
+        // a payload where one is required)...
+        for kind in REQUEST_KINDS {
+            let line = format!("{{\"request\": \"{kind}\"}}");
+            match Request::parse(&line) {
+                Ok(_) => {}
+                // Payload-bearing kinds fail on a *missing field*, never
+                // on an unknown discriminator.
+                Err(e) => assert!(
+                    !e.contains("unknown request kind"),
+                    "{kind}: listed but unrecognized: {e}"
+                ),
+            }
+        }
+        // ...and node_hello/node_stats responses advertise the protocol
+        // version so coordinators can refuse stale nodes.
+        let hello = charon::json::parse_flat_object(&node_hello_response(2)).unwrap();
+        assert_eq!(hello.usize_field("protocol").unwrap() as u64, PROTOCOL_VERSION);
+        assert_eq!(hello.usize_field("workers").unwrap(), 2);
+        let stats = charon::json::parse_flat_object(&node_stats_response(5, 1, 2)).unwrap();
+        assert_eq!(stats.usize_field("shards_executed").unwrap(), 5);
+        assert_eq!(stats.usize_field("shards_refuted").unwrap(), 1);
+        assert_eq!(stats.usize_field("shards_limited").unwrap(), 2);
     }
 
     #[test]

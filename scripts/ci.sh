@@ -138,3 +138,62 @@ cargo run --release -q -p bench --bin loadgen -- --smoke --faults \
   --out "$faults_log.json" | tee "$faults_log" >/dev/null
 grep -q 'every query answered' "$faults_log"
 rm -f "$faults_log" "$faults_log.json"
+
+# Cluster smoke: coordinator + 2 shard nodes over TCP, one verdict from
+# a sharded job, then kill -9 one node mid-job and assert the verdict
+# still arrives (orphaned-shard re-dispatch) and the coordinator drain
+# loses nothing. Direct binary exec so the SIGKILL hits the node itself.
+cluster_dir="$(mktemp -d)"
+"$charon_bin" example \
+  --out-network "$cluster_dir/xor.net" --out-property "$cluster_dir/p.prop"
+"$charon_bin" node --addr tcp:127.0.0.1:7181 --workers 1 &
+node1_pid=$!
+"$charon_bin" node --addr tcp:127.0.0.1:7182 --workers 1 &
+node2_pid=$!
+sleep 0.3
+"$charon_bin" serve --addr tcp:127.0.0.1:7180 --coordinator \
+  --nodes tcp:127.0.0.1:7181,tcp:127.0.0.1:7182 --shards 4 \
+  --journal "$cluster_dir/coord.wal" &
+coord_pid=$!
+sleep 0.3
+"$charon_bin" submit --addr tcp:127.0.0.1:7180 \
+  --network "$cluster_dir/xor.net" --property "$cluster_dir/p.prop" \
+  --id 31 | tee "$cluster_dir/c1.out" >/dev/null
+grep -qx 'verified' "$cluster_dir/c1.out"
+# Kill one node mid-job: submit in the background, SIGKILL node 1, and
+# the coordinator must re-dispatch its shards to node 2.
+"$charon_bin" submit --addr tcp:127.0.0.1:7180 \
+  --network "$cluster_dir/xor.net" --property "$cluster_dir/p.prop" \
+  --id 32 --timeout-ms 30000 --retries 10 >"$cluster_dir/c2.out" &
+sub_pid=$!
+kill -9 "$node1_pid"
+wait "$node1_pid" 2>/dev/null || true
+wait "$sub_pid"
+grep -qx 'verified' "$cluster_dir/c2.out"
+"$charon_bin" submit --addr tcp:127.0.0.1:7180 --drain \
+  | tee "$cluster_dir/cdrain.out" >/dev/null
+grep -q 'lost=0' "$cluster_dir/cdrain.out"
+wait "$coord_pid"
+"$charon_bin" submit --addr tcp:127.0.0.1:7182 --drain >/dev/null
+wait "$node2_pid"
+rm -rf "$cluster_dir"
+
+# Cluster loadgen smoke: the multi-node benchmark harness executes and
+# its schema is intact (full runs regenerate BENCH_cluster.json).
+cluster_out="$(mktemp)"
+cargo run --release -q -p bench --bin loadgen -- --cluster --smoke --out "$cluster_out"
+grep -q '"schema": "bench-cluster-v1"' "$cluster_out"
+grep -q '"two_node_qps":' "$cluster_out"
+rm -f "$cluster_out"
+
+# Doc-freshness gate: every protocol message kind the code declares must
+# be documented in docs/PROTOCOL.md (the kind inventories in protocol.rs
+# are single-line consts, so a line-oriented extraction suffices; the
+# same inventory is checked by crates/server/tests/protocol_doc.rs).
+kinds="$(sed -n 's/^pub const \(REQUEST\|RESPONSE\)_KINDS.*= &\[\(.*\)\];$/\2/p' \
+  crates/server/src/protocol.rs | tr -d '" ' | tr ',' '\n' | sort -u)"
+[ -n "$kinds" ] || { echo "ci.sh: failed to extract protocol kinds" >&2; exit 1; }
+for kind in $kinds; do
+  grep -q "\`$kind\`" docs/PROTOCOL.md \
+    || { echo "ci.sh: protocol kind '$kind' missing from docs/PROTOCOL.md" >&2; exit 1; }
+done
