@@ -25,11 +25,16 @@
 //!   coordinator with one node and then two nodes, emitting
 //!   `BENCH_cluster.json` and asserting (full mode only) that two nodes
 //!   deliver at least 1.5x the throughput of one.
+//! - `--cert`: submit the warm stream with protocol-v4 certificate
+//!   requests and assert every verdict (fresh or cached) delivers a
+//!   proof certificate, measuring the emission overhead in the warm
+//!   numbers; the `certified` count lands in the JSON.
 //! - `--out <path>`: write the JSON somewhere other than
 //!   `BENCH_server.json` (or `BENCH_cluster.json`) in the current
 //!   directory.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -90,17 +95,22 @@ fn stream_order(plan: &Plan) -> Vec<usize> {
 
 /// Warm path: every query goes through the daemon. Client `j` replays
 /// queries `j, j + clients, j + 2·clients, …` on its own connection.
+/// Returns the elapsed seconds and how many verdicts carried a proof
+/// certificate (always 0 unless `cert` asks for them).
 fn run_warm(
     addr: &ServerAddr,
     net_path: &Path,
     properties: &[RobustnessProperty],
     plan: &Plan,
-) -> f64 {
+    cert: bool,
+) -> (f64, usize) {
     let order = stream_order(plan);
+    let certified = AtomicUsize::new(0);
     let start = Instant::now();
     std::thread::scope(|scope| {
         for j in 0..plan.clients {
             let order = &order;
+            let certified = &certified;
             scope.spawn(move || {
                 let mut client = Client::connect(addr).expect("loadgen client connect");
                 for (k, &prop_idx) in order.iter().enumerate().skip(j).step_by(plan.clients) {
@@ -109,16 +119,20 @@ fn run_warm(
                         network: net_path.display().to_string(),
                         property: properties[prop_idx].to_text(),
                         timeout_ms: 60_000,
+                        cert,
                         ..VerifyRequest::default()
                     };
                     let reply = client.request(&request.to_line()).expect("loadgen reply");
                     let kind = reply.str_field("response").expect("response kind");
                     assert_eq!(kind, "verdict", "unexpected response: {kind}");
+                    if reply.opt_str("cert").expect("cert field").is_some() {
+                        certified.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             });
         }
     });
-    start.elapsed().as_secs_f64()
+    (start.elapsed().as_secs_f64(), certified.into_inner())
 }
 
 /// Cold baseline: the same stream as one-shot `charon-cli verify` runs,
@@ -146,7 +160,14 @@ fn run_cold(net_path: &Path, prop_paths: &[PathBuf], plan: &Plan) -> f64 {
     start.elapsed().as_secs_f64()
 }
 
-fn render_json(plan: &Plan, smoke: bool, warm_s: f64, cold_s: f64, stats: &charon::json::Fields) -> String {
+fn render_json(
+    plan: &Plan,
+    smoke: bool,
+    warm_s: f64,
+    cold_s: f64,
+    certified: usize,
+    stats: &charon::json::Fields,
+) -> String {
     let queries = plan.queries() as f64;
     ObjectBuilder::new()
         .str("schema", "bench-server-v1")
@@ -161,6 +182,7 @@ fn render_json(plan: &Plan, smoke: bool, warm_s: f64, cold_s: f64, stats: &charo
         .num("speedup", cold_s / warm_s)
         .num("warm_qps", queries / warm_s)
         .num("cold_qps", queries / cold_s)
+        .int("certified", certified as u64)
         .int("completed", stats.usize_field("completed").expect("completed") as u64)
         .int("cache_hits", stats.usize_field("cache_hits").expect("cache_hits") as u64)
         .int(
@@ -386,6 +408,7 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let faults_on = args.iter().any(|a| a == "--faults");
     let cluster = args.iter().any(|a| a == "--cluster");
+    let cert_on = args.iter().any(|a| a == "--cert");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -459,7 +482,19 @@ fn main() {
     .expect("start daemon");
     let addr = handle.addr().clone();
 
-    let warm_s = run_warm(&addr, &net_path, &properties, &plan);
+    let (warm_s, certified) = run_warm(&addr, &net_path, &properties, &plan, cert_on);
+    if cert_on {
+        // Every property in the stream is decisively verified and the
+        // computing jobs certified, so fresh runs and cache hits alike
+        // must deliver a certificate.
+        assert_eq!(
+            certified,
+            plan.queries(),
+            "certified submissions must all carry a certificate"
+        );
+    } else {
+        assert_eq!(certified, 0, "unrequested certificates were delivered");
+    }
     let mut control = Client::connect(&addr).expect("control connect");
     let stats = control
         .request("{\"request\": \"stats\"}")
@@ -516,7 +551,11 @@ fn main() {
         );
     }
 
-    let json = render_json(&plan, smoke, warm_s, cold_s, &stats);
+    if cert_on {
+        println!("  certificates: {certified}/{} verdicts certified", plan.queries());
+    }
+
+    let json = render_json(&plan, smoke, warm_s, cold_s, certified, &stats);
     validate_json(&json);
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     println!("wrote {out_path}");

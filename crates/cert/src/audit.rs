@@ -1,0 +1,704 @@
+//! The independent audit checker: replays a certificate with
+//! outward-rounded arithmetic.
+//!
+//! The checker shares no code with the search: it re-implements the
+//! zonotope-style abstract transformers on top of the directed-rounding
+//! primitives in [`tensor::round`], so every float operation can only
+//! make the computed enclosure *wider*. If the audited bound still
+//! proves a leaf safe, the leaf is safe in exact real arithmetic — the
+//! verdict no longer depends on trusting round-to-nearest error to
+//! cancel.
+//!
+//! Two asymmetric checks:
+//!
+//! * **Verified leaves** are replayed with a directed zonotope (center,
+//!   one generator per input dimension, plus a per-coordinate
+//!   accumulated rounding-error radius). Because the search may have
+//!   closed a leaf with a tighter domain (DeepPoly, a powerset, or the
+//!   complete solver), the checker is allowed a bounded bisection
+//!   refinement per leaf before declaring it unsound.
+//! * **Refutation witnesses** are re-evaluated with a directed *upper*
+//!   bound on the objective: the witness counts only if even the
+//!   pessimistic `F_up(x*)` is strictly below δ, so rounding error can
+//!   never manufacture a counterexample.
+
+use domains::Bounds;
+use nn::{AffineLayer, Layer, MaxPoolLayer, Network};
+use tensor::round::{
+    abs_dot_up, add_down, add_up, dot_down, dot_up, mid_rad, mul_down, mul_up, sub_down, sub_up,
+};
+
+use crate::format::{CertError, CertVerdict, Certificate, Node};
+
+/// Budgets for the audit's per-leaf bisection refinement.
+#[derive(Debug, Clone)]
+pub struct AuditOptions {
+    /// Maximum bisection depth below a certificate leaf before the
+    /// checker gives up on it.
+    pub refine_depth: usize,
+    /// Total refinement regions the whole audit may explore across all
+    /// leaves.
+    pub max_refined_regions: usize,
+}
+
+impl Default for AuditOptions {
+    fn default() -> Self {
+        AuditOptions {
+            refine_depth: 24,
+            max_refined_regions: 65_536,
+        }
+    }
+}
+
+/// Summary of a successful audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditReport {
+    /// `true` for a verified certificate, `false` for a refuted one.
+    pub verified: bool,
+    /// Number of leaves checked (0 for refuted certificates).
+    pub leaves: usize,
+    /// Number of internal split nodes walked.
+    pub splits: usize,
+    /// Extra regions the bisection refinement had to explore beyond the
+    /// certificate's own leaves.
+    pub refined_regions: usize,
+}
+
+/// Typed reasons an audit rejects a certificate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuditError {
+    /// The certificate itself failed to parse or checksum.
+    Cert(CertError),
+    /// The certificate is about a different network.
+    NetworkMismatch {
+        /// Content hash recorded in the certificate.
+        expected: u64,
+        /// Content hash of the network supplied for the audit.
+        found: u64,
+    },
+    /// The certificate's shape does not fit the network or property
+    /// (dimension, target class, class count).
+    Shape {
+        /// Description of the mismatch.
+        reason: String,
+    },
+    /// A split node is geometrically invalid for the region it applies
+    /// to (the split-tree walk derives every region from the root, so a
+    /// tampered split coordinate surfaces here).
+    InvalidSplit {
+        /// Preorder index of the offending node.
+        index: usize,
+        /// Description of the defect.
+        reason: String,
+    },
+    /// A leaf's recorded claim is internally inconsistent (non-finite or
+    /// negative margin).
+    InconsistentLeaf {
+        /// Preorder index of the offending node.
+        index: usize,
+        /// Description of the defect.
+        reason: String,
+    },
+    /// The directed-rounding replay could not confirm a leaf within the
+    /// refinement budget.
+    UnsoundLeaf {
+        /// Preorder index of the offending node.
+        index: usize,
+        /// Best (largest) directed margin lower bound the checker
+        /// reached on an unconfirmed sub-region.
+        margin: f64,
+    },
+    /// The refutation witness does not refute: it lies outside the root
+    /// region, or even its pessimistic objective upper bound fails the
+    /// strict `F_up(x*) < δ` test.
+    BadWitness {
+        /// Description of the defect.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditError::Cert(e) => write!(f, "{e}"),
+            AuditError::NetworkMismatch { expected, found } => write!(
+                f,
+                "certificate is for network {expected:016x}, audit network hashes to {found:016x}"
+            ),
+            AuditError::Shape { reason } => write!(f, "certificate does not fit: {reason}"),
+            AuditError::InvalidSplit { index, reason } => {
+                write!(f, "invalid split at node {index}: {reason}")
+            }
+            AuditError::InconsistentLeaf { index, reason } => {
+                write!(f, "inconsistent leaf at node {index}: {reason}")
+            }
+            AuditError::UnsoundLeaf { index, margin } => write!(
+                f,
+                "leaf at node {index} could not be confirmed (directed margin bound {margin:.6})"
+            ),
+            AuditError::BadWitness { reason } => write!(f, "witness rejected: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+impl From<CertError> for AuditError {
+    fn from(e: CertError) -> Self {
+        AuditError::Cert(e)
+    }
+}
+
+/// Audits a certificate against a network.
+///
+/// Checks, in order: network identity (content hash), shape, then —
+/// depending on the verdict — every leaf of the split tree via directed
+/// replay, or the refutation witness via a directed objective upper
+/// bound.
+///
+/// # Errors
+///
+/// Any [`AuditError`]; the first defect found is reported.
+pub fn audit(
+    cert: &Certificate,
+    net: &Network,
+    opts: &AuditOptions,
+) -> Result<AuditReport, AuditError> {
+    let found = nn::serialize::content_hash(net);
+    if found != cert.net_hash {
+        return Err(AuditError::NetworkMismatch {
+            expected: cert.net_hash,
+            found,
+        });
+    }
+    if cert.root.dim() != net.input_dim() {
+        return Err(AuditError::Shape {
+            reason: format!(
+                "root region has {} dimensions, network expects {}",
+                cert.root.dim(),
+                net.input_dim()
+            ),
+        });
+    }
+    if net.output_dim() < 2 {
+        return Err(AuditError::Shape {
+            reason: "network has fewer than two output classes".to_string(),
+        });
+    }
+    if cert.target >= net.output_dim() {
+        return Err(AuditError::Shape {
+            reason: format!(
+                "target class {} out of range for {} outputs",
+                cert.target,
+                net.output_dim()
+            ),
+        });
+    }
+
+    match &cert.verdict {
+        CertVerdict::Verified { tree } => {
+            let mut stack = vec![cert.root.clone()];
+            let mut leaves = 0usize;
+            let mut splits = 0usize;
+            let mut refined = 0usize;
+            for (index, node) in tree.iter().enumerate() {
+                let region = stack.pop().ok_or(AuditError::Cert(CertError::Malformed {
+                    reason: "split tree has trailing nodes".to_string(),
+                }))?;
+                match node {
+                    Node::Split { dim, at } => {
+                        if *dim >= region.dim() {
+                            return Err(AuditError::InvalidSplit {
+                                index,
+                                reason: format!("dimension {dim} out of range"),
+                            });
+                        }
+                        let (lo, hi) = (region.lower()[*dim], region.upper()[*dim]);
+                        if !(lo < *at && *at < hi) {
+                            return Err(AuditError::InvalidSplit {
+                                index,
+                                reason: format!(
+                                    "coordinate {at:?} not strictly inside [{lo:?}, {hi:?}]"
+                                ),
+                            });
+                        }
+                        let (left, right) = region.split_at(*dim, *at);
+                        stack.push(right);
+                        stack.push(left);
+                        splits += 1;
+                    }
+                    Node::Leaf { margin, .. } => {
+                        if !margin.is_finite() || *margin < 0.0 {
+                            return Err(AuditError::InconsistentLeaf {
+                                index,
+                                reason: format!(
+                                    "recorded margin {margin:?} is not finite and non-negative"
+                                ),
+                            });
+                        }
+                        check_leaf(net, &region, cert.target, opts, &mut refined)
+                            .map_err(|margin| AuditError::UnsoundLeaf { index, margin })?;
+                        leaves += 1;
+                    }
+                }
+            }
+            if !stack.is_empty() {
+                return Err(AuditError::Cert(CertError::Malformed {
+                    reason: "split tree is incomplete".to_string(),
+                }));
+            }
+            Ok(AuditReport {
+                verified: true,
+                leaves,
+                splits,
+                refined_regions: refined,
+            })
+        }
+        CertVerdict::Refuted { witness, .. } => {
+            if witness.len() != cert.root.dim() {
+                return Err(AuditError::BadWitness {
+                    reason: format!(
+                        "witness has {} coordinates, region has {}",
+                        witness.len(),
+                        cert.root.dim()
+                    ),
+                });
+            }
+            if !cert.root.contains(witness) {
+                return Err(AuditError::BadWitness {
+                    reason: "witness lies outside the root region".to_string(),
+                });
+            }
+            let f_up = objective_upper(net, witness, cert.target);
+            // NaN must fail the check, so the comparison is spelled as
+            // "not strictly below" rather than `>=`.
+            if f_up >= cert.delta || f_up.is_nan() {
+                return Err(AuditError::BadWitness {
+                    reason: format!(
+                        "directed objective upper bound {f_up:.9} is not strictly below delta {:?}",
+                        cert.delta
+                    ),
+                });
+            }
+            Ok(AuditReport {
+                verified: false,
+                leaves: 0,
+                splits: 0,
+                refined_regions: 0,
+            })
+        }
+    }
+}
+
+/// Confirms one leaf region, refining by bisection when the directed
+/// domain alone is too coarse. On failure returns the best directed
+/// margin bound observed on an unconfirmed sub-region.
+fn check_leaf(
+    net: &Network,
+    region: &Bounds,
+    target: usize,
+    opts: &AuditOptions,
+    refined: &mut usize,
+) -> Result<(), f64> {
+    let mut work = vec![(region.clone(), 0usize)];
+    while let Some((r, depth)) = work.pop() {
+        let margin = directed_margin(net, &r, target);
+        if margin > 0.0 {
+            continue;
+        }
+        if depth >= opts.refine_depth || *refined >= opts.max_refined_regions {
+            return Err(margin);
+        }
+        let dim = r.longest_dim();
+        let (lo, hi) = (r.lower()[dim], r.upper()[dim]);
+        let mid = 0.5 * (lo + hi);
+        if !(lo < mid && mid < hi) {
+            // Sub-ulp region that still cannot be confirmed: give up.
+            return Err(margin);
+        }
+        let (left, right) = r.split_at(dim, mid);
+        *refined += 2;
+        work.push((left, depth + 1));
+        work.push((right, depth + 1));
+    }
+    Ok(())
+}
+
+/// A sound directed-rounding lower bound on the margin
+/// `min_{j != target} (y_target - y_j)` over `region`.
+///
+/// Computed by propagating a directed zonotope through the network; NaN
+/// anywhere in the computation degrades to `-inf` (never to a proof).
+pub fn directed_margin(net: &Network, region: &Bounds, target: usize) -> f64 {
+    let mut elem = Elem::from_region(region);
+    for layer in net.layers() {
+        match layer {
+            Layer::Affine(a) => elem = elem.affine(a),
+            Layer::Relu => elem.relu(),
+            Layer::MaxPool(p) => elem = elem.max_pool(p),
+        }
+    }
+    elem.margin_lower(target)
+}
+
+/// Directed concretization bounds of the network's output over `region`:
+/// per-coordinate lower and upper vectors from the checker's directed
+/// zonotope. Returns `None` when the computation poisons (NaN).
+///
+/// Exposed for the enclosure property tests — any sound round-to-nearest
+/// analysis of the same region must produce output bounds inside these
+/// (up to the ulp-level slack the directed steps add).
+///
+/// # Panics
+///
+/// Panics if `region.dim() != net.input_dim()`.
+pub fn directed_output_bounds(net: &Network, region: &Bounds) -> Option<(Vec<f64>, Vec<f64>)> {
+    assert_eq!(region.dim(), net.input_dim(), "region dimension mismatch");
+    let mut elem = Elem::from_region(region);
+    for layer in net.layers() {
+        match layer {
+            Layer::Affine(a) => elem = elem.affine(a),
+            Layer::Relu => elem.relu(),
+            Layer::MaxPool(p) => elem = elem.max_pool(p),
+        }
+    }
+    let n = elem.center.len();
+    let mut lo = Vec::with_capacity(n);
+    let mut hi = Vec::with_capacity(n);
+    for j in 0..n {
+        let radius = add_up(elem.gen_radius(j), elem.err[j]);
+        let l = sub_down(elem.center[j], radius);
+        let h = add_up(elem.center[j], radius);
+        if l.is_nan() || h.is_nan() {
+            return None;
+        }
+        lo.push(l);
+        hi.push(h);
+    }
+    Some((lo, hi))
+}
+
+/// Directed interval bounds `(F_lo, F_up)` on the objective
+/// `F(x) = y_target(x) - max_{j != target} y_j(x)` at a concrete point.
+///
+/// Every operation rounds outward, so the true real-arithmetic value of
+/// `F(x)` lies inside the returned interval whatever the network's own
+/// round-to-nearest evaluation produced.
+///
+/// # Panics
+///
+/// Panics if `x.len() != net.input_dim()` or `target` is out of range.
+pub fn objective_bounds(net: &Network, x: &[f64], target: usize) -> (f64, f64) {
+    assert_eq!(x.len(), net.input_dim(), "input dimension mismatch");
+    assert!(target < net.output_dim(), "target class out of range");
+    let mut lo = x.to_vec();
+    let mut hi = x.to_vec();
+    for layer in net.layers() {
+        match layer {
+            Layer::Affine(a) => {
+                let m = a.weights.rows();
+                let mut nlo = vec![0.0; m];
+                let mut nhi = vec![0.0; m];
+                for j in 0..m {
+                    let row = a.weights.row(j);
+                    let mut alo = a.bias[j];
+                    let mut ahi = a.bias[j];
+                    for i in 0..row.len() {
+                        let w = row[i];
+                        alo = add_down(alo, mul_down(w, lo[i]).min(mul_down(w, hi[i])));
+                        ahi = add_up(ahi, mul_up(w, lo[i]).max(mul_up(w, hi[i])));
+                    }
+                    nlo[j] = alo;
+                    nhi[j] = ahi;
+                }
+                lo = nlo;
+                hi = nhi;
+            }
+            Layer::Relu => {
+                for v in &mut lo {
+                    *v = v.max(0.0);
+                }
+                for v in &mut hi {
+                    *v = v.max(0.0);
+                }
+            }
+            Layer::MaxPool(p) => {
+                let mut nlo = Vec::with_capacity(p.groups.len());
+                let mut nhi = Vec::with_capacity(p.groups.len());
+                for group in &p.groups {
+                    nlo.push(group.iter().map(|&i| lo[i]).fold(f64::NEG_INFINITY, f64::max));
+                    nhi.push(group.iter().map(|&i| hi[i]).fold(f64::NEG_INFINITY, f64::max));
+                }
+                lo = nlo;
+                hi = nhi;
+            }
+        }
+    }
+    let mut best_other_lo = f64::NEG_INFINITY;
+    let mut best_other_hi = f64::NEG_INFINITY;
+    for j in 0..lo.len() {
+        if j == target {
+            continue;
+        }
+        best_other_lo = best_other_lo.max(lo[j]);
+        best_other_hi = best_other_hi.max(hi[j]);
+    }
+    (
+        sub_down(lo[target], best_other_hi),
+        sub_up(hi[target], best_other_lo),
+    )
+}
+
+/// The directed *upper* bound on the objective at a point — the quantity
+/// both the verifier's witness validation and the audit's witness check
+/// compare strictly against δ, so the two can never disagree.
+///
+/// # Panics
+///
+/// Panics if `x.len() != net.input_dim()` or `target` is out of range.
+pub fn objective_upper(net: &Network, x: &[f64], target: usize) -> f64 {
+    objective_bounds(net, x, target).1
+}
+
+/// The directed zonotope the checker propagates: a center vector, one
+/// generator per (non-degenerate) input dimension, and a per-coordinate
+/// non-negative error radius that absorbs both rounding slack and the
+/// ReLU relaxation's fresh noise terms. Concretization:
+/// `{ c + G^T ε + e : ε ∈ [-1,1]^k, |e_j| <= err_j }`.
+#[derive(Debug, Clone)]
+pub(crate) struct Elem {
+    center: Vec<f64>,
+    gens: Vec<Vec<f64>>,
+    err: Vec<f64>,
+}
+
+impl Elem {
+    pub(crate) fn from_region(region: &Bounds) -> Elem {
+        let n = region.dim();
+        let mut center = vec![0.0; n];
+        let mut gens = Vec::new();
+        for i in 0..n {
+            let (mid, rad) = mid_rad(region.lower()[i], region.upper()[i]);
+            center[i] = mid;
+            if rad > 0.0 {
+                let mut g = vec![0.0; n];
+                g[i] = rad;
+                gens.push(g);
+            }
+        }
+        Elem {
+            center,
+            gens,
+            err: vec![0.0; n],
+        }
+    }
+
+    pub(crate) fn affine(&self, layer: &AffineLayer) -> Elem {
+        let w = &layer.weights;
+        let m = w.rows();
+        let mut center = vec![0.0; m];
+        let mut err = vec![0.0; m];
+        for j in 0..m {
+            let row = w.row(j);
+            let clo = add_down(dot_down(row, &self.center), layer.bias[j]);
+            let chi = add_up(dot_up(row, &self.center), layer.bias[j]);
+            let (mid, rad) = mid_rad_nan(clo, chi);
+            center[j] = mid;
+            err[j] = add_up(rad, abs_dot_up(row, &self.err));
+        }
+        let mut gens = Vec::with_capacity(self.gens.len());
+        for g in &self.gens {
+            let mut out = vec![0.0; m];
+            for j in 0..m {
+                let row = w.row(j);
+                let (mid, rad) = mid_rad_nan(dot_down(row, g), dot_up(row, g));
+                out[j] = mid;
+                err[j] = add_up(err[j], rad);
+            }
+            gens.push(out);
+        }
+        Elem { center, gens, err }
+    }
+
+    /// Directed ReLU: exact on stable coordinates, λ-relaxation with the
+    /// fresh noise folded into `err` on unstable ones. Any λ in `[0, 1]`
+    /// yields a sound relaxation `relu(x) ∈ λx + [0, M]` with
+    /// `M = max(-λ·lo, (1-λ)·hi)`, so the round-to-nearest λ needs no
+    /// error analysis of its own — only the products are rounded outward.
+    pub(crate) fn relu(&mut self) {
+        for j in 0..self.center.len() {
+            let radius = add_up(self.gen_radius(j), self.err[j]);
+            let lo = sub_down(self.center[j], radius);
+            let hi = add_up(self.center[j], radius);
+            if lo.is_nan() || hi.is_nan() {
+                // Poisoned coordinate: widen to a NaN error radius so the
+                // final margin degrades to -inf instead of a false proof.
+                self.err[j] = f64::NAN;
+                continue;
+            }
+            if hi <= 0.0 {
+                self.center[j] = 0.0;
+                self.err[j] = 0.0;
+                for g in &mut self.gens {
+                    g[j] = 0.0;
+                }
+            } else if lo >= 0.0 {
+                // Identity: unchanged.
+            } else {
+                let lam = (hi / (hi - lo)).clamp(0.0, 1.0);
+                let m_up = mul_up(lam, -lo).max(mul_up(sub_up(1.0, lam), hi));
+                let p_lo = mul_down(lam, self.center[j]);
+                let p_hi = add_up(mul_up(lam, self.center[j]), m_up);
+                let (mid, rad) = mid_rad_nan(p_lo, p_hi);
+                self.center[j] = mid;
+                let mut e = add_up(mul_up(lam, self.err[j]), rad);
+                for g in &mut self.gens {
+                    let scaled = lam * g[j];
+                    let spread = sub_up(mul_up(lam, g[j]), scaled)
+                        .max(sub_up(scaled, mul_down(lam, g[j])));
+                    e = add_up(e, spread);
+                    g[j] = scaled;
+                }
+                self.err[j] = e;
+            }
+        }
+    }
+
+    /// Directed max-pool: falls back to interval semantics (the
+    /// relational generators are dropped), which is sound and matches
+    /// how rarely pooling appears after the first layers.
+    pub(crate) fn max_pool(&self, layer: &MaxPoolLayer) -> Elem {
+        let mut center = Vec::with_capacity(layer.groups.len());
+        let mut err = Vec::with_capacity(layer.groups.len());
+        for group in &layer.groups {
+            let mut glo = f64::NEG_INFINITY;
+            let mut ghi = f64::NEG_INFINITY;
+            for &i in group {
+                let radius = add_up(self.gen_radius(i), self.err[i]);
+                glo = glo.max(sub_down(self.center[i], radius));
+                ghi = ghi.max(add_up(self.center[i], radius));
+            }
+            let (mid, rad) = mid_rad_nan(glo, ghi);
+            center.push(mid);
+            err.push(rad);
+        }
+        Elem {
+            center,
+            gens: Vec::new(),
+            err,
+        }
+    }
+
+    /// Upward-rounded sum of generator magnitudes on coordinate `j`.
+    fn gen_radius(&self, j: usize) -> f64 {
+        let mut acc = 0.0;
+        for g in &self.gens {
+            acc = add_up(acc, g[j].abs());
+        }
+        acc
+    }
+
+    /// Directed lower bound on `min_{j != target} (y_target - y_j)`.
+    /// NaN anywhere degrades to `-inf` — a poisoned element must never
+    /// read as a proof.
+    pub(crate) fn margin_lower(&self, target: usize) -> f64 {
+        let mut worst = f64::INFINITY;
+        for j in 0..self.center.len() {
+            if j == target {
+                continue;
+            }
+            let mut dev = add_up(self.err[target], self.err[j]);
+            for g in &self.gens {
+                let d = sub_up(g[target], g[j])
+                    .abs()
+                    .max(sub_down(g[target], g[j]).abs());
+                dev = add_up(dev, d);
+            }
+            let m = sub_down(sub_down(self.center[target], self.center[j]), dev);
+            if m.is_nan() {
+                return f64::NEG_INFINITY;
+            }
+            worst = worst.min(m);
+        }
+        worst
+    }
+
+    /// Directed concretization bounds of coordinate `j` (used by the
+    /// enclosure property tests).
+    #[cfg(test)]
+    pub(crate) fn coord_bounds(&self, j: usize) -> (f64, f64) {
+        let radius = add_up(self.gen_radius(j), self.err[j]);
+        (
+            sub_down(self.center[j], radius),
+            add_up(self.center[j], radius),
+        )
+    }
+}
+
+/// [`mid_rad`] that tolerates NaN endpoints (poisoned upstream values)
+/// by producing a NaN pair instead of panicking; the NaN then degrades
+/// the final margin to `-inf` via [`Elem::margin_lower`].
+fn mid_rad_nan(lo: f64, hi: f64) -> (f64, f64) {
+    if lo.is_nan() || hi.is_nan() || lo > hi {
+        (f64::NAN, f64::NAN)
+    } else {
+        mid_rad(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn::samples;
+
+    #[test]
+    fn directed_margin_proves_the_paper_example() {
+        // Example 2.2 is robust on [-1, 1] for class 1; the directed
+        // replay must confirm it just like the search domains do.
+        let net = samples::example_2_2_network();
+        let region = Bounds::new(vec![-1.0], vec![1.0]);
+        assert!(directed_margin(&net, &region, 1) > 0.0);
+    }
+
+    #[test]
+    fn directed_element_encloses_concrete_evaluations() {
+        let net = samples::example_2_2_network();
+        let region = Bounds::new(vec![-1.0], vec![1.0]);
+        let mut elem = Elem::from_region(&region);
+        for layer in net.layers() {
+            match layer {
+                Layer::Affine(a) => elem = elem.affine(a),
+                Layer::Relu => elem.relu(),
+                Layer::MaxPool(p) => elem = elem.max_pool(p),
+            }
+        }
+        for k in 0..=20 {
+            let x = -1.0 + 0.1 * k as f64;
+            let y = net.eval(&[x]);
+            for j in 0..y.len() {
+                let (lo, hi) = elem.coord_bounds(j);
+                assert!(
+                    lo <= y[j] && y[j] <= hi,
+                    "eval({x}) coordinate {j} = {} escapes [{lo}, {hi}]",
+                    y[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn objective_bounds_bracket_the_nearest_objective() {
+        let net = samples::example_2_2_network();
+        for k in 0..=20 {
+            let x = [-1.0 + 0.1 * k as f64];
+            let nearest = net.objective(&x, 1);
+            let (lo, hi) = objective_bounds(&net, &x, 1);
+            assert!(
+                lo <= nearest && nearest <= hi,
+                "objective({:?}) = {nearest} escapes [{lo}, {hi}]",
+                x
+            );
+            assert!(hi - lo < 1e-9, "point bounds should be tight: [{lo}, {hi}]");
+        }
+    }
+}

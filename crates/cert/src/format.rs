@@ -1,0 +1,620 @@
+//! The `charon-cert 1` proof-certificate text format.
+//!
+//! A certificate is a self-contained, line-oriented record of one
+//! verification run: which network (by content hash) and property it is
+//! about, the full region split tree the search explored, the abstract
+//! domain and margin that closed each verified leaf, and — for refuted
+//! runs — the concrete witness input. The format is versioned exactly
+//! like `charon-ckpt`: the first line names the format and version, and
+//! a reader that sees a newer version fails with a typed
+//! [`CertError::Version`] instead of a generic parse error.
+//!
+//! Floats are printed with Rust's shortest-round-trip `{:?}` formatting,
+//! so serialization is exact: `to_text` → [`Certificate::from_text`] is
+//! the identity. The final `sum` line carries an FNV-1a checksum of the
+//! certificate's *canonical* serialization (everything up to and
+//! including the `end` line, as `to_text` prints it), so any tampering
+//! with a stored certificate — even a single flipped digit — is detected
+//! as [`CertError::Checksum`] before the audit checker ever looks at the
+//! semantics.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use domains::Bounds;
+use nn::serialize::fnv1a;
+
+/// Version of the certificate text format this crate reads and writes.
+pub const CERT_VERSION: u32 = 1;
+
+/// One node of a verified certificate's split tree, in preorder.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// Internal node: the node's region was bisected along `dim` at `at`;
+    /// the left child (upper bound replaced by `at`) follows immediately
+    /// in preorder, then the complete left subtree, then the right child.
+    Split {
+        /// Input dimension the region was split along.
+        dim: usize,
+        /// Split coordinate, strictly inside the region's extent on `dim`.
+        at: f64,
+    },
+    /// Leaf: the node's region was proved safe.
+    Leaf {
+        /// Display form of the abstract domain (or engine) that proved
+        /// the leaf, e.g. `(Z, 2)` or `deeppoly`. Informational: the
+        /// auditor replays every leaf with its own directed-rounding
+        /// domain regardless of what the search used.
+        domain: String,
+        /// Margin lower bound the search derived for the leaf. Must be
+        /// finite and non-negative; the auditor independently re-derives
+        /// its own bound and never trusts this number.
+        margin: f64,
+    },
+}
+
+/// The verdict a certificate attests to, with its evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CertVerdict {
+    /// The property holds: every leaf of the split tree was proved safe.
+    Verified {
+        /// The split tree in preorder (at least one node — the root
+        /// itself may be a single leaf).
+        tree: Vec<Node>,
+    },
+    /// The property is refuted by a concrete witness input.
+    Refuted {
+        /// Witness point, inside the root region.
+        witness: Vec<f64>,
+        /// Objective value `F(witness)` the search observed
+        /// (round-to-nearest). Informational: the auditor re-evaluates
+        /// the witness with directed rounding.
+        objective: f64,
+    },
+}
+
+/// A serializable proof certificate for one verification run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Certificate {
+    /// Content hash of the network the run verified
+    /// ([`nn::serialize::content_hash`]); the auditor refuses to check a
+    /// certificate against a different network.
+    pub net_hash: u64,
+    /// Target class of the robustness property.
+    pub target: usize,
+    /// The δ slack of the run: a witness refutes iff `F(x*) < delta`
+    /// (strict, matching the verifier's validation).
+    pub delta: f64,
+    /// The root input region of the property.
+    pub root: Bounds,
+    /// The attested verdict and its evidence.
+    pub verdict: CertVerdict,
+}
+
+/// Typed errors produced while reading or assembling a certificate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CertError {
+    /// The header names a format version this reader does not support.
+    Version {
+        /// The header line that was found.
+        found: String,
+    },
+    /// The text is not a structurally valid certificate.
+    Malformed {
+        /// Human-readable description of the first defect.
+        reason: String,
+    },
+    /// The stored checksum does not match the certificate body.
+    Checksum {
+        /// Checksum recomputed from the parsed body.
+        expected: u64,
+        /// Checksum stored in the `sum` line.
+        found: u64,
+    },
+    /// Reading or writing the certificate file failed.
+    Io {
+        /// The underlying I/O error, rendered.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for CertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertError::Version { found } => {
+                write!(
+                    f,
+                    "unsupported certificate version (expected 'charon-cert {CERT_VERSION}', found '{found}')"
+                )
+            }
+            CertError::Malformed { reason } => write!(f, "malformed certificate: {reason}"),
+            CertError::Checksum { expected, found } => write!(
+                f,
+                "certificate checksum mismatch (body hashes to {expected:016x}, sum line says {found:016x})"
+            ),
+            CertError::Io { reason } => write!(f, "certificate i/o error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CertError {}
+
+fn malformed(reason: impl Into<String>) -> CertError {
+    CertError::Malformed {
+        reason: reason.into(),
+    }
+}
+
+/// Exact-bits lookup key for a region, used to match recorded split/leaf
+/// events back onto the tree during assembly. Two regions compare equal
+/// iff every bound is bit-identical, which is exactly the guarantee
+/// `Bounds::split_at` gives for the regions a run revisits.
+pub(crate) fn bounds_key(b: &Bounds) -> Vec<u64> {
+    b.lower()
+        .iter()
+        .chain(b.upper().iter())
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+impl Certificate {
+    /// Serializes the certificate, checksum line included.
+    pub fn to_text(&self) -> String {
+        let mut body = self.body_text();
+        let sum = fnv1a(body.as_bytes());
+        let _ = writeln!(body, "sum {sum:016x}");
+        body
+    }
+
+    /// The canonical certificate body: every line except the trailing
+    /// `sum`. The checksum is FNV-1a over exactly these bytes.
+    fn body_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "charon-cert {CERT_VERSION}");
+        let _ = writeln!(out, "net {:016x}", self.net_hash);
+        let _ = writeln!(out, "target {}", self.target);
+        let _ = writeln!(out, "delta {:?}", self.delta);
+        let _ = writeln!(out, "dim {}", self.root.dim());
+        let _ = write!(out, "root");
+        for i in 0..self.root.dim() {
+            let _ = write!(out, " {:?} {:?}", self.root.lower()[i], self.root.upper()[i]);
+        }
+        out.push('\n');
+        match &self.verdict {
+            CertVerdict::Verified { tree } => {
+                let _ = writeln!(out, "verdict verified");
+                for node in tree {
+                    match node {
+                        Node::Split { dim, at } => {
+                            let _ = writeln!(out, "split {dim} {at:?}");
+                        }
+                        Node::Leaf { domain, margin } => {
+                            let _ = writeln!(out, "leaf {margin:?} {domain}");
+                        }
+                    }
+                }
+            }
+            CertVerdict::Refuted { witness, objective } => {
+                let _ = writeln!(out, "verdict refuted");
+                let _ = write!(out, "witness {objective:?}");
+                for v in witness {
+                    let _ = write!(out, " {v:?}");
+                }
+                out.push('\n');
+            }
+        }
+        let _ = writeln!(out, "end");
+        out
+    }
+
+    /// Parses a certificate, validating structure and checksum.
+    ///
+    /// # Errors
+    ///
+    /// [`CertError::Version`] if the header names another format version,
+    /// [`CertError::Checksum`] if the `sum` line disagrees with the body,
+    /// and [`CertError::Malformed`] for every structural defect (missing
+    /// or out-of-order sections, non-finite or inverted bounds, a split
+    /// tree that is truncated or has trailing nodes, bad arity).
+    pub fn from_text(text: &str) -> Result<Certificate, CertError> {
+        let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+        match lines.next() {
+            Some(header) if header == format!("charon-cert {CERT_VERSION}") => {}
+            Some(header) if header.starts_with("charon-cert ") => {
+                return Err(CertError::Version {
+                    found: header.to_string(),
+                });
+            }
+            Some(header) => {
+                return Err(malformed(format!("expected certificate header, found '{header}'")));
+            }
+            None => return Err(malformed("empty certificate")),
+        }
+
+        let net_hash = parse_prefixed(lines.next(), "net ", |s| {
+            u64::from_str_radix(s, 16).map_err(|e| format!("bad net hash: {e}"))
+        })?;
+        let target = parse_prefixed(lines.next(), "target ", |s| {
+            s.parse::<usize>().map_err(|e| format!("bad target: {e}"))
+        })?;
+        let delta = parse_prefixed(lines.next(), "delta ", |s| {
+            s.parse::<f64>().map_err(|e| format!("bad delta: {e}"))
+        })?;
+        if !delta.is_finite() || delta < 0.0 {
+            return Err(malformed(format!("delta must be finite and non-negative, got {delta:?}")));
+        }
+        let dim = parse_prefixed(lines.next(), "dim ", |s| {
+            s.parse::<usize>().map_err(|e| format!("bad dim: {e}"))
+        })?;
+        if dim == 0 {
+            return Err(malformed("dim must be positive"));
+        }
+
+        let root_line = lines
+            .next()
+            .ok_or_else(|| malformed("missing root line"))?;
+        let root_body = root_line
+            .strip_prefix("root")
+            .ok_or_else(|| malformed(format!("expected root line, found '{root_line}'")))?;
+        let vals = parse_floats(root_body, 2 * dim, "root")?;
+        let mut lower = Vec::with_capacity(dim);
+        let mut upper = Vec::with_capacity(dim);
+        for i in 0..dim {
+            let (l, u) = (vals[2 * i], vals[2 * i + 1]);
+            if !l.is_finite() || !u.is_finite() {
+                return Err(malformed(format!("root bound {i} is not finite")));
+            }
+            if l > u {
+                return Err(malformed(format!("root bound {i} is inverted ({l:?} > {u:?})")));
+            }
+            lower.push(l);
+            upper.push(u);
+        }
+        let root = Bounds::new(lower, upper);
+
+        let verdict_line = lines
+            .next()
+            .ok_or_else(|| malformed("missing verdict line"))?;
+        let verdict = match verdict_line {
+            "verdict verified" => {
+                let mut tree = Vec::new();
+                // Number of subtrees still owed by the preorder stream: a
+                // split consumes one slot and opens two, a leaf consumes
+                // one. The stream is complete exactly when this hits zero.
+                let mut pending = 1usize;
+                loop {
+                    let line = lines
+                        .next()
+                        .ok_or_else(|| malformed("certificate ends inside the split tree"))?;
+                    if line == "end" {
+                        if pending > 0 {
+                            return Err(malformed(format!(
+                                "truncated split tree: {pending} subtree(s) missing before 'end'"
+                            )));
+                        }
+                        break;
+                    }
+                    if pending == 0 {
+                        return Err(malformed(format!(
+                            "split tree already complete before line '{line}'"
+                        )));
+                    }
+                    if let Some(rest) = line.strip_prefix("split ") {
+                        let mut it = rest.split_whitespace();
+                        let d = it
+                            .next()
+                            .and_then(|s| s.parse::<usize>().ok())
+                            .ok_or_else(|| malformed(format!("bad split line '{line}'")))?;
+                        let at = it
+                            .next()
+                            .and_then(|s| s.parse::<f64>().ok())
+                            .ok_or_else(|| malformed(format!("bad split line '{line}'")))?;
+                        if it.next().is_some() {
+                            return Err(malformed(format!("trailing tokens on split line '{line}'")));
+                        }
+                        if d >= dim {
+                            return Err(malformed(format!("split dimension {d} out of range (dim {dim})")));
+                        }
+                        if !at.is_finite() {
+                            return Err(malformed(format!("split coordinate is not finite on '{line}'")));
+                        }
+                        tree.push(Node::Split { dim: d, at });
+                        pending += 1; // consumed one slot, opened two
+                    } else if let Some(rest) = line.strip_prefix("leaf ") {
+                        let (margin_tok, domain) = rest
+                            .split_once(' ')
+                            .ok_or_else(|| malformed(format!("leaf line missing domain: '{line}'")))?;
+                        let margin = margin_tok
+                            .parse::<f64>()
+                            .map_err(|e| malformed(format!("bad leaf margin: {e}")))?;
+                        let domain = domain.trim();
+                        if domain.is_empty() {
+                            return Err(malformed(format!("leaf line missing domain: '{line}'")));
+                        }
+                        tree.push(Node::Leaf {
+                            domain: domain.to_string(),
+                            margin,
+                        });
+                        pending -= 1;
+                    } else {
+                        return Err(malformed(format!("unexpected line in split tree: '{line}'")));
+                    }
+                }
+                CertVerdict::Verified { tree }
+            }
+            "verdict refuted" => {
+                let line = lines
+                    .next()
+                    .ok_or_else(|| malformed("missing witness line"))?;
+                let body = line
+                    .strip_prefix("witness")
+                    .ok_or_else(|| malformed(format!("expected witness line, found '{line}'")))?;
+                let vals = parse_floats(body, dim + 1, "witness")?;
+                let objective = vals[0];
+                let witness = vals[1..].to_vec();
+                if !objective.is_finite() || witness.iter().any(|v| !v.is_finite()) {
+                    return Err(malformed("witness values must be finite"));
+                }
+                match lines.next() {
+                    Some("end") => {}
+                    Some(line) => {
+                        return Err(malformed(format!("expected 'end' after witness, found '{line}'")));
+                    }
+                    None => return Err(malformed("missing 'end' line")),
+                }
+                CertVerdict::Refuted { witness, objective }
+            }
+            other => {
+                return Err(malformed(format!("expected verdict line, found '{other}'")));
+            }
+        };
+
+        let cert = Certificate {
+            net_hash,
+            target,
+            delta,
+            root,
+            verdict,
+        };
+
+        let sum_line = lines.next().ok_or_else(|| malformed("missing sum line"))?;
+        let sum_body = sum_line
+            .strip_prefix("sum ")
+            .ok_or_else(|| malformed(format!("expected sum line, found '{sum_line}'")))?;
+        let found = u64::from_str_radix(sum_body.trim(), 16)
+            .map_err(|e| malformed(format!("bad checksum: {e}")))?;
+        let expected = fnv1a(cert.body_text().as_bytes());
+        if found != expected {
+            return Err(CertError::Checksum { expected, found });
+        }
+        if let Some(extra) = lines.next() {
+            return Err(malformed(format!("trailing content after sum line: '{extra}'")));
+        }
+        Ok(cert)
+    }
+
+    /// Writes the certificate to a file.
+    ///
+    /// # Errors
+    ///
+    /// [`CertError::Io`] if the file cannot be written.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), CertError> {
+        std::fs::write(path, self.to_text()).map_err(|e| CertError::Io {
+            reason: format!("{}: {e}", path.display()),
+        })
+    }
+
+    /// Reads and parses a certificate file.
+    ///
+    /// # Errors
+    ///
+    /// [`CertError::Io`] if the file cannot be read, otherwise any
+    /// [`Certificate::from_text`] error.
+    pub fn load(path: &std::path::Path) -> Result<Certificate, CertError> {
+        let text = std::fs::read_to_string(path).map_err(|e| CertError::Io {
+            reason: format!("{}: {e}", path.display()),
+        })?;
+        Certificate::from_text(&text)
+    }
+
+    /// Whether this certificate attests the given property: same target
+    /// class and bit-identical root region.
+    pub fn matches_property(&self, region: &Bounds, target: usize) -> bool {
+        self.target == target && bounds_key(&self.root) == bounds_key(region)
+    }
+
+    /// Assembles a verified certificate from the flat split/leaf records
+    /// a run collected (in any order — parallel workers interleave).
+    ///
+    /// Returns `None` when the records do not form a complete binary
+    /// split tree rooted at `root` with every recorded event used exactly
+    /// once; emission is best-effort and a run that cannot account for
+    /// its whole tree (e.g. one resumed from a checkpoint with several
+    /// roots) simply produces no certificate.
+    pub fn assemble_verified(
+        net_hash: u64,
+        target: usize,
+        delta: f64,
+        root: Bounds,
+        leaves: &[LeafRecord],
+        splits: &[SplitRecord],
+    ) -> Option<Certificate> {
+        let mut leaf_map: HashMap<Vec<u64>, &LeafRecord> = HashMap::with_capacity(leaves.len());
+        for leaf in leaves {
+            if leaf_map.insert(bounds_key(&leaf.region), leaf).is_some() {
+                return None; // duplicate record: tree is ambiguous
+            }
+        }
+        let mut split_map: HashMap<Vec<u64>, &SplitRecord> = HashMap::with_capacity(splits.len());
+        for split in splits {
+            if split_map.insert(bounds_key(&split.region), split).is_some() {
+                return None;
+            }
+        }
+
+        let mut tree = Vec::with_capacity(leaves.len() + splits.len());
+        let mut stack = vec![root.clone()];
+        let mut used_leaves = 0usize;
+        let mut used_splits = 0usize;
+        while let Some(region) = stack.pop() {
+            let key = bounds_key(&region);
+            if let Some(leaf) = leaf_map.get(&key) {
+                tree.push(Node::Leaf {
+                    domain: leaf.domain.clone(),
+                    margin: leaf.margin,
+                });
+                used_leaves += 1;
+            } else if let Some(split) = split_map.get(&key) {
+                let d = split.dim;
+                if d >= region.dim()
+                    || !(region.lower()[d] < split.at && split.at < region.upper()[d])
+                {
+                    return None;
+                }
+                tree.push(Node::Split { dim: d, at: split.at });
+                used_splits += 1;
+                let (left, right) = region.split_at(d, split.at);
+                stack.push(right);
+                stack.push(left);
+            } else {
+                return None; // a reachable region was never recorded
+            }
+        }
+        if used_leaves != leaves.len() || used_splits != splits.len() {
+            return None; // orphan records that the tree never reaches
+        }
+        Some(Certificate {
+            net_hash,
+            target,
+            delta,
+            root,
+            verdict: CertVerdict::Verified { tree },
+        })
+    }
+
+    /// Concatenates verified shard sub-certificates into one certificate
+    /// for the whole job region, reconstructing the coordinator's shard
+    /// split tree between the root and the shard roots.
+    ///
+    /// The shard decomposition bisects the longest dimension of a region
+    /// at its midpoint (see the coordinator's `shard_region`), so the
+    /// intermediate splits are re-derived deterministically here; each
+    /// shard certificate's root must appear exactly once as a node of
+    /// that tree.
+    ///
+    /// # Errors
+    ///
+    /// [`CertError::Malformed`] if the parts disagree on network, target
+    /// or delta, are not all verified, or do not tile `root`.
+    pub fn merge_shards(root: &Bounds, parts: &[Certificate]) -> Result<Certificate, CertError> {
+        let first = parts
+            .first()
+            .ok_or_else(|| malformed("no shard certificates to merge"))?;
+        let mut map: HashMap<Vec<u64>, &Certificate> = HashMap::with_capacity(parts.len());
+        for part in parts {
+            if part.net_hash != first.net_hash
+                || part.target != first.target
+                || part.delta.to_bits() != first.delta.to_bits()
+            {
+                return Err(malformed(
+                    "shard certificates disagree on network, target or delta",
+                ));
+            }
+            if !matches!(part.verdict, CertVerdict::Verified { .. }) {
+                return Err(malformed("cannot merge a non-verified shard certificate"));
+            }
+            if map.insert(bounds_key(&part.root), part).is_some() {
+                return Err(malformed("duplicate shard certificate root"));
+            }
+        }
+
+        let mut tree = Vec::new();
+        let mut stack = vec![root.clone()];
+        // Reaching `n` shards takes exactly `n - 1` bisections; the slack
+        // guards against non-tiling parts sending the walk into regions
+        // that never match.
+        let mut budget = 2 * parts.len() + 8;
+        let mut used = 0usize;
+        while let Some(region) = stack.pop() {
+            if budget == 0 {
+                return Err(malformed("shard certificates do not tile the job region"));
+            }
+            budget -= 1;
+            if let Some(part) = map.get(&bounds_key(&region)) {
+                used += 1;
+                if let CertVerdict::Verified { tree: sub } = &part.verdict {
+                    tree.extend(sub.iter().cloned());
+                }
+            } else {
+                let dim = region.longest_dim();
+                let (lo, hi) = (region.lower()[dim], region.upper()[dim]);
+                let mid = 0.5 * (lo + hi);
+                if !(lo < mid && mid < hi) {
+                    return Err(malformed("shard certificates do not tile the job region"));
+                }
+                tree.push(Node::Split { dim, at: mid });
+                let (left, right) = region.split_at(dim, mid);
+                stack.push(right);
+                stack.push(left);
+            }
+        }
+        if used != parts.len() {
+            return Err(malformed("unreachable shard certificate root"));
+        }
+        Ok(Certificate {
+            net_hash: first.net_hash,
+            target: first.target,
+            delta: first.delta,
+            root: root.clone(),
+            verdict: CertVerdict::Verified { tree },
+        })
+    }
+}
+
+/// A verified-leaf event recorded during a run: `region` was proved safe
+/// by `domain` with margin lower bound `margin`.
+#[derive(Debug, Clone)]
+pub struct LeafRecord {
+    /// The leaf's input region.
+    pub region: Bounds,
+    /// Display form of the proving domain/engine.
+    pub domain: String,
+    /// Margin lower bound the search derived (finite, non-negative).
+    pub margin: f64,
+}
+
+/// A split event recorded during a run: `region` was bisected along
+/// `dim` at `at`.
+#[derive(Debug, Clone)]
+pub struct SplitRecord {
+    /// The region that was split.
+    pub region: Bounds,
+    /// Dimension of the bisection.
+    pub dim: usize,
+    /// Split coordinate.
+    pub at: f64,
+}
+
+fn parse_prefixed<T>(
+    line: Option<&str>,
+    prefix: &str,
+    parse: impl FnOnce(&str) -> Result<T, String>,
+) -> Result<T, CertError> {
+    let line = line.ok_or_else(|| malformed(format!("missing '{}' line", prefix.trim())))?;
+    let body = line.strip_prefix(prefix).ok_or_else(|| {
+        malformed(format!("expected '{}' line, found '{line}'", prefix.trim()))
+    })?;
+    parse(body.trim()).map_err(malformed)
+}
+
+fn parse_floats(body: &str, expected: usize, what: &str) -> Result<Vec<f64>, CertError> {
+    let vals: Result<Vec<f64>, _> = body.split_whitespace().map(str::parse::<f64>).collect();
+    let vals = vals.map_err(|e| malformed(format!("bad float on {what} line: {e}")))?;
+    if vals.len() != expected {
+        return Err(malformed(format!(
+            "{what} line has {} values, expected {expected}",
+            vals.len()
+        )));
+    }
+    Ok(vals)
+}

@@ -1,0 +1,231 @@
+//! Proof certificates and the independent audit checker.
+//!
+//! A verifier that answers "verified" is asking to be trusted twice:
+//! once that its search explored the whole region, and once that its
+//! round-to-nearest float arithmetic never rounded a bound the wrong
+//! way. This crate removes both leaps of faith. The search emits a
+//! [`Certificate`] — the full region split tree, the domain and margin
+//! that closed each verified leaf, or the concrete witness for a
+//! refutation — and [`audit`] re-checks that artifact *independently*:
+//! it shares no transformer code with the search and computes every
+//! bound with the directed-rounding primitives in [`tensor::round`], so
+//! float error can only make the audit more conservative.
+//!
+//! The certificate text format (`charon-cert 1`) is versioned like the
+//! checkpoint format and carries an FNV-1a checksum, so corruption in a
+//! cache, journal, or file copy surfaces as a typed error instead of a
+//! silently-accepted proof.
+//!
+//! # Examples
+//!
+//! ```
+//! use cert::{audit, AuditOptions, Certificate, CertVerdict, Node};
+//! use domains::Bounds;
+//! use nn::samples;
+//!
+//! let net = samples::example_2_2_network();
+//! let cert = Certificate {
+//!     net_hash: nn::serialize::content_hash(&net),
+//!     target: 1,
+//!     delta: 1e-9,
+//!     root: Bounds::new(vec![-1.0], vec![1.0]),
+//!     verdict: CertVerdict::Verified {
+//!         tree: vec![Node::Leaf { domain: "(Z, 1)".to_string(), margin: 0.5 }],
+//!     },
+//! };
+//! // Round-trips exactly, and the independent checker confirms it.
+//! let parsed = Certificate::from_text(&cert.to_text()).unwrap();
+//! assert!(audit(&parsed, &net, &AuditOptions::default()).unwrap().verified);
+//! ```
+
+#![warn(missing_docs)]
+// Numeric code in this crate co-indexes several arrays at once; index
+// loops are clearer than zipped iterator chains there.
+#![allow(clippy::needless_range_loop)]
+
+mod audit;
+mod format;
+
+pub use audit::{
+    audit, directed_margin, directed_output_bounds, objective_bounds, objective_upper, AuditError,
+    AuditOptions, AuditReport,
+};
+pub use format::{
+    CertError, CertVerdict, Certificate, LeafRecord, Node, SplitRecord, CERT_VERSION,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domains::Bounds;
+
+    fn verified_cert() -> Certificate {
+        Certificate {
+            net_hash: 0xdead_beef_0123_4567,
+            target: 1,
+            delta: 1e-9,
+            root: Bounds::new(vec![0.0, -1.0], vec![1.0, 1.0]),
+            verdict: CertVerdict::Verified {
+                tree: vec![
+                    Node::Split { dim: 1, at: 0.25 },
+                    Node::Leaf {
+                        domain: "(Z, 2)".to_string(),
+                        margin: 0.125,
+                    },
+                    Node::Leaf {
+                        domain: "I".to_string(),
+                        margin: 0.5,
+                    },
+                ],
+            },
+        }
+    }
+
+    fn refuted_cert() -> Certificate {
+        Certificate {
+            net_hash: 42,
+            target: 0,
+            delta: 0.25,
+            root: Bounds::new(vec![0.0, 0.0], vec![1.0, 1.0]),
+            verdict: CertVerdict::Refuted {
+                witness: vec![0.75, 0.1],
+                objective: -0.325,
+            },
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        for cert in [verified_cert(), refuted_cert()] {
+            let text = cert.to_text();
+            let parsed = Certificate::from_text(&text).expect("round trip");
+            assert_eq!(parsed, cert);
+            assert_eq!(parsed.to_text(), text);
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_a_typed_error_not_a_parse_failure() {
+        let text = verified_cert().to_text().replace("charon-cert 1", "charon-cert 2");
+        match Certificate::from_text(&text) {
+            Err(CertError::Version { found }) => assert_eq!(found, "charon-cert 2"),
+            other => panic!("expected Version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_structural_defects() {
+        let good = verified_cert().to_text();
+        let cases: Vec<(String, &str)> = vec![
+            (good.replace("target 1", "target x"), "bad target"),
+            (good.replace("delta 1e-9", "delta inf"), "non-finite delta"),
+            (good.replace("dim 2", "dim 0"), "zero dim"),
+            (good.replace("split 1 0.25", "split 7 0.25"), "split dim out of range"),
+            (good.replace("verdict verified", "verdict maybe"), "unknown verdict"),
+            (good.replace("leaf 0.5 I\n", ""), "truncated tree"),
+            (
+                good.replace("leaf 0.5 I\n", "leaf 0.5 I\nleaf 0.5 I\n"),
+                "trailing tree node",
+            ),
+            (good.replace("root 0.0 1.0", "root 2.0 1.0"), "inverted root bound"),
+            (good.lines().filter(|l| !l.starts_with("sum")).collect::<Vec<_>>().join("\n"),
+             "missing sum line"),
+        ];
+        for (text, what) in cases {
+            match Certificate::from_text(&text) {
+                Err(CertError::Malformed { .. }) => {}
+                other => panic!("{what}: expected Malformed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn any_semantic_edit_breaks_the_checksum() {
+        let good = verified_cert().to_text();
+        // Edits that keep the file structurally valid but change meaning
+        // must trip the checksum, not pass as a different certificate.
+        let cases = [
+            good.replace("leaf 0.125", "leaf 0.625"),
+            good.replace("split 1 0.25", "split 0 0.25"),
+            good.replace("net dead", "net d0ad"),
+        ];
+        for text in cases {
+            assert_ne!(text, good, "edit did not apply");
+            match Certificate::from_text(&text) {
+                Err(CertError::Checksum { .. }) => {}
+                other => panic!("expected Checksum error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn assembles_a_tree_from_shuffled_flat_records() {
+        let root = Bounds::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let (left, right) = root.split_at(0, 0.5);
+        let (rl, rr) = right.split_at(1, 0.5);
+        let leaf = |region: &Bounds, margin: f64| LeafRecord {
+            region: region.clone(),
+            domain: "Z".to_string(),
+            margin,
+        };
+        // Records arrive in arbitrary (worker-interleaved) order.
+        let leaves = vec![leaf(&rr, 0.3), leaf(&left, 0.1), leaf(&rl, 0.2)];
+        let splits = vec![
+            SplitRecord { region: right.clone(), dim: 1, at: 0.5 },
+            SplitRecord { region: root.clone(), dim: 0, at: 0.5 },
+        ];
+        let cert = Certificate::assemble_verified(7, 0, 1e-9, root.clone(), &leaves, &splits)
+            .expect("assembles");
+        match &cert.verdict {
+            CertVerdict::Verified { tree } => {
+                assert_eq!(
+                    tree.as_slice(),
+                    &[
+                        Node::Split { dim: 0, at: 0.5 },
+                        Node::Leaf { domain: "Z".to_string(), margin: 0.1 },
+                        Node::Split { dim: 1, at: 0.5 },
+                        Node::Leaf { domain: "Z".to_string(), margin: 0.2 },
+                        Node::Leaf { domain: "Z".to_string(), margin: 0.3 },
+                    ]
+                );
+            }
+            other => panic!("expected verified, got {other:?}"),
+        }
+        // A missing record means the tree cannot be accounted for.
+        assert!(
+            Certificate::assemble_verified(7, 0, 1e-9, root, &leaves[1..], &splits).is_none()
+        );
+    }
+
+    #[test]
+    fn merges_shard_certificates_under_the_shard_tree() {
+        // shard_region(root, 2) bisects the longest dimension at its
+        // midpoint; merge_shards must rebuild exactly that split.
+        let root = Bounds::new(vec![0.0, 0.0], vec![2.0, 1.0]);
+        let (left, right) = root.split_at(0, 1.0);
+        let part = |region: &Bounds| Certificate {
+            net_hash: 9,
+            target: 0,
+            delta: 1e-9,
+            root: region.clone(),
+            verdict: CertVerdict::Verified {
+                tree: vec![Node::Leaf { domain: "I".to_string(), margin: 0.1 }],
+            },
+        };
+        let merged =
+            Certificate::merge_shards(&root, &[part(&right), part(&left)]).expect("merges");
+        match &merged.verdict {
+            CertVerdict::Verified { tree } => {
+                assert_eq!(tree.len(), 3);
+                assert_eq!(tree[0], Node::Split { dim: 0, at: 1.0 });
+            }
+            other => panic!("expected verified, got {other:?}"),
+        }
+        // Parts that do not tile the root are a typed failure.
+        let stray = part(&Bounds::new(vec![5.0, 5.0], vec![6.0, 6.0]));
+        match Certificate::merge_shards(&root, &[part(&left), stray]) {
+            Err(CertError::Malformed { .. }) => {}
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Tampered-certificate suite and serialization/enclosure properties.
+//!
+//! Every way of corrupting a stored certificate that the issue calls out
+//! — a flipped bound digit, a truncated split tree, a forged witness, a
+//! bumped version header — must surface as a *typed* error, either at
+//! parse time (structure, checksum, version) or at audit time (witness
+//! re-evaluation). Alongside, property tests pin down exact round-trip
+//! serialization and the soundness of the directed-rounding replay
+//! against round-to-nearest evaluation.
+
+use cert::{
+    audit, directed_output_bounds, objective_upper, AuditError, AuditOptions, CertError,
+    CertVerdict, Certificate, Node,
+};
+use domains::{propagate, AbstractElement, Bounds, Zonotope};
+use nn::{samples, AffineLayer, Layer, Network};
+use proptest::prelude::*;
+use tensor::Matrix;
+
+fn example_net() -> Network {
+    samples::example_2_2_network()
+}
+
+fn verified_cert(net: &Network) -> Certificate {
+    let root = Bounds::new(vec![-1.0], vec![1.0]);
+    Certificate {
+        net_hash: nn::serialize::content_hash(net),
+        target: 1,
+        delta: 1e-9,
+        root,
+        verdict: CertVerdict::Verified {
+            tree: vec![
+                Node::Split { dim: 0, at: 0.25 },
+                Node::Leaf {
+                    domain: "(Z, 1)".to_string(),
+                    margin: 0.5,
+                },
+                Node::Leaf {
+                    domain: "I".to_string(),
+                    margin: 0.25,
+                },
+            ],
+        },
+    }
+}
+
+#[test]
+fn intact_certificates_pass_audit() {
+    let net = example_net();
+    let cert = verified_cert(&net);
+    let report = audit(&cert, &net, &AuditOptions::default()).expect("audit passes");
+    assert!(report.verified);
+    assert_eq!(report.leaves, 2);
+    assert_eq!(report.splits, 1);
+
+    // A genuine refutation: target class 0 is misclassified somewhere on
+    // the region, so pick a witness and a delta its directed upper bound
+    // strictly beats.
+    let witness = vec![0.5];
+    let f_up = objective_upper(&net, &witness, 0);
+    let refuted = Certificate {
+        net_hash: nn::serialize::content_hash(&net),
+        target: 0,
+        delta: (f_up + 1.0).max(1e-9),
+        root: Bounds::new(vec![-1.0], vec![1.0]),
+        verdict: CertVerdict::Refuted {
+            witness,
+            objective: f_up,
+        },
+    };
+    let report = audit(&refuted, &net, &AuditOptions::default()).expect("witness accepted");
+    assert!(!report.verified);
+}
+
+#[test]
+fn flipped_bound_digit_is_rejected_with_a_typed_error() {
+    let net = example_net();
+    let text = verified_cert(&net).to_text();
+    // Flip one digit of a recorded leaf margin — the semantic edit no
+    // longer matches the body checksum.
+    let tampered = text.replace("leaf 0.5", "leaf 8.5");
+    assert_ne!(tampered, text);
+    match Certificate::from_text(&tampered) {
+        Err(CertError::Checksum { expected, found }) => assert_ne!(expected, found),
+        other => panic!("expected Checksum error, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_split_tree_is_rejected_with_a_typed_error() {
+    let net = example_net();
+    let text = verified_cert(&net).to_text();
+    let tampered = text.replace("leaf 0.25 I\n", "");
+    assert_ne!(tampered, text);
+    match Certificate::from_text(&tampered) {
+        Err(CertError::Malformed { reason }) => {
+            assert!(reason.contains("truncated"), "unexpected reason: {reason}")
+        }
+        other => panic!("expected Malformed error, got {other:?}"),
+    }
+}
+
+#[test]
+fn bumped_version_header_is_rejected_with_a_typed_error() {
+    let net = example_net();
+    let text = verified_cert(&net)
+        .to_text()
+        .replace("charon-cert 1", "charon-cert 99");
+    match Certificate::from_text(&text) {
+        Err(CertError::Version { found }) => assert_eq!(found, "charon-cert 99"),
+        other => panic!("expected Version error, got {other:?}"),
+    }
+}
+
+#[test]
+fn forged_witness_is_rejected_by_directed_reevaluation() {
+    let net = example_net();
+    // Class 1 is provably robust on [-1, 1], so *no* witness can refute
+    // it under a tiny delta. A forger who fabricates one (and dutifully
+    // recomputes the checksum, which re-serialization here does) must
+    // still be caught by the strict directed F_up(x*) < delta check.
+    let forged = Certificate {
+        net_hash: nn::serialize::content_hash(&net),
+        target: 1,
+        delta: 1e-9,
+        root: Bounds::new(vec![-1.0], vec![1.0]),
+        verdict: CertVerdict::Refuted {
+            witness: vec![0.0],
+            objective: -1.0, // claimed, and fabricated
+        },
+    };
+    let reparsed = Certificate::from_text(&forged.to_text()).expect("checksum is 'valid'");
+    match audit(&reparsed, &net, &AuditOptions::default()) {
+        Err(AuditError::BadWitness { .. }) => {}
+        other => panic!("expected BadWitness, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_network_is_rejected_with_a_typed_error() {
+    let net = example_net();
+    let mut cert = verified_cert(&net);
+    cert.net_hash ^= 1;
+    let reparsed = Certificate::from_text(&cert.to_text()).unwrap();
+    match audit(&reparsed, &net, &AuditOptions::default()) {
+        Err(AuditError::NetworkMismatch { .. }) => {}
+        other => panic!("expected NetworkMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn unsound_leaf_claim_is_rejected_by_replay() {
+    let net = example_net();
+    // Claim the *wrong* class is verified: the split tree is well-formed
+    // and the checksum is fine, but no replay can confirm the leaves.
+    let cert = Certificate {
+        net_hash: nn::serialize::content_hash(&net),
+        target: 0,
+        delta: 1e-9,
+        root: Bounds::new(vec![-1.0], vec![1.0]),
+        verdict: CertVerdict::Verified {
+            tree: vec![Node::Leaf {
+                domain: "(Z, 1)".to_string(),
+                margin: 0.5,
+            }],
+        },
+    };
+    let opts = AuditOptions {
+        refine_depth: 6,
+        max_refined_regions: 256,
+    };
+    match audit(&cert, &net, &opts) {
+        Err(AuditError::UnsoundLeaf { index: 0, .. }) => {}
+        other => panic!("expected UnsoundLeaf, got {other:?}"),
+    }
+}
+
+/// Builds a 2-4-2 affine/ReLU/affine network from a flat parameter list.
+fn net_from_params(p: &[f64]) -> Network {
+    let w1 = Matrix::from_rows(&[&p[0..2], &p[2..4], &p[4..6], &p[6..8]]);
+    let b1 = p[8..12].to_vec();
+    let w2 = Matrix::from_rows(&[&p[12..16], &p[16..20]]);
+    let b2 = p[20..22].to_vec();
+    Network::new(
+        2,
+        vec![
+            Layer::Affine(AffineLayer {
+                weights: w1,
+                bias: b1,
+            }),
+            Layer::Relu,
+            Layer::Affine(AffineLayer {
+                weights: w2,
+                bias: b2,
+            }),
+        ],
+    )
+    .expect("valid network")
+}
+
+proptest! {
+    #[test]
+    fn round_trip_is_exact_for_random_certificates(
+        vals in proptest::collection::vec(-1e3f64..1e3, 8),
+        margins in proptest::collection::vec(0.0f64..10.0, 3),
+        hash in 0u64..u64::MAX,
+    ) {
+        let lower: Vec<f64> = vals[0..4].iter().zip(&vals[4..8]).map(|(a, b)| a.min(*b)).collect();
+        let upper: Vec<f64> = vals[0..4].iter().zip(&vals[4..8]).map(|(a, b)| a.max(*b)).collect();
+        let root = Bounds::new(lower.clone(), upper.clone());
+        let dim = root.longest_dim();
+        let mid = 0.5 * (lower[dim] + upper[dim]);
+        let tree = if lower[dim] < mid && mid < upper[dim] {
+            vec![
+                Node::Split { dim, at: mid },
+                Node::Leaf { domain: "(Z, 2)".to_string(), margin: margins[0] },
+                Node::Split { dim: 0, at: 0.5 * (lower[0] + upper[0]) },
+                Node::Leaf { domain: "I".to_string(), margin: margins[1] },
+                Node::Leaf { domain: "deeppoly".to_string(), margin: margins[2] },
+            ]
+        } else {
+            vec![Node::Leaf { domain: "I".to_string(), margin: margins[0] }]
+        };
+        // Degenerate second split can make the tree invalid geometry-wise;
+        // round-tripping is still exact — geometry is the auditor's job.
+        let cert = Certificate {
+            net_hash: hash,
+            target: 3,
+            delta: 1e-9,
+            root,
+            verdict: CertVerdict::Verified { tree },
+        };
+        let text = cert.to_text();
+        let parsed = Certificate::from_text(&text).expect("round trip");
+        prop_assert_eq!(&parsed, &cert);
+        prop_assert_eq!(parsed.to_text(), text);
+
+        let refuted = Certificate {
+            verdict: CertVerdict::Refuted {
+                witness: vals[0..4].to_vec(),
+                objective: -margins[0],
+            },
+            ..cert
+        };
+        let text = refuted.to_text();
+        prop_assert_eq!(Certificate::from_text(&text).expect("round trip"), refuted);
+    }
+
+    #[test]
+    fn directed_replay_encloses_round_to_nearest_on_random_layers(
+        params in proptest::collection::vec(-2.0f64..2.0, 22),
+        centers in proptest::collection::vec(-1.0f64..1.0, 2),
+        radius in 0.01f64..0.5,
+        probes in proptest::collection::vec(-1.0f64..1.0, 6),
+    ) {
+        let net = net_from_params(&params);
+        let region = Bounds::new(
+            centers.iter().map(|c| c - radius).collect(),
+            centers.iter().map(|c| c + radius).collect(),
+        );
+        let (lo, hi) = directed_output_bounds(&net, &region).expect("finite");
+
+        // 1. Soundness against concrete evaluation: every round-to-nearest
+        //    forward pass of a point inside the region lands inside the
+        //    directed bounds, with NO tolerance — the outward steps must
+        //    absorb all rounding themselves.
+        for pair in probes.chunks(2) {
+            let x: Vec<f64> = (0..2)
+                .map(|i| centers[i] + radius * pair[i])
+                .collect();
+            let y = net.eval(&x);
+            for j in 0..y.len() {
+                prop_assert!(
+                    lo[j] <= y[j] && y[j] <= hi[j],
+                    "eval({:?})[{}] = {} escapes [{}, {}]",
+                    x, j, y[j], lo[j], hi[j]
+                );
+            }
+        }
+
+        // 2. Enclosure of the round-to-nearest zonotope transformer: the
+        //    search's own domain, run in plain f64, must fit inside the
+        //    directed replay. A few ulps of slack (scaled to the bound
+        //    magnitude) keeps benign λ rounding races from flagging; a
+        //    real transformer bug is orders of magnitude larger.
+        let rn = propagate(&net, Zonotope::from_bounds(&region)).bounds();
+        for j in 0..rn.dim() {
+            let scale = 1e-12 * (1.0 + rn.lower()[j].abs() + rn.upper()[j].abs());
+            prop_assert!(
+                lo[j] <= rn.lower()[j] + scale,
+                "directed lower {} above RN zonotope lower {}",
+                lo[j], rn.lower()[j]
+            );
+            prop_assert!(
+                hi[j] >= rn.upper()[j] - scale,
+                "directed upper {} below RN zonotope upper {}",
+                hi[j], rn.upper()[j]
+            );
+        }
+
+        // 3. The directed point objective brackets the nearest objective.
+        let x = centers.clone();
+        let nearest = net.objective(&x, 0);
+        let f_up = objective_upper(&net, &x, 0);
+        prop_assert!(f_up >= nearest);
+    }
+}

@@ -43,6 +43,16 @@
 //! revisiting verified regions. The [`faults`] module provides the
 //! deterministic fault-injection harness used by the chaos tests.
 //!
+//! # Certified verdicts
+//!
+//! With [`VerifierConfig::certificates`] set, fresh decisive runs emit a
+//! proof [`Certificate`] (re-exported from the `cert` crate): the full
+//! region split tree with per-leaf domains and margins for `Verified`,
+//! the validated witness point for `Refuted`. The artifact can be saved,
+//! shipped, and re-checked by the *independent* [`cert::audit`] checker —
+//! which shares no transformer code with this crate and replays every
+//! leaf with directed (outward) rounding — via `charon-cli audit`.
+//!
 //! # Observability
 //!
 //! The [`telemetry`] module provides structured tracing and metrics:
@@ -97,4 +107,9 @@ pub use telemetry::{
 };
 pub use verify::{
     Counterexample, Verdict, Verifier, VerifierConfig, VerifyRun, VerifyStats,
+};
+
+pub use cert::{
+    audit, AuditError, AuditOptions, AuditReport, CertError, CertVerdict, Certificate,
+    Node as CertNode,
 };

@@ -34,8 +34,8 @@ use crate::policy::Policy;
 use crate::sched::{Scheduler, SchedulerMode};
 use crate::telemetry::{emit, SharedSink, TraceEvent};
 use crate::verify::{
-    guarded_region_step, validate_problem, verdict_name, RegionOutcome, StepEnv, Verdict,
-    VerifierConfig, VerifyRun, VerifyStats,
+    guarded_region_step, validate_problem, verdict_name, CertRecorder, RegionOutcome, StepEnv,
+    Verdict, VerifierConfig, VerifyRun, VerifyStats,
 };
 use crate::RobustnessProperty;
 
@@ -190,10 +190,15 @@ impl ParallelVerifier {
         property: &RobustnessProperty,
     ) -> Result<VerifyRun, VerifyError> {
         validate_problem(net, property.region(), property.target())?;
+        let cert_root = self
+            .config
+            .certificates
+            .then(|| property.region().clone());
         self.run_worklist(
             net,
             property.target(),
             vec![(property.region().clone(), 0)],
+            cert_root,
         )
     }
 
@@ -216,7 +221,9 @@ impl ParallelVerifier {
         for (region, _) in &checkpoint.pending {
             validate_problem(net, region, checkpoint.target)?;
         }
-        self.run_worklist(net, checkpoint.target, checkpoint.pending.clone())
+        // Resumed runs never certify (the interrupted run's discharged
+        // regions are unaccounted for); see the sequential driver.
+        self.run_worklist(net, checkpoint.target, checkpoint.pending.clone(), None)
     }
 
     fn run_worklist(
@@ -224,6 +231,7 @@ impl ParallelVerifier {
         net: &Network,
         target: usize,
         initial: Vec<(Bounds, usize)>,
+        cert_root: Option<Bounds>,
     ) -> Result<VerifyRun, VerifyError> {
         let start = Instant::now();
         let deadline = start + self.config.timeout;
@@ -233,6 +241,13 @@ impl ParallelVerifier {
         let found: Mutex<Option<(Verdict, Option<BudgetKind>)>> = Mutex::new(None);
         let error: Mutex<Option<VerifyError>> = Mutex::new(None);
         let total_stats: Mutex<VerifyStats> = Mutex::new(VerifyStats::default());
+        // Per-worker leaf/split records merge here (like the stats) and
+        // are assembled into a certificate once the verdict is known.
+        let recording = cert_root.is_some();
+        let total_records: Mutex<CertRecorder> = Mutex::new(match cert_root {
+            Some(root) => CertRecorder::new(root),
+            None => CertRecorder::default(),
+        });
         let objective_lipschitz = if self.config.lipschitz_prefilter {
             2.0 * net.lipschitz_bound()
         } else {
@@ -249,6 +264,7 @@ impl ParallelVerifier {
                     error: &error,
                 };
                 let total_stats = &total_stats;
+                let total_records = &total_records;
                 let policy = Arc::clone(&self.policy);
                 let config = self.config.clone();
                 let trace = Arc::clone(&self.trace);
@@ -266,11 +282,15 @@ impl ParallelVerifier {
                         trace: trace.as_ref(),
                     };
                     let mut stats = VerifyStats::default();
+                    let mut records = recording.then(CertRecorder::default);
                     // Per-worker scratch arena: buffers recycle across the
                     // regions this worker processes, never across threads.
                     let mut ws = Workspace::new();
-                    worker_loop(worker, &env, &shared, &mut stats, &mut ws);
+                    worker_loop(worker, &env, &shared, &mut stats, &mut records, &mut ws);
                     total_stats.lock().absorb(&stats);
+                    if let Some(records) = records {
+                        total_records.lock().absorb(records);
+                    }
                 });
             }
         });
@@ -319,11 +339,19 @@ impl ParallelVerifier {
             regions: stats.regions,
             seconds: stats.elapsed.as_secs_f64(),
         });
+        let certificate = if recording {
+            total_records
+                .into_inner()
+                .finish(net, target, self.config.delta, &verdict)
+        } else {
+            None
+        };
         Ok(VerifyRun {
             verdict,
             stats,
             checkpoint,
             limit,
+            certificate,
         })
     }
 }
@@ -335,6 +363,7 @@ fn worker_loop(
     env: &StepEnv<'_>,
     shared: &Shared<'_>,
     stats: &mut VerifyStats,
+    records: &mut Option<CertRecorder>,
     ws: &mut Workspace,
 ) {
     loop {
@@ -411,20 +440,33 @@ fn worker_loop(
         let outcome = guarded_region_step(env, &region, ordinal, stats, ws);
         shared.regions_done.fetch_add(1, Ordering::Relaxed);
         match outcome {
-            Ok(RegionOutcome::Verified) => {
+            Ok(RegionOutcome::Verified { domain, margin }) => {
                 stats.verified_regions += 1;
+                if let Some(rec) = records {
+                    rec.leaf(&region, domain, margin);
+                }
                 shared.sched.complete_one();
             }
             Ok(RegionOutcome::Refuted(cex)) => {
                 shared.record_and_stop(Verdict::Refuted(cex), None);
                 shared.sched.complete_one();
             }
-            Ok(RegionOutcome::Split(a, b)) => {
+            Ok(RegionOutcome::Split {
+                left,
+                right,
+                dim,
+                at,
+            }) => {
                 emit(env.trace, || TraceEvent::RegionPushed { depth: depth + 1 });
                 emit(env.trace, || TraceEvent::RegionPushed { depth: depth + 1 });
+                if let Some(rec) = records {
+                    rec.split(&region, dim, at);
+                }
                 // Children enter the worklist before the parent completes,
                 // so the drained signal never dips mid-split.
-                shared.sched.push_split(worker, (a, depth + 1), (b, depth + 1));
+                shared
+                    .sched
+                    .push_split(worker, (left, depth + 1), (right, depth + 1));
                 shared.sched.complete_one();
             }
             Ok(RegionOutcome::Unsplittable) => {
@@ -680,6 +722,35 @@ mod tests {
                 assert!(hops < 8, "resume chain did not converge");
             }
         }
+    }
+
+    #[test]
+    fn parallel_merged_certificate_passes_audit() {
+        let net = samples::xor_network();
+        let config = VerifierConfig {
+            certificates: true,
+            ..VerifierConfig::default()
+        };
+        let verifier = ParallelVerifier::new(Arc::new(LinearPolicy::default()), config, 4);
+
+        // Verified: worker-interleaved records assemble into one tree.
+        let prop = RobustnessProperty::new(Bounds::new(vec![0.3, 0.3], vec![0.7, 0.7]), 1);
+        let run = verifier.try_verify_run(&net, &prop).unwrap();
+        assert_eq!(run.verdict, Verdict::Verified);
+        let certificate = run.certificate.expect("parallel run emits a certificate");
+        let report = cert::audit(&certificate, &net, &cert::AuditOptions::default())
+            .expect("audit accepts the merged certificate");
+        assert!(report.verified);
+        assert_eq!(report.leaves, run.stats.verified_regions);
+
+        // Refuted: the witness certificate audits, whichever worker won.
+        let broken = RobustnessProperty::new(Bounds::new(vec![0.0, 0.0], vec![1.0, 1.0]), 1);
+        let run = verifier.try_verify_run(&net, &broken).unwrap();
+        assert!(run.verdict.is_refuted());
+        let certificate = run.certificate.expect("refuted parallel run emits a certificate");
+        let report = cert::audit(&certificate, &net, &cert::AuditOptions::default())
+            .expect("audit accepts the witness");
+        assert!(!report.verified);
     }
 
     #[test]

@@ -1218,6 +1218,7 @@ mod tests {
             stats,
             checkpoint: None,
             limit: None,
+            certificate: None,
         };
         let text = RunReport::from_run(&run).render();
         assert!(
@@ -1279,6 +1280,7 @@ mod tests {
             stats,
             checkpoint: None,
             limit: None,
+            certificate: None,
         };
         let text = RunReport::from_run(&run).render();
         assert!(text.contains("unix:/tmp/n0.sock"), "report: {text}");
@@ -1303,6 +1305,7 @@ mod tests {
             stats,
             checkpoint: None,
             limit: None,
+            certificate: None,
         };
         let text = RunReport::from_run(&run).render();
         assert!(text.contains("verified"), "report: {text}");

@@ -18,7 +18,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use attack::Minimizer;
-use domains::{analyze_checked_ws, AnalysisOutcome, Bounds, DomainChoice, Workspace};
+use cert::{CertVerdict, Certificate, LeafRecord, SplitRecord};
+use domains::{
+    analyze_margin_checked_ws, AnalysisOutcome, Bounds, DomainChoice, Workspace,
+};
 use nn::Network;
 
 use crate::checkpoint::Checkpoint;
@@ -29,21 +32,26 @@ use crate::telemetry::{emit, Metrics, SharedSink, TraceEvent, TraceSink};
 use crate::RobustnessProperty;
 
 /// A δ-counterexample (Definition 5.3): a point whose score margin for the
-/// target class is at most δ.
+/// target class is strictly below δ.
+///
+/// Acceptance uses the *directed upper bound* `F_up(point) < δ` (see
+/// [`cert::objective_upper`]), the same check the independent certificate
+/// auditor replays — so a witness the verifier reports can never be
+/// rejected by a later `charon-cli audit`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Counterexample {
     /// The input point, always inside the property's region.
     pub point: Vec<f64>,
-    /// The objective value `F(point)`; at most δ, and `<= 0` for a true
-    /// counterexample.
+    /// The round-to-nearest objective value `F(point)`; strictly below δ,
+    /// and `< 0` for a true counterexample.
     pub objective: f64,
 }
 
 impl Counterexample {
     /// Whether this is a true counterexample (misclassification), not
-    /// merely a δ-near-violation.
+    /// merely a δ-near-violation. Exact ties (`F(x*) == 0`) do not count.
     pub fn is_true_violation(&self) -> bool {
-        self.objective <= 0.0
+        self.objective < 0.0
     }
 }
 
@@ -100,6 +108,11 @@ pub struct VerifierConfig {
     /// Deterministic fault-injection schedule, for chaos testing only.
     /// Production configurations leave this `None`.
     pub faults: Option<Arc<FaultPlan>>,
+    /// If true, fresh (non-resumed) runs that reach a decisive verdict
+    /// emit a proof [`Certificate`] in [`VerifyRun::certificate`]: the
+    /// full split tree with per-leaf domains and margins for `Verified`,
+    /// the validated witness for `Refuted`. Off by default.
+    pub certificates: bool,
 }
 
 impl Default for VerifierConfig {
@@ -114,6 +127,7 @@ impl Default for VerifierConfig {
             lipschitz_prefilter: false,
             cancel: None,
             faults: None,
+            certificates: false,
         }
     }
 }
@@ -188,6 +202,10 @@ pub struct VerifyRun {
     pub checkpoint: Option<Checkpoint>,
     /// For [`Verdict::ResourceLimit`]: which budget stopped the run.
     pub limit: Option<BudgetKind>,
+    /// The proof certificate, when [`VerifierConfig::certificates`] is set
+    /// and the run was fresh (not resumed) and decisive. `None` for
+    /// resource-limited runs and whenever emission was not requested.
+    pub certificate: Option<Certificate>,
 }
 
 impl VerifyRun {
@@ -342,10 +360,15 @@ impl Verifier {
         ws: &mut Workspace,
     ) -> Result<VerifyRun, VerifyError> {
         validate_problem(net, property.region(), property.target())?;
+        let cert_root = self
+            .config
+            .certificates
+            .then(|| property.region().clone());
         self.run_worklist(
             net,
             property.target(),
             vec![(property.region().clone(), 0)],
+            cert_root,
             ws,
         )
     }
@@ -410,20 +433,27 @@ impl Verifier {
         for (region, _) in &checkpoint.pending {
             validate_problem(net, region, checkpoint.target)?;
         }
-        self.run_worklist(net, checkpoint.target, checkpoint.pending.clone(), ws)
+        // A resumed run cannot account for the regions the interrupted run
+        // already discharged, so it never emits a certificate.
+        self.run_worklist(net, checkpoint.target, checkpoint.pending.clone(), None, ws)
     }
 
     /// The shared depth-first driver behind every entry point.
+    ///
+    /// `cert_root` is `Some(root region)` when this is a fresh single-root
+    /// run that should emit a proof certificate; resumed runs pass `None`.
     fn run_worklist(
         &self,
         net: &Network,
         target: usize,
         mut stack: Vec<(Bounds, usize)>,
+        cert_root: Option<Bounds>,
         ws: &mut Workspace,
     ) -> Result<VerifyRun, VerifyError> {
         let start = Instant::now();
         let deadline = start + self.config.timeout;
         let mut stats = VerifyStats::default();
+        let mut recorder = cert_root.map(CertRecorder::new);
         let minimizer = Minimizer::new(self.config.seed).with_restarts(self.config.restarts);
         // The objective F is a difference of two M-Lipschitz outputs, so
         // it is 2M-Lipschitz; computed once per verification run.
@@ -500,15 +530,28 @@ impl Verifier {
 
             match guarded_region_step(&env, &region, ordinal, &mut stats, ws) {
                 Err(e) => break Err(e),
-                Ok(RegionOutcome::Verified) => stats.verified_regions += 1,
+                Ok(RegionOutcome::Verified { domain, margin }) => {
+                    stats.verified_regions += 1;
+                    if let Some(rec) = &mut recorder {
+                        rec.leaf(&region, domain, margin);
+                    }
+                }
                 Ok(RegionOutcome::Refuted(cex)) => {
                     break Ok((Verdict::Refuted(cex), None, None));
                 }
-                Ok(RegionOutcome::Split(a, b)) => {
+                Ok(RegionOutcome::Split {
+                    left,
+                    right,
+                    dim,
+                    at,
+                }) => {
                     emit(env.trace, || TraceEvent::RegionPushed { depth: depth + 1 });
                     emit(env.trace, || TraceEvent::RegionPushed { depth: depth + 1 });
-                    stack.push((b, depth + 1));
-                    stack.push((a, depth + 1));
+                    if let Some(rec) = &mut recorder {
+                        rec.split(&region, dim, at);
+                    }
+                    stack.push((right, depth + 1));
+                    stack.push((left, depth + 1));
                 }
                 Ok(RegionOutcome::Unsplittable) => {
                     stack.push((region, depth));
@@ -537,12 +580,99 @@ impl Verifier {
             regions: stats.regions,
             seconds: stats.elapsed.as_secs_f64(),
         });
+        let certificate =
+            recorder.and_then(|rec| rec.finish(net, target, self.config.delta, &verdict));
         Ok(VerifyRun {
             verdict,
             stats,
             checkpoint,
             limit,
+            certificate,
         })
+    }
+}
+
+/// Collects the flat leaf/split records of one run and assembles them
+/// into a [`Certificate`] once the verdict is known.
+///
+/// Shared by the sequential driver (one recorder per run) and the
+/// parallel driver (one per worker, merged under the shared lock like
+/// [`VerifyStats`]).
+#[derive(Debug, Default)]
+pub(crate) struct CertRecorder {
+    root: Option<Bounds>,
+    leaves: Vec<LeafRecord>,
+    splits: Vec<SplitRecord>,
+}
+
+impl CertRecorder {
+    pub(crate) fn new(root: Bounds) -> Self {
+        CertRecorder {
+            root: Some(root),
+            leaves: Vec::new(),
+            splits: Vec::new(),
+        }
+    }
+
+    pub(crate) fn leaf(&mut self, region: &Bounds, domain: String, margin: f64) {
+        // The certificate format requires a finite non-negative margin;
+        // the audit replay is authoritative, so clamping here never makes
+        // an unsound claim pass (a bogus leaf still fails its replay).
+        let margin = if margin.is_finite() { margin.max(0.0) } else { 0.0 };
+        self.leaves.push(LeafRecord {
+            region: region.clone(),
+            domain,
+            margin,
+        });
+    }
+
+    pub(crate) fn split(&mut self, region: &Bounds, dim: usize, at: f64) {
+        self.splits.push(SplitRecord {
+            region: region.clone(),
+            dim,
+            at,
+        });
+    }
+
+    /// Folds another worker's records into this one (parallel runs).
+    pub(crate) fn absorb(&mut self, other: CertRecorder) {
+        self.leaves.extend(other.leaves);
+        self.splits.extend(other.splits);
+    }
+
+    /// Builds the certificate for a decisive verdict; `None` for
+    /// resource-limited runs or if the records do not tile the root
+    /// (best-effort emission, never a panic).
+    pub(crate) fn finish(
+        self,
+        net: &Network,
+        target: usize,
+        delta: f64,
+        verdict: &Verdict,
+    ) -> Option<Certificate> {
+        let root = self.root?;
+        let net_hash = nn::serialize::content_hash(net);
+        match verdict {
+            Verdict::Verified => Certificate::assemble_verified(
+                net_hash,
+                target,
+                delta,
+                root,
+                &self.leaves,
+                &self.splits,
+            ),
+            Verdict::Refuted(cex) => Some(Certificate {
+                net_hash,
+                target,
+                delta,
+                root,
+                verdict: CertVerdict::Refuted {
+                    witness: cex.point.clone(),
+                    objective: cex.objective,
+                },
+            }),
+            Verdict::ResourceLimit => None,
+        }
     }
 }
 
@@ -607,12 +737,21 @@ pub(crate) struct StepEnv<'a> {
 /// What processing one region concluded.
 #[derive(Debug)]
 pub(crate) enum RegionOutcome {
-    /// The region was proved safe.
-    Verified,
+    /// The region was proved safe; carries the discharging domain's
+    /// display name and its certified margin lower bound (`> 0`, except
+    /// for complete-solver proofs which report `0.0` and lean on the
+    /// auditor's replay), for certificate leaf records.
+    Verified { domain: String, margin: f64 },
     /// A validated δ-counterexample was found inside the region.
     Refuted(Counterexample),
-    /// Undecided; recurse on the two halves.
-    Split(Bounds, Bounds),
+    /// Undecided; recurse on the two halves. `dim`/`at` describe the cut
+    /// (for certificate split records).
+    Split {
+        left: Bounds,
+        right: Bounds,
+        dim: usize,
+        at: f64,
+    },
     /// Undecided and numerically unsplittable: the driver must report
     /// [`Verdict::ResourceLimit`] (never a fabricated refutation).
     Unsplittable,
@@ -734,9 +873,10 @@ fn region_step(
         }
     }
 
-    // Line 3 (Eq. 4): F(x*) <= δ refutes — but only counterexamples that
-    // survive validation (finite, clamped in-region, margin re-checked)
-    // are ever reported.
+    // Line 3 (Eq. 4): F(x*) < δ refutes — but only counterexamples that
+    // survive validation (finite, clamped in-region, margin re-checked
+    // with a directed upper bound) are ever reported. The `<=` here is a
+    // cheap gate only: validation is strict, so a tie cannot slip through.
     if objective <= config.delta {
         if let Some(cex) = validated_counterexample(net, region, target, &x_star, config.delta) {
             return StepResult::Outcome(RegionOutcome::Refuted(cex));
@@ -767,8 +907,12 @@ fn region_step(
     if config.lipschitz_prefilter {
         let center = region.center();
         let center_margin = net.objective(&center, target);
-        if center_margin - env.objective_lipschitz * 0.5 * region.diameter() > 0.0 {
-            return StepResult::Outcome(RegionOutcome::Verified);
+        let slack = center_margin - env.objective_lipschitz * 0.5 * region.diameter();
+        if slack > 0.0 {
+            return StepResult::Outcome(RegionOutcome::Verified {
+                domain: "lipschitz".to_string(),
+                margin: slack,
+            });
         }
     }
 
@@ -777,9 +921,12 @@ fn region_step(
     if region.widths().iter().all(|w| *w <= f64::EPSILON) {
         stats.analyze_calls += 1;
         return match timed_interval_analysis(env, region, ordinal, stats, ws) {
-            AnalysisOutcome::Proved => StepResult::Outcome(RegionOutcome::Verified),
-            AnalysisOutcome::Poisoned => StepResult::Poisoned("transformer"),
-            AnalysisOutcome::Inconclusive => {
+            (AnalysisOutcome::Proved, margin) => StepResult::Outcome(RegionOutcome::Verified {
+                domain: DomainChoice::interval().to_string(),
+                margin,
+            }),
+            (AnalysisOutcome::Poisoned, _) => StepResult::Poisoned("transformer"),
+            (AnalysisOutcome::Inconclusive, _) => {
                 // Exact analysis failed on a point region: its center is a
                 // true counterexample (modulo validation).
                 match validated_counterexample(net, region, target, &region.center(), config.delta)
@@ -827,7 +974,7 @@ fn region_step(
     let propagation_seconds = propagation_start.elapsed().as_secs_f64();
     stats.metrics.record_propagation(
         propagation_seconds,
-        matches!(selection, SelectionResult::Verified),
+        matches!(selection, SelectionResult::Verified { .. }),
     );
     emit(env.trace, || TraceEvent::Propagation {
         ordinal,
@@ -837,7 +984,12 @@ fn region_step(
         layer_seconds: layer_seconds.clone(),
     });
     match selection {
-        SelectionResult::Verified => return StepResult::Outcome(RegionOutcome::Verified),
+        SelectionResult::Verified { margin } => {
+            return StepResult::Outcome(RegionOutcome::Verified {
+                domain: choice.to_string(),
+                margin,
+            })
+        }
         SelectionResult::Violated(point) => {
             if let Some(cex) = validated_counterexample(net, region, target, &point, config.delta) {
                 return StepResult::Outcome(RegionOutcome::Refuted(cex));
@@ -850,9 +1002,14 @@ fn region_step(
             // the interval domain before splitting or giving up.
             stats.analyze_calls += 1;
             match timed_interval_analysis(env, region, ordinal, stats, ws) {
-                AnalysisOutcome::Proved => return StepResult::Outcome(RegionOutcome::Verified),
-                AnalysisOutcome::Poisoned => return StepResult::Poisoned("transformer"),
-                AnalysisOutcome::Inconclusive => {}
+                (AnalysisOutcome::Proved, margin) => {
+                    return StepResult::Outcome(RegionOutcome::Verified {
+                        domain: DomainChoice::interval().to_string(),
+                        margin,
+                    })
+                }
+                (AnalysisOutcome::Poisoned, _) => return StepResult::Poisoned("transformer"),
+                (AnalysisOutcome::Inconclusive, _) => {}
             }
         }
         SelectionResult::Inconclusive => {}
@@ -883,7 +1040,12 @@ fn region_step(
         objective,
     });
     let (a, b) = region.split_at(dim, at);
-    StepResult::Outcome(RegionOutcome::Split(a, b))
+    StepResult::Outcome(RegionOutcome::Split {
+        left: a,
+        right: b,
+        dim,
+        at,
+    })
 }
 
 /// Interval analysis with metrics timing and a `Propagation` trace event
@@ -895,9 +1057,15 @@ fn timed_interval_analysis(
     ordinal: usize,
     stats: &mut VerifyStats,
     ws: &mut Workspace,
-) -> AnalysisOutcome {
+) -> (AnalysisOutcome, f64) {
     let start = Instant::now();
-    let outcome = analyze_checked_ws(env.net, region, env.target, DomainChoice::interval(), ws);
+    let (outcome, margin) = analyze_margin_checked_ws(
+        env.net,
+        region,
+        env.target,
+        DomainChoice::interval(),
+        ws,
+    );
     let seconds = start.elapsed().as_secs_f64();
     stats
         .metrics
@@ -909,7 +1077,7 @@ fn timed_interval_analysis(
         outcome: outcome_name(outcome).to_string(),
         layer_seconds: Vec::new(),
     });
-    outcome
+    (outcome, margin)
 }
 
 /// Stable name of an [`AnalysisOutcome`], as used in trace events.
@@ -924,7 +1092,7 @@ fn outcome_name(outcome: AnalysisOutcome) -> &'static str {
 /// Stable name of a [`SelectionResult`], as used in trace events.
 fn selection_name(selection: &SelectionResult) -> &'static str {
     match selection {
-        SelectionResult::Verified => "proved",
+        SelectionResult::Verified { .. } => "proved",
         SelectionResult::Violated(_) => "violated",
         SelectionResult::Inconclusive => "inconclusive",
         SelectionResult::Poisoned => "poisoned",
@@ -942,9 +1110,12 @@ fn coarse_region_step(
 ) -> StepResult {
     stats.analyze_calls += 1;
     match timed_interval_analysis(env, region, ordinal, stats, ws) {
-        AnalysisOutcome::Proved => StepResult::Outcome(RegionOutcome::Verified),
-        AnalysisOutcome::Poisoned => StepResult::Poisoned("transformer"),
-        AnalysisOutcome::Inconclusive => {
+        (AnalysisOutcome::Proved, margin) => StepResult::Outcome(RegionOutcome::Verified {
+            domain: DomainChoice::interval().to_string(),
+            margin,
+        }),
+        (AnalysisOutcome::Poisoned, _) => StepResult::Poisoned("transformer"),
+        (AnalysisOutcome::Inconclusive, _) => {
             // Cheap δ-check at the center before splitting.
             if let Some(cex) = validated_counterexample(
                 env.net,
@@ -960,7 +1131,12 @@ fn coarse_region_step(
             if mid > region.lower()[dim] && mid < region.upper()[dim] {
                 stats.splits += 1;
                 let (a, b) = region.split_at(dim, mid);
-                StepResult::Outcome(RegionOutcome::Split(a, b))
+                StepResult::Outcome(RegionOutcome::Split {
+                    left: a,
+                    right: b,
+                    dim,
+                    at: mid,
+                })
             } else {
                 StepResult::Outcome(RegionOutcome::Unsplittable)
             }
@@ -970,7 +1146,13 @@ fn coarse_region_step(
 
 /// Validates a claimed counterexample before it is reported: the point
 /// must be finite, is clamped into the region, and the objective is
-/// recomputed from scratch and re-checked against δ.
+/// recomputed from scratch with a *directed upper bound* that must land
+/// strictly below δ — the exact check the certificate auditor replays.
+///
+/// Strictness matters: `F_up(x*) == δ` ties and non-finite objectives are
+/// rejected, so the verifier never reports a witness that
+/// `charon-cli audit` (which applies the same `F_up(x*) < δ` rule with
+/// outward rounding) would later refuse.
 ///
 /// This is the sole path by which a [`Counterexample`] is constructed, so
 /// a poisoned attack or solver can never fabricate a refutation.
@@ -987,8 +1169,10 @@ pub(crate) fn validated_counterexample(
     let mut point = candidate.to_vec();
     region.clamp(&mut point);
     let objective = net.objective(&point, target);
-    // NaN fails the comparison, so a poisoned evaluation cannot refute.
-    if objective.is_finite() && objective <= delta {
+    // NaN fails both comparisons, so a poisoned evaluation cannot refute.
+    // `objective_upper` dominates the round-to-nearest objective, so the
+    // reported `objective` also satisfies `objective < delta`.
+    if objective.is_finite() && cert::objective_upper(net, &point, target) < delta {
         Some(Counterexample { point, objective })
     } else {
         None
@@ -997,8 +1181,10 @@ pub(crate) fn validated_counterexample(
 
 /// Outcome of running one policy-selected analysis on a region.
 pub(crate) enum SelectionResult {
-    /// The region was proved safe.
-    Verified,
+    /// The region was proved safe; `margin` is the analysis's certified
+    /// lower bound on the objective (`0.0` when the proving method does
+    /// not expose one, e.g. the complete solver).
+    Verified { margin: f64 },
     /// The (complete) analysis produced a concrete counterexample.
     Violated(Vec<f64>),
     /// The analysis could not decide the region.
@@ -1023,23 +1209,28 @@ pub(crate) fn run_selection(
     ws: &mut Workspace,
     layer_times: Option<&mut Vec<f64>>,
 ) -> SelectionResult {
-    let from_outcome = |outcome: AnalysisOutcome| match outcome {
-        AnalysisOutcome::Proved => SelectionResult::Verified,
+    let from_outcome = |(outcome, margin): (AnalysisOutcome, f64)| match outcome {
+        AnalysisOutcome::Proved => SelectionResult::Verified { margin },
         AnalysisOutcome::Inconclusive => SelectionResult::Inconclusive,
         AnalysisOutcome::Poisoned => SelectionResult::Poisoned,
     };
     match choice {
         DomainSelection::Abstract(c) => match layer_times {
             Some(times) => {
-                from_outcome(domains::analyze_checked_traced(net, region, target, c, ws, times))
+                // The traced path does not expose the margin; leaf records
+                // from traced runs lean on the auditor's replay.
+                let outcome = domains::analyze_checked_traced(net, region, target, c, ws, times);
+                from_outcome((outcome, 0.0))
             }
-            None => from_outcome(analyze_checked_ws(net, region, target, c, ws)),
+            None => from_outcome(analyze_margin_checked_ws(net, region, target, c, ws)),
         },
         DomainSelection::DeepPoly => {
             // DeepPoly's margin comparison is NaN-safe (NaN reads as
             // "not verified"), so a poisoned run is merely inconclusive.
-            if domains::deeppoly::verifies(net, region, target) {
-                SelectionResult::Verified
+            let margin =
+                domains::deeppoly::DeepPoly::analyze(net, region).margin_lower_bound(target);
+            if margin > 0.0 {
+                SelectionResult::Verified { margin }
             } else {
                 SelectionResult::Inconclusive
             }
@@ -1047,7 +1238,7 @@ pub(crate) fn run_selection(
         DomainSelection::RefinedZonotope { lp_per_layer } => {
             if !complete::supports(net) {
                 // Architectures the LP cannot encode use the plain domain.
-                return from_outcome(analyze_checked_ws(
+                return from_outcome(analyze_margin_checked_ws(
                     net,
                     region,
                     target,
@@ -1088,7 +1279,7 @@ pub(crate) fn run_selection(
             if poisoned || margin.is_nan() {
                 SelectionResult::Poisoned
             } else if margin > 0.0 {
-                SelectionResult::Verified
+                SelectionResult::Verified { margin }
             } else {
                 SelectionResult::Inconclusive
             }
@@ -1097,7 +1288,7 @@ pub(crate) fn run_selection(
             if !complete::supports(net) {
                 // Fall back to the strongest classic domain for
                 // architectures the solver cannot encode.
-                return from_outcome(analyze_checked_ws(
+                return from_outcome(analyze_margin_checked_ws(
                     net,
                     region,
                     target,
@@ -1107,7 +1298,7 @@ pub(crate) fn run_selection(
             }
             let solver = complete::CompleteSolver::with_node_budget(node_budget);
             match solver.decide(net, region, target, deadline) {
-                complete::Decision::Proved => SelectionResult::Verified,
+                complete::Decision::Proved => SelectionResult::Verified { margin: 0.0 },
                 complete::Decision::Violated(x) => SelectionResult::Violated(x),
                 complete::Decision::Budget => SelectionResult::Inconclusive,
             }
@@ -1450,6 +1641,93 @@ mod tests {
         assert_eq!(reloaded, ckpt);
         let resumed = verifier.resume(&net, &reloaded).unwrap();
         assert_eq!(resumed.verdict, Verdict::Verified);
+    }
+
+    #[test]
+    fn strict_witness_semantics_reject_ties_and_non_finite_objectives() {
+        // A network whose objective is identically zero: every point is an
+        // exact tie `F(x*) == 0 == δ`, and none of them may validate — the
+        // auditor's strict `F_up(x*) < δ` check could never confirm one.
+        let tie = Network::new(
+            1,
+            vec![nn::Layer::Affine(nn::AffineLayer::new(
+                tensor::Matrix::from_rows(&[&[1.0], &[1.0]]),
+                vec![0.0, 0.0],
+            ))],
+        )
+        .unwrap();
+        let region = Bounds::new(vec![-1.0], vec![1.0]);
+        assert!(validated_counterexample(&tie, &region, 0, &[0.5], 0.0).is_none());
+        assert!(validated_counterexample(&tie, &region, 0, &[0.0], 0.0).is_none());
+
+        // An objective that overflows to -inf "refutes" numerically but
+        // must be rejected: non-finite objectives are never witnesses.
+        let overflow = Network::new(
+            1,
+            vec![nn::Layer::Affine(nn::AffineLayer::new(
+                tensor::Matrix::from_rows(&[&[0.0], &[1e308]]),
+                vec![0.0, 0.0],
+            ))],
+        )
+        .unwrap();
+        let wide = Bounds::new(vec![0.0], vec![10.0]);
+        assert!(!overflow.objective(&[10.0], 0).is_finite());
+        assert!(validated_counterexample(&overflow, &wide, 0, &[10.0], 1e-9).is_none());
+    }
+
+    #[test]
+    fn emitted_certificates_always_satisfy_the_independent_auditor() {
+        let net = samples::xor_network();
+        let mut verifier = Verifier::default();
+        verifier.config_mut().certificates = true;
+
+        // Verified property: the split tree replays cleanly under the
+        // auditor's directed-rounding checker.
+        let robust = property(vec![0.3, 0.3], vec![0.7, 0.7], 1);
+        let run = verifier.try_verify_run(&net, &robust).unwrap();
+        assert_eq!(run.verdict, Verdict::Verified);
+        let certificate = run.certificate.expect("verified run emits a certificate");
+        let report = cert::audit(&certificate, &net, &cert::AuditOptions::default())
+            .expect("audit accepts the emitted certificate");
+        assert!(report.verified);
+        assert_eq!(report.leaves, run.stats.verified_regions);
+
+        // Refuted property: the witness passes the same strict directed
+        // re-evaluation the verifier used to accept it (satellite of the
+        // strict-semantics change: the two can never disagree).
+        let broken = property(vec![0.0, 0.0], vec![1.0, 1.0], 1);
+        let run = verifier.try_verify_run(&net, &broken).unwrap();
+        assert!(run.verdict.is_refuted());
+        let certificate = run.certificate.expect("refuted run emits a certificate");
+        let report = cert::audit(&certificate, &net, &cert::AuditOptions::default())
+            .expect("audit accepts the witness");
+        assert!(!report.verified);
+
+        // And the emitted artifact round-trips through the text format.
+        let reparsed = Certificate::from_text(&certificate.to_text()).unwrap();
+        assert_eq!(reparsed, certificate);
+    }
+
+    #[test]
+    fn no_certificate_without_opt_in_or_for_limited_and_resumed_runs() {
+        let net = samples::xor_network();
+        let prop = property(vec![0.3, 0.3], vec![0.7, 0.7], 1);
+        let run = Verifier::default().try_verify_run(&net, &prop).unwrap();
+        assert!(run.certificate.is_none(), "emission is opt-in");
+
+        let mut limited =
+            Verifier::with_policy(Arc::new(FixedPolicy::new(DomainChoice::interval())));
+        limited.config_mut().certificates = true;
+        limited.config_mut().max_regions = 2;
+        let first = limited.try_verify_run(&net, &prop).unwrap();
+        assert_eq!(first.verdict, Verdict::ResourceLimit);
+        assert!(first.certificate.is_none(), "limited runs cannot certify");
+
+        let mut full = limited.clone();
+        full.config_mut().max_regions = 200_000;
+        let resumed = full.resume(&net, &first.checkpoint.unwrap()).unwrap();
+        assert_eq!(resumed.verdict, Verdict::Verified);
+        assert!(resumed.certificate.is_none(), "resumed runs cannot certify");
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! charon-cli verify  --network NET (--property PROP | --resume CKPT) [--timeout-ms N]
 //!                    [--delta D] [--policy FILE] [--parallel N] [--checkpoint FILE]
 //!                    [--no-cex] [--stats] [--report] [--trace-out FILE]
+//!                    [--cert-out FILE]
+//! charon-cli audit   --network NET --cert FILE
 //! charon-cli attack  --network NET --property PROP [--restarts N] [--seed N]
 //! charon-cli train   [--seed N] [--time-limit-ms N] --out FILE
 //! charon-cli info    --network NET
@@ -24,6 +26,7 @@
 //!                    | --stats | --drain | --ping) [--id N] [--retries N]
 //!                    [--priority N] [--deadline-ms N] [--timeout-ms N]
 //!                    [--delta D] [--restarts N] [--seed N] [--no-cex] [--checkpoint FILE]
+//!                    [--cert-out FILE]
 //! ```
 //!
 //! Networks use the `nn::serialize` plain-text format and properties the
@@ -34,6 +37,17 @@
 //! connection refused, queue full, draining, or the retry budget ran
 //! out on such a transient condition), 70 = internal engine failure
 //! (`EX_SOFTWARE`), including a `poisoned` quarantine verdict.
+//!
+//! `verify --cert-out FILE` records a proof certificate (`charon-cert`
+//! format, see the [`cert`] crate) for a decisive verdict: the full
+//! region split tree with per-leaf domains and margins for `verified`,
+//! or the concrete witness input for `refuted`. `audit` independently
+//! re-checks such a certificate against the network using
+//! directed-rounding arithmetic that shares no code with the search.
+//! Its exit codes: 0 = certificate checks out (for a verified *or* a
+//! refuted claim), 1 = certificate rejected (tampered, unsound, or for
+//! a different network — the typed reason is printed), 65 = the
+//! certificate or network file cannot be read, 64 = usage error.
 //!
 //! `serve` runs the [`server`] daemon in the foreground until a client
 //! drains it; `submit` is the matching one-shot client. An address is
@@ -247,7 +261,7 @@ impl Args {
 }
 
 fn usage() -> String {
-    "usage:\n  charon-cli verify  --network NET (--property PROP | --resume CKPT) [--timeout-ms N] [--delta D] [--policy FILE] [--parallel N] [--checkpoint FILE] [--no-cex] [--stats] [--report] [--trace-out FILE]\n  charon-cli attack  --network NET --property PROP [--restarts N] [--seed N]\n  charon-cli train   [--seed N] [--time-limit-ms N] --out FILE\n  charon-cli info    --network NET\n  charon-cli example --out-network NET --out-property PROP\n  charon-cli prop    --zoo NAME --image N --tau T --out-network NET --out-property PROP\n  charon-cli certify --zoo NAME --eps E [--points N] [--timeout-ms N]\n  charon-cli trace   --in FILE\n  charon-cli serve   --addr ADDR [--workers N] [--queue N] [--cache N] [--journal FILE | --no-journal] [--fault-kill-job ID] [--fault-worker-kill ORD]\n  charon-cli serve   --addr ADDR --coordinator --nodes ADDR,ADDR[,...] [--shards N] [--conns-per-node N] [--retry-budget N] [--node-grace-ms N] [--journal FILE | --no-journal] [--fault-node-kill ORD] [--fault-shard-drop ORD]\n  charon-cli node    --addr ADDR [--workers N] [--journal FILE]\n  charon-cli submit  --addr ADDR (--network NET --property PROP | --query ID | --stats | --drain | --ping) [--id N] [--retries N] [--priority N] [--deadline-ms N] [--timeout-ms N] [--delta D] [--restarts N] [--seed N] [--no-cex] [--checkpoint FILE]\n\nserve journals accepted jobs to <socket>.wal on Unix addresses unless --no-journal; --journal FILE overrides the path (and is required for durability on tcp: addresses). --fault-kill-job / --fault-worker-kill schedule deterministic worker panics for chaos testing only.\nserve --coordinator shards each job's input region across the listed nodes and merges shard verdicts; a node is a daemon started with `charon-cli node` (journal off by default: shards are the coordinator's to re-dispatch). --fault-node-kill / --fault-shard-drop schedule deterministic cluster faults for chaos testing only.\nsubmit retries transient failures (connect refused, queue full, draining, journal errors) --retries times with capped exponential backoff; exit 69 = retryable/unavailable, 70 = engine failure or poisoned job.".to_string()
+    "usage:\n  charon-cli verify  --network NET (--property PROP | --resume CKPT) [--timeout-ms N] [--delta D] [--policy FILE] [--parallel N] [--checkpoint FILE] [--no-cex] [--stats] [--report] [--trace-out FILE] [--cert-out FILE]\n  charon-cli audit   --network NET --cert FILE\n  charon-cli attack  --network NET --property PROP [--restarts N] [--seed N]\n  charon-cli train   [--seed N] [--time-limit-ms N] --out FILE\n  charon-cli info    --network NET\n  charon-cli example --out-network NET --out-property PROP\n  charon-cli prop    --zoo NAME --image N --tau T --out-network NET --out-property PROP\n  charon-cli certify --zoo NAME --eps E [--points N] [--timeout-ms N]\n  charon-cli trace   --in FILE\n  charon-cli serve   --addr ADDR [--workers N] [--queue N] [--cache N] [--journal FILE | --no-journal] [--fault-kill-job ID] [--fault-worker-kill ORD]\n  charon-cli serve   --addr ADDR --coordinator --nodes ADDR,ADDR[,...] [--shards N] [--conns-per-node N] [--retry-budget N] [--node-grace-ms N] [--journal FILE | --no-journal] [--fault-node-kill ORD] [--fault-shard-drop ORD]\n  charon-cli node    --addr ADDR [--workers N] [--journal FILE]\n  charon-cli submit  --addr ADDR (--network NET --property PROP | --query ID | --stats | --drain | --ping) [--id N] [--retries N] [--priority N] [--deadline-ms N] [--timeout-ms N] [--delta D] [--restarts N] [--seed N] [--no-cex] [--checkpoint FILE] [--cert-out FILE]\n\nserve journals accepted jobs to <socket>.wal on Unix addresses unless --no-journal; --journal FILE overrides the path (and is required for durability on tcp: addresses). --fault-kill-job / --fault-worker-kill schedule deterministic worker panics for chaos testing only.\nserve --coordinator shards each job's input region across the listed nodes and merges shard verdicts; a node is a daemon started with `charon-cli node` (journal off by default: shards are the coordinator's to re-dispatch). --fault-node-kill / --fault-shard-drop schedule deterministic cluster faults for chaos testing only.\nsubmit retries transient failures (connect refused, queue full, draining, journal errors) --retries times with capped exponential backoff; exit 69 = retryable/unavailable, 70 = engine failure or poisoned job.\nverify --cert-out records a proof certificate for a decisive verdict (submit --cert-out asks the daemon to do the same over the wire); audit independently re-checks one with directed rounding (exit 0 = certificate ok, 1 = rejected, 65 = unreadable).".to_string()
 }
 
 /// Executes a CLI invocation, writing human-readable output to `out`.
@@ -275,6 +289,7 @@ fn run_inner(argv: &[String], out: &mut impl std::io::Write) -> Result<ExitCode,
     }
     match args.command.as_str() {
         "verify" => cmd_verify(&args, out),
+        "audit" => cmd_audit(&args, out),
         "attack" => cmd_attack(&args, out),
         "train" => cmd_train(&args, out),
         "info" => cmd_info(&args, out),
@@ -315,6 +330,7 @@ fn cmd_verify(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, Cl
         timeout: Duration::from_millis(args.get_u64("timeout-ms", 60_000)?),
         delta: args.get_f64("delta", 1e-9)?,
         counterexample_search: !args.switch("no-cex"),
+        certificates: args.get("cert-out").is_some(),
         ..VerifierConfig::default()
     };
     config.seed = args.get_u64("seed", 0)?;
@@ -397,6 +413,22 @@ fn cmd_verify(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, Cl
         }
     }
 
+    if let Some(path) = args.get("cert-out") {
+        match &run.certificate {
+            Some(cert) => {
+                cert.save(Path::new(path)).map_err(|e| {
+                    CliError::Data(format!("cannot write certificate {path}: {e}"))
+                })?;
+                writeln!(out, "certificate written to {path}").map_err(|e| e.to_string())?;
+            }
+            // Resource-limit and resumed runs cannot account for the
+            // whole split tree, so there is nothing sound to emit.
+            None => {
+                writeln!(out, "no certificate available").map_err(|e| e.to_string())?;
+            }
+        }
+    }
+
     match run.verdict {
         Verdict::Verified => {
             writeln!(out, "verified").map_err(|e| e.to_string())?;
@@ -432,6 +464,41 @@ fn cmd_verify(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, Cl
                 }
             }
             Ok(ExitCode::ResourceLimit)
+        }
+    }
+}
+
+/// Independently re-checks a stored proof certificate against a network.
+///
+/// Replays every leaf of the split tree (or the refutation witness)
+/// with outward-rounded interval arithmetic, so a pass means the
+/// verdict holds even if the original search's floats misbehaved. A
+/// certificate that fails to parse, checksum, or replay is *rejected*
+/// (exit code 1) with the typed reason; only genuinely unreadable
+/// files are data errors (65).
+fn cmd_audit(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, CliError> {
+    let net = load_network(args.require("network")?)?;
+    let path = args.require("cert")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Data(format!("cannot read certificate {path}: {e}")))?;
+    let parsed = cert::Certificate::from_text(&text);
+    let outcome = parsed
+        .map_err(cert::AuditError::Cert)
+        .and_then(|c| cert::audit(&c, &net, &cert::AuditOptions::default()));
+    match outcome {
+        Ok(report) => {
+            let claim = if report.verified { "verified" } else { "refuted" };
+            writeln!(
+                out,
+                "certificate ok: {claim} ({} leaves, {} splits, {} refined regions)",
+                report.leaves, report.splits, report.refined_regions
+            )
+            .map_err(|e| e.to_string())?;
+            Ok(ExitCode::Success)
+        }
+        Err(e) => {
+            writeln!(out, "certificate rejected: {e}").map_err(|e| e.to_string())?;
+            Ok(ExitCode::Refuted)
         }
     }
 }
@@ -954,6 +1021,7 @@ fn cmd_submit(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, Cl
         restarts: args.get_u64("restarts", 2)? as usize,
         seed: args.get_u64("seed", 0)?,
         cex_search: !args.switch("no-cex"),
+        cert: args.get("cert-out").is_some(),
         ack: true,
     };
     let policy = server::RetryPolicy {
@@ -985,6 +1053,32 @@ fn unique_job_id() -> u64 {
     ((nanos ^ (u64::from(std::process::id()) << 40)) & ((1 << 53) - 1)) | 1
 }
 
+/// Writes the `cert` field of a decisive daemon verdict to the path the
+/// user gave with `--cert-out`. A daemon that computed the verdict
+/// without certification (a pre-v4 daemon, a cache hit on an
+/// uncertified entry, or a resource-limited shard merge) omits the
+/// field; that is reported, not an error — the verdict itself stands.
+fn write_submitted_cert(
+    reply: &charon::json::Fields,
+    args: &Args,
+    out: &mut impl std::io::Write,
+) -> Result<(), CliError> {
+    let Some(path) = args.get("cert-out") else {
+        return Ok(());
+    };
+    match reply.opt_str("cert").map_err(CliError::Engine)? {
+        Some(text) => {
+            std::fs::write(path, text)
+                .map_err(|e| CliError::Data(format!("cannot write certificate {path}: {e}")))?;
+            writeln!(out, "certificate written to {path}").map_err(|e| e.to_string())?;
+        }
+        None => {
+            writeln!(out, "no certificate available").map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
 /// Renders a terminal daemon response (`verdict`, `checkpointed`,
 /// `unstarted`, or a non-retryable `error`) and maps it to an exit code.
 fn render_terminal(
@@ -999,6 +1093,7 @@ fn render_terminal(
             match reply.str_field("verdict").map_err(CliError::Engine)?.as_str() {
                 "verified" => {
                     writeln!(out, "verified{provenance}").map_err(|e| e.to_string())?;
+                    write_submitted_cert(reply, args, out)?;
                     Ok(ExitCode::Success)
                 }
                 "refuted" => {
@@ -1016,6 +1111,7 @@ fn render_terminal(
                         _ => writeln!(out, "refuted{provenance}"),
                     }
                     .map_err(|e| e.to_string())?;
+                    write_submitted_cert(reply, args, out)?;
                     Ok(ExitCode::Refuted)
                 }
                 "resource_limit" => {
@@ -1501,6 +1597,156 @@ mod tests {
             "2",
         ]);
         assert_eq!(code, ExitCode::Success, "output: {output}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn cert_emission_and_audit_round_trip_for_both_verdicts() {
+        let dir = temp_dir();
+        let net = dir.join("xor.net");
+        let prop = dir.join("p.prop");
+        let cert_path = dir.join("proof.cert");
+        run_capture(&[
+            "example",
+            "--out-network",
+            net.to_str().unwrap(),
+            "--out-property",
+            prop.to_str().unwrap(),
+        ]);
+
+        // Verified: emit a certificate and let the auditor confirm it.
+        let (code, output) = run_capture(&[
+            "verify",
+            "--network",
+            net.to_str().unwrap(),
+            "--property",
+            prop.to_str().unwrap(),
+            "--cert-out",
+            cert_path.to_str().unwrap(),
+        ]);
+        assert_eq!(code, ExitCode::Success, "output: {output}");
+        assert!(output.contains("certificate written to"), "output: {output}");
+        let (code, output) = run_capture(&[
+            "audit",
+            "--network",
+            net.to_str().unwrap(),
+            "--cert",
+            cert_path.to_str().unwrap(),
+        ]);
+        assert_eq!(code, ExitCode::Success, "output: {output}");
+        assert!(output.contains("certificate ok: verified"), "output: {output}");
+
+        // Refuted: the unit square contains inputs classified 0, so the
+        // certificate carries a witness instead of a split tree.
+        let refuted_prop = dir.join("wide.prop");
+        let property =
+            RobustnessProperty::new(domains::Bounds::new(vec![0.0, 0.0], vec![1.0, 1.0]), 1);
+        std::fs::write(&refuted_prop, property.to_text()).unwrap();
+        let (code, output) = run_capture(&[
+            "verify",
+            "--network",
+            net.to_str().unwrap(),
+            "--property",
+            refuted_prop.to_str().unwrap(),
+            "--cert-out",
+            cert_path.to_str().unwrap(),
+        ]);
+        assert_eq!(code, ExitCode::Refuted, "output: {output}");
+        assert!(output.contains("certificate written to"), "output: {output}");
+        let (code, output) = run_capture(&[
+            "audit",
+            "--network",
+            net.to_str().unwrap(),
+            "--cert",
+            cert_path.to_str().unwrap(),
+        ]);
+        assert_eq!(code, ExitCode::Success, "output: {output}");
+        assert!(output.contains("certificate ok: refuted"), "output: {output}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn audit_rejects_a_corrupted_certificate() {
+        let dir = temp_dir();
+        let net = dir.join("xor.net");
+        let prop = dir.join("p.prop");
+        let cert_path = dir.join("proof.cert");
+        run_capture(&[
+            "example",
+            "--out-network",
+            net.to_str().unwrap(),
+            "--out-property",
+            prop.to_str().unwrap(),
+        ]);
+        let (code, output) = run_capture(&[
+            "verify",
+            "--network",
+            net.to_str().unwrap(),
+            "--property",
+            prop.to_str().unwrap(),
+            "--cert-out",
+            cert_path.to_str().unwrap(),
+        ]);
+        assert_eq!(code, ExitCode::Success, "output: {output}");
+
+        // Flip one byte in the body; the checksum must catch it and the
+        // audit must exit nonzero with the typed rejection.
+        let mut bytes = std::fs::read(&cert_path).unwrap();
+        let pos = bytes
+            .iter()
+            .position(|b| b.is_ascii_digit() && *b != b'0')
+            .expect("certificate has a nonzero digit");
+        bytes[pos] = if bytes[pos] == b'9' { b'8' } else { b'9' };
+        std::fs::write(&cert_path, &bytes).unwrap();
+        let (code, output) = run_capture(&[
+            "audit",
+            "--network",
+            net.to_str().unwrap(),
+            "--cert",
+            cert_path.to_str().unwrap(),
+        ]);
+        assert_eq!(code, ExitCode::Refuted, "output: {output}");
+        assert!(output.contains("certificate rejected"), "output: {output}");
+
+        // A missing certificate file is a data error, not a rejection.
+        let (code, output) = run_capture(&[
+            "audit",
+            "--network",
+            net.to_str().unwrap(),
+            "--cert",
+            dir.join("nope.cert").to_str().unwrap(),
+        ]);
+        assert_eq!(code, ExitCode::DataError, "output: {output}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn limited_run_with_cert_out_reports_no_certificate() {
+        let dir = temp_dir();
+        let net = dir.join("xor.net");
+        let prop = dir.join("p.prop");
+        let cert_path = dir.join("proof.cert");
+        run_capture(&[
+            "example",
+            "--out-network",
+            net.to_str().unwrap(),
+            "--out-property",
+            prop.to_str().unwrap(),
+        ]);
+        let (code, output) = run_capture(&[
+            "verify",
+            "--network",
+            net.to_str().unwrap(),
+            "--property",
+            prop.to_str().unwrap(),
+            "--timeout-ms",
+            "0",
+            "--cert-out",
+            cert_path.to_str().unwrap(),
+        ]);
+        assert_eq!(code, ExitCode::ResourceLimit, "output: {output}");
+        assert!(output.contains("no certificate available"), "output: {output}");
+        assert!(!cert_path.exists());
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -66,6 +66,7 @@
 //! assert!(analyze(&net, &region, 1, DomainChoice::zonotope()));
 //! ```
 
+#![warn(missing_docs)]
 // Numeric kernels in this crate co-index several arrays at once; index
 // loops are clearer than zipped iterator chains there.
 #![allow(clippy::needless_range_loop)]
@@ -498,28 +499,53 @@ pub fn analyze_checked_ws(
     choice: DomainChoice,
     ws: &mut Workspace,
 ) -> AnalysisOutcome {
+    analyze_margin_checked_ws(net, region, target, choice, ws).0
+}
+
+/// [`analyze_checked_ws`] that additionally reports the margin lower
+/// bound the abstraction derived.
+///
+/// The second component is the value of
+/// [`AbstractElement::margin_lower_bound`] on the propagated element: it
+/// is positive exactly when the outcome is [`AnalysisOutcome::Proved`],
+/// non-positive when [`AnalysisOutcome::Inconclusive`], and NaN when
+/// [`AnalysisOutcome::Poisoned`] (or when the region itself contains
+/// NaN). Proof-certificate emission records this margin per verified
+/// leaf so an auditor can cross-check the claim.
+///
+/// # Panics
+///
+/// Panics if `region.dim() != net.input_dim()` or
+/// `target >= net.output_dim()`.
+pub fn analyze_margin_checked_ws(
+    net: &Network,
+    region: &Bounds,
+    target: usize,
+    choice: DomainChoice,
+    ws: &mut Workspace,
+) -> (AnalysisOutcome, f64) {
     assert!(target < net.output_dim(), "target class out of range");
     if region.has_nan() {
-        return AnalysisOutcome::Poisoned;
+        return (AnalysisOutcome::Poisoned, f64::NAN);
     }
     match (choice.base, choice.disjuncts) {
-        (BaseDomain::Interval, 1) => margin_outcome_ws(
+        (BaseDomain::Interval, 1) => margin_outcome_margin_ws(
             propagate_checked_ws(net, Interval::from_bounds(region), ws),
             target,
             ws,
         ),
-        (BaseDomain::Zonotope, 1) => margin_outcome_ws(
+        (BaseDomain::Zonotope, 1) => margin_outcome_margin_ws(
             propagate_checked_ws(net, Zonotope::from_bounds(region), ws),
             target,
             ws,
         ),
         (BaseDomain::Interval, k) => {
             let element = Powerset::<Interval>::with_budget(region, k);
-            margin_outcome_ws(propagate_checked_ws(net, element, ws), target, ws)
+            margin_outcome_margin_ws(propagate_checked_ws(net, element, ws), target, ws)
         }
         (BaseDomain::Zonotope, k) => {
             let element = Powerset::<Zonotope>::with_budget(region, k);
-            margin_outcome_ws(propagate_checked_ws(net, element, ws), target, ws)
+            margin_outcome_margin_ws(propagate_checked_ws(net, element, ws), target, ws)
         }
     }
 }
@@ -582,17 +608,25 @@ fn margin_outcome_ws<E: AbstractElement>(
     target: usize,
     ws: &mut Workspace,
 ) -> AnalysisOutcome {
+    margin_outcome_margin_ws(element, target, ws).0
+}
+
+fn margin_outcome_margin_ws<E: AbstractElement>(
+    element: Option<E>,
+    target: usize,
+    ws: &mut Workspace,
+) -> (AnalysisOutcome, f64) {
     match element {
-        None => AnalysisOutcome::Poisoned,
+        None => (AnalysisOutcome::Poisoned, f64::NAN),
         Some(e) => {
             let margin = e.margin_lower_bound(target);
             e.recycle(ws);
             if margin.is_nan() {
-                AnalysisOutcome::Poisoned
+                (AnalysisOutcome::Poisoned, f64::NAN)
             } else if margin > 0.0 {
-                AnalysisOutcome::Proved
+                (AnalysisOutcome::Proved, margin)
             } else {
-                AnalysisOutcome::Inconclusive
+                (AnalysisOutcome::Inconclusive, margin)
             }
         }
     }

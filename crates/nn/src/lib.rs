@@ -38,6 +38,8 @@
 //! assert_eq!(net.classify(&[1.0, 1.0]), 0);
 //! ```
 
+#![warn(missing_docs)]
+
 mod batch;
 mod grad;
 mod layer;

@@ -41,6 +41,13 @@ pub struct CachedResult {
     pub regions: usize,
     /// Wall-clock seconds the computing run took.
     pub compute_seconds: f64,
+    /// `charon-cert 1` proof-certificate text, present only when the
+    /// computing job requested certification. A later hit from a
+    /// non-certifying submission simply ignores it; a certifying
+    /// submission that hits an uncertified entry gets the verdict
+    /// without a `cert` field (certificates are delivery provenance,
+    /// not part of the cache key).
+    pub cert: Option<String>,
 }
 
 /// A fixed-capacity least-recently-used map from [`CacheKey`] to
@@ -162,6 +169,7 @@ mod tests {
             computed_by: job,
             regions: 3,
             compute_seconds: 0.01,
+            cert: None,
         }
     }
 

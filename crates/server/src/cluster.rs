@@ -122,6 +122,7 @@ pub struct MergeState {
     slots: Vec<Option<Verdict>>,
     limits: Vec<Option<String>>,
     checkpoints: Vec<Option<String>>,
+    certs: Vec<Option<String>>,
     regions: Vec<usize>,
 }
 
@@ -133,6 +134,7 @@ impl MergeState {
             slots: vec![None; n],
             limits: vec![None; n],
             checkpoints: vec![None; n],
+            certs: vec![None; n],
             regions: vec![0; n],
         }
     }
@@ -171,6 +173,7 @@ impl MergeState {
         }
         self.limits[i] = result.limit.clone();
         self.checkpoints[i] = result.checkpoint.clone();
+        self.certs[i] = result.cert.clone();
         self.regions[i] = result.regions;
         self.slots[i] = Some(verdict);
         Ok(true)
@@ -238,6 +241,45 @@ impl MergeState {
         }
         merged
     }
+
+    /// Merges per-shard proof certificates into one certificate for the
+    /// whole property, rooted at `root` (the job's input region).
+    ///
+    /// * For a job-level refutation, the winning shard's witness
+    ///   certificate is re-rooted at the whole region — sound, because
+    ///   the witness lies inside the shard's sub-region and therefore
+    ///   inside the root.
+    /// * For a job-level `Verified`, every shard must have delivered a
+    ///   sub-certificate; they are concatenated under the deterministic
+    ///   shard split tree ([`charon::policy::shard_region`] bisections)
+    ///   via [`charon::Certificate::merge_shards`].
+    ///
+    /// Returns `None` when certificates were not requested, a shard
+    /// skipped its sub-certificate, a part fails to parse, or the
+    /// verdict is not decisive — best-effort, like everything else on
+    /// the `cert` surface.
+    pub fn merged_certificate(&self, root: &domains::Bounds) -> Option<String> {
+        if let Some(refuted_index) = self
+            .slots
+            .iter()
+            .position(|slot| matches!(slot, Some(Verdict::Refuted(_))))
+        {
+            let text = self.certs[refuted_index].as_deref()?;
+            let mut cert = charon::Certificate::from_text(text).ok()?;
+            cert.root = root.clone();
+            return Some(cert.to_text());
+        }
+        if !matches!(self.verdict(), Some(Verdict::Verified)) {
+            return None;
+        }
+        let parts: Option<Vec<charon::Certificate>> = self
+            .certs
+            .iter()
+            .map(|text| charon::Certificate::from_text(text.as_deref()?).ok())
+            .collect();
+        let merged = charon::Certificate::merge_shards(root, &parts?).ok()?;
+        Some(merged.to_text())
+    }
 }
 
 /// One queued unit of dispatch work.
@@ -252,6 +294,9 @@ struct JobState {
     merge: MergeState,
     reply: Reply,
     accepted_at: Instant,
+    /// The job's whole input region, kept when the submission requested
+    /// a certificate so shard sub-certificates can be merged under it.
+    cert_root: Option<domains::Bounds>,
     /// Set when a shard of this job was quarantined: the diagnostic and
     /// the kill count, delivered as a `poisoned` verdict unless a
     /// refutation wins first.
@@ -359,11 +404,19 @@ impl ClusterShared {
                 .int("regions", job.merge.regions() as u64)
                 .num("elapsed_ms", elapsed_ms)
         };
+        let merged_cert = |job: &JobState| {
+            job.cert_root
+                .as_ref()
+                .and_then(|root| job.merge.merged_certificate(root))
+        };
         if let Some(cex) = job.merge.refutation() {
-            let response = base("refuted", job)
+            let mut b = base("refuted", job)
                 .num("objective", cex.objective)
-                .arr("counterexample", &cex.point)
-                .build();
+                .arr("counterexample", &cex.point);
+            if let Some(cert) = merged_cert(job) {
+                b = b.str("cert", &cert);
+            }
+            let response = b.build();
             self.deliver(id, job, &response);
             return;
         }
@@ -377,7 +430,13 @@ impl ClusterShared {
             return;
         }
         let response = match job.merge.verdict() {
-            Some(Verdict::Verified) => base("verified", job).build(),
+            Some(Verdict::Verified) => {
+                let mut b = base("verified", job);
+                if let Some(cert) = merged_cert(job) {
+                    b = b.str("cert", &cert);
+                }
+                b.build()
+            }
             _ => {
                 let mut b = base("resource_limit", job);
                 if let Some(kind) = job.merge.limit() {
@@ -646,6 +705,7 @@ fn submit_cluster(shared: &Arc<ClusterShared>, request: VerifyRequest, sock: &Ar
                     .seed
                     .wrapping_add((index as u64).wrapping_mul(0x9e37_79b9)),
                 cex_search: request.cex_search,
+                cert: request.cert,
             },
             kills: 0,
         });
@@ -656,6 +716,7 @@ fn submit_cluster(shared: &Arc<ClusterShared>, request: VerifyRequest, sock: &Ar
             merge: MergeState::new(tasks.len()),
             reply: Reply::Socket(Arc::clone(sock)),
             accepted_at: Instant::now(),
+            cert_root: request.cert.then(|| property.region().clone()),
             poison: None,
             delivered: false,
         },
@@ -904,6 +965,7 @@ fn rebuild_shard_result(fields: &charon::json::Fields) -> Result<ShardResult, St
         },
         limit: fields.opt_str("limit")?,
         checkpoint: fields.opt_str("checkpoint")?,
+        cert: fields.opt_str("cert")?,
     })
 }
 
@@ -970,6 +1032,7 @@ fn shard_failed(shared: &Arc<ClusterShared>, mut task: ShardTask, node_name: &st
         counterexample: None,
         limit: Some("quarantined".to_string()),
         checkpoint: None,
+        cert: None,
     };
     let _ = job.merge.record(&synthetic);
     shared.maybe_deliver(task.request.id, job);
@@ -1138,6 +1201,7 @@ mod tests {
             counterexample: (verdict == "refuted").then(|| vec![0.5, 0.5]),
             limit: (verdict == "resource_limit").then(|| "timeout".to_string()),
             checkpoint: None,
+            cert: None,
         }
     }
 
@@ -1201,6 +1265,70 @@ mod tests {
         assert_eq!(merged.pending.len(), 2);
         assert_eq!(merged.regions_done, 14);
         assert_eq!(merge.limit(), Some("timeout"));
+    }
+
+    #[test]
+    fn merged_certificate_tiles_the_root_and_rewrites_witness_roots() {
+        use charon::{CertVerdict, Certificate};
+
+        // shard_region bisects the longest dimension at its midpoint.
+        let root = domains::Bounds::new(vec![0.0, 0.0], vec![2.0, 1.0]);
+        let shards = shard_region(&root, 2);
+        let part = |region: &domains::Bounds| {
+            Certificate {
+                net_hash: 11,
+                target: 0,
+                delta: 1e-9,
+                root: region.clone(),
+                verdict: CertVerdict::Verified {
+                    tree: vec![charon::CertNode::Leaf {
+                        domain: "I".to_string(),
+                        margin: 0.25,
+                    }],
+                },
+            }
+            .to_text()
+        };
+        let mut merge = MergeState::new(2);
+        for (i, region) in shards.iter().enumerate() {
+            let mut shard = result(i, "verified");
+            shard.cert = Some(part(region));
+            merge.record(&shard).unwrap();
+        }
+        let merged = merge.merged_certificate(&root).expect("merges");
+        let merged = Certificate::from_text(&merged).expect("parses");
+        assert_eq!(merged.root, root);
+        assert!(matches!(merged.verdict, CertVerdict::Verified { ref tree } if tree.len() == 3));
+
+        // A refutation's witness certificate is re-rooted at the job's
+        // whole region.
+        let witness = Certificate {
+            net_hash: 11,
+            target: 0,
+            delta: 1e-9,
+            root: shards[1].clone(),
+            verdict: CertVerdict::Refuted {
+                witness: vec![1.5, 0.5],
+                objective: -0.25,
+            },
+        };
+        let mut merge = MergeState::new(2);
+        let mut refuted = result(1, "refuted");
+        refuted.cert = Some(witness.to_text());
+        merge.record(&refuted).unwrap();
+        let rerooted = merge.merged_certificate(&root).expect("re-roots");
+        let rerooted = Certificate::from_text(&rerooted).expect("parses");
+        assert_eq!(rerooted.root, root);
+        assert!(matches!(rerooted.verdict, CertVerdict::Refuted { .. }));
+
+        // A missing sub-certificate makes the verified merge best-effort
+        // None instead of an unsound partial proof.
+        let mut merge = MergeState::new(2);
+        let mut with = result(0, "verified");
+        with.cert = Some(part(&shards[0]));
+        merge.record(&with).unwrap();
+        merge.record(&result(1, "verified")).unwrap();
+        assert!(merge.merged_certificate(&root).is_none());
     }
 
     #[test]

@@ -847,6 +847,11 @@ fn execute_job(shared: &Arc<Shared>, job: &Job, ws: &mut Workspace) -> String {
         if let Some(point) = &hit.counterexample {
             b = b.arr("counterexample", point);
         }
+        if request.cert {
+            if let Some(cert) = &hit.cert {
+                b = b.str("cert", cert);
+            }
+        }
         return b.build();
     }
 
@@ -864,6 +869,7 @@ fn execute_job(shared: &Arc<Shared>, job: &Job, ws: &mut Workspace) -> String {
         restarts: request.restarts,
         seed: request.seed,
         counterexample_search: request.cex_search,
+        certificates: request.cert,
         lipschitz_prefilter: false,
         cancel: Some(Arc::clone(&job.cancel)),
         faults: None,
@@ -897,15 +903,23 @@ fn execute_job(shared: &Arc<Shared>, job: &Job, ws: &mut Workspace) -> String {
         .unwrap()
         .observe(elapsed.as_secs_f64());
 
+    // Certificates are delivery provenance: cached alongside the
+    // verdict (so the next certifying submitter is served from memory)
+    // and attached to the response only when the job asked for one.
+    let cert_text = run.certificate.as_ref().map(|cert| cert.to_text());
     let base = |verdict: &str| {
-        ObjectBuilder::new()
+        let mut b = ObjectBuilder::new()
             .str("response", "verdict")
             .int("id", job.id)
             .str("verdict", verdict)
             .int("cached", 0)
             .str("net_hash", &format!("{net_hash:016x}"))
             .int("regions", run.stats.regions as u64)
-            .num("elapsed_ms", elapsed.as_secs_f64() * 1e3)
+            .num("elapsed_ms", elapsed.as_secs_f64() * 1e3);
+        if let Some(cert) = &cert_text {
+            b = b.str("cert", cert);
+        }
+        b
     };
     match &run.verdict {
         Verdict::Verified => {
@@ -918,6 +932,7 @@ fn execute_job(shared: &Arc<Shared>, job: &Job, ws: &mut Workspace) -> String {
                     computed_by: job.id,
                     regions: run.stats.regions,
                     compute_seconds: elapsed.as_secs_f64(),
+                    cert: cert_text.clone(),
                 },
             );
             counters.completed.fetch_add(1, Ordering::Relaxed);
@@ -933,6 +948,7 @@ fn execute_job(shared: &Arc<Shared>, job: &Job, ws: &mut Workspace) -> String {
                     computed_by: job.id,
                     regions: run.stats.regions,
                     compute_seconds: elapsed.as_secs_f64(),
+                    cert: cert_text.clone(),
                 },
             );
             counters.completed.fetch_add(1, Ordering::Relaxed);
@@ -1004,6 +1020,7 @@ fn execute_shard(shared: &Arc<Shared>, shard: &protocol::ShardRequest, ws: &mut 
         restarts: shard.restarts,
         seed: shard.seed,
         counterexample_search: shard.cex_search,
+        certificates: shard.cert,
         lipschitz_prefilter: false,
         cancel: None,
         faults: None,
@@ -1030,6 +1047,7 @@ fn execute_shard(shared: &Arc<Shared>, shard: &protocol::ShardRequest, ws: &mut 
         counterexample: None,
         limit: None,
         checkpoint: None,
+        cert: run.certificate.as_ref().map(|cert| cert.to_text()),
     };
     match &run.verdict {
         Verdict::Verified => result.verdict = "verified".to_string(),

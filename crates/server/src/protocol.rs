@@ -22,9 +22,12 @@ use charon::json::{parse_flat_object, Fields, ObjectBuilder};
 /// `poisoned` responses. Version 3 adds the cluster surface: the
 /// `shard` / `node_hello` / `node_stats` requests and the
 /// `shard_result` / `node_hello` / `node_stats` responses used between
-/// a coordinator and its shard-worker nodes. Version-1 and version-2
-/// clients are unaffected: every new behavior is opt-in.
-pub const PROTOCOL_VERSION: u64 = 3;
+/// a coordinator and its shard-worker nodes. Version 4 adds certified
+/// verdicts: the optional `cert` flag on `verify` and `shard` requests,
+/// and the optional `cert` field (a `charon-cert 1` text) on `verdict`
+/// and `shard_result` responses. Older clients are unaffected: every
+/// new behavior is opt-in.
+pub const PROTOCOL_VERSION: u64 = 4;
 
 /// Every request discriminator the daemon understands, in the order
 /// they joined the protocol. `scripts/ci.sh` greps `docs/PROTOCOL.md`
@@ -98,6 +101,14 @@ pub struct VerifyRequest {
     /// deduplicated instead of re-verified. Defaults off so version-1
     /// clients see the original fire-and-wait behavior.
     pub ack: bool,
+    /// Request a proof certificate (`charon-cert 1` text in the
+    /// verdict response's `cert` field) for a decisive verdict.
+    /// Defaults off: certificates cost extra memory per region and
+    /// bulk on the wire. Like `ack`, this changes the delivery
+    /// payload, never the verdict, so it is excluded from
+    /// [`VerifyRequest::config_key`] — a cache hit computed without
+    /// certification simply answers without a `cert` field.
+    pub cert: bool,
 }
 
 impl VerifyRequest {
@@ -166,6 +177,7 @@ impl VerifyRequest {
             seed: fields.opt_usize("seed")?.unwrap_or(0) as u64,
             cex_search: fields.opt_usize("cex_search")? != Some(0),
             ack: fields.opt_usize("ack")? == Some(1),
+            cert: fields.opt_usize("cert")? == Some(1),
         })
     }
 
@@ -188,6 +200,9 @@ impl VerifyRequest {
         }
         if self.ack {
             b = b.int("ack", 1);
+        }
+        if self.cert {
+            b = b.int("cert", 1);
         }
         b.build()
     }
@@ -216,6 +231,7 @@ impl Default for VerifyRequest {
             seed: 0,
             cex_search: true,
             ack: false,
+            cert: false,
         }
     }
 }
@@ -250,6 +266,10 @@ pub struct ShardRequest {
     pub seed: u64,
     /// Whether gradient-based counterexample search is enabled.
     pub cex_search: bool,
+    /// Request a sub-certificate for this shard (`cert` field on the
+    /// `shard_result`); the coordinator merges the sub-certificates
+    /// under the shard split tree.
+    pub cert: bool,
 }
 
 impl ShardRequest {
@@ -271,13 +291,14 @@ impl ShardRequest {
             restarts: fields.opt_usize("restarts")?.unwrap_or(2),
             seed: fields.opt_usize("seed")?.unwrap_or(0) as u64,
             cex_search: fields.opt_usize("cex_search")? != Some(0),
+            cert: fields.opt_usize("cert")? == Some(1),
         })
     }
 
     /// Renders this shard back to its wire form (used by the
     /// coordinator's dispatchers).
     pub fn to_line(&self) -> String {
-        ObjectBuilder::new()
+        let mut b = ObjectBuilder::new()
             .str("request", "shard")
             .int("id", self.id)
             .int("shard", self.shard as u64)
@@ -288,8 +309,11 @@ impl ShardRequest {
             .int("max_regions", self.max_regions as u64)
             .int("restarts", self.restarts as u64)
             .int("seed", self.seed)
-            .int("cex_search", u64::from(self.cex_search))
-            .build()
+            .int("cex_search", u64::from(self.cex_search));
+        if self.cert {
+            b = b.int("cert", 1);
+        }
+        b.build()
     }
 }
 
@@ -319,6 +343,9 @@ pub struct ShardResult {
     /// `charon-ckpt 1` text of the undecided remainder (resource-limit
     /// shards only; may be absent if nothing was pending).
     pub checkpoint: Option<String>,
+    /// `charon-cert 1` text of this shard's sub-certificate (only when
+    /// the shard request set `cert` and the shard was decisive).
+    pub cert: Option<String>,
 }
 
 impl ShardResult {
@@ -350,6 +377,7 @@ impl ShardResult {
             counterexample,
             limit: fields.opt_str("limit")?,
             checkpoint: fields.opt_str("checkpoint")?,
+            cert: fields.opt_str("cert")?,
         })
     }
 
@@ -373,6 +401,9 @@ impl ShardResult {
         }
         if let Some(checkpoint) = &self.checkpoint {
             b = b.str("checkpoint", checkpoint);
+        }
+        if let Some(cert) = &self.cert {
+            b = b.str("cert", cert);
         }
         b.build()
     }
@@ -501,6 +532,7 @@ mod tests {
             seed: 99,
             cex_search: false,
             ack: true,
+            cert: true,
         };
         match Request::parse(&request.to_line()).unwrap() {
             Request::Verify(parsed) => assert_eq!(parsed, request),
@@ -559,6 +591,26 @@ mod tests {
     }
 
     #[test]
+    fn cert_flag_round_trips_and_defaults_off() {
+        let mut request = VerifyRequest {
+            network: "n".to_string(),
+            property: "p".to_string(),
+            ..VerifyRequest::default()
+        };
+        assert!(!request.cert);
+        assert!(!request.to_line().contains("\"cert\""), "off the wire when unset");
+        request.cert = true;
+        match Request::parse(&request.to_line()).unwrap() {
+            Request::Verify(parsed) => assert!(parsed.cert),
+            other => panic!("expected verify, got {other:?}"),
+        }
+        // Like `ack`, `cert` changes the payload, never the verdict.
+        let mut plain = request.clone();
+        plain.cert = false;
+        assert_eq!(request.config_key(), plain.config_key());
+    }
+
+    #[test]
     fn shard_request_round_trips_through_wire_form() {
         let shard = ShardRequest {
             id: 41,
@@ -571,6 +623,7 @@ mod tests {
             restarts: 3,
             seed: 12345,
             cex_search: false,
+            cert: true,
         };
         match Request::parse(&shard.to_line()).unwrap() {
             Request::Shard(parsed) => assert_eq!(parsed, shard),
@@ -602,8 +655,16 @@ mod tests {
             counterexample: None,
             limit: None,
             checkpoint: None,
+            cert: None,
         };
         assert_eq!(ShardResult::parse(&verified.to_line()).unwrap(), verified);
+
+        // Certificate text embeds newlines too; same wire escape rules.
+        let certified = ShardResult {
+            cert: Some("charon-cert 1\nnet 0000000000000009\nend\n".to_string()),
+            ..verified.clone()
+        };
+        assert_eq!(ShardResult::parse(&certified.to_line()).unwrap(), certified);
 
         let refuted = ShardResult {
             verdict: "refuted".to_string(),

@@ -101,6 +101,11 @@ fn xor_request(dir: &std::path::Path, id: u64, target: usize, wide: bool) -> Ver
         restarts: 2,
         seed: 0,
         cex_search: true,
+        // Every cluster submission asks for certification: the happy
+        // paths assert on the merged certificate, and the fault paths
+        // check that a missing shard sub-certificate degrades to a
+        // certificate-less (but still correct) verdict.
+        cert: true,
         ack: true,
     }
 }
@@ -124,6 +129,14 @@ fn two_node_cluster_reaches_the_single_node_verdicts() {
     assert_eq!(reply.str_field("verdict").unwrap(), "verified", "{reply:?}");
     assert!(reply.usize_field("shards").unwrap() >= 2, "{reply:?}");
 
+    // The merged proof certificate covers the *whole* job region and
+    // passes the independent directed-rounding audit.
+    let net = nn::samples::xor_network();
+    let cert = charon::Certificate::from_text(&reply.str_field("cert").unwrap()).unwrap();
+    assert_eq!(cert.root, Bounds::new(vec![0.3, 0.3], vec![0.7, 0.7]));
+    let report = charon::audit(&cert, &net, &charon::AuditOptions::default()).unwrap();
+    assert!(report.verified, "{report:?}");
+
     // The whole-unit-square property is refuted, and the refutation
     // carries a checkable counterexample from whichever shard found it.
     let reply = submit(&cluster, &xor_request(&cluster.dir, 2, 1, true));
@@ -131,6 +144,13 @@ fn two_node_cluster_reaches_the_single_node_verdicts() {
     let point = reply.arr_field("counterexample").unwrap();
     assert_eq!(point.len(), 2, "{reply:?}");
     assert!(reply.f64_field("objective").unwrap() <= 0.0, "{reply:?}");
+
+    // The refutation certificate is the winning shard's witness,
+    // re-rooted at the job region so the audit checks containment there.
+    let cert = charon::Certificate::from_text(&reply.str_field("cert").unwrap()).unwrap();
+    assert_eq!(cert.root, Bounds::new(vec![0.0, 0.0], vec![1.0, 1.0]));
+    let report = charon::audit(&cert, &net, &charon::AuditOptions::default()).unwrap();
+    assert!(!report.verified, "{report:?}");
 
     // Both nodes did work: the per-node stats arrays cover two names.
     let mut client = Client::connect(cluster.coordinator.addr()).unwrap();
@@ -250,6 +270,7 @@ fn shard_result(shard: usize, verdict: &str) -> ShardResult {
         counterexample: (verdict == "refuted").then(|| vec![0.25, 0.75]),
         limit: (verdict == "resource_limit").then(|| "timeout".to_string()),
         checkpoint: None,
+        cert: None,
     }
 }
 

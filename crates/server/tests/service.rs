@@ -157,6 +157,64 @@ fn verify_round_trip_with_cache_hit_and_drain_accounting() {
 }
 
 #[test]
+fn certified_submissions_round_trip_an_auditable_certificate() {
+    let (handle, dir) = start("cert", 2, 16, 16);
+    let net = nn::samples::xor_network();
+    let net_path = save_net(&dir, "xor.net", &net);
+    let property =
+        RobustnessProperty::new(Bounds::new(vec![0.3, 0.3], vec![0.7, 0.7]), 1).to_text();
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let request = VerifyRequest {
+        id: 1,
+        network: net_path.clone(),
+        property,
+        cert: true,
+        ..VerifyRequest::default()
+    };
+    let first = client.request(&request.to_line()).unwrap();
+    assert_eq!(first.str_field("verdict").unwrap(), "verified");
+    let text = first.str_field("cert").unwrap();
+    let cert = charon::Certificate::from_text(&text).unwrap();
+    let report = charon::audit(&cert, &net, &charon::AuditOptions::default()).unwrap();
+    assert!(report.verified, "{report:?}");
+
+    // The cache hit hands back the stored certificate with the verdict.
+    let duplicate = VerifyRequest { id: 2, ..request.clone() };
+    let second = client.request(&duplicate.to_line()).unwrap();
+    assert_eq!(second.usize_field("cached").unwrap(), 1);
+    assert_eq!(second.str_field("cert").unwrap(), text);
+
+    // A non-certifying submission shares the cache entry (certification
+    // is delivery provenance, not part of the key) but is not sent the
+    // certificate it never asked for.
+    let plain = VerifyRequest { id: 3, cert: false, ..request.clone() };
+    let third = client.request(&plain.to_line()).unwrap();
+    assert_eq!(third.usize_field("cached").unwrap(), 1);
+    assert!(third.opt_str("cert").unwrap().is_none(), "{third:?}");
+
+    // Refutations certify their validated witness too.
+    let refutable = VerifyRequest {
+        id: 4,
+        network: net_path,
+        property: RobustnessProperty::new(Bounds::new(vec![0.0, 0.0], vec![1.0, 1.0]), 1)
+            .to_text(),
+        cert: true,
+        ..VerifyRequest::default()
+    };
+    let fourth = client.request(&refutable.to_line()).unwrap();
+    assert_eq!(fourth.str_field("verdict").unwrap(), "refuted");
+    let witness = charon::Certificate::from_text(&fourth.str_field("cert").unwrap()).unwrap();
+    let report = charon::audit(&witness, &net, &charon::AuditOptions::default()).unwrap();
+    assert!(!report.verified, "{report:?}");
+
+    let drained = client.request("{\"request\": \"drain\"}").unwrap();
+    assert_eq!(drained.f64_field("lost").unwrap(), 0.0);
+    handle.join();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
 fn drain_checkpoints_inflight_and_reports_queued_unstarted() {
     let (handle, dir) = start("drain", 1, 8, 8);
     let net_path = save_net(&dir, "endless.net", &endless_network());

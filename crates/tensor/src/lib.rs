@@ -15,6 +15,7 @@
 //! assert_eq!(a.matvec(&x), vec![3.0, 7.0]);
 //! ```
 
+#![warn(missing_docs)]
 // Numeric kernels in this crate co-index several arrays at once; index
 // loops are clearer than zipped iterator chains there.
 #![allow(clippy::needless_range_loop)]
@@ -24,6 +25,7 @@ mod matrix;
 pub mod kernels;
 pub mod linalg;
 pub mod ops;
+pub mod round;
 
 pub use kernels::Backend;
 pub use matrix::Matrix;

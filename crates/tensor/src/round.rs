@@ -1,0 +1,217 @@
+//! Directed-rounding primitives for sound outward interval arithmetic.
+//!
+//! The IEEE-754 rounding mode cannot be switched per-operation from safe
+//! Rust, so every helper here computes in the default round-to-nearest
+//! mode and then steps the result one ulp outward with [`f64::next_up`] /
+//! [`f64::next_down`]. The round-to-nearest result differs from the true
+//! real result by strictly less than one ulp, so the stepped value is a
+//! guaranteed lower (`*_down`) or upper (`*_up`) bound. The bounds are up
+//! to one ulp looser than optimal directed rounding would give — the
+//! certificate audit checker (crate `cert`) only needs soundness, never
+//! tightness.
+//!
+//! All helpers propagate NaN unchanged and saturate at the infinities
+//! (`next_up(INFINITY) == INFINITY`), so callers can run a whole
+//! computation and check finiteness once at the end.
+//!
+//! # Examples
+//!
+//! ```
+//! use tensor::round::{add_down, add_up};
+//!
+//! // The exact sum of the floats 0.1 and 0.2 is not representable; the
+//! // directed results strictly bracket the round-to-nearest sum.
+//! let lo = add_down(0.1, 0.2);
+//! let hi = add_up(0.1, 0.2);
+//! assert!(lo < 0.1 + 0.2 && 0.1 + 0.2 < hi);
+//! ```
+
+/// Smallest `f64` strictly greater than `x` (NaN and `INFINITY` map to
+/// themselves). Thin re-export of [`f64::next_up`] so callers of this
+/// module never touch raw float internals.
+#[inline]
+pub fn next_up(x: f64) -> f64 {
+    x.next_up()
+}
+
+/// Largest `f64` strictly less than `x` (NaN and `NEG_INFINITY` map to
+/// themselves). Thin re-export of [`f64::next_down`].
+#[inline]
+pub fn next_down(x: f64) -> f64 {
+    x.next_down()
+}
+
+/// Upper bound on `a + b`: the round-to-nearest sum stepped one ulp up.
+#[inline]
+pub fn add_up(a: f64, b: f64) -> f64 {
+    (a + b).next_up()
+}
+
+/// Lower bound on `a + b`.
+#[inline]
+pub fn add_down(a: f64, b: f64) -> f64 {
+    (a + b).next_down()
+}
+
+/// Upper bound on `a - b`.
+#[inline]
+pub fn sub_up(a: f64, b: f64) -> f64 {
+    (a - b).next_up()
+}
+
+/// Lower bound on `a - b`.
+#[inline]
+pub fn sub_down(a: f64, b: f64) -> f64 {
+    (a - b).next_down()
+}
+
+/// Upper bound on `a * b`.
+#[inline]
+pub fn mul_up(a: f64, b: f64) -> f64 {
+    (a * b).next_up()
+}
+
+/// Lower bound on `a * b`.
+#[inline]
+pub fn mul_down(a: f64, b: f64) -> f64 {
+    (a * b).next_down()
+}
+
+/// Upper bound on `a / b`.
+#[inline]
+pub fn div_up(a: f64, b: f64) -> f64 {
+    (a / b).next_up()
+}
+
+/// Lower bound on `a / b`.
+#[inline]
+pub fn div_down(a: f64, b: f64) -> f64 {
+    (a / b).next_down()
+}
+
+/// Upper bound on the dot product `Σ a[i] * b[i]`, accumulating every
+/// partial product and partial sum with upward rounding.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot_up(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot_up: length mismatch");
+    let mut acc = 0.0;
+    for i in 0..a.len() {
+        acc = add_up(acc, mul_up(a[i], b[i]));
+    }
+    acc
+}
+
+/// Lower bound on the dot product `Σ a[i] * b[i]`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot_down(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot_down: length mismatch");
+    let mut acc = 0.0;
+    for i in 0..a.len() {
+        acc = add_down(acc, mul_down(a[i], b[i]));
+    }
+    acc
+}
+
+/// Upper bound on `Σ |a[i] * b[i]|` — the absolute dot product used to
+/// propagate zonotope generator radii and error terms through an affine
+/// layer.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn abs_dot_up(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "abs_dot_up: length mismatch");
+    let mut acc = 0.0;
+    for i in 0..a.len() {
+        acc = add_up(acc, mul_up(a[i], b[i]).abs().max(mul_down(a[i], b[i]).abs()));
+    }
+    acc
+}
+
+/// Midpoint and outward radius of the interval `[lo, hi]`: a pair
+/// `(mid, rad)` such that `[mid - rad, mid + rad] ⊇ [lo, hi]` holds in
+/// exact arithmetic even though both values are rounded floats.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` (NaN-tolerant: NaN inputs produce NaN outputs).
+pub fn mid_rad(lo: f64, hi: f64) -> (f64, f64) {
+    assert!(
+        lo <= hi || lo.is_nan() || hi.is_nan(),
+        "mid_rad: inverted interval [{lo}, {hi}]"
+    );
+    let mid = 0.5 * (lo + hi);
+    // `mid` may land outside [lo, hi] only through overflow; the directed
+    // subtractions below still cover both endpoints in that case because
+    // they saturate at +inf.
+    let rad = sub_up(hi, mid).max(sub_up(mid, lo)).max(0.0);
+    (mid, rad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directed_results_bracket_round_to_nearest() {
+        let pairs = [
+            (0.1, 0.2),
+            (1.0, 1e-300),
+            (-3.5, 7.25),
+            (1e300, 1e300),
+            (-1e-308, 1e-308),
+        ];
+        for (a, b) in pairs {
+            assert!(add_down(a, b) < a + b && a + b < add_up(a, b) || !(a + b).is_finite());
+            assert!(sub_down(a, b) < a - b && a - b < sub_up(a, b));
+            assert!(
+                mul_down(a, b) < a * b && a * b < mul_up(a, b)
+                    || a * b == 0.0
+                    || !(a * b).is_finite()
+            );
+            assert!(div_down(a, b) < a / b && a / b < div_up(a, b));
+        }
+    }
+
+    #[test]
+    fn nan_propagates_and_infinity_saturates() {
+        assert!(add_up(f64::NAN, 1.0).is_nan());
+        assert_eq!(add_up(f64::INFINITY, 1.0), f64::INFINITY);
+        assert_eq!(sub_down(f64::NEG_INFINITY, 1.0), f64::NEG_INFINITY);
+        assert_eq!(next_up(f64::INFINITY), f64::INFINITY);
+        assert_eq!(next_down(f64::NEG_INFINITY), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn dot_bounds_enclose_the_nearest_dot() {
+        let a = [0.1, -0.7, 3.25, 1e-12];
+        let b = [2.5, 0.3, -0.001, 1e12];
+        let nearest: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!(dot_down(&a, &b) < nearest && nearest < dot_up(&a, &b));
+        let abs_nearest: f64 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+        assert!(abs_dot_up(&a, &b) > abs_nearest - 1e-9);
+        assert!(abs_dot_up(&a, &b) >= abs_nearest);
+    }
+
+    #[test]
+    fn mid_rad_covers_the_interval() {
+        for (lo, hi) in [(0.1, 0.3), (-1e300, 1e300), (5.0, 5.0), (-0.2, -0.1)] {
+            let (mid, rad) = mid_rad(lo, hi);
+            assert!(mid - rad <= lo, "lo uncovered: [{lo}, {hi}]");
+            assert!(mid + rad >= hi, "hi uncovered: [{lo}, {hi}]");
+            assert!(rad >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted interval")]
+    fn mid_rad_rejects_inverted_intervals() {
+        mid_rad(1.0, 0.0);
+    }
+}

@@ -48,6 +48,30 @@ cargo run --release -q -p cli -- trace --in "$trace_dir/run.jsonl" \
 grep -q 'verdict: 1' "$trace_dir/trace.out"
 rm -rf "$trace_dir"
 
+# Certified-verdict smoke: verify a zoo property with certificate
+# emission, the independent auditor must accept the artifact, and a
+# single corrupted byte must turn acceptance into a nonzero rejection.
+cert_dir="$(mktemp -d)"
+cargo run --release -q -p cli -- prop --zoo mnist-3x32 --image 0 --tau 0.7 \
+  --out-network "$cert_dir/zoo.net" --out-property "$cert_dir/zoo.prop"
+cargo run --release -q -p cli -- verify \
+  --network "$cert_dir/zoo.net" --property "$cert_dir/zoo.prop" \
+  --cert-out "$cert_dir/zoo.cert" | tee "$cert_dir/verify.out" >/dev/null
+grep -q 'certificate written to' "$cert_dir/verify.out"
+cargo run --release -q -p cli -- audit \
+  --network "$cert_dir/zoo.net" --cert "$cert_dir/zoo.cert" \
+  | tee "$cert_dir/audit.out" >/dev/null
+grep -q 'certificate ok: verified' "$cert_dir/audit.out"
+cp "$cert_dir/zoo.cert" "$cert_dir/forged.cert"
+printf 'X' | dd of="$cert_dir/forged.cert" bs=1 seek=20 conv=notrunc status=none
+if cargo run --release -q -p cli -- audit \
+  --network "$cert_dir/zoo.net" --cert "$cert_dir/forged.cert" \
+  >"$cert_dir/forged.out"; then
+  echo "ci.sh: audit accepted a corrupted certificate" >&2; exit 1
+fi
+grep -q 'certificate rejected' "$cert_dir/forged.out"
+rm -rf "$cert_dir"
+
 # Server smoke run: start the daemon on a Unix socket, verify one job,
 # resubmit it (must be a result-cache hit), then drain with zero lost
 # jobs. Everything goes through the public CLI, so this also covers the
@@ -125,9 +149,10 @@ rm -rf "$chaos_dir"
 # schema is intact (full runs regenerate the committed BENCH_server.json
 # baseline; see DESIGN.md "Service architecture").
 loadgen_out="$(mktemp)"
-cargo run --release -q -p bench --bin loadgen -- --smoke --out "$loadgen_out"
+cargo run --release -q -p bench --bin loadgen -- --smoke --cert --out "$loadgen_out"
 grep -q '"schema": "bench-server-v1"' "$loadgen_out"
 grep -q '"cache_hits":' "$loadgen_out"
+grep -q '"certified": 4' "$loadgen_out"
 rm -f "$loadgen_out"
 
 # Loadgen under fault injection: scheduled worker kills mid-stream must
