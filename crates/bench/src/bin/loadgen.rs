@@ -29,9 +29,16 @@
 //!   requests and assert every verdict (fresh or cached) delivers a
 //!   proof certificate, measuring the emission overhead in the warm
 //!   numbers; the `certified` count lands in the JSON.
+//! - `--overload`: benchmark the overload surface instead — measure the
+//!   sustainable plateau with a closed-loop stream of budget-bound
+//!   queries, then offer 4x that rate open-loop with `deadline_ms` set
+//!   and the shed controller armed, emitting `BENCH_overload.json` and
+//!   asserting that nothing is lost, the controller shed something, the
+//!   p99 of answered jobs stays within the deadline, and (full mode
+//!   only) goodput holds within 20% of the plateau.
 //! - `--out <path>`: write the JSON somewhere other than
-//!   `BENCH_server.json` (or `BENCH_cluster.json`) in the current
-//!   directory.
+//!   `BENCH_server.json` (or `BENCH_cluster.json`, or
+//!   `BENCH_overload.json`) in the current directory.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -403,11 +410,288 @@ fn run_cluster(smoke: bool, out_path: &str) {
     }
 }
 
+/// One response observed by the overload reader thread.
+struct OverloadOutcome {
+    id: u64,
+    kind: OverloadKind,
+    at: Instant,
+}
+
+enum OverloadKind {
+    Verdict,
+    Shed,
+    Expired,
+}
+
+/// The property every overload query verifies: a region the budget
+/// network makes undecidable, so service time is deterministically the
+/// wall-clock budget (resource-limit verdicts are never cached).
+fn overload_property() -> RobustnessProperty {
+    RobustnessProperty::new(Bounds::new(vec![-2.0; 6], vec![2.0; 6]), 0)
+}
+
+fn overload_config(dir: &Path, name: &str, workers: usize) -> ServerConfig {
+    ServerConfig {
+        addr: ServerAddr::Unix(dir.join(name)),
+        workers,
+        queue_capacity: 64,
+        // Shed once queue sojourn stays above 40 ms for 60 ms: with
+        // ~30 ms service on 2 workers that keeps the backlog to a
+        // handful of jobs, far inside the 600 ms client deadline.
+        shed_target: Some(std::time::Duration::from_millis(40)),
+        shed_interval: std::time::Duration::from_millis(60),
+        journal: None,
+        ..ServerConfig::default()
+    }
+}
+
+/// Sustainable plateau: `workers` closed-loop clients (one in-flight
+/// job each) over `total` budget-bound queries. Returns goodput in q/s.
+fn overload_plateau(
+    dir: &Path,
+    net_path: &Path,
+    timeout_ms: u64,
+    workers: usize,
+    total: usize,
+) -> f64 {
+    let handle = Server::start(overload_config(dir, "overload-plateau.sock", workers))
+        .expect("start plateau daemon");
+    let addr = handle.addr().clone();
+    let property = overload_property().to_text();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for j in 0..workers {
+            let addr = &addr;
+            let property = &property;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("plateau client");
+                for k in (j..total).step_by(workers) {
+                    let request = VerifyRequest {
+                        id: k as u64 + 1,
+                        network: net_path.display().to_string(),
+                        property: property.clone(),
+                        timeout_ms,
+                        ..VerifyRequest::default()
+                    };
+                    let reply = client.request(&request.to_line()).expect("plateau reply");
+                    assert_eq!(
+                        reply.str_field("verdict").expect("verdict"),
+                        "resource_limit",
+                        "plateau query {k} must be budget-bound"
+                    );
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let mut control = Client::connect(&addr).expect("plateau control");
+    let drained = control.request("{\"request\": \"drain\"}").expect("plateau drain");
+    assert_eq!(
+        drained.f64_field("lost").expect("lost") as i64,
+        0,
+        "plateau drain lost jobs"
+    );
+    handle.join();
+    total as f64 / elapsed
+}
+
+/// The `--overload` benchmark: plateau first, then 4x that rate offered
+/// open-loop (paced submissions pipelined on one connection) against a
+/// daemon with the shed controller armed, every job carrying an
+/// end-to-end deadline.
+fn run_overload(smoke: bool, out_path: &str) {
+    use std::io::Write as _;
+
+    let workers = 2;
+    let timeout_ms = 30;
+    let deadline_ms = 600;
+    let dir = std::env::temp_dir().join(format!("charon-loadgen-overload-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("loadgen temp dir");
+    let net = budget_network();
+    let net_path = dir.join("bench.net");
+    nn::serialize::save(&net, &net_path).expect("write bench network");
+
+    let plateau_total = if smoke { 30 } else { 150 };
+    let plateau_qps = overload_plateau(&dir, &net_path, timeout_ms, workers, plateau_total);
+
+    // Overload phase: one writer paces submissions at 4x the plateau
+    // (open loop: the send schedule never waits for answers), one
+    // reader matches the single response every job gets back — an
+    // immediate `busy`, a `deadline_expired` error, or a verdict.
+    let offered_qps = 4.0 * plateau_qps;
+    let duration_s = if smoke { 1.5 } else { 5.0 };
+    let total = (offered_qps * duration_s) as usize;
+    let handle = Server::start(overload_config(&dir, "overload.sock", workers))
+        .expect("start overload daemon");
+    let addr = handle.addr().clone();
+    let sock_path = match &addr {
+        ServerAddr::Unix(path) => path.clone(),
+        other => panic!("overload bench needs a unix socket, got {other}"),
+    };
+    let property = overload_property().to_text();
+
+    let stream = std::os::unix::net::UnixStream::connect(&sock_path).expect("overload connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut writer = stream.try_clone().expect("overload writer clone");
+    let started = Instant::now();
+    let reader_thread = std::thread::spawn(move || {
+        let mut reader = std::io::BufReader::new(stream);
+        let mut outcomes = Vec::with_capacity(total);
+        let mut line = String::new();
+        while outcomes.len() < total {
+            line.clear();
+            let n = std::io::BufRead::read_line(&mut reader, &mut line).expect("overload read");
+            assert!(n > 0, "daemon closed the overload connection early");
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields = charon::json::parse_flat_object(&line).expect("overload response");
+            let id = fields.usize_field("id").expect("response id") as u64;
+            let kind = match fields.str_field("response").expect("kind").as_str() {
+                "verdict" => OverloadKind::Verdict,
+                "busy" => {
+                    let hint = fields.usize_field("retry_after_ms").expect("retry_after_ms");
+                    assert!(hint >= 25, "busy must carry a usable retry hint, got {hint}");
+                    OverloadKind::Shed
+                }
+                "error" => {
+                    let code = fields.str_field("error").expect("error code");
+                    assert_eq!(code, "deadline_expired", "unexpected overload error {code}");
+                    OverloadKind::Expired
+                }
+                other => panic!("unexpected overload response kind {other}"),
+            };
+            outcomes.push(OverloadOutcome {
+                id,
+                kind,
+                at: Instant::now(),
+            });
+        }
+        outcomes
+    });
+
+    let tick = std::time::Duration::from_secs_f64(1.0 / offered_qps);
+    let mut sent_at = Vec::with_capacity(total);
+    for k in 0..total {
+        let next = started + tick.mul_f64(k as f64);
+        if let Some(wait) = next.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let request = VerifyRequest {
+            id: k as u64 + 1,
+            network: net_path.display().to_string(),
+            property: property.clone(),
+            timeout_ms,
+            deadline_ms: Some(deadline_ms),
+            ..VerifyRequest::default()
+        };
+        sent_at.push(Instant::now());
+        writer
+            .write_all(format!("{}\n", request.to_line()).as_bytes())
+            .expect("overload send");
+    }
+    writer.flush().expect("overload flush");
+    let outcomes = reader_thread.join().expect("overload reader");
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut completed = 0_u64;
+    let mut shed = 0_u64;
+    let mut expired = 0_u64;
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    for outcome in &outcomes {
+        match outcome.kind {
+            OverloadKind::Verdict => {
+                completed += 1;
+                let sent = sent_at[(outcome.id - 1) as usize];
+                latencies_ms.push(outcome.at.duration_since(sent).as_secs_f64() * 1e3);
+            }
+            OverloadKind::Shed => shed += 1,
+            OverloadKind::Expired => expired += 1,
+        }
+    }
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p99_ms = latencies_ms
+        .get((latencies_ms.len().saturating_sub(1)) * 99 / 100)
+        .copied()
+        .unwrap_or(0.0);
+    let goodput_qps = completed as f64 / elapsed;
+
+    let mut control = Client::connect(&addr).expect("overload control");
+    let stats = control.request("{\"request\": \"stats\"}").expect("overload stats");
+    let stats_shed = stats.usize_field("shed").expect("shed counter");
+    let stats_expired = stats.usize_field("deadline_expired").expect("deadline_expired");
+    let drained = control.request("{\"request\": \"drain\"}").expect("overload drain");
+    let lost = drained.f64_field("lost").expect("lost") as i64;
+    handle.join();
+
+    println!("overload loadgen ({}):", if smoke { "smoke" } else { "full" });
+    println!(
+        "  plateau {plateau_qps:.1} q/s; offered {offered_qps:.1} q/s for {duration_s:.1}s ({total} jobs, deadline {deadline_ms} ms)"
+    );
+    println!(
+        "  goodput {goodput_qps:.1} q/s ({completed} verdicts), shed {shed}, expired {expired}, p99 {p99_ms:.1} ms, lost {lost}"
+    );
+
+    let json = ObjectBuilder::new()
+        .str("schema", "bench-overload-v1")
+        .int("smoke", u64::from(smoke))
+        .int("workers", workers as u64)
+        .int("service_ms", timeout_ms)
+        .int("deadline_ms", deadline_ms)
+        .num("plateau_qps", plateau_qps)
+        .num("offered_qps", offered_qps)
+        .num("goodput_qps", goodput_qps)
+        .int("submitted", total as u64)
+        .int("completed", completed)
+        .int("shed", shed)
+        .int("expired", expired)
+        .int("shed_controller", stats_shed as u64)
+        .int("expired_in_queue", stats_expired as u64)
+        .num("p99_ms", p99_ms)
+        .int("lost", lost.unsigned_abs())
+        .build();
+    for needle in [
+        "\"schema\": \"bench-overload-v1\"",
+        "\"plateau_qps\":",
+        "\"goodput_qps\":",
+        "\"shed\":",
+        "\"p99_ms\":",
+    ] {
+        assert!(json.contains(needle), "JSON schema lost field: {needle}");
+    }
+    std::fs::write(out_path, &json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(lost, 0, "accepted overload jobs were lost");
+    assert!(shed > 0, "4x offered load must shed something");
+    assert!(
+        p99_ms <= deadline_ms as f64,
+        "p99 of answered jobs blew the deadline: {p99_ms:.1} ms > {deadline_ms} ms"
+    );
+    assert_eq!(
+        completed + shed + expired,
+        total as u64,
+        "every submission must be answered exactly once"
+    );
+    // Smoke mode only proves the harness runs; the goodput bar applies
+    // to the full benchmark.
+    if !smoke {
+        assert!(
+            goodput_qps >= 0.8 * plateau_qps,
+            "overload goodput collapsed below 80% of the plateau: {goodput_qps:.1} vs {plateau_qps:.1}"
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let faults_on = args.iter().any(|a| a == "--faults");
     let cluster = args.iter().any(|a| a == "--cluster");
+    let overload = args.iter().any(|a| a == "--overload");
     let cert_on = args.iter().any(|a| a == "--cert");
     let out_path = args
         .iter()
@@ -417,6 +701,8 @@ fn main() {
             || {
                 if cluster {
                     "BENCH_cluster.json".to_string()
+                } else if overload {
+                    "BENCH_overload.json".to_string()
                 } else {
                     "BENCH_server.json".to_string()
                 }
@@ -425,6 +711,10 @@ fn main() {
         );
     if cluster {
         run_cluster(smoke, &out_path);
+        return;
+    }
+    if overload {
+        run_overload(smoke, &out_path);
         return;
     }
 

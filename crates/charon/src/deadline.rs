@@ -1,0 +1,110 @@
+//! Saturating deadline arithmetic shared by every service tier.
+//!
+//! The service answers one recurring question at admission, at dequeue,
+//! at shard dispatch, and inside each worker: *how much verification
+//! budget is left before the client stops waiting?* Getting it wrong in
+//! either direction is expensive — an underflow panic takes a worker
+//! down with it, while an optimistic clamp burns worker time on an
+//! answer nobody will read. These helpers are deliberately total: no
+//! subtraction underflows, no `Duration` overflows, and every boundary
+//! case returns an answer instead of panicking. The saturation
+//! invariants are proptest-covered in `server/tests/overload_prop.rs`.
+//!
+//! The clamp feeds the paper's anytime design: a shrinking deadline
+//! does not kill a job, it shortens [`crate::VerifierConfig::timeout`]
+//! so the degradation ladder (cheaper domain, coarser splits,
+//! checkpoint-and-report) absorbs the pressure and still returns a
+//! sound — if less precise — verdict.
+
+use std::time::Duration;
+
+/// Milliseconds of a client deadline left after `elapsed` has already
+/// passed. Saturates at zero; never underflows.
+///
+/// ```
+/// use std::time::Duration;
+/// assert_eq!(charon::deadline::remaining_ms(500, Duration::from_millis(200)), 300);
+/// assert_eq!(charon::deadline::remaining_ms(500, Duration::from_secs(9)), 0);
+/// ```
+pub fn remaining_ms(deadline_ms: u64, elapsed: Duration) -> u64 {
+    let elapsed_ms = elapsed.as_millis().min(u128::from(u64::MAX)) as u64;
+    deadline_ms.saturating_sub(elapsed_ms)
+}
+
+/// Clamps a verification budget to what a client deadline leaves after
+/// reserving `reply_margin` for result delivery (serialization, the
+/// socket write, coordinator merging).
+///
+/// Returns `None` when nothing useful remains — the remaining deadline
+/// is not strictly larger than the reply margin — in which case the
+/// caller should answer `deadline_expired` without starting the
+/// verifier at all.
+///
+/// ```
+/// use std::time::Duration;
+/// use charon::deadline::clamp_budget;
+/// let budget = Duration::from_secs(10);
+/// let margin = Duration::from_millis(50);
+/// // Plenty of deadline: the configured budget stands.
+/// assert_eq!(clamp_budget(budget, 60_000, margin), Some(budget));
+/// // Tight deadline: the budget shrinks to remaining minus margin.
+/// assert_eq!(clamp_budget(budget, 250, margin), Some(Duration::from_millis(200)));
+/// // Spent deadline: do not start at all.
+/// assert_eq!(clamp_budget(budget, 50, margin), None);
+/// assert_eq!(clamp_budget(budget, 0, margin), None);
+/// ```
+pub fn clamp_budget(
+    budget: Duration,
+    remaining_ms: u64,
+    reply_margin: Duration,
+) -> Option<Duration> {
+    let margin_ms = reply_margin.as_millis().min(u128::from(u64::MAX)) as u64;
+    let usable_ms = remaining_ms.saturating_sub(margin_ms);
+    if usable_ms == 0 {
+        return None;
+    }
+    Some(budget.min(Duration::from_millis(usable_ms)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remaining_saturates_instead_of_underflowing() {
+        assert_eq!(remaining_ms(100, Duration::from_millis(100)), 0);
+        assert_eq!(remaining_ms(100, Duration::from_millis(101)), 0);
+        assert_eq!(remaining_ms(0, Duration::ZERO), 0);
+        // An absurd elapsed value (beyond u64 milliseconds) still
+        // answers zero rather than truncating into a bogus remainder.
+        assert_eq!(remaining_ms(u64::MAX, Duration::MAX), 0);
+    }
+
+    #[test]
+    fn clamp_respects_margin_at_the_boundary() {
+        let margin = Duration::from_millis(50);
+        let budget = Duration::from_secs(1);
+        // remaining == margin: nothing usable.
+        assert_eq!(clamp_budget(budget, 50, margin), None);
+        // One millisecond past the margin is a real (tiny) budget.
+        assert_eq!(
+            clamp_budget(budget, 51, margin),
+            Some(Duration::from_millis(1))
+        );
+    }
+
+    #[test]
+    fn clamp_never_exceeds_the_configured_budget() {
+        let clamped = clamp_budget(Duration::from_millis(10), u64::MAX, Duration::ZERO);
+        assert_eq!(clamped, Some(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn extreme_margins_saturate() {
+        // A margin beyond u64 milliseconds swallows any deadline.
+        assert_eq!(
+            clamp_budget(Duration::from_secs(1), u64::MAX, Duration::MAX),
+            None
+        );
+    }
+}

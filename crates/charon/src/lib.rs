@@ -88,6 +88,7 @@ mod error;
 mod property;
 mod verify;
 
+pub mod deadline;
 pub mod faults;
 pub mod json;
 pub mod parallel;
@@ -103,7 +104,8 @@ pub use error::{BudgetKind, VerifyError};
 pub use property::RobustnessProperty;
 pub use sched::SchedulerMode;
 pub use telemetry::{
-    JsonlSink, Metrics, NodeRow, NullSink, RunReport, SummarySink, TraceEvent, TraceSink,
+    JsonlSink, Metrics, NodeRow, NullSink, OverloadStats, RunReport, SummarySink, TraceEvent,
+    TraceSink,
 };
 pub use verify::{
     Counterexample, Verdict, Verifier, VerifierConfig, VerifyRun, VerifyStats,

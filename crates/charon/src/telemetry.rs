@@ -35,7 +35,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::json::{json_f64, json_str, parse_flat_object};
+use crate::json::{json_f64, json_str, parse_flat_object, ObjectBuilder};
 
 /// One structured event from the verification engine.
 ///
@@ -595,6 +595,50 @@ pub struct NodeRow {
     pub redispatched: u64,
     /// Wall-clock seconds the node's dispatcher spent idle.
     pub idle_seconds: f64,
+}
+
+/// Overload-resilience counters for a service tier: how much offered
+/// work the tier refused or abandoned to protect the goodput of the
+/// work it kept.
+///
+/// Both the single-node daemon and the coordinator render these through
+/// [`OverloadStats::fields`], so the `stats` surface uses identical key
+/// names in every tier — the "Overload triage" runbook in
+/// `docs/OPERATIONS.md` reads them without caring which tier answered.
+/// Rows from several nodes merge by summation (the `breaker_open` gauge
+/// sums too: "how many breakers are open across the fleet").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverloadStats {
+    /// Submissions refused by the sojourn-time shed controller (each
+    /// was answered with a `busy` response, never admitted).
+    pub shed: u64,
+    /// Admitted jobs answered `deadline_expired` because their client
+    /// deadline ran out before a worker could usefully start them.
+    pub deadline_expired: u64,
+    /// Circuit breakers currently open (gauge; zero on tiers without
+    /// breakers, i.e. everything below the coordinator).
+    pub breaker_open: u64,
+    /// Cumulative breaker trips since the tier started.
+    pub breaker_opens: u64,
+}
+
+impl OverloadStats {
+    /// Sums another tier's counters into this one.
+    pub fn merge(&mut self, other: &OverloadStats) {
+        self.shed += other.shed;
+        self.deadline_expired += other.deadline_expired;
+        self.breaker_open += other.breaker_open;
+        self.breaker_opens += other.breaker_opens;
+    }
+
+    /// Appends the counters to a flat stats object under their
+    /// canonical key names.
+    pub fn fields(&self, b: ObjectBuilder) -> ObjectBuilder {
+        b.int("shed", self.shed)
+            .int("deadline_expired", self.deadline_expired)
+            .int("breaker_open", self.breaker_open)
+            .int("breaker_opens", self.breaker_opens)
+    }
 }
 
 /// Per-run engine metrics: phase counters, wall times, and latency

@@ -17,11 +17,14 @@
 //! charon-cli certify --zoo NAME --eps E [--points N] [--timeout-ms N]
 //! charon-cli trace   --in FILE
 //! charon-cli serve   --addr ADDR [--workers N] [--queue N] [--cache N]
-//!                    [--journal FILE | --no-journal]
+//!                    [--shed-target-ms N] [--shed-interval-ms N]
+//!                    [--reply-margin-ms N] [--journal FILE | --no-journal]
 //! charon-cli serve   --addr ADDR --coordinator --nodes ADDR,ADDR[,...]
 //!                    [--shards N] [--conns-per-node N] [--retry-budget N]
-//!                    [--node-grace-ms N] [--journal FILE | --no-journal]
-//! charon-cli node    --addr ADDR [--workers N] [--journal FILE]
+//!                    [--node-grace-ms N] [--breaker-threshold N]
+//!                    [--breaker-cooldown-ms N] [--journal FILE | --no-journal]
+//! charon-cli node    --addr ADDR [--workers N] [--reply-margin-ms N]
+//!                    [--journal FILE]
 //! charon-cli submit  --addr ADDR (--network NET --property PROP | --query ID
 //!                    | --stats | --drain | --ping) [--id N] [--retries N]
 //!                    [--priority N] [--deadline-ms N] [--timeout-ms N]
@@ -59,9 +62,11 @@
 //! `--journal` is given) and replays unfinished jobs after a restart.
 //! `submit` picks a fresh job id per invocation unless `--id` pins one,
 //! submits with the idempotent `ack` handshake, and retries transient
-//! failures (connection refused, queue full, draining, journal write
-//! errors) up to `--retries N` (default 3) times with capped
-//! exponential backoff before giving up with exit code 69. A job that
+//! failures (connection refused, `busy` refusals, draining, journal
+//! write errors) up to `--retries N` (default 3) times with capped
+//! exponential backoff — waiting at least the server's `retry_after_ms`
+//! hint, and stopping early once `--deadline-ms` is spent — before
+//! giving up with exit code 69. A job that
 //! repeatedly kills workers comes back as a `poisoned` verdict carrying
 //! the panic diagnostic (exit code 70). `submit --query ID` asks a
 //! daemon for the stored outcome of a previously submitted job.
@@ -76,7 +81,18 @@
 //! nodes are detected by read deadline and their shards re-dispatched
 //! within `--retry-budget`, beyond which the shard is quarantined and
 //! the job delivered as `poisoned`. `node` starts a shard-worker
-//! daemon (a plain daemon that also answers `shard` requests).
+//! daemon (a plain daemon that also answers `shard` requests). Each
+//! node carries a circuit breaker: `--breaker-threshold` consecutive
+//! dispatch failures route shards around it until a half-open probe
+//! (after `--breaker-cooldown-ms`) finds it healthy again.
+//!
+//! Overload: `serve --shed-target-ms N` arms the sojourn-time shed
+//! controller — once queue latency stays above the target for
+//! `--shed-interval-ms`, new low-priority submissions are refused with
+//! `busy` + `retry_after_ms` until latency recovers. Jobs carrying
+//! `--deadline-ms` are answered `deadline_expired` without touching a
+//! worker once the deadline is spent, and workers clamp the verification
+//! budget to the remaining deadline minus `--reply-margin-ms`.
 //!
 //! Observability: `verify --report` prints a per-phase run report (see
 //! [`charon::RunReport`]), `verify --trace-out FILE` streams one JSON
@@ -261,7 +277,7 @@ impl Args {
 }
 
 fn usage() -> String {
-    "usage:\n  charon-cli verify  --network NET (--property PROP | --resume CKPT) [--timeout-ms N] [--delta D] [--policy FILE] [--parallel N] [--checkpoint FILE] [--no-cex] [--stats] [--report] [--trace-out FILE] [--cert-out FILE]\n  charon-cli audit   --network NET --cert FILE\n  charon-cli attack  --network NET --property PROP [--restarts N] [--seed N]\n  charon-cli train   [--seed N] [--time-limit-ms N] --out FILE\n  charon-cli info    --network NET\n  charon-cli example --out-network NET --out-property PROP\n  charon-cli prop    --zoo NAME --image N --tau T --out-network NET --out-property PROP\n  charon-cli certify --zoo NAME --eps E [--points N] [--timeout-ms N]\n  charon-cli trace   --in FILE\n  charon-cli serve   --addr ADDR [--workers N] [--queue N] [--cache N] [--journal FILE | --no-journal] [--fault-kill-job ID] [--fault-worker-kill ORD]\n  charon-cli serve   --addr ADDR --coordinator --nodes ADDR,ADDR[,...] [--shards N] [--conns-per-node N] [--retry-budget N] [--node-grace-ms N] [--journal FILE | --no-journal] [--fault-node-kill ORD] [--fault-shard-drop ORD]\n  charon-cli node    --addr ADDR [--workers N] [--journal FILE]\n  charon-cli submit  --addr ADDR (--network NET --property PROP | --query ID | --stats | --drain | --ping) [--id N] [--retries N] [--priority N] [--deadline-ms N] [--timeout-ms N] [--delta D] [--restarts N] [--seed N] [--no-cex] [--checkpoint FILE] [--cert-out FILE]\n\nserve journals accepted jobs to <socket>.wal on Unix addresses unless --no-journal; --journal FILE overrides the path (and is required for durability on tcp: addresses). --fault-kill-job / --fault-worker-kill schedule deterministic worker panics for chaos testing only.\nserve --coordinator shards each job's input region across the listed nodes and merges shard verdicts; a node is a daemon started with `charon-cli node` (journal off by default: shards are the coordinator's to re-dispatch). --fault-node-kill / --fault-shard-drop schedule deterministic cluster faults for chaos testing only.\nsubmit retries transient failures (connect refused, queue full, draining, journal errors) --retries times with capped exponential backoff; exit 69 = retryable/unavailable, 70 = engine failure or poisoned job.\nverify --cert-out records a proof certificate for a decisive verdict (submit --cert-out asks the daemon to do the same over the wire); audit independently re-checks one with directed rounding (exit 0 = certificate ok, 1 = rejected, 65 = unreadable).".to_string()
+    "usage:\n  charon-cli verify  --network NET (--property PROP | --resume CKPT) [--timeout-ms N] [--delta D] [--policy FILE] [--parallel N] [--checkpoint FILE] [--no-cex] [--stats] [--report] [--trace-out FILE] [--cert-out FILE]\n  charon-cli audit   --network NET --cert FILE\n  charon-cli attack  --network NET --property PROP [--restarts N] [--seed N]\n  charon-cli train   [--seed N] [--time-limit-ms N] --out FILE\n  charon-cli info    --network NET\n  charon-cli example --out-network NET --out-property PROP\n  charon-cli prop    --zoo NAME --image N --tau T --out-network NET --out-property PROP\n  charon-cli certify --zoo NAME --eps E [--points N] [--timeout-ms N]\n  charon-cli trace   --in FILE\n  charon-cli serve   --addr ADDR [--workers N] [--queue N] [--cache N] [--shed-target-ms N] [--shed-interval-ms N] [--reply-margin-ms N] [--journal FILE | --no-journal] [--fault-kill-job ID] [--fault-worker-kill ORD]\n  charon-cli serve   --addr ADDR --coordinator --nodes ADDR,ADDR[,...] [--shards N] [--conns-per-node N] [--retry-budget N] [--node-grace-ms N] [--breaker-threshold N] [--breaker-cooldown-ms N] [--journal FILE | --no-journal] [--fault-node-kill ORD] [--fault-shard-drop ORD]\n  charon-cli node    --addr ADDR [--workers N] [--reply-margin-ms N] [--journal FILE] [--fault-shard-stall ORD --fault-shard-stall-ms MS]\n  charon-cli submit  --addr ADDR (--network NET --property PROP | --query ID | --stats | --drain | --ping) [--id N] [--retries N] [--priority N] [--deadline-ms N] [--timeout-ms N] [--delta D] [--restarts N] [--seed N] [--no-cex] [--checkpoint FILE] [--cert-out FILE]\n\nserve journals accepted jobs to <socket>.wal on Unix addresses unless --no-journal; --journal FILE overrides the path (and is required for durability on tcp: addresses). --fault-kill-job / --fault-worker-kill schedule deterministic worker panics for chaos testing only.\nserve --coordinator shards each job's input region across the listed nodes and merges shard verdicts; a node is a daemon started with `charon-cli node` (journal off by default: shards are the coordinator's to re-dispatch). --breaker-threshold consecutive dispatch failures trip a node's circuit breaker and route shards around it until a half-open probe after --breaker-cooldown-ms succeeds. --fault-node-kill / --fault-shard-drop / --fault-shard-stall schedule deterministic cluster faults for chaos testing only.\nserve --shed-target-ms arms adaptive load shedding: sustained queue latency above the target refuses new low-priority submissions with `busy` + retry_after_ms. submit --deadline-ms propagates an end-to-end deadline: expired jobs are answered deadline_expired without running, and workers clamp their budget to the remaining deadline minus --reply-margin-ms.\nsubmit retries transient failures (connect refused, busy, draining, journal errors) --retries times with capped exponential backoff, honoring the server's retry_after_ms hint and stopping once --deadline-ms is spent; exit 69 = retryable/unavailable, 70 = engine failure or poisoned job.\nverify --cert-out records a proof certificate for a decisive verdict (submit --cert-out asks the daemon to do the same over the wire); audit independently re-checks one with directed rounding (exit 0 = certificate ok, 1 = rejected, 65 = unreadable).".to_string()
 }
 
 /// Executes a CLI invocation, writing human-readable output to `out`.
@@ -771,6 +787,14 @@ fn fault_plan(args: &Args) -> Result<Option<Arc<server::ServerFaultPlan>>, CliEr
         builder = builder.drop_shard_result(ordinal);
         any = true;
     }
+    if args.get("fault-shard-stall").is_some() {
+        let ordinal = args.get_u64("fault-shard-stall", 0).map_err(CliError::Usage)? as usize;
+        let millis = args
+            .get_u64("fault-shard-stall-ms", 30_000)
+            .map_err(CliError::Usage)?;
+        builder = builder.stall_shard(ordinal, millis);
+        any = true;
+    }
     Ok(any.then(|| Arc::new(builder.build())))
 }
 
@@ -784,14 +808,27 @@ fn cmd_serve(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, Cli
         Some(path) => format!("journaling to {}", path.display()),
         None => "journal disabled (a crash loses queued jobs)".to_string(),
     };
+    let defaults = server::ServerConfig::default();
     let config = server::ServerConfig {
         addr,
         workers: args.get_u64("workers", 2)? as usize,
         queue_capacity: args.get_u64("queue", 64)? as usize,
         cache_capacity: args.get_u64("cache", 256)? as usize,
+        // Adaptive load shedding is opt-in: without --shed-target-ms
+        // the only admission bound is the queue capacity.
+        shed_target: match args.get("shed-target-ms") {
+            Some(_) => Some(Duration::from_millis(args.get_u64("shed-target-ms", 0)?)),
+            None => None,
+        },
+        shed_interval: Duration::from_millis(
+            args.get_u64("shed-interval-ms", defaults.shed_interval.as_millis() as u64)?,
+        ),
+        reply_margin: Duration::from_millis(
+            args.get_u64("reply-margin-ms", defaults.reply_margin.as_millis() as u64)?,
+        ),
         journal,
         faults: fault_plan(args)?,
-        ..server::ServerConfig::default()
+        ..defaults
     };
     let handle = server::Server::start(config)
         .map_err(|e| CliError::Unavailable(format!("cannot start daemon: {e}")))?;
@@ -832,6 +869,8 @@ fn cmd_serve_coordinator(args: &Args, out: &mut impl std::io::Write) -> Result<E
         connections_per_node: args.get_u64("conns-per-node", 2)? as usize,
         retry_budget: args.get_u64("retry-budget", 2)? as u32,
         node_grace: Duration::from_millis(args.get_u64("node-grace-ms", 10_000)?),
+        breaker_threshold: args.get_u64("breaker-threshold", 3)? as u32,
+        breaker_cooldown: Duration::from_millis(args.get_u64("breaker-cooldown-ms", 5_000)?),
         journal,
         faults: fault_plan(args)?,
         ..server::CoordinatorConfig::default()
@@ -860,12 +899,16 @@ fn cmd_serve_coordinator(args: &Args, out: &mut impl std::io::Write) -> Result<E
 fn cmd_node(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, CliError> {
     let addr = server::ServerAddr::parse(args.require("addr")?).map_err(CliError::Usage)?;
     let journal = args.get("journal").map(std::path::PathBuf::from);
+    let defaults = server::ServerConfig::default();
     let config = server::ServerConfig {
         addr,
         workers: args.get_u64("workers", 2)? as usize,
+        reply_margin: Duration::from_millis(
+            args.get_u64("reply-margin-ms", defaults.reply_margin.as_millis() as u64)?,
+        ),
         journal,
         faults: fault_plan(args)?,
-        ..server::ServerConfig::default()
+        ..defaults
     };
     let handle = server::Server::start(config)
         .map_err(|e| CliError::Unavailable(format!("cannot start node: {e}")))?;
@@ -927,7 +970,10 @@ fn cmd_submit(args: &Args, out: &mut impl std::io::Write) -> Result<ExitCode, Cl
             "rejected_full",
             "rejected_draining",
             "errored",
+            "shed",
             "deadline_expired",
+            "breaker_open",
+            "breaker_opens",
             "replayed",
             "requeued",
             "quarantined",
@@ -1160,6 +1206,17 @@ fn render_terminal(
             writeln!(out, "daemon drained before the job started; resubmit it elsewhere")
                 .map_err(|e| e.to_string())?;
             Ok(ExitCode::Unavailable)
+        }
+        // Normally absorbed by submit_reliable's retry loop; reaching
+        // here means every retry was refused (or the deadline ran out).
+        "busy" => {
+            let hint = reply
+                .opt_usize("retry_after_ms")
+                .map_err(CliError::Engine)?
+                .unwrap_or(0);
+            Err(CliError::Unavailable(format!(
+                "server is shedding load; retry in {hint} ms"
+            )))
         }
         "error" => {
             let code = reply.str_field("error").map_err(CliError::Engine)?;

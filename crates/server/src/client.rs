@@ -7,10 +7,16 @@
 //!   bounded line reader and optional socket timeouts.
 //! * [`submit_reliable`] — the crash-only submission path: forces the
 //!   `ack` flag so the job id is idempotent, retries connection-refused
-//!   / queue-full / draining / journal-error with capped exponential
+//!   / `busy` / draining / journal-error with capped exponential
 //!   backoff and deterministic jitter, reconnects and re-queries after a
 //!   dropped connection, and returns a typed
 //!   [`ClientError::RetriesExhausted`] when the budget runs out.
+//!
+//! An overloaded server's `busy` refusal carries a `retry_after_ms`
+//! hint derived from its queue drain rate; [`submit_reliable`] honors
+//! it (waiting at least that long before the next attempt) and stops
+//! retrying outright once the request's own `deadline_ms` is spent —
+//! there is no point winning admission for an answer nobody can use.
 
 use std::io::{BufReader, Write};
 use std::time::{Duration, Instant};
@@ -182,6 +188,10 @@ pub enum ClientError {
         attempts: u32,
         /// Human-readable description of the last failure.
         last: String,
+        /// The server's last `retry_after_ms` hint, if the final failure
+        /// was a `busy` refusal — callers queueing their own retry can
+        /// start from the server's estimate instead of guessing.
+        retry_after_ms: Option<u64>,
     },
 }
 
@@ -190,8 +200,16 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "i/o error: {e}"),
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
-            ClientError::RetriesExhausted { attempts, last } => {
-                write!(f, "retries exhausted after {attempts} attempts (last: {last})")
+            ClientError::RetriesExhausted {
+                attempts,
+                last,
+                retry_after_ms,
+            } => {
+                write!(f, "retries exhausted after {attempts} attempts (last: {last})")?;
+                if let Some(hint) = retry_after_ms {
+                    write!(f, " (server suggests retrying in {hint} ms)")?;
+                }
+                Ok(())
             }
         }
     }
@@ -224,7 +242,11 @@ pub fn connect_retry(addr: &ServerAddr, policy: &RetryPolicy) -> Result<Client, 
             Err(e) => last = format!("connect to {addr}: {e}"),
         }
     }
-    Err(ClientError::RetriesExhausted { attempts, last })
+    Err(ClientError::RetriesExhausted {
+        attempts,
+        last,
+        retry_after_ms: None,
+    })
 }
 
 /// Error codes the daemon marks as transient: the same submission may
@@ -235,7 +257,18 @@ pub fn is_retryable_error_code(code: &str) -> bool {
 
 enum Attempt {
     Terminal(Fields),
-    Retry(String),
+    Retry {
+        why: String,
+        /// Server-supplied backoff hint (`busy` responses only).
+        retry_after: Option<u64>,
+    },
+}
+
+fn retry(why: String) -> Attempt {
+    Attempt::Retry {
+        why,
+        retry_after: None,
+    }
 }
 
 /// Submits `request` with crash-only semantics and blocks until a
@@ -265,18 +298,48 @@ pub fn submit_reliable(
     let attempts = policy.max_attempts.max(1);
     let mut state = policy.seed ^ request.id;
     let mut last = String::from("never attempted");
+    let mut hint: Option<u64> = None;
+    let started = Instant::now();
+    let mut made = 0;
     for attempt in 0..attempts {
         if attempt > 0 {
-            std::thread::sleep(policy.delay(attempt, &mut state));
+            // The next wait is the larger of our own backoff schedule
+            // and the server's `retry_after_ms` hint: retrying sooner
+            // than the server's queue can drain just burns an attempt.
+            let mut delay = policy.delay(attempt, &mut state);
+            if let Some(hint_ms) = hint {
+                delay = delay.max(Duration::from_millis(hint_ms));
+            }
+            // A deadline the server can no longer meet is a deadline we
+            // should not keep spending attempts on.
+            if let Some(deadline_ms) = request.deadline_ms {
+                let remaining = charon::deadline::remaining_ms(deadline_ms, started.elapsed());
+                if Duration::from_millis(remaining) <= delay {
+                    last = format!("deadline of {deadline_ms} ms spent while backing off ({last})");
+                    break;
+                }
+            }
+            std::thread::sleep(delay);
         }
+        made = attempt + 1;
         match submit_once(addr, &request) {
             Ok(Attempt::Terminal(fields)) => return Ok(fields),
-            Ok(Attempt::Retry(why)) => last = why,
-            Err(ClientError::Io(e)) => last = format!("i/o: {e}"),
+            Ok(Attempt::Retry { why, retry_after }) => {
+                last = why;
+                hint = retry_after;
+            }
+            Err(ClientError::Io(e)) => {
+                last = format!("i/o: {e}");
+                hint = None;
+            }
             Err(fatal) => return Err(fatal),
         }
     }
-    Err(ClientError::RetriesExhausted { attempts, last })
+    Err(ClientError::RetriesExhausted {
+        attempts: made,
+        last,
+        retry_after_ms: hint,
+    })
 }
 
 fn submit_once(addr: &ServerAddr, request: &VerifyRequest) -> Result<Attempt, ClientError> {
@@ -333,7 +396,7 @@ fn poll_query(client: &mut Client, request: &VerifyRequest) -> Result<Attempt, C
         match kind.as_str() {
             "pending" => {
                 if start.elapsed() > budget {
-                    return Ok(Attempt::Retry(format!(
+                    return Ok(retry(format!(
                         "job {} still pending after {budget:?}",
                         request.id
                     )));
@@ -343,10 +406,7 @@ fn poll_query(client: &mut Client, request: &VerifyRequest) -> Result<Attempt, C
             // The daemon restarted without the job (journal off, or the
             // accepted record never hit disk): resubmit.
             "unknown" => {
-                return Ok(Attempt::Retry(format!(
-                    "job {} unknown to the daemon",
-                    request.id
-                )))
+                return Ok(retry(format!("job {} unknown to the daemon", request.id)))
             }
             _ => return classify_terminal(fields, request.id),
         }
@@ -359,11 +419,25 @@ fn classify_terminal(fields: Fields, id: u64) -> Result<Attempt, ClientError> {
         .map_err(ClientError::Protocol)?;
     match kind.as_str() {
         "verdict" | "checkpointed" | "unstarted" => Ok(Attempt::Terminal(fields)),
+        // An overloaded server refused to queue the job; back off for at
+        // least the server's drain-rate estimate, then resubmit.
+        "busy" => {
+            let retry_after = fields.opt_usize("retry_after_ms").ok().flatten().map(|v| v as u64);
+            let reason = fields
+                .opt_str("reason")
+                .ok()
+                .flatten()
+                .unwrap_or_else(|| "overloaded".to_string());
+            Ok(Attempt::Retry {
+                why: format!("job {id}: busy ({reason})"),
+                retry_after,
+            })
+        }
         "error" => {
             let code = fields.str_field("error").map_err(ClientError::Protocol)?;
             if is_retryable_error_code(&code) {
                 let message = fields.opt_str("message").ok().flatten().unwrap_or_default();
-                Ok(Attempt::Retry(format!("job {id}: {code}: {message}")))
+                Ok(retry(format!("job {id}: {code}: {message}")))
             } else {
                 Ok(Attempt::Terminal(fields))
             }
@@ -432,9 +506,14 @@ mod tests {
             seed: 1,
         };
         match connect_retry(&addr, &policy) {
-            Err(ClientError::RetriesExhausted { attempts, last }) => {
+            Err(ClientError::RetriesExhausted {
+                attempts,
+                last,
+                retry_after_ms,
+            }) => {
                 assert_eq!(attempts, 2);
                 assert!(last.contains("connect"), "{last}");
+                assert_eq!(retry_after_ms, None, "connect failures carry no hint");
             }
             other => panic!("expected exhaustion, got {other:?}"),
         }

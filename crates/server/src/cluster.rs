@@ -38,6 +38,22 @@
 //! node. Shard dispatches are journaled (`shard_dispatched` records)
 //! for post-crash audit; a recovered coordinator job is re-sharded from
 //! scratch.
+//!
+//! On top of per-dispatch detection, each node carries a
+//! [`crate::overload::CircuitBreaker`] shared by all of its
+//! dispatchers: [`CoordinatorConfig::breaker_threshold`] *consecutive*
+//! dispatch failures trip it, after which the node's dispatchers take
+//! no tasks (shards drift to healthy nodes via the normal re-dispatch
+//! machinery) until a cooldown elapses and a single `node_hello`
+//! half-open probe succeeds. This turns the cost of a stalled or dying
+//! node from "one read deadline per dispatched shard, forever" into
+//! "`threshold` read deadlines, once".
+//!
+//! Client deadlines propagate through dispatch (protocol ≥ 5): each
+//! shard request carries the client's remaining `deadline_ms`, a task
+//! whose deadline is already spent expires its job instead of being
+//! dispatched, and nodes clamp their verification budget to what the
+//! deadline leaves.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::BufReader;
@@ -56,6 +72,7 @@ use charon::{Checkpoint, Counterexample, RobustnessProperty, Verdict};
 use crate::client::Client;
 use crate::faults::ServerFaultPlan;
 use crate::journal::{Journal, Record};
+use crate::overload::{BreakerState, CircuitBreaker};
 use crate::net::{read_line_bounded, Listener, ServerAddr, Stream, DEFAULT_MAX_LINE_BYTES};
 use crate::protocol::{
     accepted_response, error_response, pending_response, poisoned_response, pong_response,
@@ -88,6 +105,12 @@ pub struct CoordinatorConfig {
     pub journal: Option<PathBuf>,
     /// Cap on one received protocol line.
     pub max_line_bytes: usize,
+    /// Consecutive dispatch failures (timeouts, dead connections,
+    /// malformed answers) that trip a node's circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker refuses work before admitting one
+    /// half-open `node_hello` probe.
+    pub breaker_cooldown: Duration,
     /// Deterministic cluster fault injection (tests only).
     pub faults: Option<Arc<ServerFaultPlan>>,
 }
@@ -103,6 +126,8 @@ impl Default for CoordinatorConfig {
             node_grace: Duration::from_secs(10),
             journal: None,
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(5),
             faults: None,
         }
     }
@@ -285,6 +310,12 @@ impl MergeState {
 /// One queued unit of dispatch work.
 struct ShardTask {
     request: ShardRequest,
+    /// When the coordinator accepted the parent job: the epoch the
+    /// client deadline counts down from.
+    accepted_at: Instant,
+    /// The client's end-to-end deadline, if it sent one. The *remaining*
+    /// portion is stamped into `request.deadline_ms` at dispatch time.
+    deadline_ms: Option<u64>,
     /// Node-connection deaths this shard has caused so far.
     kills: u32,
 }
@@ -313,6 +344,7 @@ struct ClusterCounters {
     duplicates: AtomicU64,
     journal_errors: AtomicU64,
     node_failures: AtomicU64,
+    deadline_expired: AtomicU64,
     shards_dispatched: AtomicU64,
     shards_completed: AtomicU64,
     shards_redispatched: AtomicU64,
@@ -338,6 +370,9 @@ struct ClusterShared {
     outstanding: Mutex<i64>,
     idle: std::sync::Condvar,
     node_rows: Mutex<Vec<NodeRow>>,
+    /// One circuit breaker per node, keyed by the node's display name
+    /// and shared by all of that node's dispatchers.
+    breakers: Mutex<HashMap<String, CircuitBreaker>>,
     faults: Option<Arc<ServerFaultPlan>>,
 }
 
@@ -523,6 +558,18 @@ impl Coordinator {
             work: std::sync::Condvar::new(),
             idle: std::sync::Condvar::new(),
             node_rows: Mutex::new(Vec::new()),
+            breakers: Mutex::new(
+                config
+                    .nodes
+                    .iter()
+                    .map(|node| {
+                        (
+                            node.to_string(),
+                            CircuitBreaker::new(config.breaker_threshold, config.breaker_cooldown),
+                        )
+                    })
+                    .collect(),
+            ),
             faults: config.faults.clone(),
         });
 
@@ -687,6 +734,7 @@ fn submit_cluster(shared: &Arc<ClusterShared>, request: VerifyRequest, sock: &Ar
     }
     shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
     *shared.outstanding.lock().unwrap() += 1;
+    let accepted_at = Instant::now();
     let mut tasks = Vec::with_capacity(regions.len());
     for (index, bounds) in regions.into_iter().enumerate() {
         tasks.push(ShardTask {
@@ -696,6 +744,8 @@ fn submit_cluster(shared: &Arc<ClusterShared>, request: VerifyRequest, sock: &Ar
                 network: request.network.clone(),
                 property: property.with_region(bounds).to_text(),
                 timeout_ms: request.timeout_ms,
+                // Stamped with the *remaining* deadline at dispatch.
+                deadline_ms: None,
                 delta: request.delta,
                 max_regions: request.max_regions,
                 restarts: request.restarts,
@@ -707,6 +757,8 @@ fn submit_cluster(shared: &Arc<ClusterShared>, request: VerifyRequest, sock: &Ar
                 cex_search: request.cex_search,
                 cert: request.cert,
             },
+            accepted_at,
+            deadline_ms: request.deadline_ms,
             kills: 0,
         });
     }
@@ -715,7 +767,7 @@ fn submit_cluster(shared: &Arc<ClusterShared>, request: VerifyRequest, sock: &Ar
         JobState {
             merge: MergeState::new(tasks.len()),
             reply: Reply::Socket(Arc::clone(sock)),
-            accepted_at: Instant::now(),
+            accepted_at,
             cert_root: request.cert.then(|| property.region().clone()),
             poison: None,
             delivered: false,
@@ -766,6 +818,13 @@ fn dispatcher_loop(shared: &Arc<ClusterShared>, node: &ServerAddr) {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
+        // Route around an open breaker: this node's dispatchers take no
+        // tasks (queued shards drift to healthy nodes) until a half-open
+        // `node_hello` probe succeeds.
+        if !breaker_admits(shared, node, &node_name, &mut client) {
+            std::thread::sleep(Duration::from_millis(50));
+            continue;
+        }
         // Block on the work condvar until a task arrives; a 2 s timeout
         // doubles as the heartbeat cadence while idle.
         let waited = Instant::now();
@@ -801,6 +860,12 @@ fn dispatcher_loop(shared: &Arc<ClusterShared>, node: &ServerAddr) {
                 if !alive {
                     client = None;
                     shared.counters.node_failures.fetch_add(1, Ordering::Relaxed);
+                    // A dead heartbeat counts toward the breaker, so a
+                    // node that dies while idle trips it before any
+                    // shard is wasted probing it. (A *successful* ping
+                    // is deliberately not counted as breaker success: a
+                    // stalled node often still answers pings.)
+                    breaker_note(shared, &node_name, false);
                 }
             }
             shared.note_node(&NodeRow {
@@ -829,7 +894,7 @@ fn dispatch_one(
     node: &ServerAddr,
     node_name: &str,
     client: &mut Option<Client>,
-    task: ShardTask,
+    mut task: ShardTask,
 ) {
     // A job already delivered (a refutation won, or an error ended it)
     // cancels its still-queued shards.
@@ -842,12 +907,27 @@ fn dispatch_one(
             return;
         }
     }
+    // Deadline propagation: stamp the client's *remaining* deadline on
+    // the shard at dispatch time, so the node can clamp its budget to
+    // what is actually left. A task whose deadline is already spent
+    // expires the whole job instead of burning a node slot on an answer
+    // nobody is waiting for.
+    if let Some(deadline_ms) = task.deadline_ms {
+        let remaining = charon::deadline::remaining_ms(deadline_ms, task.accepted_at.elapsed());
+        if remaining == 0 {
+            expire_job(shared, task.request.id);
+            return;
+        }
+        task.request.deadline_ms = Some(remaining);
+    }
     // An unreachable node costs the shard nothing: back off and requeue
-    // so another node's dispatcher picks it up.
+    // so another node's dispatcher picks it up. It does count toward the
+    // node's breaker, though — enough refused connects trip it.
     let connection = match ensure_client(client, node, shared.node_grace) {
         Ok(connection) => connection,
         Err(_) => {
             shared.counters.node_failures.fetch_add(1, Ordering::Relaxed);
+            breaker_note(shared, node_name, false);
             shared.queue.lock().unwrap().push_back(task);
             shared.work.notify_one();
             std::thread::sleep(Duration::from_millis(100));
@@ -882,14 +962,21 @@ fn dispatch_one(
     if let Some(plan) = &shared.faults {
         if plan.node_kill.check() {
             *client = None;
+            breaker_note(shared, node_name, false);
             shard_failed(shared, task, node_name, "injected node kill at dispatch");
             return;
         }
     }
 
-    // The read deadline is the shard's own budget plus grace: a node
-    // that blows through it is presumed dead.
-    let deadline = Duration::from_millis(task.request.timeout_ms) + shared.node_grace;
+    // The read deadline is the shard's effective budget plus grace: a
+    // node that blows through it is presumed dead (or stalled, which
+    // costs the same). A propagated deadline tightens it, because the
+    // node clamps its verification budget to the deadline anyway.
+    let budget_ms = task
+        .request
+        .timeout_ms
+        .min(task.request.deadline_ms.unwrap_or(u64::MAX));
+    let deadline = Duration::from_millis(budget_ms) + shared.node_grace;
     let _ = connection.set_timeouts(Some(deadline), Some(shared.node_grace));
     let response = connection
         .send(&task.request.to_line())
@@ -898,14 +985,17 @@ fn dispatch_one(
         Ok(fields) => fields,
         Err(_) => {
             *client = None;
+            breaker_note(shared, node_name, false);
             shard_failed(shared, task, node_name, "node connection died mid-shard");
             return;
         }
     };
 
     // Injected result drop: the shard completed but its result is lost.
+    // The node *answered*, so its breaker records a success.
     if let Some(plan) = &shared.faults {
         if plan.shard_drop.check() {
+            breaker_note(shared, node_name, true);
             shard_failed(shared, task, node_name, "injected shard result drop");
             return;
         }
@@ -916,14 +1006,21 @@ fn dispatch_one(
             // Reconstruct the wire line the fields were parsed from; the
             // typed struct is the unit MergeState accepts.
             match rebuild_shard_result(&fields) {
-                Ok(result) => record_result(shared, node_name, &result),
+                Ok(result) => {
+                    breaker_note(shared, node_name, true);
+                    record_result(shared, node_name, &result);
+                }
                 Err(_) => {
                     *client = None;
+                    breaker_note(shared, node_name, false);
                     shard_failed(shared, task, node_name, "malformed shard_result from node");
                 }
             }
         }
         Ok("error") => {
+            // The node answered in protocol: healthy as far as the
+            // breaker is concerned, even though the job ends in error.
+            breaker_note(shared, node_name, true);
             // A typed node error (model missing on that host, malformed
             // property) is not transient: it ends the whole job.
             let code = fields
@@ -945,9 +1042,78 @@ fn dispatch_one(
         }
         _ => {
             *client = None;
+            breaker_note(shared, node_name, false);
             shard_failed(shared, task, node_name, "unexpected response kind from node");
         }
     }
+}
+
+/// Records one dispatch outcome against a node's circuit breaker.
+fn breaker_note(shared: &ClusterShared, node_name: &str, ok: bool) {
+    let mut breakers = shared.breakers.lock().unwrap();
+    if let Some(breaker) = breakers.get_mut(node_name) {
+        if ok {
+            breaker.record_success();
+        } else {
+            breaker.record_failure(Instant::now());
+        }
+    }
+}
+
+/// Gate at the top of a dispatcher iteration: `true` when this node may
+/// take work. While the node's breaker is open, exactly one dispatcher
+/// wins the half-open probe after the cooldown (a fresh connection plus
+/// `node_hello` handshake) and reports its outcome; everyone else backs
+/// off without touching the queue.
+fn breaker_admits(
+    shared: &Arc<ClusterShared>,
+    node: &ServerAddr,
+    node_name: &str,
+    client: &mut Option<Client>,
+) -> bool {
+    let owns_probe = {
+        let mut breakers = shared.breakers.lock().unwrap();
+        let Some(breaker) = breakers.get_mut(node_name) else {
+            return true;
+        };
+        match breaker.state() {
+            BreakerState::Closed => return true,
+            // Open pre-cooldown, or another dispatcher owns the probe.
+            _ => breaker.try_probe(Instant::now()),
+        }
+    };
+    if !owns_probe {
+        return false;
+    }
+    *client = None;
+    let healthy = ensure_client(client, node, shared.node_grace).is_ok();
+    if !healthy {
+        *client = None;
+    }
+    breaker_note(shared, node_name, healthy);
+    healthy
+}
+
+/// Answers a job whose client deadline was spent before its shards
+/// could even be dispatched.
+fn expire_job(shared: &Arc<ClusterShared>, id: u64) {
+    let mut jobs = shared.jobs.lock().unwrap();
+    let Some(job) = jobs.get_mut(&id) else {
+        return;
+    };
+    if job.delivered {
+        return;
+    }
+    shared
+        .counters
+        .deadline_expired
+        .fetch_add(1, Ordering::Relaxed);
+    let response = error_response(
+        Some(id),
+        "deadline_expired",
+        "job spent its deadline before its shards could be dispatched",
+    );
+    shared.deliver(id, job, &response);
 }
 
 /// Re-types a parsed `shard_result` response.
@@ -1089,7 +1255,25 @@ fn cluster_stats_response(shared: &Arc<ClusterShared>) -> String {
     };
     let rows = shared.node_rows.lock().unwrap().clone();
     let names: Vec<String> = rows.iter().map(|r| r.name.clone()).collect();
-    let mut b = ObjectBuilder::new()
+    let (breaker_open, breaker_opens) = {
+        let breakers = shared.breakers.lock().unwrap();
+        (
+            breakers
+                .values()
+                .filter(|breaker| breaker.is_routing_around())
+                .count() as u64,
+            breakers.values().map(CircuitBreaker::opens).sum(),
+        )
+    };
+    let overload = charon::telemetry::OverloadStats {
+        // The coordinator queue is unbounded and never sheds; admission
+        // pressure is absorbed by the nodes' own shed controllers.
+        shed: 0,
+        deadline_expired: counters.deadline_expired.load(Ordering::Relaxed),
+        breaker_open,
+        breaker_opens,
+    };
+    let b = ObjectBuilder::new()
         .str("response", "stats")
         .int("protocol", PROTOCOL_VERSION)
         .int("workers", shared.nodes.len() as u64)
@@ -1105,8 +1289,9 @@ fn cluster_stats_response(shared: &Arc<ClusterShared>) -> String {
             "rejected_draining",
             counters.rejected_draining.load(Ordering::Relaxed),
         )
-        .int("errored", counters.errored.load(Ordering::Relaxed))
-        .int("deadline_expired", 0)
+        .int("errored", counters.errored.load(Ordering::Relaxed));
+    let mut b = overload
+        .fields(b)
         .int("replayed", 0)
         .int(
             "requeued",

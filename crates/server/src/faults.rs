@@ -32,6 +32,8 @@ pub struct ServerFaultPlan {
     pub(crate) conn_drop: OrdinalTrigger,
     pub(crate) node_kill: OrdinalTrigger,
     pub(crate) shard_drop: OrdinalTrigger,
+    pub(crate) shard_stall: OrdinalTrigger,
+    pub(crate) shard_stall_ms: u64,
 }
 
 /// Builder for a [`ServerFaultPlan`].
@@ -43,6 +45,8 @@ pub struct ServerFaultPlanBuilder {
     conn_drop: Vec<usize>,
     node_kill: Vec<usize>,
     shard_drop: Vec<usize>,
+    shard_stall: Vec<usize>,
+    shard_stall_ms: u64,
 }
 
 impl ServerFaultPlanBuilder {
@@ -96,6 +100,18 @@ impl ServerFaultPlanBuilder {
         self
     }
 
+    /// Stalls the node for `millis` of wall-clock on shard execution
+    /// number `ordinal` (0-based, counted per node process), once — the
+    /// slow-node scenario: the shard request is received but no answer
+    /// comes back within the coordinator's read deadline, so the
+    /// dispatch times out and the node's circuit breaker counts a
+    /// failure.
+    pub fn stall_shard(mut self, ordinal: usize, millis: u64) -> Self {
+        self.shard_stall.push(ordinal);
+        self.shard_stall_ms = millis;
+        self
+    }
+
     /// Finishes the plan.
     pub fn build(self) -> ServerFaultPlan {
         ServerFaultPlan {
@@ -105,6 +121,8 @@ impl ServerFaultPlanBuilder {
             conn_drop: OrdinalTrigger::at(&self.conn_drop),
             node_kill: OrdinalTrigger::at(&self.node_kill),
             shard_drop: OrdinalTrigger::at(&self.shard_drop),
+            shard_stall: OrdinalTrigger::at(&self.shard_stall),
+            shard_stall_ms: self.shard_stall_ms,
         }
     }
 }
@@ -143,6 +161,19 @@ impl ServerFaultPlan {
     pub fn shard_drops_fired(&self) -> usize {
         self.shard_drop.fired_count()
     }
+
+    /// Sleeps for the configured stall duration if this shard execution
+    /// ordinal is scheduled (no-op otherwise).
+    pub(crate) fn maybe_stall_shard(&self) {
+        if self.shard_stall.check() {
+            std::thread::sleep(std::time::Duration::from_millis(self.shard_stall_ms));
+        }
+    }
+
+    /// Number of shard stalls that have fired.
+    pub fn shard_stalls_fired(&self) -> usize {
+        self.shard_stall.fired_count()
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +204,17 @@ mod tests {
         assert_eq!(plan.connection_drops_fired(), 0);
         assert_eq!(plan.node_kills_fired(), 0);
         assert_eq!(plan.shard_drops_fired(), 0);
+    }
+
+    #[test]
+    fn shard_stall_fires_once_at_its_ordinal() {
+        let plan = ServerFaultPlanBuilder::new().stall_shard(1, 0).build();
+        plan.maybe_stall_shard(); // ordinal 0: not scheduled
+        assert_eq!(plan.shard_stalls_fired(), 0);
+        plan.maybe_stall_shard(); // ordinal 1: fires (zero-length sleep)
+        assert_eq!(plan.shard_stalls_fired(), 1);
+        plan.maybe_stall_shard(); // one-shot
+        assert_eq!(plan.shard_stalls_fired(), 1);
     }
 
     #[test]

@@ -12,8 +12,22 @@
 //!
 //! # Lifecycle guarantees
 //!
-//! * **Admission control** — a full [`queue::JobQueue`] rejects with
-//!   `queue_full` immediately; the daemon never buffers unbounded work.
+//! * **Admission control** — a full [`queue::JobQueue`] answers `busy`
+//!   (with a `retry_after_ms` hint derived from the queue drain rate)
+//!   immediately; the daemon never buffers unbounded work. With a shed
+//!   target configured, a CoDel-style sojourn controller
+//!   ([`overload::SojournController`]) additionally sheds new
+//!   low-priority work whenever queue latency has exceeded the target
+//!   for a full control interval, holding the latency of admitted jobs
+//!   near the target instead of letting it grow to the full queue
+//!   depth.
+//! * **Deadline propagation** — a `deadline_ms` on the request travels
+//!   with the job: expired jobs are answered `deadline_expired` at
+//!   dequeue without starting the verifier, and live jobs clamp the
+//!   verifier budget to the remaining deadline minus
+//!   [`ServerConfig::reply_margin`] ([`charon::deadline`]), so the
+//!   anytime degradation ladder absorbs deadline pressure instead of a
+//!   hard kill.
 //! * **Crash-only durability** — with a [`journal::Journal`] configured,
 //!   every accepted job is fsync'd to a CRC-framed write-ahead log
 //!   *before* its acceptance is acknowledged, and every state transition
@@ -60,6 +74,7 @@ pub mod cluster;
 pub mod faults;
 pub mod journal;
 pub mod net;
+pub mod overload;
 pub mod protocol;
 pub mod queue;
 pub mod registry;
@@ -69,6 +84,7 @@ pub use client::{connect_retry, submit_reliable, Client, ClientError, RetryPolic
 pub use cluster::{Coordinator, CoordinatorConfig, CoordinatorHandle, MergeState};
 pub use faults::{ServerFaultPlan, ServerFaultPlanBuilder};
 pub use net::{ServerAddr, Stream};
+pub use overload::{BreakerState, CircuitBreaker, SojournController};
 pub use protocol::{Request, ShardRequest, ShardResult, VerifyRequest, PROTOCOL_VERSION};
 pub use queue::{JobQueue, RejectReason};
 pub use registry::ModelRegistry;
@@ -127,6 +143,23 @@ pub struct ServerConfig {
     /// Per-connection write timeout, so one stalled client cannot wedge
     /// a worker mid-response.
     pub write_timeout: Option<Duration>,
+    /// Queue-sojourn target for the CoDel-style shed controller. When
+    /// dequeues observe sojourn above this for a full
+    /// [`ServerConfig::shed_interval`], new low-priority submissions
+    /// are answered `busy` until latency is back under the target.
+    /// `None` (the default) disables shedding; the bounded queue alone
+    /// provides backpressure.
+    pub shed_target: Option<Duration>,
+    /// How long queue sojourn must stay above the target before the
+    /// controller starts shedding (hysteresis against transient
+    /// bursts).
+    pub shed_interval: Duration,
+    /// Wall-clock reserve subtracted from a job's remaining deadline
+    /// before it becomes verifier budget, covering result
+    /// serialization and the reply write. A job whose remaining
+    /// deadline is within the margin is answered `deadline_expired`
+    /// without starting.
+    pub reply_margin: Duration,
     /// Deterministic service-level fault injection (tests only).
     pub faults: Option<Arc<ServerFaultPlan>>,
 }
@@ -144,6 +177,9 @@ impl Default for ServerConfig {
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
             read_timeout: None,
             write_timeout: Some(Duration::from_secs(10)),
+            shed_target: None,
+            shed_interval: Duration::from_millis(100),
+            reply_margin: Duration::from_millis(50),
             faults: None,
         }
     }
@@ -194,8 +230,14 @@ struct Counters {
     unstarted: AtomicU64,
     rejected_full: AtomicU64,
     rejected_draining: AtomicU64,
+    shed: AtomicU64,
     errored: AtomicU64,
     deadline_expired: AtomicU64,
+    /// Wall-clock nanoseconds workers spent executing jobs, paired with
+    /// `serviced` to expose the average service time the
+    /// `retry_after_ms` estimator divides by.
+    service_ns: AtomicU64,
+    serviced: AtomicU64,
     replayed: AtomicU64,
     requeued: AtomicU64,
     quarantined: AtomicU64,
@@ -244,15 +286,20 @@ impl ResultsStore {
     }
 }
 
-/// Whether a terminal response line is a *retryable* error (queue-full
-/// and friends): those must not be replayed to a deduplicated
-/// resubmission as if they were the job's verdict.
+/// Whether a terminal response line is *retryable* (`busy`, or a
+/// queue-full-class error): those must not be replayed to a
+/// deduplicated resubmission as if they were the job's verdict.
 fn is_retryable_response(line: &str) -> bool {
-    charon::json::parse_flat_object(line)
-        .ok()
-        .filter(|f| f.str_field("response").as_deref() == Ok("error"))
-        .and_then(|f| f.str_field("error").ok())
-        .is_some_and(|code| client::is_retryable_error_code(&code))
+    let Ok(fields) = charon::json::parse_flat_object(line) else {
+        return false;
+    };
+    match fields.str_field("response").as_deref() {
+        Ok("busy") => true,
+        Ok("error") => fields
+            .str_field("error")
+            .is_ok_and(|code| client::is_retryable_error_code(&code)),
+        _ => false,
+    }
 }
 
 struct Shared {
@@ -277,6 +324,11 @@ struct Shared {
     known: Mutex<HashSet<u64>>,
     retry_budget: u32,
     max_line_bytes: usize,
+    /// Sojourn-time shed controller (admission + dequeue feed it);
+    /// absent when no shed target is configured.
+    shed: Option<SojournController>,
+    /// Reply-delivery reserve subtracted from remaining deadlines.
+    reply_margin: Duration,
     faults: Option<Arc<ServerFaultPlan>>,
 }
 
@@ -300,8 +352,42 @@ impl Shared {
             known: Mutex::new(HashSet::new()),
             retry_budget: config.retry_budget.max(1),
             max_line_bytes: config.max_line_bytes,
+            shed: config
+                .shed_target
+                .map(|target| SojournController::new(target, config.shed_interval)),
+            reply_margin: config.reply_margin,
             faults: config.faults.clone(),
         }
+    }
+
+    /// Observed mean service time (a moderate default until the first
+    /// job completes).
+    fn avg_service(&self) -> Duration {
+        let serviced = self.counters.serviced.load(Ordering::Relaxed);
+        match self
+            .counters
+            .service_ns
+            .load(Ordering::Relaxed)
+            .checked_div(serviced)
+        {
+            Some(mean_ns) => Duration::from_nanos(mean_ns),
+            // Cold estimator: assume a moderate job until we've seen one.
+            None => Duration::from_millis(100),
+        }
+    }
+
+    /// Estimated queue sojourn a new arrival would face right now, from
+    /// the queue depth and drain rate (unclamped, unlike the retry
+    /// hint).
+    fn queue_delay_estimate(&self) -> Duration {
+        self.avg_service()
+            .mul_f64(self.queue.len() as f64 / self.workers.max(1) as f64)
+    }
+
+    /// How long a refused client should wait before retrying, from the
+    /// observed queue depth and average service time.
+    fn retry_hint_ms(&self) -> u64 {
+        overload::retry_after_ms(self.queue.len(), self.workers, self.avg_service())
     }
 
     /// Marks one admitted job terminal and wakes a waiting drain.
@@ -534,7 +620,10 @@ fn connection_loop(shared: &Arc<Shared>, stream: Stream, addr: &ServerAddr) {
                 // Idle-timeout policy: close only if no queued or
                 // in-flight job still holds this connection's reply
                 // handle; otherwise keep waiting for the next request.
-                if Arc::strong_count(&sock) <= 1 {
+                // Two references are the connection's own (`sock` plus
+                // the clone inside `reply`); anything beyond that is a
+                // job that still owes this client a response.
+                if Arc::strong_count(&sock) <= 2 {
                     return;
                 }
                 continue;
@@ -625,6 +714,30 @@ fn submit(shared: &Arc<Shared>, request: VerifyRequest, sock: &Arc<Mutex<Stream>
             return;
         }
     }
+    // The shed controller runs after deduplication (a retry of a job we
+    // already hold must be answered, not shed) and before the journal
+    // (a shed submission was never accepted, so nothing is persisted).
+    // High-priority work rides through: shedding protects the latency
+    // of the queue by refusing the newest low-priority arrivals.
+    //
+    // The refusal is additionally gated on the *estimated* delay a new
+    // arrival would face: while the tripped controller waits for the
+    // backlog to drain, admission resumes as soon as the queue is short
+    // enough again — without this, a drained-empty queue produces no
+    // dequeue observations and the latch would shed forever.
+    if let Some(shed) = &shared.shed {
+        if request.priority <= 0
+            && shed.should_shed()
+            && shared.queue_delay_estimate() >= shed.target()
+        {
+            shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+            send_line(
+                &reply,
+                &protocol::busy_response(id, shared.retry_hint_ms(), "shed"),
+            );
+            return;
+        }
+    }
     // The accepted record is load-bearing: it must be on disk before the
     // client hears anything, otherwise a crash between ack and disk
     // would silently lose an acknowledged job.
@@ -665,20 +778,28 @@ fn submit(shared: &Arc<Shared>, request: VerifyRequest, sock: &Arc<Mutex<Stream>
             shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
         }
         Err((job, reason)) => {
-            let (counter, code, message) = match reason {
-                RejectReason::Full => (
-                    &shared.counters.rejected_full,
-                    "queue_full",
-                    "job queue is at capacity; retry with backoff",
-                ),
-                RejectReason::Closed => (
-                    &shared.counters.rejected_draining,
-                    "draining",
-                    "daemon is draining; resubmit later",
-                ),
+            let response = match reason {
+                // A full queue is the `busy` surface (protocol ≥ 5):
+                // the refusal carries how long the queue needs to
+                // drain, so clients back off usefully instead of
+                // guessing.
+                RejectReason::Full => {
+                    shared.counters.rejected_full.fetch_add(1, Ordering::Relaxed);
+                    protocol::busy_response(job.id, shared.retry_hint_ms(), "queue_full")
+                }
+                RejectReason::Closed => {
+                    shared
+                        .counters
+                        .rejected_draining
+                        .fetch_add(1, Ordering::Relaxed);
+                    error_response(
+                        Some(job.id),
+                        "draining",
+                        "daemon is draining; resubmit later",
+                    )
+                }
             };
-            counter.fetch_add(1, Ordering::Relaxed);
-            shared.deliver(job.id, &job.reply, &error_response(Some(job.id), code, message));
+            shared.deliver(job.id, &job.reply, &response);
         }
     }
 }
@@ -753,6 +874,43 @@ fn worker_loop(shared: &Arc<Shared>, slot: &Mutex<Option<Job>>) {
     // leak a poisoned scratch state into the next job.
     let mut ws = Workspace::new();
     while let Some(mut job) = shared.queue.pop() {
+        // Feed the shed controller the queue sojourn this dequeue
+        // observed (first attempts only: a requeued orphan's
+        // `accepted_at` includes execution time, not queue latency).
+        if let (Some(shed), 0) = (&shared.shed, job.attempts) {
+            shed.observe(job.accepted_at.elapsed(), Instant::now());
+        }
+        // A job whose deadline ran out while queued is answered here,
+        // without registering in-flight state or starting the verifier:
+        // under overload, workers must not burn time on answers nobody
+        // is waiting for.
+        if let Some(deadline_ms) = job.request.deadline_ms {
+            let remaining =
+                charon::deadline::remaining_ms(deadline_ms, job.accepted_at.elapsed());
+            if charon::deadline::clamp_budget(
+                Duration::from_millis(job.request.timeout_ms),
+                remaining,
+                shared.reply_margin,
+            )
+            .is_none()
+            {
+                shared
+                    .counters
+                    .deadline_expired
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+                shared.deliver(
+                    job.id,
+                    &job.reply,
+                    &error_response(
+                        Some(job.id),
+                        "deadline_expired",
+                        "job spent its deadline in the queue",
+                    ),
+                );
+                continue;
+            }
+        }
         job.attempts += 1;
         // Park a copy where the supervisor can recover it if this thread
         // dies anywhere below.
@@ -771,7 +929,15 @@ fn worker_loop(shared: &Arc<Shared>, slot: &Mutex<Option<Job>>) {
                 panic!("injected worker kill (job {})", job.id);
             }
         }
+        let started = Instant::now();
         let response = execute_job(shared, &job, &mut ws);
+        // Service-time accounting drives the `retry_after_ms` drain-rate
+        // estimate handed to refused clients.
+        shared
+            .counters
+            .service_ns
+            .fetch_add(started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64, Ordering::Relaxed);
+        shared.counters.serviced.fetch_add(1, Ordering::Relaxed);
         shared
             .inflight
             .lock()
@@ -789,15 +955,24 @@ fn execute_job(shared: &Arc<Shared>, job: &Job, ws: &mut Workspace) -> String {
     let counters = &shared.counters;
     let request = &job.request;
 
+    // Clamp the verification budget to the remaining client deadline
+    // minus the reply margin, so the verifier's anytime ladder absorbs
+    // the pressure. The dequeue path already filtered jobs that expired
+    // in the queue; this re-check closes the race against the clock.
+    let mut budget = Duration::from_millis(request.timeout_ms);
     if let Some(deadline_ms) = request.deadline_ms {
-        if job.accepted_at.elapsed() >= Duration::from_millis(deadline_ms) {
-            counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
-            counters.completed.fetch_add(1, Ordering::Relaxed);
-            return error_response(
-                Some(job.id),
-                "deadline_expired",
-                "job spent its deadline in the queue",
-            );
+        let remaining = charon::deadline::remaining_ms(deadline_ms, job.accepted_at.elapsed());
+        match charon::deadline::clamp_budget(budget, remaining, shared.reply_margin) {
+            Some(clamped) => budget = clamped,
+            None => {
+                counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                counters.completed.fetch_add(1, Ordering::Relaxed);
+                return error_response(
+                    Some(job.id),
+                    "deadline_expired",
+                    "job spent its deadline in the queue",
+                );
+            }
         }
     }
 
@@ -855,16 +1030,10 @@ fn execute_job(shared: &Arc<Shared>, job: &Job, ws: &mut Workspace) -> String {
         return b.build();
     }
 
-    let mut timeout = Duration::from_millis(request.timeout_ms);
-    if let Some(deadline_ms) = request.deadline_ms {
-        let remaining =
-            Duration::from_millis(deadline_ms).saturating_sub(job.accepted_at.elapsed());
-        timeout = timeout.min(remaining);
-    }
     let mut verifier = Verifier::default();
     *verifier.config_mut() = VerifierConfig {
         delta: request.delta,
-        timeout,
+        timeout: budget,
         max_regions: request.max_regions,
         restarts: request.restarts,
         seed: request.seed,
@@ -1002,6 +1171,31 @@ fn execute_shard(shared: &Arc<Shared>, shard: &protocol::ShardRequest, ws: &mut 
         .counters
         .shards_executed
         .fetch_add(1, Ordering::Relaxed);
+    // Chaos hook: a stalled node holds the shard (and its connection)
+    // without answering, exactly like a wedged NIC or a GC'd VM — the
+    // coordinator's read deadline and circuit breaker must cover it.
+    if let Some(plan) = &shared.faults {
+        plan.maybe_stall_shard();
+    }
+    // The dispatch carries the remaining client deadline; what is left
+    // after the reply margin bounds this shard's verification budget.
+    let mut budget = Duration::from_millis(shard.timeout_ms);
+    if let Some(deadline_ms) = shard.deadline_ms {
+        match charon::deadline::clamp_budget(budget, deadline_ms, shared.reply_margin) {
+            Some(clamped) => budget = clamped,
+            None => {
+                shared
+                    .counters
+                    .deadline_expired
+                    .fetch_add(1, Ordering::Relaxed);
+                return error_response(
+                    Some(shard.id),
+                    "deadline_expired",
+                    "shard arrived with its deadline spent",
+                );
+            }
+        }
+    }
     let (_, net) = match shared.registry.load(&shard.network) {
         Ok(found) => found,
         Err(message) => return error_response(Some(shard.id), "model_error", &message),
@@ -1015,7 +1209,7 @@ fn execute_shard(shared: &Arc<Shared>, shard: &protocol::ShardRequest, ws: &mut 
     let mut verifier = Verifier::default();
     *verifier.config_mut() = VerifierConfig {
         delta: shard.delta,
-        timeout: Duration::from_millis(shard.timeout_ms),
+        timeout: budget,
         max_regions: shard.max_regions,
         restarts: shard.restarts,
         seed: shard.seed,
@@ -1147,7 +1341,16 @@ fn stats_response(shared: &Arc<Shared>) -> String {
         None => (0, 0),
     };
     let to_f64 = |counts: &[u64]| -> Vec<f64> { counts.iter().map(|&c| c as f64).collect() };
-    ObjectBuilder::new()
+    // The overload block renders through the shared telemetry type so
+    // this tier and the coordinator expose identical key names; a
+    // single-node daemon has no breakers, so those read zero.
+    let overload_stats = charon::telemetry::OverloadStats {
+        shed: counters.shed.load(Ordering::Relaxed),
+        deadline_expired: counters.deadline_expired.load(Ordering::Relaxed),
+        breaker_open: 0,
+        breaker_opens: 0,
+    };
+    let b = ObjectBuilder::new()
         .str("response", "stats")
         .int("protocol", PROTOCOL_VERSION)
         .int("workers", shared.workers as u64)
@@ -1163,11 +1366,9 @@ fn stats_response(shared: &Arc<Shared>) -> String {
             "rejected_draining",
             counters.rejected_draining.load(Ordering::Relaxed),
         )
-        .int("errored", counters.errored.load(Ordering::Relaxed))
-        .int(
-            "deadline_expired",
-            counters.deadline_expired.load(Ordering::Relaxed),
-        )
+        .int("errored", counters.errored.load(Ordering::Relaxed));
+    overload_stats
+        .fields(b)
         .int("replayed", counters.replayed.load(Ordering::Relaxed))
         .int("requeued", counters.requeued.load(Ordering::Relaxed))
         .int("quarantined", counters.quarantined.load(Ordering::Relaxed))

@@ -1,0 +1,296 @@
+//! Overload-resilience primitives: the CoDel-style sojourn-time shed
+//! controller, the per-node circuit breaker, and the queue drain-rate
+//! estimator behind `retry_after_ms` hints.
+//!
+//! All three are deliberately small, deterministic state machines that
+//! take `Instant`s as arguments instead of reading the clock, so tests
+//! (including the proptest suites in `tests/overload_prop.rs`) can
+//! drive them through arbitrary schedules without sleeping.
+//!
+//! # Why sojourn time, not queue depth
+//!
+//! A depth threshold confuses "many cheap jobs" with "few expensive
+//! ones". What clients actually experience is *queue latency* — how
+//! long an admitted job sits before a worker picks it up — which is
+//! exactly what CoDel measures: the sojourn time of each dequeued item.
+//! The controller arms when a dequeue observes sojourn above the
+//! target, trips once it has stayed above target for a full interval
+//! (a transient burst never trips it), and then sheds new low-priority
+//! arrivals until a dequeue observes sojourn back under the target.
+//! Shedding at *admission* (answering `busy` with a retry hint) is
+//! kinder than CoDel's drop-from-head: the refused client learns
+//! immediately and backs off, instead of discovering the loss by
+//! timeout.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// CoDel-style admission controller keyed on queue sojourn time.
+///
+/// Shared by the admission path (`should_shed`) and the worker dequeue
+/// path (`observe`); interior mutability keeps both callers lock-free
+/// at the call site.
+#[derive(Debug)]
+pub struct SojournController {
+    target: Duration,
+    interval: Duration,
+    state: Mutex<SojournState>,
+}
+
+#[derive(Debug, Default)]
+struct SojournState {
+    /// When dequeues first started observing above-target sojourns
+    /// (`None` while under target).
+    above_since: Option<Instant>,
+    /// Whether the controller is currently refusing new low-priority
+    /// work.
+    shedding: bool,
+}
+
+impl SojournController {
+    /// Creates a controller that sheds once queue sojourn has exceeded
+    /// `target` continuously for `interval`.
+    pub fn new(target: Duration, interval: Duration) -> Self {
+        SojournController {
+            target,
+            interval: interval.max(Duration::from_millis(1)),
+            state: Mutex::new(SojournState::default()),
+        }
+    }
+
+    /// The sojourn target the controller holds queue latency near.
+    pub fn target(&self) -> Duration {
+        self.target
+    }
+
+    /// Records the queue sojourn of one dequeued job at time `now`.
+    pub fn observe(&self, sojourn: Duration, now: Instant) {
+        let mut state = self.state.lock().unwrap();
+        if sojourn < self.target {
+            // Latency is back under control: disarm and stop shedding.
+            state.above_since = None;
+            state.shedding = false;
+            return;
+        }
+        let since = *state.above_since.get_or_insert(now);
+        if now.duration_since(since) >= self.interval {
+            state.shedding = true;
+        }
+    }
+
+    /// Whether a new low-priority arrival should be refused right now.
+    pub fn should_shed(&self) -> bool {
+        self.state.lock().unwrap().shedding
+    }
+}
+
+/// Circuit breaker state (see [`CircuitBreaker`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: dispatches flow normally.
+    Closed,
+    /// Tripped: no dispatches until the cooldown elapses.
+    Open,
+    /// One probe is in flight; its outcome decides the next state.
+    HalfOpen,
+}
+
+/// Per-node circuit breaker: trips after `threshold` *consecutive*
+/// dispatch failures, refuses work for a cooldown, then admits a single
+/// half-open probe whose outcome closes or re-opens it.
+///
+/// The only reachable transitions (proptest-enforced) are:
+///
+/// ```text
+/// Closed --threshold consecutive failures--> Open
+/// Open   --cooldown elapsed (try_probe)----> HalfOpen
+/// HalfOpen --success--> Closed
+/// HalfOpen --failure--> Open
+/// ```
+///
+/// A success in `Closed` resets the consecutive-failure count; a
+/// success that arrives while `Open` (a straggling late reply) is
+/// deliberately ignored — only a probe may close an open breaker, so a
+/// single slow success cannot mask a dead node.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    opens: u64,
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker tripping after `threshold` consecutive
+    /// failures (at least 1) and cooling down for `cooldown`.
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: None,
+            opens: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Cumulative trips (Closed/HalfOpen → Open transitions).
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    /// Whether dispatches should be routed around this node right now
+    /// (open, or half-open with the probe still in flight).
+    pub fn is_routing_around(&self) -> bool {
+        self.state != BreakerState::Closed
+    }
+
+    fn trip(&mut self, now: Instant) {
+        self.state = BreakerState::Open;
+        self.opened_at = Some(now);
+        self.consecutive_failures = 0;
+        self.opens += 1;
+    }
+
+    /// Records a successful dispatch (or a successful half-open probe).
+    pub fn record_success(&mut self) {
+        match self.state {
+            BreakerState::Closed => self.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Closed;
+                self.consecutive_failures = 0;
+                self.opened_at = None;
+            }
+            // Only a probe closes an open breaker.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Records a failed dispatch, timeout, or failed probe at `now`.
+    pub fn record_failure(&mut self, now: Instant) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.threshold {
+                    self.trip(now);
+                }
+            }
+            BreakerState::HalfOpen => self.trip(now),
+            // Already open: late failures change nothing.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// If the breaker is open and its cooldown has elapsed, moves to
+    /// half-open and returns `true`: the caller owns the single probe
+    /// and must report its outcome via `record_success` /
+    /// `record_failure`. Returns `false` in every other state.
+    pub fn try_probe(&mut self, now: Instant) -> bool {
+        if self.state != BreakerState::Open {
+            return false;
+        }
+        let opened_at = self.opened_at.unwrap_or(now);
+        if now.duration_since(opened_at) < self.cooldown {
+            return false;
+        }
+        self.state = BreakerState::HalfOpen;
+        true
+    }
+}
+
+/// Estimates how long a refused client should wait before retrying,
+/// from the queue's observable drain rate: with `queue_depth` jobs
+/// ahead and `workers` draining them at `avg_service` each, the
+/// earliest useful retry is roughly one queue-drain away. Clamped to
+/// `[25ms, 5s]` so a cold estimator can neither hammer nor strand a
+/// client.
+pub fn retry_after_ms(queue_depth: usize, workers: usize, avg_service: Duration) -> u64 {
+    let workers = workers.max(1) as u64;
+    let depth = queue_depth.max(1) as u64;
+    let service_ms = avg_service
+        .as_millis()
+        .min(u128::from(u64::MAX))
+        .max(1) as u64;
+    let estimate = depth.saturating_mul(service_ms) / workers;
+    estimate.clamp(25, 5_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controller_needs_a_full_interval_above_target_to_trip() {
+        let c = SojournController::new(Duration::from_millis(50), Duration::from_millis(100));
+        let t0 = Instant::now();
+        let above = Duration::from_millis(60);
+        c.observe(above, t0);
+        assert!(!c.should_shed(), "first above-target sample only arms");
+        c.observe(above, t0 + Duration::from_millis(50));
+        assert!(!c.should_shed(), "interval not yet elapsed");
+        c.observe(above, t0 + Duration::from_millis(100));
+        assert!(c.should_shed(), "above target for a full interval");
+        // One under-target dequeue disarms immediately.
+        c.observe(Duration::from_millis(10), t0 + Duration::from_millis(150));
+        assert!(!c.should_shed());
+        // And the arming clock restarts from scratch.
+        c.observe(above, t0 + Duration::from_millis(160));
+        assert!(!c.should_shed());
+    }
+
+    #[test]
+    fn breaker_walks_the_full_cycle() {
+        let now = Instant::now();
+        let mut b = CircuitBreaker::new(2, Duration::from_millis(100));
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure(now);
+        assert_eq!(b.state(), BreakerState::Closed, "one failure is not a trip");
+        b.record_success();
+        b.record_failure(now);
+        assert_eq!(b.state(), BreakerState::Closed, "success reset the streak");
+        b.record_failure(now);
+        b.record_failure(now);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 1);
+        // Late outcomes while open are ignored.
+        b.record_success();
+        b.record_failure(now);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 1);
+        // Cooldown gates the probe.
+        assert!(!b.try_probe(now + Duration::from_millis(50)));
+        assert!(b.try_probe(now + Duration::from_millis(100)));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.try_probe(now + Duration::from_millis(200)), "one probe at a time");
+        // Failed probe re-opens (and restarts the cooldown)...
+        b.record_failure(now + Duration::from_millis(110));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 2);
+        assert!(!b.try_probe(now + Duration::from_millis(150)));
+        assert!(b.try_probe(now + Duration::from_millis(210)));
+        // ...and a successful probe closes.
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(!b.is_routing_around());
+    }
+
+    #[test]
+    fn retry_hint_tracks_drain_rate_within_clamps() {
+        let service = Duration::from_millis(100);
+        // 8 queued / 2 workers * 100ms = 400ms.
+        assert_eq!(retry_after_ms(8, 2, service), 400);
+        // Floor: an empty queue still asks for a minimal backoff.
+        assert_eq!(retry_after_ms(0, 8, Duration::from_millis(1)), 25);
+        // Ceiling: a catastrophic backlog cannot strand the client.
+        assert_eq!(retry_after_ms(100_000, 1, Duration::from_secs(10)), 5_000);
+        // A cold estimator (no samples yet) must not divide by zero.
+        assert_eq!(retry_after_ms(4, 0, Duration::ZERO), 25);
+    }
+}

@@ -25,9 +25,16 @@ use charon::json::{parse_flat_object, Fields, ObjectBuilder};
 /// a coordinator and its shard-worker nodes. Version 4 adds certified
 /// verdicts: the optional `cert` flag on `verify` and `shard` requests,
 /// and the optional `cert` field (a `charon-cert 1` text) on `verdict`
-/// and `shard_result` responses. Older clients are unaffected: every
-/// new behavior is opt-in.
-pub const PROTOCOL_VERSION: u64 = 4;
+/// and `shard_result` responses. Version 5 adds the overload surface:
+/// `deadline_ms` on `shard` requests (it already existed on `verify`)
+/// so the remaining client deadline travels with every dispatch, and
+/// the `busy` response — the server's refusal to queue a submission
+/// (queue at capacity, or the sojourn-time shed controller firing)
+/// carrying a `retry_after_ms` hint derived from the observed queue
+/// drain rate. Older clients are unaffected: every new behavior is
+/// opt-in, and a v4 client simply never sees `busy` semantics it can't
+/// handle (it retries on any error it recognizes).
+pub const PROTOCOL_VERSION: u64 = 5;
 
 /// Every request discriminator the daemon understands, in the order
 /// they joined the protocol. `scripts/ci.sh` greps `docs/PROTOCOL.md`
@@ -37,7 +44,7 @@ pub const REQUEST_KINDS: &[&str] = &["verify", "query", "stats", "drain", "ping"
 
 /// Every response discriminator the daemon emits (same CI contract as
 /// [`REQUEST_KINDS`]).
-pub const RESPONSE_KINDS: &[&str] = &["verdict", "error", "checkpointed", "unstarted", "accepted", "pending", "unknown", "pong", "drained", "shard_result", "node_hello", "node_stats"];
+pub const RESPONSE_KINDS: &[&str] = &["verdict", "error", "checkpointed", "unstarted", "accepted", "pending", "unknown", "pong", "drained", "shard_result", "node_hello", "node_stats", "busy"];
 
 /// Default per-job verification wall-clock budget (ms) when the request
 /// does not set one.
@@ -255,6 +262,11 @@ pub struct ShardRequest {
     pub property: String,
     /// Verification wall-clock budget in ms for this shard.
     pub timeout_ms: u64,
+    /// Remaining client deadline in ms, measured at dispatch time
+    /// (protocol ≥ 5). The node clamps its verification budget to this
+    /// minus its reply margin, so a shard never burns worker time past
+    /// the moment the coordinator's client stops waiting.
+    pub deadline_ms: Option<u64>,
     /// δ of the δ-complete check.
     pub delta: f64,
     /// Region-count budget for this shard.
@@ -286,6 +298,7 @@ impl ShardRequest {
             network: fields.str_field("network")?,
             property: fields.str_field("property")?,
             timeout_ms,
+            deadline_ms: fields.opt_usize("deadline_ms")?.map(|v| v as u64),
             delta: fields.opt_f64("delta")?.unwrap_or(1e-9),
             max_regions: fields.opt_usize("max_regions")?.unwrap_or(200_000),
             restarts: fields.opt_usize("restarts")?.unwrap_or(2),
@@ -310,6 +323,9 @@ impl ShardRequest {
             .int("restarts", self.restarts as u64)
             .int("seed", self.seed)
             .int("cex_search", u64::from(self.cex_search));
+        if let Some(deadline) = self.deadline_ms {
+            b = b.int("deadline_ms", deadline);
+        }
         if self.cert {
             b = b.int("cert", 1);
         }
@@ -505,6 +521,22 @@ pub fn poisoned_response(id: u64, diagnostic: &str, attempts: u32) -> String {
         .build()
 }
 
+/// Builds the overload refusal (protocol ≥ 5): the daemon declined to
+/// queue this submission and the client should retry no sooner than
+/// `retry_after_ms` from now. `reason` is machine-readable —
+/// `"queue_full"` (bounded queue at capacity) or `"shed"` (the
+/// sojourn-time controller is holding queue latency at its target).
+/// Unlike an `error` response, `busy` is always retryable and always
+/// carries a server-computed backoff hint.
+pub fn busy_response(id: u64, retry_after_ms: u64, reason: &str) -> String {
+    ObjectBuilder::new()
+        .str("response", "busy")
+        .int("id", id)
+        .int("retry_after_ms", retry_after_ms)
+        .str("reason", reason)
+        .build()
+}
+
 /// Builds the `ping` response.
 pub fn pong_response() -> String {
     ObjectBuilder::new()
@@ -618,6 +650,7 @@ mod tests {
             network: "/tmp/a.net".to_string(),
             property: "charon-prop 1\ntarget 2\nend\n".to_string(),
             timeout_ms: 800,
+            deadline_ms: Some(650),
             delta: 1e-6,
             max_regions: 4096,
             restarts: 3,
@@ -627,6 +660,16 @@ mod tests {
         };
         match Request::parse(&shard.to_line()).unwrap() {
             Request::Shard(parsed) => assert_eq!(parsed, shard),
+            other => panic!("expected shard, got {other:?}"),
+        }
+        // deadline_ms stays off the wire when unset (v4 nodes parse it).
+        let unbounded = ShardRequest {
+            deadline_ms: None,
+            ..shard.clone()
+        };
+        assert!(!unbounded.to_line().contains("deadline_ms"));
+        match Request::parse(&unbounded.to_line()).unwrap() {
+            Request::Shard(parsed) => assert_eq!(parsed.deadline_ms, None),
             other => panic!("expected shard, got {other:?}"),
         }
         assert_eq!(
@@ -713,6 +756,17 @@ mod tests {
         assert_eq!(stats.usize_field("shards_executed").unwrap(), 5);
         assert_eq!(stats.usize_field("shards_refuted").unwrap(), 1);
         assert_eq!(stats.usize_field("shards_limited").unwrap(), 2);
+    }
+
+    #[test]
+    fn busy_response_carries_retry_hint_and_reason() {
+        let line = busy_response(17, 120, "shed");
+        let fields = charon::json::parse_flat_object(&line).unwrap();
+        assert_eq!(fields.str_field("response").unwrap(), "busy");
+        assert_eq!(fields.usize_field("id").unwrap(), 17);
+        assert_eq!(fields.usize_field("retry_after_ms").unwrap(), 120);
+        assert_eq!(fields.str_field("reason").unwrap(), "shed");
+        assert!(RESPONSE_KINDS.contains(&"busy"), "busy is in the kind inventory");
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Property-based overload suite: the deadline arithmetic in
+//! [`charon::deadline`] and the circuit-breaker state machine in
+//! [`server::CircuitBreaker`].
+//!
+//! The deadline properties pin the saturation behaviour the anytime
+//! ladder depends on — a clamped budget is never negative, never larger
+//! than either input, and always leaves the reply margin — across the
+//! whole `u64` range, including the overflow-adjacent corners a unit
+//! test would hand-pick. The breaker properties drive the state machine
+//! through arbitrary interleavings of successes, failures, and probe
+//! attempts against a reference model, proving that only the documented
+//! transitions (`Closed → Open → HalfOpen → {Closed, Open}`) are
+//! reachable and that the trip counter counts exactly the transitions
+//! into `Open`.
+
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use server::{BreakerState, CircuitBreaker};
+
+// ---------------------------------------------------------------------------
+// Deadline arithmetic
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `remaining_ms` is exactly saturating subtraction: never negative,
+    /// never more than the deadline, and monotone in elapsed time.
+    #[test]
+    fn remaining_never_underflows(deadline_ms in 0u64..=u64::MAX, elapsed_ms in 0u64..=u64::MAX) {
+        let elapsed = Duration::from_millis(elapsed_ms);
+        let remaining = charon::deadline::remaining_ms(deadline_ms, elapsed);
+        prop_assert!(remaining <= deadline_ms);
+        prop_assert_eq!(remaining, deadline_ms.saturating_sub(elapsed_ms));
+        // One more millisecond elapsed can only shrink what remains.
+        let later = charon::deadline::remaining_ms(
+            deadline_ms,
+            elapsed + Duration::from_millis(1),
+        );
+        prop_assert!(later <= remaining);
+    }
+
+    /// A clamped budget never exceeds the verifier's own budget, always
+    /// leaves the reply margin inside the deadline, and is `None`
+    /// exactly when the margin consumes everything that remains —
+    /// including at the saturating boundaries where `remaining` or the
+    /// margin sit near `u64::MAX`.
+    #[test]
+    fn clamp_respects_budget_and_margin(
+        budget_ms in 1u64..=10_000_000,
+        remaining_ms in 0u64..=u64::MAX,
+        margin_ms in 0u64..=u64::MAX,
+    ) {
+        let budget = Duration::from_millis(budget_ms);
+        let margin = Duration::from_millis(margin_ms);
+        match charon::deadline::clamp_budget(budget, remaining_ms, margin) {
+            None => prop_assert!(
+                remaining_ms <= margin_ms,
+                "refused to start although {remaining_ms} ms remained past a {margin_ms} ms margin"
+            ),
+            Some(clamped) => {
+                let clamped_ms = clamped.as_millis() as u64;
+                prop_assert!(clamped_ms > 0, "a started job has a usable budget");
+                prop_assert!(clamped <= budget, "clamp never extends the budget");
+                prop_assert!(
+                    clamped_ms <= remaining_ms.saturating_sub(margin_ms),
+                    "the reply margin must survive the clamp"
+                );
+            }
+        }
+    }
+
+    /// Composing the two: a worker that clamps at dequeue time can
+    /// always answer within the original deadline (budget + margin fit
+    /// into what remained).
+    #[test]
+    fn clamped_run_fits_the_deadline(
+        deadline_ms in 0u64..=86_400_000,
+        queued_ms in 0u64..=86_400_000,
+        budget_ms in 1u64..=600_000,
+        margin_ms in 0u64..=10_000,
+    ) {
+        let remaining = charon::deadline::remaining_ms(deadline_ms, Duration::from_millis(queued_ms));
+        if let Some(clamped) = charon::deadline::clamp_budget(
+            Duration::from_millis(budget_ms),
+            remaining,
+            Duration::from_millis(margin_ms),
+        ) {
+            let finish_ms = queued_ms + clamped.as_millis() as u64 + margin_ms;
+            prop_assert!(
+                finish_ms <= deadline_ms,
+                "worst-case finish at {finish_ms} ms blows the {deadline_ms} ms deadline"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker state machine
+// ---------------------------------------------------------------------------
+
+/// One scripted interaction with the breaker.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Success,
+    Failure,
+    /// Attempt a probe after advancing the clock by this many ms.
+    Probe(u64),
+}
+
+/// Decodes a raw draw from `0..302` into an [`Op`] (the vendored
+/// proptest offers range strategies, not `prop_oneof`).
+fn decode_op(raw: u64) -> Op {
+    match raw {
+        0 => Op::Success,
+        1 => Op::Failure,
+        advance => Op::Probe(advance - 2),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Drives the breaker through an arbitrary schedule against a
+    /// reference model: the state after every step matches, `opens()`
+    /// counts exactly the transitions into `Open`, and no transition
+    /// outside the documented cycle ever occurs.
+    #[test]
+    fn breaker_reaches_only_legal_states(
+        threshold in 1u32..5,
+        cooldown_ms in 1u64..200,
+        raw_ops in proptest::collection::vec(0u64..302, 1..60),
+    ) {
+        let cooldown = Duration::from_millis(cooldown_ms);
+        let mut breaker = CircuitBreaker::new(threshold, cooldown);
+        let start = Instant::now();
+        let mut now_ms = 0u64;
+
+        // Reference model.
+        let mut state = BreakerState::Closed;
+        let mut streak = 0u32;
+        let mut opened_at_ms = 0u64;
+        let mut opens = 0u64;
+
+        for op in raw_ops.into_iter().map(decode_op) {
+            let before = breaker.state();
+            match op {
+                Op::Success => {
+                    breaker.record_success();
+                    match state {
+                        BreakerState::Closed => streak = 0,
+                        BreakerState::HalfOpen => {
+                            state = BreakerState::Closed;
+                            streak = 0;
+                        }
+                        BreakerState::Open => {} // late success ignored
+                    }
+                }
+                Op::Failure => {
+                    breaker.record_failure(start + Duration::from_millis(now_ms));
+                    match state {
+                        BreakerState::Closed => {
+                            streak += 1;
+                            if streak >= threshold {
+                                state = BreakerState::Open;
+                                opened_at_ms = now_ms;
+                                streak = 0;
+                                opens += 1;
+                            }
+                        }
+                        BreakerState::HalfOpen => {
+                            state = BreakerState::Open;
+                            opened_at_ms = now_ms;
+                            opens += 1;
+                        }
+                        BreakerState::Open => {} // late failure ignored
+                    }
+                }
+                Op::Probe(advance_ms) => {
+                    now_ms += advance_ms;
+                    let granted = breaker.try_probe(start + Duration::from_millis(now_ms));
+                    let expected = state == BreakerState::Open
+                        && now_ms - opened_at_ms >= cooldown_ms;
+                    prop_assert_eq!(granted, expected, "probe admission diverged");
+                    if expected {
+                        state = BreakerState::HalfOpen;
+                    }
+                }
+            }
+            let after = breaker.state();
+            prop_assert_eq!(after, state, "state diverged from the model");
+            prop_assert_eq!(breaker.opens(), opens, "trip counter diverged");
+            // Every observed transition is one of the documented edges.
+            let legal = match (before, after) {
+                (a, b) if a == b => true,
+                (BreakerState::Closed, BreakerState::Open) => true,
+                (BreakerState::Open, BreakerState::HalfOpen) => true,
+                (BreakerState::HalfOpen, BreakerState::Closed) => true,
+                (BreakerState::HalfOpen, BreakerState::Open) => true,
+                _ => false,
+            };
+            prop_assert!(legal, "illegal transition {before:?} -> {after:?}");
+            prop_assert_eq!(
+                breaker.is_routing_around(),
+                after != BreakerState::Closed,
+                "routing flag must mirror the state"
+            );
+        }
+    }
+
+    /// From any reachable state, a cooled-down open breaker admits
+    /// exactly one probe until its outcome is recorded.
+    #[test]
+    fn one_probe_at_a_time(threshold in 1u32..4, cooldown_ms in 1u64..50) {
+        let cooldown = Duration::from_millis(cooldown_ms);
+        let mut breaker = CircuitBreaker::new(threshold, cooldown);
+        let start = Instant::now();
+        for _ in 0..threshold {
+            breaker.record_failure(start);
+        }
+        prop_assert_eq!(breaker.state(), BreakerState::Open);
+        let cooled = start + cooldown;
+        prop_assert!(breaker.try_probe(cooled), "first probe after cooldown");
+        for extra_ms in 0..3 {
+            prop_assert!(
+                !breaker.try_probe(cooled + Duration::from_millis(extra_ms)),
+                "second concurrent probe must be refused"
+            );
+        }
+        breaker.record_failure(cooled);
+        prop_assert_eq!(breaker.state(), BreakerState::Open, "failed probe re-opens");
+        prop_assert_eq!(breaker.opens(), 2);
+    }
+}

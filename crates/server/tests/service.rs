@@ -1,8 +1,11 @@
 //! End-to-end service tests over a real Unix socket: submit/verdict
 //! round trips, result-cache hits with provenance, queue-full admission
-//! control, deadline expiry, and the zero-lost-jobs drain guarantee.
+//! control, deadline expiry, slow-loris resilience, and the
+//! zero-lost-jobs drain guarantee.
 
+use std::io::{Read, Write};
 use std::path::PathBuf;
+use std::time::Duration;
 
 use charon::json::Fields;
 use charon::{Checkpoint, RobustnessProperty};
@@ -317,9 +320,14 @@ fn queue_full_submissions_are_rejected_not_blocked() {
         std::thread::sleep(std::time::Duration::from_millis(5));
     }
     let rejection = submitter.request(&long_job(3).to_line()).unwrap();
-    assert_eq!(rejection.str_field("response").unwrap(), "error");
-    assert_eq!(rejection.str_field("error").unwrap(), "queue_full");
+    assert_eq!(rejection.str_field("response").unwrap(), "busy");
+    assert_eq!(rejection.str_field("reason").unwrap(), "queue_full");
     assert_eq!(rejection.usize_field("id").unwrap(), 3);
+    let hint = rejection.usize_field("retry_after_ms").unwrap() as u64;
+    assert!(
+        (25..=5_000).contains(&hint),
+        "drain-rate hint outside its clamp: {hint}"
+    );
 
     let drained = control.request("{\"request\": \"drain\"}").unwrap();
     assert_eq!(drained.usize_field("accepted").unwrap(), 2);
@@ -361,6 +369,66 @@ fn malformed_requests_and_missing_models_get_typed_errors() {
     // The model_error job still counts as accepted + completed.
     assert_eq!(drained.usize_field("accepted").unwrap(), 1);
     assert_eq!(drained.usize_field("completed").unwrap(), 1);
+    assert_eq!(drained.f64_field("lost").unwrap(), 0.0);
+    handle.join();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn slow_loris_is_reaped_without_wedging_the_accept_loop_or_a_worker() {
+    let dir = unique_dir("loris");
+    let sock_path = dir.join("daemon.sock");
+    let config = ServerConfig {
+        addr: ServerAddr::Unix(sock_path.clone()),
+        workers: 1,
+        queue_capacity: 8,
+        cache_capacity: 8,
+        read_timeout: Some(Duration::from_millis(250)),
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(config).unwrap();
+    let net_path = save_net(&dir, "xor.net", &nn::samples::xor_network());
+
+    // The loris: dribble a prefix of a valid request one byte at a
+    // time, never send the newline, then go silent.
+    let mut loris = std::os::unix::net::UnixStream::connect(&sock_path).unwrap();
+    for &byte in b"{\"request\": \"verify\", \"id\": 1".as_slice() {
+        loris.write_all(&[byte]).unwrap();
+        loris.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // While the loris dangles its half-written line, a well-behaved
+    // client must get the single worker immediately: the stall holds a
+    // connection thread, never the accept loop or a worker.
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let request = VerifyRequest {
+        id: 7,
+        network: net_path,
+        property: RobustnessProperty::new(Bounds::new(vec![0.3, 0.3], vec![0.7, 0.7]), 1)
+            .to_text(),
+        ..VerifyRequest::default()
+    };
+    let verdict = client.request(&request.to_line()).unwrap();
+    assert_eq!(verdict.str_field("response").unwrap(), "verdict");
+    assert_eq!(verdict.str_field("verdict").unwrap(), "verified");
+
+    // The read timeout reaps the stalled connection: with no queued or
+    // in-flight job holding its reply handle, the server closes it and
+    // the loris sees EOF instead of an answer to its half request.
+    loris
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = [0u8; 64];
+    let n = loris.read(&mut buf).unwrap();
+    assert_eq!(n, 0, "stalled connection must be closed, not serviced");
+
+    // The verdict client has been idle past the timeout too, so its
+    // connection was reaped just like the loris's — drain over a fresh
+    // one.
+    let mut control = Client::connect(handle.addr()).unwrap();
+    let drained = control.request("{\"request\": \"drain\"}").unwrap();
+    assert_eq!(drained.usize_field("accepted").unwrap(), 1);
     assert_eq!(drained.f64_field("lost").unwrap(), 0.0);
     handle.join();
     let _ = std::fs::remove_dir_all(dir);

@@ -211,6 +211,59 @@ grep -q '"schema": "bench-cluster-v1"' "$cluster_out"
 grep -q '"two_node_qps":' "$cluster_out"
 rm -f "$cluster_out"
 
+# Overload smoke: drive the daemon at ~4x its measured plateau with
+# shedding and client deadlines on. The harness itself asserts the
+# acceptance bars (nonzero shed, p99 of answered jobs within the
+# deadline, goodput near the plateau in full runs); here we re-check
+# the load-bearing fields in the emitted JSON (full runs regenerate the
+# committed BENCH_overload.json baseline).
+overload_out="$(mktemp)"
+cargo run --release -q -p bench --bin loadgen -- --overload --smoke --out "$overload_out"
+grep -q '"schema": "bench-overload-v1"' "$overload_out"
+grep -q '"lost": 0' "$overload_out"
+if grep -q '"shed": 0,' "$overload_out"; then
+  echo "ci.sh: overload run shed nothing — controller inert?" >&2; exit 1
+fi
+rm -f "$overload_out"
+
+# Circuit-breaker smoke: a 2-node cluster where node 1 deterministically
+# stalls its first shard (--fault-shard-stall). The coordinator must
+# blow the read deadline once, trip the node's breaker
+# (--breaker-threshold 1), re-route the shard to node 2, and still
+# deliver the verdict; the stats must show the open breaker.
+breaker_dir="$(mktemp -d)"
+"$charon_bin" example \
+  --out-network "$breaker_dir/xor.net" --out-property "$breaker_dir/p.prop"
+"$charon_bin" node --addr tcp:127.0.0.1:7191 --workers 1 \
+  --fault-shard-stall 0 --fault-shard-stall-ms 60000 &
+bnode1_pid=$!
+"$charon_bin" node --addr tcp:127.0.0.1:7192 --workers 1 &
+bnode2_pid=$!
+sleep 0.3
+"$charon_bin" serve --addr tcp:127.0.0.1:7190 --coordinator \
+  --nodes tcp:127.0.0.1:7191,tcp:127.0.0.1:7192 --shards 4 \
+  --breaker-threshold 1 --breaker-cooldown-ms 60000 --node-grace-ms 500 \
+  --no-journal &
+bcoord_pid=$!
+sleep 0.3
+"$charon_bin" submit --addr tcp:127.0.0.1:7190 \
+  --network "$breaker_dir/xor.net" --property "$breaker_dir/p.prop" \
+  --id 41 --timeout-ms 1000 | tee "$breaker_dir/b1.out" >/dev/null
+grep -qx 'verified' "$breaker_dir/b1.out"
+"$charon_bin" submit --addr tcp:127.0.0.1:7190 --stats \
+  | tee "$breaker_dir/bstats.out" >/dev/null
+grep -qx 'breaker_open: 1' "$breaker_dir/bstats.out"
+grep -qx 'breaker_opens: 1' "$breaker_dir/bstats.out"
+"$charon_bin" submit --addr tcp:127.0.0.1:7190 --drain \
+  | tee "$breaker_dir/bdrain.out" >/dev/null
+grep -q 'lost=0' "$breaker_dir/bdrain.out"
+wait "$bcoord_pid"
+"$charon_bin" submit --addr tcp:127.0.0.1:7192 --drain >/dev/null
+wait "$bnode2_pid"
+"$charon_bin" submit --addr tcp:127.0.0.1:7191 --drain >/dev/null
+wait "$bnode1_pid"
+rm -rf "$breaker_dir"
+
 # Doc-freshness gate: every protocol message kind the code declares must
 # be documented in docs/PROTOCOL.md (the kind inventories in protocol.rs
 # are single-line consts, so a line-oriented extraction suffices; the
